@@ -1,0 +1,81 @@
+// Ablation: energy proportionality of the high-performance node. The
+// paper's heterogeneity advantage is driven by the AMD node's 45 W idle
+// floor (75% of peak). Related work (KnightShift [42]) attacks the same
+// waste by making servers energy-proportional instead. This bench scales
+// the AMD idle draw down and recomputes the EP Pareto analysis: as the
+// high-performance node approaches proportionality, the sweet region's
+// savings shrink — quantifying when mix-and-match stops paying.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+/// Returns the AMD spec with its idle components scaled so the node
+/// idles at `target_idle_w` (active increments untouched).
+hec::NodeSpec amd_with_idle(double target_idle_w) {
+  hec::NodeSpec amd = hec::amd_opteron_k10();
+  const double factor = target_idle_w / amd.idle_node_w();
+  amd.rest_of_system_w *= factor;
+  amd.core_idle_w *= factor;
+  // Keep device *increments* intact while scaling the idle floors.
+  const double mem_inc = amd.memory_power.active_w - amd.memory_power.idle_w;
+  const double io_inc = amd.io_power.active_w - amd.io_power.idle_w;
+  amd.memory_power.idle_w *= factor;
+  amd.memory_power.active_w = amd.memory_power.idle_w + mem_inc;
+  amd.io_power.idle_w *= factor;
+  amd.io_power.active_w = amd.io_power.idle_w + io_inc;
+  // Core active/stall curves keep their dynamic terms but their base
+  // (leakage) term scales with the idle reduction.
+  amd.core_active.base_w *= factor;
+  amd.core_stall.base_w *= factor;
+  return amd;
+}
+
+}  // namespace
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("Idle-power ablation: energy-proportional AMD",
+                     "Section IV's driving assumption");
+
+  const hec::Workload ep = hec::workload_ep();
+  const hec::CharacterizeOptions opts =
+      hec::bench::bench_characterize_options();
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeTypeModel arm_model = build_node_model(arm, ep, opts);
+  const double w = ep.analysis_units;
+
+  TablePrinter table({"AMD idle [W]", "AMD-only best [J]",
+                      "ARM-only best [J]", "Frontier best [J]",
+                      "Het saving vs AMD-only"});
+  for (double idle_w : {45.0, 30.0, 15.0, 5.0}) {
+    const hec::NodeSpec amd = amd_with_idle(idle_w);
+    const hec::NodeTypeModel amd_model = build_node_model(amd, ep, opts);
+    const auto configs =
+        enumerate_configs(arm, amd, hec::EnumerationLimits{10, 10});
+    const hec::ConfigEvaluator eval(arm_model, amd_model);
+    const auto outcomes = eval.evaluate_all(configs, w);
+
+    double amd_best = 1e300, arm_best = 1e300, all_best = 1e300;
+    for (const auto& o : outcomes) {
+      all_best = std::min(all_best, o.energy_j);
+      if (!o.config.uses_arm()) amd_best = std::min(amd_best, o.energy_j);
+      if (!o.config.uses_amd()) arm_best = std::min(arm_best, o.energy_j);
+    }
+    table.add_row({TablePrinter::num(idle_w, 0),
+                   TablePrinter::num(amd_best, 2),
+                   TablePrinter::num(arm_best, 2),
+                   TablePrinter::num(all_best, 2),
+                   TablePrinter::num((1.0 - all_best / amd_best) * 100.0,
+                                     1) +
+                       "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe heterogeneity dividend is a function of the "
+               "high-performance node's idle waste: with a 5 W-idle AMD "
+               "the gap closes, confirming that mix-and-match and "
+               "energy-proportional hardware attack the same inefficiency "
+               "from opposite ends.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Extension: sensitivity of Fig. 10 to the queueing model. The paper
+// assumes M/D/1 (Poisson arrivals, deterministic matched service). This
+// bench recomputes the minimum-energy configuration for a response-time
+// SLA under burstier arrivals and noisier service (Kingman G/G/1) and
+// reports how the chosen configuration and energy shift — i.e., how much
+// the conclusions depend on the M/D/1 idealisation.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hec/queueing/variants.h"
+
+namespace {
+
+struct Choice {
+  double energy_j = std::numeric_limits<double>::infinity();
+  std::string config = "-";
+  double service_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("Queueing-model sensitivity (extension)",
+                     "Fig. 10's M/D/1 assumption, stress-tested");
+
+  const hec::bench::WorkloadModels models =
+      hec::bench::build_models(hec::workload_memcached());
+  const double w = hec::workload_memcached().analysis_units;
+  const auto outcomes = hec::bench::evaluate_space(models, 16, 14, w);
+  const hec::ConfigEvaluator eval(models.arm, models.amd);
+
+  const double window_s = 20.0;
+  const double lambda = 2.0;          // jobs/s
+  const double sla_response_s = 0.3;  // 300 ms
+
+  struct Variant {
+    const char* name;
+    double ca2, cs2;
+  };
+  const Variant variants[] = {
+      {"M/D/1 (paper)", 1.0, 0.0},
+      {"M/M/1", 1.0, 1.0},
+      {"bursty arrivals (ca2=4)", 4.0, 0.0},
+      {"bursty + noisy service", 4.0, 0.5},
+  };
+
+  TablePrinter table({"Queue model", "Best config", "Service [ms]",
+                      "Response [ms]", "Energy/window [J]",
+                      "vs M/D/1"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kLeft,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight});
+  double baseline = 0.0;
+  for (const Variant& v : variants) {
+    Choice best;
+    double best_response = 0.0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const double s = outcomes[i].t_s;
+      if (lambda * s >= 0.95) continue;
+      const hec::GG1Kingman queue(lambda, s, v.ca2, v.cs2);
+      if (queue.mean_response_s() > sla_response_s) continue;
+      const double jobs = lambda * window_s;
+      const double energy =
+          jobs * outcomes[i].energy_j +
+          (window_s - jobs * s) *
+              eval.powered_idle_w(outcomes[i].config);
+      if (energy < best.energy_j) {
+        best.energy_j = energy;
+        best.config = hec::bench::describe(outcomes[i].config);
+        best.service_ms = s * 1e3;
+        best_response = queue.mean_response_s() * 1e3;
+      }
+    }
+    if (baseline == 0.0) baseline = best.energy_j;
+    table.add_row(
+        {v.name, best.config, TablePrinter::num(best.service_ms, 1),
+         TablePrinter::num(best_response, 1),
+         std::isfinite(best.energy_j)
+             ? TablePrinter::num(best.energy_j, 1)
+             : std::string("-"),
+         std::isfinite(best.energy_j)
+             ? TablePrinter::num(
+                   (best.energy_j / baseline - 1.0) * 100.0, 1) + "%"
+             : std::string("-")});
+  }
+  table.print(std::cout);
+  std::cout << "\nBurstier traffic forces faster service to hold the same "
+               "SLA, pulling higher-power configurations in — the paper's "
+               "Observation 4 mechanism, amplified beyond M/D/1.\n";
+  return 0;
+}

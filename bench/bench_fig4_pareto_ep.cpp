@@ -1,0 +1,12 @@
+// Fig. 4: Pareto frontier for EP (50 million random numbers) over all
+// 36,380 configurations of up to 10 ARM + 10 AMD nodes. Compute-bound,
+// so the frontier shows both a heterogeneous sweet region and an
+// ARM-only overlap region.
+#include "bench_common.h"
+
+int main() {
+  hec::bench::pareto_experiment(hec::workload_ep(),
+                                hec::workload_ep().analysis_units,
+                                "fig4_pareto_ep", "Fig. 4");
+  return 0;
+}

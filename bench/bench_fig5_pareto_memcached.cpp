@@ -1,0 +1,11 @@
+// Fig. 5: Pareto frontier for memcached (50,000 requests) over all
+// 36,380 configurations. I/O-bound, so homogeneous energy is flat in the
+// deadline and no overlap region appears.
+#include "bench_common.h"
+
+int main() {
+  hec::bench::pareto_experiment(hec::workload_memcached(),
+                                hec::workload_memcached().analysis_units,
+                                "fig5_pareto_memcached", "Fig. 5");
+  return 0;
+}

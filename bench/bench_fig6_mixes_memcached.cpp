@@ -1,0 +1,10 @@
+// Fig. 6: heterogeneous mixes for memcached under a 1 kW peak-power
+// budget, substitution ratio 8:1 (ARM 0:AMD 16 ... ARM 128:AMD 0).
+#include "bench_common.h"
+
+int main() {
+  hec::bench::mixes_experiment(hec::workload_memcached(),
+                               hec::workload_memcached().analysis_units,
+                               "fig6_mixes_memcached", "Fig. 6");
+  return 0;
+}

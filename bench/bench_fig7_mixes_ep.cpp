@@ -1,0 +1,10 @@
+// Fig. 7: heterogeneous mixes for EP under a 1 kW peak-power budget,
+// substitution ratio 8:1.
+#include "bench_common.h"
+
+int main() {
+  hec::bench::mixes_experiment(hec::workload_ep(),
+                               hec::workload_ep().analysis_units,
+                               "fig7_mixes_ep", "Fig. 7");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 9: increasing cluster size for EP at the fixed 8:1 ratio.
+#include "bench_common.h"
+
+int main() {
+  hec::bench::scaling_experiment(hec::workload_ep(),
+                                 hec::workload_ep().analysis_units,
+                                 "fig9_scaling_ep", "Fig. 9");
+  return 0;
+}

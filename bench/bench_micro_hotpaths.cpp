@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the library's hot paths: node
+// simulation, configuration-space evaluation, Pareto-frontier
+// derivation and the matched split. These bound the cost of the
+// full-space analyses (36,380+ evaluations per figure).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "hec/sim/node_sim.h"
+#include "hec/util/rng.h"
+
+namespace {
+
+const hec::bench::WorkloadModels& ep_models() {
+  static const hec::bench::WorkloadModels models =
+      hec::bench::build_models(hec::workload_ep());
+  return models;
+}
+
+void BM_SimulateNode(benchmark::State& state) {
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::PhaseDemand demand = hec::workload_ep().demand_arm;
+  hec::RunConfig cfg;
+  cfg.cores_used = arm.cores;
+  cfg.f_ghz = arm.pstates.max_ghz();
+  cfg.work_units = 10000.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(simulate_node(arm, demand, cfg));
+  }
+}
+BENCHMARK(BM_SimulateNode);
+
+void BM_PredictOneConfig(benchmark::State& state) {
+  const auto& models = ep_models();
+  const hec::ConfigEvaluator eval(models.arm, models.amd);
+  const hec::ClusterConfig cfg{hec::NodeConfig{8, 4, 1.4},
+                               hec::NodeConfig{4, 6, 2.1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(cfg, 50e6));
+  }
+}
+BENCHMARK(BM_PredictOneConfig);
+
+void BM_EvaluateFullSpace(benchmark::State& state) {
+  const auto& models = ep_models();
+  const auto configs =
+      enumerate_configs(models.arm_spec, models.amd_spec,
+                        hec::EnumerationLimits{10, 10});
+  const hec::ConfigEvaluator eval(models.arm, models.amd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_all(configs, 50e6));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_EvaluateFullSpace)->Unit(benchmark::kMillisecond);
+
+void BM_ParetoFrontier(benchmark::State& state) {
+  hec::Rng rng(11);
+  std::vector<hec::TimeEnergyPoint> points;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.01, 1.0), rng.uniform(1.0, 300.0), i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hec::pareto_frontier(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParetoFrontier)->Arg(1000)->Arg(36380)->Arg(500000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatchSplit(benchmark::State& state) {
+  const auto& models = ep_models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match_split(models.arm, hec::NodeConfig{8, 4, 1.4}, models.amd,
+                    hec::NodeConfig{4, 6, 2.1}, 50e6));
+  }
+}
+BENCHMARK(BM_MatchSplit);
+
+void BM_CharacterizeWorkload(benchmark::State& state) {
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::PhaseDemand demand = hec::workload_ep().demand_arm;
+  const hec::CharacterizeOptions opts =
+      hec::bench::bench_characterize_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(characterize_workload(arm, demand, opts));
+  }
+}
+BENCHMARK(BM_CharacterizeWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 1: types of heterogeneous nodes — printed from the hardware
+// catalogue, plus the derived power figures the analysis relies on
+// (peak/idle envelopes and the 8:1 substitution ratio of footnote 5).
+#include <iostream>
+
+#include "bench_common.h"
+#include "hec/config/budget.h"
+
+namespace {
+
+std::string fmt_range(const hec::PStateTable& pstates) {
+  return hec::TablePrinter::num(pstates.min_ghz(), 1) + "-" +
+         hec::TablePrinter::num(pstates.max_ghz(), 1) + " GHz (" +
+         std::to_string(pstates.size()) + " P-states)";
+}
+
+}  // namespace
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("Node types", "Table 1");
+
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+
+  TablePrinter table({"Attribute", "AMD K10", "ARM Cortex-A9"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
+                       hec::Align::kRight});
+  table.add_row({"ISA", to_string(amd.isa), to_string(arm.isa)});
+  table.add_row({"Cores/node", std::to_string(amd.cores),
+                 std::to_string(arm.cores)});
+  table.add_row({"Clock Freq", fmt_range(amd.pstates), fmt_range(arm.pstates)});
+  table.add_row({"L1 data cache [KiB/core]",
+                 TablePrinter::num(amd.l1d_kib_per_core, 0),
+                 TablePrinter::num(arm.l1d_kib_per_core, 0)});
+  table.add_row({"L2 cache [KiB]", TablePrinter::num(amd.l2_kib, 0),
+                 TablePrinter::num(arm.l2_kib, 0)});
+  table.add_row({"L3 cache [KiB]", TablePrinter::num(amd.l3_kib, 0),
+                 arm.l3_kib == 0.0 ? "NA" : TablePrinter::num(arm.l3_kib, 0)});
+  table.add_row({"Memory [GiB]", TablePrinter::num(amd.memory_gib, 0),
+                 TablePrinter::num(arm.memory_gib, 0)});
+  table.add_row({"I/O bandwidth [Mbps]",
+                 TablePrinter::num(amd.io_bandwidth_mbps, 0),
+                 TablePrinter::num(arm.io_bandwidth_mbps, 0)});
+  table.add_row({"Peak power [W]", TablePrinter::num(amd.peak_node_w(), 1),
+                 TablePrinter::num(arm.peak_node_w(), 1)});
+  table.add_row({"Idle power [W]", TablePrinter::num(amd.idle_node_w(), 1),
+                 TablePrinter::num(arm.idle_node_w(), 1)});
+  table.print(std::cout);
+
+  const hec::SwitchSpec sw = hec::rack_switch();
+  std::cout << "\nRack switch: " << sw.power_w << " W, " << sw.ports
+            << " ports\nPower substitution ratio (footnote 5): "
+            << hec::substitution_ratio(arm, amd)
+            << " ARM per AMD (paper: 8)\n";
+  return 0;
+}

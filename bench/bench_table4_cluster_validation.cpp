@@ -1,0 +1,67 @@
+// Table 4: cluster validation on 8 ARM + {1, 0} AMD nodes. Each workload
+// is split with the matching scheduler, predicted analytically and
+// measured by simulating every node of the cluster; the paper's errors
+// are 1-13%.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hec/cluster/cluster_sim.h"
+#include "hec/cluster/schedulers.h"
+
+int main() {
+  using hec::TablePrinter;
+  hec::bench::banner("Cluster validation (8 ARM + {1,0} AMD)", "Table 4");
+
+  TablePrinter table({"Program", "ARM nodes", "AMD nodes",
+                      "Exec time error[%]", "Energy error[%]"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kRight});
+  double worst = 0.0;
+  std::uint64_t seed = 90000;
+  for (const hec::Workload& w : hec::all_workloads()) {
+    const hec::bench::WorkloadModels models = hec::bench::build_models(w);
+    const hec::MatchingScheduler sched(models.arm, models.amd);
+    // Validation problem sizes scaled to a cluster-sized job.
+    const double units = w.validation_units;
+    for (int amd_nodes : {1, 0}) {
+      hec::ClusterConfig cfg{
+          hec::NodeConfig{8, models.arm_spec.cores,
+                          models.arm_spec.pstates.max_ghz()},
+          hec::NodeConfig{amd_nodes, models.amd_spec.cores,
+                          models.amd_spec.pstates.max_ghz()}};
+      const hec::SplitAssignment split = sched.assign(units, cfg);
+      double t_pred = 0.0, e_pred = 0.0;
+      if (split.units_arm > 0.0) {
+        const hec::Prediction p =
+            models.arm.predict(split.units_arm, cfg.arm);
+        t_pred = std::max(t_pred, p.t_s);
+        e_pred += p.energy_j();
+      }
+      if (split.units_amd > 0.0) {
+        const hec::Prediction p =
+            models.amd.predict(split.units_amd, cfg.amd);
+        t_pred = std::max(t_pred, p.t_s);
+        e_pred += p.energy_j();
+      }
+      hec::ClusterRunOptions opts;
+      opts.seed = seed++;
+      const hec::ClusterRunResult meas =
+          simulate_cluster(models.arm_spec, models.amd_spec, w, cfg,
+                           split.units_arm, split.units_amd, opts);
+      const double t_err =
+          std::abs(t_pred - meas.t_s) / meas.t_s * 100.0;
+      const double e_err =
+          std::abs(e_pred - meas.energy_j) / meas.energy_j * 100.0;
+      worst = std::max({worst, t_err, e_err});
+      table.add_row({w.name, "8", std::to_string(amd_nodes),
+                     TablePrinter::num(t_err, 1),
+                     TablePrinter::num(e_err, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nWorst error: " << TablePrinter::num(worst, 1)
+            << "% (paper: <=13%) -> "
+            << (worst < 15.0 ? "REPRODUCED" : "NOT reproduced") << "\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared plumbing for the experiment binaries.
+//
+// Every table/figure bench follows the same pipeline: characterise both
+// node types for a workload (trace-driven model inputs), evaluate a
+// configuration space, derive Pareto structure and print/dump the series
+// the paper reports. This header centralises that pipeline so each bench
+// stays focused on its experiment.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/io/csv.h"
+#include "hec/io/table.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/sweet_region.h"
+#include "hec/workloads/workload.h"
+
+namespace hec::bench {
+
+/// Both node types' characterised models for one workload.
+struct WorkloadModels {
+  Workload workload;
+  NodeSpec arm_spec;
+  NodeSpec amd_spec;
+  NodeTypeModel arm;
+  NodeTypeModel amd;
+};
+
+/// Fixed-seed characterisation so every bench run prints the same tables.
+CharacterizeOptions bench_characterize_options();
+
+/// Builds characterised models for `workload` on the paper's node pair.
+WorkloadModels build_models(
+    const Workload& workload,
+    EnergyAccounting accounting = EnergyAccounting::kOverlapAware);
+
+/// Maps evaluated outcomes to frontier points (tag = outcome index).
+std::vector<TimeEnergyPoint> to_points(
+    const std::vector<ConfigOutcome>& outcomes);
+
+/// Evaluates the full configuration space with up to (max_arm, max_amd)
+/// nodes for `work_units` of the models' workload.
+std::vector<ConfigOutcome> evaluate_space(const WorkloadModels& models,
+                                          int max_arm, int max_amd,
+                                          double work_units);
+
+/// Minimum-energy curves restricted to one homogeneity class.
+enum class SideFilter { kAll, kHeterogeneous, kArmOnly, kAmdOnly };
+std::vector<TimeEnergyPoint> filtered_frontier(
+    const std::vector<ConfigOutcome>& outcomes, SideFilter filter);
+
+/// Short "ARM n(c@f) + AMD n(c@f)" description of a configuration.
+std::string describe(const ClusterConfig& config);
+
+/// Opens <name>.csv in the working directory and reports the path chosen.
+/// Returns the stream; prints "wrote <path>" on destruction.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& name);
+  ~CsvFile();
+  CsvFile(const CsvFile&) = delete;
+  CsvFile& operator=(const CsvFile&) = delete;
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  CsvWriter writer_;
+};
+
+/// Prints a section banner for a table/figure.
+void banner(const std::string& title, const std::string& paper_ref);
+
+/// Figs. 4-5 driver: evaluates the full 10+10 configuration space
+/// (36,380 points), prints the Pareto frontier with sweet/overlap region
+/// analysis and the homogeneous minimum-energy curves, and dumps CSV.
+void pareto_experiment(const Workload& workload, double work_units,
+                       const std::string& fig_name,
+                       const std::string& paper_ref);
+
+/// Figs. 6-7 driver: the 1 kW budget substitution series (ARM 0:AMD 16
+/// ... ARM 128:AMD 0). For each mix, evaluates all configurations using
+/// up to that many nodes (unused nodes off) and prints minimum energy at
+/// the paper's log-scale deadlines.
+void mixes_experiment(const Workload& workload, double work_units,
+                      const std::string& fig_name,
+                      const std::string& paper_ref);
+
+/// Figs. 8-9 driver: cluster-size scaling at a fixed 8:1 mix ratio
+/// ({8:1} ... {128:16}); shows the invariant energy bounds and the
+/// leftward shift of the sweet region.
+void scaling_experiment(const Workload& workload, double work_units,
+                        const std::string& fig_name,
+                        const std::string& paper_ref);
+
+}  // namespace hec::bench

@@ -1,0 +1,82 @@
+// Capacity planning under a datacenter power cap (the Section IV-C
+// scenario): given a 1 kW peak-power budget, how many high-performance
+// nodes should be replaced by low-power ones for a target workload and
+// deadline? Walks the 8:1 substitution series and reports, per mix, the
+// cheapest configuration that still meets the deadline.
+#include <cmath>
+#include <iostream>
+
+#include "hec/config/budget.h"
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/io/table.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/frontier.h"
+#include "hec/workloads/workload.h"
+
+int main() {
+  const hec::Workload workload = hec::workload_ep();
+  const double job_units = workload.analysis_units;  // 50 M randoms
+  const double budget_w = 1000.0;
+  const double deadline_ms = 120.0;
+
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+  const int ratio = hec::substitution_ratio(arm, amd);
+  std::cout << "Power budget " << budget_w << " W; substitution ratio "
+            << ratio << " ARM per AMD; workload " << workload.name
+            << "; deadline " << deadline_ms << " ms\n\n";
+
+  const hec::NodeTypeModel arm_model = build_node_model(arm, workload);
+  const hec::NodeTypeModel amd_model = build_node_model(amd, workload);
+  const hec::ConfigEvaluator evaluator(arm_model, amd_model);
+
+  hec::TablePrinter table({"Mix (ARM:AMD)", "Peak power [W]",
+                           "Fastest [ms]", "Energy@deadline [J]",
+                           "Best configuration"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kLeft});
+
+  double best_energy = 1e300;
+  std::string best_mix;
+  for (const hec::MixPlan& mix : hec::substitution_series(16, ratio)) {
+    if (!within_budget(arm, amd, mix, budget_w)) continue;
+    const auto configs = enumerate_configs(
+        arm, amd, hec::EnumerationLimits{mix.arm_nodes, mix.amd_nodes});
+    const auto outcomes = evaluator.evaluate_all(configs, job_units);
+    std::vector<hec::TimeEnergyPoint> points;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      points.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+    }
+    const hec::EnergyDeadlineCurve curve(pareto_frontier(points));
+    const auto best = curve.best_for_deadline(deadline_ms * 1e-3);
+    const std::string mix_name = "ARM " + std::to_string(mix.arm_nodes) +
+                                 ":AMD " + std::to_string(mix.amd_nodes);
+    std::string energy = "-", config = "(deadline unmeetable)";
+    if (best) {
+      energy = hec::TablePrinter::num(best->energy_j, 2);
+      const hec::ClusterConfig& c = outcomes[best->tag].config;
+      config = "ARM " + std::to_string(c.arm.nodes) + "n/" +
+               std::to_string(c.arm.cores) + "c@" +
+               hec::TablePrinter::num(c.arm.f_ghz, 1) + " + AMD " +
+               std::to_string(c.amd.nodes) + "n/" +
+               std::to_string(c.amd.cores) + "c@" +
+               hec::TablePrinter::num(c.amd.f_ghz, 1);
+      if (best->energy_j < best_energy) {
+        best_energy = best->energy_j;
+        best_mix = mix_name;
+      }
+    }
+    table.add_row({mix_name,
+                   hec::TablePrinter::num(
+                       mix_peak_power_w(arm, amd, mix), 0),
+                   hec::TablePrinter::num(curve.min_time_s() * 1e3, 1),
+                   energy, config});
+  }
+  table.print(std::cout);
+  std::cout << "\nRecommended mix: " << best_mix << " at "
+            << hec::TablePrinter::num(best_energy, 2) << " J per job\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Queueing-aware provisioning (the Section IV-E scenario): a service
+// receives memcached-like jobs with Poisson arrivals and must keep the
+// mean response time under an SLA. For each arrival rate, find the
+// configuration of a 16 ARM + 14 AMD pool that meets the SLA with the
+// least energy over an hour, accounting for dispatcher queueing delay
+// and the idle draw of powered-on nodes.
+#include <cmath>
+#include <iostream>
+
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/io/table.h"
+#include "hec/model/characterize.h"
+#include "hec/queueing/md1.h"
+#include "hec/queueing/window_analysis.h"
+#include "hec/workloads/workload.h"
+
+int main() {
+  const hec::Workload workload = hec::workload_memcached();
+  const double job_units = 50000.0;
+  const double sla_response_ms = 300.0;
+  const double window_s = 3600.0;  // one hour
+
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+  const hec::NodeTypeModel arm_model = build_node_model(arm, workload);
+  const hec::NodeTypeModel amd_model = build_node_model(amd, workload);
+  const hec::ConfigEvaluator evaluator(arm_model, amd_model);
+
+  const auto configs =
+      enumerate_configs(arm, amd, hec::EnumerationLimits{16, 14});
+  const auto outcomes = evaluator.evaluate_all(configs, job_units);
+
+  std::cout << "Pool: up to 16 ARM + 14 AMD (unused nodes off); SLA: mean "
+               "response <= "
+            << sla_response_ms << " ms; window: 1 h\n\n";
+
+  hec::TablePrinter table({"Arrival rate [jobs/s]", "Best config",
+                           "Utilisation", "Response [ms]",
+                           "Energy/hour [kJ]", "Jobs/hour"});
+  table.set_alignment({hec::Align::kRight, hec::Align::kLeft,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight});
+
+  for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    // Feasible configurations: stable queue and SLA met.
+    double best_energy = 1e300;
+    std::size_t best_idx = outcomes.size();
+    double best_resp = 0.0, best_util = 0.0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const double service = outcomes[i].t_s;
+      const double rho = lambda * service;
+      if (rho >= 0.95) continue;  // keep a stability margin
+      const hec::MD1Queue queue(lambda, service);
+      if (queue.mean_response_s() > sla_response_ms * 1e-3) continue;
+      const double jobs = lambda * window_s;
+      const double energy =
+          jobs * outcomes[i].energy_j +
+          (window_s - jobs * service) *
+              evaluator.powered_idle_w(outcomes[i].config);
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_idx = i;
+        best_resp = queue.mean_response_s();
+        best_util = rho;
+      }
+    }
+    if (best_idx == outcomes.size()) {
+      table.add_row({hec::TablePrinter::num(lambda, 1), "(infeasible)",
+                     "-", "-", "-", "-"});
+      continue;
+    }
+    const hec::ClusterConfig& c = outcomes[best_idx].config;
+    const std::string desc =
+        "ARM " + std::to_string(c.arm.nodes) + " + AMD " +
+        std::to_string(c.amd.nodes);
+    table.add_row({hec::TablePrinter::num(lambda, 1), desc,
+                   hec::TablePrinter::num(best_util * 100.0, 0) + "%",
+                   hec::TablePrinter::num(best_resp * 1e3, 1),
+                   hec::TablePrinter::num(best_energy / 1e3, 1),
+                   hec::TablePrinter::num(lambda * window_s, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nLow arrival rates provision ARM-only (cheap idle); "
+               "higher rates pull in AMD nodes to keep the queue and SLA "
+               "under control -- amplified savings, Observation 4.\n";
+  return 0;
+}

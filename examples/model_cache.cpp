@@ -1,0 +1,56 @@
+// Characterise once, reuse forever: a deployment tool should not redo
+// baseline measurements on every invocation. This example characterises
+// both node types for a workload, saves the trace-driven inputs to the
+// text format, reloads them, and shows the reloaded model reproduces the
+// original predictions bit for bit.
+#include <filesystem>
+#include <iostream>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/model/inputs_io.h"
+#include "hec/workloads/workload.h"
+
+int main() {
+  namespace fs = std::filesystem;
+  const hec::Workload workload = hec::workload_julius();
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+
+  const fs::path cache_dir = fs::temp_directory_path() / "hecsim_cache";
+  fs::create_directories(cache_dir);
+  const std::string wl_path =
+      (cache_dir / (workload.name + ".arm.workload")).string();
+  const std::string pw_path = (cache_dir / "cortex_a9.power").string();
+
+  // First run: measure and persist.
+  std::cout << "Characterising " << workload.name << " on " << arm.name
+            << " (expensive: baseline runs per cores x P-state)...\n";
+  const hec::WorkloadInputs measured =
+      characterize_workload(arm, workload.demand_arm);
+  const hec::PowerParams power = characterize_power(arm);
+  save_workload_inputs(measured, wl_path);
+  save_power_params(power, pw_path);
+  std::cout << "Saved " << wl_path << "\nSaved " << pw_path << "\n";
+
+  // Later runs: load instead of re-measuring.
+  const hec::WorkloadInputs loaded = hec::load_workload_inputs(wl_path);
+  const hec::PowerParams loaded_power = hec::load_power_params(pw_path);
+
+  const hec::NodeTypeModel fresh(arm, measured, power);
+  const hec::NodeTypeModel cached(arm, loaded, loaded_power);
+  const hec::NodeConfig cfg{4, 4, 1.4};
+  const double units = 1e6;
+  const hec::Prediction a = fresh.predict(units, cfg);
+  const hec::Prediction b = cached.predict(units, cfg);
+
+  std::cout << "\nPrediction for " << units << " samples on 4 nodes:\n"
+            << "  fresh model : " << a.t_s * 1e3 << " ms, " << a.energy_j()
+            << " J\n"
+            << "  cached model: " << b.t_s * 1e3 << " ms, " << b.energy_j()
+            << " J\n"
+            << (a.t_s == b.t_s && a.energy_j() == b.energy_j()
+                    ? "  -> identical: the text format is round-trip exact\n"
+                    : "  -> MISMATCH (report a bug!)\n");
+  fs::remove_all(cache_dir);
+  return a.t_s == b.t_s ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the full pipeline in ~60 lines.
+//
+// 1. Pick a workload and the two node types.
+// 2. Characterise both nodes (trace-driven model inputs from baseline
+//    runs on the simulator substrate).
+// 3. Ask the model for the most energy-efficient cluster configuration
+//    that services a job within a deadline, using the mix-and-match
+//    split so every node finishes at the same time.
+#include <iostream>
+
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/frontier.h"
+#include "hec/util/units.h"
+#include "hec/workloads/workload.h"
+
+int main() {
+  // A job of 50,000 memcached requests and a 100 ms service deadline.
+  const hec::Workload workload = hec::workload_memcached();
+  const double job_units = 50000.0;
+  const double deadline_s = hec::units::ms_to_s(100.0);
+
+  // Node types from the catalogue (Table 1 of the paper).
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+
+  // Trace-driven characterisation: baseline runs measure instructions per
+  // request, work/stall cycles, SPImem(f) and component powers.
+  std::cout << "Characterising " << workload.name << " on " << arm.name
+            << " and " << amd.name << "...\n";
+  const hec::NodeTypeModel arm_model = build_node_model(arm, workload);
+  const hec::NodeTypeModel amd_model = build_node_model(amd, workload);
+
+  // Evaluate every configuration of up to 10 nodes of each type.
+  const auto configs =
+      enumerate_configs(arm, amd, hec::EnumerationLimits{10, 10});
+  const hec::ConfigEvaluator evaluator(arm_model, amd_model);
+  const auto outcomes = evaluator.evaluate_all(configs, job_units);
+  std::cout << "Evaluated " << outcomes.size() << " configurations\n";
+
+  // Pareto frontier -> minimum energy for the deadline.
+  std::vector<hec::TimeEnergyPoint> points;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    points.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+  }
+  const hec::EnergyDeadlineCurve curve(pareto_frontier(points));
+  const auto best = curve.best_for_deadline(deadline_s);
+  if (!best) {
+    std::cout << "No configuration meets " << deadline_s * 1e3 << " ms\n";
+    return 1;
+  }
+  const hec::ConfigOutcome& choice = outcomes[best->tag];
+  std::cout << "\nBest configuration for a "
+            << deadline_s * 1e3 << " ms deadline:\n"
+            << "  ARM nodes: " << choice.config.arm.nodes << " ("
+            << choice.config.arm.cores << " cores @ "
+            << choice.config.arm.f_ghz << " GHz), share "
+            << choice.units_arm << " requests\n"
+            << "  AMD nodes: " << choice.config.amd.nodes << " ("
+            << choice.config.amd.cores << " cores @ "
+            << choice.config.amd.f_ghz << " GHz), share "
+            << choice.units_amd << " requests\n"
+            << "  service time: " << choice.t_s * 1e3 << " ms, energy: "
+            << choice.energy_j << " J\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Runs each of the six real workload kernels natively and prints their
+// outputs: the computational substance behind the service-demand
+// profiles (EP's Gaussian annuli, memcached GET/SET over the hash store,
+// x264-style motion search + DCT, Black-Scholes pricing, HMM Viterbi
+// decoding, RSA-2048 Montgomery verification).
+#include <iostream>
+
+#include "hec/io/table.h"
+#include "hec/workloads/blackscholes.h"
+#include "hec/workloads/encoder.h"
+#include "hec/workloads/ep_kernel.h"
+#include "hec/workloads/julius_decoder.h"
+#include "hec/workloads/kvstore.h"
+#include "hec/workloads/rsa.h"
+
+int main() {
+  std::cout << "== EP (NPB kernel): 100k Gaussian pairs ==\n";
+  const hec::EpResult ep = hec::ep_generate(100000);
+  std::cout << "accepted " << ep.pairs_accepted << " pairs; annuli:";
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::cout << " " << ep.annulus_counts[i];
+  }
+  std::cout << "\n\n== memcached (KV store): 50k mixed requests ==\n";
+  hec::KvStore store(1 << 14);
+  hec::RequestGenerator gen(4000, 16, 1024, 0.9, 7);
+  std::size_t bytes_served = 0;
+  for (int i = 0; i < 50000; ++i) bytes_served += store.serve(gen.next());
+  std::cout << "resident keys " << store.size() << ", payload served "
+            << bytes_served / 1024 << " KiB\n";
+
+  std::cout << "\n== x264 (encoder): one 704x576 frame ==\n";
+  hec::Frame ref(704, 576), cur(704, 576);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(5, 2);
+  const hec::EncodeStats enc = encode_frame(cur, ref);
+  std::cout << enc.blocks << " macroblocks, residual SAD " << enc.total_sad
+            << ", nonzero coefficients " << enc.nonzero_coeffs << "\n";
+
+  std::cout << "\n== blackscholes (PARSEC): 10k options ==\n";
+  const auto portfolio = hec::make_portfolio(10000, 42);
+  std::cout << "portfolio value " << price_portfolio(portfolio) << "\n";
+
+  std::cout << "\n== Julius (HMM Viterbi): 1000-frame utterance ==\n";
+  const hec::Hmm hmm = hec::make_test_hmm(12, 13, 3);
+  const auto frames = make_test_frames(hmm, 1000, 4);
+  const hec::DecodeResult dec = viterbi_decode(hmm, frames);
+  std::cout << "log-likelihood " << dec.log_likelihood
+            << ", final state " << dec.state_path.back() << "\n";
+
+  std::cout << "\n== RSA-2048 (openssl speed): 5 verifications ==\n";
+  const hec::MontgomeryCtx ctx(hec::rsa_test_modulus(9));
+  hec::Rng rng(10);
+  for (int i = 0; i < 5; ++i) {
+    const hec::BigUInt sig = rsa_random_below(ctx.modulus(), rng);
+    const hec::BigUInt msg = ctx.pow65537(sig);
+    std::cout << "verify[" << i << "] -> m mod 2^64 = " << msg.limb[0]
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (plus the ablations and
+# extensions) into results/: console output per experiment, CSV series,
+# gnuplot scripts, and — when gnuplot is installed — rendered PNGs.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+BENCH_DIR="$(cd "$BUILD_DIR/bench" && pwd)"
+
+cd "$RESULTS_DIR"
+for bench in "$BENCH_DIR"/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  "$bench" > "$name.txt" 2>&1 || {
+    echo "   FAILED (see $RESULTS_DIR/$name.txt)" >&2
+    exit 1
+  }
+done
+
+if command -v gnuplot > /dev/null 2>&1; then
+  for script in *.gp; do
+    [[ -e "$script" ]] || break
+    echo "== gnuplot $script"
+    gnuplot "$script"
+  done
+else
+  echo "gnuplot not installed: CSV + .gp scripts written, PNGs skipped"
+fi
+
+echo
+echo "All experiments regenerated under $RESULTS_DIR/"

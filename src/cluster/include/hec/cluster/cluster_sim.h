@@ -1,0 +1,48 @@
+// Whole-cluster measurement runs.
+//
+// Stands in for the paper's cluster testbed (Table 4 validates eight ARM
+// nodes plus zero or one AMD node). A job's per-type work share is divided
+// equally among that type's nodes; every node executes its slice on the
+// node simulator. The cluster-level job completes when the last node
+// finishes; nodes that finish earlier stay powered on and accumulate idle
+// energy until then — exactly the wastage the mix-and-match split is
+// designed to eliminate.
+#pragma once
+
+#include <cstdint>
+
+#include "hec/config/cluster_config.h"
+#include "hec/sim/node_sim.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+
+/// Observables of a cluster run.
+struct ClusterRunResult {
+  double t_s = 0.0;          ///< job service time (max over nodes)
+  double energy_j = 0.0;     ///< total, including early finishers' idle tail
+  double energy_arm_j = 0.0;
+  double energy_amd_j = 0.0;
+  double t_arm_s = 0.0;      ///< slowest ARM node's completion
+  double t_amd_s = 0.0;      ///< slowest AMD node's completion
+  double idle_tail_j = 0.0;  ///< energy wasted idling after own completion
+};
+
+/// Noise/seed knobs shared by all nodes of the run.
+struct ClusterRunOptions {
+  std::uint64_t seed = 7;
+  double noise_sigma = 0.03;
+  double run_bias_sigma = 0.02;
+  int chunks_per_core = 64;
+};
+
+/// Executes a job on `config`, giving the ARM side `units_arm` work units
+/// and the AMD side `units_amd` (either may be zero; a side with zero
+/// nodes must have zero units).
+ClusterRunResult simulate_cluster(const NodeSpec& arm, const NodeSpec& amd,
+                                  const Workload& workload,
+                                  const ClusterConfig& config,
+                                  double units_arm, double units_amd,
+                                  const ClusterRunOptions& opts = {});
+
+}  // namespace hec

@@ -1,0 +1,50 @@
+// Two-job co-scheduling on disjoint node subsets.
+//
+// Section IV-D observes that serving n jobs from one shared cluster beats
+// splitting it into n fixed slices. This module answers the operational
+// follow-up: given TWO concurrent jobs with their own workloads and
+// deadlines, how should the physical pool be partitioned between them so
+// the total energy is minimal while both deadlines hold? Each candidate
+// partition hands every job a private sub-pool; the exact
+// branch-and-bound searcher then finds the job's optimal configuration
+// within its sub-pool (unused nodes stay off).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hec/config/evaluate.h"
+#include "hec/search/optimizer.h"
+
+namespace hec {
+
+/// One job to be placed: per-type models, size and deadline.
+struct CoscheduleJob {
+  const NodeTypeModel* arm_model = nullptr;
+  const NodeTypeModel* amd_model = nullptr;
+  double work_units = 0.0;
+  double deadline_s = 0.0;
+  std::string name;
+};
+
+/// A feasible partition of the pool between the two jobs.
+struct CoschedulePlan {
+  int arm_a = 0, amd_a = 0;  ///< sub-pool bounds handed to job A
+  int arm_b = 0, amd_b = 0;  ///< remainder handed to job B
+  ConfigOutcome outcome_a;   ///< job A's optimal configuration
+  ConfigOutcome outcome_b;
+  double total_energy_j = 0.0;
+  std::size_t evaluations = 0;  ///< model evaluations spent searching
+};
+
+/// Finds the minimum-total-energy partition of (total_arm, total_amd)
+/// nodes between jobs A and B. Returns nullopt when no partition lets
+/// both jobs meet their deadlines. Preconditions: valid jobs (models
+/// non-null, positive units/deadlines), non-negative totals.
+std::optional<CoschedulePlan> coschedule_two(const CoscheduleJob& job_a,
+                                             const CoscheduleJob& job_b,
+                                             const NodeSpec& arm,
+                                             const NodeSpec& amd,
+                                             int total_arm, int total_amd);
+
+}  // namespace hec

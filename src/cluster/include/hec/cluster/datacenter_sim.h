@@ -1,0 +1,47 @@
+// Event-driven datacenter window simulation (Fig. 10's setup, measured
+// rather than computed).
+//
+// Jobs arrive Poisson at a dispatcher and are serviced FIFO by one
+// configured cluster whose per-job service time and energy come from an
+// evaluated configuration (the matching policy makes service
+// deterministic up to run noise). Powered nodes draw idle power between
+// jobs; the observation window closes mid-job if needed, charging the
+// in-flight job's energy pro rata. The analytic window model
+// (hec/queueing/window_analysis.h) must agree with this simulation —
+// checked by test_datacenter_sim and bench_ext_datacenter_sim.
+#pragma once
+
+#include <cstdint>
+
+#include "hec/config/evaluate.h"
+
+namespace hec {
+
+/// Window-simulation knobs.
+struct DatacenterSimConfig {
+  double window_s = 20.0;            ///< observation period
+  double arrival_rate_per_s = 1.0;   ///< Poisson job arrivals
+  double service_noise_sigma = 0.0;  ///< per-job lognormal noise
+  std::uint64_t seed = 1;
+};
+
+/// Measured behaviour over one window.
+struct DatacenterSimResult {
+  double energy_j = 0.0;        ///< total (service + idle gaps)
+  double mean_wait_s = 0.0;     ///< dispatcher queueing delay
+  double mean_response_s = 0.0; ///< wait + service, completed jobs only
+  double utilization = 0.0;     ///< cluster busy fraction of the window
+  std::uint64_t jobs_arrived = 0;
+  std::uint64_t jobs_completed = 0;
+};
+
+/// Simulates `sim.window_s` seconds of the configured cluster servicing
+/// a Poisson job stream. `outcome` supplies the per-job service time and
+/// energy; `powered_idle_w` the idle draw of the nodes the configuration
+/// keeps on (see ConfigEvaluator::powered_idle_w).
+/// Preconditions: outcome.t_s > 0, rates positive, offered load < 1.
+DatacenterSimResult simulate_datacenter(const ConfigOutcome& outcome,
+                                        double powered_idle_w,
+                                        const DatacenterSimConfig& sim);
+
+}  // namespace hec

@@ -1,0 +1,79 @@
+// Workload-splitting policies.
+//
+// MatchingScheduler is the paper's mix-and-match: model-predicted
+// rate-proportional shares so all nodes finish together. EqualSplit and
+// CoreProportional are the naive static policies it improves upon, and
+// threshold_switch_choice reproduces the related-work baseline the paper
+// argues against (Section I, citing KnightShift [42]): run entirely on
+// low-power nodes while they can meet the deadline, otherwise switch
+// entirely to high-performance nodes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "hec/config/cluster_config.h"
+#include "hec/config/evaluate.h"
+
+namespace hec {
+
+/// How a job's work units are divided between the two node types.
+struct SplitAssignment {
+  double units_arm = 0.0;
+  double units_amd = 0.0;
+};
+
+/// A static workload-splitting policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Divides `work_units` for the given configuration. The returned shares
+  /// sum to work_units; a side with zero nodes receives zero.
+  virtual SplitAssignment assign(double work_units,
+                                 const ClusterConfig& config) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mix-and-match: shares proportional to model-predicted execution rates,
+/// so both types finish simultaneously (Eq. 1).
+class MatchingScheduler : public Scheduler {
+ public:
+  /// Models must outlive the scheduler.
+  MatchingScheduler(const NodeTypeModel& arm_model,
+                    const NodeTypeModel& amd_model);
+  SplitAssignment assign(double work_units,
+                         const ClusterConfig& config) const override;
+  std::string name() const override { return "mix-and-match"; }
+
+ private:
+  const NodeTypeModel* arm_;
+  const NodeTypeModel* amd_;
+};
+
+/// Ablation: every node receives the same share regardless of type.
+class EqualSplitScheduler : public Scheduler {
+ public:
+  SplitAssignment assign(double work_units,
+                         const ClusterConfig& config) const override;
+  std::string name() const override { return "equal-split"; }
+};
+
+/// Ablation: shares proportional to aggregate core-GHz per type — a
+/// hardware-spec heuristic that ignores ISA and memory/I/O differences.
+class CoreProportionalScheduler : public Scheduler {
+ public:
+  SplitAssignment assign(double work_units,
+                         const ClusterConfig& config) const override;
+  std::string name() const override { return "core-proportional"; }
+};
+
+/// Related-work baseline: picks the minimum-energy *homogeneous* outcome
+/// that meets the deadline, preferring the low-power side; returns nullopt
+/// when neither side can meet it. `outcomes` may contain any mix of
+/// configurations; only homogeneous ones are considered.
+std::optional<ConfigOutcome> threshold_switch_choice(
+    std::span<const ConfigOutcome> outcomes, double deadline_s);
+
+}  // namespace hec

@@ -1,0 +1,79 @@
+#include "hec/cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+struct TypeRun {
+  double slowest_s = 0.0;
+  double energy_j = 0.0;
+  std::vector<double> node_walls;
+};
+
+TypeRun run_type(const NodeSpec& spec, const PhaseDemand& demand,
+                 const NodeConfig& cfg, double units,
+                 const ClusterRunOptions& opts, std::uint64_t salt) {
+  TypeRun out;
+  if (cfg.nodes == 0 || units <= 0.0) return out;
+  const double per_node = units / cfg.nodes;
+  out.node_walls.reserve(static_cast<std::size_t>(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i) {
+    RunConfig rc;
+    rc.cores_used = cfg.cores;
+    rc.f_ghz = cfg.f_ghz;
+    rc.work_units = per_node;
+    rc.seed = opts.seed ^ ((salt + static_cast<std::uint64_t>(i) + 1) *
+                           0x9e3779b97f4a7c15ULL);
+    rc.noise_sigma = opts.noise_sigma;
+    rc.run_bias_sigma = opts.run_bias_sigma;
+    rc.chunks_per_core = opts.chunks_per_core;
+    const RunResult r = simulate_node(spec, demand, rc);
+    out.node_walls.push_back(r.wall_s);
+    out.energy_j += r.energy.total_j();
+    out.slowest_s = std::max(out.slowest_s, r.wall_s);
+  }
+  return out;
+}
+}  // namespace
+
+ClusterRunResult simulate_cluster(const NodeSpec& arm, const NodeSpec& amd,
+                                  const Workload& workload,
+                                  const ClusterConfig& config,
+                                  double units_arm, double units_amd,
+                                  const ClusterRunOptions& opts) {
+  HEC_EXPECTS(units_arm >= 0.0 && units_amd >= 0.0);
+  HEC_EXPECTS(units_arm + units_amd > 0.0);
+  HEC_EXPECTS(config.uses_arm() || units_arm == 0.0);
+  HEC_EXPECTS(config.uses_amd() || units_amd == 0.0);
+
+  const TypeRun arm_run = run_type(arm, workload.demand_for(arm.isa),
+                                   config.arm, units_arm, opts, 0);
+  const TypeRun amd_run = run_type(amd, workload.demand_for(amd.isa),
+                                   config.amd, units_amd, opts, 1000);
+
+  ClusterRunResult result;
+  result.t_arm_s = arm_run.slowest_s;
+  result.t_amd_s = amd_run.slowest_s;
+  result.t_s = std::max(arm_run.slowest_s, amd_run.slowest_s);
+
+  // Nodes stay powered until the job completes: early finishers idle.
+  double arm_tail = 0.0;
+  for (double wall : arm_run.node_walls) {
+    arm_tail += (result.t_s - wall) * arm.idle_node_w();
+  }
+  double amd_tail = 0.0;
+  for (double wall : amd_run.node_walls) {
+    amd_tail += (result.t_s - wall) * amd.idle_node_w();
+  }
+  result.energy_arm_j = arm_run.energy_j + arm_tail;
+  result.energy_amd_j = amd_run.energy_j + amd_tail;
+  result.energy_j = result.energy_arm_j + result.energy_amd_j;
+  result.idle_tail_j = arm_tail + amd_tail;
+  return result;
+}
+
+}  // namespace hec

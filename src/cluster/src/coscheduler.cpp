@@ -1,0 +1,68 @@
+#include "hec/cluster/coscheduler.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+void validate_job(const CoscheduleJob& job) {
+  HEC_EXPECTS(job.arm_model != nullptr && job.amd_model != nullptr);
+  HEC_EXPECTS(job.work_units > 0.0);
+  HEC_EXPECTS(job.deadline_s > 0.0);
+}
+
+/// Best configuration for one job within a sub-pool, or nullopt.
+std::optional<SearchResult> place(const CoscheduleJob& job,
+                                  const NodeSpec& arm, const NodeSpec& amd,
+                                  int max_arm, int max_amd) {
+  if (max_arm == 0 && max_amd == 0) return std::nullopt;
+  const ConfigEvaluator evaluator(*job.arm_model, *job.amd_model);
+  return branch_and_bound_search(evaluator, arm, amd,
+                                 EnumerationLimits{max_arm, max_amd},
+                                 job.work_units, job.deadline_s);
+}
+}  // namespace
+
+std::optional<CoschedulePlan> coschedule_two(const CoscheduleJob& job_a,
+                                             const CoscheduleJob& job_b,
+                                             const NodeSpec& arm,
+                                             const NodeSpec& amd,
+                                             int total_arm, int total_amd) {
+  validate_job(job_a);
+  validate_job(job_b);
+  HEC_EXPECTS(total_arm >= 0 && total_amd >= 0);
+  HEC_EXPECTS(total_arm + total_amd >= 2);  // both jobs need nodes
+
+  // Memoised placements for job B: its sub-pool is determined by A's.
+  std::optional<CoschedulePlan> best;
+  std::size_t evaluations = 0;
+  for (int arm_a = 0; arm_a <= total_arm; ++arm_a) {
+    for (int amd_a = 0; amd_a <= total_amd; ++amd_a) {
+      const int arm_b = total_arm - arm_a;
+      const int amd_b = total_amd - amd_a;
+      const auto placed_a = place(job_a, arm, amd, arm_a, amd_a);
+      if (placed_a) evaluations += placed_a->evaluations;
+      if (!placed_a) continue;
+      const auto placed_b = place(job_b, arm, amd, arm_b, amd_b);
+      if (placed_b) evaluations += placed_b->evaluations;
+      if (!placed_b) continue;
+      const double total =
+          placed_a->best.energy_j + placed_b->best.energy_j;
+      if (!best || total < best->total_energy_j) {
+        CoschedulePlan plan;
+        plan.arm_a = arm_a;
+        plan.amd_a = amd_a;
+        plan.arm_b = arm_b;
+        plan.amd_b = amd_b;
+        plan.outcome_a = placed_a->best;
+        plan.outcome_b = placed_b->best;
+        plan.total_energy_j = total;
+        best = plan;
+      }
+    }
+  }
+  if (best) best->evaluations = evaluations;
+  return best;
+}
+
+}  // namespace hec

@@ -1,0 +1,78 @@
+#include "hec/cluster/schedulers.h"
+
+#include <limits>
+
+#include "hec/model/matching.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+SplitAssignment all_to_one_side(double work_units,
+                                const ClusterConfig& config) {
+  SplitAssignment split;
+  if (config.uses_arm()) {
+    split.units_arm = work_units;
+  } else {
+    split.units_amd = work_units;
+  }
+  return split;
+}
+}  // namespace
+
+MatchingScheduler::MatchingScheduler(const NodeTypeModel& arm_model,
+                                     const NodeTypeModel& amd_model)
+    : arm_(&arm_model), amd_(&amd_model) {}
+
+SplitAssignment MatchingScheduler::assign(double work_units,
+                                          const ClusterConfig& config) const {
+  HEC_EXPECTS(work_units > 0.0);
+  if (!config.heterogeneous()) return all_to_one_side(work_units, config);
+  const MatchedSplit matched =
+      match_split(*arm_, config.arm, *amd_, config.amd, work_units);
+  return SplitAssignment{matched.units_a, matched.units_b};
+}
+
+SplitAssignment EqualSplitScheduler::assign(double work_units,
+                                            const ClusterConfig& config) const {
+  HEC_EXPECTS(work_units > 0.0);
+  if (!config.heterogeneous()) return all_to_one_side(work_units, config);
+  const double total_nodes =
+      static_cast<double>(config.arm.nodes + config.amd.nodes);
+  SplitAssignment split;
+  split.units_arm = work_units * config.arm.nodes / total_nodes;
+  split.units_amd = work_units - split.units_arm;
+  return split;
+}
+
+SplitAssignment CoreProportionalScheduler::assign(
+    double work_units, const ClusterConfig& config) const {
+  HEC_EXPECTS(work_units > 0.0);
+  if (!config.heterogeneous()) return all_to_one_side(work_units, config);
+  const double arm_ghz =
+      config.arm.nodes * config.arm.cores * config.arm.f_ghz;
+  const double amd_ghz =
+      config.amd.nodes * config.amd.cores * config.amd.f_ghz;
+  SplitAssignment split;
+  split.units_arm = work_units * arm_ghz / (arm_ghz + amd_ghz);
+  split.units_amd = work_units - split.units_arm;
+  return split;
+}
+
+std::optional<ConfigOutcome> threshold_switch_choice(
+    std::span<const ConfigOutcome> outcomes, double deadline_s) {
+  HEC_EXPECTS(deadline_s > 0.0);
+  std::optional<ConfigOutcome> best_low, best_high;
+  for (const auto& outcome : outcomes) {
+    if (outcome.config.heterogeneous() || outcome.t_s > deadline_s) {
+      continue;
+    }
+    auto& slot = outcome.config.uses_arm() ? best_low : best_high;
+    if (!slot || outcome.energy_j < slot->energy_j) slot = outcome;
+  }
+  // Low-power nodes while they suffice; otherwise switch entirely.
+  if (best_low) return best_low;
+  return best_high;
+}
+
+}  // namespace hec

@@ -1,0 +1,56 @@
+// Power-budgeted heterogeneous mixes (Section IV-C).
+//
+// Datacenters cap peak power; the paper studies replacing high-performance
+// AMD nodes (60 W peak) with low-power ARM nodes (5 W peak plus a shared
+// 20 W rack switch), which nets out to an 8:1 ARM-per-AMD substitution
+// ratio (footnote 5). substitution_series generates the exact mix series
+// of Figs. 6-7 (ARM 0:AMD 16 ... ARM 128:AMD 0) and mix_peak_power_w
+// verifies each mix against the budget.
+#pragma once
+
+#include <vector>
+
+#include "hec/config/cluster_config.h"
+#include "hec/hw/catalog.h"
+#include "hec/hw/node_spec.h"
+
+namespace hec {
+
+/// A node-count mix (operating points still sweep separately).
+struct MixPlan {
+  int arm_nodes = 0;
+  int amd_nodes = 0;
+};
+
+/// The power-substitution mix series: for each AMD count from amd_max down
+/// to 0, adds ratio ARM nodes per removed AMD node. With amd_max = 16 and
+/// ratio = 8 this is the paper's series {0:16, 8:15, ..., 128:0}.
+std::vector<MixPlan> substitution_series(int amd_max, int ratio);
+
+/// Peak power draw of a mix: peak node powers plus switches for the
+/// low-power side (the paper charges switch power to the ARM deployment).
+double mix_peak_power_w(const NodeSpec& arm, const NodeSpec& amd,
+                        const MixPlan& mix,
+                        const SwitchSpec& sw = rack_switch());
+
+/// True when the mix's peak power fits within `budget_w`.
+bool within_budget(const NodeSpec& arm, const NodeSpec& amd,
+                   const MixPlan& mix, double budget_w,
+                   const SwitchSpec& sw = rack_switch());
+
+/// The derived ARM:AMD substitution ratio for a node pair: how many ARM
+/// nodes (with their amortised switch share) fit in one AMD node's peak
+/// power. Rounds down; the paper's pair yields 8.
+int substitution_ratio(const NodeSpec& arm, const NodeSpec& amd,
+                       const SwitchSpec& sw = rack_switch());
+
+/// Worst-case draw of a configuration while executing at its operating
+/// point: per node, the idle floor plus the configured cores' active
+/// increment at the configured frequency plus both device increments;
+/// the low-power side is charged its switches. Always at most
+/// mix_peak_power_w of the same node counts.
+double config_peak_power_w(const NodeSpec& arm, const NodeSpec& amd,
+                           const ClusterConfig& config,
+                           const SwitchSpec& sw = rack_switch());
+
+}  // namespace hec

@@ -1,0 +1,25 @@
+// One point of the heterogeneous configuration space.
+//
+// A configuration fixes, for each node type, how many nodes participate
+// and at which (cores, frequency) operating point they run — the paper's
+// Section IV-B space. A type with zero nodes is absent (homogeneous
+// configurations set one side to zero).
+#pragma once
+
+#include "hec/model/node_model.h"
+
+namespace hec {
+
+/// A full cluster configuration: low-power (ARM) plus high-performance
+/// (AMD) deployments. `nodes == 0` on a side means that type is unused;
+/// its cores/f fields are then ignored.
+struct ClusterConfig {
+  NodeConfig arm;
+  NodeConfig amd;
+
+  bool uses_arm() const { return arm.nodes > 0; }
+  bool uses_amd() const { return amd.nodes > 0; }
+  bool heterogeneous() const { return uses_arm() && uses_amd(); }
+};
+
+}  // namespace hec

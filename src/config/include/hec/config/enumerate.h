@@ -1,0 +1,46 @@
+// Configuration-space enumeration.
+//
+// Enumerates every cluster configuration reachable with up to max_arm
+// low-power and max_amd high-performance nodes, each type sweeping its
+// node count, active core count and P-state. For 10 ARM (4 cores, 5
+// P-states) plus 10 AMD (6 cores, 3 P-states) this yields exactly the
+// 36,380 configurations of the paper's footnote 2:
+// 36,000 heterogeneous + 200 ARM-only + 180 AMD-only.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hec/config/cluster_config.h"
+#include "hec/hw/node_spec.h"
+
+namespace hec {
+
+/// Bounds of the enumeration. A zero limit on one side removes that type
+/// entirely, leaving the other side's homogeneous sweep (used by the
+/// budget studies' ARM-only / AMD-only poles); at least one limit must be
+/// positive.
+struct EnumerationLimits {
+  int max_arm_nodes = 10;
+  int max_amd_nodes = 10;
+};
+
+/// All configurations: heterogeneous mixes (>=1 node of each) plus the
+/// homogeneous ARM-only and AMD-only sweeps.
+std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
+                                             const NodeSpec& amd,
+                                             const EnumerationLimits& limits);
+
+/// Closed-form size of enumerate_configs' result (footnote 2's formula).
+std::size_t expected_config_count(const NodeSpec& arm, const NodeSpec& amd,
+                                  const EnumerationLimits& limits);
+
+/// Only configurations with fixed node counts (used by the budget studies,
+/// where the mix is fixed and cores/P-states still sweep). Zero on one
+/// side produces a homogeneous sweep of the other side.
+std::vector<ClusterConfig> enumerate_operating_points(const NodeSpec& arm,
+                                                      int arm_nodes,
+                                                      const NodeSpec& amd,
+                                                      int amd_nodes);
+
+}  // namespace hec

@@ -1,0 +1,51 @@
+// Configuration evaluation: model-predicted (time, energy) per point.
+//
+// Step one of the paper's methodology (Fig. 1): for every configuration,
+// predict execution time and energy, computing the matched workload split
+// for heterogeneous points. Evaluation over tens of thousands of points is
+// embarrassingly parallel and runs on the library thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hec/config/cluster_config.h"
+#include "hec/model/matching.h"
+
+namespace hec {
+
+/// Evaluated configuration: the model's predictions for one point.
+struct ConfigOutcome {
+  ClusterConfig config;
+  double t_s = 0.0;        ///< job service time
+  double energy_j = 0.0;   ///< total energy over the job
+  double units_arm = 0.0;  ///< matched workload share, low-power side
+  double units_amd = 0.0;  ///< matched workload share, high-performance side
+};
+
+/// Evaluates configurations against a fixed pair of per-type models.
+class ConfigEvaluator {
+ public:
+  /// Both models must outlive the evaluator.
+  ConfigEvaluator(const NodeTypeModel& arm_model,
+                  const NodeTypeModel& amd_model);
+
+  /// Predicts one configuration servicing `work_units`.
+  ConfigOutcome evaluate(const ClusterConfig& config,
+                         double work_units) const;
+
+  /// Predicts every configuration (parallel when `parallel`).
+  std::vector<ConfigOutcome> evaluate_all(
+      std::span<const ClusterConfig> configs, double work_units,
+      bool parallel = true) const;
+
+  /// Combined idle power of the nodes a configuration keeps powered on
+  /// (used by the queueing analysis; unused nodes are off).
+  double powered_idle_w(const ClusterConfig& config) const;
+
+ private:
+  const NodeTypeModel* arm_;
+  const NodeTypeModel* amd_;
+};
+
+}  // namespace hec

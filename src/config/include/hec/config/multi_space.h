@@ -1,0 +1,62 @@
+// N-type configuration space (extension of the 2-type Section IV space).
+//
+// A multi-type configuration assigns each node type a deployment
+// (possibly absent). Enumeration is the cartesian product of the
+// per-type sweeps plus the "absent" option, excluding the all-absent
+// point; evaluation applies the generalised matching split.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hec/hw/node_spec.h"
+#include "hec/model/multi_matching.h"
+
+namespace hec {
+
+/// One point of the N-type space: config[i].nodes == 0 means type i is
+/// unused.
+struct MultiClusterConfig {
+  std::vector<NodeConfig> per_type;
+
+  int types_used() const;
+  bool heterogeneous() const { return types_used() >= 2; }
+};
+
+/// Enumerates all multi-type configurations with per-type node-count
+/// limits (limits[i] >= 0, at least one positive). Throws
+/// std::length_error if the space would exceed `max_points` — the caller
+/// must narrow the limits rather than silently truncate.
+std::vector<MultiClusterConfig> enumerate_multi(
+    std::span<const NodeSpec> specs, std::span<const int> limits,
+    std::size_t max_points = 5'000'000);
+
+/// Closed-form size of enumerate_multi's result.
+std::size_t expected_multi_count(std::span<const NodeSpec> specs,
+                                 std::span<const int> limits);
+
+/// Evaluated multi-type configuration.
+struct MultiOutcome {
+  MultiClusterConfig config;
+  double t_s = 0.0;
+  double energy_j = 0.0;
+  std::vector<double> shares;  ///< matched work units per used type
+};
+
+/// Evaluates multi-type configurations against per-type models
+/// (models.size() == type count; models must outlive the evaluator).
+class MultiEvaluator {
+ public:
+  explicit MultiEvaluator(std::vector<const NodeTypeModel*> models);
+
+  MultiOutcome evaluate(const MultiClusterConfig& config,
+                        double work_units) const;
+  std::vector<MultiOutcome> evaluate_all(
+      std::span<const MultiClusterConfig> configs, double work_units,
+      bool parallel = true) const;
+
+ private:
+  std::vector<const NodeTypeModel*> models_;
+};
+
+}  // namespace hec

@@ -1,0 +1,78 @@
+#include "hec/config/budget.h"
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<MixPlan> substitution_series(int amd_max, int ratio) {
+  HEC_EXPECTS(amd_max >= 1);
+  HEC_EXPECTS(ratio >= 1);
+  std::vector<MixPlan> mixes;
+  mixes.reserve(static_cast<std::size_t>(amd_max) + 1);
+  for (int amd = amd_max; amd >= 0; --amd) {
+    mixes.push_back(MixPlan{ratio * (amd_max - amd), amd});
+  }
+  return mixes;
+}
+
+double mix_peak_power_w(const NodeSpec& arm, const NodeSpec& amd,
+                        const MixPlan& mix, const SwitchSpec& sw) {
+  HEC_EXPECTS(mix.arm_nodes >= 0 && mix.amd_nodes >= 0);
+  const double arm_w =
+      static_cast<double>(mix.arm_nodes) * arm.peak_node_w() +
+      static_cast<double>(switches_needed(mix.arm_nodes, sw)) * sw.power_w;
+  const double amd_w =
+      static_cast<double>(mix.amd_nodes) * amd.peak_node_w();
+  return arm_w + amd_w;
+}
+
+bool within_budget(const NodeSpec& arm, const NodeSpec& amd,
+                   const MixPlan& mix, double budget_w,
+                   const SwitchSpec& sw) {
+  return mix_peak_power_w(arm, amd, mix, sw) <= budget_w;
+}
+
+namespace {
+/// One node's worst-case draw at an operating point (see header).
+double node_power_at(const NodeSpec& spec, const NodeConfig& cfg) {
+  const double core_inc = static_cast<double>(cfg.cores) *
+                          (spec.core_active.at(cfg.f_ghz) -
+                           spec.core_idle_w);
+  const double device_inc =
+      (spec.memory_power.active_w - spec.memory_power.idle_w) +
+      (spec.io_power.active_w - spec.io_power.idle_w);
+  return spec.idle_node_w() + core_inc + device_inc;
+}
+}  // namespace
+
+double config_peak_power_w(const NodeSpec& arm, const NodeSpec& amd,
+                           const ClusterConfig& config,
+                           const SwitchSpec& sw) {
+  double watts = 0.0;
+  if (config.uses_arm()) {
+    watts += static_cast<double>(config.arm.nodes) *
+                 node_power_at(arm, config.arm) +
+             static_cast<double>(switches_needed(config.arm.nodes, sw)) *
+                 sw.power_w;
+  }
+  if (config.uses_amd()) {
+    watts += static_cast<double>(config.amd.nodes) *
+             node_power_at(amd, config.amd);
+  }
+  return watts;
+}
+
+int substitution_ratio(const NodeSpec& arm, const NodeSpec& amd,
+                       const SwitchSpec& sw) {
+  HEC_EXPECTS(arm.peak_node_w() > 0.0);
+  // The paper's footnote 5: each replacement group of ARM nodes must fit,
+  // together with a full switch, inside the peak power of the AMD node it
+  // replaces — (60 W - 20 W) / 5 W = 8 for the Cortex-A9/Opteron pair.
+  const double headroom_w = amd.peak_node_w() - sw.power_w;
+  if (headroom_w <= 0.0) return 0;
+  return static_cast<int>(std::floor(headroom_w / arm.peak_node_w()));
+}
+
+}  // namespace hec

@@ -1,0 +1,93 @@
+#include "hec/config/enumerate.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+/// Every (nodes, cores, f) deployment of one type with n in [lo, hi].
+std::vector<NodeConfig> type_sweep(const NodeSpec& spec, int lo, int hi) {
+  std::vector<NodeConfig> out;
+  for (int n = lo; n <= hi; ++n) {
+    for (int c = 1; c <= spec.cores; ++c) {
+      for (double f : spec.pstates.frequencies_ghz()) {
+        out.push_back(NodeConfig{n, c, f});
+      }
+    }
+  }
+  return out;
+}
+
+NodeConfig unused_type(const NodeSpec& spec) {
+  return NodeConfig{0, 1, spec.pstates.min_ghz()};
+}
+}  // namespace
+
+std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
+                                             const NodeSpec& amd,
+                                             const EnumerationLimits& limits) {
+  HEC_EXPECTS(limits.max_arm_nodes >= 0);
+  HEC_EXPECTS(limits.max_amd_nodes >= 0);
+  HEC_EXPECTS(limits.max_arm_nodes + limits.max_amd_nodes >= 1);
+  std::vector<ClusterConfig> out;
+  out.reserve(expected_config_count(arm, amd, limits));
+
+  const auto arm_sweep = type_sweep(arm, 1, limits.max_arm_nodes);
+  const auto amd_sweep = type_sweep(amd, 1, limits.max_amd_nodes);
+
+  // Heterogeneous mixes: at least one node of each type.
+  for (const auto& a : arm_sweep) {
+    for (const auto& d : amd_sweep) {
+      out.push_back(ClusterConfig{a, d});
+    }
+  }
+  // Homogeneous sweeps.
+  for (const auto& a : arm_sweep) {
+    out.push_back(ClusterConfig{a, unused_type(amd)});
+  }
+  for (const auto& d : amd_sweep) {
+    out.push_back(ClusterConfig{unused_type(arm), d});
+  }
+  HEC_ENSURES(out.size() == expected_config_count(arm, amd, limits));
+  return out;
+}
+
+std::size_t expected_config_count(const NodeSpec& arm, const NodeSpec& amd,
+                                  const EnumerationLimits& limits) {
+  const auto arm_points = static_cast<std::size_t>(limits.max_arm_nodes) *
+                          static_cast<std::size_t>(arm.cores) *
+                          arm.pstates.size();
+  const auto amd_points = static_cast<std::size_t>(limits.max_amd_nodes) *
+                          static_cast<std::size_t>(amd.cores) *
+                          amd.pstates.size();
+  return arm_points * amd_points + arm_points + amd_points;
+}
+
+std::vector<ClusterConfig> enumerate_operating_points(const NodeSpec& arm,
+                                                      int arm_nodes,
+                                                      const NodeSpec& amd,
+                                                      int amd_nodes) {
+  HEC_EXPECTS(arm_nodes >= 0 && amd_nodes >= 0);
+  HEC_EXPECTS(arm_nodes > 0 || amd_nodes > 0);
+  std::vector<ClusterConfig> out;
+  if (arm_nodes == 0) {
+    for (const auto& d : type_sweep(amd, amd_nodes, amd_nodes)) {
+      out.push_back(ClusterConfig{NodeConfig{0, 1, arm.pstates.min_ghz()}, d});
+    }
+    return out;
+  }
+  if (amd_nodes == 0) {
+    for (const auto& a : type_sweep(arm, arm_nodes, arm_nodes)) {
+      out.push_back(ClusterConfig{a, NodeConfig{0, 1, amd.pstates.min_ghz()}});
+    }
+    return out;
+  }
+  for (const auto& a : type_sweep(arm, arm_nodes, arm_nodes)) {
+    for (const auto& d : type_sweep(amd, amd_nodes, amd_nodes)) {
+      out.push_back(ClusterConfig{a, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace hec

@@ -1,0 +1,68 @@
+#include "hec/config/evaluate.h"
+
+#include "hec/parallel/thread_pool.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+ConfigEvaluator::ConfigEvaluator(const NodeTypeModel& arm_model,
+                                 const NodeTypeModel& amd_model)
+    : arm_(&arm_model), amd_(&amd_model) {}
+
+ConfigOutcome ConfigEvaluator::evaluate(const ClusterConfig& config,
+                                        double work_units) const {
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(config.uses_arm() || config.uses_amd());
+  ConfigOutcome outcome;
+  outcome.config = config;
+  if (config.heterogeneous()) {
+    const MixedPrediction mixed =
+        predict_mixed(*arm_, config.arm, *amd_, config.amd, work_units);
+    outcome.t_s = mixed.t_s;
+    outcome.energy_j = mixed.energy_j;
+    outcome.units_arm = mixed.split.units_a;
+    outcome.units_amd = mixed.split.units_b;
+  } else if (config.uses_arm()) {
+    const Prediction p = arm_->predict(work_units, config.arm);
+    outcome.t_s = p.t_s;
+    outcome.energy_j = p.energy_j();
+    outcome.units_arm = work_units;
+  } else {
+    const Prediction p = amd_->predict(work_units, config.amd);
+    outcome.t_s = p.t_s;
+    outcome.energy_j = p.energy_j();
+    outcome.units_amd = work_units;
+  }
+  return outcome;
+}
+
+std::vector<ConfigOutcome> ConfigEvaluator::evaluate_all(
+    std::span<const ClusterConfig> configs, double work_units,
+    bool parallel) const {
+  std::vector<ConfigOutcome> outcomes(configs.size());
+  if (parallel) {
+    parallel_for(0, configs.size(), [&](std::size_t i) {
+      outcomes[i] = evaluate(configs[i], work_units);
+    });
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      outcomes[i] = evaluate(configs[i], work_units);
+    }
+  }
+  return outcomes;
+}
+
+double ConfigEvaluator::powered_idle_w(const ClusterConfig& config) const {
+  double watts = 0.0;
+  if (config.uses_arm()) {
+    watts += static_cast<double>(config.arm.nodes) *
+             arm_->power().idle_w;
+  }
+  if (config.uses_amd()) {
+    watts += static_cast<double>(config.amd.nodes) *
+             amd_->power().idle_w;
+  }
+  return watts;
+}
+
+}  // namespace hec

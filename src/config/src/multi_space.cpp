@@ -1,0 +1,142 @@
+#include "hec/config/multi_space.h"
+
+#include <stdexcept>
+
+#include "hec/parallel/thread_pool.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+int MultiClusterConfig::types_used() const {
+  int used = 0;
+  for (const NodeConfig& c : per_type) {
+    if (c.nodes > 0) ++used;
+  }
+  return used;
+}
+
+namespace {
+/// Per-type options: the "absent" deployment plus every (n, c, f) sweep.
+std::vector<NodeConfig> type_options(const NodeSpec& spec, int max_nodes) {
+  std::vector<NodeConfig> options;
+  options.push_back(NodeConfig{0, 1, spec.pstates.min_ghz()});
+  for (int n = 1; n <= max_nodes; ++n) {
+    for (int c = 1; c <= spec.cores; ++c) {
+      for (double f : spec.pstates.frequencies_ghz()) {
+        options.push_back(NodeConfig{n, c, f});
+      }
+    }
+  }
+  return options;
+}
+}  // namespace
+
+std::size_t expected_multi_count(std::span<const NodeSpec> specs,
+                                 std::span<const int> limits) {
+  HEC_EXPECTS(specs.size() == limits.size());
+  HEC_EXPECTS(!specs.empty());
+  std::size_t product = 1;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    HEC_EXPECTS(limits[i] >= 0);
+    const std::size_t per_type =
+        1 + static_cast<std::size_t>(limits[i]) *
+                static_cast<std::size_t>(specs[i].cores) *
+                specs[i].pstates.size();
+    product *= per_type;
+  }
+  return product - 1;  // exclude the all-absent point
+}
+
+std::vector<MultiClusterConfig> enumerate_multi(
+    std::span<const NodeSpec> specs, std::span<const int> limits,
+    std::size_t max_points) {
+  const std::size_t count = expected_multi_count(specs, limits);
+  HEC_EXPECTS(count >= 1);
+  if (count > max_points) {
+    throw std::length_error(
+        "enumerate_multi: configuration space of " + std::to_string(count) +
+        " points exceeds the cap of " + std::to_string(max_points));
+  }
+
+  std::vector<std::vector<NodeConfig>> options;
+  options.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    options.push_back(type_options(specs[i], limits[i]));
+  }
+
+  std::vector<MultiClusterConfig> out;
+  out.reserve(count);
+  std::vector<std::size_t> index(specs.size(), 0);
+  for (;;) {
+    MultiClusterConfig config;
+    config.per_type.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      config.per_type.push_back(options[i][index[i]]);
+    }
+    if (config.types_used() >= 1) {
+      out.push_back(std::move(config));
+    }
+    // Odometer increment over the cartesian product.
+    std::size_t pos = 0;
+    while (pos < index.size()) {
+      if (++index[pos] < options[pos].size()) break;
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == index.size()) break;
+  }
+  HEC_ENSURES(out.size() == count);
+  return out;
+}
+
+MultiEvaluator::MultiEvaluator(std::vector<const NodeTypeModel*> models)
+    : models_(std::move(models)) {
+  HEC_EXPECTS(!models_.empty());
+  for (const NodeTypeModel* m : models_) {
+    HEC_EXPECTS(m != nullptr);
+  }
+}
+
+MultiOutcome MultiEvaluator::evaluate(const MultiClusterConfig& config,
+                                      double work_units) const {
+  HEC_EXPECTS(config.per_type.size() == models_.size());
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(config.types_used() >= 1);
+
+  std::vector<TypedDeployment> active;
+  std::vector<std::size_t> active_idx;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (config.per_type[i].nodes > 0) {
+      active.push_back(TypedDeployment{models_[i], config.per_type[i]});
+      active_idx.push_back(i);
+    }
+  }
+  const MultiPrediction pred = predict_multi(active, work_units);
+  MultiOutcome out;
+  out.config = config;
+  out.t_s = pred.t_s;
+  out.energy_j = pred.energy_j;
+  out.shares.assign(models_.size(), 0.0);
+  for (std::size_t k = 0; k < active_idx.size(); ++k) {
+    out.shares[active_idx[k]] = pred.shares[k];
+  }
+  return out;
+}
+
+std::vector<MultiOutcome> MultiEvaluator::evaluate_all(
+    std::span<const MultiClusterConfig> configs, double work_units,
+    bool parallel) const {
+  std::vector<MultiOutcome> outcomes(configs.size());
+  if (parallel) {
+    parallel_for(0, configs.size(), [&](std::size_t i) {
+      outcomes[i] = evaluate(configs[i], work_units);
+    });
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      outcomes[i] = evaluate(configs[i], work_units);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace hec

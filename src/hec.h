@@ -1,0 +1,45 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "hec.h"
+//
+// Fine-grained headers remain available (and are what the library itself
+// uses); this exists for quick experiments and downstream prototypes.
+#pragma once
+
+#include "hec/cluster/cluster_sim.h"       // IWYU pragma: export
+#include "hec/cluster/coscheduler.h"       // IWYU pragma: export
+#include "hec/cluster/datacenter_sim.h"    // IWYU pragma: export
+#include "hec/cluster/schedulers.h"        // IWYU pragma: export
+#include "hec/config/budget.h"             // IWYU pragma: export
+#include "hec/config/enumerate.h"          // IWYU pragma: export
+#include "hec/config/evaluate.h"           // IWYU pragma: export
+#include "hec/config/multi_space.h"        // IWYU pragma: export
+#include "hec/hw/catalog.h"                // IWYU pragma: export
+#include "hec/hw/node_spec.h"              // IWYU pragma: export
+#include "hec/io/csv.h"                    // IWYU pragma: export
+#include "hec/io/gnuplot.h"                // IWYU pragma: export
+#include "hec/io/table.h"                  // IWYU pragma: export
+#include "hec/model/bottleneck.h"          // IWYU pragma: export
+#include "hec/model/characterize.h"        // IWYU pragma: export
+#include "hec/model/inputs_io.h"           // IWYU pragma: export
+#include "hec/model/matching.h"            // IWYU pragma: export
+#include "hec/model/multi_matching.h"      // IWYU pragma: export
+#include "hec/model/node_model.h"          // IWYU pragma: export
+#include "hec/pareto/frontier.h"           // IWYU pragma: export
+#include "hec/pareto/hypervolume.h"        // IWYU pragma: export
+#include "hec/pareto/sweet_region.h"       // IWYU pragma: export
+#include "hec/queueing/md1.h"              // IWYU pragma: export
+#include "hec/report/markdown_report.h"    // IWYU pragma: export
+#include "hec/queueing/queue_sim.h"        // IWYU pragma: export
+#include "hec/queueing/variants.h"         // IWYU pragma: export
+#include "hec/queueing/window_analysis.h"  // IWYU pragma: export
+#include "hec/search/optimizer.h"          // IWYU pragma: export
+#include "hec/sim/node_sim.h"              // IWYU pragma: export
+#include "hec/stats/regression.h"          // IWYU pragma: export
+#include "hec/stats/summary.h"             // IWYU pragma: export
+#include "hec/trace/trace.h"               // IWYU pragma: export
+#include "hec/util/rng.h"                  // IWYU pragma: export
+#include "hec/util/units.h"                // IWYU pragma: export
+#include "hec/util/zipf.h"                 // IWYU pragma: export
+#include "hec/workloads/trace_builders.h"  // IWYU pragma: export
+#include "hec/workloads/workload.h"        // IWYU pragma: export

@@ -1,0 +1,43 @@
+// Node-type catalogue.
+//
+// arm_cortex_a9() and amd_opteron_k10() reproduce Table 1 of the paper with
+// power characterisation calibrated to the paper's reported figures: ARM
+// peak ~5 W / idle <2 W, AMD peak ~60 W / idle 45 W (Sections IV-C, IV-E).
+// The remaining types model the other architectures the paper lists as
+// covered by its execution model (Section II-A) and support extension
+// studies beyond the paper's two-type evaluation.
+#pragma once
+
+#include "hec/hw/node_spec.h"
+
+namespace hec {
+
+/// Low-power node: ARM Cortex-A9, 4 cores @ 0.2-1.4 GHz (5 P-states),
+/// 1 GiB LP-DDR2, 100 Mbps NIC. Peak ~5 W, idle <2 W.
+NodeSpec arm_cortex_a9();
+
+/// High-performance node: AMD Opteron K10, 6 cores @ 0.8-2.1 GHz
+/// (3 P-states), 8 GiB DDR3, 1 Gbps NIC. Peak ~60 W, idle 45 W.
+NodeSpec amd_opteron_k10();
+
+/// Extension type: ARM Cortex-A15 class (faster low-power node).
+NodeSpec arm_cortex_a15();
+
+/// Extension type: Intel Xeon class (alternative high-performance node).
+NodeSpec intel_xeon_class();
+
+/// Top-of-rack switch that aggregates low-power nodes. The paper charges
+/// 20 W of switch power against ARM-side deployments when deriving the
+/// 8:1 power substitution ratio (footnote 5, citing a Cisco 2960-S).
+struct SwitchSpec {
+  double power_w = 20.0;
+  int ports = 24;
+};
+
+/// Switch model used throughout the paper's budget analysis.
+SwitchSpec rack_switch();
+
+/// Number of switches needed to connect n low-power nodes (ceil division).
+int switches_needed(int n_nodes, const SwitchSpec& sw = rack_switch());
+
+}  // namespace hec

@@ -1,0 +1,113 @@
+// Hardware description of a cluster node type.
+//
+// Mirrors Table 1 of the paper plus the power decomposition of Section II-A:
+// a node's power splits into cores (per P-state, active/stall/idle), memory
+// (idle/active), network I/O device (idle/active) and a fixed
+// rest-of-the-system component. Cores stay in C-state 0 (never sleep) and
+// only change P-state, exactly as the paper assumes for datacenter nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hec {
+
+/// Instruction set architecture of a node type. The same work unit
+/// translates into a different machine instruction count per ISA.
+enum class Isa {
+  kArmV7a,   ///< 32-bit ARMv7-A (e.g. Cortex-A9)
+  kX86_64,   ///< x86-64 (e.g. AMD Opteron K10)
+};
+
+/// Human-readable ISA name ("armv7-a" / "x86_64").
+std::string to_string(Isa isa);
+
+/// Discrete P-state table: the core clock frequencies a node supports,
+/// sorted ascending, in GHz. All cores of a node share one frequency.
+class PStateTable {
+ public:
+  PStateTable() = default;
+  /// Preconditions: non-empty, strictly ascending, all positive.
+  explicit PStateTable(std::vector<double> freqs_ghz);
+
+  const std::vector<double>& frequencies_ghz() const { return freqs_ghz_; }
+  double min_ghz() const { return freqs_ghz_.front(); }
+  double max_ghz() const { return freqs_ghz_.back(); }
+  std::size_t size() const { return freqs_ghz_.size(); }
+
+  /// True if f_ghz matches a supported P-state (within 1e-9 tolerance).
+  bool supports(double f_ghz) const;
+  /// Smallest supported frequency >= f_ghz; throws std::out_of_range if none.
+  double ceil(double f_ghz) const;
+
+ private:
+  std::vector<double> freqs_ghz_;
+};
+
+/// Per-core power as a function of clock frequency:
+///   P(f) = base + lin*f + cub*f^3   [watts, f in GHz]
+///
+/// The cubic term captures dynamic power ~ C*V^2*f with voltage roughly
+/// proportional to frequency along the DVFS curve; the base term is the
+/// C-state-0 leakage floor that remains even when a core only idles.
+struct CorePowerCurve {
+  double base_w = 0.0;
+  double lin_w_per_ghz = 0.0;
+  double cub_w_per_ghz3 = 0.0;
+
+  double at(double f_ghz) const {
+    return base_w + lin_w_per_ghz * f_ghz +
+           cub_w_per_ghz3 * f_ghz * f_ghz * f_ghz;
+  }
+};
+
+/// Two-state device power (memory or network I/O): idle vs active draw.
+struct DevicePower {
+  double idle_w = 0.0;
+  double active_w = 0.0;
+};
+
+/// Full description of one node type (Table 1 + power characterisation).
+struct NodeSpec {
+  std::string name;
+  Isa isa = Isa::kX86_64;
+
+  int cores = 1;
+  PStateTable pstates;
+
+  // Cache/memory geometry (informational; the simulator derives miss costs
+  // from the memory timing fields below, not from these sizes).
+  double l1d_kib_per_core = 0.0;
+  double l2_kib = 0.0;        ///< total L2 (per-core x cores for AMD, shared for ARM)
+  double l3_kib = 0.0;        ///< 0 when absent (ARM Cortex-A9 has no L3)
+  double memory_gib = 0.0;
+
+  double io_bandwidth_mbps = 0.0;  ///< network link speed
+
+  // Memory subsystem timing: cost of one last-level-cache miss, split into a
+  // frequency-independent part (cycles spent in on-chip queues/L2) and a
+  // DRAM part fixed in wall-clock time. In core cycles a miss costs
+  //   fixed_cycles + dram_latency_ns * f
+  // which makes memory stalls-per-instruction linear in f (paper Fig. 3).
+  double miss_fixed_cycles = 0.0;
+  double dram_latency_ns = 0.0;
+  /// Relative latency growth per additional active core contending for the
+  /// single shared memory controller (paper Section II-B2, citing [36]).
+  double mem_contention_per_core = 0.0;
+
+  // Power decomposition.
+  CorePowerCurve core_active;   ///< executing work cycles
+  CorePowerCurve core_stall;    ///< stalled (memory or pipeline)
+  double core_idle_w = 0.0;     ///< C0 idle floor per core, frequency-independent
+  DevicePower memory_power;
+  DevicePower io_power;
+  double rest_of_system_w = 0.0;  ///< disks, PSU losses, board circuitry
+
+  /// Pidle: whole node powered on, no workload (Eq. 14 input).
+  double idle_node_w() const;
+  /// Peak draw: all cores active at fmax, memory and I/O active.
+  /// This is the quantity the power-substitution ratio is based on.
+  double peak_node_w() const;
+};
+
+}  // namespace hec

@@ -1,0 +1,109 @@
+#include "hec/hw/catalog.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+NodeSpec arm_cortex_a9() {
+  NodeSpec s;
+  s.name = "ARM Cortex-A9";
+  s.isa = Isa::kArmV7a;
+  s.cores = 4;
+  s.pstates = PStateTable({0.2, 0.5, 0.8, 1.1, 1.4});
+  s.l1d_kib_per_core = 32.0;
+  s.l2_kib = 1024.0;  // 1 MiB shared per node
+  s.l3_kib = 0.0;
+  s.memory_gib = 1.0;  // LP-DDR2
+  s.io_bandwidth_mbps = 100.0;
+
+  s.miss_fixed_cycles = 20.0;
+  s.dram_latency_ns = 110.0;  // LP-DDR2 is slow but low-power
+  s.mem_contention_per_core = 0.25;
+
+  s.core_active = {0.05, 0.20, 0.15};  // ~0.74 W/core at 1.4 GHz
+  s.core_stall = {0.05, 0.12, 0.08};   // ~0.44 W/core at 1.4 GHz
+  s.core_idle_w = 0.05;
+  s.memory_power = {0.10, 0.55};
+  s.io_power = {0.08, 0.35};
+  s.rest_of_system_w = 1.0;
+  // => idle 1.38 W (<2 W), peak ~4.9 W (~5 W): matches the paper.
+  return s;
+}
+
+NodeSpec amd_opteron_k10() {
+  NodeSpec s;
+  s.name = "AMD Opteron K10";
+  s.isa = Isa::kX86_64;
+  s.cores = 6;
+  s.pstates = PStateTable({0.8, 1.5, 2.1});
+  s.l1d_kib_per_core = 64.0;
+  s.l2_kib = 6.0 * 512.0;  // 512 KiB per core
+  s.l3_kib = 6144.0;       // 6 MiB shared
+  s.memory_gib = 8.0;      // DDR3
+  s.io_bandwidth_mbps = 1000.0;
+
+  s.miss_fixed_cycles = 30.0;
+  s.dram_latency_ns = 55.0;  // DDR3 with deeper MC queues
+  s.mem_contention_per_core = 0.12;
+
+  s.core_active = {1.50, 0.30, 0.15};  // ~3.5 W/core at 2.1 GHz
+  s.core_stall = {1.50, 0.18, 0.08};   // ~2.6 W/core at 2.1 GHz
+  s.core_idle_w = 1.50;
+  s.memory_power = {4.0, 6.0};
+  s.io_power = {2.0, 3.0};
+  s.rest_of_system_w = 30.0;
+  // => idle 45 W, peak ~60 W: matches the paper.
+  return s;
+}
+
+NodeSpec arm_cortex_a15() {
+  NodeSpec s = arm_cortex_a9();
+  s.name = "ARM Cortex-A15";
+  s.pstates = PStateTable({0.6, 1.0, 1.4, 1.8});
+  s.l1d_kib_per_core = 32.0;
+  s.l2_kib = 2048.0;
+  s.memory_gib = 2.0;
+  s.io_bandwidth_mbps = 1000.0;
+  s.miss_fixed_cycles = 25.0;
+  s.dram_latency_ns = 80.0;
+  s.mem_contention_per_core = 0.18;
+  s.core_active = {0.12, 0.35, 0.28};  // ~1.4 W/core at 1.8 GHz
+  s.core_stall = {0.12, 0.20, 0.15};
+  s.core_idle_w = 0.12;
+  s.memory_power = {0.15, 0.80};
+  s.io_power = {0.20, 0.60};
+  s.rest_of_system_w = 1.5;
+  return s;
+}
+
+NodeSpec intel_xeon_class() {
+  NodeSpec s = amd_opteron_k10();
+  s.name = "Intel Xeon class";
+  s.cores = 8;
+  s.pstates = PStateTable({1.2, 1.8, 2.4, 3.0});
+  s.l1d_kib_per_core = 32.0;
+  s.l2_kib = 8.0 * 256.0;
+  s.l3_kib = 20.0 * 1024.0;
+  s.memory_gib = 32.0;
+  s.io_bandwidth_mbps = 10000.0;
+  s.miss_fixed_cycles = 35.0;
+  s.dram_latency_ns = 50.0;
+  s.mem_contention_per_core = 0.08;
+  s.core_active = {1.8, 0.4, 0.12};
+  s.core_stall = {1.8, 0.22, 0.06};
+  s.core_idle_w = 1.8;
+  s.memory_power = {6.0, 10.0};
+  s.io_power = {3.0, 5.0};
+  s.rest_of_system_w = 40.0;
+  return s;
+}
+
+SwitchSpec rack_switch() { return SwitchSpec{}; }
+
+int switches_needed(int n_nodes, const SwitchSpec& sw) {
+  HEC_EXPECTS(n_nodes >= 0);
+  HEC_EXPECTS(sw.ports > 0);
+  return (n_nodes + sw.ports - 1) / sw.ports;
+}
+
+}  // namespace hec

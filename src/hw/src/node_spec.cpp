@@ -1,0 +1,53 @@
+#include "hec/hw/node_spec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::string to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kArmV7a:
+      return "armv7-a";
+    case Isa::kX86_64:
+      return "x86_64";
+  }
+  return "unknown";
+}
+
+PStateTable::PStateTable(std::vector<double> freqs_ghz)
+    : freqs_ghz_(std::move(freqs_ghz)) {
+  HEC_EXPECTS(!freqs_ghz_.empty());
+  HEC_EXPECTS(freqs_ghz_.front() > 0.0);
+  for (std::size_t i = 1; i < freqs_ghz_.size(); ++i) {
+    HEC_EXPECTS(freqs_ghz_[i] > freqs_ghz_[i - 1]);
+  }
+}
+
+bool PStateTable::supports(double f_ghz) const {
+  for (double f : freqs_ghz_) {
+    if (std::abs(f - f_ghz) < 1e-9) return true;
+  }
+  return false;
+}
+
+double PStateTable::ceil(double f_ghz) const {
+  for (double f : freqs_ghz_) {
+    if (f >= f_ghz - 1e-9) return f;
+  }
+  throw std::out_of_range("no P-state at or above requested frequency");
+}
+
+double NodeSpec::idle_node_w() const {
+  return rest_of_system_w + memory_power.idle_w + io_power.idle_w +
+         static_cast<double>(cores) * core_idle_w;
+}
+
+double NodeSpec::peak_node_w() const {
+  return rest_of_system_w + memory_power.active_w + io_power.active_w +
+         static_cast<double>(cores) * core_active.at(pstates.max_ghz());
+}
+
+}  // namespace hec

@@ -1,0 +1,45 @@
+// CSV emission for figure regeneration.
+//
+// Every figure bench dumps its series as CSV next to the binary so the
+// plots can be regenerated with any plotting tool; this replaces the
+// gnuplot pipelines used for the paper's figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hec {
+
+/// Row-oriented CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (kept for the writer's lifetime).
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes the header row. Must be called before any data row, once.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes a data row; cell count must match the header (if one was set).
+  void row(const std::vector<std::string>& cells);
+  /// Convenience: formats doubles with full round-trip precision.
+  void row_values(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a cell per RFC 4180 when it contains commas, quotes or newlines.
+std::string csv_escape(const std::string& cell);
+
+/// Formats a double with shortest round-trip representation.
+std::string format_double(double v);
+
+}  // namespace hec

@@ -1,0 +1,52 @@
+// Gnuplot script generation.
+//
+// The figure benches dump CSV series; these helpers also emit a matching
+// gnuplot script so each figure regenerates with a single
+// `gnuplot <fig>.gp` — restoring the plotting convenience the original
+// analysis pipeline had. Scripts reference the CSV by relative path and
+// render to PNG.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hec {
+
+/// One plotted series: rows of `csv_file` filtered/selected by gnuplot
+/// `using` syntax (1-based column indices).
+struct GnuplotSeries {
+  std::string title;
+  int x_column = 1;
+  int y_column = 2;
+  /// Optional row filter, e.g. "$3 == 1" (gnuplot ternary filter).
+  std::string row_filter;
+  std::string style = "linespoints";
+};
+
+/// Figure-level options.
+struct GnuplotFigure {
+  std::string output_png;  ///< e.g. "fig4_pareto_ep.png"
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;      ///< the paper's Figs. 6-10 use log deadlines
+  bool log_y = false;
+  std::optional<double> y_min;
+  std::optional<double> y_max;
+};
+
+/// Renders a gnuplot script plotting `series` from `csv_file` (which must
+/// have a header row; the script skips it). Preconditions: non-empty
+/// series, valid 1-based columns.
+std::string gnuplot_script(const std::string& csv_file,
+                           const GnuplotFigure& figure,
+                           const std::vector<GnuplotSeries>& series);
+
+/// Writes the script next to the CSV as `<stem>.gp`; returns the path.
+/// Throws std::runtime_error on I/O failure.
+std::string write_gnuplot_script(const std::string& csv_file,
+                                 const GnuplotFigure& figure,
+                                 const std::vector<GnuplotSeries>& series);
+
+}  // namespace hec

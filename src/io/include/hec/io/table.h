@@ -1,0 +1,48 @@
+// Aligned console tables.
+//
+// The table benches print the same rows the paper's tables report; this
+// formatter keeps them readable in a terminal without external tooling.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hec {
+
+/// Column alignment within a TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows, then prints them with per-column width alignment,
+/// a header underline, and two-space column separation.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column titles (non-empty).
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Sets per-column alignment; size must match the column count.
+  void set_alignment(std::vector<Align> align);
+
+  /// Adds a row; cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: mixed text/number rows. Numbers formatted with
+  /// `precision` digits after the decimal point.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders as a GitHub-flavoured Markdown table (used by the report
+  /// generator); alignment maps to the `---`/`---:` separator syntax.
+  void print_markdown(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hec

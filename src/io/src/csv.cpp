@@ -1,0 +1,59 @@
+#include "hec/io/csv.h"
+
+#include <charconv>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  HEC_ENSURES(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  HEC_EXPECTS(!header_written_);
+  HEC_EXPECTS(rows_ == 0);
+  HEC_EXPECTS(!columns.empty());
+  columns_ = columns.size();
+  header_written_ = true;
+  write_cells(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (header_written_) HEC_EXPECTS(cells.size() == columns_);
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_values(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_double(v));
+  row(formatted);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace hec

@@ -1,0 +1,86 @@
+#include "hec/io/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)),
+      align_(columns_.size(), Align::kRight) {
+  HEC_EXPECTS(!columns_.empty());
+  if (!align_.empty()) align_.front() = Align::kLeft;
+}
+
+void TablePrinter::set_alignment(std::vector<Align> align) {
+  HEC_EXPECTS(align.size() == columns_.size());
+  align_ = std::move(align);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  HEC_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  HEC_EXPECTS(precision >= 0 && precision <= 17);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::print_markdown(std::ostream& out) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (const auto& cell : row) {
+      out << ' ';
+      // Escape pipes so cells cannot break the table structure.
+      for (char c : cell) {
+        if (c == '|') out << '\\';
+        out << c;
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  out << '|';
+  for (Align a : align_) {
+    out << (a == Align::kRight ? "---:|" : "---|");
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (align_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << row[c];
+      if (align_[c] == Align::kLeft && c + 1 != row.size()) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hec

@@ -1,0 +1,36 @@
+// Bottleneck classification of a prediction.
+//
+// The paper labels each workload CPU-, memory- or I/O-bound (Table 3);
+// with the model in hand the label is per *operating point*, not per
+// workload — the extension workload even flips class with the P-state.
+// This helper reads a Prediction's response-time components and reports
+// which resource binds, plus how close the runner-up is (the "slack"
+// that tells an operator whether a knob change would shift the regime).
+#pragma once
+
+#include <string>
+
+#include "hec/model/node_model.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+
+/// The binding resource of one predicted execution.
+struct BottleneckReport {
+  Bottleneck binding = Bottleneck::kCpu;
+  /// Ratio of the binding response time to the runner-up's (>= 1); close
+  /// to 1 means the operating point sits near a regime boundary.
+  double dominance = 1.0;
+  /// Fraction of the service time the binding resource accounts for.
+  double share = 1.0;
+};
+
+/// Classifies a prediction. The CPU class splits per Eq. 3: memory-bound
+/// when T_mem exceeds T_core. Precondition: p.t_s > 0.
+BottleneckReport classify_bottleneck(const Prediction& p);
+
+/// One-line human-readable explanation, e.g.
+/// "I/O-bound (NIC busy 97% of service time; 2.3x over CPU)".
+std::string explain_bottleneck(const Prediction& p);
+
+}  // namespace hec

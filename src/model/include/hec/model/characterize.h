@@ -1,0 +1,49 @@
+// Baseline measurement runners (Section II-D).
+//
+// These reproduce the paper's input-gathering procedure: execute a small
+// representative subset Ps of the workload — and the CPU-max / stall-stream
+// power micro-benchmarks — on a single node of each type, read the
+// perf-equivalent counters and power-meter-equivalent energies, and distil
+// them into the trace-driven inputs the analytical model consumes. WPI and
+// SPIcore are taken from one full-node baseline run (they are constant as
+// the program scales, Fig. 2); SPImem is measured across every
+// (cores, frequency) point and regressed linearly over frequency (Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "hec/hw/node_spec.h"
+#include "hec/model/inputs.h"
+#include "hec/model/node_model.h"
+#include "hec/sim/phase.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+
+/// Knobs for the baseline measurement runs.
+struct CharacterizeOptions {
+  double baseline_units = 20000.0;  ///< Ps repetitions per baseline run
+  std::uint64_t seed = 42;          ///< measurement-noise stream
+  double noise_sigma = 0.03;        ///< per-chunk jitter of the substrate
+  double run_bias_sigma = 0.02;     ///< run-to-run systematic factor
+};
+
+/// Measures IPs, WPI, SPIcore, UCPU, I/O demands and the SPImem-vs-f
+/// regression for one workload on one node type.
+WorkloadInputs characterize_workload(const NodeSpec& spec,
+                                     const PhaseDemand& demand,
+                                     const CharacterizeOptions& opts = {});
+
+/// Measures Pidle and the per-P-state core active/stall power plus memory
+/// and I/O active increments, using micro-benchmarks (Section II-D2).
+PowerParams characterize_power(const NodeSpec& spec,
+                               const CharacterizeOptions& opts = {});
+
+/// Convenience: full characterisation pipeline for one (node type,
+/// workload) pair, returning a ready-to-use analytical model.
+NodeTypeModel build_node_model(
+    const NodeSpec& spec, const Workload& workload,
+    const CharacterizeOptions& opts = {},
+    EnergyAccounting accounting = EnergyAccounting::kOverlapAware);
+
+}  // namespace hec

@@ -1,0 +1,51 @@
+// Trace-driven model inputs (the "+" measured quantities of Table 2).
+//
+// Everything here is *measured* — from perf-counter-equivalent CounterSet
+// observations and power-meter-equivalent PowerMeter readings of baseline
+// runs on a single node of each type (Section II-D). The analytical model
+// consumes only these structs; it never reads the simulator's internal
+// parameters. This mirrors the paper's methodology, where model inputs
+// come from baseline runs of a representative subset Ps of the workload.
+#pragma once
+
+#include <vector>
+
+#include "hec/stats/regression.h"
+
+namespace hec {
+
+/// Power characterisation of one node type (Section II-D2), from the
+/// CPU-max and stall micro-benchmarks plus an idle measurement. All core /
+/// memory / I/O values are increments above the idle floor.
+struct PowerParams {
+  std::vector<double> freqs_ghz;       ///< P-states, ascending
+  std::vector<double> core_active_w;   ///< per-core work-cycle power by P-state
+  std::vector<double> core_stall_w;    ///< per-core stall-cycle power by P-state
+  double mem_active_w = 0.0;           ///< memory busy increment
+  double io_active_w = 0.0;            ///< NIC busy increment (incl. DMA DRAM)
+  double idle_w = 0.0;                 ///< Pidle of the whole node
+
+  /// Linear interpolation of per-core active power at frequency f.
+  double core_active_at(double f_ghz) const;
+  /// Linear interpolation of per-core stall power at frequency f.
+  double core_stall_at(double f_ghz) const;
+};
+
+/// Workload characterisation on one node type (Section II-D1).
+struct WorkloadInputs {
+  double inst_per_unit = 0.0;  ///< IPs: machine instructions per work unit
+  double wpi = 0.0;            ///< work cycles per instruction (constant)
+  double spi_core = 0.0;       ///< non-memory stall cycles per instruction
+  /// SPImem regressed linearly over core frequency, one fit per active
+  /// core count (index = cores - 1). The paper validates r^2 >= 0.94.
+  std::vector<LinearFit> spi_mem_by_cores;
+  double ucpu = 1.0;           ///< measured CPU utilisation (drives cact)
+  double io_bytes_per_unit = 0.0;   ///< NIC bytes per work unit
+  double io_s_per_unit = 0.0;  ///< effective per-unit I/O service time:
+                               ///< max(transfer, 1/lambda) of Eq. 11
+
+  /// SPImem at frequency f with `cores` active (clamped to the fit range).
+  double spi_mem(double f_ghz, int cores) const;
+};
+
+}  // namespace hec

@@ -1,0 +1,40 @@
+// Persistence of trace-driven model inputs.
+//
+// Characterisation is the expensive step of the pipeline (it runs
+// baseline measurements per (cores, P-state) point); a deployment tool
+// characterises each node type once and reuses the results. This module
+// serialises WorkloadInputs and PowerParams to a line-oriented
+// `key value...` text format that is diffable, versioned and
+// hand-editable, and parses it back with strict validation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "hec/model/inputs.h"
+
+namespace hec {
+
+/// Thrown when parsing malformed input text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serialises to the text format (round-trip safe via format_double).
+std::string serialize_workload_inputs(const WorkloadInputs& inputs);
+std::string serialize_power_params(const PowerParams& params);
+
+/// Parses the text format; throws ParseError on unknown keys, missing
+/// required fields, or malformed numbers.
+WorkloadInputs parse_workload_inputs(const std::string& text);
+PowerParams parse_power_params(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_workload_inputs(const WorkloadInputs& inputs,
+                          const std::string& path);
+WorkloadInputs load_workload_inputs(const std::string& path);
+void save_power_params(const PowerParams& params, const std::string& path);
+PowerParams load_power_params(const std::string& path);
+
+}  // namespace hec

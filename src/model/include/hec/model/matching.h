@@ -1,0 +1,51 @@
+// Mix-and-match workload splitting (the paper's core technique).
+//
+// A job of W work units is split across the low-power and high-performance
+// sub-clusters so that both finish at the same time (Eq. 1,
+// T = T_ARM = T_AMD), which eliminates the idle tail energy that a naive
+// split would leave on the faster side. Because T is linear in the work
+// share for a fixed configuration, the matched split is simply
+// rate-proportional; a bisection solver is also provided and used by the
+// tests to verify the closed form.
+#pragma once
+
+#include "hec/model/node_model.h"
+
+namespace hec {
+
+/// A matched division of work between two node types.
+struct MatchedSplit {
+  double units_a = 0.0;  ///< work units for the first type
+  double units_b = 0.0;  ///< work units for the second type
+  double t_s = 0.0;      ///< common completion time
+};
+
+/// Closed-form matched split: work shares proportional to execution rate.
+/// Preconditions: work_units > 0 and both configurations valid.
+MatchedSplit match_split(const NodeTypeModel& a, const NodeConfig& cfg_a,
+                         const NodeTypeModel& b, const NodeConfig& cfg_b,
+                         double work_units);
+
+/// Bisection on T_a(w) - T_b(W - w); tolerance is relative on time.
+/// Exists to validate the linearity assumption behind match_split.
+MatchedSplit match_split_bisect(const NodeTypeModel& a,
+                                const NodeConfig& cfg_a,
+                                const NodeTypeModel& b,
+                                const NodeConfig& cfg_b, double work_units,
+                                double rel_tolerance = 1e-9);
+
+/// Joint prediction for a heterogeneous deployment with a matched split.
+struct MixedPrediction {
+  MatchedSplit split;
+  Prediction a;        ///< first type's share
+  Prediction b;        ///< second type's share
+  double t_s = 0.0;    ///< job service time (max of the two, ~equal)
+  double energy_j = 0.0;  ///< total energy, both types (Eq. 12)
+};
+
+/// Predicts a matched heterogeneous execution of `work_units`.
+MixedPrediction predict_mixed(const NodeTypeModel& a, const NodeConfig& cfg_a,
+                              const NodeTypeModel& b, const NodeConfig& cfg_b,
+                              double work_units);
+
+}  // namespace hec

@@ -1,0 +1,42 @@
+// Generic N-type mix-and-match.
+//
+// The paper's methodology "is used to determine a generic mix of
+// heterogeneous nodes" (Section II-A) but its evaluation stops at two
+// types. This generalises the matching technique: a job is split across
+// any number of typed deployments so all finish simultaneously. With
+// T_i(w) = k_i * w linear per deployment, the matched shares are
+// rate-proportional: w_i = W * r_i / sum(r), r_i = 1 / k_i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hec/model/node_model.h"
+
+namespace hec {
+
+/// One node type's deployment in a multi-type cluster. The model pointer
+/// is non-owning and must outlive the computation.
+struct TypedDeployment {
+  const NodeTypeModel* model = nullptr;
+  NodeConfig config;
+};
+
+/// Matched work shares across all deployments (sum equals work_units).
+/// Preconditions: non-empty, every model non-null, work_units > 0.
+std::vector<double> match_split_multi(
+    std::span<const TypedDeployment> deployments, double work_units);
+
+/// Joint prediction for a matched multi-type execution.
+struct MultiPrediction {
+  std::vector<double> shares;      ///< per-deployment work units
+  std::vector<Prediction> parts;   ///< per-deployment predictions
+  double t_s = 0.0;                ///< common completion time
+  double energy_j = 0.0;           ///< total energy (Eq. 12 generalised)
+};
+
+/// Predicts a matched execution of `work_units` across all deployments.
+MultiPrediction predict_multi(std::span<const TypedDeployment> deployments,
+                              double work_units);
+
+}  // namespace hec

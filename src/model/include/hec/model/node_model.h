@@ -1,0 +1,81 @@
+// The paper's analytical execution-time and energy model (Section II).
+//
+// Given trace-driven inputs for one (node type, workload) pair, predicts
+// the service time and energy of executing W work units on n nodes with c
+// cores per node at clock frequency f:
+//
+//   T      = max(T_CPU, T_I/O)                      (Eq. 2)
+//   T_CPU  = max(T_core, T_mem)                     (Eq. 3)
+//   T_core = I_core (WPI + SPI_core) / f            (Eqs. 7-8)
+//   T_mem  = I_core (WPI + SPI_mem(f, c)) / f       (Eqs. 9-10)
+//   I_core = W * IPs / (n * c_act)                  (Eqs. 5-6)
+//   T_I/O  = W * max(transfer, 1/lambda) / n        (Eq. 11)
+//
+// and the energy decomposition of Eqs. 12-19. Two energy-accounting
+// variants are provided: the paper's literal Eq. 17 (stall time counts
+// only non-memory stalls) and an overlap-aware variant that charges stall
+// power for the full stalled portion of T_CPU — a design-choice ablation
+// measured by bench_ablation_accounting.
+#pragma once
+
+#include "hec/hw/node_spec.h"
+#include "hec/model/inputs.h"
+#include "hec/sim/power_meter.h"
+
+namespace hec {
+
+/// How Ecore/Emem treat the stall-time overlap (see file comment).
+enum class EnergyAccounting {
+  kPaperEq17,     ///< T_stall = I_core * SPI_core / f, E_mem = P_mem * T_mem
+  kOverlapAware,  ///< T_stall = T_CPU - T_act, memory busy time capped by T
+};
+
+/// Per-type node configuration knob: how many nodes, cores and what clock.
+struct NodeConfig {
+  int nodes = 1;
+  int cores = 1;
+  double f_ghz = 0.0;
+};
+
+/// Model outputs for one node type servicing its workload share.
+struct Prediction {
+  double t_s = 0.0;        ///< job service time T on this type
+  double t_cpu_s = 0.0;    ///< CPU response time (per core)
+  double t_core_s = 0.0;   ///< core compute + non-memory stalls
+  double t_mem_s = 0.0;    ///< memory response time
+  double t_io_s = 0.0;     ///< I/O response time (per node)
+  EnergyBreakdown energy;  ///< for ALL nodes of this type
+  double energy_j() const { return energy.total_j(); }
+};
+
+/// Analytical model of one node type running one workload.
+class NodeTypeModel {
+ public:
+  NodeTypeModel(NodeSpec spec, WorkloadInputs workload, PowerParams power,
+                EnergyAccounting accounting = EnergyAccounting::kOverlapAware);
+
+  const NodeSpec& spec() const { return spec_; }
+  const WorkloadInputs& workload() const { return workload_; }
+  const PowerParams& power() const { return power_; }
+
+  /// Predicts time and energy for `work_units` on the given configuration.
+  /// Preconditions: work_units >= 0, cfg valid for the node type.
+  Prediction predict(double work_units, const NodeConfig& cfg) const;
+
+  /// Service time per work unit (T is linear in W for fixed cfg); this is
+  /// the execution-rate inverse used by the matching split.
+  double time_per_unit(const NodeConfig& cfg) const;
+
+  /// Energy per work unit at the given configuration.
+  double energy_per_unit(const NodeConfig& cfg) const;
+
+ private:
+  void validate_config(const NodeConfig& cfg) const;
+
+  NodeSpec spec_;
+  WorkloadInputs workload_;
+  PowerParams power_;
+  EnergyAccounting accounting_;
+};
+
+}  // namespace hec

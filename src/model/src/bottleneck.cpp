@@ -1,0 +1,58 @@
+#include "hec/model/bottleneck.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+BottleneckReport classify_bottleneck(const Prediction& p) {
+  HEC_EXPECTS(p.t_s > 0.0);
+  BottleneckReport report;
+  // Eq. 2 first: CPU time vs I/O time.
+  if (p.t_io_s > p.t_cpu_s) {
+    report.binding = Bottleneck::kIo;
+    report.dominance = p.t_cpu_s > 0.0 ? p.t_io_s / p.t_cpu_s : 1e9;
+    report.share = p.t_io_s / p.t_s;
+    return report;
+  }
+  // Eq. 3 inside the CPU: memory vs core.
+  if (p.t_mem_s > p.t_core_s) {
+    report.binding = Bottleneck::kMemory;
+    const double runner_up = std::max(p.t_core_s, p.t_io_s);
+    report.dominance = runner_up > 0.0 ? p.t_mem_s / runner_up : 1e9;
+    report.share = p.t_mem_s / p.t_s;
+    return report;
+  }
+  report.binding = Bottleneck::kCpu;
+  const double runner_up = std::max(p.t_mem_s, p.t_io_s);
+  report.dominance = runner_up > 0.0 ? p.t_core_s / runner_up : 1e9;
+  report.share = p.t_core_s / p.t_s;
+  return report;
+}
+
+std::string explain_bottleneck(const Prediction& p) {
+  const BottleneckReport report = classify_bottleneck(p);
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed;
+  switch (report.binding) {
+    case Bottleneck::kIo:
+      out << "I/O-bound (NIC accounts for "
+          << report.share * 100.0 << "% of service time; "
+          << report.dominance << "x over CPU)";
+      break;
+    case Bottleneck::kMemory:
+      out << "memory-bound (memory waits are " << report.dominance
+          << "x the core demand)";
+      break;
+    case Bottleneck::kCpu:
+      out << "CPU-bound (cores lead the runner-up by "
+          << report.dominance << "x)";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace hec

@@ -1,0 +1,144 @@
+#include "hec/model/characterize.h"
+
+#include <algorithm>
+
+#include "hec/sim/node_sim.h"
+#include "hec/sim/power_meter.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+RunConfig baseline_config(const NodeSpec& spec,
+                          const CharacterizeOptions& opts, int cores,
+                          double f_ghz, std::uint64_t salt) {
+  RunConfig cfg;
+  cfg.cores_used = cores;
+  cfg.f_ghz = f_ghz;
+  cfg.work_units = opts.baseline_units;
+  cfg.seed = opts.seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  cfg.noise_sigma = opts.noise_sigma;
+  cfg.run_bias_sigma = opts.run_bias_sigma;
+  (void)spec;
+  return cfg;
+}
+}  // namespace
+
+WorkloadInputs characterize_workload(const NodeSpec& spec,
+                                     const PhaseDemand& demand,
+                                     const CharacterizeOptions& opts) {
+  HEC_EXPECTS(opts.baseline_units > 0.0);
+  WorkloadInputs inputs;
+
+  // One full-node baseline run at fmax: IPs, WPI, SPIcore, UCPU, I/O.
+  const double fmax = spec.pstates.max_ghz();
+  const RunResult base = simulate_node(
+      spec, demand, baseline_config(spec, opts, spec.cores, fmax, 1));
+  inputs.inst_per_unit = base.counters.instructions_per_unit();
+  inputs.wpi = base.counters.wpi();
+  inputs.spi_core = base.counters.spi_core();
+  inputs.ucpu = std::clamp(base.ucpu(), 0.0, 1.0);
+  inputs.io_bytes_per_unit =
+      base.counters.io_bytes / base.counters.work_units;
+  inputs.io_s_per_unit = base.io_complete_s / base.counters.work_units;
+
+  // SPImem across every (cores, frequency) point, regressed over f per
+  // active-core count (the paper's Fig. 3 procedure).
+  const auto& freqs = spec.pstates.frequencies_ghz();
+  inputs.spi_mem_by_cores.reserve(static_cast<std::size_t>(spec.cores));
+  std::uint64_t salt = 100;
+  for (int c = 1; c <= spec.cores; ++c) {
+    std::vector<double> xs, ys;
+    xs.reserve(freqs.size());
+    ys.reserve(freqs.size());
+    for (double f : freqs) {
+      const RunResult r = simulate_node(
+          spec, demand, baseline_config(spec, opts, c, f, salt++));
+      xs.push_back(f);
+      ys.push_back(r.counters.spi_mem());
+    }
+    inputs.spi_mem_by_cores.push_back(fit_line(xs, ys));
+  }
+  return inputs;
+}
+
+PowerParams characterize_power(const NodeSpec& spec,
+                               const CharacterizeOptions& opts) {
+  PowerParams params;
+  params.freqs_ghz = spec.pstates.frequencies_ghz();
+
+  // Idle: meter a workload-free interval (Pidle of Eq. 14).
+  {
+    PowerMeter meter(spec.idle_node_w(), spec.cores);
+    const EnergyBreakdown idle = meter.finish(1.0);
+    params.idle_w = idle.total_j() / 1.0;
+  }
+
+  // Per-P-state core power from the CPU-max and stall micro-benchmarks.
+  const PhaseDemand cpu_max = cpu_max_demand();
+  const PhaseDemand stall = stall_stream_demand();
+  std::uint64_t salt = 1000;
+  for (double f : params.freqs_ghz) {
+    // CPU-max on a single core: all busy time is work cycles, so the core
+    // energy divided by busy time is the active power directly.
+    const RunResult act =
+        simulate_node(spec, cpu_max, baseline_config(spec, opts, 1, f, salt++));
+    HEC_ENSURES(act.cpu_busy_s > 0.0);
+    const double p_act = act.energy.core_j / act.cpu_busy_s;
+    params.core_active_w.push_back(p_act);
+
+    // Stall stream: busy time mixes work and stall cycles; separate them
+    // with the measured work fraction.
+    const RunResult st =
+        simulate_node(spec, stall, baseline_config(spec, opts, 1, f, salt++));
+    const double cycles = st.counters.work_cycles +
+                          std::max(st.counters.core_stall_cycles,
+                                   st.counters.mem_stall_cycles);
+    HEC_ENSURES(cycles > 0.0);
+    const double work_frac = st.counters.work_cycles / cycles;
+    const double mixed = st.energy.core_j / st.cpu_busy_s;
+    const double p_stall =
+        work_frac < 1.0 ? (mixed - work_frac * p_act) / (1.0 - work_frac)
+                        : mixed;
+    params.core_stall_w.push_back(std::max(0.0, p_stall));
+  }
+
+  // Memory active increment: stall stream on every core keeps the memory
+  // device busy for the whole run.
+  {
+    const RunResult st = simulate_node(
+        spec, stall,
+        baseline_config(spec, opts, spec.cores, spec.pstates.max_ghz(),
+                        salt++));
+    HEC_ENSURES(st.wall_s > 0.0);
+    params.mem_active_w = st.energy.mem_j / st.wall_s;
+  }
+
+  // I/O active increment (including the DRAM activity of DMA): a pure
+  // transfer workload keeps the NIC saturated.
+  {
+    PhaseDemand io;
+    io.instructions_per_unit = 100.0;  // negligible compute per unit
+    io.wpi = 1.0;
+    io.io_bytes_per_unit = 64.0 * 1024.0;
+    io.io_interarrival_s = 0.0;
+    const RunResult r = simulate_node(
+        spec, io,
+        baseline_config(spec, opts, 1, spec.pstates.min_ghz(), salt++));
+    HEC_ENSURES(r.wall_s > 0.0);
+    params.io_active_w = (r.energy.io_j + r.energy.mem_j) / r.wall_s;
+  }
+  return params;
+}
+
+NodeTypeModel build_node_model(const NodeSpec& spec, const Workload& workload,
+                               const CharacterizeOptions& opts,
+                               EnergyAccounting accounting) {
+  WorkloadInputs inputs =
+      characterize_workload(spec, workload.demand_for(spec.isa), opts);
+  PowerParams power = characterize_power(spec, opts);
+  return NodeTypeModel(spec, std::move(inputs), std::move(power),
+                       accounting);
+}
+
+}  // namespace hec

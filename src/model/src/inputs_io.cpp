@@ -1,0 +1,223 @@
+#include "hec/model/inputs_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  HEC_ENSURES(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+double parse_double(const std::string& token, const std::string& context) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ParseError("malformed number '" + token + "' in " + context);
+  }
+  return value;
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::string serialize_workload_inputs(const WorkloadInputs& inputs) {
+  std::ostringstream out;
+  out << "format hec-workload-inputs 1\n";
+  out << "inst_per_unit " << fmt(inputs.inst_per_unit) << "\n";
+  out << "wpi " << fmt(inputs.wpi) << "\n";
+  out << "spi_core " << fmt(inputs.spi_core) << "\n";
+  out << "ucpu " << fmt(inputs.ucpu) << "\n";
+  out << "io_bytes_per_unit " << fmt(inputs.io_bytes_per_unit) << "\n";
+  out << "io_s_per_unit " << fmt(inputs.io_s_per_unit) << "\n";
+  for (std::size_t c = 0; c < inputs.spi_mem_by_cores.size(); ++c) {
+    const LinearFit& fit = inputs.spi_mem_by_cores[c];
+    out << "spi_mem_fit " << (c + 1) << " " << fmt(fit.intercept) << " "
+        << fmt(fit.slope) << " " << fmt(fit.r_squared) << " " << fit.n
+        << "\n";
+  }
+  return out.str();
+}
+
+WorkloadInputs parse_workload_inputs(const std::string& text) {
+  WorkloadInputs inputs;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false, saw_inst = false, saw_wpi = false;
+  while (std::getline(in, line)) {
+    const auto tokens = tokens_of(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    const std::string& key = tokens[0];
+    auto require = [&](std::size_t n) {
+      if (tokens.size() != n) {
+        throw ParseError("expected " + std::to_string(n - 1) +
+                         " values for key '" + key + "'");
+      }
+    };
+    if (key == "format") {
+      require(3);
+      if (tokens[1] != "hec-workload-inputs") {
+        throw ParseError("unexpected format '" + tokens[1] + "'");
+      }
+      saw_header = true;
+    } else if (key == "inst_per_unit") {
+      require(2);
+      inputs.inst_per_unit = parse_double(tokens[1], key);
+      saw_inst = true;
+    } else if (key == "wpi") {
+      require(2);
+      inputs.wpi = parse_double(tokens[1], key);
+      saw_wpi = true;
+    } else if (key == "spi_core") {
+      require(2);
+      inputs.spi_core = parse_double(tokens[1], key);
+    } else if (key == "ucpu") {
+      require(2);
+      inputs.ucpu = parse_double(tokens[1], key);
+    } else if (key == "io_bytes_per_unit") {
+      require(2);
+      inputs.io_bytes_per_unit = parse_double(tokens[1], key);
+    } else if (key == "io_s_per_unit") {
+      require(2);
+      inputs.io_s_per_unit = parse_double(tokens[1], key);
+    } else if (key == "spi_mem_fit") {
+      require(6);
+      const auto cores =
+          static_cast<std::size_t>(parse_double(tokens[1], key));
+      if (cores != inputs.spi_mem_by_cores.size() + 1) {
+        throw ParseError("spi_mem_fit rows must be consecutive from 1");
+      }
+      LinearFit fit;
+      fit.intercept = parse_double(tokens[2], key);
+      fit.slope = parse_double(tokens[3], key);
+      fit.r_squared = parse_double(tokens[4], key);
+      fit.n = static_cast<std::size_t>(parse_double(tokens[5], key));
+      inputs.spi_mem_by_cores.push_back(fit);
+    } else {
+      throw ParseError("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing format header");
+  if (!saw_inst || !saw_wpi) {
+    throw ParseError("missing required fields (inst_per_unit, wpi)");
+  }
+  return inputs;
+}
+
+std::string serialize_power_params(const PowerParams& params) {
+  HEC_EXPECTS(params.freqs_ghz.size() == params.core_active_w.size());
+  HEC_EXPECTS(params.freqs_ghz.size() == params.core_stall_w.size());
+  std::ostringstream out;
+  out << "format hec-power-params 1\n";
+  out << "idle_w " << fmt(params.idle_w) << "\n";
+  out << "mem_active_w " << fmt(params.mem_active_w) << "\n";
+  out << "io_active_w " << fmt(params.io_active_w) << "\n";
+  for (std::size_t i = 0; i < params.freqs_ghz.size(); ++i) {
+    out << "pstate " << fmt(params.freqs_ghz[i]) << " "
+        << fmt(params.core_active_w[i]) << " "
+        << fmt(params.core_stall_w[i]) << "\n";
+  }
+  return out.str();
+}
+
+PowerParams parse_power_params(const std::string& text) {
+  PowerParams params;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    const auto tokens = tokens_of(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    const std::string& key = tokens[0];
+    auto require = [&](std::size_t n) {
+      if (tokens.size() != n) {
+        throw ParseError("expected " + std::to_string(n - 1) +
+                         " values for key '" + key + "'");
+      }
+    };
+    if (key == "format") {
+      require(3);
+      if (tokens[1] != "hec-power-params") {
+        throw ParseError("unexpected format '" + tokens[1] + "'");
+      }
+      saw_header = true;
+    } else if (key == "idle_w") {
+      require(2);
+      params.idle_w = parse_double(tokens[1], key);
+    } else if (key == "mem_active_w") {
+      require(2);
+      params.mem_active_w = parse_double(tokens[1], key);
+    } else if (key == "io_active_w") {
+      require(2);
+      params.io_active_w = parse_double(tokens[1], key);
+    } else if (key == "pstate") {
+      require(4);
+      const double f = parse_double(tokens[1], key);
+      if (!params.freqs_ghz.empty() && f <= params.freqs_ghz.back()) {
+        throw ParseError("pstate rows must be ascending in frequency");
+      }
+      params.freqs_ghz.push_back(f);
+      params.core_active_w.push_back(parse_double(tokens[2], key));
+      params.core_stall_w.push_back(parse_double(tokens[3], key));
+    } else {
+      throw ParseError("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing format header");
+  if (params.freqs_ghz.empty()) throw ParseError("no pstate rows");
+  return params;
+}
+
+namespace {
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  out << text;
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+}  // namespace
+
+void save_workload_inputs(const WorkloadInputs& inputs,
+                          const std::string& path) {
+  write_file(path, serialize_workload_inputs(inputs));
+}
+
+WorkloadInputs load_workload_inputs(const std::string& path) {
+  return parse_workload_inputs(read_file(path));
+}
+
+void save_power_params(const PowerParams& params, const std::string& path) {
+  write_file(path, serialize_power_params(params));
+}
+
+PowerParams load_power_params(const std::string& path) {
+  return parse_power_params(read_file(path));
+}
+
+}  // namespace hec

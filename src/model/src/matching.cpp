@@ -1,0 +1,74 @@
+#include "hec/model/matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+MatchedSplit match_split(const NodeTypeModel& a, const NodeConfig& cfg_a,
+                         const NodeTypeModel& b, const NodeConfig& cfg_b,
+                         double work_units) {
+  HEC_EXPECTS(work_units > 0.0);
+  const double k_a = a.time_per_unit(cfg_a);
+  const double k_b = b.time_per_unit(cfg_b);
+  HEC_EXPECTS(k_a > 0.0 && k_b > 0.0);
+  // T_a(w) = k_a w and T_b(W - w) = k_b (W - w) meet at
+  // w = W k_b / (k_a + k_b): shares proportional to execution rates.
+  MatchedSplit split;
+  split.units_a = work_units * k_b / (k_a + k_b);
+  split.units_b = work_units - split.units_a;
+  split.t_s = k_a * split.units_a;
+  return split;
+}
+
+MatchedSplit match_split_bisect(const NodeTypeModel& a,
+                                const NodeConfig& cfg_a,
+                                const NodeTypeModel& b,
+                                const NodeConfig& cfg_b, double work_units,
+                                double rel_tolerance) {
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(rel_tolerance > 0.0);
+  double lo = 0.0;
+  double hi = work_units;
+  // g(w) = T_a(w) - T_b(W - w) is strictly increasing in w, with
+  // g(0) <= 0 <= g(W), so bisection converges unconditionally.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double t_a = a.predict(mid, cfg_a).t_s;
+    const double t_b = b.predict(work_units - mid, cfg_b).t_s;
+    if (std::abs(t_a - t_b) <=
+        rel_tolerance * std::max({t_a, t_b, 1e-300})) {
+      MatchedSplit split;
+      split.units_a = mid;
+      split.units_b = work_units - mid;
+      split.t_s = std::max(t_a, t_b);
+      return split;
+    }
+    if (t_a < t_b) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  MatchedSplit split;
+  split.units_a = 0.5 * (lo + hi);
+  split.units_b = work_units - split.units_a;
+  split.t_s = a.predict(split.units_a, cfg_a).t_s;
+  return split;
+}
+
+MixedPrediction predict_mixed(const NodeTypeModel& a, const NodeConfig& cfg_a,
+                              const NodeTypeModel& b, const NodeConfig& cfg_b,
+                              double work_units) {
+  MixedPrediction mixed;
+  mixed.split = match_split(a, cfg_a, b, cfg_b, work_units);
+  mixed.a = a.predict(mixed.split.units_a, cfg_a);
+  mixed.b = b.predict(mixed.split.units_b, cfg_b);
+  mixed.t_s = std::max(mixed.a.t_s, mixed.b.t_s);
+  mixed.energy_j = mixed.a.energy_j() + mixed.b.energy_j();
+  return mixed;
+}
+
+}  // namespace hec

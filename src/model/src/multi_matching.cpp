@@ -1,0 +1,44 @@
+#include "hec/model/multi_matching.h"
+
+#include <algorithm>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<double> match_split_multi(
+    std::span<const TypedDeployment> deployments, double work_units) {
+  HEC_EXPECTS(!deployments.empty());
+  HEC_EXPECTS(work_units > 0.0);
+  std::vector<double> rates;
+  rates.reserve(deployments.size());
+  double total_rate = 0.0;
+  for (const TypedDeployment& d : deployments) {
+    HEC_EXPECTS(d.model != nullptr);
+    const double k = d.model->time_per_unit(d.config);
+    HEC_EXPECTS(k > 0.0);
+    rates.push_back(1.0 / k);
+    total_rate += rates.back();
+  }
+  std::vector<double> shares(deployments.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    shares[i] = work_units * rates[i] / total_rate;
+  }
+  return shares;
+}
+
+MultiPrediction predict_multi(std::span<const TypedDeployment> deployments,
+                              double work_units) {
+  MultiPrediction out;
+  out.shares = match_split_multi(deployments, work_units);
+  out.parts.reserve(deployments.size());
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    out.parts.push_back(
+        deployments[i].model->predict(out.shares[i], deployments[i].config));
+    out.t_s = std::max(out.t_s, out.parts.back().t_s);
+    out.energy_j += out.parts.back().energy_j();
+  }
+  return out;
+}
+
+}  // namespace hec

@@ -1,0 +1,115 @@
+// Fixed-size worker pool for the configuration-space sweeps.
+//
+// The heterogeneous configuration space grows multiplicatively (36,380
+// points for a 10+10-node cluster, millions for the budget studies), and
+// evaluating each point is an independent pure computation — an
+// embarrassingly parallel map. This pool provides the classic
+// submit/wait interface plus a static-chunked parallel_for that mirrors an
+// OpenMP "parallel for schedule(static)" without the dependency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+/// Fixed-size FIFO thread pool. Threads are joined in the destructor;
+/// tasks submitted after shutdown() throw.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (default: hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future observes its result/exception.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      HEC_EXPECTS(!stopping_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Shared pool for library-internal parallelism (lazily constructed).
+ThreadPool& global_pool();
+
+/// Runs body(i) for i in [begin, end) across the pool with static chunking.
+/// Rethrows the first exception thrown by any chunk. body must be safe to
+/// invoke concurrently for distinct indices.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  ThreadPool& pool = global_pool()) {
+  HEC_EXPECTS(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t workers = pool.thread_count();
+  // Small ranges: not worth the dispatch overhead.
+  if (n == 1 || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Parallel map: out[i] = fn(i) for i in [0, n). Returns the vector.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t n, const Fn& fn,
+                            ThreadPool& pool = global_pool()) {
+  std::vector<R> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+}  // namespace hec

@@ -1,0 +1,55 @@
+// Energy-deadline Pareto frontier (Section IV-B, step two of Fig. 1).
+//
+// Each evaluated configuration is a point (service time, energy). A point
+// is Pareto optimal when no other point is both at least as fast and uses
+// no more energy. The frontier, ordered by increasing time, has strictly
+// decreasing energy; querying it with a deadline returns the minimum
+// energy needed to meet that deadline (the curves of Figs. 4-9).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace hec {
+
+/// A (time, energy) observation tagged with its source configuration's
+/// index in the caller's array.
+struct TimeEnergyPoint {
+  double t_s = 0.0;
+  double energy_j = 0.0;
+  std::size_t tag = 0;
+
+  friend bool operator==(const TimeEnergyPoint&,
+                         const TimeEnergyPoint&) = default;
+};
+
+/// Pareto-optimal subset, sorted by ascending time (and thus strictly
+/// descending energy). Ties in time keep the lowest-energy point; exact
+/// duplicates keep the first tag.
+std::vector<TimeEnergyPoint> pareto_frontier(
+    std::span<const TimeEnergyPoint> points);
+
+/// Minimum-energy-for-deadline query structure over a frontier.
+class EnergyDeadlineCurve {
+ public:
+  /// `frontier` must come from pareto_frontier (sorted, strictly
+  /// decreasing energy); validated on construction.
+  explicit EnergyDeadlineCurve(std::vector<TimeEnergyPoint> frontier);
+
+  /// The cheapest point with t_s <= deadline; nullopt when the deadline
+  /// is tighter than the fastest configuration.
+  std::optional<TimeEnergyPoint> best_for_deadline(double deadline_s) const;
+
+  /// Minimum energy to meet the deadline (infinity when unmeetable).
+  double min_energy_j(double deadline_s) const;
+
+  const std::vector<TimeEnergyPoint>& points() const { return frontier_; }
+  /// Fastest achievable service time.
+  double min_time_s() const;
+
+ private:
+  std::vector<TimeEnergyPoint> frontier_;
+};
+
+}  // namespace hec

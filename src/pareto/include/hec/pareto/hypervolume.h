@@ -1,0 +1,36 @@
+// Hypervolume indicator for energy-deadline frontiers.
+//
+// Comparing two frontiers point-by-point is awkward when their point
+// sets differ (e.g. the 2-tier vs 3-tier study): the standard
+// multi-objective quality measure is the hypervolume — the area of the
+// (time, energy) region dominated by the frontier, bounded by a
+// reference point that is worse than every frontier point in both
+// objectives. Larger is better; a frontier that dominates another has
+// strictly larger hypervolume against the same reference.
+#pragma once
+
+#include <span>
+
+#include "hec/pareto/frontier.h"
+
+namespace hec {
+
+/// Dominated area between `frontier` (sorted, strictly improving —
+/// pareto_frontier's output) and the reference point
+/// (ref_time_s, ref_energy_j). Points beyond the reference in either
+/// objective contribute only their clipped part. Preconditions:
+/// frontier non-empty and valid, reference worse than at least the
+/// frontier's best point in each objective.
+double hypervolume(std::span<const TimeEnergyPoint> frontier,
+                   double ref_time_s, double ref_energy_j);
+
+/// Reference point that covers both frontiers (component-wise max plus a
+/// 5% margin) — the conventional choice when comparing two frontiers.
+struct ReferencePoint {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+ReferencePoint covering_reference(std::span<const TimeEnergyPoint> a,
+                                  std::span<const TimeEnergyPoint> b);
+
+}  // namespace hec

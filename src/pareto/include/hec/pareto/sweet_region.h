@@ -1,0 +1,58 @@
+// Sweet-region and overlap-region analysis (Section IV-B).
+//
+// The paper observes that heterogeneous frontiers divide into a "sweet
+// region" — a prefix of heterogeneous mixes where energy falls linearly as
+// the deadline relaxes — optionally followed by an "overlap region" of
+// homogeneous low-power configurations (present only for compute-bound
+// workloads, where lowering cores/frequency still trades time for energy).
+// These helpers locate both regions and quantify the sweet region's
+// linearity with a least-squares fit.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "hec/pareto/frontier.h"
+#include "hec/stats/regression.h"
+
+namespace hec {
+
+/// Classification callback: is the configuration behind a frontier point
+/// heterogeneous (receives the point's tag)?
+using HeterogeneousPredicate = std::function<bool(std::size_t)>;
+
+/// A contiguous frontier segment [begin, end) of heterogeneous mixes.
+struct SweetRegion {
+  std::size_t begin = 0;  ///< first frontier index in the region
+  std::size_t end = 0;    ///< one past the last index
+  LinearFit energy_vs_time;  ///< energy (J) regressed on time (s)
+  double energy_upper_j = 0.0;  ///< energy at the region's fastest point
+  double energy_lower_j = 0.0;  ///< energy at the region's slowest point
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// The longest prefix run of heterogeneous points on the frontier (the
+/// paper's sweet region starts at the fastest configurations). Returns
+/// nullopt when fewer than `min_points` heterogeneous points lead the
+/// frontier.
+std::optional<SweetRegion> find_sweet_region(
+    std::span<const TimeEnergyPoint> frontier,
+    const HeterogeneousPredicate& is_heterogeneous,
+    std::size_t min_points = 3);
+
+/// The homogeneous suffix following the sweet region (empty when the
+/// frontier ends heterogeneous — the paper's I/O-bound case).
+struct OverlapRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Locates the overlap region: the maximal homogeneous suffix.
+OverlapRegion find_overlap_region(
+    std::span<const TimeEnergyPoint> frontier,
+    const HeterogeneousPredicate& is_heterogeneous);
+
+}  // namespace hec

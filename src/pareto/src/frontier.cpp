@@ -1,0 +1,72 @@
+#include "hec/pareto/frontier.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<TimeEnergyPoint> pareto_frontier(
+    std::span<const TimeEnergyPoint> points) {
+  std::vector<TimeEnergyPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TimeEnergyPoint& a, const TimeEnergyPoint& b) {
+              if (a.t_s != b.t_s) return a.t_s < b.t_s;
+              if (a.energy_j != b.energy_j) return a.energy_j < b.energy_j;
+              return a.tag < b.tag;
+            });
+  std::vector<TimeEnergyPoint> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  double last_time = -std::numeric_limits<double>::infinity();
+  // Strict dominance with a relative epsilon: energy "improvements" at
+  // floating-point rounding scale (e.g. the same configuration computed
+  // with a different node count but identical per-unit cost) do not
+  // create spurious frontier points.
+  constexpr double kRelEps = 1e-9;
+  for (const auto& p : sorted) {
+    if (p.energy_j < best_energy * (1.0 - kRelEps)) {
+      if (p.t_s == last_time && !frontier.empty()) {
+        // Same time, lower energy cannot happen post-sort; defensive only.
+        frontier.back() = p;
+      } else {
+        frontier.push_back(p);
+      }
+      best_energy = p.energy_j;
+      last_time = p.t_s;
+    }
+  }
+  return frontier;
+}
+
+EnergyDeadlineCurve::EnergyDeadlineCurve(
+    std::vector<TimeEnergyPoint> frontier)
+    : frontier_(std::move(frontier)) {
+  HEC_EXPECTS(!frontier_.empty());
+  for (std::size_t i = 1; i < frontier_.size(); ++i) {
+    HEC_EXPECTS(frontier_[i].t_s > frontier_[i - 1].t_s);
+    HEC_EXPECTS(frontier_[i].energy_j < frontier_[i - 1].energy_j);
+  }
+}
+
+std::optional<TimeEnergyPoint> EnergyDeadlineCurve::best_for_deadline(
+    double deadline_s) const {
+  // Frontier energy decreases with time, so the cheapest feasible point is
+  // the slowest one still within the deadline.
+  const auto it = std::upper_bound(
+      frontier_.begin(), frontier_.end(), deadline_s,
+      [](double d, const TimeEnergyPoint& p) { return d < p.t_s; });
+  if (it == frontier_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+double EnergyDeadlineCurve::min_energy_j(double deadline_s) const {
+  const auto best = best_for_deadline(deadline_s);
+  return best ? best->energy_j : std::numeric_limits<double>::infinity();
+}
+
+double EnergyDeadlineCurve::min_time_s() const {
+  return frontier_.front().t_s;
+}
+
+}  // namespace hec

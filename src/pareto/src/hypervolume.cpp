@@ -1,0 +1,52 @@
+#include "hec/pareto/hypervolume.h"
+
+#include <algorithm>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+double hypervolume(std::span<const TimeEnergyPoint> frontier,
+                   double ref_time_s, double ref_energy_j) {
+  HEC_EXPECTS(!frontier.empty());
+  // Validate ordering (as produced by pareto_frontier).
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    HEC_EXPECTS(frontier[i].t_s > frontier[i - 1].t_s);
+    HEC_EXPECTS(frontier[i].energy_j < frontier[i - 1].energy_j);
+  }
+  HEC_EXPECTS(ref_time_s > frontier.front().t_s);
+  HEC_EXPECTS(ref_energy_j > frontier.back().energy_j);
+
+  // Sweep left to right: each point dominates the rectangle from its
+  // time to the next point's time (or the reference), at the energy gap
+  // below the reference.
+  double volume = 0.0;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const TimeEnergyPoint& p = frontier[i];
+    if (p.t_s >= ref_time_s || p.energy_j >= ref_energy_j) continue;
+    const double next_time = i + 1 < frontier.size()
+                                 ? std::min(frontier[i + 1].t_s, ref_time_s)
+                                 : ref_time_s;
+    const double width = next_time - std::max(p.t_s, 0.0);
+    if (width <= 0.0) continue;
+    volume += width * (ref_energy_j - p.energy_j);
+  }
+  return volume;
+}
+
+ReferencePoint covering_reference(std::span<const TimeEnergyPoint> a,
+                                  std::span<const TimeEnergyPoint> b) {
+  HEC_EXPECTS(!a.empty() && !b.empty());
+  ReferencePoint ref;
+  for (const auto& frontier : {a, b}) {
+    for (const auto& p : frontier) {
+      ref.time_s = std::max(ref.time_s, p.t_s);
+      ref.energy_j = std::max(ref.energy_j, p.energy_j);
+    }
+  }
+  ref.time_s *= 1.05;
+  ref.energy_j *= 1.05;
+  return ref;
+}
+
+}  // namespace hec

@@ -1,0 +1,49 @@
+#include "hec/pareto/sweet_region.h"
+
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::optional<SweetRegion> find_sweet_region(
+    std::span<const TimeEnergyPoint> frontier,
+    const HeterogeneousPredicate& is_heterogeneous,
+    std::size_t min_points) {
+  HEC_EXPECTS(min_points >= 2);
+  std::size_t end = 0;
+  while (end < frontier.size() && is_heterogeneous(frontier[end].tag)) {
+    ++end;
+  }
+  if (end < min_points) return std::nullopt;
+
+  SweetRegion region;
+  region.begin = 0;
+  region.end = end;
+  std::vector<double> xs, ys;
+  xs.reserve(end);
+  ys.reserve(end);
+  for (std::size_t i = 0; i < end; ++i) {
+    xs.push_back(frontier[i].t_s);
+    ys.push_back(frontier[i].energy_j);
+  }
+  region.energy_vs_time = fit_line(xs, ys);
+  region.energy_upper_j = frontier.front().energy_j;
+  region.energy_lower_j = frontier[end - 1].energy_j;
+  return region;
+}
+
+OverlapRegion find_overlap_region(
+    std::span<const TimeEnergyPoint> frontier,
+    const HeterogeneousPredicate& is_heterogeneous) {
+  OverlapRegion region;
+  region.end = frontier.size();
+  std::size_t begin = frontier.size();
+  while (begin > 0 && !is_heterogeneous(frontier[begin - 1].tag)) {
+    --begin;
+  }
+  region.begin = begin;
+  return region;
+}
+
+}  // namespace hec

@@ -1,0 +1,40 @@
+// M/D/1 queueing model (Section IV-E).
+//
+// Jobs arrive Poisson (rate lambda) at a dispatcher and are serviced one
+// at a time with a deterministic service time fixed by the cluster
+// configuration (the matching policy makes service deterministic). The
+// Pollaczek-Khinchine formula for deterministic service gives the mean
+// queueing delay Wq = rho * S / (2 (1 - rho)), with utilisation
+// rho = lambda * S.
+#pragma once
+
+namespace hec {
+
+/// Mean-value M/D/1 results for one (arrival rate, service time) pair.
+class MD1Queue {
+ public:
+  /// Preconditions: arrival_rate >= 0, service_s > 0, utilisation < 1.
+  MD1Queue(double arrival_rate_per_s, double service_s);
+
+  double arrival_rate_per_s() const { return lambda_; }
+  double service_s() const { return service_; }
+
+  /// rho = lambda * S in [0, 1).
+  double utilization() const { return lambda_ * service_; }
+  /// Mean time spent waiting in the dispatcher queue.
+  double mean_wait_s() const;
+  /// Mean response time: wait + service.
+  double mean_response_s() const;
+  /// Mean number of jobs in the system (Little's law).
+  double mean_jobs_in_system() const;
+
+  /// The arrival rate that produces `utilization` for a given service
+  /// time (utilization in [0, 1)).
+  static double rate_for_utilization(double utilization, double service_s);
+
+ private:
+  double lambda_;
+  double service_;
+};
+
+}  // namespace hec

@@ -1,0 +1,51 @@
+// Event-driven dispatcher simulation.
+//
+// Validates the closed-form queueing results (M/D/1 Pollaczek-Khinchine,
+// Kingman's G/G/1 approximation) empirically: jobs arrive at a single
+// dispatcher with configurable inter-arrival and service distributions
+// and are served FIFO one at a time, exactly the paper's Section IV-E
+// setup. The tests compare simulated mean waits against the formulas —
+// a substrate-level check that Fig. 10's queueing layer is sound.
+#pragma once
+
+#include <cstdint>
+
+namespace hec {
+
+/// Inter-arrival / service distribution shapes for the dispatcher.
+enum class QueueDistribution {
+  kDeterministic,  ///< constant
+  kExponential,    ///< memoryless (the M of M/D/1)
+  kUniform,        ///< U(0.5 mean, 1.5 mean): mild variance
+  kHyperExp,       ///< 2-phase hyperexponential: bursty (cv^2 > 1)
+};
+
+/// Squared coefficient of variation of a distribution shape (feeds the
+/// Kingman comparison).
+double squared_cv(QueueDistribution dist);
+
+/// Simulation setup: arrival rate, mean service time, shapes, length.
+struct QueueSimConfig {
+  double arrival_rate_per_s = 1.0;
+  double mean_service_s = 0.1;
+  QueueDistribution arrivals = QueueDistribution::kExponential;
+  QueueDistribution service = QueueDistribution::kDeterministic;
+  std::uint64_t jobs = 100000;
+  std::uint64_t warmup_jobs = 1000;  ///< excluded from the statistics
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated results over the measured jobs.
+struct QueueSimResult {
+  double mean_wait_s = 0.0;
+  double mean_response_s = 0.0;
+  double max_wait_s = 0.0;
+  double utilization = 0.0;  ///< busy fraction of the server
+  std::uint64_t jobs_measured = 0;
+};
+
+/// Runs the single-server FIFO simulation. Preconditions: rates/means
+/// positive, offered load below 1, jobs > warmup_jobs.
+QueueSimResult simulate_queue(const QueueSimConfig& config);
+
+}  // namespace hec

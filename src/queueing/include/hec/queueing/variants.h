@@ -1,0 +1,50 @@
+// Queueing-model variants beyond the paper's M/D/1.
+//
+// The paper fixes M/D/1 — Poisson arrivals, deterministic service (the
+// matching policy makes service times deterministic). Real dispatchers
+// see burstier arrivals and residual service variance; these variants
+// quantify how sensitive the Fig. 10 conclusions are to that choice:
+//   * MM1Queue: exponential service (the classic worst-ish case).
+//   * GG1Kingman: Kingman's heavy-traffic approximation parameterised by
+//     the squared coefficients of variation of inter-arrival (ca2) and
+//     service (cs2) times. M/D/1 is (ca2=1, cs2=0); M/M/1 is (1, 1).
+#pragma once
+
+namespace hec {
+
+/// M/M/1 mean-value results.
+class MM1Queue {
+ public:
+  /// Preconditions: arrival_rate >= 0, service_s > 0, utilisation < 1.
+  MM1Queue(double arrival_rate_per_s, double service_s);
+
+  double utilization() const { return lambda_ * service_; }
+  double mean_wait_s() const;
+  double mean_response_s() const;
+
+ private:
+  double lambda_;
+  double service_;
+};
+
+/// Kingman's G/G/1 approximation:
+///   Wq ~= rho/(1-rho) * (ca2 + cs2)/2 * S
+class GG1Kingman {
+ public:
+  /// Preconditions: arrival_rate >= 0, service_s > 0, utilisation < 1,
+  /// ca2 >= 0, cs2 >= 0.
+  GG1Kingman(double arrival_rate_per_s, double service_s, double ca2,
+             double cs2);
+
+  double utilization() const { return lambda_ * service_; }
+  double mean_wait_s() const;
+  double mean_response_s() const;
+
+ private:
+  double lambda_;
+  double service_;
+  double ca2_;
+  double cs2_;
+};
+
+}  // namespace hec

@@ -1,0 +1,45 @@
+// Queueing-aware energy over an observation window (Fig. 10).
+//
+// Extends the Pareto analysis from per-job service energy to a stream of
+// jobs observed for a fixed window: each configuration serves jobs at its
+// deterministic service time; the target utilisation fixes the arrival
+// rate; energy over the window is the jobs' service energy plus the idle
+// draw of the powered-on nodes between jobs (unused nodes are off). The
+// response time axis includes the M/D/1 dispatcher wait.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/pareto/frontier.h"
+
+namespace hec {
+
+/// One configuration's position in the response-time/window-energy plane.
+struct QueueingPoint {
+  std::size_t config_index = 0;   ///< into the caller's outcome array
+  double response_s = 0.0;        ///< mean per-job response (wait + service)
+  double window_energy_j = 0.0;   ///< energy over the observation window
+  double jobs_served = 0.0;
+};
+
+/// Parameters of the windowed analysis.
+struct WindowOptions {
+  double window_s = 20.0;      ///< observation period (paper: 20 s)
+  double utilization = 0.25;   ///< target rho in (0, 1)
+};
+
+/// Evaluates every configuration outcome under the windowed M/D/1 model.
+/// `powered_idle_w(i)` must return the idle power of the nodes outcome i
+/// keeps on (see ConfigEvaluator::powered_idle_w).
+std::vector<QueueingPoint> window_points(
+    std::span<const ConfigOutcome> outcomes,
+    const std::vector<double>& powered_idle_w, const WindowOptions& opts);
+
+/// Response-time/energy Pareto frontier of the windowed points; tags are
+/// config indices.
+std::vector<TimeEnergyPoint> window_frontier(
+    std::span<const QueueingPoint> points);
+
+}  // namespace hec

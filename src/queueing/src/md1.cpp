@@ -1,0 +1,35 @@
+#include "hec/queueing/md1.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+MD1Queue::MD1Queue(double arrival_rate_per_s, double service_s)
+    : lambda_(arrival_rate_per_s), service_(service_s) {
+  HEC_EXPECTS(arrival_rate_per_s >= 0.0);
+  HEC_EXPECTS(service_s > 0.0);
+  HEC_EXPECTS(arrival_rate_per_s * service_s < 1.0);
+}
+
+double MD1Queue::mean_wait_s() const {
+  const double rho = utilization();
+  // Pollaczek-Khinchine with zero service variance.
+  return rho * service_ / (2.0 * (1.0 - rho));
+}
+
+double MD1Queue::mean_response_s() const {
+  return mean_wait_s() + service_;
+}
+
+double MD1Queue::mean_jobs_in_system() const {
+  return lambda_ * mean_response_s();
+}
+
+double MD1Queue::rate_for_utilization(double utilization,
+                                      double service_s) {
+  HEC_EXPECTS(utilization >= 0.0 && utilization < 1.0);
+  HEC_EXPECTS(service_s > 0.0);
+  return utilization / service_s;
+}
+
+}  // namespace hec

@@ -1,0 +1,97 @@
+#include "hec/queueing/queue_sim.h"
+
+#include <algorithm>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+
+namespace {
+/// Hyperexponential branch parameters chosen for cv^2 = 4: probability p
+/// picks a fast phase, 1-p a slow one, balanced to the requested mean.
+constexpr double kHyperP = 0.887;  // => cv^2 ~ 4 with mean preserved
+
+double draw(QueueDistribution dist, double mean, Rng& rng) {
+  switch (dist) {
+    case QueueDistribution::kDeterministic:
+      return mean;
+    case QueueDistribution::kExponential:
+      return rng.exponential(1.0 / mean);
+    case QueueDistribution::kUniform:
+      return rng.uniform(0.5 * mean, 1.5 * mean);
+    case QueueDistribution::kHyperExp: {
+      // Two exponential phases with rates tuned so the mixture keeps the
+      // mean and cv^2 = squared_cv(kHyperExp).
+      const double p = kHyperP;
+      const double mean_fast = mean / (2.0 * p);
+      const double mean_slow = mean / (2.0 * (1.0 - p));
+      const double chosen = rng.uniform() < p ? mean_fast : mean_slow;
+      return rng.exponential(1.0 / chosen);
+    }
+  }
+  return mean;
+}
+}  // namespace
+
+double squared_cv(QueueDistribution dist) {
+  switch (dist) {
+    case QueueDistribution::kDeterministic:
+      return 0.0;
+    case QueueDistribution::kExponential:
+      return 1.0;
+    case QueueDistribution::kUniform:
+      // Var(U(a,b)) = (b-a)^2/12 with a = m/2, b = 3m/2 -> m^2/12.
+      return 1.0 / 12.0;
+    case QueueDistribution::kHyperExp: {
+      // Mixture of exponentials: E[X^2] = p*2*mf^2 + (1-p)*2*ms^2.
+      const double p = kHyperP;
+      const double mf = 1.0 / (2.0 * p);
+      const double ms = 1.0 / (2.0 * (1.0 - p));
+      const double second = p * 2.0 * mf * mf + (1.0 - p) * 2.0 * ms * ms;
+      return second - 1.0;  // mean normalised to 1
+    }
+  }
+  return 0.0;
+}
+
+QueueSimResult simulate_queue(const QueueSimConfig& config) {
+  HEC_EXPECTS(config.arrival_rate_per_s > 0.0);
+  HEC_EXPECTS(config.mean_service_s > 0.0);
+  HEC_EXPECTS(config.arrival_rate_per_s * config.mean_service_s < 1.0);
+  HEC_EXPECTS(config.jobs > config.warmup_jobs);
+
+  Rng arrivals_rng(config.seed);
+  Rng service_rng = arrivals_rng.split(0x5e11ce);
+
+  const double mean_interarrival = 1.0 / config.arrival_rate_per_s;
+  double clock = 0.0;        // arrival clock
+  double server_free = 0.0;  // when the server next frees up
+  double busy_s = 0.0;
+
+  QueueSimResult result;
+  double wait_sum = 0.0, response_sum = 0.0;
+  for (std::uint64_t i = 0; i < config.jobs; ++i) {
+    clock += draw(config.arrivals, mean_interarrival, arrivals_rng);
+    const double start = std::max(clock, server_free);
+    const double service =
+        draw(config.service, config.mean_service_s, service_rng);
+    server_free = start + service;
+    busy_s += service;
+    if (i >= config.warmup_jobs) {
+      const double wait = start - clock;
+      wait_sum += wait;
+      response_sum += wait + service;
+      result.max_wait_s = std::max(result.max_wait_s, wait);
+      ++result.jobs_measured;
+    }
+  }
+  HEC_ENSURES(result.jobs_measured > 0);
+  result.mean_wait_s = wait_sum / static_cast<double>(result.jobs_measured);
+  result.mean_response_s =
+      response_sum / static_cast<double>(result.jobs_measured);
+  result.utilization = busy_s / server_free;
+  return result;
+}
+
+}  // namespace hec

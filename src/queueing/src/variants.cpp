@@ -1,0 +1,44 @@
+#include "hec/queueing/variants.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+MM1Queue::MM1Queue(double arrival_rate_per_s, double service_s)
+    : lambda_(arrival_rate_per_s), service_(service_s) {
+  HEC_EXPECTS(arrival_rate_per_s >= 0.0);
+  HEC_EXPECTS(service_s > 0.0);
+  HEC_EXPECTS(arrival_rate_per_s * service_s < 1.0);
+}
+
+double MM1Queue::mean_wait_s() const {
+  const double rho = utilization();
+  return rho * service_ / (1.0 - rho);
+}
+
+double MM1Queue::mean_response_s() const {
+  return mean_wait_s() + service_;
+}
+
+GG1Kingman::GG1Kingman(double arrival_rate_per_s, double service_s,
+                       double ca2, double cs2)
+    : lambda_(arrival_rate_per_s),
+      service_(service_s),
+      ca2_(ca2),
+      cs2_(cs2) {
+  HEC_EXPECTS(arrival_rate_per_s >= 0.0);
+  HEC_EXPECTS(service_s > 0.0);
+  HEC_EXPECTS(arrival_rate_per_s * service_s < 1.0);
+  HEC_EXPECTS(ca2 >= 0.0 && cs2 >= 0.0);
+}
+
+double GG1Kingman::mean_wait_s() const {
+  const double rho = utilization();
+  return rho / (1.0 - rho) * (ca2_ + cs2_) / 2.0 * service_;
+}
+
+double GG1Kingman::mean_response_s() const {
+  return mean_wait_s() + service_;
+}
+
+}  // namespace hec

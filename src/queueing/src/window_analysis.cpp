@@ -1,0 +1,50 @@
+#include "hec/queueing/window_analysis.h"
+
+#include "hec/queueing/md1.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<QueueingPoint> window_points(
+    std::span<const ConfigOutcome> outcomes,
+    const std::vector<double>& powered_idle_w, const WindowOptions& opts) {
+  HEC_EXPECTS(outcomes.size() == powered_idle_w.size());
+  HEC_EXPECTS(opts.window_s > 0.0);
+  HEC_EXPECTS(opts.utilization > 0.0 && opts.utilization < 1.0);
+
+  std::vector<QueueingPoint> points;
+  points.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ConfigOutcome& outcome = outcomes[i];
+    HEC_EXPECTS(outcome.t_s > 0.0);
+    const double lambda =
+        MD1Queue::rate_for_utilization(opts.utilization, outcome.t_s);
+    const MD1Queue queue(lambda, outcome.t_s);
+
+    QueueingPoint p;
+    p.config_index = i;
+    p.response_s = queue.mean_response_s();
+    p.jobs_served = lambda * opts.window_s;
+    // Service energy for the jobs plus idle draw while powered-on nodes
+    // sit between jobs. The busy fraction is exactly the utilisation.
+    const double busy_s = p.jobs_served * outcome.t_s;
+    HEC_ENSURES(busy_s <= opts.window_s * (1.0 + 1e-9));
+    p.window_energy_j = p.jobs_served * outcome.energy_j +
+                        (opts.window_s - busy_s) * powered_idle_w[i];
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<TimeEnergyPoint> window_frontier(
+    std::span<const QueueingPoint> points) {
+  std::vector<TimeEnergyPoint> te;
+  te.reserve(points.size());
+  for (const auto& p : points) {
+    te.push_back(TimeEnergyPoint{p.response_s, p.window_energy_j,
+                                 p.config_index});
+  }
+  return pareto_frontier(te);
+}
+
+}  // namespace hec

@@ -1,0 +1,39 @@
+// Markdown analysis reports.
+//
+// Packages a full workload analysis — characterisation, PPR, Pareto
+// frontier with regions, deadline-indexed recommendations — as a
+// Markdown document. The hecsim_report tool is a thin wrapper; keeping
+// the generator in the library makes the content unit-testable and
+// reusable (e.g. CI artefacts, dashboards).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hec/model/node_model.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+
+/// Report knobs.
+struct ReportOptions {
+  double work_units = 0.0;  ///< 0 = the workload's analysis size
+  int max_arm_nodes = 10;
+  int max_amd_nodes = 10;
+  /// Deadline factors (x fastest) for the recommendation table.
+  std::vector<double> deadline_factors{1.0, 2.0, 5.0};
+  /// Electricity price used for the operating-cost estimate.
+  double usd_per_kwh = 0.12;
+};
+
+/// Generates the full Markdown report for one workload on the paper's
+/// node pair, given already-characterised models (so callers control
+/// measurement cost and seeding). Preconditions: models characterised
+/// for `workload`'s demands; options valid (positive pools, factors
+/// >= 1).
+std::string markdown_report(const Workload& workload,
+                            const NodeTypeModel& arm_model,
+                            const NodeTypeModel& amd_model,
+                            const ReportOptions& options = {});
+
+}  // namespace hec

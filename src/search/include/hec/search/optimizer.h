@@ -1,0 +1,50 @@
+// Configuration-space search (the paper's stated open problem).
+//
+// "An approach to reduce the configuration space is beyond the scope of
+// this paper" (Section IV-B). This module provides two such approaches
+// for the canonical query — the minimum-energy configuration meeting a
+// deadline:
+//
+//  * branch_and_bound_search: EXACT. Node-count pairs are bounded below
+//    by their idle-floor energy (E >= sum of idle powers x the pair's
+//    fastest achievable time); pairs whose bound exceeds the incumbent
+//    are pruned without sweeping their operating points.
+//  * greedy_search: APPROXIMATE. Multi-start coordinate descent over the
+//    six integer coordinates (nodes, cores, P-state index per type),
+//    accepting feasible energy-improving neighbours.
+//
+// Both report how many model evaluations they spent, so benches can
+// compare them against the exhaustive sweep's 36,380.
+#pragma once
+
+#include <optional>
+
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+
+namespace hec {
+
+/// A search outcome plus its evaluation cost.
+struct SearchResult {
+  ConfigOutcome best;
+  std::size_t evaluations = 0;
+};
+
+/// Exact minimum-energy-under-deadline via idle-floor branch and bound.
+/// Returns nullopt when no configuration within `limits` meets the
+/// deadline. Preconditions: work_units > 0, deadline_s > 0.
+std::optional<SearchResult> branch_and_bound_search(
+    const ConfigEvaluator& evaluator, const NodeSpec& arm,
+    const NodeSpec& amd, const EnumerationLimits& limits, double work_units,
+    double deadline_s);
+
+/// Approximate search by multi-start coordinate descent. `starts`
+/// controls robustness (>= 1).
+std::optional<SearchResult> greedy_search(const ConfigEvaluator& evaluator,
+                                          const NodeSpec& arm,
+                                          const NodeSpec& amd,
+                                          const EnumerationLimits& limits,
+                                          double work_units,
+                                          double deadline_s, int starts = 4);
+
+}  // namespace hec

@@ -1,0 +1,181 @@
+#include "hec/search/optimizer.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+
+ClusterConfig pair_config(int n_arm, int n_amd, int c_arm, double f_arm,
+                          int c_amd, double f_amd) {
+  return ClusterConfig{NodeConfig{n_arm, c_arm, f_arm},
+                       NodeConfig{n_amd, c_amd, f_amd}};
+}
+
+/// Fastest operating point of a node-count pair: all cores at fmax on
+/// both sides (execution rate is monotone in cores and frequency for the
+/// model's affine SPImem; exactness is cross-checked by the tests).
+ClusterConfig fastest_config(const NodeSpec& arm, const NodeSpec& amd,
+                             int n_arm, int n_amd) {
+  return pair_config(n_arm, n_amd, arm.cores, arm.pstates.max_ghz(),
+                     amd.cores, amd.pstates.max_ghz());
+}
+
+}  // namespace
+
+std::optional<SearchResult> branch_and_bound_search(
+    const ConfigEvaluator& evaluator, const NodeSpec& arm,
+    const NodeSpec& amd, const EnumerationLimits& limits, double work_units,
+    double deadline_s) {
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(deadline_s > 0.0);
+  HEC_EXPECTS(limits.max_arm_nodes >= 0 && limits.max_amd_nodes >= 0);
+
+  struct PairBound {
+    double bound_j;
+    int n_arm, n_amd;
+  };
+  std::vector<PairBound> feasible_pairs;
+  std::optional<ConfigOutcome> incumbent;
+  std::size_t evaluations = 0;
+
+  // Phase 1: one evaluation per node-count pair at its fastest point.
+  for (int n_arm = 0; n_arm <= limits.max_arm_nodes; ++n_arm) {
+    for (int n_amd = 0; n_amd <= limits.max_amd_nodes; ++n_amd) {
+      if (n_arm == 0 && n_amd == 0) continue;
+      const ClusterConfig fast = fastest_config(arm, amd, n_arm, n_amd);
+      const ConfigOutcome outcome = evaluator.evaluate(fast, work_units);
+      ++evaluations;
+      if (outcome.t_s > deadline_s) continue;  // pair cannot meet it
+      if (!incumbent || outcome.energy_j < incumbent->energy_j) {
+        incumbent = outcome;
+      }
+      // Any feasible config of this pair spends at least the powered
+      // idle floor for at least the pair's fastest time.
+      feasible_pairs.push_back(
+          {evaluator.powered_idle_w(fast) * outcome.t_s, n_arm, n_amd});
+    }
+  }
+  if (!incumbent) return std::nullopt;
+
+  // Phase 2: sweep pairs in bound order until the bound exceeds the
+  // incumbent — everything after is pruned.
+  std::sort(feasible_pairs.begin(), feasible_pairs.end(),
+            [](const PairBound& a, const PairBound& b) {
+              return a.bound_j < b.bound_j;
+            });
+  for (const PairBound& pair : feasible_pairs) {
+    if (pair.bound_j >= incumbent->energy_j) break;
+    const auto points = enumerate_operating_points(arm, pair.n_arm, amd,
+                                                   pair.n_amd);
+    for (const ClusterConfig& config : points) {
+      const ConfigOutcome outcome = evaluator.evaluate(config, work_units);
+      ++evaluations;
+      if (outcome.t_s <= deadline_s &&
+          outcome.energy_j < incumbent->energy_j) {
+        incumbent = outcome;
+      }
+    }
+  }
+  return SearchResult{*incumbent, evaluations};
+}
+
+std::optional<SearchResult> greedy_search(const ConfigEvaluator& evaluator,
+                                          const NodeSpec& arm,
+                                          const NodeSpec& amd,
+                                          const EnumerationLimits& limits,
+                                          double work_units,
+                                          double deadline_s, int starts) {
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(deadline_s > 0.0);
+  HEC_EXPECTS(starts >= 1);
+
+  const auto& arm_freqs = arm.pstates.frequencies_ghz();
+  const auto& amd_freqs = amd.pstates.frequencies_ghz();
+
+  // Coordinates: [n_arm, c_arm, f_arm index, n_amd, c_amd, f_amd index].
+  using Coord = std::array<int, 6>;
+  auto decode = [&](const Coord& x) {
+    return pair_config(x[0], x[3], x[1],
+                       arm_freqs[static_cast<std::size_t>(x[2])], x[4],
+                       amd_freqs[static_cast<std::size_t>(x[5])]);
+  };
+  auto valid = [&](const Coord& x) {
+    return x[0] >= 0 && x[0] <= limits.max_arm_nodes && x[1] >= 1 &&
+           x[1] <= arm.cores && x[2] >= 0 &&
+           x[2] < static_cast<int>(arm_freqs.size()) && x[3] >= 0 &&
+           x[3] <= limits.max_amd_nodes && x[4] >= 1 &&
+           x[4] <= amd.cores && x[5] >= 0 &&
+           x[5] < static_cast<int>(amd_freqs.size()) &&
+           (x[0] > 0 || x[3] > 0);
+  };
+
+  std::size_t evaluations = 0;
+  std::map<Coord, ConfigOutcome> memo;
+  auto eval = [&](const Coord& x) -> const ConfigOutcome& {
+    auto it = memo.find(x);
+    if (it == memo.end()) {
+      ++evaluations;
+      it = memo.emplace(x, evaluator.evaluate(decode(x), work_units)).first;
+    }
+    return it->second;
+  };
+
+  const int fa_max = static_cast<int>(arm_freqs.size()) - 1;
+  const int fd_max = static_cast<int>(amd_freqs.size()) - 1;
+  std::vector<Coord> seeds;
+  // Both types at full tilt, each homogeneous pole, and a half mix.
+  seeds.push_back({limits.max_arm_nodes, arm.cores, fa_max,
+                   limits.max_amd_nodes, amd.cores, fd_max});
+  if (limits.max_arm_nodes > 0) {
+    seeds.push_back({limits.max_arm_nodes, arm.cores, fa_max, 0, amd.cores,
+                     fd_max});
+  }
+  if (limits.max_amd_nodes > 0) {
+    seeds.push_back({0, arm.cores, fa_max, limits.max_amd_nodes, amd.cores,
+                     fd_max});
+  }
+  seeds.push_back({std::max(0, limits.max_arm_nodes / 2), arm.cores,
+                   fa_max, std::max(0, limits.max_amd_nodes / 2), amd.cores,
+                   fd_max});
+  seeds.resize(std::min<std::size_t>(seeds.size(),
+                                     static_cast<std::size_t>(starts)));
+
+  std::optional<ConfigOutcome> best;
+  for (const Coord& seed : seeds) {
+    if (!valid(seed)) continue;
+    const ConfigOutcome& seeded = eval(seed);
+    if (seeded.t_s > deadline_s) continue;
+    Coord current = seed;
+    ConfigOutcome current_outcome = seeded;
+    for (bool improved = true; improved;) {
+      improved = false;
+      for (int dim = 0; dim < 6 && !improved; ++dim) {
+        for (int step : {-1, +1}) {
+          Coord next = current;
+          next[static_cast<std::size_t>(dim)] += step;
+          if (!valid(next)) continue;
+          const ConfigOutcome& candidate = eval(next);
+          if (candidate.t_s <= deadline_s &&
+              candidate.energy_j < current_outcome.energy_j) {
+            current = next;
+            current_outcome = candidate;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!best || current_outcome.energy_j < best->energy_j) {
+      best = current_outcome;
+    }
+  }
+  if (!best) return std::nullopt;
+  return SearchResult{*best, evaluations};
+}
+
+}  // namespace hec

@@ -1,0 +1,52 @@
+// Hardware-event-counter equivalent.
+//
+// The paper measures model inputs with `perf` hardware counters
+// (Section II-D1): instructions retired, work cycles, non-memory stall
+// cycles and memory stall cycles. The simulator exposes the same
+// observables; everything the analytical model consumes is derived from
+// this struct, never from the simulator's internal parameters — keeping the
+// trace-driven methodology honest.
+#pragma once
+
+#include <cstdint>
+
+namespace hec {
+
+/// Aggregated event counts for one simulated run (all cores of a node).
+struct CounterSet {
+  double instructions = 0.0;       ///< instructions retired
+  double work_cycles = 0.0;        ///< cycles doing useful work
+  double core_stall_cycles = 0.0;  ///< non-memory pipeline stalls
+  double mem_stall_cycles = 0.0;   ///< stalls waiting on memory
+  double io_bytes = 0.0;           ///< bytes moved by the NIC (DMA)
+  double work_units = 0.0;         ///< application work units completed
+
+  CounterSet& operator+=(const CounterSet& o) {
+    instructions += o.instructions;
+    work_cycles += o.work_cycles;
+    core_stall_cycles += o.core_stall_cycles;
+    mem_stall_cycles += o.mem_stall_cycles;
+    io_bytes += o.io_bytes;
+    work_units += o.work_units;
+    return *this;
+  }
+
+  /// WPI: work cycles per instruction (0 when no instructions ran).
+  double wpi() const {
+    return instructions > 0.0 ? work_cycles / instructions : 0.0;
+  }
+  /// SPIcore: non-memory stall cycles per instruction.
+  double spi_core() const {
+    return instructions > 0.0 ? core_stall_cycles / instructions : 0.0;
+  }
+  /// SPImem: memory stall cycles per instruction.
+  double spi_mem() const {
+    return instructions > 0.0 ? mem_stall_cycles / instructions : 0.0;
+  }
+  /// IPs: instructions per application work unit.
+  double instructions_per_unit() const {
+    return work_units > 0.0 ? instructions / work_units : 0.0;
+  }
+};
+
+}  // namespace hec

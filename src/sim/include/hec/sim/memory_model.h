@@ -1,0 +1,42 @@
+// Shared-memory-controller timing model.
+//
+// All cores of a node share one memory controller (UMA, Section II-A).
+// One last-level-cache miss costs a frequency-independent on-chip portion
+// (queues, L2/L3 lookup — paid in core cycles) plus a DRAM portion fixed in
+// wall-clock time; expressed in core cycles the DRAM portion scales with f,
+// which is exactly why the paper observes SPImem growing linearly with core
+// frequency (Fig. 3). Contention from additional active cores lengthens the
+// DRAM portion (Section II-B2, citing Tudor et al. [36]).
+#pragma once
+
+#include "hec/hw/node_spec.h"
+#include "hec/sim/phase.h"
+
+namespace hec {
+
+/// Computes memory-stall costs for a node type. Copies the timing fields
+/// it needs, so it stays valid independent of the NodeSpec's lifetime.
+class MemoryModel {
+ public:
+  explicit MemoryModel(const NodeSpec& spec)
+      : miss_fixed_cycles_(spec.miss_fixed_cycles),
+        dram_latency_ns_(spec.dram_latency_ns),
+        contention_per_core_(spec.mem_contention_per_core),
+        cores_(spec.cores) {}
+
+  /// Core cycles one LLC miss costs at frequency f with `active_cores`
+  /// cores contending. active_cores >= 1, f within the node's P-states.
+  double miss_cycles(double f_ghz, int active_cores) const;
+
+  /// Memory stall cycles per instruction for a phase: misses/inst times
+  /// per-miss cost. This is SPImem of the model.
+  double spi_mem(const PhaseDemand& d, double f_ghz, int active_cores) const;
+
+ private:
+  double miss_fixed_cycles_;
+  double dram_latency_ns_;
+  double contention_per_core_;
+  int cores_;
+};
+
+}  // namespace hec

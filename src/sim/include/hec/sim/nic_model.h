@@ -1,0 +1,39 @@
+// Network I/O device (DMA NIC) model.
+//
+// I/O devices are memory-mapped and transfer data via DMA with minimal CPU
+// involvement (Section II-A), so NIC activity overlaps completely with core
+// activity. The NIC is a FIFO server: transfers are serialised on the link,
+// each taking bytes/bandwidth; for open-loop served workloads the next
+// request cannot start before its arrival time, which is how the
+// max(transfer, inter-arrival) structure of Eq. 11 emerges.
+#pragma once
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+/// FIFO link with fixed bandwidth; tracks busy time for power accounting.
+class NicModel {
+ public:
+  /// bandwidth_bytes_per_s > 0.
+  explicit NicModel(double bandwidth_bytes_per_s);
+
+  /// Admits a transfer of `bytes` that may start no earlier than
+  /// `earliest_start` (its arrival time). Returns the completion time.
+  /// Calls must have non-decreasing earliest_start (FIFO arrivals).
+  double admit(double earliest_start, double bytes);
+
+  /// Total time the link spent transferring so far.
+  double busy_s() const { return busy_s_; }
+  /// Completion time of the last admitted transfer (0 if none).
+  double last_completion_s() const { return next_free_; }
+  double total_bytes() const { return total_bytes_; }
+
+ private:
+  double bandwidth_;
+  double next_free_ = 0.0;
+  double busy_s_ = 0.0;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace hec

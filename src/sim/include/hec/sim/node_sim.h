@@ -1,0 +1,82 @@
+// Event-driven simulation of one multicore node executing a scale-out job.
+//
+// This is the measurement substrate that stands in for the paper's physical
+// ARM Cortex-A9 / AMD Opteron testbed. A run executes `work_units`
+// repetitions of the workload's representative phase on `cores_used` cores
+// at one P-state, with:
+//   * out-of-order overlap: per-chunk time is work + max(core-stall,
+//     memory-stall) cycles (Eqs. 3, 7-10), while the counters still record
+//     the raw stall totals exactly as perf would;
+//   * a shared memory controller whose per-miss cost grows with active
+//     cores and with frequency (MemoryModel);
+//   * a DMA NIC that delivers request-driven work and overlaps fully with
+//     compute (NicModel) — for served workloads cores can only process
+//     delivered chunks, so CPU utilisation below 1 emerges naturally;
+//   * a power meter integrating per-component draws (PowerMeter);
+//   * seeded multiplicative noise reproducing the paper's "irregularities
+//     among different runs of the same program".
+#pragma once
+
+#include <cstdint>
+
+#include "hec/hw/node_spec.h"
+#include "hec/sim/counters.h"
+#include "hec/sim/phase.h"
+#include "hec/sim/power_meter.h"
+
+namespace hec {
+
+/// One simulated execution's configuration.
+struct RunConfig {
+  int cores_used = 1;        ///< active cores (1..spec.cores)
+  double f_ghz = 0.0;        ///< P-state; must be supported by the node
+  double work_units = 1.0;   ///< repetitions of the representative phase
+  std::uint64_t seed = 1;    ///< noise stream seed
+  double noise_sigma = 0.03;      ///< per-chunk multiplicative jitter
+  double run_bias_sigma = 0.02;   ///< whole-run systematic factor
+  int chunks_per_core = 64;       ///< scheduling granularity
+};
+
+/// Observables of one simulated run: everything the paper measures with
+/// perf + the Yokogawa power monitor, and nothing else.
+struct RunResult {
+  double wall_s = 0.0;        ///< job service time on this node
+  CounterSet counters;        ///< perf-equivalent event counts
+  EnergyBreakdown energy;     ///< WT210-equivalent energy split
+  double cpu_busy_s = 0.0;    ///< summed busy time of all used cores
+  double io_busy_s = 0.0;     ///< NIC transferring time
+  double io_complete_s = 0.0; ///< completion time of the last NIC delivery
+  int cores_used = 0;
+
+  /// Average node power over the run.
+  double avg_power_w() const {
+    return wall_s > 0.0 ? energy.total_j() / wall_s : 0.0;
+  }
+  /// UCPU: average fraction of used cores kept busy (drives cact).
+  double ucpu() const {
+    return (wall_s > 0.0 && cores_used > 0)
+               ? cpu_busy_s / (wall_s * static_cast<double>(cores_used))
+               : 0.0;
+  }
+  /// Work-unit throughput (units per second).
+  double throughput() const {
+    return wall_s > 0.0 ? counters.work_units / wall_s : 0.0;
+  }
+};
+
+/// Simulates `demand` x `cfg.work_units` on one node of type `spec`.
+///
+/// Preconditions: cores_used in [1, spec.cores], f_ghz a supported P-state,
+/// work_units > 0.
+RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
+                        const RunConfig& cfg);
+
+/// Micro-benchmark demand that maximises useful work cycles (the paper's
+/// CPU-max power characterisation benchmark, Section II-D2).
+PhaseDemand cpu_max_demand();
+
+/// Micro-benchmark demand that streams cache misses to maximise stall
+/// cycles (the paper's stall benchmark).
+PhaseDemand stall_stream_demand();
+
+}  // namespace hec

@@ -1,0 +1,37 @@
+// Service-demand description of a workload's repeating parallel phase.
+//
+// Scale-out workloads consist of many repetitions of a representative phase
+// Ps (one memcached GET, one encoded frame, one priced option ...); the
+// paper's whole methodology rests on characterising Ps per ISA and scaling
+// it to the full program P (Section II-B). PhaseDemand is that per-work-unit
+// service-demand vector: what one unit asks of the cores, the memory system
+// and the network I/O device of one node type.
+#pragma once
+
+namespace hec {
+
+/// Per-work-unit service demands on one node type (ISA-specific).
+struct PhaseDemand {
+  /// Machine instructions to execute one work unit (IPs of the paper).
+  double instructions_per_unit = 0.0;
+  /// Work cycles per instruction (WPI) — ISA/micro-architecture property.
+  double wpi = 1.0;
+  /// Non-memory stall cycles per instruction (SPIcore): branch mispredicts,
+  /// pipeline hazards, FP latency chains.
+  double spi_core = 0.0;
+  /// Last-level-cache misses per 1000 instructions. Memory stall cycles are
+  /// derived from this by the memory model as a function of frequency and
+  /// active core count.
+  double mem_misses_per_kinst = 0.0;
+  /// Bytes moved over the NIC per work unit (request + response payloads).
+  double io_bytes_per_unit = 0.0;
+  /// Mean spacing between work-unit arrivals for served (open-loop)
+  /// workloads, in seconds; 0 means the whole batch is available at t=0.
+  /// This is 1/lambda_io of Eq. 11.
+  double io_interarrival_s = 0.0;
+  /// Fraction of instructions that are floating point (power flavour and
+  /// characterisation reporting only).
+  double fp_fraction = 0.0;
+};
+
+}  // namespace hec

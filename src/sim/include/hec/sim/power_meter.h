@@ -1,0 +1,63 @@
+// Power-meter equivalent (the paper used a Yokogawa WT210).
+//
+// Integrates piecewise-constant component power over simulated time into a
+// per-component energy breakdown matching the paper's decomposition
+// (Eq. 13): cores, memory, network I/O, and the always-on idle floor
+// (rest-of-system plus every component's idle draw). Channel values are
+// *increments above idle*, so the breakdown never double-counts the floor.
+#pragma once
+
+#include <vector>
+
+namespace hec {
+
+/// Energy split per Eq. 13 of the paper, in joules.
+struct EnergyBreakdown {
+  double core_j = 0.0;  ///< active/stall increments of all cores
+  double mem_j = 0.0;   ///< memory active increment
+  double io_j = 0.0;    ///< NIC active increment
+  double idle_j = 0.0;  ///< idle floor integrated over the whole run
+
+  double total_j() const { return core_j + mem_j + io_j + idle_j; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    core_j += o.core_j;
+    mem_j += o.mem_j;
+    io_j += o.io_j;
+    idle_j += o.idle_j;
+    return *this;
+  }
+};
+
+/// Piecewise-constant power integrator.
+class PowerMeter {
+ public:
+  /// idle_floor_w: the node's constant baseline draw (Pidle).
+  /// n_cores: number of per-core increment channels.
+  PowerMeter(double idle_floor_w, int n_cores);
+
+  /// Sets core `i`'s increment above idle (>= 0) effective at time t.
+  void set_core_power(int i, double watts, double t);
+  /// Sets the memory active increment effective at time t.
+  void set_mem_power(double watts, double t);
+  /// Sets the NIC active increment effective at time t.
+  void set_io_power(double watts, double t);
+
+  /// Integrates up to `t` and returns the breakdown so far.
+  EnergyBreakdown finish(double t);
+
+  /// Instantaneous total power right now.
+  double current_power_w() const;
+
+ private:
+  void advance(double t);
+
+  double idle_floor_w_;
+  std::vector<double> core_w_;
+  double mem_w_ = 0.0;
+  double io_w_ = 0.0;
+  double last_t_ = 0.0;
+  EnergyBreakdown acc_;
+};
+
+}  // namespace hec

@@ -1,0 +1,41 @@
+#include "hec/sim/event_queue.h"
+
+#include <stdexcept>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+void EventQueue::schedule_at(double when, Callback cb) {
+  HEC_EXPECTS(when >= now_);
+  HEC_EXPECTS(cb != nullptr);
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double delay, Callback cb) {
+  HEC_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventQueue::step() {
+  HEC_EXPECTS(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-prone, so
+  // copy the callback handle (shared state inside std::function is cheap
+  // relative to event work) and pop first in case the callback schedules.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.time;
+  entry.cb();
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    if (executed++ >= max_events) {
+      throw std::runtime_error("EventQueue::run exceeded max_events");
+    }
+    step();
+  }
+}
+
+}  // namespace hec

@@ -1,0 +1,23 @@
+#include "hec/sim/memory_model.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+double MemoryModel::miss_cycles(double f_ghz, int active_cores) const {
+  HEC_EXPECTS(f_ghz > 0.0);
+  HEC_EXPECTS(active_cores >= 1 && active_cores <= cores_);
+  const double contention =
+      1.0 + contention_per_core_ * static_cast<double>(active_cores - 1);
+  // On-chip cycles are paid as-is; DRAM nanoseconds convert to core cycles
+  // at f (GHz == cycles/ns), inflated by controller contention.
+  return miss_fixed_cycles_ + dram_latency_ns_ * contention * f_ghz;
+}
+
+double MemoryModel::spi_mem(const PhaseDemand& d, double f_ghz,
+                            int active_cores) const {
+  HEC_EXPECTS(d.mem_misses_per_kinst >= 0.0);
+  return d.mem_misses_per_kinst / 1000.0 * miss_cycles(f_ghz, active_cores);
+}
+
+}  // namespace hec

@@ -1,0 +1,23 @@
+#include "hec/sim/nic_model.h"
+
+#include <algorithm>
+
+namespace hec {
+
+NicModel::NicModel(double bandwidth_bytes_per_s)
+    : bandwidth_(bandwidth_bytes_per_s) {
+  HEC_EXPECTS(bandwidth_bytes_per_s > 0.0);
+}
+
+double NicModel::admit(double earliest_start, double bytes) {
+  HEC_EXPECTS(earliest_start >= 0.0);
+  HEC_EXPECTS(bytes >= 0.0);
+  const double start = std::max(earliest_start, next_free_);
+  const double duration = bytes / bandwidth_;
+  next_free_ = start + duration;
+  busy_s_ += duration;
+  total_bytes_ += bytes;
+  return next_free_;
+}
+
+}  // namespace hec

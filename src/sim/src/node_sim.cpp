@@ -1,0 +1,250 @@
+#include "hec/sim/node_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "hec/sim/event_queue.h"
+#include "hec/sim/memory_model.h"
+#include "hec/sim/nic_model.h"
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+#include "hec/util/units.h"
+
+namespace hec {
+
+namespace {
+
+/// Mutable state of one simulated run, shared by the event callbacks.
+class NodeRun {
+ public:
+  NodeRun(const NodeSpec& spec, const PhaseDemand& demand,
+          const RunConfig& cfg)
+      : spec_(spec),
+        demand_(demand),
+        cfg_(cfg),
+        mem_model_(spec),
+        meter_(spec.idle_node_w(), spec.cores),
+        rng_(cfg.seed) {
+    HEC_EXPECTS(cfg.cores_used >= 1 && cfg.cores_used <= spec.cores);
+    HEC_EXPECTS(spec.pstates.supports(cfg.f_ghz));
+    HEC_EXPECTS(cfg.work_units > 0.0);
+    HEC_EXPECTS(cfg.chunks_per_core >= 1);
+    run_bias_ = rng_.lognormal_unit(cfg.run_bias_sigma);
+    power_bias_ = rng_.lognormal_unit(cfg.run_bias_sigma * 0.75);
+    mem_duty_.assign(static_cast<std::size_t>(spec.cores), 0.0);
+  }
+
+  RunResult run() {
+    const int total_chunks =
+        std::max(cfg_.cores_used, cfg_.chunks_per_core * cfg_.cores_used);
+    units_per_chunk_ = cfg_.work_units / total_chunks;
+    chunks_remaining_to_dispatch_ = total_chunks;
+    chunks_outstanding_ = total_chunks;
+
+    for (int c = 0; c < cfg_.cores_used; ++c) idle_cores_.push_back(c);
+
+    if (demand_.io_bytes_per_unit > 0.0) {
+      schedule_deliveries(total_chunks);
+    } else {
+      // Batch workload: everything is resident; all chunks ready at t=0.
+      ready_chunks_ = total_chunks;
+      queue_.schedule_at(0.0, [this] { dispatch_ready(); });
+    }
+
+    queue_.run();
+
+    RunResult result;
+    result.wall_s = std::max(finish_time_, nic_last_completion_);
+    result.counters = counters_;
+    result.counters.work_units = cfg_.work_units;
+    result.counters.io_bytes =
+        demand_.io_bytes_per_unit * cfg_.work_units;
+    result.energy = meter_.finish(result.wall_s);
+    result.cpu_busy_s = cpu_busy_s_;
+    result.io_busy_s = io_busy_s_;
+    result.io_complete_s = nic_last_completion_;
+    result.cores_used = cfg_.cores_used;
+    return result;
+  }
+
+ private:
+  /// Pre-computes the NIC delivery schedule for request-driven workloads.
+  /// Request data arrives with the per-unit spacing 1/lambda_io (the
+  /// protocol floor of Eq. 11) and is transferred FIFO by the DMA NIC, so
+  /// the steady-state delivery rate is max(transfer time, 1/lambda) per
+  /// unit — whichever of bandwidth or request rate is the bottleneck.
+  void schedule_deliveries(int total_chunks) {
+    const double bandwidth =
+        units::mbps_to_bytes_per_s(spec_.io_bandwidth_mbps);
+    NicModel nic(bandwidth);
+    double arrival = 0.0;
+    for (int k = 0; k < total_chunks; ++k) {
+      const double bytes = demand_.io_bytes_per_unit * units_per_chunk_;
+      const double noise = rng_.lognormal_unit(cfg_.noise_sigma);
+      arrival += demand_.io_interarrival_s * units_per_chunk_ * noise;
+      const double completion = nic.admit(arrival, bytes);
+      const double start = completion - bytes / bandwidth;
+      // Power: NIC active during the transfer window; ready on completion.
+      queue_.schedule_at(start, [this] { nic_active(true); });
+      queue_.schedule_at(completion, [this] {
+        nic_active(false);
+        ++ready_chunks_;
+        dispatch_ready();
+      });
+    }
+    nic_last_completion_ = nic.last_completion_s();
+    io_busy_s_ = nic.busy_s();
+  }
+
+  void nic_active(bool on) {
+    nic_active_count_ += on ? 1 : -1;
+    const double inc = spec_.io_power.active_w - spec_.io_power.idle_w;
+    meter_.set_io_power(nic_active_count_ > 0 ? inc * power_bias_ : 0.0,
+                        queue_.now());
+    // DMA transfers write through the memory controller, keeping DRAM
+    // ranks active while the NIC is busy.
+    update_mem_power();
+  }
+
+  /// Assigns ready chunks to idle cores.
+  void dispatch_ready() {
+    while (ready_chunks_ > 0 && !idle_cores_.empty() &&
+           chunks_remaining_to_dispatch_ > 0) {
+      const int core = idle_cores_.back();
+      idle_cores_.pop_back();
+      --ready_chunks_;
+      --chunks_remaining_to_dispatch_;
+      start_chunk(core);
+    }
+  }
+
+  /// Runs one chunk on `core`: computes its duration from the cycle model,
+  /// sets power state, and schedules the completion event.
+  void start_chunk(int core) {
+    ++busy_cores_;
+    const double inst = demand_.instructions_per_unit * units_per_chunk_;
+    const double spi_mem =
+        mem_model_.spi_mem(demand_, cfg_.f_ghz, busy_cores_);
+    const double stall_spi = std::max(demand_.spi_core, spi_mem);
+    const double cycles_per_inst = demand_.wpi + stall_spi;
+    const double cycles = inst * cycles_per_inst;
+    const double noise =
+        run_bias_ * rng_.lognormal_unit(cfg_.noise_sigma);
+    const double duration =
+        cycles / units::ghz_to_hz(cfg_.f_ghz) * noise;
+
+    // Counters record raw totals; overlap only affects wall time.
+    // Instruction counts are architecturally exact, but cycle counters
+    // carry mild per-sample jitter (interrupts, sampling skid) — much
+    // smaller than wall-time variation, as on real PMUs.
+    const double counter_noise =
+        rng_.lognormal_unit(cfg_.noise_sigma * 0.3);
+    counters_.instructions += inst;
+    counters_.work_cycles += inst * demand_.wpi * counter_noise;
+    counters_.core_stall_cycles +=
+        inst * demand_.spi_core * counter_noise;
+    counters_.mem_stall_cycles += inst * spi_mem * counter_noise;
+
+    // Core power: time-weighted mix of active and stall draws above idle.
+    const double work_frac =
+        cycles_per_inst > 0.0 ? demand_.wpi / cycles_per_inst : 1.0;
+    const double act_inc =
+        spec_.core_active.at(cfg_.f_ghz) - spec_.core_idle_w;
+    const double stall_inc =
+        spec_.core_stall.at(cfg_.f_ghz) - spec_.core_idle_w;
+    const double avg_inc =
+        (work_frac * act_inc + (1.0 - work_frac) * stall_inc) * power_bias_;
+    meter_.set_core_power(core, std::max(0.0, avg_inc), queue_.now());
+
+    // Memory device activity: the fraction of this chunk the core spends
+    // waiting on memory keeps the DRAM ranks active.
+    const double mem_frac =
+        cycles_per_inst > 0.0 ? spi_mem / cycles_per_inst : 0.0;
+    set_mem_duty(core, mem_frac);
+
+    cpu_busy_s_ += duration;
+    queue_.schedule_in(duration, [this, core] { finish_chunk(core); });
+  }
+
+  void finish_chunk(int core) {
+    --busy_cores_;
+    meter_.set_core_power(core, 0.0, queue_.now());
+    set_mem_duty(core, 0.0);
+    idle_cores_.push_back(core);
+    --chunks_outstanding_;
+    if (chunks_outstanding_ == 0) {
+      finish_time_ = queue_.now();
+      return;
+    }
+    dispatch_ready();
+  }
+
+  void set_mem_duty(int core, double duty) {
+    mem_duty_[static_cast<std::size_t>(core)] = duty;
+    update_mem_power();
+  }
+
+  void update_mem_power() {
+    double total = nic_active_count_ > 0 ? 1.0 : 0.0;
+    for (double d : mem_duty_) total += d;
+    const double inc =
+        spec_.memory_power.active_w - spec_.memory_power.idle_w;
+    meter_.set_mem_power(std::min(1.0, total) * inc * power_bias_,
+                         queue_.now());
+  }
+
+  const NodeSpec& spec_;
+  const PhaseDemand& demand_;
+  const RunConfig& cfg_;
+  MemoryModel mem_model_;
+  EventQueue queue_;
+  PowerMeter meter_;
+  Rng rng_;
+
+  double units_per_chunk_ = 0.0;
+  int chunks_remaining_to_dispatch_ = 0;
+  int chunks_outstanding_ = 0;
+  int ready_chunks_ = 0;
+  int busy_cores_ = 0;
+  int nic_active_count_ = 0;
+  std::vector<int> idle_cores_;
+  std::vector<double> mem_duty_;
+
+  CounterSet counters_;
+  double cpu_busy_s_ = 0.0;
+  double io_busy_s_ = 0.0;
+  double finish_time_ = 0.0;
+  double nic_last_completion_ = 0.0;
+  double run_bias_ = 1.0;
+  double power_bias_ = 1.0;
+};
+
+}  // namespace
+
+RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
+                        const RunConfig& cfg) {
+  NodeRun run(spec, demand, cfg);
+  return run.run();
+}
+
+PhaseDemand cpu_max_demand() {
+  PhaseDemand d;
+  d.instructions_per_unit = 1e6;
+  d.wpi = 1.0;
+  d.spi_core = 0.0;
+  d.mem_misses_per_kinst = 0.0;
+  d.fp_fraction = 0.5;
+  return d;
+}
+
+PhaseDemand stall_stream_demand() {
+  PhaseDemand d;
+  d.instructions_per_unit = 1e6;
+  d.wpi = 0.3;
+  d.spi_core = 0.0;
+  d.mem_misses_per_kinst = 40.0;  // pointer-chasing miss stream
+  d.fp_fraction = 0.0;
+  return d;
+}
+
+}  // namespace hec

@@ -1,0 +1,59 @@
+#include "hec/sim/power_meter.h"
+
+#include <numeric>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+PowerMeter::PowerMeter(double idle_floor_w, int n_cores)
+    : idle_floor_w_(idle_floor_w),
+      core_w_(static_cast<std::size_t>(n_cores), 0.0) {
+  HEC_EXPECTS(idle_floor_w >= 0.0);
+  HEC_EXPECTS(n_cores >= 1);
+}
+
+void PowerMeter::advance(double t) {
+  HEC_EXPECTS(t >= last_t_);
+  const double dt = t - last_t_;
+  if (dt > 0.0) {
+    acc_.idle_j += idle_floor_w_ * dt;
+    acc_.core_j +=
+        std::accumulate(core_w_.begin(), core_w_.end(), 0.0) * dt;
+    acc_.mem_j += mem_w_ * dt;
+    acc_.io_j += io_w_ * dt;
+    last_t_ = t;
+  }
+}
+
+void PowerMeter::set_core_power(int i, double watts, double t) {
+  HEC_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < core_w_.size());
+  HEC_EXPECTS(watts >= 0.0);
+  advance(t);
+  core_w_[static_cast<std::size_t>(i)] = watts;
+}
+
+void PowerMeter::set_mem_power(double watts, double t) {
+  HEC_EXPECTS(watts >= 0.0);
+  advance(t);
+  mem_w_ = watts;
+}
+
+void PowerMeter::set_io_power(double watts, double t) {
+  HEC_EXPECTS(watts >= 0.0);
+  advance(t);
+  io_w_ = watts;
+}
+
+EnergyBreakdown PowerMeter::finish(double t) {
+  advance(t);
+  return acc_;
+}
+
+double PowerMeter::current_power_w() const {
+  return idle_floor_w_ +
+         std::accumulate(core_w_.begin(), core_w_.end(), 0.0) + mem_w_ +
+         io_w_;
+}
+
+}  // namespace hec

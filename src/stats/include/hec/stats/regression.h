@@ -1,0 +1,32 @@
+// Ordinary least-squares line fitting.
+//
+// Used to (a) fit SPImem against core clock frequency — the paper reports
+// very strong linearity (Pearson r^2 >= 0.94, Fig. 3) and exploits it to
+// interpolate memory stall cycles across P-states — and (b) measure the
+// linearity of the Pareto frontier's "sweet region".
+#pragma once
+
+#include <span>
+
+namespace hec {
+
+/// Result of fitting y = intercept + slope * x by least squares.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;  ///< squared Pearson correlation of (x, y)
+  std::size_t n = 0;
+
+  /// Evaluates the fitted line.
+  double at(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y = a + b*x. Preconditions: xs.size() == ys.size(), size >= 2, and
+/// the x values are not all identical.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient of two equally sized samples (size >= 2).
+/// Returns 0 when either sample has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace hec

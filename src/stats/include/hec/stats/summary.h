@@ -1,0 +1,53 @@
+// Streaming summary statistics and validation-error metrics.
+//
+// Summary uses Welford's online algorithm so the simulator can accumulate
+// per-event samples without storing them. RelativeError reproduces the
+// paper's validation metric: mean and standard deviation of
+// |predicted - measured| / measured in percent (Tables 3 and 4).
+#pragma once
+
+#include <span>
+
+namespace hec {
+
+/// Online mean/variance/min/max accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile via linear interpolation on a copy of the data.
+/// Preconditions: data non-empty, 0 <= p <= 100.
+double percentile(std::span<const double> data, double p);
+
+/// Relative-error accumulator in percent, the paper's validation metric.
+class RelativeError {
+ public:
+  /// Adds |predicted - measured| / |measured| * 100. measured must be nonzero.
+  void add(double predicted, double measured);
+
+  std::size_t count() const { return errors_.count(); }
+  double mean_pct() const { return errors_.mean(); }
+  double stddev_pct() const { return errors_.stddev(); }
+  double max_pct() const { return errors_.max(); }
+
+ private:
+  Summary errors_;
+};
+
+}  // namespace hec

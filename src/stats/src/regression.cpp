@@ -1,0 +1,55 @@
+#include "hec/stats/regression.h"
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+struct Moments {
+  double mean_x = 0.0, mean_y = 0.0;
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+};
+
+Moments moments(std::span<const double> xs, std::span<const double> ys) {
+  HEC_EXPECTS(xs.size() == ys.size());
+  HEC_EXPECTS(xs.size() >= 2);
+  Moments m;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m.mean_x += xs[i];
+    m.mean_y += ys[i];
+  }
+  m.mean_x /= n;
+  m.mean_y /= n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - m.mean_x;
+    const double dy = ys[i] - m.mean_y;
+    m.sxx += dx * dx;
+    m.syy += dy * dy;
+    m.sxy += dx * dy;
+  }
+  return m;
+}
+}  // namespace
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  const Moments m = moments(xs, ys);
+  HEC_EXPECTS(m.sxx > 0.0);
+  LinearFit fit;
+  fit.n = xs.size();
+  fit.slope = m.sxy / m.sxx;
+  fit.intercept = m.mean_y - fit.slope * m.mean_x;
+  // r^2 = explained variance fraction; a perfectly flat y is a perfect fit.
+  fit.r_squared = m.syy == 0.0 ? 1.0 : (m.sxy * m.sxy) / (m.sxx * m.syy);
+  return fit;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const Moments m = moments(xs, ys);
+  const double denom = std::sqrt(m.sxx * m.syy);
+  return denom == 0.0 ? 0.0 : m.sxy / denom;
+}
+
+}  // namespace hec

@@ -1,0 +1,64 @@
+#include "hec/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const {
+  HEC_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  HEC_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double Summary::max() const {
+  HEC_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double percentile(std::span<const double> data, double p) {
+  HEC_EXPECTS(!data.empty());
+  HEC_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void RelativeError::add(double predicted, double measured) {
+  HEC_EXPECTS(measured != 0.0);
+  errors_.add(std::abs(predicted - measured) / std::abs(measured) * 100.0);
+}
+
+}  // namespace hec

@@ -1,0 +1,61 @@
+// Multi-phase workload traces.
+//
+// The paper's workloads are not perfectly uniform: memcached interleaves
+// GET, SET and DELETE requests with different service demands
+// (Section II-D1 measures each separately); x264 alternates intra- and
+// predicted frames. A WorkloadTrace is the sequence of such phases. The
+// analytical model still consumes ONE representative demand — the
+// unit-weighted blend — and its accuracy on multi-phase traces is what
+// validates the paper's "repeating parallel phase" assumption
+// (exercised by test_trace and bench_ext_trace_validation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hec/hw/node_spec.h"
+#include "hec/sim/node_sim.h"
+#include "hec/sim/phase.h"
+
+namespace hec {
+
+/// One homogeneous stretch of a workload: `units` repetitions of a phase.
+struct PhaseRecord {
+  std::string label;   ///< e.g. "GET", "I-frame"
+  PhaseDemand demand;  ///< per-unit service demands
+  double units = 0.0;  ///< repetitions of this phase
+};
+
+/// An ordered sequence of phases making up one job.
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+  explicit WorkloadTrace(std::vector<PhaseRecord> phases);
+
+  const std::vector<PhaseRecord>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  std::size_t phase_count() const { return phases_.size(); }
+
+  /// Total work units across all phases.
+  double total_units() const;
+
+  /// The single representative demand the model consumes: instruction
+  /// counts and I/O bytes are unit-weighted means; cycle ratios (WPI,
+  /// SPIcore) and the miss rate are instruction-weighted means, since
+  /// they are per-instruction quantities. Precondition: !empty().
+  PhaseDemand blended_demand() const;
+
+  /// Appends a phase (units > 0).
+  void append(PhaseRecord phase);
+
+ private:
+  std::vector<PhaseRecord> phases_;
+};
+
+/// Executes the trace phase by phase on one node and stitches the
+/// observables: wall times and energies add, counters accumulate.
+/// cfg.work_units is ignored (the trace defines the work).
+RunResult simulate_trace(const NodeSpec& spec, const WorkloadTrace& trace,
+                         const RunConfig& cfg);
+
+}  // namespace hec

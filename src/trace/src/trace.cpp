@@ -1,0 +1,76 @@
+#include "hec/trace/trace.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+WorkloadTrace::WorkloadTrace(std::vector<PhaseRecord> phases)
+    : phases_(std::move(phases)) {
+  for (const PhaseRecord& p : phases_) {
+    HEC_EXPECTS(p.units > 0.0);
+  }
+}
+
+void WorkloadTrace::append(PhaseRecord phase) {
+  HEC_EXPECTS(phase.units > 0.0);
+  phases_.push_back(std::move(phase));
+}
+
+double WorkloadTrace::total_units() const {
+  double total = 0.0;
+  for (const PhaseRecord& p : phases_) total += p.units;
+  return total;
+}
+
+PhaseDemand WorkloadTrace::blended_demand() const {
+  HEC_EXPECTS(!phases_.empty());
+  const double units = total_units();
+  double instructions = 0.0;
+  double work_cycles = 0.0, core_stalls = 0.0, misses = 0.0, fp_inst = 0.0;
+  double io_bytes = 0.0, io_floor_weighted = 0.0;
+  for (const PhaseRecord& p : phases_) {
+    const double phase_inst = p.units * p.demand.instructions_per_unit;
+    instructions += phase_inst;
+    work_cycles += phase_inst * p.demand.wpi;
+    core_stalls += phase_inst * p.demand.spi_core;
+    misses += phase_inst * p.demand.mem_misses_per_kinst;
+    fp_inst += phase_inst * p.demand.fp_fraction;
+    io_bytes += p.units * p.demand.io_bytes_per_unit;
+    io_floor_weighted += p.units * p.demand.io_interarrival_s;
+  }
+  HEC_EXPECTS(instructions > 0.0);
+  PhaseDemand blend;
+  blend.instructions_per_unit = instructions / units;
+  blend.wpi = work_cycles / instructions;
+  blend.spi_core = core_stalls / instructions;
+  blend.mem_misses_per_kinst = misses / instructions;
+  blend.fp_fraction = fp_inst / instructions;
+  blend.io_bytes_per_unit = io_bytes / units;
+  blend.io_interarrival_s = io_floor_weighted / units;
+  return blend;
+}
+
+RunResult simulate_trace(const NodeSpec& spec, const WorkloadTrace& trace,
+                         const RunConfig& cfg) {
+  HEC_EXPECTS(!trace.empty());
+  RunResult total;
+  total.cores_used = cfg.cores_used;
+  std::uint64_t phase_index = 0;
+  for (const PhaseRecord& phase : trace.phases()) {
+    RunConfig phase_cfg = cfg;
+    phase_cfg.work_units = phase.units;
+    phase_cfg.seed =
+        cfg.seed ^ ((phase_index + 1) * 0x9e3779b97f4a7c15ULL);
+    ++phase_index;
+    const RunResult r = simulate_node(spec, phase.demand, phase_cfg);
+    total.wall_s += r.wall_s;
+    total.counters += r.counters;
+    total.energy += r.energy;
+    total.cpu_busy_s += r.cpu_busy_s;
+    total.io_busy_s += r.io_busy_s;
+    total.io_complete_s += r.io_complete_s;
+  }
+  return total;
+}
+
+}  // namespace hec

@@ -1,0 +1,39 @@
+// Contract checking in the spirit of the C++ Core Guidelines' Expects/Ensures.
+//
+// Violations throw hec::ContractViolation so tests can assert on misuse and
+// callers can distinguish precondition bugs from ordinary runtime errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hec {
+
+/// Thrown when a precondition (HEC_EXPECTS) or postcondition (HEC_ENSURES)
+/// is violated. Indicates a programming error at the call site.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace hec
+
+#define HEC_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::hec::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define HEC_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::hec::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

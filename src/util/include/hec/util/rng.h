@@ -1,0 +1,59 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The simulator and workload generators need reproducible randomness that is
+// cheap to seed and split. xoshiro256** (Blackman & Vigna) is used as the
+// engine, seeded through SplitMix64 so that small integer seeds give
+// well-distributed state. Streams derived with split() are statistically
+// independent, which lets each simulated core/node own its own stream.
+#pragma once
+
+#include <cstdint>
+
+namespace hec {
+
+/// SplitMix64 step: used for seeding and for deriving child streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single word via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+  /// Log-normal multiplicative noise factor with E[X] = 1.
+  /// sigma is the standard deviation of the underlying normal.
+  double lognormal_unit(double sigma);
+  /// Exponential with given rate (rate > 0); used for Poisson arrivals.
+  double exponential(double rate);
+
+  /// Derives an independent child stream; deterministic in (parent state, salt).
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace hec

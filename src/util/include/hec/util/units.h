@@ -1,0 +1,36 @@
+// Unit conventions used across the library.
+//
+// All quantities are plain doubles with the unit encoded in the variable
+// name suffix; the constants here convert between the conventional units of
+// the paper (GHz clock rates, Mbps link bandwidths, milliseconds deadlines)
+// and the base SI units used internally (seconds, joules, watts, hertz).
+#pragma once
+
+namespace hec::units {
+
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+/// Clock frequency: GHz -> Hz.
+inline constexpr double ghz_to_hz(double f_ghz) { return f_ghz * kGiga; }
+/// Clock frequency: Hz -> GHz.
+inline constexpr double hz_to_ghz(double f_hz) { return f_hz / kGiga; }
+
+/// Link bandwidth: Mbit/s -> bytes/s.
+inline constexpr double mbps_to_bytes_per_s(double mbps) {
+  return mbps * kMega / 8.0;
+}
+
+/// Time: milliseconds -> seconds.
+inline constexpr double ms_to_s(double ms) { return ms * kMilli; }
+/// Time: seconds -> milliseconds.
+inline constexpr double s_to_ms(double s) { return s / kMilli; }
+
+/// Storage: kibibytes -> bytes (cache sizes in Table 1 are binary units).
+inline constexpr double kib_to_bytes(double kib) { return kib * 1024.0; }
+
+}  // namespace hec::units

@@ -1,0 +1,37 @@
+// Zipfian rank sampling.
+//
+// The paper's memslap driver uses uniform key popularity and notes that
+// realistic memcached traffic is skewed (citing Atikoglu et al. [5]).
+// ZipfGenerator provides that skew: rank r is drawn with probability
+// proportional to 1/r^s. Exponent 0 degenerates to uniform.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hec/util/rng.h"
+
+namespace hec {
+
+/// Samples zero-based ranks in [0, n) with P(r) ~ 1/(r+1)^s via inverse
+/// CDF lookup (O(log n) per draw after O(n) setup).
+class ZipfGenerator {
+ public:
+  /// Preconditions: n >= 1, s >= 0.
+  ZipfGenerator(std::size_t n, double s);
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Next rank, using the caller's RNG stream.
+  std::size_t next(Rng& rng) const;
+
+  /// Probability mass of one rank (for tests and reporting).
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative, cdf_.back() == 1
+  double s_;
+};
+
+}  // namespace hec

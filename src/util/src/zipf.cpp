@@ -1,0 +1,34 @@
+#include "hec/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s) : s_(s) {
+  HEC_EXPECTS(n >= 1);
+  HEC_EXPECTS(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+std::size_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::pmf(std::size_t rank) const {
+  HEC_EXPECTS(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace hec

@@ -1,0 +1,37 @@
+// Black-Scholes option-pricing kernel (PARSEC blackscholes stand-in).
+//
+// Closed-form European option pricing with the same polynomial cumulative
+// normal distribution approximation the PARSEC benchmark uses. One "work
+// unit" of the workload profile is one priced option (the paper's
+// representative phase for the financial workload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hec {
+
+/// European option contract parameters.
+struct OptionData {
+  double spot = 0.0;       ///< current underlying price S
+  double strike = 0.0;     ///< strike price K
+  double rate = 0.0;       ///< risk-free rate r
+  double volatility = 0.0; ///< sigma
+  double time = 0.0;       ///< time to expiry in years
+  bool is_call = true;
+};
+
+/// Cumulative standard normal distribution, Abramowitz & Stegun 26.2.17
+/// polynomial approximation (PARSEC's CNDF).
+double cndf(double x);
+
+/// Black-Scholes price of one option.
+double black_scholes_price(const OptionData& option);
+
+/// Deterministic synthetic portfolio of `n` options.
+std::vector<OptionData> make_portfolio(std::size_t n, std::uint64_t seed);
+
+/// Prices a portfolio; returns the sum of prices (a checksum for tests).
+double price_portfolio(const std::vector<OptionData>& options);
+
+}  // namespace hec

@@ -1,0 +1,91 @@
+// Video-encoder kernel (the x264 stand-in).
+//
+// Implements the memory-heavy inner loops of a block-based encoder: full-
+// search SAD motion estimation against the previous frame, an 8x8 integer
+// DCT on the residual, and dead-zone quantisation. One "work unit" of the
+// workload profile is one encoded frame (the paper's representative phase
+// for streaming video). Frames are synthetic moving gradients so runs are
+// deterministic and self-contained.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hec {
+
+/// A grayscale frame in row-major order.
+class Frame {
+ public:
+  Frame(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::uint8_t at(int x, int y) const;
+  std::uint8_t& at(int x, int y);
+
+  /// Fills with a gradient translated by (shift_x, shift_y) — consecutive
+  /// synthetic frames look like a panning camera.
+  void fill_synthetic(int shift_x, int shift_y);
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Best motion vector and its SAD cost for one block.
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  std::uint64_t sad = 0;
+};
+
+/// Sum of absolute differences between a block in `cur` at (bx, by) and a
+/// block in `ref` at (bx+dx, by+dy); out-of-frame pixels clamp to the edge.
+std::uint64_t block_sad(const Frame& cur, const Frame& ref, int bx, int by,
+                        int block, int dx, int dy);
+
+/// Exhaustive-search motion estimation within +/- `range` pixels.
+MotionVector motion_search(const Frame& cur, const Frame& ref, int bx,
+                           int by, int block, int range);
+
+/// One 8x8 coefficient tile.
+struct Tile8x8 {
+  std::int32_t v[8][8] = {};
+};
+
+/// Forward 8x8 DCT-II (floating-free integer approximation).
+Tile8x8 dct8(const Tile8x8& in);
+
+/// Dead-zone quantisation by `qp` (power-of-two style divisor, qp >= 1).
+/// Returns the count of nonzero coefficients (a proxy for encoded bits).
+int quantize8(Tile8x8& tile, int qp);
+
+/// Zigzag scan order of an 8x8 tile (low frequencies first), as used by
+/// JPEG/H.26x entropy stages.
+std::array<std::pair<int, int>, 64> zigzag_order();
+
+/// Entropy-codes one quantised tile: zigzag scan, (run, level) pairs with
+/// signed-varint levels. Returns the encoded bytes.
+std::vector<std::uint8_t> entropy_encode(const Tile8x8& tile);
+
+/// Inverse of entropy_encode; throws std::invalid_argument on malformed
+/// input.
+Tile8x8 entropy_decode(const std::vector<std::uint8_t>& bytes);
+
+/// Encoded-frame statistics.
+struct EncodeStats {
+  std::uint64_t total_sad = 0;      ///< motion-compensation residual energy
+  std::uint64_t nonzero_coeffs = 0; ///< post-quantisation coefficient count
+  std::uint64_t encoded_bytes = 0;  ///< entropy-coded payload size
+  int blocks = 0;
+};
+
+/// Encodes `cur` against `ref`: motion search per 16x16 macroblock, then
+/// DCT + quantisation + entropy coding of each 8x8 residual sub-block.
+EncodeStats encode_frame(const Frame& cur, const Frame& ref, int qp = 8,
+                         int search_range = 8);
+
+}  // namespace hec

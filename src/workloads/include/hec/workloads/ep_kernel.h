@@ -1,0 +1,52 @@
+// NPB EP (Embarrassingly Parallel) kernel.
+//
+// Generates pseudo-random pairs with the NAS linear congruential generator
+// (a = 5^13, modulus 2^46), applies the Marsaglia polar acceptance test and
+// tallies accepted Gaussian deviates into concentric square annuli — the
+// exact computation of the NAS Parallel Benchmarks EP kernel the paper uses
+// as its HPC workload. One "work unit" in the workload profile is one
+// generated random number.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hec {
+
+/// Tallies produced by an EP run.
+struct EpResult {
+  std::array<std::uint64_t, 10> annulus_counts{};  ///< |max(x,y)| bins
+  double sum_x = 0.0;                               ///< sum of X deviates
+  double sum_y = 0.0;                               ///< sum of Y deviates
+  std::uint64_t pairs_accepted = 0;
+};
+
+/// NAS LCG: x_{k+1} = a * x_k mod 2^46, returning x/2^46 in (0,1).
+class NasRandom {
+ public:
+  explicit NasRandom(double seed = 271828183.0);
+  /// Next uniform deviate in (0, 1).
+  double next();
+
+  /// Jumps the stream forward by `count` draws in O(log count) — the
+  /// NPB jump-ahead that makes EP embarrassingly parallel: worker w
+  /// skips to its block's offset instead of replaying the prefix.
+  void skip(std::uint64_t count);
+
+ private:
+  double x_;
+};
+
+/// Runs EP over `pairs` candidate pairs. Deterministic in `seed`.
+EpResult ep_generate(std::uint64_t pairs, double seed = 271828183.0);
+
+/// Parallel EP: partitions the pair range across the library thread pool
+/// using jump-ahead seeding; bitwise-identical annulus counts to the
+/// serial run (floating-point sums may differ only in addition order).
+EpResult ep_generate_parallel(std::uint64_t pairs,
+                              double seed = 271828183.0);
+
+/// NPB problem classes used in the paper's Fig. 2 (2^k random numbers).
+std::uint64_t ep_class_pairs(char problem_class);  // 'A' | 'B' | 'C'
+
+}  // namespace hec

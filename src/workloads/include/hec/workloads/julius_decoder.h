@@ -1,0 +1,66 @@
+// HMM Viterbi decoder (the Julius speech-recognition stand-in).
+//
+// Julius's computational core is frame-synchronous Viterbi decoding over
+// hidden Markov models with Gaussian-mixture emission densities. This
+// kernel implements exactly that: log-domain Viterbi over a left-to-right
+// HMM whose emissions are diagonal-covariance Gaussians evaluated on
+// synthetic cepstral feature frames. One "work unit" of the workload
+// profile is one audio sample (the paper's Table 3 counts samples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hec {
+
+/// Diagonal-covariance Gaussian in `dims` dimensions (log-domain eval).
+struct DiagGaussian {
+  std::vector<double> mean;
+  std::vector<double> inv_var;   ///< 1/sigma^2 per dimension
+  double log_norm = 0.0;         ///< -0.5 * (d*log(2pi) + sum(log var))
+
+  /// Log density of `frame` (frame.size() == mean.size()).
+  double log_density(const std::vector<double>& frame) const;
+};
+
+/// Left-to-right HMM with self-loops and skip transitions.
+struct Hmm {
+  std::vector<DiagGaussian> states;          ///< emission per state
+  std::vector<double> log_self;              ///< log P(stay)
+  std::vector<double> log_next;              ///< log P(advance)
+};
+
+/// Builds a deterministic synthetic acoustic model.
+Hmm make_test_hmm(std::size_t n_states, std::size_t dims,
+                  std::uint64_t seed);
+
+/// Builds `n_frames` synthetic feature frames that roughly follow the
+/// model's state sequence (so decoding is non-degenerate).
+std::vector<std::vector<double>> make_test_frames(const Hmm& hmm,
+                                                  std::size_t n_frames,
+                                                  std::uint64_t seed);
+
+/// Result of decoding one utterance.
+struct DecodeResult {
+  double log_likelihood = 0.0;
+  std::vector<std::size_t> state_path;  ///< best state per frame
+};
+
+/// Log-domain Viterbi decode; frames must all match the model dimension.
+DecodeResult viterbi_decode(const Hmm& hmm,
+                            const std::vector<std::vector<double>>& frames);
+
+/// Beam-pruned Viterbi, Julius's actual decoding mode: per frame, states
+/// scoring more than `beam` below the frame's best are pruned (their
+/// successors can only enter through surviving states). beam must be
+/// positive; an infinite beam reproduces exact Viterbi. Returns the
+/// number of state evaluations skipped via `pruned_evaluations`.
+struct BeamDecodeResult {
+  DecodeResult result;
+  std::uint64_t pruned_evaluations = 0;
+};
+BeamDecodeResult viterbi_decode_beam(
+    const Hmm& hmm, const std::vector<std::vector<double>>& frames,
+    double beam);
+
+}  // namespace hec

@@ -1,0 +1,91 @@
+// In-memory key-value store (the memcached stand-in).
+//
+// A fixed-capacity open-addressing hash table with FNV-1a hashing and
+// linear probing, serving GET/SET/DELETE requests — the representative
+// phase Ps of the paper's memcached workload (Section II-D1 measures one
+// GET, SET and DELETE each). RequestGenerator mirrors memslap: fixed
+// key/value sizes and uniform key popularity, as the paper notes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hec/util/rng.h"
+#include "hec/util/zipf.h"
+
+namespace hec {
+
+/// Request types served by the store.
+enum class KvOp { kGet, kSet, kDelete };
+
+/// One client request.
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  std::string key;
+  std::string value;  ///< payload for SET; empty otherwise
+};
+
+/// Open-addressing hash table with linear probing and tombstone deletes.
+class KvStore {
+ public:
+  /// Capacity is rounded up to a power of two; must be >= 2.
+  explicit KvStore(std::size_t capacity);
+
+  /// Inserts or updates; returns false when the table is full.
+  bool set(const std::string& key, std::string value);
+  /// Returns the stored value, or nullopt on miss.
+  std::optional<std::string> get(const std::string& key) const;
+  /// Removes the key; returns true when it existed.
+  bool remove(const std::string& key);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Serves one request; returns the response payload size in bytes
+  /// (value length for hits, 0 for misses/deletes).
+  std::size_t serve(const KvRequest& req);
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kUsed, kTombstone };
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    std::string key;
+    std::string value;
+  };
+
+  std::size_t probe_start(const std::string& key) const;
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// FNV-1a 64-bit hash.
+std::uint64_t fnv1a(const std::string& data);
+
+/// memslap-style driver: fixed key/value sizes; key popularity is
+/// uniform by default (as the paper notes memslap generates) or Zipfian
+/// with exponent `zipf_s` (realistic traffic per Atikoglu et al. [5]).
+class RequestGenerator {
+ public:
+  /// get_fraction in [0,1]; the remainder splits 9:1 into SET:DELETE.
+  /// zipf_s = 0 selects uniform popularity.
+  RequestGenerator(std::size_t key_space, std::size_t key_bytes,
+                   std::size_t value_bytes, double get_fraction,
+                   std::uint64_t seed, double zipf_s = 0.0);
+
+  KvRequest next();
+
+ private:
+  std::string make_key(std::uint64_t id) const;
+
+  std::size_t key_space_;
+  std::size_t key_bytes_;
+  std::size_t value_bytes_;
+  double get_fraction_;
+  Rng rng_;
+  std::optional<ZipfGenerator> popularity_;  ///< engaged when zipf_s > 0
+};
+
+}  // namespace hec

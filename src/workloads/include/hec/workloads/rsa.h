@@ -1,0 +1,78 @@
+// RSA-2048 verification kernel (the openssl speed stand-in).
+//
+// The paper's web-security workload is the RSA-2048 key verification step
+// of TLS: computing s^e mod n with the public exponent e = 65537. This
+// kernel implements it from scratch: fixed-width 2048-bit unsigned
+// integers and CIOS Montgomery multiplication, with the 16-squarings-plus-
+// one-multiply exponentiation ladder for e = 2^16 + 1. One "work unit" of
+// the workload profile is one verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hec/util/rng.h"
+
+namespace hec {
+
+/// Fixed-width 2048-bit unsigned integer, little-endian 64-bit limbs.
+struct BigUInt {
+  static constexpr int kLimbs = 32;  // 32 x 64 = 2048 bits
+  std::array<std::uint64_t, kLimbs> limb{};
+
+  static BigUInt from_u64(std::uint64_t value);
+  static BigUInt zero() { return BigUInt{}; }
+  static BigUInt one() { return from_u64(1); }
+
+  bool is_zero() const;
+  bool bit(int index) const;  ///< index in [0, 2048)
+
+  friend bool operator==(const BigUInt&, const BigUInt&) = default;
+};
+
+/// Three-way compare: -1, 0, +1.
+int compare(const BigUInt& a, const BigUInt& b);
+
+/// a + b; returns the carry out (0 or 1).
+std::uint64_t add(BigUInt& a, const BigUInt& b);
+/// a - b; returns the borrow out (0 or 1).
+std::uint64_t sub(BigUInt& a, const BigUInt& b);
+
+/// Adds b modulo m. Preconditions: a < m, b < m.
+void mod_add(BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+/// Montgomery arithmetic context for an odd modulus.
+class MontgomeryCtx {
+ public:
+  /// Precondition: modulus odd and greater than 1.
+  explicit MontgomeryCtx(const BigUInt& modulus);
+
+  const BigUInt& modulus() const { return n_; }
+
+  /// Montgomery product: a * b * R^-1 mod n (R = 2^2048).
+  BigUInt mul(const BigUInt& a, const BigUInt& b) const;
+
+  /// Converts into / out of the Montgomery domain.
+  BigUInt to_mont(const BigUInt& a) const;
+  BigUInt from_mont(const BigUInt& a) const;
+
+  /// base^65537 mod n — the RSA public-key verification operation.
+  BigUInt pow65537(const BigUInt& base) const;
+
+  /// General modular exponentiation (square-and-multiply, MSB first).
+  BigUInt pow(const BigUInt& base, const BigUInt& exponent) const;
+
+ private:
+  BigUInt n_;
+  std::uint64_t n0_inv_ = 0;  ///< -n^-1 mod 2^64
+  BigUInt rr_;                ///< R^2 mod n
+};
+
+/// Deterministic odd 2048-bit test modulus with the top bit set. (A random
+/// odd modulus exercises the same arithmetic as a real RSA key product.)
+BigUInt rsa_test_modulus(std::uint64_t seed);
+
+/// Uniformly random value below `modulus`.
+BigUInt rsa_random_below(const BigUInt& modulus, Rng& rng);
+
+}  // namespace hec

@@ -1,0 +1,23 @@
+// Multi-phase trace construction for the six workloads.
+//
+// Each builder decomposes the registered single-phase demand into the
+// program's real phase structure — memcached's GET/SET/DELETE request
+// mix, x264's intra/predicted frame cadence, Julius's speech/silence
+// segments — while keeping the unit-weighted blend equal to the
+// registered demand (so trace executions remain consistent with the
+// Table 5 calibration). Used to validate the model's "representative
+// repeating phase" assumption on non-uniform jobs.
+#pragma once
+
+#include "hec/trace/trace.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+
+/// Builds the phase sequence of `workload` for `units` work units on the
+/// given ISA. Workloads without internal phase structure (EP, RSA-2048)
+/// return a single-phase trace. Preconditions: units > 0.
+WorkloadTrace make_workload_trace(const Workload& workload, Isa isa,
+                                  double units);
+
+}  // namespace hec

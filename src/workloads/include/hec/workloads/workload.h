@@ -1,0 +1,80 @@
+// Workload catalogue: the six datacenter programs of the paper.
+//
+// Each workload couples (a) a real computational kernel (see the sibling
+// headers) that implements the program's representative phase Ps, and
+// (b) per-ISA service-demand profiles (PhaseDemand) describing what one
+// work unit asks of cores, memory and the NIC on each node type.
+//
+// The profiles are calibrated so the reproduction matches the paper's
+// published characterisation: bottleneck classes of Table 3 (EP,
+// blackscholes, Julius, RSA-2048 CPU-bound; x264 memory-bound; memcached
+// I/O-bound) and the performance-to-power structure of Table 5 (ARM ahead
+// everywhere except RSA-2048 — AMD's crypto-friendly instructions — and
+// x264 — AMD's much higher memory bandwidth and large L3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hec/hw/node_spec.h"
+#include "hec/sim/phase.h"
+
+namespace hec {
+
+/// Dominant resource of a workload (Table 3's "Bottleneck" column).
+enum class Bottleneck { kCpu, kMemory, kIo };
+
+std::string to_string(Bottleneck b);
+
+/// One datacenter program with per-ISA service demands.
+struct Workload {
+  std::string name;      ///< e.g. "EP"
+  std::string domain;    ///< e.g. "HPC" (Table 3's Domain column)
+  std::string unit;      ///< work-unit name, e.g. "random numbers"
+  Bottleneck bottleneck = Bottleneck::kCpu;
+
+  /// Problem size used for the paper's validation runs (Table 3).
+  double validation_units = 0.0;
+  /// Job size used for the paper's energy-efficiency analysis
+  /// (Section IV-B: 50,000 memcached requests, 50 million EP randoms).
+  double analysis_units = 0.0;
+
+  PhaseDemand demand_arm;  ///< per-unit demands on ARMv7-A nodes
+  PhaseDemand demand_amd;  ///< per-unit demands on x86-64 nodes
+
+  /// PPR reporting (Table 5): PPR = throughput * ppr_scale / power.
+  std::string ppr_unit;    ///< e.g. "(random no./s)/W"
+  double ppr_scale = 1.0;  ///< converts units/s into the PPR numerator
+
+  /// Demand profile for a node's ISA.
+  const PhaseDemand& demand_for(Isa isa) const {
+    return isa == Isa::kArmV7a ? demand_arm : demand_amd;
+  }
+};
+
+/// Factory per program (profiles documented in each implementation file).
+Workload workload_ep();
+Workload workload_memcached();
+Workload workload_x264();
+Workload workload_blackscholes();
+Workload workload_julius();
+Workload workload_rsa2048();
+
+/// All six programs in the paper's Table 3 order.
+std::vector<Workload> all_workloads();
+
+/// Extension workload (not part of the paper's evaluation): a web-search
+/// leaf node in the spirit of [18] (Reddi et al.), with comparable CPU
+/// and network demands so its bottleneck *crosses over* between CPU and
+/// I/O as the clock scales — exercising the max() structure of Eqs. 2-3
+/// in the regime the paper's six workloads never enter.
+Workload workload_websearch_ext();
+
+/// Extension workloads (currently just web search).
+std::vector<Workload> extension_workloads();
+
+/// Finds a workload by name (paper set plus extensions); throws
+/// std::out_of_range when unknown.
+Workload find_workload(const std::string& name);
+
+}  // namespace hec

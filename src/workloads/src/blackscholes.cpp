@@ -1,0 +1,63 @@
+#include "hec/workloads/blackscholes.h"
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+
+double cndf(double x) {
+  // Abramowitz & Stegun 26.2.17 with the PARSEC constants.
+  const bool negative = x < 0.0;
+  if (negative) x = -x;
+  const double k = 1.0 / (1.0 + 0.2316419 * x);
+  const double poly =
+      k * (0.319381530 +
+           k * (-0.356563782 +
+                k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+  const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+  const double cdf = 1.0 - pdf * poly;
+  return negative ? 1.0 - cdf : cdf;
+}
+
+double black_scholes_price(const OptionData& o) {
+  HEC_EXPECTS(o.spot > 0.0 && o.strike > 0.0);
+  HEC_EXPECTS(o.volatility > 0.0 && o.time > 0.0);
+  const double sigma_sqrt_t = o.volatility * std::sqrt(o.time);
+  const double d1 =
+      (std::log(o.spot / o.strike) +
+       (o.rate + 0.5 * o.volatility * o.volatility) * o.time) /
+      sigma_sqrt_t;
+  const double d2 = d1 - sigma_sqrt_t;
+  const double discounted_strike = o.strike * std::exp(-o.rate * o.time);
+  if (o.is_call) {
+    return o.spot * cndf(d1) - discounted_strike * cndf(d2);
+  }
+  return discounted_strike * cndf(-d2) - o.spot * cndf(-d1);
+}
+
+std::vector<OptionData> make_portfolio(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OptionData> options;
+  options.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OptionData o;
+    o.spot = rng.uniform(10.0, 200.0);
+    o.strike = o.spot * rng.uniform(0.7, 1.3);
+    o.rate = rng.uniform(0.005, 0.06);
+    o.volatility = rng.uniform(0.1, 0.6);
+    o.time = rng.uniform(0.1, 2.0);
+    o.is_call = rng.uniform() < 0.5;
+    options.push_back(o);
+  }
+  return options;
+}
+
+double price_portfolio(const std::vector<OptionData>& options) {
+  double total = 0.0;
+  for (const auto& o : options) total += black_scholes_price(o);
+  return total;
+}
+
+}  // namespace hec

@@ -1,0 +1,267 @@
+#include "hec/workloads/encoder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+Frame::Frame(int width, int height) : width_(width), height_(height) {
+  HEC_EXPECTS(width > 0 && height > 0);
+  pixels_.resize(static_cast<std::size_t>(width) *
+                 static_cast<std::size_t>(height));
+}
+
+std::uint8_t Frame::at(int x, int y) const {
+  // Edge clamping: motion vectors may point outside the frame.
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return pixels_[static_cast<std::size_t>(y) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+std::uint8_t& Frame::at(int x, int y) {
+  HEC_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void Frame::fill_synthetic(int shift_x, int shift_y) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // A diagonal gradient plus a coarse checkerboard gives the motion
+      // search distinctive structure to lock onto.
+      const int sx = x + shift_x;
+      const int sy = y + shift_y;
+      const int gradient = (sx * 3 + sy * 5) & 0xff;
+      const int checker = (((sx >> 4) ^ (sy >> 4)) & 1) * 32;
+      at(x, y) = static_cast<std::uint8_t>((gradient + checker) & 0xff);
+    }
+  }
+}
+
+std::uint64_t block_sad(const Frame& cur, const Frame& ref, int bx, int by,
+                        int block, int dx, int dy) {
+  HEC_EXPECTS(block > 0);
+  std::uint64_t sad = 0;
+  for (int y = 0; y < block; ++y) {
+    for (int x = 0; x < block; ++x) {
+      const int a = cur.at(bx + x, by + y);
+      const int b = ref.at(bx + x + dx, by + y + dy);
+      sad += static_cast<std::uint64_t>(std::abs(a - b));
+    }
+  }
+  return sad;
+}
+
+MotionVector motion_search(const Frame& cur, const Frame& ref, int bx,
+                           int by, int block, int range) {
+  HEC_EXPECTS(range >= 0);
+  MotionVector best;
+  best.sad = block_sad(cur, ref, bx, by, block, 0, 0);
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const std::uint64_t sad = block_sad(cur, ref, bx, by, block, dx, dy);
+      if (sad < best.sad) {
+        best = MotionVector{dx, dy, sad};
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+// One-dimensional 8-point DCT-II on integers, scaled by 4 to keep
+// precision (the inverse would divide back out; we only need forward).
+void dct8_1d(const std::int32_t in[8], std::int32_t out[8]) {
+  // Cosine table in Q8 fixed point: cos((2i+1) * k * pi / 16) * 256.
+  static constexpr std::int32_t kCos[8][8] = {
+      {256, 256, 256, 256, 256, 256, 256, 256},
+      {251, 213, 142, 50, -50, -142, -213, -251},
+      {237, 98, -98, -237, -237, -98, 98, 237},
+      {213, -50, -251, -142, 142, 251, 50, -213},
+      {181, -181, -181, 181, 181, -181, -181, 181},
+      {142, -251, 50, 213, -213, -50, 251, -142},
+      {98, -237, 237, -98, -98, 237, -237, 98},
+      {50, -142, 213, -251, 251, -213, 142, -50},
+  };
+  for (int k = 0; k < 8; ++k) {
+    std::int64_t acc = 0;
+    for (int i = 0; i < 8; ++i) {
+      acc += static_cast<std::int64_t>(kCos[k][i]) * in[i];
+    }
+    out[k] = static_cast<std::int32_t>(acc >> 7);  // keep 2 guard bits
+  }
+}
+}  // namespace
+
+Tile8x8 dct8(const Tile8x8& in) {
+  Tile8x8 rows, out;
+  for (int r = 0; r < 8; ++r) dct8_1d(in.v[r], rows.v[r]);
+  for (int c = 0; c < 8; ++c) {
+    std::int32_t col[8], tcol[8];
+    for (int r = 0; r < 8; ++r) col[r] = rows.v[r][c];
+    dct8_1d(col, tcol);
+    for (int r = 0; r < 8; ++r) out.v[r][c] = tcol[r];
+  }
+  return out;
+}
+
+int quantize8(Tile8x8& tile, int qp) {
+  HEC_EXPECTS(qp >= 1);
+  int nonzero = 0;
+  const std::int32_t deadzone = qp / 2;
+  for (auto& row : tile.v) {
+    for (auto& coeff : row) {
+      if (std::abs(coeff) <= deadzone) {
+        coeff = 0;
+      } else {
+        coeff /= qp;
+        if (coeff != 0) ++nonzero;
+      }
+    }
+  }
+  return nonzero;
+}
+
+std::array<std::pair<int, int>, 64> zigzag_order() {
+  // Walk anti-diagonals, alternating direction (the JPEG scan).
+  std::array<std::pair<int, int>, 64> order;
+  std::size_t idx = 0;
+  for (int sum = 0; sum <= 14; ++sum) {
+    if (sum % 2 == 0) {
+      // Up-right: row decreasing.
+      for (int r = std::min(sum, 7); r >= std::max(0, sum - 7); --r) {
+        order[idx++] = {r, sum - r};
+      }
+    } else {
+      // Down-left: row increasing.
+      for (int r = std::max(0, sum - 7); r <= std::min(sum, 7); ++r) {
+        order[idx++] = {r, sum - r};
+      }
+    }
+  }
+  return order;
+}
+
+namespace {
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size() || shift > 28) {
+      throw std::invalid_argument("truncated or oversized varint");
+    }
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint32_t zigzag_signed(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+std::int32_t unzigzag_signed(std::uint32_t v) {
+  return static_cast<std::int32_t>(v >> 1) ^
+         -static_cast<std::int32_t>(v & 1);
+}
+
+constexpr std::uint32_t kEndOfBlockRun = 64;
+}  // namespace
+
+std::vector<std::uint8_t> entropy_encode(const Tile8x8& tile) {
+  static const auto kOrder = zigzag_order();
+  std::vector<std::uint8_t> out;
+  std::uint32_t run = 0;
+  for (const auto& [r, c] : kOrder) {
+    const std::int32_t coeff = tile.v[r][c];
+    if (coeff == 0) {
+      ++run;
+      continue;
+    }
+    put_varint(out, run);
+    put_varint(out, zigzag_signed(coeff));
+    run = 0;
+  }
+  put_varint(out, kEndOfBlockRun);  // end-of-block marker
+  return out;
+}
+
+Tile8x8 entropy_decode(const std::vector<std::uint8_t>& bytes) {
+  static const auto kOrder = zigzag_order();
+  Tile8x8 tile;
+  std::size_t pos = 0;
+  std::size_t scan = 0;
+  for (;;) {
+    const std::uint32_t run = get_varint(bytes, pos);
+    if (run == kEndOfBlockRun) break;
+    if (run > kEndOfBlockRun) {
+      throw std::invalid_argument("invalid run length");
+    }
+    scan += run;
+    if (scan >= kOrder.size()) {
+      throw std::invalid_argument("zigzag overrun");
+    }
+    const std::int32_t level = unzigzag_signed(get_varint(bytes, pos));
+    if (level == 0) throw std::invalid_argument("zero level encoded");
+    const auto& [r, c] = kOrder[scan];
+    tile.v[r][c] = level;
+    ++scan;
+  }
+  if (pos != bytes.size()) {
+    throw std::invalid_argument("trailing bytes after end-of-block");
+  }
+  return tile;
+}
+
+EncodeStats encode_frame(const Frame& cur, const Frame& ref, int qp,
+                         int search_range) {
+  HEC_EXPECTS(cur.width() == ref.width() && cur.height() == ref.height());
+  constexpr int kMacroblock = 16;
+  EncodeStats stats;
+  for (int by = 0; by + kMacroblock <= cur.height(); by += kMacroblock) {
+    for (int bx = 0; bx + kMacroblock <= cur.width(); bx += kMacroblock) {
+      const MotionVector mv =
+          motion_search(cur, ref, bx, by, kMacroblock, search_range);
+      stats.total_sad += mv.sad;
+      ++stats.blocks;
+      // Transform each 8x8 sub-block of the motion-compensated residual.
+      for (int sy = 0; sy < kMacroblock; sy += 8) {
+        for (int sx = 0; sx < kMacroblock; sx += 8) {
+          Tile8x8 residual;
+          for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+              residual.v[y][x] =
+                  cur.at(bx + sx + x, by + sy + y) -
+                  ref.at(bx + sx + x + mv.dx, by + sy + y + mv.dy);
+            }
+          }
+          Tile8x8 coeffs = dct8(residual);
+          stats.nonzero_coeffs +=
+              static_cast<std::uint64_t>(quantize8(coeffs, qp));
+          stats.encoded_bytes += entropy_encode(coeffs).size();
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hec

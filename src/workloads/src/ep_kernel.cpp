@@ -1,0 +1,155 @@
+#include "hec/workloads/ep_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "hec/parallel/thread_pool.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+// NAS pseudorandom generator constants: a = 5^13, modulus 2^46, split into
+// 23-bit halves so the double-precision multiply is exact (the classic
+// randlc scheme of the NPB reference implementation).
+constexpr double kR23 = 0x1p-23;
+constexpr double kT23 = 0x1p23;
+constexpr double kR46 = 0x1p-46;
+constexpr double kT46 = 0x1p46;
+constexpr double kA = 1220703125.0;  // 5^13
+}  // namespace
+
+namespace {
+/// (a * x) mod 2^46 with exact 23-bit limb arithmetic (NPB randlc).
+double mul46(double a, double x) {
+  const double a1 = std::floor(kR23 * a);
+  const double a2 = a - kT23 * a1;
+  const double x1 = std::floor(kR23 * x);
+  const double x2 = x - kT23 * x1;
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = std::floor(kR23 * t1);
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = std::floor(kR46 * t3);
+  return t3 - kT46 * t4;
+}
+
+/// a^n mod 2^46 by binary exponentiation over mul46.
+double pow46(double a, std::uint64_t n) {
+  double result = 1.0;
+  double base = a;
+  while (n != 0) {
+    if (n & 1) result = mul46(result, base);
+    base = mul46(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+}  // namespace
+
+NasRandom::NasRandom(double seed) : x_(seed) {
+  HEC_EXPECTS(seed > 0.0 && seed < kT46);
+}
+
+double NasRandom::next() {
+  x_ = mul46(kA, x_);
+  return kR46 * x_;
+}
+
+void NasRandom::skip(std::uint64_t count) {
+  // x_{k+count} = a^count * x_k mod 2^46.
+  x_ = mul46(pow46(kA, count), x_);
+}
+
+namespace {
+/// EP over pairs [first, first + count) of the stream seeded by `seed`.
+EpResult ep_generate_range(std::uint64_t first, std::uint64_t count,
+                           double seed) {
+  EpResult result;
+  NasRandom rng(seed);
+  rng.skip(2 * first);  // two draws per candidate pair
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double u1 = 2.0 * rng.next() - 1.0;
+    const double u2 = 2.0 * rng.next() - 1.0;
+    const double t = u1 * u1 + u2 * u2;
+    if (t > 1.0) continue;  // Marsaglia rejection
+    const double factor = std::sqrt(-2.0 * std::log(t) / t);
+    const double x = u1 * factor;
+    const double y = u2 * factor;
+    const auto bin = static_cast<std::size_t>(
+        std::fmax(std::fabs(x), std::fabs(y)));
+    if (bin < result.annulus_counts.size()) {
+      ++result.annulus_counts[bin];
+    }
+    result.sum_x += x;
+    result.sum_y += y;
+    ++result.pairs_accepted;
+  }
+  return result;
+}
+}  // namespace
+
+EpResult ep_generate(std::uint64_t pairs, double seed) {
+  EpResult result;
+  NasRandom rng(seed);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const double u1 = 2.0 * rng.next() - 1.0;
+    const double u2 = 2.0 * rng.next() - 1.0;
+    const double t = u1 * u1 + u2 * u2;
+    if (t > 1.0) continue;  // Marsaglia rejection
+    const double factor = std::sqrt(-2.0 * std::log(t) / t);
+    const double x = u1 * factor;
+    const double y = u2 * factor;
+    const auto bin = static_cast<std::size_t>(
+        std::fmax(std::fabs(x), std::fabs(y)));
+    if (bin < result.annulus_counts.size()) {
+      ++result.annulus_counts[bin];
+    }
+    result.sum_x += x;
+    result.sum_y += y;
+    ++result.pairs_accepted;
+  }
+  return result;
+}
+
+EpResult ep_generate_parallel(std::uint64_t pairs, double seed) {
+  if (pairs == 0) return EpResult{};
+  const std::size_t workers = global_pool().thread_count();
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(pairs, workers * 4);
+  const std::uint64_t chunk_size = (pairs + chunks - 1) / chunks;
+  std::vector<EpResult> partials(static_cast<std::size_t>(chunks));
+  parallel_for(0, static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    const std::uint64_t first = static_cast<std::uint64_t>(c) * chunk_size;
+    if (first >= pairs) return;
+    const std::uint64_t count = std::min(chunk_size, pairs - first);
+    partials[c] = ep_generate_range(first, count, seed);
+  });
+  EpResult total;
+  for (const EpResult& p : partials) {
+    for (std::size_t bin = 0; bin < total.annulus_counts.size(); ++bin) {
+      total.annulus_counts[bin] += p.annulus_counts[bin];
+    }
+    total.sum_x += p.sum_x;
+    total.sum_y += p.sum_y;
+    total.pairs_accepted += p.pairs_accepted;
+  }
+  return total;
+}
+
+std::uint64_t ep_class_pairs(char problem_class) {
+  switch (problem_class) {
+    case 'A':
+      return 1ULL << 28;
+    case 'B':
+      return 1ULL << 30;
+    case 'C':
+      return 1ULL << 32;
+    default:
+      throw std::invalid_argument("EP problem class must be A, B or C");
+  }
+}
+
+}  // namespace hec

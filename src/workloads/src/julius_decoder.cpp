@@ -1,0 +1,151 @@
+#include "hec/workloads/julius_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+
+double DiagGaussian::log_density(const std::vector<double>& frame) const {
+  HEC_EXPECTS(frame.size() == mean.size());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < mean.size(); ++d) {
+    const double diff = frame[d] - mean[d];
+    acc += diff * diff * inv_var[d];
+  }
+  return log_norm - 0.5 * acc;
+}
+
+Hmm make_test_hmm(std::size_t n_states, std::size_t dims,
+                  std::uint64_t seed) {
+  HEC_EXPECTS(n_states >= 2);
+  HEC_EXPECTS(dims >= 1);
+  Rng rng(seed);
+  Hmm hmm;
+  hmm.states.reserve(n_states);
+  for (std::size_t s = 0; s < n_states; ++s) {
+    DiagGaussian g;
+    g.mean.resize(dims);
+    g.inv_var.resize(dims);
+    double log_var_sum = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      // Means drift per state so frames can discriminate states.
+      g.mean[d] = static_cast<double>(s) * 0.8 + rng.normal(0.0, 0.3);
+      const double var = rng.uniform(0.5, 1.5);
+      g.inv_var[d] = 1.0 / var;
+      log_var_sum += std::log(var);
+    }
+    g.log_norm = -0.5 * (static_cast<double>(dims) *
+                             std::log(2.0 * M_PI) +
+                         log_var_sum);
+    hmm.states.push_back(std::move(g));
+    const double p_stay = rng.uniform(0.5, 0.8);
+    hmm.log_self.push_back(std::log(p_stay));
+    hmm.log_next.push_back(std::log(1.0 - p_stay));
+  }
+  return hmm;
+}
+
+std::vector<std::vector<double>> make_test_frames(const Hmm& hmm,
+                                                  std::size_t n_frames,
+                                                  std::uint64_t seed) {
+  HEC_EXPECTS(n_frames >= 1);
+  Rng rng(seed);
+  const std::size_t dims = hmm.states.front().mean.size();
+  std::vector<std::vector<double>> frames;
+  frames.reserve(n_frames);
+  // Walk through the states roughly uniformly over the utterance.
+  for (std::size_t t = 0; t < n_frames; ++t) {
+    const std::size_t state =
+        t * hmm.states.size() / n_frames;  // monotone left-to-right
+    std::vector<double> frame(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      frame[d] = hmm.states[state].mean[d] + rng.normal(0.0, 0.8);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+namespace {
+/// Shared Viterbi trellis walk; `beam` <= 0 disables pruning.
+BeamDecodeResult viterbi_impl(
+    const Hmm& hmm, const std::vector<std::vector<double>>& frames,
+    double beam) {
+  HEC_EXPECTS(!frames.empty());
+  const std::size_t n_states = hmm.states.size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> prev(n_states, kNegInf);
+  std::vector<double> cur(n_states, kNegInf);
+  std::vector<std::vector<std::uint32_t>> backptr(
+      frames.size(), std::vector<std::uint32_t>(n_states, 0));
+
+  BeamDecodeResult out;
+  // Must start in state 0 (left-to-right model).
+  prev[0] = hmm.states[0].log_density(frames[0]);
+  double frame_best = prev[0];
+
+  for (std::size_t t = 1; t < frames.size(); ++t) {
+    const double threshold =
+        beam > 0.0 ? frame_best - beam : kNegInf;
+    double new_best = kNegInf;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      double best = kNegInf;
+      std::uint32_t best_from = static_cast<std::uint32_t>(s);
+      if (prev[s] >= threshold) {
+        best = prev[s] + hmm.log_self[s];
+      }
+      if (s > 0 && prev[s - 1] >= threshold) {
+        const double from_prev = prev[s - 1] + hmm.log_next[s - 1];
+        if (from_prev > best) {
+          best = from_prev;
+          best_from = static_cast<std::uint32_t>(s - 1);
+        }
+      }
+      if (best == kNegInf) {
+        // Both predecessors pruned: the emission is never evaluated.
+        cur[s] = kNegInf;
+        ++out.pruned_evaluations;
+      } else {
+        cur[s] = best + hmm.states[s].log_density(frames[t]);
+      }
+      backptr[t][s] = best_from;
+      new_best = std::max(new_best, cur[s]);
+    }
+    frame_best = new_best;
+    std::swap(prev, cur);
+  }
+
+  // Best final state and backtrace.
+  std::size_t best_state = 0;
+  for (std::size_t s = 1; s < n_states; ++s) {
+    if (prev[s] > prev[best_state]) best_state = s;
+  }
+  out.result.log_likelihood = prev[best_state];
+  out.result.state_path.resize(frames.size());
+  std::size_t state = best_state;
+  for (std::size_t t = frames.size(); t-- > 0;) {
+    out.result.state_path[t] = state;
+    if (t > 0) state = backptr[t][state];
+  }
+  return out;
+}
+}  // namespace
+
+DecodeResult viterbi_decode(
+    const Hmm& hmm, const std::vector<std::vector<double>>& frames) {
+  return viterbi_impl(hmm, frames, 0.0).result;
+}
+
+BeamDecodeResult viterbi_decode_beam(
+    const Hmm& hmm, const std::vector<std::vector<double>>& frames,
+    double beam) {
+  HEC_EXPECTS(beam > 0.0);
+  return viterbi_impl(hmm, frames, beam);
+}
+
+}  // namespace hec

@@ -1,0 +1,159 @@
+#include "hec/workloads/kvstore.h"
+
+#include <bit>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+KvStore::KvStore(std::size_t capacity) {
+  HEC_EXPECTS(capacity >= 2);
+  slots_.resize(std::bit_ceil(capacity));
+}
+
+std::size_t KvStore::probe_start(const std::string& key) const {
+  return fnv1a(key) & (slots_.size() - 1);
+}
+
+bool KvStore::set(const std::string& key, std::string value) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = probe_start(key);
+  std::size_t first_tombstone = slots_.size();  // sentinel: none seen
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    Slot& slot = slots_[idx];
+    if (slot.state == SlotState::kUsed && slot.key == key) {
+      slot.value = std::move(value);
+      return true;
+    }
+    if (slot.state == SlotState::kTombstone &&
+        first_tombstone == slots_.size()) {
+      first_tombstone = idx;
+    }
+    if (slot.state == SlotState::kEmpty) {
+      Slot& target =
+          first_tombstone != slots_.size() ? slots_[first_tombstone] : slot;
+      target.state = SlotState::kUsed;
+      target.key = key;
+      target.value = std::move(value);
+      ++size_;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+  // Probed the whole table: insert into a tombstone if we found one.
+  if (first_tombstone != slots_.size()) {
+    Slot& target = slots_[first_tombstone];
+    target.state = SlotState::kUsed;
+    target.key = key;
+    target.value = std::move(value);
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = probe_start(key);
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    const Slot& slot = slots_[idx];
+    if (slot.state == SlotState::kEmpty) return std::nullopt;
+    if (slot.state == SlotState::kUsed && slot.key == key) return slot.value;
+    idx = (idx + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+bool KvStore::remove(const std::string& key) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = probe_start(key);
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    Slot& slot = slots_[idx];
+    if (slot.state == SlotState::kEmpty) return false;
+    if (slot.state == SlotState::kUsed && slot.key == key) {
+      slot.state = SlotState::kTombstone;
+      slot.key.clear();
+      slot.value.clear();
+      --size_;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+  return false;
+}
+
+std::size_t KvStore::serve(const KvRequest& req) {
+  switch (req.op) {
+    case KvOp::kGet: {
+      auto value = get(req.key);
+      return value ? value->size() : 0;
+    }
+    case KvOp::kSet:
+      set(req.key, req.value);
+      return 0;
+    case KvOp::kDelete:
+      remove(req.key);
+      return 0;
+  }
+  return 0;
+}
+
+RequestGenerator::RequestGenerator(std::size_t key_space,
+                                   std::size_t key_bytes,
+                                   std::size_t value_bytes,
+                                   double get_fraction, std::uint64_t seed,
+                                   double zipf_s)
+    : key_space_(key_space),
+      key_bytes_(key_bytes),
+      value_bytes_(value_bytes),
+      get_fraction_(get_fraction),
+      rng_(seed) {
+  HEC_EXPECTS(key_space >= 1);
+  HEC_EXPECTS(key_bytes >= 4);
+  HEC_EXPECTS(get_fraction >= 0.0 && get_fraction <= 1.0);
+  HEC_EXPECTS(zipf_s >= 0.0);
+  if (zipf_s > 0.0) popularity_.emplace(key_space, zipf_s);
+}
+
+std::string RequestGenerator::make_key(std::uint64_t id) const {
+  // Fixed-size keys, memslap-style: "k<id>" padded with 'x'.
+  std::string key;
+  key.reserve(key_bytes_);
+  key += 'k';
+  key += std::to_string(id);
+  if (key.size() > key_bytes_) {
+    key.erase(key_bytes_);
+  } else {
+    key.append(key_bytes_ - key.size(), 'x');
+  }
+  return key;
+}
+
+KvRequest RequestGenerator::next() {
+  KvRequest req;
+  const std::uint64_t id = popularity_
+                               ? popularity_->next(rng_)
+                               : rng_.uniform_index(key_space_);
+  req.key = make_key(id);
+  const double pick = rng_.uniform();
+  if (pick < get_fraction_) {
+    req.op = KvOp::kGet;
+  } else if (pick < get_fraction_ + (1.0 - get_fraction_) * 0.9) {
+    req.op = KvOp::kSet;
+    req.value.assign(value_bytes_, 'v');
+  } else {
+    req.op = KvOp::kDelete;
+  }
+  return req;
+}
+
+}  // namespace hec

@@ -1,0 +1,158 @@
+// Workload profile calibration.
+//
+// The per-ISA PhaseDemand numbers below are the trace-driven inputs the
+// paper obtains from perf counters on its physical testbed. They are
+// calibrated against the paper's published characterisation:
+//  * instruction-count ratios reflect ISA differences (x86-64 needs fewer
+//    instructions than ARMv7 except where ARM lacks an accelerator:
+//    RSA-2048 needs ~5x more ARM instructions — AMD has crypto-friendly
+//    wide multipliers; x264 needs ~2.7x — NEON vs wider SSE);
+//  * WPI/SPIcore bands match Fig. 2 (AMD WPI ~0.75, ARM WPI ~0.9);
+//  * miss rates produce the Table 3 bottleneck classes (x264
+//    memory-bound — much worse on the L3-less ARM; the rest CPU-bound
+//    except memcached, which is NIC-bound at every configuration);
+//  * the resulting performance-to-power ratios reproduce Table 5 within
+//    ~10% (checked by bench_table5_ppr).
+#include "hec/workloads/workload.h"
+
+#include <stdexcept>
+
+namespace hec {
+
+std::string to_string(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kCpu:
+      return "CPU";
+    case Bottleneck::kMemory:
+      return "Memory";
+    case Bottleneck::kIo:
+      return "I/O";
+  }
+  return "unknown";
+}
+
+Workload workload_ep() {
+  Workload w;
+  w.name = "EP";
+  w.domain = "HPC";
+  w.unit = "random numbers";
+  w.bottleneck = Bottleneck::kCpu;
+  w.validation_units = 2147483648.0;  // 2^31 (Table 3)
+  w.analysis_units = 50e6;            // Section IV-B
+  w.demand_arm = {160.0, 0.88, 0.52, 0.5, 0.0, 0.0, 0.35};
+  w.demand_amd = {118.0, 0.74, 0.54, 0.4, 0.0, 0.0, 0.35};
+  w.ppr_unit = "(random no./s)/W";
+  return w;
+}
+
+Workload workload_memcached() {
+  Workload w;
+  w.name = "memcached";
+  w.domain = "Web Server";
+  w.unit = "GET/SET operations";
+  w.bottleneck = Bottleneck::kIo;
+  w.validation_units = 600000.0;
+  w.analysis_units = 50000.0;
+  // 800 wire bytes per request (key + value + protocol), 5 us protocol
+  // floor; ~0.75 KiB useful payload counted by the PPR metric.
+  w.demand_arm = {3000.0, 1.00, 0.50, 8.0, 800.0, 5e-6, 0.0};
+  w.demand_amd = {2200.0, 0.80, 0.45, 8.0, 800.0, 5e-6, 0.0};
+  w.ppr_unit = "(kbytes/s)/W";
+  w.ppr_scale = 0.75;
+  return w;
+}
+
+Workload workload_x264() {
+  Workload w;
+  w.name = "x264";
+  w.domain = "Streaming video";
+  w.unit = "frames";
+  w.bottleneck = Bottleneck::kMemory;
+  w.validation_units = 600.0;  // 600 frames 704x576 (Table 3)
+  w.analysis_units = 100.0;
+  w.demand_arm = {1.8e8, 0.90, 0.60, 40.0, 0.0, 0.0, 0.05};
+  w.demand_amd = {6.6e7, 0.70, 0.30, 12.0, 0.0, 0.0, 0.05};
+  w.ppr_unit = "(frames/s)/W";
+  return w;
+}
+
+Workload workload_blackscholes() {
+  Workload w;
+  w.name = "blackscholes";
+  w.domain = "Financial";
+  w.unit = "stock options";
+  w.bottleneck = Bottleneck::kCpu;
+  w.validation_units = 500000.0;
+  w.analysis_units = 200000.0;
+  w.demand_arm = {75000.0, 0.90, 0.60, 1.0, 0.0, 0.0, 0.60};
+  w.demand_amd = {60000.0, 0.70, 0.50, 0.8, 0.0, 0.0, 0.60};
+  w.ppr_unit = "(options/s)/W";
+  return w;
+}
+
+Workload workload_julius() {
+  Workload w;
+  w.name = "Julius";
+  w.domain = "Speech recognition";
+  w.unit = "samples";
+  w.bottleneck = Bottleneck::kCpu;
+  w.validation_units = 2310559.0;
+  w.analysis_units = 1e6;
+  w.demand_arm = {12800.0, 0.92, 0.55, 1.5, 0.0, 0.0, 0.50};
+  w.demand_amd = {8100.0, 0.72, 0.45, 1.2, 0.0, 0.0, 0.50};
+  w.ppr_unit = "(samples/s)/W";
+  return w;
+}
+
+Workload workload_rsa2048() {
+  Workload w;
+  w.name = "RSA-2048";
+  w.domain = "Web security";
+  w.unit = "keys verifications";
+  w.bottleneck = Bottleneck::kCpu;
+  w.validation_units = 5000.0;
+  w.analysis_units = 5000.0;
+  w.demand_arm = {140000.0, 0.95, 0.55, 0.3, 0.0, 0.0, 0.0};
+  w.demand_amd = {25800.0, 0.62, 0.28, 0.3, 0.0, 0.0, 0.0};
+  w.ppr_unit = "(verify/s)/W";
+  return w;
+}
+
+Workload workload_websearch_ext() {
+  Workload w;
+  w.name = "websearch";
+  w.domain = "Web search (extension)";
+  w.unit = "queries";
+  w.bottleneck = Bottleneck::kCpu;  // at low clocks; I/O at high clocks
+  w.validation_units = 100000.0;
+  w.analysis_units = 20000.0;
+  // Index-scan compute comparable to the NIC's per-query cost: 300-byte
+  // result payloads plus a 20 us protocol floor make the bottleneck flip
+  // with the P-state (CPU-bound at fmin, NIC-bound at fmax).
+  w.demand_arm = {60000.0, 0.92, 0.55, 2.0, 300.0, 2e-5, 0.1};
+  w.demand_amd = {45000.0, 0.72, 0.45, 1.5, 300.0, 2e-5, 0.1};
+  w.ppr_unit = "(queries/s)/W";
+  return w;
+}
+
+std::vector<Workload> all_workloads() {
+  return {workload_ep(),           workload_memcached(),
+          workload_x264(),         workload_blackscholes(),
+          workload_julius(),       workload_rsa2048()};
+}
+
+std::vector<Workload> extension_workloads() {
+  return {workload_websearch_ext()};
+}
+
+Workload find_workload(const std::string& name) {
+  for (const auto& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  for (const auto& w : extension_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace hec

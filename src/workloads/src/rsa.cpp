@@ -1,0 +1,215 @@
+#include "hec/workloads/rsa.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;
+}  // namespace
+
+BigUInt BigUInt::from_u64(u64 value) {
+  BigUInt x;
+  x.limb[0] = value;
+  return x;
+}
+
+bool BigUInt::is_zero() const {
+  for (u64 l : limb) {
+    if (l != 0) return false;
+  }
+  return true;
+}
+
+bool BigUInt::bit(int index) const {
+  HEC_EXPECTS(index >= 0 && index < kLimbs * 64);
+  return (limb[static_cast<std::size_t>(index / 64)] >>
+          (index % 64)) & 1;
+}
+
+int compare(const BigUInt& a, const BigUInt& b) {
+  for (int i = BigUInt::kLimbs - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (a.limb[idx] != b.limb[idx]) {
+      return a.limb[idx] < b.limb[idx] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+u64 add(BigUInt& a, const BigUInt& b) {
+  u64 carry = 0;
+  for (int i = 0; i < BigUInt::kLimbs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const u128 sum =
+        static_cast<u128>(a.limb[idx]) + b.limb[idx] + carry;
+    a.limb[idx] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  return carry;
+}
+
+u64 sub(BigUInt& a, const BigUInt& b) {
+  u64 borrow = 0;
+  for (int i = 0; i < BigUInt::kLimbs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const u128 diff = static_cast<u128>(a.limb[idx]) -
+                      static_cast<u128>(b.limb[idx]) - borrow;
+    a.limb[idx] = static_cast<u64>(diff);
+    borrow = static_cast<u64>((diff >> 64) & 1);
+  }
+  return borrow;
+}
+
+void mod_add(BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  HEC_EXPECTS(compare(a, m) < 0 && compare(b, m) < 0);
+  const u64 carry = add(a, b);
+  if (carry != 0 || compare(a, m) >= 0) {
+    sub(a, m);
+  }
+}
+
+MontgomeryCtx::MontgomeryCtx(const BigUInt& modulus) : n_(modulus) {
+  HEC_EXPECTS((modulus.limb[0] & 1) != 0);
+  HEC_EXPECTS(compare(modulus, BigUInt::one()) > 0);
+
+  // n0_inv = -n^-1 mod 2^64 by Newton iteration on the low limb:
+  // each step doubles the number of correct bits.
+  const u64 n0 = n_.limb[0];
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - n0 * inv;
+  }
+  n0_inv_ = ~inv + 1;  // negate mod 2^64
+  HEC_ENSURES(n0 * inv == 1);
+
+  // R^2 mod n: start from R mod n (shift 1 left by 2048 via repeated
+  // modular doubling), then double 2048 more times.
+  BigUInt r = BigUInt::one();
+  for (int i = 0; i < 2 * BigUInt::kLimbs * 64; ++i) {
+    BigUInt doubled = r;
+    mod_add(doubled, r, n_);
+    r = doubled;
+  }
+  rr_ = r;
+}
+
+BigUInt MontgomeryCtx::mul(const BigUInt& a, const BigUInt& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  constexpr int kLimbs = BigUInt::kLimbs;
+  u64 t[kLimbs + 2] = {};
+
+  for (int i = 0; i < kLimbs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    // t += a[i] * b
+    u64 carry = 0;
+    for (int j = 0; j < kLimbs; ++j) {
+      const auto jj = static_cast<std::size_t>(j);
+      const u128 acc = static_cast<u128>(a.limb[ii]) * b.limb[jj] +
+                       t[jj] + carry;
+      t[jj] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    {
+      const u128 acc = static_cast<u128>(t[kLimbs]) + carry;
+      t[kLimbs] = static_cast<u64>(acc);
+      t[kLimbs + 1] = static_cast<u64>(acc >> 64);
+    }
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n0_inv_;
+    carry = 0;
+    {
+      const u128 acc = static_cast<u128>(m) * n_.limb[0] + t[0];
+      carry = static_cast<u64>(acc >> 64);
+    }
+    for (int j = 1; j < kLimbs; ++j) {
+      const auto jj = static_cast<std::size_t>(j);
+      const u128 acc = static_cast<u128>(m) * n_.limb[jj] + t[jj] + carry;
+      t[jj - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    {
+      const u128 acc = static_cast<u128>(t[kLimbs]) + carry;
+      t[kLimbs - 1] = static_cast<u64>(acc);
+      t[kLimbs] = t[kLimbs + 1] + static_cast<u64>(acc >> 64);
+      t[kLimbs + 1] = 0;
+    }
+  }
+
+  BigUInt result;
+  for (int j = 0; j < kLimbs; ++j) {
+    const auto jj = static_cast<std::size_t>(j);
+    result.limb[jj] = t[jj];
+  }
+  // Final conditional subtraction: result may be in [0, 2n).
+  if (t[kLimbs] != 0 || compare(result, n_) >= 0) {
+    sub(result, n_);
+  }
+  return result;
+}
+
+BigUInt MontgomeryCtx::to_mont(const BigUInt& a) const {
+  return mul(a, rr_);
+}
+
+BigUInt MontgomeryCtx::from_mont(const BigUInt& a) const {
+  return mul(a, BigUInt::one());
+}
+
+BigUInt MontgomeryCtx::pow65537(const BigUInt& base) const {
+  // e = 2^16 + 1: sixteen squarings then one multiply by the base.
+  const BigUInt base_m = to_mont(base);
+  BigUInt x = base_m;
+  for (int i = 0; i < 16; ++i) {
+    x = mul(x, x);
+  }
+  x = mul(x, base_m);
+  return from_mont(x);
+}
+
+BigUInt MontgomeryCtx::pow(const BigUInt& base,
+                           const BigUInt& exponent) const {
+  const BigUInt base_m = to_mont(base);
+  BigUInt x = to_mont(BigUInt::one());
+  bool seen_top_bit = false;
+  for (int i = BigUInt::kLimbs * 64 - 1; i >= 0; --i) {
+    if (seen_top_bit) {
+      x = mul(x, x);
+    }
+    if (exponent.bit(i)) {
+      x = mul(x, base_m);
+      seen_top_bit = true;
+    }
+  }
+  if (!seen_top_bit) {
+    // exponent == 0
+    return from_mont(to_mont(BigUInt::one()));
+  }
+  return from_mont(x);
+}
+
+BigUInt rsa_test_modulus(std::uint64_t seed) {
+  Rng rng(seed);
+  BigUInt n;
+  for (auto& l : n.limb) l = rng();
+  n.limb[0] |= 1;                              // odd
+  n.limb[BigUInt::kLimbs - 1] |= 1ULL << 63;   // full 2048-bit width
+  return n;
+}
+
+BigUInt rsa_random_below(const BigUInt& modulus, Rng& rng) {
+  HEC_EXPECTS(!modulus.is_zero());
+  // Rejection sampling from the full width.
+  for (;;) {
+    BigUInt x;
+    for (auto& l : x.limb) l = rng();
+    // Cheap range reduction: clear the top limb's high bits first.
+    x.limb[BigUInt::kLimbs - 1] &=
+        modulus.limb[BigUInt::kLimbs - 1] | (modulus.limb[BigUInt::kLimbs - 1] - 1);
+    if (compare(x, modulus) < 0) return x;
+  }
+}
+
+}  // namespace hec

@@ -1,0 +1,87 @@
+#include "hec/workloads/trace_builders.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+
+/// A phase variant: fraction of the units with scale factors applied to
+/// the base demand. Factors are chosen so the unit-weighted blend of all
+/// variants reproduces the base demand exactly (validated by tests).
+struct Variant {
+  const char* label;
+  double unit_fraction;
+  double inst_factor = 1.0;
+  double miss_factor = 1.0;
+  double bytes_factor = 1.0;
+};
+
+PhaseDemand scaled(const PhaseDemand& base, const Variant& v) {
+  PhaseDemand d = base;
+  d.instructions_per_unit *= v.inst_factor;
+  d.mem_misses_per_kinst *= v.miss_factor;
+  d.io_bytes_per_unit *= v.bytes_factor;
+  return d;
+}
+
+WorkloadTrace from_variants(const PhaseDemand& base, double units,
+                            std::initializer_list<Variant> variants) {
+  WorkloadTrace trace;
+  double fraction_total = 0.0;
+  for (const Variant& v : variants) {
+    fraction_total += v.unit_fraction;
+    trace.append(PhaseRecord{v.label, scaled(base, v),
+                             units * v.unit_fraction});
+  }
+  HEC_ENSURES(std::abs(fraction_total - 1.0) < 1e-9);
+  return trace;
+}
+
+}  // namespace
+
+WorkloadTrace make_workload_trace(const Workload& workload, Isa isa,
+                                  double units) {
+  HEC_EXPECTS(units > 0.0);
+  const PhaseDemand& base = workload.demand_for(isa);
+
+  if (workload.name == "memcached") {
+    // memslap mix: 90% GETs (small requests, value-sized responses), 9%
+    // SETs (value-sized requests, heavier store path), 1% DELETEs.
+    // Unit-weighted factor means are 1 in every column.
+    return from_variants(
+        base, units,
+        {Variant{"GET", 0.90, 0.90, 0.95, 1.05},
+         Variant{"SET", 0.09, 1.90, 1.45, 0.55},
+         Variant{"DELETE", 0.01, 1.90, 1.45, 0.55}});
+  }
+  if (workload.name == "x264") {
+    // One intra frame per 12-frame GOP: ~2.2x the instructions (full
+    // spatial prediction) but half the miss rate (no motion search over
+    // the reference frame); P-frames carry the remainder.
+    return from_variants(base, units,
+                         {Variant{"I-frame", 1.0 / 12.0, 2.20, 0.50},
+                          Variant{"P-frame", 11.0 / 12.0,
+                                  (12.0 - 2.2) / 11.0,
+                                  (12.0 - 0.5) / 11.0}});
+  }
+  if (workload.name == "Julius") {
+    // Frame-synchronous decoding alternates voiced segments (wide beam,
+    // more Gaussians evaluated) with silence (narrow beam).
+    return from_variants(base, units,
+                         {Variant{"speech", 0.70, 1.20, 1.10},
+                          Variant{"silence", 0.30, 16.0 / 30.0, 23.0 / 30.0}});
+  }
+  if (workload.name == "blackscholes") {
+    // Calls and puts differ only marginally (one extra negation chain).
+    return from_variants(base, units,
+                         {Variant{"call", 0.50, 1.02},
+                          Variant{"put", 0.50, 0.98}});
+  }
+  // EP and RSA-2048 repeat one uniform phase.
+  WorkloadTrace trace;
+  trace.append(PhaseRecord{workload.unit, base, units});
+  return trace;
+}
+
+}  // namespace hec

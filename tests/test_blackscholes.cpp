@@ -1,0 +1,103 @@
+#include "hec/workloads/blackscholes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(Cndf, KnownValues) {
+  EXPECT_NEAR(cndf(0.0), 0.5, 1e-7);
+  EXPECT_NEAR(cndf(1.0), 0.8413447, 1e-5);
+  EXPECT_NEAR(cndf(-1.0), 0.1586553, 1e-5);
+  EXPECT_NEAR(cndf(3.0), 0.9986501, 1e-5);
+}
+
+TEST(Cndf, SymmetryAndMonotonicity) {
+  // The A&S 26.2.17 polynomial is accurate to ~7.5e-8; the symmetry
+  // identity holds to that approximation error (exactly at x = 0, where
+  // both branches evaluate the polynomial rather than its reflection).
+  for (double x = -4.0; x <= 4.0; x += 0.25) {
+    EXPECT_NEAR(cndf(x) + cndf(-x), 1.0, 2e-7);
+  }
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    const double c = cndf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(BlackScholes, KnownCallPrice) {
+  // Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1y.
+  OptionData o{100.0, 100.0, 0.05, 0.2, 1.0, true};
+  EXPECT_NEAR(black_scholes_price(o), 10.4506, 0.01);
+}
+
+TEST(BlackScholes, KnownPutPrice) {
+  OptionData o{100.0, 100.0, 0.05, 0.2, 1.0, false};
+  EXPECT_NEAR(black_scholes_price(o), 5.5735, 0.01);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  // C - P = S - K e^{-rT}, a strong identity test of both branches.
+  OptionData call{120.0, 95.0, 0.03, 0.35, 0.75, true};
+  OptionData put = call;
+  put.is_call = false;
+  const double lhs = black_scholes_price(call) - black_scholes_price(put);
+  const double rhs = call.spot - call.strike * std::exp(-call.rate * call.time);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(BlackScholes, DeepInTheMoneyCallNearsIntrinsic) {
+  OptionData o{200.0, 50.0, 0.02, 0.2, 0.5, true};
+  const double intrinsic = 200.0 - 50.0 * std::exp(-0.02 * 0.5);
+  EXPECT_NEAR(black_scholes_price(o), intrinsic, 0.05);
+}
+
+TEST(BlackScholes, PriceIncreasesWithVolatility) {
+  OptionData o{100.0, 100.0, 0.05, 0.1, 1.0, true};
+  double prev = 0.0;
+  for (double vol = 0.1; vol <= 0.8; vol += 0.1) {
+    o.volatility = vol;
+    const double p = black_scholes_price(o);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BlackScholes, RejectsInvalidContracts) {
+  OptionData o{0.0, 100.0, 0.05, 0.2, 1.0, true};
+  EXPECT_THROW(black_scholes_price(o), ContractViolation);
+  o = {100.0, 100.0, 0.05, 0.0, 1.0, true};
+  EXPECT_THROW(black_scholes_price(o), ContractViolation);
+}
+
+TEST(Portfolio, DeterministicAndBounded) {
+  const auto options = make_portfolio(1000, 42);
+  ASSERT_EQ(options.size(), 1000u);
+  for (const auto& o : options) {
+    EXPECT_GT(o.spot, 0.0);
+    EXPECT_GT(o.strike, 0.0);
+    EXPECT_GT(o.volatility, 0.0);
+    EXPECT_GT(o.time, 0.0);
+    // Price is nonnegative and below the spot (calls) / strike (puts).
+    const double p = black_scholes_price(o);
+    EXPECT_GE(p, -1e-9);
+    EXPECT_LT(p, std::max(o.spot, o.strike));
+  }
+  const auto again = make_portfolio(1000, 42);
+  EXPECT_DOUBLE_EQ(price_portfolio(options), price_portfolio(again));
+}
+
+TEST(Portfolio, DifferentSeedsDiffer) {
+  const auto a = make_portfolio(100, 1);
+  const auto b = make_portfolio(100, 2);
+  EXPECT_NE(price_portfolio(a), price_portfolio(b));
+}
+
+}  // namespace
+}  // namespace hec

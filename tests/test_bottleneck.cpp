@@ -1,0 +1,82 @@
+#include "hec/model/bottleneck.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+Prediction fake_prediction(double core, double mem, double io) {
+  Prediction p;
+  p.t_core_s = core;
+  p.t_mem_s = mem;
+  p.t_cpu_s = std::max(core, mem);
+  p.t_io_s = io;
+  p.t_s = std::max(p.t_cpu_s, io);
+  return p;
+}
+
+TEST(Bottleneck, ClassifiesEachResource) {
+  EXPECT_EQ(classify_bottleneck(fake_prediction(1.0, 0.3, 0.1)).binding,
+            Bottleneck::kCpu);
+  EXPECT_EQ(classify_bottleneck(fake_prediction(0.3, 1.0, 0.1)).binding,
+            Bottleneck::kMemory);
+  EXPECT_EQ(classify_bottleneck(fake_prediction(0.3, 0.4, 2.0)).binding,
+            Bottleneck::kIo);
+}
+
+TEST(Bottleneck, DominanceAndShare) {
+  const BottleneckReport io =
+      classify_bottleneck(fake_prediction(0.5, 0.4, 2.0));
+  EXPECT_NEAR(io.dominance, 4.0, 1e-12);  // 2.0 / 0.5
+  EXPECT_NEAR(io.share, 1.0, 1e-12);      // io defines t_s entirely
+
+  const BottleneckReport cpu =
+      classify_bottleneck(fake_prediction(1.0, 0.5, 0.25));
+  EXPECT_NEAR(cpu.dominance, 2.0, 1e-12);  // core vs mem runner-up
+}
+
+TEST(Bottleneck, NearBoundaryHasLowDominance) {
+  const BottleneckReport r =
+      classify_bottleneck(fake_prediction(1.0, 0.99, 0.1));
+  EXPECT_EQ(r.binding, Bottleneck::kCpu);
+  EXPECT_LT(r.dominance, 1.05);
+}
+
+TEST(Bottleneck, RejectsEmptyPrediction) {
+  Prediction p;
+  EXPECT_THROW(classify_bottleneck(p), ContractViolation);
+}
+
+TEST(Bottleneck, ExplainMentionsTheResource) {
+  EXPECT_NE(explain_bottleneck(fake_prediction(0.1, 0.1, 1.0)).find("I/O"),
+            std::string::npos);
+  EXPECT_NE(
+      explain_bottleneck(fake_prediction(0.1, 1.0, 0.1)).find("memory"),
+      std::string::npos);
+  EXPECT_NE(explain_bottleneck(fake_prediction(1.0, 0.1, 0.1)).find("CPU"),
+            std::string::npos);
+}
+
+TEST(Bottleneck, AgreesWithTable3OnRealModels) {
+  // Every paper workload's classification at the full operating point
+  // must match its Table 3 label on the node where the label is defined.
+  CharacterizeOptions opts;
+  opts.baseline_units = 5000.0;
+  for (const Workload& w : all_workloads()) {
+    const NodeSpec spec =
+        w.bottleneck == Bottleneck::kMemory ? arm_cortex_a9()
+                                            : amd_opteron_k10();
+    const NodeTypeModel model = build_node_model(spec, w, opts);
+    const Prediction p = model.predict(
+        std::min(w.validation_units, 50000.0),
+        NodeConfig{1, spec.cores, spec.pstates.max_ghz()});
+    EXPECT_EQ(classify_bottleneck(p).binding, w.bottleneck) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace hec

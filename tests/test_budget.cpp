@@ -1,0 +1,104 @@
+#include "hec/config/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(Budget, SubstitutionRatioIsEightForPaperPair) {
+  // Footnote 5: (60 W - 20 W switch) / 5 W = 8 ARM per AMD.
+  EXPECT_EQ(substitution_ratio(arm_cortex_a9(), amd_opteron_k10()), 8);
+}
+
+TEST(Budget, SubstitutionSeriesMatchesFigures6And7) {
+  const auto mixes = substitution_series(16, 8);
+  ASSERT_EQ(mixes.size(), 17u);
+  // The figures' named mixes all appear with nARM = 8 * (16 - nAMD).
+  auto expect_mix = [&](int arm, int amd) {
+    const auto& m = mixes[static_cast<std::size_t>(16 - amd)];
+    EXPECT_EQ(m.arm_nodes, arm);
+    EXPECT_EQ(m.amd_nodes, amd);
+  };
+  expect_mix(0, 16);
+  expect_mix(16, 14);
+  expect_mix(32, 12);
+  expect_mix(48, 10);
+  expect_mix(88, 5);
+  expect_mix(112, 2);
+  expect_mix(128, 0);
+}
+
+TEST(Budget, AllSeriesMixesFitThe1kWBudget) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  for (const MixPlan& mix : substitution_series(16, 8)) {
+    EXPECT_TRUE(within_budget(arm, amd, mix, 1000.0))
+        << "ARM " << mix.arm_nodes << ":AMD " << mix.amd_nodes << " draws "
+        << mix_peak_power_w(arm, amd, mix);
+  }
+}
+
+TEST(Budget, PeakPowerComposition) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  // AMD-only: no switch charged.
+  const double amd_only = mix_peak_power_w(arm, amd, MixPlan{0, 16});
+  EXPECT_NEAR(amd_only, 16.0 * amd.peak_node_w(), 1e-9);
+  // ARM-only: nodes plus ceil(128/24) = 6 switches.
+  const double arm_only = mix_peak_power_w(arm, amd, MixPlan{128, 0});
+  EXPECT_NEAR(arm_only, 128.0 * arm.peak_node_w() + 6.0 * 20.0, 1e-9);
+  EXPECT_LT(arm_only, amd_only);  // the low-power side is cheaper
+}
+
+TEST(Budget, SubstitutionPreservesOrIncreasesHeadroom) {
+  // Replacing AMD with ratio ARM nodes never increases peak power.
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const auto mixes = substitution_series(16, 8);
+  const double baseline = mix_peak_power_w(arm, amd, mixes.front());
+  for (const auto& mix : mixes) {
+    EXPECT_LE(mix_peak_power_w(arm, amd, mix), baseline + 1e-9);
+  }
+}
+
+TEST(Budget, RatioZeroWhenSwitchDominates) {
+  NodeSpec arm = arm_cortex_a9();
+  NodeSpec amd = amd_opteron_k10();
+  const SwitchSpec heavy{100.0, 24};  // switch alone exceeds AMD peak
+  EXPECT_EQ(substitution_ratio(arm, amd, heavy), 0);
+}
+
+TEST(Budget, ConfigPeakPowerAtOperatingPoint) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  // Full-tilt configuration approaches the mix peak.
+  ClusterConfig full{NodeConfig{16, arm.cores, arm.pstates.max_ghz()},
+                     NodeConfig{2, amd.cores, amd.pstates.max_ghz()}};
+  const double full_w = config_peak_power_w(arm, amd, full);
+  const double mix_w = mix_peak_power_w(arm, amd, MixPlan{16, 2});
+  EXPECT_LE(full_w, mix_w + 1e-9);
+  EXPECT_GT(full_w, 0.9 * mix_w);
+  // Throttled configuration draws much less.
+  ClusterConfig throttled{NodeConfig{16, 1, arm.pstates.min_ghz()},
+                          NodeConfig{2, 1, amd.pstates.min_ghz()}};
+  EXPECT_LT(config_peak_power_w(arm, amd, throttled), 0.8 * full_w);
+  // Homogeneous sides only count what they use.
+  ClusterConfig amd_only{NodeConfig{0, 1, arm.pstates.min_ghz()},
+                         NodeConfig{2, amd.cores, amd.pstates.max_ghz()}};
+  const double amd_only_w = config_peak_power_w(arm, amd, amd_only);
+  EXPECT_LT(amd_only_w, full_w);
+  EXPECT_GT(amd_only_w, 2.0 * amd.idle_node_w());
+}
+
+TEST(Budget, RejectsNegativeCounts) {
+  EXPECT_THROW(mix_peak_power_w(arm_cortex_a9(), amd_opteron_k10(),
+                                MixPlan{-1, 2}),
+               ContractViolation);
+  EXPECT_THROW(substitution_series(0, 8), ContractViolation);
+  EXPECT_THROW(substitution_series(16, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

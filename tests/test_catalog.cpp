@@ -1,0 +1,89 @@
+#include "hec/hw/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace hec {
+namespace {
+
+// Table 1 of the paper, verbatim.
+TEST(Catalog, ArmCortexA9MatchesTable1) {
+  const NodeSpec arm = arm_cortex_a9();
+  EXPECT_EQ(arm.isa, Isa::kArmV7a);
+  EXPECT_EQ(arm.cores, 4);
+  EXPECT_DOUBLE_EQ(arm.pstates.min_ghz(), 0.2);
+  EXPECT_DOUBLE_EQ(arm.pstates.max_ghz(), 1.4);
+  EXPECT_EQ(arm.pstates.size(), 5u);  // footnote 2: 5 P-states
+  EXPECT_DOUBLE_EQ(arm.l1d_kib_per_core, 32.0);
+  EXPECT_DOUBLE_EQ(arm.l2_kib, 1024.0);   // 1 MB per node
+  EXPECT_DOUBLE_EQ(arm.l3_kib, 0.0);      // no L3
+  EXPECT_DOUBLE_EQ(arm.memory_gib, 1.0);
+  EXPECT_DOUBLE_EQ(arm.io_bandwidth_mbps, 100.0);
+}
+
+TEST(Catalog, AmdOpteronK10MatchesTable1) {
+  const NodeSpec amd = amd_opteron_k10();
+  EXPECT_EQ(amd.isa, Isa::kX86_64);
+  EXPECT_EQ(amd.cores, 6);
+  EXPECT_DOUBLE_EQ(amd.pstates.min_ghz(), 0.8);
+  EXPECT_DOUBLE_EQ(amd.pstates.max_ghz(), 2.1);
+  EXPECT_EQ(amd.pstates.size(), 3u);  // footnote 2: 3 P-states
+  EXPECT_DOUBLE_EQ(amd.l1d_kib_per_core, 64.0);
+  EXPECT_DOUBLE_EQ(amd.l2_kib, 3072.0);   // 512 KB per core
+  EXPECT_DOUBLE_EQ(amd.l3_kib, 6144.0);   // 6 MB per node
+  EXPECT_DOUBLE_EQ(amd.memory_gib, 8.0);
+  EXPECT_DOUBLE_EQ(amd.io_bandwidth_mbps, 1000.0);
+}
+
+// Power calibration targets from Sections IV-C (footnote 5) and IV-E.
+TEST(Catalog, ArmPowerEnvelopeMatchesPaper) {
+  const NodeSpec arm = arm_cortex_a9();
+  EXPECT_LT(arm.idle_node_w(), 2.0);   // "idle at less than 2 watts"
+  EXPECT_NEAR(arm.peak_node_w(), 5.0, 0.3);  // "5W peak"
+}
+
+TEST(Catalog, AmdPowerEnvelopeMatchesPaper) {
+  const NodeSpec amd = amd_opteron_k10();
+  EXPECT_NEAR(amd.idle_node_w(), 45.0, 0.5);  // "AMD idle power is 45 watts"
+  EXPECT_NEAR(amd.peak_node_w(), 60.0, 1.0);  // "60W peak"
+}
+
+TEST(Catalog, PowerCurvesOrdered) {
+  for (const NodeSpec& spec : {arm_cortex_a9(), amd_opteron_k10(),
+                               arm_cortex_a15(), intel_xeon_class()}) {
+    for (double f : spec.pstates.frequencies_ghz()) {
+      // Active > stall > idle at every P-state.
+      EXPECT_GT(spec.core_active.at(f), spec.core_stall.at(f)) << spec.name;
+      EXPECT_GE(spec.core_stall.at(f), spec.core_idle_w) << spec.name;
+    }
+    EXPECT_GT(spec.memory_power.active_w, spec.memory_power.idle_w);
+    EXPECT_GT(spec.io_power.active_w, spec.io_power.idle_w);
+    EXPECT_GT(spec.peak_node_w(), spec.idle_node_w());
+  }
+}
+
+TEST(Catalog, SwitchSpecMatchesFootnote5) {
+  const SwitchSpec sw = rack_switch();
+  EXPECT_DOUBLE_EQ(sw.power_w, 20.0);
+  EXPECT_GT(sw.ports, 0);
+}
+
+TEST(Catalog, SwitchesNeededCeilDivision) {
+  const SwitchSpec sw{20.0, 24};
+  EXPECT_EQ(switches_needed(0, sw), 0);
+  EXPECT_EQ(switches_needed(1, sw), 1);
+  EXPECT_EQ(switches_needed(24, sw), 1);
+  EXPECT_EQ(switches_needed(25, sw), 2);
+  EXPECT_EQ(switches_needed(128, sw), 6);
+}
+
+TEST(Catalog, ExtensionTypesAreDistinct) {
+  const NodeSpec a15 = arm_cortex_a15();
+  EXPECT_EQ(a15.isa, Isa::kArmV7a);
+  EXPECT_GT(a15.pstates.max_ghz(), arm_cortex_a9().pstates.max_ghz());
+  const NodeSpec xeon = intel_xeon_class();
+  EXPECT_EQ(xeon.isa, Isa::kX86_64);
+  EXPECT_GT(xeon.cores, amd_opteron_k10().cores);
+}
+
+}  // namespace
+}  // namespace hec

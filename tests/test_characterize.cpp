@@ -1,0 +1,109 @@
+#include "hec/model/characterize.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+
+namespace hec {
+namespace {
+
+CharacterizeOptions fast_opts() {
+  CharacterizeOptions opts;
+  opts.baseline_units = 5000.0;
+  opts.noise_sigma = 0.0;  // noiseless: measured == demand parameters
+  opts.run_bias_sigma = 0.0;
+  return opts;
+}
+
+TEST(CharacterizeWorkload, RecoversDemandParameters) {
+  const NodeSpec arm = arm_cortex_a9();
+  const Workload ep = workload_ep();
+  const WorkloadInputs in =
+      characterize_workload(arm, ep.demand_arm, fast_opts());
+  EXPECT_NEAR(in.inst_per_unit, ep.demand_arm.instructions_per_unit, 1e-6);
+  EXPECT_NEAR(in.wpi, ep.demand_arm.wpi, 1e-9);
+  EXPECT_NEAR(in.spi_core, ep.demand_arm.spi_core, 1e-9);
+  EXPECT_NEAR(in.ucpu, 1.0, 0.02);  // compute-bound keeps cores busy
+  EXPECT_DOUBLE_EQ(in.io_bytes_per_unit, 0.0);
+}
+
+TEST(CharacterizeWorkload, SpiMemFitsAreLinearWithHighR2) {
+  // The paper's Fig. 3 claim: r^2 >= 0.94 for SPImem over frequency.
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload x264 = workload_x264();
+  CharacterizeOptions opts = fast_opts();
+  opts.noise_sigma = 0.03;  // even with measurement noise
+  opts.run_bias_sigma = 0.02;
+  const WorkloadInputs in =
+      characterize_workload(amd, x264.demand_amd, opts);
+  ASSERT_EQ(in.spi_mem_by_cores.size(), static_cast<std::size_t>(amd.cores));
+  for (const LinearFit& fit : in.spi_mem_by_cores) {
+    EXPECT_GE(fit.r_squared, 0.94);
+    EXPECT_GT(fit.slope, 0.0);
+  }
+}
+
+TEST(CharacterizeWorkload, ContentionRaisesSpiMemSlope) {
+  const NodeSpec arm = arm_cortex_a9();
+  const WorkloadInputs in =
+      characterize_workload(arm, workload_x264().demand_arm, fast_opts());
+  // More contending cores -> steeper SPImem growth with frequency.
+  EXPECT_GT(in.spi_mem_by_cores.back().slope,
+            in.spi_mem_by_cores.front().slope);
+}
+
+TEST(CharacterizeWorkload, IoBoundWorkloadMeasured) {
+  const NodeSpec arm = arm_cortex_a9();
+  const Workload mc = workload_memcached();
+  const WorkloadInputs in =
+      characterize_workload(arm, mc.demand_arm, fast_opts());
+  EXPECT_NEAR(in.io_bytes_per_unit, 800.0, 1.0);
+  // Effective per-unit I/O time = max(transfer, floor) = 64 us at 100 Mbps.
+  EXPECT_NEAR(in.io_s_per_unit, 800.0 / 12.5e6, 800.0 / 12.5e6 * 0.05);
+  EXPECT_LT(in.ucpu, 0.2);  // cores starve behind the NIC
+}
+
+TEST(CharacterizePower, MatchesSpecCurves) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PowerParams p = characterize_power(arm, fast_opts());
+  ASSERT_EQ(p.freqs_ghz.size(), arm.pstates.size());
+  EXPECT_NEAR(p.idle_w, arm.idle_node_w(), 1e-9);
+  for (std::size_t i = 0; i < p.freqs_ghz.size(); ++i) {
+    const double f = p.freqs_ghz[i];
+    EXPECT_NEAR(p.core_active_w[i],
+                arm.core_active.at(f) - arm.core_idle_w, 0.02)
+        << "f=" << f;
+    EXPECT_NEAR(p.core_stall_w[i],
+                arm.core_stall.at(f) - arm.core_idle_w, 0.05)
+        << "f=" << f;
+  }
+  EXPECT_NEAR(p.mem_active_w,
+              arm.memory_power.active_w - arm.memory_power.idle_w, 0.05);
+  // I/O increment includes the DMA-driven memory activity.
+  EXPECT_GT(p.io_active_w, arm.io_power.active_w - arm.io_power.idle_w);
+}
+
+TEST(CharacterizePower, ActiveExceedsStallAtEveryPState) {
+  const PowerParams p = characterize_power(amd_opteron_k10(), fast_opts());
+  for (std::size_t i = 0; i < p.freqs_ghz.size(); ++i) {
+    EXPECT_GT(p.core_active_w[i], p.core_stall_w[i]);
+    if (i > 0) {
+      EXPECT_GT(p.core_active_w[i], p.core_active_w[i - 1]);
+    }
+  }
+}
+
+TEST(BuildNodeModel, EndToEndPipeline) {
+  const NodeTypeModel m =
+      build_node_model(arm_cortex_a9(), workload_ep(), fast_opts());
+  const Prediction p = m.predict(1e6, NodeConfig{1, 4, 1.4});
+  EXPECT_GT(p.t_s, 0.0);
+  EXPECT_GT(p.energy_j(), 0.0);
+  // Sanity: within the node's power envelope.
+  const double avg_w = p.energy_j() / p.t_s;
+  EXPECT_GT(avg_w, m.power().idle_w * 0.99);
+  EXPECT_LT(avg_w, arm_cortex_a9().peak_node_w() * 1.1);
+}
+
+}  // namespace
+}  // namespace hec

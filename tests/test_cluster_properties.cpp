@@ -1,0 +1,121 @@
+// Property sweeps of the cluster-level simulation across workloads and
+// configurations: energy floors, completion semantics, idle-tail
+// accounting and matched-split balance must hold for every case.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "hec/cluster/cluster_sim.h"
+#include "hec/cluster/schedulers.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+
+namespace hec {
+namespace {
+
+struct ClusterCase {
+  std::string workload;
+  int arm_nodes, amd_nodes;
+};
+
+std::string cluster_case_name(
+    const ::testing::TestParamInfo<ClusterCase>& info) {
+  std::string name = info.param.workload + "_a" +
+                     std::to_string(info.param.arm_nodes) + "_d" +
+                     std::to_string(info.param.amd_nodes);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class ClusterProperty : public ::testing::TestWithParam<ClusterCase> {
+ protected:
+  void SetUp() override {
+    arm_ = arm_cortex_a9();
+    amd_ = amd_opteron_k10();
+    workload_ = find_workload(GetParam().workload);
+    config_ = ClusterConfig{
+        NodeConfig{GetParam().arm_nodes, arm_.cores,
+                   arm_.pstates.max_ghz()},
+        NodeConfig{GetParam().amd_nodes, amd_.cores,
+                   amd_.pstates.max_ghz()}};
+    units_ = std::min(workload_.validation_units, 100000.0);
+  }
+
+  SplitAssignment matched_split() const {
+    CharacterizeOptions opts;
+    opts.baseline_units = 4000.0;
+    const NodeTypeModel arm_model =
+        build_node_model(arm_, workload_, opts);
+    const NodeTypeModel amd_model =
+        build_node_model(amd_, workload_, opts);
+    const MatchingScheduler sched(arm_model, amd_model);
+    return sched.assign(units_, config_);
+  }
+
+  NodeSpec arm_, amd_;
+  Workload workload_{};
+  ClusterConfig config_{};
+  double units_ = 0.0;
+};
+
+TEST_P(ClusterProperty, EnergyNeverBelowIdleFloor) {
+  const SplitAssignment split = matched_split();
+  const ClusterRunResult r = simulate_cluster(
+      arm_, amd_, workload_, config_, split.units_arm, split.units_amd);
+  const double idle_floor =
+      (config_.arm.nodes * arm_.idle_node_w() +
+       config_.amd.nodes * amd_.idle_node_w()) *
+      r.t_s;
+  EXPECT_GE(r.energy_j, idle_floor * 0.999);
+}
+
+TEST_P(ClusterProperty, CompletionIsTheSlowerSide) {
+  const SplitAssignment split = matched_split();
+  const ClusterRunResult r = simulate_cluster(
+      arm_, amd_, workload_, config_, split.units_arm, split.units_amd);
+  EXPECT_DOUBLE_EQ(r.t_s, std::max(r.t_arm_s, r.t_amd_s));
+  EXPECT_GT(r.t_s, 0.0);
+}
+
+TEST_P(ClusterProperty, MatchedSplitBalancesWithinNoise) {
+  if (GetParam().arm_nodes == 0 || GetParam().amd_nodes == 0) {
+    GTEST_SKIP() << "homogeneous case has nothing to balance";
+  }
+  const SplitAssignment split = matched_split();
+  const ClusterRunResult r = simulate_cluster(
+      arm_, amd_, workload_, config_, split.units_arm, split.units_amd);
+  EXPECT_NEAR(r.t_arm_s, r.t_amd_s, r.t_s * 0.15);
+  // Matching keeps the idle tail to a small fraction of total energy.
+  EXPECT_LT(r.idle_tail_j, r.energy_j * 0.10);
+}
+
+TEST_P(ClusterProperty, EnergySplitsAddUp) {
+  const SplitAssignment split = matched_split();
+  const ClusterRunResult r = simulate_cluster(
+      arm_, amd_, workload_, config_, split.units_arm, split.units_amd);
+  EXPECT_NEAR(r.energy_j, r.energy_arm_j + r.energy_amd_j,
+              r.energy_j * 1e-12);
+  if (GetParam().arm_nodes == 0) {
+    EXPECT_DOUBLE_EQ(r.energy_arm_j, 0.0);
+  }
+  if (GetParam().amd_nodes == 0) {
+    EXPECT_DOUBLE_EQ(r.energy_amd_j, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterProperty,
+    ::testing::Values(ClusterCase{"EP", 8, 1}, ClusterCase{"EP", 4, 4},
+                      ClusterCase{"EP", 8, 0}, ClusterCase{"EP", 0, 4},
+                      ClusterCase{"memcached", 8, 1},
+                      ClusterCase{"memcached", 0, 2},
+                      ClusterCase{"x264", 4, 2},
+                      ClusterCase{"blackscholes", 6, 2},
+                      ClusterCase{"Julius", 8, 1},
+                      ClusterCase{"RSA-2048", 2, 6}),
+    cluster_case_name);
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,111 @@
+#include "hec/cluster/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+ClusterRunOptions quiet() {
+  ClusterRunOptions opts;
+  opts.noise_sigma = 0.0;
+  opts.run_bias_sigma = 0.0;
+  return opts;
+}
+
+TEST(ClusterSim, HomogeneousArmRun) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  ClusterConfig cfg{NodeConfig{4, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  const ClusterRunResult r =
+      simulate_cluster(arm, amd, ep, cfg, 100000.0, 0.0, quiet());
+  EXPECT_GT(r.t_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.t_amd_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_amd_j, 0.0);
+  EXPECT_GT(r.energy_arm_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_j, r.energy_arm_j);
+}
+
+TEST(ClusterSim, WorkSplitsEvenlyAcrossNodesOfAType) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  // Noiseless: n nodes each with W/n finish exactly when 1 node with W/n.
+  ClusterConfig one{NodeConfig{1, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  ClusterConfig four{NodeConfig{4, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  const ClusterRunResult r1 =
+      simulate_cluster(arm, amd, ep, one, 25000.0, 0.0, quiet());
+  const ClusterRunResult r4 =
+      simulate_cluster(arm, amd, ep, four, 100000.0, 0.0, quiet());
+  EXPECT_NEAR(r4.t_s, r1.t_s, r1.t_s * 1e-9);
+  EXPECT_NEAR(r4.energy_j, 4.0 * r1.energy_j, r4.energy_j * 1e-9);
+}
+
+TEST(ClusterSim, MatchedSplitLeavesNoIdleTail) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  ClusterConfig cfg{NodeConfig{8, 4, 1.4}, NodeConfig{1, 6, 2.1}};
+  // Compute a near-matched split by rate (noiseless -> exact rates).
+  const double w = 1e6;
+  ClusterRunResult probe_arm =
+      simulate_cluster(arm, amd, ep, cfg, w, 1.0, quiet());
+  // Rates from the probe: units/s per side.
+  const double rate_arm = w / probe_arm.t_arm_s;
+  const double rate_amd = 1.0 / probe_arm.t_amd_s;
+  const double w_arm = w * rate_arm / (rate_arm + rate_amd);
+  const ClusterRunResult matched =
+      simulate_cluster(arm, amd, ep, cfg, w_arm, w - w_arm, quiet());
+  // Matched completion: both sides within 1%; idle tail a sliver.
+  EXPECT_NEAR(matched.t_arm_s, matched.t_amd_s, matched.t_s * 0.01);
+  EXPECT_LT(matched.idle_tail_j, matched.energy_j * 0.02);
+}
+
+TEST(ClusterSim, UnmatchedSplitWastesIdleEnergy) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  ClusterConfig cfg{NodeConfig{8, 4, 1.4}, NodeConfig{1, 6, 2.1}};
+  // Give the slow side almost everything: the AMD node idles.
+  const ClusterRunResult skewed =
+      simulate_cluster(arm, amd, ep, cfg, 0.95e6, 0.05e6, quiet());
+  EXPECT_GT(skewed.idle_tail_j, 0.0);
+  EXPECT_GT(skewed.t_arm_s, skewed.t_amd_s);
+}
+
+TEST(ClusterSim, DeterministicPerSeed) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  ClusterConfig cfg{NodeConfig{2, 4, 1.4}, NodeConfig{1, 6, 2.1}};
+  ClusterRunOptions opts;  // default noise on
+  const ClusterRunResult a =
+      simulate_cluster(arm, amd, ep, cfg, 5e5, 5e5, opts);
+  const ClusterRunResult b =
+      simulate_cluster(arm, amd, ep, cfg, 5e5, 5e5, opts);
+  EXPECT_DOUBLE_EQ(a.t_s, b.t_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  opts.seed = 99;
+  const ClusterRunResult c =
+      simulate_cluster(arm, amd, ep, cfg, 5e5, 5e5, opts);
+  EXPECT_NE(a.t_s, c.t_s);
+}
+
+TEST(ClusterSim, RejectsInconsistentAssignments) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  ClusterConfig arm_only{NodeConfig{2, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  // Units assigned to a side with no nodes.
+  EXPECT_THROW(
+      simulate_cluster(arm, amd, ep, arm_only, 1e5, 1e5, quiet()),
+      ContractViolation);
+  EXPECT_THROW(simulate_cluster(arm, amd, ep, arm_only, 0.0, 0.0, quiet()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,70 @@
+#include "hec/io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(CsvEscape, PlainCellsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("12.5"), "12.5");
+}
+
+TEST(CsvEscape, QuotesCommasAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(FormatDouble, RoundTrips) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(std::stod(format_double(0.1)), 0.1);
+  EXPECT_EQ(std::stod(format_double(1e-9)), 1e-9);
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"deadline_ms", "energy_j"});
+  csv.row({"10", "21.5"});
+  csv.row_values({100.0, 19.25});
+  EXPECT_EQ(out.str(), "deadline_ms,energy_j\n10,21.5\n100,19.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EnforcesColumnCount) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), ContractViolation);
+}
+
+TEST(CsvWriter, HeaderOnlyOnceAndFirst) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), ContractViolation);
+
+  std::ostringstream out2;
+  CsvWriter csv2(out2);
+  csv2.row({"data"});
+  EXPECT_THROW(csv2.header({"late"}), ContractViolation);
+}
+
+TEST(CsvWriter, HeaderlessRowsAllowed) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"1", "2"});
+  csv.row({"3"});  // no header -> no column enforcement
+  EXPECT_EQ(out.str(), "1,2\n3\n");
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,116 @@
+#include "hec/cluster/datacenter_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/queueing/md1.h"
+#include "hec/queueing/window_analysis.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+ConfigOutcome sample_outcome() {
+  ConfigOutcome o;
+  o.config = {NodeConfig{4, 4, 1.4}, NodeConfig{1, 6, 2.1}};
+  o.t_s = 0.05;
+  o.energy_j = 3.0;
+  return o;
+}
+
+DatacenterSimConfig long_window(double utilization,
+                                std::uint64_t seed = 5) {
+  DatacenterSimConfig sim;
+  sim.window_s = 5000.0;  // long window for tight statistics
+  sim.arrival_rate_per_s = utilization / sample_outcome().t_s;
+  sim.seed = seed;
+  return sim;
+}
+
+TEST(DatacenterSim, WaitMatchesMD1Formula) {
+  for (double util : {0.25, 0.5}) {
+    const DatacenterSimConfig sim = long_window(util);
+    const DatacenterSimResult r =
+        simulate_datacenter(sample_outcome(), 50.0, sim);
+    const MD1Queue formula(sim.arrival_rate_per_s, sample_outcome().t_s);
+    EXPECT_NEAR(r.mean_wait_s, formula.mean_wait_s(),
+                formula.mean_wait_s() * 0.08 + 1e-4)
+        << util;
+    EXPECT_NEAR(r.utilization, util, 0.02) << util;
+  }
+}
+
+TEST(DatacenterSim, EnergyMatchesWindowModel) {
+  const ConfigOutcome outcome = sample_outcome();
+  const double idle_w = 50.0;
+  const double util = 0.25;
+  const DatacenterSimConfig sim = long_window(util, 9);
+  const DatacenterSimResult measured =
+      simulate_datacenter(outcome, idle_w, sim);
+  // Analytic window energy for the same setup.
+  const std::vector<ConfigOutcome> outcomes{outcome};
+  const std::vector<double> idles{idle_w};
+  const auto analytic =
+      window_points(outcomes, idles, WindowOptions{sim.window_s, util});
+  EXPECT_NEAR(measured.energy_j, analytic[0].window_energy_j,
+              analytic[0].window_energy_j * 0.03);
+}
+
+TEST(DatacenterSim, LowRateIsIdleDominated) {
+  const ConfigOutcome outcome = sample_outcome();
+  DatacenterSimConfig sim;
+  sim.window_s = 100.0;
+  sim.arrival_rate_per_s = 0.01;  // ~1 job per window
+  const DatacenterSimResult r = simulate_datacenter(outcome, 40.0, sim);
+  EXPECT_GT(40.0 * sim.window_s / r.energy_j, 0.95);
+  EXPECT_LT(r.utilization, 0.05);
+}
+
+TEST(DatacenterSim, InFlightJobChargedProRata) {
+  // One job arrives just before the window ends: only its in-window
+  // slice of busy time may be charged.
+  ConfigOutcome outcome = sample_outcome();
+  outcome.t_s = 10.0;
+  outcome.energy_j = 1000.0;
+  DatacenterSimConfig sim;
+  sim.window_s = 12.0;
+  sim.arrival_rate_per_s = 0.05;
+  sim.seed = 3;
+  const DatacenterSimResult r = simulate_datacenter(outcome, 10.0, sim);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_LE(r.energy_j,
+            10.0 * sim.window_s + (1000.0 / 10.0) * sim.window_s);
+}
+
+TEST(DatacenterSim, DeterministicPerSeed) {
+  const DatacenterSimConfig sim = long_window(0.3, 77);
+  const DatacenterSimResult a = simulate_datacenter(sample_outcome(), 50.0, sim);
+  const DatacenterSimResult b = simulate_datacenter(sample_outcome(), 50.0, sim);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+}
+
+TEST(DatacenterSim, ServiceNoisePreservesMeanEnergy) {
+  const ConfigOutcome outcome = sample_outcome();
+  DatacenterSimConfig quiet = long_window(0.3, 11);
+  DatacenterSimConfig noisy = quiet;
+  noisy.service_noise_sigma = 0.1;
+  const DatacenterSimResult rq = simulate_datacenter(outcome, 50.0, quiet);
+  const DatacenterSimResult rn = simulate_datacenter(outcome, 50.0, noisy);
+  EXPECT_NEAR(rn.energy_j, rq.energy_j, rq.energy_j * 0.02);
+  // Service variance adds queueing delay (P-K with cs2 > 0).
+  EXPECT_GT(rn.mean_wait_s, rq.mean_wait_s * 0.95);
+}
+
+TEST(DatacenterSim, RejectsOverload) {
+  DatacenterSimConfig sim;
+  sim.arrival_rate_per_s = 100.0;  // rho = 5 with t_s = 0.05
+  EXPECT_THROW(simulate_datacenter(sample_outcome(), 50.0, sim),
+               ContractViolation);
+  DatacenterSimConfig bad;
+  bad.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(simulate_datacenter(sample_outcome(), 50.0, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

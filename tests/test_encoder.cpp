@@ -1,0 +1,146 @@
+#include "hec/workloads/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(Frame, ConstructionAndAccess) {
+  Frame f(32, 16);
+  EXPECT_EQ(f.width(), 32);
+  EXPECT_EQ(f.height(), 16);
+  f.at(5, 3) = 200;
+  EXPECT_EQ(f.at(5, 3), 200);
+}
+
+TEST(Frame, ConstAccessClampsToEdges) {
+  Frame f(8, 8);
+  f.at(0, 0) = 11;
+  f.at(7, 7) = 22;
+  const Frame& cf = f;
+  EXPECT_EQ(cf.at(-5, -5), 11);
+  EXPECT_EQ(cf.at(100, 100), 22);
+}
+
+TEST(Frame, RejectsInvalidDimensions) {
+  EXPECT_THROW(Frame(0, 8), ContractViolation);
+  EXPECT_THROW(Frame(8, -1), ContractViolation);
+}
+
+TEST(BlockSad, ZeroForIdenticalBlocks) {
+  Frame f(32, 32);
+  f.fill_synthetic(0, 0);
+  EXPECT_EQ(block_sad(f, f, 8, 8, 16, 0, 0), 0u);
+}
+
+TEST(MotionSearch, RecoversKnownTranslation) {
+  // cur is ref shifted by (3, 2): the search must find dx=3, dy=2 with
+  // zero residual (away from frame edges).
+  Frame ref(128, 128), cur(128, 128);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(3, 2);
+  const MotionVector mv = motion_search(cur, ref, 48, 48, 16, 8);
+  EXPECT_EQ(mv.dx, 3);
+  EXPECT_EQ(mv.dy, 2);
+  EXPECT_EQ(mv.sad, 0u);
+}
+
+TEST(MotionSearch, ZeroRangeReturnsColocated) {
+  Frame ref(64, 64), cur(64, 64);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(1, 0);
+  const MotionVector mv = motion_search(cur, ref, 16, 16, 16, 0);
+  EXPECT_EQ(mv.dx, 0);
+  EXPECT_EQ(mv.dy, 0);
+}
+
+TEST(Dct8, DcOnlyForConstantBlock) {
+  Tile8x8 flat;
+  for (auto& row : flat.v) {
+    for (auto& x : row) x = 50;
+  }
+  const Tile8x8 coeffs = dct8(flat);
+  EXPECT_GT(coeffs.v[0][0], 0);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      if (r == 0 && c == 0) continue;
+      EXPECT_EQ(coeffs.v[r][c], 0) << "AC coefficient (" << r << "," << c
+                                   << ") nonzero for a flat block";
+    }
+  }
+}
+
+TEST(Dct8, ZeroBlockStaysZero) {
+  const Tile8x8 coeffs = dct8(Tile8x8{});
+  for (const auto& row : coeffs.v) {
+    for (int x : row) EXPECT_EQ(x, 0);
+  }
+}
+
+TEST(Dct8, LinearInInput) {
+  Tile8x8 a;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) a.v[r][c] = (r * 8 + c) % 17 - 8;
+  }
+  Tile8x8 doubled = a;
+  for (auto& row : doubled.v) {
+    for (auto& x : row) x *= 2;
+  }
+  const Tile8x8 ca = dct8(a);
+  const Tile8x8 c2 = dct8(doubled);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      // Fixed-point truncation (>>7 per 1-D pass) bounds the deviation
+      // from exact linearity by a few dozen counts on Q8-scaled outputs.
+      EXPECT_NEAR(c2.v[r][c], 2 * ca.v[r][c], 32)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Quantize8, DeadZoneZeroesSmallCoefficients) {
+  Tile8x8 t;
+  t.v[0][0] = 100;
+  t.v[1][1] = 3;    // below dead zone for qp=8
+  t.v[2][2] = -3;
+  const int nonzero = quantize8(t, 8);
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_EQ(t.v[0][0], 12);
+  EXPECT_EQ(t.v[1][1], 0);
+  EXPECT_EQ(t.v[2][2], 0);
+}
+
+TEST(Quantize8, RejectsInvalidQp) {
+  Tile8x8 t;
+  EXPECT_THROW(quantize8(t, 0), ContractViolation);
+}
+
+TEST(EncodeFrame, StillSceneCompressesToNothing) {
+  Frame ref(64, 64), cur(64, 64);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(0, 0);
+  const EncodeStats stats = encode_frame(cur, ref);
+  EXPECT_EQ(stats.total_sad, 0u);
+  EXPECT_EQ(stats.nonzero_coeffs, 0u);
+  EXPECT_EQ(stats.blocks, 16);
+}
+
+TEST(EncodeFrame, PanningSceneIsMotionCompensated) {
+  Frame ref(128, 128), cur(128, 128);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(4, 1);
+  const EncodeStats stats = encode_frame(cur, ref, 8, 8);
+  // Interior blocks compensate perfectly; only edge blocks leave residual.
+  const EncodeStats uncompensated = encode_frame(cur, ref, 8, 0);
+  EXPECT_LT(stats.total_sad, uncompensated.total_sad / 4);
+}
+
+TEST(EncodeFrame, MismatchedFramesRejected) {
+  Frame a(32, 32), b(64, 64);
+  EXPECT_THROW(encode_frame(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

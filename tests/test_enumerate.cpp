@@ -1,0 +1,113 @@
+#include "hec/config/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(Enumerate, Footnote2CountFor10Plus10) {
+  // The paper: 10 ARM x 5 freq x 4 cores x 10 AMD x 3 freq x 6 cores
+  // = 36,000 heterogeneous + 200 ARM-only + 180 AMD-only = 36,380.
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const EnumerationLimits limits{10, 10};
+  EXPECT_EQ(expected_config_count(arm, amd, limits), 36380u);
+  const auto configs = enumerate_configs(arm, amd, limits);
+  EXPECT_EQ(configs.size(), 36380u);
+}
+
+TEST(Enumerate, PartitionBySidesMatchesFootnote2) {
+  const auto configs = enumerate_configs(arm_cortex_a9(), amd_opteron_k10(),
+                                         EnumerationLimits{10, 10});
+  std::size_t hetero = 0, arm_only = 0, amd_only = 0;
+  for (const auto& c : configs) {
+    if (c.heterogeneous()) {
+      ++hetero;
+    } else if (c.uses_arm()) {
+      ++arm_only;
+    } else {
+      ++amd_only;
+    }
+  }
+  EXPECT_EQ(hetero, 36000u);
+  EXPECT_EQ(arm_only, 200u);
+  EXPECT_EQ(amd_only, 180u);
+}
+
+TEST(Enumerate, AllConfigsAreValidAndUnique) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const auto configs =
+      enumerate_configs(arm, amd, EnumerationLimits{3, 2});
+  std::set<std::tuple<int, int, double, int, int, double>> seen;
+  for (const auto& c : configs) {
+    EXPECT_TRUE(c.uses_arm() || c.uses_amd());
+    if (c.uses_arm()) {
+      EXPECT_GE(c.arm.cores, 1);
+      EXPECT_LE(c.arm.cores, arm.cores);
+      EXPECT_TRUE(arm.pstates.supports(c.arm.f_ghz));
+      EXPECT_LE(c.arm.nodes, 3);
+    }
+    if (c.uses_amd()) {
+      EXPECT_GE(c.amd.cores, 1);
+      EXPECT_LE(c.amd.cores, amd.cores);
+      EXPECT_TRUE(amd.pstates.supports(c.amd.f_ghz));
+      EXPECT_LE(c.amd.nodes, 2);
+    }
+    seen.insert({c.arm.nodes, c.arm.cores, c.arm.f_ghz, c.amd.nodes,
+                 c.amd.cores, c.amd.f_ghz});
+  }
+  EXPECT_EQ(seen.size(), configs.size());
+}
+
+TEST(Enumerate, SmallLimitsClosedForm) {
+  const NodeSpec arm = arm_cortex_a9();  // 4 cores x 5 freqs = 20/node
+  const NodeSpec amd = amd_opteron_k10();  // 6 x 3 = 18/node
+  const EnumerationLimits limits{1, 1};
+  EXPECT_EQ(expected_config_count(arm, amd, limits), 20u * 18u + 20u + 18u);
+}
+
+TEST(Enumerate, ZeroLimitRemovesOneSide) {
+  const auto amd_only = enumerate_configs(arm_cortex_a9(), amd_opteron_k10(),
+                                          EnumerationLimits{0, 1});
+  EXPECT_EQ(amd_only.size(), 18u);  // 1 node x 6 cores x 3 P-states
+  for (const auto& c : amd_only) EXPECT_FALSE(c.uses_arm());
+  EXPECT_THROW(enumerate_configs(arm_cortex_a9(), amd_opteron_k10(),
+                                 EnumerationLimits{0, 0}),
+               ContractViolation);
+}
+
+TEST(EnumerateOperatingPoints, FixedMixSweepsPStatesAndCores) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const auto points = enumerate_operating_points(arm, 16, amd, 14);
+  EXPECT_EQ(points.size(), 20u * 18u);
+  for (const auto& c : points) {
+    EXPECT_EQ(c.arm.nodes, 16);
+    EXPECT_EQ(c.amd.nodes, 14);
+  }
+}
+
+TEST(EnumerateOperatingPoints, HomogeneousSides) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const auto arm_only = enumerate_operating_points(arm, 128, amd, 0);
+  EXPECT_EQ(arm_only.size(), 20u);
+  for (const auto& c : arm_only) {
+    EXPECT_EQ(c.arm.nodes, 128);
+    EXPECT_FALSE(c.uses_amd());
+  }
+  const auto amd_only = enumerate_operating_points(arm, 0, amd, 16);
+  EXPECT_EQ(amd_only.size(), 18u);
+  EXPECT_THROW(enumerate_operating_points(arm, 0, amd, 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,112 @@
+#include "hec/config/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/config/enumerate.h"
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+struct Models {
+  NodeTypeModel arm{arm_cortex_a9(), make_inputs(160.0),
+                    make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4)};
+  NodeTypeModel amd{amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0)};
+};
+
+TEST(ConfigEvaluator, HomogeneousAssignsAllWorkToOneSide) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  ClusterConfig arm_only{NodeConfig{4, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  const ConfigOutcome a = eval.evaluate(arm_only, 1e6);
+  EXPECT_DOUBLE_EQ(a.units_arm, 1e6);
+  EXPECT_DOUBLE_EQ(a.units_amd, 0.0);
+  EXPECT_GT(a.t_s, 0.0);
+  ClusterConfig amd_only{NodeConfig{0, 1, 0.2}, NodeConfig{2, 6, 2.1}};
+  const ConfigOutcome d = eval.evaluate(amd_only, 1e6);
+  EXPECT_DOUBLE_EQ(d.units_amd, 1e6);
+}
+
+TEST(ConfigEvaluator, HeterogeneousSplitsAndIsFasterThanEitherSide) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  ClusterConfig mixed{NodeConfig{4, 4, 1.4}, NodeConfig{2, 6, 2.1}};
+  const ConfigOutcome mix = eval.evaluate(mixed, 1e6);
+  EXPECT_NEAR(mix.units_arm + mix.units_amd, 1e6, 1e-6);
+  ClusterConfig arm_only = mixed;
+  arm_only.amd.nodes = 0;
+  ClusterConfig amd_only = mixed;
+  amd_only.arm.nodes = 0;
+  EXPECT_LT(mix.t_s, eval.evaluate(arm_only, 1e6).t_s);
+  EXPECT_LT(mix.t_s, eval.evaluate(amd_only, 1e6).t_s);
+}
+
+TEST(ConfigEvaluator, ParallelMatchesSerial) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  const auto configs = enumerate_configs(arm_cortex_a9(), amd_opteron_k10(),
+                                         EnumerationLimits{2, 2});
+  const auto serial = eval.evaluate_all(configs, 1e5, /*parallel=*/false);
+  const auto parallel = eval.evaluate_all(configs, 1e5, /*parallel=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].t_s, parallel[i].t_s);
+    EXPECT_DOUBLE_EQ(serial[i].energy_j, parallel[i].energy_j);
+  }
+}
+
+TEST(ConfigEvaluator, PoweredIdleCountsOnlyUsedSides) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  ClusterConfig mixed{NodeConfig{4, 4, 1.4}, NodeConfig{2, 6, 2.1}};
+  EXPECT_NEAR(eval.powered_idle_w(mixed), 4 * 1.4 + 2 * 45.0, 1e-9);
+  mixed.amd.nodes = 0;
+  EXPECT_NEAR(eval.powered_idle_w(mixed), 4 * 1.4, 1e-9);
+}
+
+TEST(ConfigEvaluator, RejectsEmptyConfigAndZeroWork) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  ClusterConfig empty{NodeConfig{0, 1, 0.2}, NodeConfig{0, 1, 0.8}};
+  EXPECT_THROW(eval.evaluate(empty, 1.0), ContractViolation);
+  ClusterConfig ok{NodeConfig{1, 1, 0.2}, NodeConfig{0, 1, 0.8}};
+  EXPECT_THROW(eval.evaluate(ok, 0.0), ContractViolation);
+}
+
+TEST(ConfigEvaluator, MoreNodesNeverSlower) {
+  const Models m;
+  const ConfigEvaluator eval(m.arm, m.amd);
+  double prev = 1e300;
+  for (int n = 1; n <= 8; ++n) {
+    ClusterConfig c{NodeConfig{n, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+    const double t = eval.evaluate(c, 1e6).t_s;
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace hec

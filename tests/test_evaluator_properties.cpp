@@ -1,0 +1,118 @@
+// Property sweeps of the configuration evaluator across workloads:
+// matched-split conservation, heterogeneous speedup bounds and energy
+// composition must hold at every point of a sampled sub-space.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+
+namespace hec {
+namespace {
+
+class EvaluatorProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    arm_ = arm_cortex_a9();
+    amd_ = amd_opteron_k10();
+    CharacterizeOptions opts;
+    opts.baseline_units = 4000.0;
+    const Workload w = find_workload(GetParam());
+    units_ = std::min(w.validation_units, 50000.0);
+    arm_model_.emplace(build_node_model(arm_, w, opts));
+    amd_model_.emplace(build_node_model(amd_, w, opts));
+    evaluator_.emplace(*arm_model_, *amd_model_);
+  }
+
+  NodeSpec arm_, amd_;
+  std::optional<NodeTypeModel> arm_model_, amd_model_;
+  std::optional<ConfigEvaluator> evaluator_;
+  double units_ = 0.0;
+};
+
+TEST_P(EvaluatorProperty, SharesConserveWorkEverywhere) {
+  const auto configs =
+      enumerate_configs(arm_, amd_, EnumerationLimits{3, 3});
+  for (const auto& c : configs) {
+    const ConfigOutcome o = evaluator_->evaluate(c, units_);
+    EXPECT_NEAR(o.units_arm + o.units_amd, units_, units_ * 1e-9);
+    EXPECT_GE(o.units_arm, 0.0);
+    EXPECT_GE(o.units_amd, 0.0);
+    if (!c.uses_arm()) {
+      EXPECT_DOUBLE_EQ(o.units_arm, 0.0);
+    }
+    if (!c.uses_amd()) {
+      EXPECT_DOUBLE_EQ(o.units_amd, 0.0);
+    }
+  }
+}
+
+TEST_P(EvaluatorProperty, HeterogeneousNeverSlowerThanEitherSideAlone) {
+  for (int n_arm : {1, 4}) {
+    for (int n_amd : {1, 4}) {
+      const ClusterConfig mixed{
+          NodeConfig{n_arm, arm_.cores, arm_.pstates.max_ghz()},
+          NodeConfig{n_amd, amd_.cores, amd_.pstates.max_ghz()}};
+      ClusterConfig arm_only = mixed;
+      arm_only.amd.nodes = 0;
+      ClusterConfig amd_only = mixed;
+      amd_only.arm.nodes = 0;
+      const double t_mixed = evaluator_->evaluate(mixed, units_).t_s;
+      EXPECT_LE(t_mixed,
+                evaluator_->evaluate(arm_only, units_).t_s * (1 + 1e-9));
+      EXPECT_LE(t_mixed,
+                evaluator_->evaluate(amd_only, units_).t_s * (1 + 1e-9));
+    }
+  }
+}
+
+TEST_P(EvaluatorProperty, HeterogeneousEnergyBetweenScaledSides) {
+  // The mixed energy equals the sum of each side's share at its own
+  // per-unit cost — so it sits between the all-on-cheap-side and
+  // all-on-expensive-side extremes.
+  const ClusterConfig mixed{
+      NodeConfig{4, arm_.cores, arm_.pstates.max_ghz()},
+      NodeConfig{2, amd_.cores, amd_.pstates.max_ghz()}};
+  const ConfigOutcome o = evaluator_->evaluate(mixed, units_);
+  const double e_arm_unit = arm_model_->energy_per_unit(mixed.arm);
+  const double e_amd_unit = amd_model_->energy_per_unit(mixed.amd);
+  const double lo = units_ * std::min(e_arm_unit, e_amd_unit);
+  const double hi = units_ * std::max(e_arm_unit, e_amd_unit);
+  EXPECT_GE(o.energy_j, lo * (1 - 1e-9));
+  EXPECT_LE(o.energy_j, hi * (1 + 1e-9));
+  EXPECT_NEAR(o.energy_j,
+              o.units_arm * e_arm_unit + o.units_amd * e_amd_unit,
+              o.energy_j * 1e-9);
+}
+
+TEST_P(EvaluatorProperty, EnergyScalesLinearlyWithJobSize) {
+  const ClusterConfig mixed{
+      NodeConfig{2, arm_.cores, arm_.pstates.max_ghz()},
+      NodeConfig{2, amd_.cores, amd_.pstates.max_ghz()}};
+  const ConfigOutcome small = evaluator_->evaluate(mixed, units_);
+  const ConfigOutcome large = evaluator_->evaluate(mixed, units_ * 5.0);
+  EXPECT_NEAR(large.energy_j, 5.0 * small.energy_j,
+              small.energy_j * 1e-6);
+  EXPECT_NEAR(large.t_s, 5.0 * small.t_s, small.t_s * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EvaluatorProperty,
+                         ::testing::Values("EP", "memcached", "x264",
+                                           "blackscholes", "Julius",
+                                           "RSA-2048", "websearch"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hec

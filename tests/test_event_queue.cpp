@@ -1,0 +1,106 @@
+#include "hec/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(5.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double second_time = 0.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(1.5, [&] { second_time = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(second_time, 3.5);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(2.0, [&] {
+    EXPECT_THROW(q.schedule_at(1.0, [] {}), ContractViolation);
+  });
+  q.run();
+}
+
+TEST(EventQueue, RejectsNegativeDelayAndNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), ContractViolation);
+}
+
+TEST(EventQueue, StepRequiresPendingEvent) {
+  EventQueue q;
+  EXPECT_THROW(q.step(), ContractViolation);
+}
+
+TEST(EventQueue, RunawayLoopGuard) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule_at(0.0, forever);
+  EXPECT_THROW(q.run(1000), std::runtime_error);
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace hec

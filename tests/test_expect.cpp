@@ -1,0 +1,40 @@
+#include "hec/util/expect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hec {
+namespace {
+
+TEST(Expect, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(HEC_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(HEC_ENSURES(true));
+}
+
+TEST(Expect, FailingPreconditionThrowsContractViolation) {
+  EXPECT_THROW(HEC_EXPECTS(false), ContractViolation);
+}
+
+TEST(Expect, FailingPostconditionThrowsContractViolation) {
+  EXPECT_THROW(HEC_ENSURES(false), ContractViolation);
+}
+
+TEST(Expect, MessageNamesTheExpressionAndLocation) {
+  try {
+    HEC_EXPECTS(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_expect.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Expect, ContractViolationIsALogicError) {
+  EXPECT_THROW(HEC_EXPECTS(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hec

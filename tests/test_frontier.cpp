@@ -1,0 +1,109 @@
+#include "hec/pareto/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+TEST(ParetoFrontier, KeepsOnlyNonDominatedPoints) {
+  const std::vector<TimeEnergyPoint> pts{
+      {1.0, 10.0, 0},  // fast, expensive: frontier
+      {2.0, 5.0, 1},   // frontier
+      {2.5, 7.0, 2},   // dominated by tag 1
+      {3.0, 4.0, 3},   // frontier
+      {4.0, 4.5, 4},   // dominated by tag 3
+  };
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].tag, 0u);
+  EXPECT_EQ(frontier[1].tag, 1u);
+  EXPECT_EQ(frontier[2].tag, 3u);
+}
+
+TEST(ParetoFrontier, StrictlyMonotone) {
+  Rng rng(3);
+  std::vector<TimeEnergyPoint> pts;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    pts.push_back({rng.uniform(0.01, 10.0), rng.uniform(1.0, 100.0), i});
+  }
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].t_s, frontier[i - 1].t_s);
+    EXPECT_LT(frontier[i].energy_j, frontier[i - 1].energy_j);
+  }
+}
+
+TEST(ParetoFrontier, NoInputPointDominatesAFrontierPoint) {
+  Rng rng(5);
+  std::vector<TimeEnergyPoint> pts;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    pts.push_back({rng.uniform(0.1, 5.0), rng.uniform(1.0, 50.0), i});
+  }
+  const auto frontier = pareto_frontier(pts);
+  for (const auto& f : frontier) {
+    for (const auto& p : pts) {
+      const bool dominates = p.t_s <= f.t_s && p.energy_j < f.energy_j;
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(ParetoFrontier, TiesInTimeKeepCheapest) {
+  const std::vector<TimeEnergyPoint> pts{
+      {1.0, 10.0, 0}, {1.0, 8.0, 1}, {1.0, 9.0, 2}};
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].tag, 1u);
+}
+
+TEST(ParetoFrontier, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+  const std::vector<TimeEnergyPoint> one{{1.0, 1.0, 7}};
+  const auto frontier = pareto_frontier(one);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].tag, 7u);
+}
+
+TEST(EnergyDeadlineCurve, BestForDeadlinePicksSlowestFeasible) {
+  const std::vector<TimeEnergyPoint> frontier{
+      {1.0, 10.0, 0}, {2.0, 6.0, 1}, {4.0, 3.0, 2}};
+  const EnergyDeadlineCurve curve(frontier);
+  EXPECT_FALSE(curve.best_for_deadline(0.5).has_value());
+  EXPECT_EQ(curve.best_for_deadline(1.0)->tag, 0u);
+  EXPECT_EQ(curve.best_for_deadline(1.5)->tag, 0u);
+  EXPECT_EQ(curve.best_for_deadline(2.0)->tag, 1u);
+  EXPECT_EQ(curve.best_for_deadline(3.9)->tag, 1u);
+  EXPECT_EQ(curve.best_for_deadline(100.0)->tag, 2u);
+}
+
+TEST(EnergyDeadlineCurve, MinEnergyIsMonotoneNonIncreasing) {
+  const std::vector<TimeEnergyPoint> frontier{
+      {1.0, 10.0, 0}, {2.0, 6.0, 1}, {4.0, 3.0, 2}};
+  const EnergyDeadlineCurve curve(frontier);
+  EXPECT_TRUE(std::isinf(curve.min_energy_j(0.1)));
+  double prev = curve.min_energy_j(1.0);
+  for (double d = 1.1; d < 6.0; d += 0.1) {
+    const double e = curve.min_energy_j(d);
+    EXPECT_LE(e, prev);
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(curve.min_time_s(), 1.0);
+}
+
+TEST(EnergyDeadlineCurve, RejectsNonFrontierInput) {
+  // Not strictly decreasing in energy.
+  const std::vector<TimeEnergyPoint> bad{{1.0, 5.0, 0}, {2.0, 6.0, 1}};
+  EXPECT_THROW(EnergyDeadlineCurve{bad}, ContractViolation);
+  EXPECT_THROW(EnergyDeadlineCurve{std::vector<TimeEnergyPoint>{}},
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

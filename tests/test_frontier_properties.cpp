@@ -1,0 +1,130 @@
+// Randomised property sweeps of the Pareto machinery: for many seeds and
+// point-cloud shapes, the frontier must be minimal, complete, idempotent
+// and consistent with the staircase query.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+struct CloudParam {
+  std::uint64_t seed;
+  std::size_t n;
+  bool clustered;  ///< clustered clouds stress tie handling
+};
+
+std::string cloud_name(const ::testing::TestParamInfo<CloudParam>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.n) +
+         (info.param.clustered ? "_clustered" : "_uniform");
+}
+
+std::vector<TimeEnergyPoint> make_cloud(const CloudParam& p) {
+  Rng rng(p.seed);
+  std::vector<TimeEnergyPoint> points;
+  points.reserve(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    double t, e;
+    if (p.clustered) {
+      // Few distinct values -> many exact ties in both axes.
+      t = 0.1 * static_cast<double>(1 + rng.uniform_index(5));
+      e = 10.0 * static_cast<double>(1 + rng.uniform_index(5));
+    } else {
+      t = rng.uniform(0.01, 10.0);
+      e = rng.uniform(1.0, 500.0);
+    }
+    points.push_back({t, e, i});
+  }
+  return points;
+}
+
+class FrontierProperty : public ::testing::TestWithParam<CloudParam> {};
+
+TEST_P(FrontierProperty, FrontierPointsComeFromTheInput) {
+  const auto cloud = make_cloud(GetParam());
+  for (const auto& f : pareto_frontier(cloud)) {
+    ASSERT_LT(f.tag, cloud.size());
+    EXPECT_EQ(cloud[f.tag].t_s, f.t_s);
+    EXPECT_EQ(cloud[f.tag].energy_j, f.energy_j);
+  }
+}
+
+TEST_P(FrontierProperty, NoFrontierPointIsDominated) {
+  const auto cloud = make_cloud(GetParam());
+  const auto frontier = pareto_frontier(cloud);
+  for (const auto& f : frontier) {
+    for (const auto& p : cloud) {
+      EXPECT_FALSE(p.t_s <= f.t_s &&
+                   p.energy_j < f.energy_j * (1.0 - 1e-9));
+    }
+  }
+}
+
+TEST_P(FrontierProperty, EveryInputIsDominatedByOrOnTheFrontier) {
+  const auto cloud = make_cloud(GetParam());
+  const auto frontier = pareto_frontier(cloud);
+  for (const auto& p : cloud) {
+    bool covered = false;
+    for (const auto& f : frontier) {
+      if (f.t_s <= p.t_s && f.energy_j <= p.energy_j * (1.0 + 1e-9)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "point (" << p.t_s << ", " << p.energy_j
+                         << ") escapes the frontier";
+  }
+}
+
+TEST_P(FrontierProperty, FrontierIsIdempotent) {
+  const auto cloud = make_cloud(GetParam());
+  const auto once = pareto_frontier(cloud);
+  const auto twice = pareto_frontier(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(FrontierProperty, StrictlyOrdered) {
+  const auto frontier = pareto_frontier(make_cloud(GetParam()));
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].t_s, frontier[i - 1].t_s);
+    EXPECT_LT(frontier[i].energy_j, frontier[i - 1].energy_j);
+  }
+}
+
+TEST_P(FrontierProperty, StaircaseAgreesWithDirectScan) {
+  const auto cloud = make_cloud(GetParam());
+  const auto frontier = pareto_frontier(cloud);
+  if (frontier.empty()) return;
+  const EnergyDeadlineCurve curve(frontier);
+  Rng rng(GetParam().seed ^ 0xabcdef);
+  for (int probe = 0; probe < 25; ++probe) {
+    const double deadline = rng.uniform(0.0, 12.0);
+    double direct = std::numeric_limits<double>::infinity();
+    for (const auto& p : cloud) {
+      if (p.t_s <= deadline) direct = std::min(direct, p.energy_j);
+    }
+    const double via_curve = curve.min_energy_j(deadline);
+    if (std::isinf(direct)) {
+      EXPECT_TRUE(std::isinf(via_curve)) << deadline;
+    } else {
+      EXPECT_NEAR(via_curve, direct, direct * 1e-9) << deadline;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomClouds, FrontierProperty,
+    ::testing::Values(CloudParam{1, 100, false}, CloudParam{2, 100, true},
+                      CloudParam{3, 2000, false},
+                      CloudParam{4, 2000, true}, CloudParam{5, 1, false},
+                      CloudParam{6, 50000, false},
+                      CloudParam{7, 500, true}),
+    cloud_name);
+
+}  // namespace
+}  // namespace hec

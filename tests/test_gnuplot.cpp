@@ -1,0 +1,97 @@
+#include "hec/io/gnuplot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+GnuplotFigure sample_figure() {
+  GnuplotFigure fig;
+  fig.output_png = "fig4.png";
+  fig.title = "Pareto frontier for EP";
+  fig.x_label = "Deadline [ms]";
+  fig.y_label = "Energy [J]";
+  return fig;
+}
+
+TEST(Gnuplot, ScriptContainsTheEssentials) {
+  const std::string script = gnuplot_script(
+      "fig4.csv", sample_figure(),
+      {GnuplotSeries{"all configs", 1, 2, "", "points"},
+       GnuplotSeries{"frontier", 1, 2, "$9 == 1", "linespoints"}});
+  EXPECT_NE(script.find("set datafile separator ','"), std::string::npos);
+  EXPECT_NE(script.find("set output 'fig4.png'"), std::string::npos);
+  EXPECT_NE(script.find("'fig4.csv' skip 1 using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("($9 == 1 ? $1 : 1/0):2"), std::string::npos);
+  EXPECT_NE(script.find("title 'frontier'"), std::string::npos);
+  EXPECT_EQ(script.find("logscale"), std::string::npos);
+}
+
+TEST(Gnuplot, LogAxesAndRanges) {
+  GnuplotFigure fig = sample_figure();
+  fig.log_x = true;
+  fig.y_min = 15.0;
+  fig.y_max = 30.0;
+  const std::string script =
+      gnuplot_script("f.csv", fig, {GnuplotSeries{"s", 1, 2, "", "linespoints"}});
+  EXPECT_NE(script.find("set logscale x"), std::string::npos);
+  EXPECT_NE(script.find("set yrange [15.000000:30.000000]"),
+            std::string::npos);
+}
+
+TEST(Gnuplot, QuotesAreEscaped) {
+  GnuplotFigure fig = sample_figure();
+  fig.title = "EP's frontier";
+  const std::string script =
+      gnuplot_script("f.csv", fig, {GnuplotSeries{"s", 1, 2, "", "linespoints"}});
+  EXPECT_NE(script.find("'EP''s frontier'"), std::string::npos);
+}
+
+TEST(Gnuplot, MultipleSeriesJoinedWithContinuations) {
+  const std::string script = gnuplot_script(
+      "f.csv", sample_figure(),
+      {GnuplotSeries{"a", 1, 2, "", "lines"}, GnuplotSeries{"b", 1, 3, "", "lines"},
+       GnuplotSeries{"c", 1, 4, "", "lines"}});
+  // One plot statement (the header comment also says "gnuplot"), two
+  // continuations.
+  EXPECT_EQ(script.find("\nplot "), script.rfind("\nplot "));
+  std::size_t continuations = 0;
+  for (std::size_t pos = script.find(", \\"); pos != std::string::npos;
+       pos = script.find(", \\", pos + 1)) {
+    ++continuations;
+  }
+  EXPECT_EQ(continuations, 2u);
+}
+
+TEST(Gnuplot, RejectsInvalidInput) {
+  EXPECT_THROW(gnuplot_script("f.csv", sample_figure(), {}),
+               ContractViolation);
+  GnuplotSeries bad;
+  bad.x_column = 0;
+  EXPECT_THROW(gnuplot_script("f.csv", sample_figure(), {bad}),
+               ContractViolation);
+}
+
+TEST(Gnuplot, WriteCreatesSiblingScript) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "hec_gnuplot_test";
+  fs::create_directories(dir);
+  const std::string csv = (dir / "figX.csv").string();
+  {
+    std::ofstream out(csv);
+    out << "a,b\n1,2\n";
+  }
+  const std::string path =
+      write_gnuplot_script(csv, sample_figure(), {GnuplotSeries{"s", 1, 2, "", "linespoints"}});
+  EXPECT_TRUE(path.ends_with("figX.gp"));
+  EXPECT_TRUE(fs::exists(path));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,80 @@
+#include "hec/pareto/hypervolume.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+TEST(Hypervolume, SinglePointIsARectangle) {
+  const std::vector<TimeEnergyPoint> frontier{{1.0, 2.0, 0}};
+  // Rectangle from (1,2) to reference (3,5): 2 x 3 = 6.
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, 3.0, 5.0), 6.0);
+}
+
+TEST(Hypervolume, StaircaseSumsRectangles) {
+  const std::vector<TimeEnergyPoint> frontier{
+      {1.0, 4.0, 0}, {2.0, 2.0, 1}, {3.0, 1.0, 2}};
+  // Reference (4, 5): strips of width 1 at heights 1, 3, 4.
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, 4.0, 5.0), 1.0 + 3.0 + 4.0);
+}
+
+TEST(Hypervolume, DominatingFrontierHasLargerVolume) {
+  const std::vector<TimeEnergyPoint> weak{{1.0, 4.0, 0}, {3.0, 2.0, 1}};
+  const std::vector<TimeEnergyPoint> strong{{0.5, 3.0, 0}, {2.0, 1.0, 1}};
+  const ReferencePoint ref = covering_reference(weak, strong);
+  EXPECT_GT(hypervolume(strong, ref.time_s, ref.energy_j),
+            hypervolume(weak, ref.time_s, ref.energy_j));
+}
+
+TEST(Hypervolume, AddingAFrontierPointNeverShrinksVolume) {
+  Rng rng(17);
+  std::vector<TimeEnergyPoint> points;
+  for (std::size_t i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.1, 5.0), rng.uniform(1.0, 50.0), i});
+  }
+  auto frontier = pareto_frontier(points);
+  if (frontier.size() < 2) GTEST_SKIP();
+  const double full = hypervolume(frontier, 6.0, 60.0);
+  // Remove a middle point: volume must not increase.
+  frontier.erase(frontier.begin() +
+                 static_cast<std::ptrdiff_t>(frontier.size() / 2));
+  EXPECT_LE(hypervolume(frontier, 6.0, 60.0), full);
+}
+
+TEST(Hypervolume, PointsBeyondReferenceAreClipped) {
+  const std::vector<TimeEnergyPoint> frontier{
+      {1.0, 4.0, 0}, {10.0, 1.0, 1}};  // second point past ref time
+  // Only the first strip counts, clipped at the reference time 5:
+  // width (5-1) x height (5-4) = 4.
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, 5.0, 5.0), 4.0);
+}
+
+TEST(Hypervolume, CoveringReferenceCoversBoth) {
+  const std::vector<TimeEnergyPoint> a{{1.0, 9.0, 0}, {4.0, 2.0, 1}};
+  const std::vector<TimeEnergyPoint> b{{0.5, 7.0, 0}, {6.0, 1.0, 1}};
+  const ReferencePoint ref = covering_reference(a, b);
+  EXPECT_GE(ref.time_s, 6.0);
+  EXPECT_GE(ref.energy_j, 9.0);
+  // Both hypervolumes are finite and positive against it.
+  EXPECT_GT(hypervolume(a, ref.time_s, ref.energy_j), 0.0);
+  EXPECT_GT(hypervolume(b, ref.time_s, ref.energy_j), 0.0);
+}
+
+TEST(Hypervolume, RejectsInvalidInput) {
+  const std::vector<TimeEnergyPoint> empty;
+  EXPECT_THROW(hypervolume(empty, 1.0, 1.0), ContractViolation);
+  const std::vector<TimeEnergyPoint> unsorted{{2.0, 1.0, 0},
+                                              {1.0, 2.0, 1}};
+  EXPECT_THROW(hypervolume(unsorted, 3.0, 3.0), ContractViolation);
+  const std::vector<TimeEnergyPoint> ok{{1.0, 2.0, 0}};
+  EXPECT_THROW(hypervolume(ok, 0.5, 5.0), ContractViolation);  // ref early
+  EXPECT_THROW(hypervolume(ok, 5.0, 1.0), ContractViolation);  // ref low
+}
+
+}  // namespace
+}  // namespace hec

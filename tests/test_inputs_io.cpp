@@ -1,0 +1,140 @@
+#include "hec/model/inputs_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs sample_inputs() {
+  WorkloadInputs in;
+  in.inst_per_unit = 160.25;
+  in.wpi = 0.881;
+  in.spi_core = 0.52;
+  in.ucpu = 0.97;
+  in.io_bytes_per_unit = 800.0;
+  in.io_s_per_unit = 6.4e-5;
+  in.spi_mem_by_cores = {LinearFit{0.8, 4.4, 0.999, 5},
+                         LinearFit{0.81, 5.5, 0.998, 5}};
+  return in;
+}
+
+PowerParams sample_power() {
+  PowerParams p;
+  p.freqs_ghz = {0.2, 0.8, 1.4};
+  p.core_active_w = {0.04, 0.23, 0.69};
+  p.core_stall_w = {0.02, 0.11, 0.39};
+  p.mem_active_w = 0.45;
+  p.io_active_w = 0.72;
+  p.idle_w = 1.38;
+  return p;
+}
+
+TEST(InputsIo, WorkloadInputsRoundTrip) {
+  const WorkloadInputs original = sample_inputs();
+  const WorkloadInputs parsed =
+      parse_workload_inputs(serialize_workload_inputs(original));
+  EXPECT_DOUBLE_EQ(parsed.inst_per_unit, original.inst_per_unit);
+  EXPECT_DOUBLE_EQ(parsed.wpi, original.wpi);
+  EXPECT_DOUBLE_EQ(parsed.spi_core, original.spi_core);
+  EXPECT_DOUBLE_EQ(parsed.ucpu, original.ucpu);
+  EXPECT_DOUBLE_EQ(parsed.io_bytes_per_unit, original.io_bytes_per_unit);
+  EXPECT_DOUBLE_EQ(parsed.io_s_per_unit, original.io_s_per_unit);
+  ASSERT_EQ(parsed.spi_mem_by_cores.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.spi_mem_by_cores[i].intercept,
+                     original.spi_mem_by_cores[i].intercept);
+    EXPECT_DOUBLE_EQ(parsed.spi_mem_by_cores[i].slope,
+                     original.spi_mem_by_cores[i].slope);
+  }
+}
+
+TEST(InputsIo, PowerParamsRoundTrip) {
+  const PowerParams original = sample_power();
+  const PowerParams parsed =
+      parse_power_params(serialize_power_params(original));
+  EXPECT_EQ(parsed.freqs_ghz, original.freqs_ghz);
+  EXPECT_EQ(parsed.core_active_w, original.core_active_w);
+  EXPECT_EQ(parsed.core_stall_w, original.core_stall_w);
+  EXPECT_DOUBLE_EQ(parsed.idle_w, original.idle_w);
+  EXPECT_DOUBLE_EQ(parsed.mem_active_w, original.mem_active_w);
+  EXPECT_DOUBLE_EQ(parsed.io_active_w, original.io_active_w);
+}
+
+TEST(InputsIo, CharacterisedInputsRoundTripExactly) {
+  // End to end: a real characterisation survives the text format.
+  CharacterizeOptions opts;
+  opts.baseline_units = 3000.0;
+  const WorkloadInputs original = characterize_workload(
+      arm_cortex_a9(), workload_ep().demand_arm, opts);
+  const WorkloadInputs parsed =
+      parse_workload_inputs(serialize_workload_inputs(original));
+  EXPECT_DOUBLE_EQ(parsed.inst_per_unit, original.inst_per_unit);
+  EXPECT_DOUBLE_EQ(parsed.wpi, original.wpi);
+  ASSERT_EQ(parsed.spi_mem_by_cores.size(),
+            original.spi_mem_by_cores.size());
+  for (std::size_t i = 0; i < parsed.spi_mem_by_cores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.spi_mem_by_cores[i].slope,
+                     original.spi_mem_by_cores[i].slope);
+  }
+}
+
+TEST(InputsIo, CommentsAndBlankLinesIgnored) {
+  std::string text = serialize_workload_inputs(sample_inputs());
+  text = "# characterised 2026-07-04 on testbed A\n\n" + text + "\n# end\n";
+  EXPECT_NO_THROW(parse_workload_inputs(text));
+}
+
+TEST(InputsIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_workload_inputs(""), ParseError);
+  EXPECT_THROW(parse_workload_inputs("format hec-power-params 1\n"),
+               ParseError);  // wrong format tag
+  EXPECT_THROW(
+      parse_workload_inputs("format hec-workload-inputs 1\nwpi 0.8\n"),
+      ParseError);  // missing inst_per_unit
+  EXPECT_THROW(parse_workload_inputs(
+                   "format hec-workload-inputs 1\ninst_per_unit abc\n"),
+               ParseError);  // bad number
+  EXPECT_THROW(parse_workload_inputs(
+                   "format hec-workload-inputs 1\nbogus_key 1\n"),
+               ParseError);
+  std::string out_of_order = serialize_workload_inputs(sample_inputs());
+  out_of_order += "spi_mem_fit 7 0 1 1 5\n";  // non-consecutive core row
+  EXPECT_THROW(parse_workload_inputs(out_of_order), ParseError);
+}
+
+TEST(InputsIo, RejectsMalformedPowerParams) {
+  EXPECT_THROW(parse_power_params("format hec-power-params 1\n"),
+               ParseError);  // no pstates
+  EXPECT_THROW(parse_power_params("format hec-power-params 1\n"
+                                  "pstate 1.0 0.5 0.3\n"
+                                  "pstate 0.5 0.2 0.1\n"),
+               ParseError);  // descending frequency
+}
+
+TEST(InputsIo, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "hec_inputs_io_test";
+  fs::create_directories(dir);
+  const std::string wpath = (dir / "workload.hec").string();
+  const std::string ppath = (dir / "power.hec").string();
+
+  save_workload_inputs(sample_inputs(), wpath);
+  save_power_params(sample_power(), ppath);
+  const WorkloadInputs w = load_workload_inputs(wpath);
+  const PowerParams p = load_power_params(ppath);
+  EXPECT_DOUBLE_EQ(w.inst_per_unit, sample_inputs().inst_per_unit);
+  EXPECT_DOUBLE_EQ(p.idle_w, sample_power().idle_w);
+
+  EXPECT_THROW(load_workload_inputs((dir / "missing.hec").string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,110 @@
+// Fuzz-style robustness tests for the inputs text parser: random
+// mutations of valid documents must either parse or throw ParseError —
+// never crash, hang, or return silently corrupt structures that violate
+// the types' invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hec/model/inputs_io.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs sample_inputs() {
+  WorkloadInputs in;
+  in.inst_per_unit = 160.0;
+  in.wpi = 0.88;
+  in.spi_core = 0.52;
+  in.ucpu = 1.0;
+  in.spi_mem_by_cores = {LinearFit{0.8, 4.4, 0.99, 5},
+                         LinearFit{0.8, 5.2, 0.99, 5}};
+  return in;
+}
+
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string out = text;
+  const int op = static_cast<int>(rng.uniform_index(5));
+  if (out.empty()) return out;
+  const std::size_t pos = rng.uniform_index(out.size());
+  switch (op) {
+    case 0:  // flip a byte
+      out[pos] = static_cast<char>(rng.uniform_index(256));
+      break;
+    case 1:  // delete a span
+      out.erase(pos, rng.uniform_index(16) + 1);
+      break;
+    case 2:  // duplicate a span
+      out.insert(pos, out.substr(pos, rng.uniform_index(16) + 1));
+      break;
+    case 3:  // insert garbage
+      out.insert(pos, std::string(rng.uniform_index(8) + 1,
+                                  static_cast<char>(rng.uniform_index(256))));
+      break;
+    case 4:  // truncate
+      out.resize(pos);
+      break;
+  }
+  return out;
+}
+
+TEST(InputsIoFuzz, WorkloadParserNeverCrashes) {
+  const std::string valid = serialize_workload_inputs(sample_inputs());
+  Rng rng(20260704);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::string doc = valid;
+    const int mutations = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int m = 0; m < mutations; ++m) doc = mutate(doc, rng);
+    try {
+      const WorkloadInputs result = parse_workload_inputs(doc);
+      // Whatever parsed must uphold basic shape invariants.
+      EXPECT_TRUE(result.spi_mem_by_cores.size() <= 64);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  // Most mutations must be rejected; some survive (e.g. comment edits).
+  EXPECT_GT(rejected, 1000);
+  EXPECT_EQ(parsed + rejected, 3000);
+}
+
+TEST(InputsIoFuzz, PowerParserNeverCrashes) {
+  PowerParams params;
+  params.freqs_ghz = {0.2, 0.8, 1.4};
+  params.core_active_w = {0.04, 0.23, 0.69};
+  params.core_stall_w = {0.02, 0.11, 0.39};
+  params.idle_w = 1.4;
+  const std::string valid = serialize_power_params(params);
+  Rng rng(424242);
+  int rejected = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::string doc = valid;
+    for (int m = 0; m <= static_cast<int>(rng.uniform_index(3)); ++m) {
+      doc = mutate(doc, rng);
+    }
+    try {
+      const PowerParams result = parse_power_params(doc);
+      EXPECT_EQ(result.freqs_ghz.size(), result.core_active_w.size());
+      EXPECT_EQ(result.freqs_ghz.size(), result.core_stall_w.size());
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 1000);
+}
+
+TEST(InputsIoFuzz, PureGarbageAlwaysRejected) {
+  Rng rng(777);
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage(rng.uniform_index(200) + 1, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform_index(256));
+    EXPECT_THROW(parse_workload_inputs(garbage), ParseError) << i;
+    EXPECT_THROW(parse_power_params(garbage), ParseError) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hec

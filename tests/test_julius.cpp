@@ -1,0 +1,103 @@
+#include "hec/workloads/julius_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(DiagGaussian, DensityPeaksAtMean) {
+  DiagGaussian g;
+  g.mean = {1.0, 2.0};
+  g.inv_var = {1.0, 1.0};
+  g.log_norm = -std::log(2.0 * M_PI);
+  const double at_mean = g.log_density({1.0, 2.0});
+  const double off_mean = g.log_density({2.0, 3.0});
+  EXPECT_GT(at_mean, off_mean);
+  EXPECT_NEAR(at_mean, -std::log(2.0 * M_PI), 1e-12);
+}
+
+TEST(DiagGaussian, DimensionMismatchThrows) {
+  DiagGaussian g;
+  g.mean = {0.0};
+  g.inv_var = {1.0};
+  EXPECT_THROW(g.log_density({0.0, 1.0}), ContractViolation);
+}
+
+TEST(MakeTestHmm, WellFormed) {
+  const Hmm hmm = make_test_hmm(8, 13, 5);
+  EXPECT_EQ(hmm.states.size(), 8u);
+  EXPECT_EQ(hmm.log_self.size(), 8u);
+  EXPECT_EQ(hmm.log_next.size(), 8u);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(hmm.states[s].mean.size(), 13u);
+    // Transition probabilities sum to one.
+    EXPECT_NEAR(std::exp(hmm.log_self[s]) + std::exp(hmm.log_next[s]), 1.0,
+                1e-12);
+  }
+  EXPECT_THROW(make_test_hmm(1, 13, 5), ContractViolation);
+}
+
+TEST(Viterbi, PathIsMonotoneLeftToRight) {
+  const Hmm hmm = make_test_hmm(6, 8, 11);
+  const auto frames = make_test_frames(hmm, 200, 12);
+  const DecodeResult r = viterbi_decode(hmm, frames);
+  ASSERT_EQ(r.state_path.size(), 200u);
+  EXPECT_EQ(r.state_path.front(), 0u);
+  for (std::size_t t = 1; t < r.state_path.size(); ++t) {
+    const auto step = r.state_path[t] - r.state_path[t - 1];
+    EXPECT_TRUE(step == 0 || step == 1)
+        << "non left-to-right transition at t=" << t;
+  }
+}
+
+TEST(Viterbi, RecoversTheGeneratingStateSequence) {
+  // Frames generated to follow the model: decoding should visit most
+  // states in order and finish near the last state.
+  const Hmm hmm = make_test_hmm(5, 10, 3);
+  const auto frames = make_test_frames(hmm, 500, 4);
+  const DecodeResult r = viterbi_decode(hmm, frames);
+  EXPECT_GE(r.state_path.back(), 3u);  // advanced through the chain
+  // Agreement with the generating schedule (t * S / T) should be high.
+  std::size_t agree = 0;
+  for (std::size_t t = 0; t < frames.size(); ++t) {
+    const std::size_t truth = t * hmm.states.size() / frames.size();
+    if (r.state_path[t] == truth) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(frames.size()),
+            0.6);
+}
+
+TEST(Viterbi, LikelihoodIsFiniteAndDeterministic) {
+  const Hmm hmm = make_test_hmm(4, 6, 21);
+  const auto frames = make_test_frames(hmm, 100, 22);
+  const DecodeResult a = viterbi_decode(hmm, frames);
+  const DecodeResult b = viterbi_decode(hmm, frames);
+  EXPECT_TRUE(std::isfinite(a.log_likelihood));
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.state_path, b.state_path);
+}
+
+TEST(Viterbi, BetterMatchedFramesScoreHigher) {
+  const Hmm hmm = make_test_hmm(4, 6, 31);
+  const auto matched = make_test_frames(hmm, 100, 32);
+  // Mismatched frames: generated from a different model.
+  const Hmm other = make_test_hmm(4, 6, 99);
+  auto mismatched = make_test_frames(other, 100, 32);
+  for (auto& frame : mismatched) {
+    for (auto& x : frame) x += 10.0;  // push far from hmm's means
+  }
+  EXPECT_GT(viterbi_decode(hmm, matched).log_likelihood,
+            viterbi_decode(hmm, mismatched).log_likelihood);
+}
+
+TEST(Viterbi, EmptyFramesRejected) {
+  const Hmm hmm = make_test_hmm(3, 4, 1);
+  EXPECT_THROW(viterbi_decode(hmm, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

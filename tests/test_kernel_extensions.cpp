@@ -1,0 +1,187 @@
+// Tests of the kernel extensions: NPB jump-ahead + parallel EP, the
+// encoder's entropy-coding stage, and Julius-style beam pruning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hec/util/expect.h"
+#include "hec/workloads/encoder.h"
+#include "hec/workloads/ep_kernel.h"
+#include "hec/workloads/julius_decoder.h"
+
+namespace hec {
+namespace {
+
+// ---------------------------------------------------------------- EP --
+
+TEST(EpJumpAhead, SkipMatchesSequentialDraws) {
+  NasRandom sequential;
+  for (int i = 0; i < 1000; ++i) sequential.next();
+  NasRandom jumped;
+  jumped.skip(1000);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(jumped.next(), sequential.next());
+  }
+}
+
+TEST(EpJumpAhead, SkipZeroIsIdentity) {
+  NasRandom a, b;
+  b.skip(0);
+  EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(EpJumpAhead, SkipsCompose) {
+  NasRandom once, twice;
+  once.skip(12345);
+  twice.skip(12000);
+  twice.skip(345);
+  EXPECT_DOUBLE_EQ(once.next(), twice.next());
+}
+
+TEST(EpParallel, MatchesSerialExactlyOnCounts) {
+  const std::uint64_t pairs = 200000;
+  const EpResult serial = ep_generate(pairs);
+  const EpResult parallel = ep_generate_parallel(pairs);
+  EXPECT_EQ(serial.pairs_accepted, parallel.pairs_accepted);
+  for (std::size_t bin = 0; bin < serial.annulus_counts.size(); ++bin) {
+    EXPECT_EQ(serial.annulus_counts[bin], parallel.annulus_counts[bin])
+        << "bin " << bin;
+  }
+  // Sums may differ only by floating-point addition order.
+  EXPECT_NEAR(parallel.sum_x, serial.sum_x,
+              1e-9 * std::abs(serial.sum_x) + 1e-6);
+  EXPECT_NEAR(parallel.sum_y, serial.sum_y,
+              1e-9 * std::abs(serial.sum_y) + 1e-6);
+}
+
+TEST(EpParallel, HandlesDegenerateSizes) {
+  EXPECT_EQ(ep_generate_parallel(0).pairs_accepted, 0u);
+  const EpResult one = ep_generate_parallel(1);
+  EXPECT_EQ(one.pairs_accepted, ep_generate(1).pairs_accepted);
+}
+
+// ----------------------------------------------------------- encoder --
+
+TEST(Zigzag, VisitsEveryCellOnce) {
+  const auto order = zigzag_order();
+  bool seen[8][8] = {};
+  for (const auto& [r, c] : order) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 8);
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 8);
+    EXPECT_FALSE(seen[r][c]) << r << "," << c;
+    seen[r][c] = true;
+  }
+  // The classic scan prefix: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2).
+  EXPECT_EQ(order[0], (std::pair{0, 0}));
+  EXPECT_EQ(order[1], (std::pair{0, 1}));
+  EXPECT_EQ(order[2], (std::pair{1, 0}));
+  EXPECT_EQ(order[3], (std::pair{2, 0}));
+  EXPECT_EQ(order[4], (std::pair{1, 1}));
+  EXPECT_EQ(order[5], (std::pair{0, 2}));
+  EXPECT_EQ(order[63], (std::pair{7, 7}));
+}
+
+TEST(Entropy, RoundTripsArbitraryTiles) {
+  Tile8x8 tile;
+  tile.v[0][0] = 120;
+  tile.v[0][1] = -3;
+  tile.v[3][4] = 1;
+  tile.v[7][7] = -2048;
+  const auto bytes = entropy_encode(tile);
+  const Tile8x8 decoded = entropy_decode(bytes);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(decoded.v[r][c], tile.v[r][c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(Entropy, EmptyTileIsOneMarker) {
+  const auto bytes = entropy_encode(Tile8x8{});
+  EXPECT_EQ(bytes.size(), 1u);  // just the end-of-block varint (64)
+  const Tile8x8 decoded = entropy_decode(bytes);
+  for (const auto& row : decoded.v) {
+    for (int v : row) EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(Entropy, SparseTilesCompress) {
+  Tile8x8 sparse;
+  sparse.v[0][0] = 500;
+  EXPECT_LT(entropy_encode(sparse).size(), 8u);
+  Tile8x8 dense;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) dense.v[r][c] = (r + 1) * (c + 7);
+  }
+  EXPECT_GT(entropy_encode(dense).size(), 64u);
+}
+
+TEST(Entropy, RejectsMalformedStreams) {
+  EXPECT_THROW(entropy_decode({}), std::invalid_argument);
+  EXPECT_THROW(entropy_decode({0x80}), std::invalid_argument);  // cut varint
+  // run=70 > end-of-block marker.
+  EXPECT_THROW(entropy_decode({70}), std::invalid_argument);
+  // Valid block followed by junk.
+  auto bytes = entropy_encode(Tile8x8{});
+  bytes.push_back(0x01);
+  EXPECT_THROW(entropy_decode(bytes), std::invalid_argument);
+}
+
+TEST(Entropy, FrameStatsIncludePayloadSize) {
+  Frame ref(64, 64), cur(64, 64);
+  ref.fill_synthetic(0, 0);
+  cur.fill_synthetic(3, 1);
+  const EncodeStats stats = encode_frame(cur, ref);
+  EXPECT_GT(stats.encoded_bytes, 0u);
+  // A still scene encodes to bare end-of-block markers: 1 byte per tile.
+  const EncodeStats still = encode_frame(ref, ref);
+  EXPECT_EQ(still.encoded_bytes,
+            static_cast<std::uint64_t>(still.blocks) * 4u);
+}
+
+// ------------------------------------------------------------ Julius --
+
+TEST(Beam, WideBeamMatchesExactViterbi) {
+  const Hmm hmm = make_test_hmm(8, 10, 7);
+  const auto frames = make_test_frames(hmm, 300, 8);
+  const DecodeResult exact = viterbi_decode(hmm, frames);
+  const BeamDecodeResult wide = viterbi_decode_beam(hmm, frames, 1e9);
+  EXPECT_DOUBLE_EQ(wide.result.log_likelihood, exact.log_likelihood);
+  EXPECT_EQ(wide.result.state_path, exact.state_path);
+  // An infinite beam only skips genuinely unreachable states (score
+  // -inf in the left-to-right model's early frames) — never real work.
+  EXPECT_LT(wide.pruned_evaluations, hmm.states.size() * 4);
+}
+
+TEST(Beam, NarrowBeamPrunesWork) {
+  const Hmm hmm = make_test_hmm(16, 10, 17);
+  const auto frames = make_test_frames(hmm, 400, 18);
+  const BeamDecodeResult narrow = viterbi_decode_beam(hmm, frames, 30.0);
+  EXPECT_GT(narrow.pruned_evaluations, 0u);
+  // Pruning may only lose likelihood, never gain it.
+  const DecodeResult exact = viterbi_decode(hmm, frames);
+  EXPECT_LE(narrow.result.log_likelihood,
+            exact.log_likelihood + 1e-9);
+}
+
+TEST(Beam, ReasonableBeamStaysNearExact) {
+  const Hmm hmm = make_test_hmm(10, 8, 27);
+  const auto frames = make_test_frames(hmm, 300, 28);
+  const DecodeResult exact = viterbi_decode(hmm, frames);
+  const BeamDecodeResult pruned = viterbi_decode_beam(hmm, frames, 200.0);
+  // A generous beam keeps the best path intact.
+  EXPECT_NEAR(pruned.result.log_likelihood, exact.log_likelihood,
+              std::abs(exact.log_likelihood) * 0.01);
+}
+
+TEST(Beam, RejectsNonPositiveBeam) {
+  const Hmm hmm = make_test_hmm(3, 4, 1);
+  const auto frames = make_test_frames(hmm, 10, 2);
+  EXPECT_THROW(viterbi_decode_beam(hmm, frames, 0.0), ContractViolation);
+  EXPECT_THROW(viterbi_decode_beam(hmm, frames, -5.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,135 @@
+#include "hec/workloads/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(KvStore, SetThenGet) {
+  KvStore store(64);
+  EXPECT_TRUE(store.set("alpha", "1"));
+  EXPECT_TRUE(store.set("beta", "2"));
+  EXPECT_EQ(store.get("alpha").value(), "1");
+  EXPECT_EQ(store.get("beta").value(), "2");
+  EXPECT_FALSE(store.get("gamma").has_value());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(KvStore, SetOverwrites) {
+  KvStore store(16);
+  store.set("k", "old");
+  store.set("k", "new");
+  EXPECT_EQ(store.get("k").value(), "new");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStore, RemoveAndTombstoneReuse) {
+  KvStore store(16);
+  store.set("a", "1");
+  EXPECT_TRUE(store.remove("a"));
+  EXPECT_FALSE(store.remove("a"));
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.size(), 0u);
+  // Insert again: the tombstone slot is reusable.
+  EXPECT_TRUE(store.set("a", "2"));
+  EXPECT_EQ(store.get("a").value(), "2");
+}
+
+TEST(KvStore, ProbeChainsSurviveDeletes) {
+  // Force collisions with a tiny table, delete a middle element and make
+  // sure later chain members stay reachable.
+  KvStore store(4);
+  store.set("k1", "1");
+  store.set("k2", "2");
+  store.set("k3", "3");
+  store.remove("k2");
+  EXPECT_EQ(store.get("k1").value(), "1");
+  EXPECT_EQ(store.get("k3").value(), "3");
+}
+
+TEST(KvStore, FillsToCapacity) {
+  KvStore store(8);
+  const std::size_t cap = store.capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_TRUE(store.set("key" + std::to_string(i), "v"));
+  }
+  EXPECT_EQ(store.size(), cap);
+  EXPECT_FALSE(store.set("overflow", "v"));
+  // Every inserted key is still retrievable at 100% load.
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_TRUE(store.get("key" + std::to_string(i)).has_value());
+  }
+}
+
+TEST(KvStore, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(KvStore(100).capacity(), 128u);
+  EXPECT_EQ(KvStore(64).capacity(), 64u);
+  EXPECT_THROW(KvStore(1), ContractViolation);
+}
+
+TEST(KvStore, ServeReturnsHitSizes) {
+  KvStore store(16);
+  store.set("k", "12345");
+  KvRequest get{KvOp::kGet, "k", ""};
+  EXPECT_EQ(store.serve(get), 5u);
+  KvRequest miss{KvOp::kGet, "nope", ""};
+  EXPECT_EQ(store.serve(miss), 0u);
+  KvRequest set{KvOp::kSet, "k2", "vvv"};
+  EXPECT_EQ(store.serve(set), 0u);
+  EXPECT_EQ(store.get("k2").value(), "vvv");
+  KvRequest del{KvOp::kDelete, "k", ""};
+  store.serve(del);
+  EXPECT_FALSE(store.get("k").has_value());
+}
+
+TEST(Fnv1a, KnownVectorsAndDispersion) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  // Nearby keys should not collide.
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(fnv1a("key" + std::to_string(i)));
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(RequestGenerator, RespectsShapeParameters) {
+  RequestGenerator gen(1000, 16, 32, 0.9, 42);
+  int gets = 0, sets = 0, dels = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const KvRequest req = gen.next();
+    EXPECT_EQ(req.key.size(), 16u);
+    switch (req.op) {
+      case KvOp::kGet:
+        ++gets;
+        EXPECT_TRUE(req.value.empty());
+        break;
+      case KvOp::kSet:
+        ++sets;
+        EXPECT_EQ(req.value.size(), 32u);
+        break;
+      case KvOp::kDelete:
+        ++dels;
+        break;
+    }
+  }
+  EXPECT_NEAR(gets / 10000.0, 0.9, 0.02);
+  EXPECT_GT(sets, dels);  // 9:1 split of the remainder
+}
+
+TEST(RequestGenerator, DrivesStoreEndToEnd) {
+  // memslap-style closed loop: the store absorbs a mixed request stream.
+  KvStore store(4096);
+  RequestGenerator gen(500, 12, 64, 0.8, 7);
+  for (int i = 0; i < 20000; ++i) {
+    store.serve(gen.next());
+  }
+  EXPECT_GT(store.size(), 0u);
+  EXPECT_LE(store.size(), 500u);  // bounded by the key space
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,88 @@
+// Differential testing: the open-addressing KvStore must behave exactly
+// like a reference std::unordered_map under long random operation
+// sequences, including delete-heavy churn that stresses tombstone
+// handling and full-table probing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "hec/util/rng.h"
+#include "hec/workloads/kvstore.h"
+
+namespace hec {
+namespace {
+
+struct ChurnParam {
+  std::uint64_t seed;
+  std::size_t key_space;
+  std::size_t capacity;
+  double delete_fraction;
+};
+
+std::string churn_name(const ::testing::TestParamInfo<ChurnParam>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_keys" +
+         std::to_string(info.param.key_space) + "_cap" +
+         std::to_string(info.param.capacity) + "_del" +
+         std::to_string(
+             static_cast<int>(info.param.delete_fraction * 100));
+}
+
+class KvDifferential : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(KvDifferential, MatchesReferenceMapUnderChurn) {
+  const ChurnParam p = GetParam();
+  KvStore store(p.capacity);
+  std::unordered_map<std::string, std::string> reference;
+  Rng rng(p.seed);
+
+  for (int op = 0; op < 20000; ++op) {
+    std::string key = "key";
+    key += std::to_string(rng.uniform_index(p.key_space));
+    const double pick = rng.uniform();
+    if (pick < p.delete_fraction) {
+      const bool removed = store.remove(key);
+      const bool ref_removed = reference.erase(key) > 0;
+      EXPECT_EQ(removed, ref_removed) << "op " << op << " del " << key;
+    } else if (pick < p.delete_fraction + 0.4) {
+      std::string value = "v";
+      value += std::to_string(op);
+      // Insert only when the reference fits the store's capacity, so a
+      // capacity-full rejection never desynchronises the two.
+      if (reference.size() < store.capacity() ||
+          reference.contains(key)) {
+        ASSERT_TRUE(store.set(key, value)) << "op " << op;
+        reference[key] = value;
+      }
+    } else {
+      const auto got = store.get(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(got.has_value()) << "op " << op << " get " << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "op " << op << " get " << key;
+        EXPECT_EQ(*got, it->second) << "op " << op;
+      }
+    }
+    ASSERT_EQ(store.size(), reference.size()) << "op " << op;
+  }
+
+  // Final sweep: every reference key is retrievable with its value.
+  for (const auto& [key, value] : reference) {
+    const auto got = store.get(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, KvDifferential,
+    ::testing::Values(ChurnParam{1, 100, 1024, 0.1},
+                      ChurnParam{2, 1000, 2048, 0.3},
+                      ChurnParam{3, 50, 64, 0.45},   // high load factor
+                      ChurnParam{4, 16, 16, 0.5},    // tiny table churn
+                      ChurnParam{5, 5000, 8192, 0.05}),
+    churn_name);
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,117 @@
+#include "hec/report/markdown_report.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/io/table.h"
+#include "hec/model/characterize.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CharacterizeOptions opts;
+    opts.baseline_units = 4000.0;
+    workload_ = new Workload(workload_memcached());
+    arm_ = new NodeTypeModel(
+        build_node_model(arm_cortex_a9(), *workload_, opts));
+    amd_ = new NodeTypeModel(
+        build_node_model(amd_opteron_k10(), *workload_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete arm_;
+    delete amd_;
+  }
+
+  static std::string generate(ReportOptions options = {}) {
+    if (options.max_arm_nodes == 10 && options.max_amd_nodes == 10) {
+      options.max_arm_nodes = 4;  // keep the test fast
+      options.max_amd_nodes = 4;
+    }
+    return markdown_report(*workload_, *arm_, *amd_, options);
+  }
+
+  static Workload* workload_;
+  static NodeTypeModel* arm_;
+  static NodeTypeModel* amd_;
+};
+
+Workload* ReportTest::workload_ = nullptr;
+NodeTypeModel* ReportTest::arm_ = nullptr;
+NodeTypeModel* ReportTest::amd_ = nullptr;
+
+TEST_F(ReportTest, ContainsEverySection) {
+  const std::string md = generate();
+  for (const char* heading :
+       {"# memcached — heterogeneous cluster analysis",
+        "## Node characterisation", "### ARM Cortex-A9",
+        "### AMD Opteron K10", "## Energy-deadline Pareto frontier",
+        "**Sweet region**", "**Overlap region**", "## Recommendations"}) {
+    EXPECT_NE(md.find(heading), std::string::npos) << heading;
+  }
+}
+
+TEST_F(ReportTest, TablesAreWellFormedMarkdown) {
+  const std::string md = generate();
+  // Every table header row is followed by a separator row.
+  std::istringstream lines(md);
+  std::string line, prev;
+  int separators = 0;
+  while (std::getline(lines, line)) {
+    if (line.starts_with("|---") ||
+        (line.starts_with("|") && line.find("---") != std::string::npos &&
+         line.find_first_not_of("|-: ") == std::string::npos)) {
+      EXPECT_TRUE(prev.starts_with("|")) << "separator without header";
+      ++separators;
+    }
+    prev = line;
+  }
+  EXPECT_GE(separators, 4);  // two characterisations, frontier, recs
+}
+
+TEST_F(ReportTest, ReportsIoBoundClassificationForMemcached) {
+  const std::string md = generate();
+  EXPECT_NE(md.find("I/O-bound"), std::string::npos);
+}
+
+TEST_F(ReportTest, RecommendationsIncludeOperatingCost) {
+  const std::string md = generate();
+  EXPECT_NE(md.find("Cost per 1M jobs"), std::string::npos);
+}
+
+TEST_F(ReportTest, WorkUnitsOverrideIsApplied) {
+  ReportOptions options;
+  options.work_units = 12345.0;
+  const std::string md = generate(options);
+  EXPECT_NE(md.find("Job: 12345"), std::string::npos);
+}
+
+TEST_F(ReportTest, RejectsInvalidOptions) {
+  ReportOptions bad;
+  bad.max_arm_nodes = 0;
+  bad.max_amd_nodes = 0;
+  EXPECT_THROW(markdown_report(*workload_, *arm_, *amd_, bad),
+               ContractViolation);
+  ReportOptions bad_factor;
+  bad_factor.deadline_factors = {0.5};
+  EXPECT_THROW(markdown_report(*workload_, *arm_, *amd_, bad_factor),
+               ContractViolation);
+}
+
+TEST(MarkdownTable, PipesEscapedAndAlignmentEmitted) {
+  TablePrinter table({"name", "value"});
+  table.set_alignment({Align::kLeft, Align::kRight});
+  table.add_row({"a|b", "1"});
+  std::ostringstream out;
+  table.print_markdown(out);
+  const std::string md = out.str();
+  EXPECT_NE(md.find("a\\|b"), std::string::npos);
+  EXPECT_NE(md.find("|---|---:|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hec

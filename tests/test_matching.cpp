@@ -1,0 +1,119 @@
+#include "hec/model/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit, double wpi) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = wpi;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+NodeTypeModel arm_model() {
+  return NodeTypeModel(arm_cortex_a9(), make_inputs(160.0, 0.9),
+                       make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+}
+
+NodeTypeModel amd_model() {
+  return NodeTypeModel(amd_opteron_k10(), make_inputs(120.0, 0.75),
+                       make_power({0.8, 1.5, 2.1}, 45.0));
+}
+
+TEST(MatchSplit, SharesSumToTotal) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const MatchedSplit split =
+      match_split(a, {4, 4, 1.4}, b, {2, 6, 2.1}, 1e6);
+  EXPECT_NEAR(split.units_a + split.units_b, 1e6, 1e-6);
+  EXPECT_GT(split.units_a, 0.0);
+  EXPECT_GT(split.units_b, 0.0);
+}
+
+TEST(MatchSplit, BothSidesFinishTogether) {
+  // Eq. 1: T_ARM == T_AMD under the matched split.
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const NodeConfig ca{4, 4, 1.4}, cb{2, 6, 2.1};
+  const MatchedSplit split = match_split(a, ca, b, cb, 1e6);
+  const double t_a = a.predict(split.units_a, ca).t_s;
+  const double t_b = b.predict(split.units_b, cb).t_s;
+  EXPECT_NEAR(t_a, t_b, 1e-9 * std::max(t_a, t_b));
+  EXPECT_NEAR(split.t_s, t_a, 1e-9 * t_a);
+}
+
+TEST(MatchSplit, FasterSideGetsMoreWork) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  // 2 AMD nodes at full tilt out-rate 1 ARM node at minimum frequency.
+  const MatchedSplit split =
+      match_split(a, {1, 1, 0.2}, b, {2, 6, 2.1}, 1e6);
+  EXPECT_GT(split.units_b, split.units_a * 10.0);
+}
+
+TEST(MatchSplit, AgreesWithBisection) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const NodeConfig ca{7, 3, 0.8}, cb{3, 4, 1.5};
+  const MatchedSplit closed = match_split(a, ca, b, cb, 5e5);
+  const MatchedSplit bisect = match_split_bisect(a, ca, b, cb, 5e5);
+  EXPECT_NEAR(closed.units_a, bisect.units_a, 5e5 * 1e-6);
+  EXPECT_NEAR(closed.t_s, bisect.t_s, closed.t_s * 1e-6);
+}
+
+TEST(MatchSplit, ScalesLinearlyWithWork) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const NodeConfig ca{4, 4, 1.4}, cb{2, 6, 2.1};
+  const MatchedSplit small = match_split(a, ca, b, cb, 1e5);
+  const MatchedSplit large = match_split(a, ca, b, cb, 1e6);
+  EXPECT_NEAR(large.units_a, 10.0 * small.units_a, 1e-3);
+  EXPECT_NEAR(large.t_s, 10.0 * small.t_s, large.t_s * 1e-9);
+}
+
+TEST(MatchSplit, RejectsNonPositiveWork) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  EXPECT_THROW(match_split(a, {1, 1, 0.2}, b, {1, 1, 0.8}, 0.0),
+               ContractViolation);
+}
+
+TEST(PredictMixed, CombinesEnergiesPerEq12) {
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const NodeConfig ca{4, 4, 1.4}, cb{2, 6, 2.1};
+  const MixedPrediction mixed = predict_mixed(a, ca, b, cb, 1e6);
+  EXPECT_NEAR(mixed.energy_j,
+              mixed.a.energy_j() + mixed.b.energy_j(), 1e-9);
+  EXPECT_NEAR(mixed.t_s, mixed.a.t_s, mixed.t_s * 1e-9);
+  EXPECT_NEAR(mixed.t_s, mixed.b.t_s, mixed.t_s * 1e-9);
+}
+
+TEST(PredictMixed, MatchingBeatsNaiveSplitOnEnergyTime) {
+  // The matched split minimises completion time among all splits for the
+  // same configuration: any other split makes one side slower.
+  const NodeTypeModel a = arm_model(), b = amd_model();
+  const NodeConfig ca{4, 4, 1.4}, cb{2, 6, 2.1};
+  const double w = 1e6;
+  const MixedPrediction matched = predict_mixed(a, ca, b, cb, w);
+  for (double frac : {0.1, 0.3, 0.7, 0.9}) {
+    const double t_a = a.predict(w * frac, ca).t_s;
+    const double t_b = b.predict(w * (1.0 - frac), cb).t_s;
+    EXPECT_GE(std::max(t_a, t_b), matched.t_s * (1.0 - 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,74 @@
+#include "hec/queueing/md1.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(MD1, UtilizationIsLambdaTimesService) {
+  const MD1Queue q(2.0, 0.25);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.5);
+}
+
+TEST(MD1, PollaczekKhinchineWait) {
+  // Wq = rho * S / (2 (1 - rho)); at rho = 0.5, S = 0.25: Wq = 0.125.
+  const MD1Queue q(2.0, 0.25);
+  EXPECT_DOUBLE_EQ(q.mean_wait_s(), 0.125);
+  EXPECT_DOUBLE_EQ(q.mean_response_s(), 0.375);
+}
+
+TEST(MD1, ZeroArrivalsMeansNoWaiting) {
+  const MD1Queue q(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait_s(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_response_s(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_jobs_in_system(), 0.0);
+}
+
+TEST(MD1, WaitGrowsWithUtilization) {
+  double prev = -1.0;
+  for (double u : {0.05, 0.25, 0.5, 0.8, 0.95}) {
+    const MD1Queue q(u / 0.1, 0.1);
+    EXPECT_GT(q.mean_wait_s(), prev);
+    prev = q.mean_wait_s();
+  }
+}
+
+TEST(MD1, WaitDivergesNearSaturation) {
+  const MD1Queue q(9.99, 0.1);  // rho = 0.999
+  EXPECT_GT(q.mean_wait_s(), 10.0 * 0.1);
+}
+
+TEST(MD1, HalfTheMM1Wait) {
+  // Deterministic service halves the M/M/1 queueing delay
+  // (Wq_MM1 = rho S / (1 - rho)).
+  const double rho = 0.6, s = 2.0;
+  const MD1Queue q(rho / s, s);
+  const double mm1 = rho * s / (1.0 - rho);
+  EXPECT_DOUBLE_EQ(q.mean_wait_s(), 0.5 * mm1);
+}
+
+TEST(MD1, LittlesLaw) {
+  const MD1Queue q(3.0, 0.2);
+  EXPECT_DOUBLE_EQ(q.mean_jobs_in_system(),
+                   3.0 * q.mean_response_s());
+}
+
+TEST(MD1, RateForUtilizationRoundTrips) {
+  const double rate = MD1Queue::rate_for_utilization(0.25, 0.04);
+  const MD1Queue q(rate, 0.04);
+  EXPECT_NEAR(q.utilization(), 0.25, 1e-12);
+}
+
+TEST(MD1, RejectsUnstableOrInvalidInput) {
+  EXPECT_THROW(MD1Queue(10.0, 0.1), ContractViolation);   // rho = 1
+  EXPECT_THROW(MD1Queue(11.0, 0.1), ContractViolation);   // rho > 1
+  EXPECT_THROW(MD1Queue(-1.0, 0.1), ContractViolation);
+  EXPECT_THROW(MD1Queue(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(MD1Queue::rate_for_utilization(1.0, 0.1), ContractViolation);
+  EXPECT_THROW(MD1Queue::rate_for_utilization(0.5, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

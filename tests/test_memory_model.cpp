@@ -1,0 +1,94 @@
+#include "hec/sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(MemoryModel, MissCostGrowsWithFrequency) {
+  const NodeSpec arm = arm_cortex_a9();
+  const MemoryModel model(arm);
+  double prev = 0.0;
+  for (double f : arm.pstates.frequencies_ghz()) {
+    const double cost = model.miss_cycles(f, 1);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(MemoryModel, MissCostIsAffineInFrequency) {
+  // The DRAM portion is fixed wall-clock, so in cycles it is exactly
+  // linear in f with intercept = on-chip fixed cycles (paper Fig. 3).
+  const NodeSpec amd = amd_opteron_k10();
+  const MemoryModel model(amd);
+  const double c1 = model.miss_cycles(1.0, 1);
+  // miss_cycles(f) interpolated between two measured points must land
+  // exactly on the line through them.
+  const double at_08 = model.miss_cycles(0.8, 1);
+  const double at_21 = model.miss_cycles(2.1, 1);
+  const double slope = (at_21 - at_08) / (2.1 - 0.8);
+  EXPECT_NEAR(c1, at_08 + slope * (1.0 - 0.8), 1e-9);
+  EXPECT_NEAR(at_08 - slope * 0.8, amd.miss_fixed_cycles, 1e-9);
+}
+
+TEST(MemoryModel, ContentionGrowsWithActiveCores) {
+  const NodeSpec arm = arm_cortex_a9();
+  const MemoryModel model(arm);
+  double prev = 0.0;
+  for (int c = 1; c <= arm.cores; ++c) {
+    const double cost = model.miss_cycles(1.4, c);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(MemoryModel, SingleCoreHasNoContentionPenalty) {
+  const NodeSpec arm = arm_cortex_a9();
+  const MemoryModel model(arm);
+  EXPECT_NEAR(model.miss_cycles(1.0, 1),
+              arm.miss_fixed_cycles + arm.dram_latency_ns * 1.0, 1e-9);
+}
+
+TEST(MemoryModel, SpiMemScalesWithMissRate) {
+  const NodeSpec amd = amd_opteron_k10();
+  const MemoryModel model(amd);
+  PhaseDemand light;
+  light.mem_misses_per_kinst = 1.0;
+  PhaseDemand heavy = light;
+  heavy.mem_misses_per_kinst = 10.0;
+  const double s_light = model.spi_mem(light, 2.1, 6);
+  const double s_heavy = model.spi_mem(heavy, 2.1, 6);
+  EXPECT_NEAR(s_heavy, 10.0 * s_light, 1e-9);
+}
+
+TEST(MemoryModel, ZeroMissesMeansZeroStalls) {
+  const MemoryModel model(arm_cortex_a9());
+  PhaseDemand none;
+  none.mem_misses_per_kinst = 0.0;
+  EXPECT_DOUBLE_EQ(model.spi_mem(none, 1.4, 4), 0.0);
+}
+
+TEST(MemoryModel, RejectsInvalidArguments) {
+  const NodeSpec arm = arm_cortex_a9();
+  const MemoryModel model(arm);
+  EXPECT_THROW(model.miss_cycles(0.0, 1), ContractViolation);
+  EXPECT_THROW(model.miss_cycles(1.0, 0), ContractViolation);
+  EXPECT_THROW(model.miss_cycles(1.0, arm.cores + 1), ContractViolation);
+}
+
+TEST(MemoryModel, ArmMissesCostMoreCyclesPerNsThanAmdAtSameFreq) {
+  // LP-DDR2 latency exceeds DDR3 latency; at equal frequency an ARM miss
+  // stalls longer (one driver of the x264 PPR gap in Table 5).
+  const MemoryModel arm_model(arm_cortex_a9());
+  const MemoryModel amd_model(amd_opteron_k10());
+  EXPECT_GT(arm_model.miss_cycles(1.0, 1) - arm_cortex_a9().miss_fixed_cycles,
+            amd_model.miss_cycles(1.0, 1) - amd_opteron_k10().miss_fixed_cycles);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,153 @@
+// Property-style sweeps of the analytical model across every
+// (workload, node type) pair: monotonicity, linearity, envelope and
+// validation invariants that must hold regardless of calibration.
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/sim/node_sim.h"
+#include "hec/stats/summary.h"
+
+namespace hec {
+namespace {
+
+struct Case {
+  std::string workload;
+  bool arm;  ///< true: ARM Cortex-A9, false: AMD Opteron K10
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.workload + (info.param.arm ? "_arm" : "_amd");
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class ModelProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  static CharacterizeOptions opts() {
+    CharacterizeOptions o;
+    o.baseline_units = 6000.0;
+    return o;
+  }
+
+  NodeSpec spec() const {
+    return GetParam().arm ? arm_cortex_a9() : amd_opteron_k10();
+  }
+  Workload workload() const { return find_workload(GetParam().workload); }
+  NodeTypeModel model() const {
+    return build_node_model(spec(), workload(), opts());
+  }
+  double probe_units() const {
+    return std::min(workload().validation_units, 100000.0);
+  }
+};
+
+TEST_P(ModelProperty, TimeNonIncreasingInNodes) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  double prev = 1e300;
+  for (int n = 1; n <= 16; n *= 2) {
+    const double t =
+        m.predict(probe_units(),
+                  NodeConfig{n, s.cores, s.pstates.max_ghz()})
+            .t_s;
+    EXPECT_LE(t, prev * (1.0 + 1e-12)) << "n=" << n;
+    prev = t;
+  }
+}
+
+TEST_P(ModelProperty, TimeNonIncreasingInFrequency) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  double prev = 1e300;
+  for (double f : s.pstates.frequencies_ghz()) {
+    const double t =
+        m.predict(probe_units(), NodeConfig{1, s.cores, f}).t_s;
+    EXPECT_LE(t, prev * (1.0 + 1e-12)) << "f=" << f;
+    prev = t;
+  }
+}
+
+TEST_P(ModelProperty, TimeNonIncreasingInCores) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  double prev = 1e300;
+  for (int c = 1; c <= s.cores; ++c) {
+    const double t =
+        m.predict(probe_units(), NodeConfig{1, c, s.pstates.max_ghz()}).t_s;
+    EXPECT_LE(t, prev * (1.0 + 1e-12)) << "c=" << c;
+    prev = t;
+  }
+}
+
+TEST_P(ModelProperty, EnergyWithinPowerEnvelope) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  for (int c : {1, s.cores}) {
+    for (double f : s.pstates.frequencies_ghz()) {
+      const Prediction p = m.predict(probe_units(), NodeConfig{2, c, f});
+      const double avg_w = p.energy_j() / p.t_s / 2.0;  // per node
+      EXPECT_GE(avg_w, m.power().idle_w * 0.98) << c << "@" << f;
+      EXPECT_LE(avg_w, s.peak_node_w() * 1.10) << c << "@" << f;
+    }
+  }
+}
+
+TEST_P(ModelProperty, TimeAndEnergyLinearInWork) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  const NodeConfig cfg{2, s.cores, s.pstates.max_ghz()};
+  const Prediction small = m.predict(probe_units(), cfg);
+  const Prediction large = m.predict(probe_units() * 7.0, cfg);
+  EXPECT_NEAR(large.t_s, 7.0 * small.t_s, small.t_s * 1e-9);
+  EXPECT_NEAR(large.energy_j(), 7.0 * small.energy_j(),
+              small.energy_j() * 1e-9);
+}
+
+TEST_P(ModelProperty, ValidationErrorWithinPaperBound) {
+  const NodeTypeModel m = model();
+  const NodeSpec s = spec();
+  const Workload w = workload();
+  RelativeError t_err, e_err;
+  std::uint64_t seed = 2024;
+  for (int c : {1, s.cores}) {
+    for (double f : {s.pstates.min_ghz(), s.pstates.max_ghz()}) {
+      const Prediction pred =
+          m.predict(probe_units(), NodeConfig{1, c, f});
+      RunConfig rc;
+      rc.cores_used = c;
+      rc.f_ghz = f;
+      rc.work_units = probe_units();
+      rc.seed = seed++;
+      const RunResult meas = simulate_node(s, w.demand_for(s.isa), rc);
+      t_err.add(pred.t_s, meas.wall_s);
+      e_err.add(pred.energy_j(), meas.energy.total_j());
+    }
+  }
+  EXPECT_LT(t_err.mean_pct(), 15.0);
+  EXPECT_LT(e_err.mean_pct(), 15.0);
+}
+
+TEST_P(ModelProperty, SpiMemRegressionIsStrong) {
+  const NodeTypeModel m = model();
+  for (const LinearFit& fit : m.workload().spi_mem_by_cores) {
+    if (m.workload().spi_mem_by_cores.front().slope == 0.0) break;
+    EXPECT_GE(fit.r_squared, 0.94);  // paper Fig. 3 bound
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsBothNodes, ModelProperty,
+    ::testing::Values(Case{"EP", true}, Case{"EP", false},
+                      Case{"memcached", true}, Case{"memcached", false},
+                      Case{"x264", true}, Case{"x264", false},
+                      Case{"blackscholes", true},
+                      Case{"blackscholes", false}, Case{"Julius", true},
+                      Case{"Julius", false}, Case{"RSA-2048", true},
+                      Case{"RSA-2048", false}),
+    case_name);
+
+}  // namespace
+}  // namespace hec

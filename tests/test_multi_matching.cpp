@@ -1,0 +1,120 @@
+#include "hec/model/multi_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/matching.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+struct ThreeModels {
+  NodeTypeModel a9{arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4)};
+  NodeTypeModel a15{arm_cortex_a15(), make_inputs(150.0),
+                    make_power({0.6, 1.0, 1.4, 1.8}, 2.0)};
+  NodeTypeModel k10{amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0)};
+};
+
+TEST(MultiMatch, SharesSumToTotal) {
+  const ThreeModels m;
+  const std::vector<TypedDeployment> deps{
+      {&m.a9, NodeConfig{4, 4, 1.4}},
+      {&m.a15, NodeConfig{2, 4, 1.8}},
+      {&m.k10, NodeConfig{1, 6, 2.1}}};
+  const auto shares = match_split_multi(deps, 1e6);
+  ASSERT_EQ(shares.size(), 3u);
+  double total = 0.0;
+  for (double s : shares) {
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1e6, 1e-6);
+}
+
+TEST(MultiMatch, AllDeploymentsFinishTogether) {
+  const ThreeModels m;
+  const std::vector<TypedDeployment> deps{
+      {&m.a9, NodeConfig{4, 4, 1.4}},
+      {&m.a15, NodeConfig{2, 4, 1.8}},
+      {&m.k10, NodeConfig{1, 6, 2.1}}};
+  const MultiPrediction pred = predict_multi(deps, 1e6);
+  ASSERT_EQ(pred.parts.size(), 3u);
+  for (const Prediction& p : pred.parts) {
+    EXPECT_NEAR(p.t_s, pred.t_s, pred.t_s * 1e-9);
+  }
+}
+
+TEST(MultiMatch, TwoTypesReduceToPairwiseMatching) {
+  const ThreeModels m;
+  const NodeConfig ca{4, 4, 1.4}, cb{2, 6, 2.1};
+  const std::vector<TypedDeployment> deps{{&m.a9, ca}, {&m.k10, cb}};
+  const auto shares = match_split_multi(deps, 5e5);
+  const MatchedSplit pairwise = match_split(m.a9, ca, m.k10, cb, 5e5);
+  EXPECT_NEAR(shares[0], pairwise.units_a, 1e-6);
+  EXPECT_NEAR(shares[1], pairwise.units_b, 1e-6);
+}
+
+TEST(MultiMatch, SingleTypeGetsEverything) {
+  const ThreeModels m;
+  const std::vector<TypedDeployment> deps{{&m.k10, NodeConfig{2, 6, 2.1}}};
+  const auto shares = match_split_multi(deps, 1000.0);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_DOUBLE_EQ(shares[0], 1000.0);
+}
+
+TEST(MultiMatch, EnergyIsSumOfParts) {
+  const ThreeModels m;
+  const std::vector<TypedDeployment> deps{
+      {&m.a9, NodeConfig{4, 4, 1.4}}, {&m.a15, NodeConfig{2, 4, 1.8}}};
+  const MultiPrediction pred = predict_multi(deps, 1e5);
+  EXPECT_NEAR(pred.energy_j,
+              pred.parts[0].energy_j() + pred.parts[1].energy_j(), 1e-9);
+}
+
+TEST(MultiMatch, FasterTierCarriesMoreWork) {
+  const ThreeModels m;
+  const std::vector<TypedDeployment> deps{
+      {&m.a9, NodeConfig{1, 1, 0.2}},   // slowest tier
+      {&m.a15, NodeConfig{1, 4, 1.8}},  // middle tier
+      {&m.k10, NodeConfig{4, 6, 2.1}}};  // fastest tier
+  const auto shares = match_split_multi(deps, 1e6);
+  EXPECT_LT(shares[0], shares[1]);
+  EXPECT_LT(shares[1], shares[2]);
+}
+
+TEST(MultiMatch, RejectsInvalidInput) {
+  const ThreeModels m;
+  EXPECT_THROW(match_split_multi({}, 1.0), ContractViolation);
+  const std::vector<TypedDeployment> deps{{&m.a9, NodeConfig{1, 1, 0.2}}};
+  EXPECT_THROW(match_split_multi(deps, 0.0), ContractViolation);
+  const std::vector<TypedDeployment> null_model{
+      {nullptr, NodeConfig{1, 1, 0.2}}};
+  EXPECT_THROW(match_split_multi(null_model, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,131 @@
+#include "hec/config/multi_space.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/matching.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+TEST(MultiSpace, CountMatchesClosedForm) {
+  const std::vector<NodeSpec> specs{arm_cortex_a9(), amd_opteron_k10()};
+  const std::vector<int> limits{2, 1};
+  // Per type: 1 + n*c*f -> ARM: 1 + 2*4*5 = 41; AMD: 1 + 1*6*3 = 19.
+  EXPECT_EQ(expected_multi_count(specs, limits), 41u * 19u - 1u);
+  const auto configs = enumerate_multi(specs, limits);
+  EXPECT_EQ(configs.size(), 41u * 19u - 1u);
+}
+
+TEST(MultiSpace, TwoTypeCountMatchesFootnote2Structure) {
+  // The 2-type multi enumeration contains exactly the paper's 36,380
+  // points when limits are 10+10 (heterogeneous + both homogeneous).
+  const std::vector<NodeSpec> specs{arm_cortex_a9(), amd_opteron_k10()};
+  const std::vector<int> limits{10, 10};
+  EXPECT_EQ(expected_multi_count(specs, limits),
+            201u * 181u - 1u);  // = 36,380
+  EXPECT_EQ(expected_multi_count(specs, limits), 36380u);
+}
+
+TEST(MultiSpace, ThreeTypesEnumerate) {
+  const std::vector<NodeSpec> specs{arm_cortex_a9(), arm_cortex_a15(),
+                                    amd_opteron_k10()};
+  const std::vector<int> limits{1, 1, 1};
+  const auto configs = enumerate_multi(specs, limits);
+  // 21 * 17 * 19 - 1 (A15: 4 cores x 4 P-states).
+  EXPECT_EQ(configs.size(), 21u * 17u * 19u - 1u);
+  for (const auto& c : configs) {
+    EXPECT_GE(c.types_used(), 1);
+    EXPECT_EQ(c.per_type.size(), 3u);
+  }
+}
+
+TEST(MultiSpace, CapGuardsExplosion) {
+  const std::vector<NodeSpec> specs{arm_cortex_a9(), amd_opteron_k10()};
+  const std::vector<int> limits{100, 100};
+  EXPECT_THROW(enumerate_multi(specs, limits, 1000), std::length_error);
+}
+
+TEST(MultiEvaluator, MatchesTwoTypeEvaluator) {
+  NodeTypeModel a9(arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+  NodeTypeModel k10(amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0));
+  const MultiEvaluator multi({&a9, &k10});
+  MultiClusterConfig config;
+  config.per_type = {NodeConfig{4, 4, 1.4}, NodeConfig{2, 6, 2.1}};
+  const MultiOutcome out = multi.evaluate(config, 1e6);
+  const MixedPrediction pairwise = predict_mixed(
+      a9, config.per_type[0], k10, config.per_type[1], 1e6);
+  EXPECT_NEAR(out.t_s, pairwise.t_s, pairwise.t_s * 1e-9);
+  EXPECT_NEAR(out.energy_j, pairwise.energy_j, pairwise.energy_j * 1e-9);
+  EXPECT_NEAR(out.shares[0], pairwise.split.units_a, 1e-6);
+}
+
+TEST(MultiEvaluator, AbsentTypesGetZeroShare) {
+  NodeTypeModel a9(arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+  NodeTypeModel k10(amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0));
+  const MultiEvaluator multi({&a9, &k10});
+  MultiClusterConfig config;
+  config.per_type = {NodeConfig{4, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  const MultiOutcome out = multi.evaluate(config, 1000.0);
+  EXPECT_DOUBLE_EQ(out.shares[0], 1000.0);
+  EXPECT_DOUBLE_EQ(out.shares[1], 0.0);
+}
+
+TEST(MultiEvaluator, ParallelMatchesSerial) {
+  NodeTypeModel a9(arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+  NodeTypeModel k10(amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0));
+  const MultiEvaluator multi({&a9, &k10});
+  const std::vector<NodeSpec> specs{arm_cortex_a9(), amd_opteron_k10()};
+  const std::vector<int> limits{2, 2};
+  const auto configs = enumerate_multi(specs, limits);
+  const auto serial = multi.evaluate_all(configs, 1e5, false);
+  const auto parallel = multi.evaluate_all(configs, 1e5, true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].t_s, parallel[i].t_s);
+    EXPECT_DOUBLE_EQ(serial[i].energy_j, parallel[i].energy_j);
+  }
+}
+
+TEST(MultiEvaluator, RejectsMismatchedConfig) {
+  NodeTypeModel a9(arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+  const MultiEvaluator multi({&a9});
+  MultiClusterConfig two_types;
+  two_types.per_type = {NodeConfig{1, 1, 0.2}, NodeConfig{1, 1, 0.8}};
+  EXPECT_THROW(multi.evaluate(two_types, 1.0), ContractViolation);
+  MultiClusterConfig all_absent;
+  all_absent.per_type = {NodeConfig{0, 1, 0.2}};
+  EXPECT_THROW(multi.evaluate(all_absent, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,74 @@
+#include "hec/sim/nic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hec {
+namespace {
+
+TEST(NicModel, SingleTransferTiming) {
+  NicModel nic(1000.0);  // 1000 B/s
+  const double done = nic.admit(0.0, 500.0);
+  EXPECT_DOUBLE_EQ(done, 0.5);
+  EXPECT_DOUBLE_EQ(nic.busy_s(), 0.5);
+  EXPECT_DOUBLE_EQ(nic.total_bytes(), 500.0);
+}
+
+TEST(NicModel, BackToBackTransfersSerialize) {
+  NicModel nic(100.0);
+  EXPECT_DOUBLE_EQ(nic.admit(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(nic.admit(0.0, 100.0), 2.0);  // waits for the link
+  EXPECT_DOUBLE_EQ(nic.busy_s(), 2.0);
+}
+
+TEST(NicModel, ArrivalLimitedTransfersLeaveGaps) {
+  NicModel nic(100.0);
+  EXPECT_DOUBLE_EQ(nic.admit(0.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(nic.admit(5.0, 10.0), 5.1);  // idle 0.1 .. 5.0
+  EXPECT_DOUBLE_EQ(nic.busy_s(), 0.2);          // only wire time counts
+}
+
+TEST(NicModel, SteadyStateRateIsMaxOfTransferAndArrival) {
+  // Eq. 11's structure: spacing converges to max(transfer, inter-arrival).
+  NicModel fast_link(1e6);
+  double arrival = 0.0;
+  double completion = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    arrival += 0.01;  // inter-arrival 10 ms
+    completion = fast_link.admit(arrival, 100.0);  // transfer 0.1 ms
+  }
+  EXPECT_NEAR(completion, 100 * 0.01 + 1e-4, 1e-9);  // arrival-limited
+
+  NicModel slow_link(1000.0);
+  arrival = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    arrival += 0.01;
+    completion = slow_link.admit(arrival, 100.0);  // transfer 100 ms
+  }
+  EXPECT_NEAR(completion, 0.01 + 100 * 0.1, 1e-9);  // bandwidth-limited
+}
+
+TEST(NicModel, ZeroByteTransferIsInstant) {
+  NicModel nic(100.0);
+  EXPECT_DOUBLE_EQ(nic.admit(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(nic.busy_s(), 0.0);
+}
+
+TEST(NicModel, RejectsInvalidArguments) {
+  EXPECT_THROW(NicModel(0.0), ContractViolation);
+  EXPECT_THROW(NicModel(-5.0), ContractViolation);
+  NicModel nic(10.0);
+  EXPECT_THROW(nic.admit(-1.0, 5.0), ContractViolation);
+  EXPECT_THROW(nic.admit(0.0, -5.0), ContractViolation);
+}
+
+TEST(NicModel, LastCompletionTracksTail) {
+  NicModel nic(10.0);
+  EXPECT_DOUBLE_EQ(nic.last_completion_s(), 0.0);
+  nic.admit(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(nic.last_completion_s(), 1.0);
+  nic.admit(10.0, 10.0);
+  EXPECT_DOUBLE_EQ(nic.last_completion_s(), 11.0);
+}
+
+}  // namespace
+}  // namespace hec

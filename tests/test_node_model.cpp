@@ -1,0 +1,172 @@
+#include "hec/model/node_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+#include "hec/util/units.h"
+
+namespace hec {
+namespace {
+
+// Hand-built inputs with known arithmetic (no characterisation run), so
+// every equation of Section II can be checked in closed form.
+WorkloadInputs cpu_inputs() {
+  WorkloadInputs in;
+  in.inst_per_unit = 1000.0;
+  in.wpi = 0.8;
+  in.spi_core = 0.4;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.1, 1.0, 2},
+                         LinearFit{0.0, 0.15, 1.0, 2},
+                         LinearFit{0.0, 0.2, 1.0, 2},
+                         LinearFit{0.0, 0.25, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+WorkloadInputs io_inputs() {
+  WorkloadInputs in = cpu_inputs();
+  in.ucpu = 0.05;
+  in.io_bytes_per_unit = 800.0;
+  in.io_s_per_unit = 800.0 / units::mbps_to_bytes_per_s(100.0);
+  return in;
+}
+
+PowerParams arm_power() {
+  PowerParams p;
+  p.freqs_ghz = {0.2, 0.5, 0.8, 1.1, 1.4};
+  p.core_active_w = {0.05, 0.12, 0.2, 0.4, 0.7};
+  p.core_stall_w = {0.03, 0.07, 0.12, 0.24, 0.4};
+  p.mem_active_w = 0.45;
+  p.io_active_w = 0.7;
+  p.idle_w = 1.4;
+  return p;
+}
+
+NodeTypeModel cpu_model(EnergyAccounting acc = EnergyAccounting::kOverlapAware) {
+  return NodeTypeModel(arm_cortex_a9(), cpu_inputs(), arm_power(), acc);
+}
+
+TEST(PowerParams, InterpolatesBetweenPStates) {
+  const PowerParams p = arm_power();
+  EXPECT_DOUBLE_EQ(p.core_active_at(0.2), 0.05);
+  EXPECT_DOUBLE_EQ(p.core_active_at(1.4), 0.7);
+  EXPECT_DOUBLE_EQ(p.core_active_at(0.35), 0.5 * (0.05 + 0.12));
+  // Clamped outside the measured range.
+  EXPECT_DOUBLE_EQ(p.core_active_at(0.1), 0.05);
+  EXPECT_DOUBLE_EQ(p.core_stall_at(2.0), 0.4);
+}
+
+TEST(WorkloadInputs, SpiMemUsesPerCoreFits) {
+  const WorkloadInputs in = cpu_inputs();
+  EXPECT_DOUBLE_EQ(in.spi_mem(1.0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(in.spi_mem(1.0, 4), 0.25);
+  EXPECT_DOUBLE_EQ(in.spi_mem(2.0, 2), 0.3);
+  // Core counts beyond the fit range clamp to the last fit.
+  EXPECT_DOUBLE_EQ(in.spi_mem(1.0, 10), 0.25);
+  // Negative extrapolation clamps at zero.
+  WorkloadInputs neg = in;
+  neg.spi_mem_by_cores = {LinearFit{-1.0, 0.1, 1.0, 2}};
+  EXPECT_DOUBLE_EQ(neg.spi_mem(1.0, 1), 0.0);
+}
+
+TEST(NodeTypeModel, CpuBoundTimeMatchesEquations) {
+  const NodeTypeModel m = cpu_model();
+  const NodeConfig cfg{2, 4, 1.4};
+  const double w = 1e6;
+  const Prediction p = m.predict(w, cfg);
+  // Eq. 6: i_core = W * IPs / (n * cact); Eqs. 7-10 with spi_mem = 0.35.
+  const double i_core = w * 1000.0 / (2.0 * 4.0);
+  const double spi_mem = 0.25 * 1.4;
+  const double t_core = i_core * (0.8 + 0.4) / 1.4e9;
+  const double t_mem = i_core * (0.8 + spi_mem) / 1.4e9;
+  EXPECT_NEAR(p.t_core_s, t_core, 1e-12);
+  EXPECT_NEAR(p.t_mem_s, t_mem, 1e-12);
+  EXPECT_NEAR(p.t_cpu_s, std::max(t_core, t_mem), 1e-12);
+  EXPECT_NEAR(p.t_s, p.t_cpu_s, 1e-12);  // no I/O demand
+  EXPECT_DOUBLE_EQ(p.t_io_s, 0.0);
+}
+
+TEST(NodeTypeModel, IoBoundTimeUsesEq11) {
+  const NodeTypeModel m(arm_cortex_a9(), io_inputs(), arm_power());
+  const NodeConfig cfg{4, 4, 1.4};
+  const double w = 50000.0;
+  const Prediction p = m.predict(w, cfg);
+  const double expected_io = w * io_inputs().io_s_per_unit / 4.0;
+  EXPECT_NEAR(p.t_io_s, expected_io, 1e-12);
+  EXPECT_NEAR(p.t_s, expected_io, expected_io * 0.05);  // I/O dominates
+  EXPECT_GE(p.t_s, p.t_cpu_s);
+}
+
+TEST(NodeTypeModel, EnergyDecomposition) {
+  const NodeTypeModel m = cpu_model();
+  const NodeConfig cfg{1, 4, 1.4};
+  const Prediction p = m.predict(1e6, cfg);
+  // Idle floor: Pidle * T (Eq. 14).
+  EXPECT_NEAR(p.energy.idle_j, 1.4 * p.t_s, 1e-9);
+  EXPECT_GT(p.energy.core_j, 0.0);
+  EXPECT_GT(p.energy.mem_j, 0.0);
+  EXPECT_DOUBLE_EQ(p.energy.io_j, 0.0);
+  EXPECT_GT(p.energy_j(), p.energy.idle_j);
+}
+
+TEST(NodeTypeModel, EnergyScalesWithNodes) {
+  const NodeTypeModel m = cpu_model();
+  const Prediction one = m.predict(1e6, NodeConfig{1, 4, 1.4});
+  const Prediction two = m.predict(2e6, NodeConfig{2, 4, 1.4});
+  // Double work on double nodes: same time, double energy.
+  EXPECT_NEAR(two.t_s, one.t_s, 1e-9);
+  EXPECT_NEAR(two.energy_j(), 2.0 * one.energy_j(), 1e-6);
+}
+
+TEST(NodeTypeModel, TimeIsLinearInWork) {
+  const NodeTypeModel m = cpu_model();
+  const NodeConfig cfg{3, 2, 0.8};
+  const double k = m.time_per_unit(cfg);
+  EXPECT_NEAR(m.predict(1e5, cfg).t_s, k * 1e5, 1e-9);
+  EXPECT_NEAR(m.predict(7e5, cfg).t_s, k * 7e5, 1e-6);
+}
+
+TEST(NodeTypeModel, ZeroWorkIsFree) {
+  const NodeTypeModel m = cpu_model();
+  const Prediction p = m.predict(0.0, NodeConfig{1, 1, 0.2});
+  EXPECT_DOUBLE_EQ(p.t_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.energy_j(), 0.0);
+}
+
+TEST(NodeTypeModel, PaperAccountingChargesOnlyCoreStalls) {
+  const Prediction overlap =
+      cpu_model(EnergyAccounting::kOverlapAware).predict(1e6, {1, 4, 1.4});
+  const Prediction paper =
+      cpu_model(EnergyAccounting::kPaperEq17).predict(1e6, {1, 4, 1.4});
+  // Same time model; the energy accounting differs.
+  EXPECT_DOUBLE_EQ(overlap.t_s, paper.t_s);
+  EXPECT_NE(overlap.energy_j(), paper.energy_j());
+}
+
+TEST(NodeTypeModel, RejectsInvalidConfigs) {
+  const NodeTypeModel m = cpu_model();
+  EXPECT_THROW(m.predict(1.0, NodeConfig{0, 4, 1.4}), ContractViolation);
+  EXPECT_THROW(m.predict(1.0, NodeConfig{1, 0, 1.4}), ContractViolation);
+  EXPECT_THROW(m.predict(1.0, NodeConfig{1, 5, 1.4}), ContractViolation);
+  EXPECT_THROW(m.predict(1.0, NodeConfig{1, 4, 1.0}), ContractViolation);
+  EXPECT_THROW(m.predict(-1.0, NodeConfig{1, 4, 1.4}), ContractViolation);
+}
+
+TEST(NodeTypeModel, LowUtilizationShrinksActiveCores) {
+  // cact = UCPU * c: an I/O-bound workload's core energy reflects the few
+  // cores actually busy, not the configured count.
+  WorkloadInputs busy = cpu_inputs();
+  WorkloadInputs starved = cpu_inputs();
+  starved.ucpu = 0.25;
+  const NodeTypeModel busy_m(arm_cortex_a9(), busy, arm_power());
+  const NodeTypeModel starved_m(arm_cortex_a9(), starved, arm_power());
+  const NodeConfig cfg{1, 4, 1.4};
+  // Same total instructions -> same aggregate core-seconds of work, but
+  // the starved node takes ~4x longer (fewer cores active at once).
+  EXPECT_GT(starved_m.predict(1e6, cfg).t_s,
+            3.5 * busy_m.predict(1e6, cfg).t_s);
+}
+
+}  // namespace
+}  // namespace hec

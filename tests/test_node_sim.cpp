@@ -1,0 +1,199 @@
+#include "hec/sim/node_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+#include "hec/util/units.h"
+
+namespace hec {
+namespace {
+
+PhaseDemand compute_demand() {
+  PhaseDemand d;
+  d.instructions_per_unit = 1000.0;
+  d.wpi = 0.8;
+  d.spi_core = 0.5;
+  d.mem_misses_per_kinst = 1.0;
+  return d;
+}
+
+RunConfig quiet_config(int cores, double f, double units,
+                       std::uint64_t seed = 1) {
+  RunConfig cfg;
+  cfg.cores_used = cores;
+  cfg.f_ghz = f;
+  cfg.work_units = units;
+  cfg.seed = seed;
+  cfg.noise_sigma = 0.0;
+  cfg.run_bias_sigma = 0.0;
+  return cfg;
+}
+
+TEST(NodeSim, DeterministicForSameSeed) {
+  const NodeSpec arm = arm_cortex_a9();
+  RunConfig cfg = quiet_config(4, 1.4, 10000.0, 99);
+  cfg.noise_sigma = 0.05;
+  const RunResult a = simulate_node(arm, compute_demand(), cfg);
+  const RunResult b = simulate_node(arm, compute_demand(), cfg);
+  EXPECT_DOUBLE_EQ(a.wall_s, b.wall_s);
+  EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j());
+}
+
+TEST(NodeSim, NoiselessWallTimeMatchesCycleModel) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunResult r = simulate_node(arm, d, quiet_config(1, 1.4, 5000.0));
+  // Single core: stall = max(spi_core, spi_mem(1.4, 1 core)).
+  const double spi_mem =
+      d.mem_misses_per_kinst / 1000.0 *
+      (arm.miss_fixed_cycles + arm.dram_latency_ns * 1.4);
+  const double cycles =
+      5000.0 * d.instructions_per_unit * (d.wpi + std::max(d.spi_core, spi_mem));
+  EXPECT_NEAR(r.wall_s, cycles / units::ghz_to_hz(1.4), 1e-9);
+}
+
+TEST(NodeSim, CountersMatchDemands) {
+  const NodeSpec amd = amd_opteron_k10();
+  const PhaseDemand d = compute_demand();
+  const RunResult r = simulate_node(amd, d, quiet_config(6, 2.1, 12000.0));
+  EXPECT_NEAR(r.counters.instructions, 12000.0 * 1000.0, 1.0);
+  EXPECT_NEAR(r.counters.wpi(), d.wpi, 1e-9);
+  EXPECT_NEAR(r.counters.spi_core(), d.spi_core, 1e-9);
+  EXPECT_NEAR(r.counters.instructions_per_unit(), 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.counters.work_units, 12000.0);
+}
+
+TEST(NodeSim, MoreCoresRunFaster) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  double prev = 1e30;
+  for (int c = 1; c <= arm.cores; ++c) {
+    const RunResult r = simulate_node(arm, d, quiet_config(c, 1.4, 20000.0));
+    EXPECT_LT(r.wall_s, prev);
+    prev = r.wall_s;
+  }
+}
+
+TEST(NodeSim, HigherFrequencyRunsFaster) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  double prev = 1e30;
+  for (double f : arm.pstates.frequencies_ghz()) {
+    const RunResult r = simulate_node(arm, d, quiet_config(4, f, 20000.0));
+    EXPECT_LT(r.wall_s, prev);
+    prev = r.wall_s;
+  }
+}
+
+TEST(NodeSim, ComputeBoundKeepsCoresBusy) {
+  const NodeSpec arm = arm_cortex_a9();
+  const RunResult r =
+      simulate_node(arm, compute_demand(), quiet_config(4, 1.4, 20000.0));
+  EXPECT_GT(r.ucpu(), 0.95);
+}
+
+TEST(NodeSim, IoBoundRunIsNicLimited) {
+  const NodeSpec arm = arm_cortex_a9();  // 100 Mbps
+  PhaseDemand d = compute_demand();
+  d.io_bytes_per_unit = 800.0;
+  d.io_interarrival_s = 5e-6;
+  const double units = 5000.0;
+  const RunResult r = simulate_node(arm, d, quiet_config(4, 1.4, units));
+  const double transfer_limited =
+      units * 800.0 / units::mbps_to_bytes_per_s(100.0);
+  EXPECT_NEAR(r.wall_s, transfer_limited, transfer_limited * 0.02);
+  EXPECT_LT(r.ucpu(), 0.1);  // cores starve behind the NIC
+  EXPECT_GT(r.io_busy_s, 0.9 * r.wall_s);
+}
+
+TEST(NodeSim, IoOverlapsWithCompute) {
+  // A compute-heavy request-driven run: NIC delivery is much faster than
+  // compute, so wall time stays compute-bound (full overlap, Eq. 2).
+  const NodeSpec amd = amd_opteron_k10();  // 1 Gbps
+  PhaseDemand d = compute_demand();
+  d.instructions_per_unit = 1e6;
+  d.io_bytes_per_unit = 100.0;
+  d.io_interarrival_s = 0.0;
+  const RunResult with_io = simulate_node(amd, d, quiet_config(6, 2.1, 2000.0));
+  PhaseDemand no_io = d;
+  no_io.io_bytes_per_unit = 0.0;
+  const RunResult without_io =
+      simulate_node(amd, no_io, quiet_config(6, 2.1, 2000.0));
+  EXPECT_NEAR(with_io.wall_s, without_io.wall_s, without_io.wall_s * 0.05);
+}
+
+TEST(NodeSim, EnergyBreakdownPositiveAndConsistent) {
+  const NodeSpec amd = amd_opteron_k10();
+  const RunResult r =
+      simulate_node(amd, compute_demand(), quiet_config(6, 2.1, 20000.0));
+  EXPECT_GT(r.energy.idle_j, 0.0);
+  EXPECT_GT(r.energy.core_j, 0.0);
+  EXPECT_NEAR(r.energy.idle_j, amd.idle_node_w() * r.wall_s, 1e-6);
+  EXPECT_GT(r.avg_power_w(), amd.idle_node_w());
+  EXPECT_LT(r.avg_power_w(), amd.peak_node_w() * 1.05);
+}
+
+TEST(NodeSim, EnergyScalesRoughlyLinearlyWithWork) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunResult small = simulate_node(arm, d, quiet_config(4, 1.4, 10000.0));
+  const RunResult large = simulate_node(arm, d, quiet_config(4, 1.4, 40000.0));
+  EXPECT_NEAR(large.energy.total_j() / small.energy.total_j(), 4.0, 0.05);
+  EXPECT_NEAR(large.wall_s / small.wall_s, 4.0, 0.05);
+}
+
+TEST(NodeSim, NoiseProducesRunToRunVariation) {
+  const NodeSpec arm = arm_cortex_a9();
+  RunConfig cfg = quiet_config(4, 1.4, 10000.0, 1);
+  cfg.noise_sigma = 0.03;
+  cfg.run_bias_sigma = 0.02;
+  const RunResult a = simulate_node(arm, compute_demand(), cfg);
+  cfg.seed = 2;
+  const RunResult b = simulate_node(arm, compute_demand(), cfg);
+  EXPECT_NE(a.wall_s, b.wall_s);
+  // But within a few percent - the paper's "irregularities among runs".
+  EXPECT_NEAR(a.wall_s / b.wall_s, 1.0, 0.15);
+}
+
+TEST(NodeSim, RejectsInvalidConfigs) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  EXPECT_THROW(simulate_node(arm, d, quiet_config(0, 1.4, 1.0)),
+               ContractViolation);
+  EXPECT_THROW(simulate_node(arm, d, quiet_config(5, 1.4, 1.0)),
+               ContractViolation);
+  EXPECT_THROW(simulate_node(arm, d, quiet_config(4, 1.0, 1.0)),
+               ContractViolation);  // unsupported P-state
+  EXPECT_THROW(simulate_node(arm, d, quiet_config(4, 1.4, 0.0)),
+               ContractViolation);
+}
+
+TEST(NodeSim, MemStallsGrowWithActiveCores) {
+  // Shared memory controller: per-instruction memory stalls are higher
+  // when more cores contend (Section II-B2).
+  const NodeSpec arm = arm_cortex_a9();
+  PhaseDemand d = compute_demand();
+  d.mem_misses_per_kinst = 20.0;
+  const RunResult one = simulate_node(arm, d, quiet_config(1, 1.4, 20000.0));
+  const RunResult four = simulate_node(arm, d, quiet_config(4, 1.4, 20000.0));
+  EXPECT_GT(four.counters.spi_mem(), one.counters.spi_mem());
+}
+
+TEST(MicroBenchmarks, CpuMaxIsPureWork) {
+  const PhaseDemand d = cpu_max_demand();
+  EXPECT_GT(d.instructions_per_unit, 0.0);
+  EXPECT_DOUBLE_EQ(d.spi_core, 0.0);
+  EXPECT_DOUBLE_EQ(d.mem_misses_per_kinst, 0.0);
+}
+
+TEST(MicroBenchmarks, StallStreamIsMissHeavy) {
+  const PhaseDemand d = stall_stream_demand();
+  EXPECT_GT(d.mem_misses_per_kinst, 10.0);
+  EXPECT_LT(d.wpi, 0.5);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,76 @@
+#include "hec/hw/node_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(PStateTable, RequiresAscendingPositive) {
+  EXPECT_NO_THROW(PStateTable({0.2, 0.8, 1.4}));
+  EXPECT_THROW(PStateTable(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(PStateTable({0.8, 0.8}), ContractViolation);
+  EXPECT_THROW(PStateTable({1.4, 0.8}), ContractViolation);
+  EXPECT_THROW(PStateTable({-0.5, 0.8}), ContractViolation);
+}
+
+TEST(PStateTable, MinMaxAndSize) {
+  const PStateTable t({0.2, 0.5, 0.8, 1.1, 1.4});
+  EXPECT_DOUBLE_EQ(t.min_ghz(), 0.2);
+  EXPECT_DOUBLE_EQ(t.max_ghz(), 1.4);
+  EXPECT_EQ(t.size(), 5u);
+}
+
+TEST(PStateTable, SupportsExactFrequenciesOnly) {
+  const PStateTable t({0.8, 1.5, 2.1});
+  EXPECT_TRUE(t.supports(1.5));
+  EXPECT_TRUE(t.supports(1.5 + 1e-12));  // within tolerance
+  EXPECT_FALSE(t.supports(1.0));
+  EXPECT_FALSE(t.supports(2.2));
+}
+
+TEST(PStateTable, CeilPicksNextState) {
+  const PStateTable t({0.8, 1.5, 2.1});
+  EXPECT_DOUBLE_EQ(t.ceil(0.1), 0.8);
+  EXPECT_DOUBLE_EQ(t.ceil(0.9), 1.5);
+  EXPECT_DOUBLE_EQ(t.ceil(2.1), 2.1);
+  EXPECT_THROW(t.ceil(2.2), std::out_of_range);
+}
+
+TEST(CorePowerCurve, EvaluatesCubicForm) {
+  const CorePowerCurve curve{1.0, 2.0, 0.5};
+  EXPECT_DOUBLE_EQ(curve.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.at(2.0), 1.0 + 4.0 + 0.5 * 8.0);
+}
+
+TEST(CorePowerCurve, MonotoneInFrequencyForPositiveCoeffs) {
+  const CorePowerCurve curve{0.05, 0.2, 0.15};
+  double prev = 0.0;
+  for (double f = 0.2; f <= 2.2; f += 0.1) {
+    const double p = curve.at(f);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NodeSpec, IdleAndPeakComposition) {
+  NodeSpec s;
+  s.cores = 2;
+  s.pstates = PStateTable({1.0, 2.0});
+  s.core_active = {1.0, 1.0, 0.0};  // 3 W at 2 GHz
+  s.core_idle_w = 0.5;
+  s.memory_power = {1.0, 2.0};
+  s.io_power = {0.5, 1.0};
+  s.rest_of_system_w = 10.0;
+  EXPECT_DOUBLE_EQ(s.idle_node_w(), 10.0 + 1.0 + 0.5 + 2 * 0.5);
+  EXPECT_DOUBLE_EQ(s.peak_node_w(), 10.0 + 2.0 + 1.0 + 2 * 3.0);
+}
+
+TEST(Isa, ToString) {
+  EXPECT_EQ(to_string(Isa::kArmV7a), "armv7-a");
+  EXPECT_EQ(to_string(Isa::kX86_64), "x86_64");
+}
+
+}  // namespace
+}  // namespace hec

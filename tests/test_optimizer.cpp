@@ -1,0 +1,167 @@
+#include "hec/search/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit, double ucpu = 1.0,
+                           double io_s = 0.0) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = ucpu;
+  in.io_s_per_unit = io_s;
+  if (io_s > 0.0) in.io_bytes_per_unit = 500.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  for (double f : freqs) {
+    p.core_active_w.push_back(0.2 + 0.5 * f);
+    p.core_stall_w.push_back(0.1 + 0.3 * f);
+  }
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+struct Fixture {
+  NodeSpec arm = arm_cortex_a9();
+  NodeSpec amd = amd_opteron_k10();
+  NodeTypeModel arm_model{arm, make_inputs(160.0),
+                          make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4)};
+  NodeTypeModel amd_model{amd, make_inputs(120.0),
+                          make_power({0.8, 1.5, 2.1}, 45.0)};
+  ConfigEvaluator evaluator{arm_model, amd_model};
+  EnumerationLimits limits{6, 6};
+
+  /// Ground truth by exhaustive sweep.
+  std::optional<ConfigOutcome> exhaustive(double work, double deadline) const {
+    const auto configs = enumerate_configs(arm, amd, limits);
+    std::optional<ConfigOutcome> best;
+    for (const auto& c : configs) {
+      const ConfigOutcome o = evaluator.evaluate(c, work);
+      if (o.t_s <= deadline && (!best || o.energy_j < best->energy_j)) {
+        best = o;
+      }
+    }
+    return best;
+  }
+};
+
+TEST(BranchAndBound, MatchesExhaustiveAcrossDeadlines) {
+  const Fixture f;
+  const double w = 1e7;
+  for (double deadline_ms : {50.0, 100.0, 200.0, 400.0, 1000.0}) {
+    const auto truth = f.exhaustive(w, deadline_ms * 1e-3);
+    const auto found = branch_and_bound_search(
+        f.evaluator, f.arm, f.amd, f.limits, w, deadline_ms * 1e-3);
+    ASSERT_EQ(truth.has_value(), found.has_value()) << deadline_ms;
+    if (truth) {
+      EXPECT_NEAR(found->best.energy_j, truth->energy_j,
+                  truth->energy_j * 1e-9)
+          << deadline_ms;
+      EXPECT_LE(found->best.t_s, deadline_ms * 1e-3);
+    }
+  }
+}
+
+TEST(BranchAndBound, PrunesMostOfTheSpace) {
+  const Fixture f;
+  const std::size_t space =
+      expected_config_count(f.arm, f.amd, f.limits);
+  const auto found = branch_and_bound_search(f.evaluator, f.arm, f.amd,
+                                             f.limits, 1e7, 0.4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_LT(found->evaluations, space / 3)
+      << "pruning saved too little: " << found->evaluations << " of "
+      << space;
+}
+
+TEST(BranchAndBound, UnmeetableDeadlineReturnsNothing) {
+  const Fixture f;
+  const auto found = branch_and_bound_search(f.evaluator, f.arm, f.amd,
+                                             f.limits, 1e9, 1e-6);
+  EXPECT_FALSE(found.has_value());
+}
+
+TEST(BranchAndBound, RejectsBadArguments) {
+  const Fixture f;
+  EXPECT_THROW(branch_and_bound_search(f.evaluator, f.arm, f.amd, f.limits,
+                                       0.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(branch_and_bound_search(f.evaluator, f.arm, f.amd, f.limits,
+                                       1.0, 0.0),
+               ContractViolation);
+}
+
+TEST(Greedy, FindsFeasibleNearOptimal) {
+  const Fixture f;
+  const double w = 1e7;
+  for (double deadline_ms : {100.0, 200.0, 500.0}) {
+    const auto truth = f.exhaustive(w, deadline_ms * 1e-3);
+    const auto found = greedy_search(f.evaluator, f.arm, f.amd, f.limits, w,
+                                     deadline_ms * 1e-3);
+    ASSERT_TRUE(truth.has_value());
+    ASSERT_TRUE(found.has_value()) << deadline_ms;
+    EXPECT_LE(found->best.t_s, deadline_ms * 1e-3);
+    // Approximate: within 20% of optimal energy on this landscape.
+    EXPECT_LE(found->best.energy_j, truth->energy_j * 1.20) << deadline_ms;
+  }
+}
+
+TEST(Greedy, UsesFarFewerEvaluationsThanTheSpace) {
+  const Fixture f;
+  const std::size_t space =
+      expected_config_count(f.arm, f.amd, f.limits);
+  const auto found =
+      greedy_search(f.evaluator, f.arm, f.amd, f.limits, 1e7, 0.3);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_LT(found->evaluations, space / 10);
+}
+
+TEST(Greedy, UnmeetableDeadlineReturnsNothing) {
+  const Fixture f;
+  EXPECT_FALSE(
+      greedy_search(f.evaluator, f.arm, f.amd, f.limits, 1e9, 1e-6)
+          .has_value());
+}
+
+TEST(Search, IoBoundLandscape) {
+  // I/O-bound models: energy flat in (c, f); search must still agree.
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  NodeTypeModel arm_model(arm, make_inputs(3000.0, 0.05, 6.4e-5),
+                          make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+  NodeTypeModel amd_model(amd, make_inputs(2200.0, 0.05, 6.4e-6),
+                          make_power({0.8, 1.5, 2.1}, 45.0));
+  const ConfigEvaluator evaluator(arm_model, amd_model);
+  const EnumerationLimits limits{5, 5};
+  const double w = 50000.0;
+  const double deadline = 0.2;
+  const auto bnb = branch_and_bound_search(evaluator, arm, amd, limits, w,
+                                           deadline);
+  ASSERT_TRUE(bnb.has_value());
+  // Cross-check against exhaustive.
+  const auto configs = enumerate_configs(arm, amd, limits);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : configs) {
+    const ConfigOutcome o = evaluator.evaluate(c, w);
+    if (o.t_s <= deadline) best = std::min(best, o.energy_j);
+  }
+  EXPECT_NEAR(bnb->best.energy_j, best, best * 1e-9);
+}
+
+}  // namespace
+}  // namespace hec

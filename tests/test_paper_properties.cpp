@@ -1,0 +1,238 @@
+// End-to-end checks of the paper's qualitative claims: constant WPI
+// across problem scale (Fig. 2), sweet/overlap region structure
+// (Figs. 4-5), heterogeneity beating homogeneity (Observation 1), the
+// substitution-series behaviour (Observation 2) and the queueing
+// amplification (Observation 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hec/config/budget.h"
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/sweet_region.h"
+#include "hec/queueing/window_analysis.h"
+#include "hec/sim/node_sim.h"
+
+namespace hec {
+namespace {
+
+CharacterizeOptions opts() {
+  CharacterizeOptions o;
+  o.baseline_units = 8000.0;
+  return o;
+}
+
+// Shared models: characterisation is the expensive step, do it once.
+class PaperProperties : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    arm_ = new NodeSpec(arm_cortex_a9());
+    amd_ = new NodeSpec(amd_opteron_k10());
+    ep_arm_ = new NodeTypeModel(build_node_model(*arm_, workload_ep(), opts()));
+    ep_amd_ = new NodeTypeModel(build_node_model(*amd_, workload_ep(), opts()));
+    mc_arm_ = new NodeTypeModel(
+        build_node_model(*arm_, workload_memcached(), opts()));
+    mc_amd_ = new NodeTypeModel(
+        build_node_model(*amd_, workload_memcached(), opts()));
+  }
+  static void TearDownTestSuite() {
+    delete arm_;
+    delete amd_;
+    delete ep_arm_;
+    delete ep_amd_;
+    delete mc_arm_;
+    delete mc_amd_;
+  }
+
+  static std::vector<ConfigOutcome> evaluate_space(
+      const NodeTypeModel& arm_model, const NodeTypeModel& amd_model,
+      double work_units) {
+    const auto configs =
+        enumerate_configs(*arm_, *amd_, EnumerationLimits{10, 10});
+    const ConfigEvaluator eval(arm_model, amd_model);
+    return eval.evaluate_all(configs, work_units);
+  }
+
+  static std::vector<TimeEnergyPoint> to_points(
+      const std::vector<ConfigOutcome>& outcomes) {
+    std::vector<TimeEnergyPoint> pts;
+    pts.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      pts.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+    }
+    return pts;
+  }
+
+  static NodeSpec* arm_;
+  static NodeSpec* amd_;
+  static NodeTypeModel* ep_arm_;
+  static NodeTypeModel* ep_amd_;
+  static NodeTypeModel* mc_arm_;
+  static NodeTypeModel* mc_amd_;
+};
+
+NodeSpec* PaperProperties::arm_ = nullptr;
+NodeSpec* PaperProperties::amd_ = nullptr;
+NodeTypeModel* PaperProperties::ep_arm_ = nullptr;
+NodeTypeModel* PaperProperties::ep_amd_ = nullptr;
+NodeTypeModel* PaperProperties::mc_arm_ = nullptr;
+NodeTypeModel* PaperProperties::mc_amd_ = nullptr;
+
+TEST_F(PaperProperties, Fig2WpiConstantAcrossProblemScale) {
+  // Measure WPI and SPIcore at three problem sizes on both ISAs: the
+  // ratios stay constant within measurement noise.
+  const Workload ep_workload = workload_ep();
+  for (const NodeSpec* spec : {arm_, amd_}) {
+    const PhaseDemand& d = ep_workload.demand_for(spec->isa);
+    std::vector<double> wpis, spis;
+    std::uint64_t seed = 31;
+    for (double units : {4000.0, 16000.0, 64000.0}) {
+      RunConfig rc;
+      rc.cores_used = spec->cores;
+      rc.f_ghz = spec->pstates.max_ghz();
+      rc.work_units = units;
+      rc.seed = seed++;
+      const RunResult r = simulate_node(*spec, d, rc);
+      wpis.push_back(r.counters.wpi());
+      spis.push_back(r.counters.spi_core());
+    }
+    for (std::size_t i = 1; i < wpis.size(); ++i) {
+      EXPECT_NEAR(wpis[i], wpis[0], wpis[0] * 0.02) << spec->name;
+      EXPECT_NEAR(spis[i], spis[0], spis[0] * 0.02) << spec->name;
+    }
+  }
+}
+
+TEST_F(PaperProperties, Observation1HeterogeneityBeatsHomogeneity) {
+  const auto outcomes = evaluate_space(*ep_arm_, *ep_amd_, 50e6);
+  const auto frontier = pareto_frontier(to_points(outcomes));
+  const EnergyDeadlineCurve curve(frontier);
+  // At deadlines tighter than ARM-only can reach, heterogeneous mixes
+  // beat the best AMD-only configuration on energy.
+  double best_arm_only_time = 1e300;
+  for (const auto& o : outcomes) {
+    if (o.config.uses_arm() && !o.config.uses_amd()) {
+      best_arm_only_time = std::min(best_arm_only_time, o.t_s);
+    }
+  }
+  const double tight_deadline = best_arm_only_time * 0.8;
+  double best_amd_only = 1e300;
+  for (const auto& o : outcomes) {
+    if (!o.config.uses_arm() && o.t_s <= tight_deadline) {
+      best_amd_only = std::min(best_amd_only, o.energy_j);
+    }
+  }
+  const auto best = curve.best_for_deadline(tight_deadline);
+  ASSERT_TRUE(best.has_value());
+  ASSERT_LT(best_amd_only, 1e300) << "AMD-only cannot meet the deadline";
+  EXPECT_LT(best->energy_j, best_amd_only);
+  EXPECT_TRUE(outcomes[best->tag].config.heterogeneous());
+}
+
+TEST_F(PaperProperties, Fig4EpHasSweetAndOverlapRegions) {
+  const auto outcomes = evaluate_space(*ep_arm_, *ep_amd_, 50e6);
+  const auto frontier = pareto_frontier(to_points(outcomes));
+  auto hetero = [&](std::size_t tag) {
+    return outcomes[tag].config.heterogeneous();
+  };
+  const auto sweet = find_sweet_region(frontier, hetero);
+  ASSERT_TRUE(sweet.has_value());
+  EXPECT_GT(sweet->size(), 5u);
+  EXPECT_LT(sweet->energy_vs_time.slope, 0.0);
+  // Compute-bound: an overlap region of homogeneous configs follows.
+  const auto overlap = find_overlap_region(frontier, hetero);
+  EXPECT_GT(overlap.size(), 0u);
+  for (std::size_t i = overlap.begin; i < overlap.end; ++i) {
+    EXPECT_FALSE(outcomes[frontier[i].tag].config.uses_amd())
+        << "overlap region must be low-power only";
+  }
+}
+
+TEST_F(PaperProperties, Fig5MemcachedHomogeneousEnergyIsFlat) {
+  // The paper's I/O-bound observation: "the energy incurred by memcached
+  // on homogeneous systems is constant even as deadline is relaxed" —
+  // any homogeneous tail on the frontier spans a negligible energy range
+  // (unlike EP's compute-bound overlap region, Fig. 4).
+  const auto outcomes = evaluate_space(*mc_arm_, *mc_amd_, 50000.0);
+  const auto frontier = pareto_frontier(to_points(outcomes));
+  auto hetero = [&](std::size_t tag) {
+    return outcomes[tag].config.heterogeneous();
+  };
+  const auto overlap = find_overlap_region(frontier, hetero);
+  if (overlap.size() >= 2) {
+    const double span = (frontier[overlap.begin].energy_j -
+                         frontier[overlap.end - 1].energy_j) /
+                        frontier[overlap.begin].energy_j;
+    EXPECT_LT(span, 0.02);
+  }
+  // Contrast: ARM-only minimum energy is flat across deadlines.
+  std::vector<double> arm_only_energies;
+  for (const auto& o : outcomes) {
+    if (o.config.uses_arm() && !o.config.uses_amd() &&
+        o.config.arm.nodes == 10) {
+      arm_only_energies.push_back(o.energy_j);
+    }
+  }
+  ASSERT_FALSE(arm_only_energies.empty());
+  const auto [lo, hi] = std::minmax_element(arm_only_energies.begin(),
+                                            arm_only_energies.end());
+  EXPECT_LT((*hi - *lo) / *lo, 0.25);  // no deep energy-time trade
+}
+
+TEST_F(PaperProperties, Observation2SubstitutionIntroducesSweetRegion) {
+  // Budget mixes: ARM 16:AMD 14 reaches lower energy than AMD-only at
+  // relaxed deadlines while AMD 0:16 covers the tightest deadlines.
+  const ConfigEvaluator eval(*mc_arm_, *mc_amd_);
+  const auto amd_only = enumerate_operating_points(*arm_, 0, *amd_, 16);
+  const auto mixed = enumerate_operating_points(*arm_, 16, *amd_, 14);
+  const auto amd_out = eval.evaluate_all(amd_only, 50000.0);
+  const auto mix_out = eval.evaluate_all(mixed, 50000.0);
+  double best_amd = 1e300, best_mix = 1e300;
+  for (const auto& o : amd_out) best_amd = std::min(best_amd, o.energy_j);
+  for (const auto& o : mix_out) best_mix = std::min(best_mix, o.energy_j);
+  EXPECT_LT(best_mix, best_amd);
+}
+
+TEST_F(PaperProperties, Observation4QueueingAmplifiesSavings) {
+  // With idle energy and waiting time in the picture, higher utilisation
+  // raises the energy needed for the same response time.
+  const auto points = enumerate_operating_points(*arm_, 16, *amd_, 14);
+  const ConfigEvaluator eval(*mc_arm_, *mc_amd_);
+  const auto outcomes = eval.evaluate_all(points, 50000.0);
+  std::vector<double> idle_w(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    idle_w[i] = eval.powered_idle_w(outcomes[i].config);
+  }
+  const auto low =
+      window_frontier(window_points(outcomes, idle_w, {20.0, 0.05}));
+  const auto high =
+      window_frontier(window_points(outcomes, idle_w, {20.0, 0.5}));
+  const EnergyDeadlineCurve low_curve(low), high_curve(high);
+  // Compare at a response time both can hit.
+  const double probe =
+      std::max(low_curve.min_time_s(), high_curve.min_time_s()) * 2.0;
+  EXPECT_GT(high_curve.min_energy_j(probe), low_curve.min_energy_j(probe));
+}
+
+TEST_F(PaperProperties, Table5ArmWinsPprOnEp) {
+  // PPR at each type's most efficient configuration (Section IV-A).
+  auto best_ppr = [](const NodeTypeModel& m, const NodeSpec& spec) {
+    double best = 0.0;
+    for (int c = 1; c <= spec.cores; ++c) {
+      for (double f : spec.pstates.frequencies_ghz()) {
+        const Prediction p = m.predict(1e6, NodeConfig{1, c, f});
+        best = std::max(best, 1e6 / p.energy_j());
+      }
+    }
+    return best;
+  };
+  const double arm_ppr = best_ppr(*ep_arm_, *arm_);
+  const double amd_ppr = best_ppr(*ep_amd_, *amd_);
+  EXPECT_GT(arm_ppr, 3.0 * amd_ppr);  // paper: ~4.3x on EP
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,86 @@
+#include "hec/sim/power_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(PowerMeter, IdleFloorIntegratesOverTime) {
+  PowerMeter meter(10.0, 2);
+  const EnergyBreakdown e = meter.finish(5.0);
+  EXPECT_DOUBLE_EQ(e.idle_j, 50.0);
+  EXPECT_DOUBLE_EQ(e.core_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_j(), 50.0);
+}
+
+TEST(PowerMeter, CoreIncrementWindows) {
+  PowerMeter meter(0.0, 2);
+  meter.set_core_power(0, 3.0, 1.0);   // core 0 on at t=1
+  meter.set_core_power(0, 0.0, 4.0);   // off at t=4
+  const EnergyBreakdown e = meter.finish(10.0);
+  EXPECT_DOUBLE_EQ(e.core_j, 9.0);  // 3 W x 3 s
+}
+
+TEST(PowerMeter, MultipleCoresSum) {
+  PowerMeter meter(0.0, 3);
+  meter.set_core_power(0, 1.0, 0.0);
+  meter.set_core_power(1, 2.0, 0.0);
+  meter.set_core_power(2, 4.0, 0.0);
+  const EnergyBreakdown e = meter.finish(2.0);
+  EXPECT_DOUBLE_EQ(e.core_j, 14.0);
+}
+
+TEST(PowerMeter, MemAndIoChannels) {
+  PowerMeter meter(1.0, 1);
+  meter.set_mem_power(0.5, 0.0);
+  meter.set_io_power(0.25, 2.0);
+  const EnergyBreakdown e = meter.finish(4.0);
+  EXPECT_DOUBLE_EQ(e.idle_j, 4.0);
+  EXPECT_DOUBLE_EQ(e.mem_j, 2.0);   // 0.5 W x 4 s
+  EXPECT_DOUBLE_EQ(e.io_j, 0.5);    // 0.25 W x 2 s
+}
+
+TEST(PowerMeter, CurrentPowerReflectsChannels) {
+  PowerMeter meter(2.0, 2);
+  EXPECT_DOUBLE_EQ(meter.current_power_w(), 2.0);
+  meter.set_core_power(1, 1.5, 0.0);
+  meter.set_mem_power(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(meter.current_power_w(), 4.0);
+}
+
+TEST(PowerMeter, TimeMustNotGoBackwards) {
+  PowerMeter meter(1.0, 1);
+  meter.set_core_power(0, 1.0, 5.0);
+  EXPECT_THROW(meter.set_core_power(0, 0.0, 4.0), ContractViolation);
+}
+
+TEST(PowerMeter, RejectsInvalidChannelAndNegativePower) {
+  PowerMeter meter(1.0, 2);
+  EXPECT_THROW(meter.set_core_power(2, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(meter.set_core_power(-1, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(meter.set_core_power(0, -1.0, 0.0), ContractViolation);
+  EXPECT_THROW(meter.set_mem_power(-0.1, 0.0), ContractViolation);
+}
+
+TEST(EnergyBreakdown, AccumulatesComponentwise) {
+  EnergyBreakdown a{1.0, 2.0, 3.0, 4.0};
+  const EnergyBreakdown b{10.0, 20.0, 30.0, 40.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.core_j, 11.0);
+  EXPECT_DOUBLE_EQ(a.mem_j, 22.0);
+  EXPECT_DOUBLE_EQ(a.io_j, 33.0);
+  EXPECT_DOUBLE_EQ(a.idle_j, 44.0);
+  EXPECT_DOUBLE_EQ(a.total_j(), 110.0);
+}
+
+TEST(PowerMeter, FinishIsIdempotentOnTime) {
+  PowerMeter meter(2.0, 1);
+  const EnergyBreakdown first = meter.finish(3.0);
+  const EnergyBreakdown again = meter.finish(3.0);  // no extra time
+  EXPECT_DOUBLE_EQ(first.total_j(), again.total_j());
+}
+
+}  // namespace
+}  // namespace hec

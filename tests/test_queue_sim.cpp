@@ -1,0 +1,110 @@
+#include "hec/queueing/queue_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/queueing/md1.h"
+#include "hec/queueing/variants.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+QueueSimConfig base_config(double rho) {
+  QueueSimConfig cfg;
+  cfg.mean_service_s = 0.1;
+  cfg.arrival_rate_per_s = rho / cfg.mean_service_s;
+  cfg.jobs = 200000;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(QueueSim, MD1WaitMatchesPollaczekKhinchine) {
+  for (double rho : {0.25, 0.5, 0.75}) {
+    QueueSimConfig cfg = base_config(rho);
+    cfg.arrivals = QueueDistribution::kExponential;
+    cfg.service = QueueDistribution::kDeterministic;
+    const QueueSimResult sim = simulate_queue(cfg);
+    const MD1Queue formula(cfg.arrival_rate_per_s, cfg.mean_service_s);
+    EXPECT_NEAR(sim.mean_wait_s, formula.mean_wait_s(),
+                formula.mean_wait_s() * 0.05)
+        << "rho=" << rho;
+    EXPECT_NEAR(sim.utilization, rho, 0.02) << rho;
+  }
+}
+
+TEST(QueueSim, MM1WaitMatchesFormula) {
+  for (double rho : {0.3, 0.6}) {
+    QueueSimConfig cfg = base_config(rho);
+    cfg.service = QueueDistribution::kExponential;
+    const QueueSimResult sim = simulate_queue(cfg);
+    const MM1Queue formula(cfg.arrival_rate_per_s, cfg.mean_service_s);
+    EXPECT_NEAR(sim.mean_wait_s, formula.mean_wait_s(),
+                formula.mean_wait_s() * 0.06)
+        << rho;
+  }
+}
+
+TEST(QueueSim, KingmanApproximatesBurstyTraffic) {
+  // Kingman is a heavy-traffic approximation: test it at rho = 0.85,
+  // where it is known to tighten (at moderate load it overestimates
+  // waits for bursty GI arrivals).
+  QueueSimConfig cfg = base_config(0.85);
+  cfg.arrivals = QueueDistribution::kHyperExp;
+  cfg.service = QueueDistribution::kDeterministic;
+  cfg.jobs = 400000;
+  const QueueSimResult sim = simulate_queue(cfg);
+  const GG1Kingman approx(cfg.arrival_rate_per_s, cfg.mean_service_s,
+                          squared_cv(QueueDistribution::kHyperExp), 0.0);
+  EXPECT_NEAR(sim.mean_wait_s, approx.mean_wait_s(),
+              approx.mean_wait_s() * 0.30);
+  // And burstiness must cost more than Poisson arrivals would.
+  const MD1Queue poisson(cfg.arrival_rate_per_s, cfg.mean_service_s);
+  EXPECT_GT(sim.mean_wait_s, 2.0 * poisson.mean_wait_s());
+}
+
+TEST(QueueSim, DeterministicArrivalsNeverQueueUnderload) {
+  QueueSimConfig cfg = base_config(0.8);
+  cfg.arrivals = QueueDistribution::kDeterministic;
+  cfg.service = QueueDistribution::kDeterministic;
+  const QueueSimResult sim = simulate_queue(cfg);
+  EXPECT_DOUBLE_EQ(sim.mean_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(sim.max_wait_s, 0.0);
+  EXPECT_NEAR(sim.mean_response_s, cfg.mean_service_s, 1e-12);
+}
+
+TEST(QueueSim, WaitGrowsWithUtilization) {
+  double prev = -1.0;
+  for (double rho : {0.2, 0.5, 0.8, 0.92}) {
+    const QueueSimResult sim = simulate_queue(base_config(rho));
+    EXPECT_GT(sim.mean_wait_s, prev) << rho;
+    prev = sim.mean_wait_s;
+  }
+}
+
+TEST(QueueSim, DeterministicPerSeed) {
+  const QueueSimResult a = simulate_queue(base_config(0.5));
+  const QueueSimResult b = simulate_queue(base_config(0.5));
+  EXPECT_DOUBLE_EQ(a.mean_wait_s, b.mean_wait_s);
+  QueueSimConfig other = base_config(0.5);
+  other.seed = 123;
+  EXPECT_NE(simulate_queue(other).mean_wait_s, a.mean_wait_s);
+}
+
+TEST(QueueSim, SquaredCvValues) {
+  EXPECT_DOUBLE_EQ(squared_cv(QueueDistribution::kDeterministic), 0.0);
+  EXPECT_DOUBLE_EQ(squared_cv(QueueDistribution::kExponential), 1.0);
+  EXPECT_NEAR(squared_cv(QueueDistribution::kUniform), 1.0 / 12.0, 1e-12);
+  EXPECT_GT(squared_cv(QueueDistribution::kHyperExp), 3.0);
+}
+
+TEST(QueueSim, RejectsInvalidConfig) {
+  QueueSimConfig cfg = base_config(0.5);
+  cfg.arrival_rate_per_s = 20.0;  // rho = 2
+  EXPECT_THROW(simulate_queue(cfg), ContractViolation);
+  cfg = base_config(0.5);
+  cfg.jobs = cfg.warmup_jobs;
+  EXPECT_THROW(simulate_queue(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,75 @@
+#include "hec/queueing/variants.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/queueing/md1.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(MM1, ClassicWaitFormula) {
+  // Wq = rho S / (1 - rho); rho = 0.5, S = 0.2 -> 0.2.
+  const MM1Queue q(2.5, 0.2);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(q.mean_wait_s(), 0.2);
+  EXPECT_DOUBLE_EQ(q.mean_response_s(), 0.4);
+}
+
+TEST(MM1, WaitsTwiceTheMD1Wait) {
+  // Deterministic service halves the delay at the same rho.
+  for (double rho : {0.1, 0.5, 0.9}) {
+    const double s = 0.05;
+    const MM1Queue mm1(rho / s, s);
+    const MD1Queue md1(rho / s, s);
+    EXPECT_NEAR(mm1.mean_wait_s(), 2.0 * md1.mean_wait_s(), 1e-12) << rho;
+  }
+}
+
+TEST(MM1, RejectsUnstable) {
+  EXPECT_THROW(MM1Queue(10.0, 0.1), ContractViolation);
+  EXPECT_THROW(MM1Queue(-1.0, 0.1), ContractViolation);
+  EXPECT_THROW(MM1Queue(1.0, 0.0), ContractViolation);
+}
+
+TEST(Kingman, ReducesToMD1) {
+  // (ca2, cs2) = (1, 0) is exactly the M/D/1 P-K formula.
+  for (double rho : {0.05, 0.25, 0.5, 0.8}) {
+    const double s = 0.1;
+    const GG1Kingman gg1(rho / s, s, 1.0, 0.0);
+    const MD1Queue md1(rho / s, s);
+    EXPECT_NEAR(gg1.mean_wait_s(), md1.mean_wait_s(), 1e-12) << rho;
+  }
+}
+
+TEST(Kingman, ReducesToMM1) {
+  for (double rho : {0.1, 0.6}) {
+    const double s = 0.2;
+    const GG1Kingman gg1(rho / s, s, 1.0, 1.0);
+    const MM1Queue mm1(rho / s, s);
+    EXPECT_NEAR(gg1.mean_wait_s(), mm1.mean_wait_s(), 1e-12) << rho;
+  }
+}
+
+TEST(Kingman, BurstierArrivalsWaitLonger) {
+  const double s = 0.1, lambda = 5.0;
+  const GG1Kingman calm(lambda, s, 0.5, 0.0);
+  const GG1Kingman poisson(lambda, s, 1.0, 0.0);
+  const GG1Kingman bursty(lambda, s, 4.0, 0.0);
+  EXPECT_LT(calm.mean_wait_s(), poisson.mean_wait_s());
+  EXPECT_LT(poisson.mean_wait_s(), bursty.mean_wait_s());
+}
+
+TEST(Kingman, DeterministicEverythingNeverWaits) {
+  const GG1Kingman d_d_1(5.0, 0.1, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(d_d_1.mean_wait_s(), 0.0);
+}
+
+TEST(Kingman, RejectsBadParameters) {
+  EXPECT_THROW(GG1Kingman(10.0, 0.1, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(GG1Kingman(1.0, 0.1, -0.5, 0.0), ContractViolation);
+  EXPECT_THROW(GG1Kingman(1.0, 0.1, 1.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

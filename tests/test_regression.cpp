@@ -1,0 +1,96 @@
+#include "hec/stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};  // y = 1 + 2x
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(FitLine, AtEvaluatesTheLine) {
+  const std::vector<double> xs{0.0, 2.0};
+  const std::vector<double> ys{4.0, 8.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.at(1.0), 6.0, 1e-12);
+  EXPECT_NEAR(fit.at(10.0), 24.0, 1e-12);
+}
+
+TEST(FitLine, FlatDataIsPerfectFit) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, NoisyLineHasHighButImperfectR2) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 + 1.5 * x + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 0.05);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), ContractViolation);
+  const std::vector<double> xs{2.0, 2.0};
+  const std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), ContractViolation);  // zero x variance
+  const std::vector<double> mismatched{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(mismatched, ys), ContractViolation);
+}
+
+TEST(Pearson, PerfectCorrelationIsOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelationIsMinusOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{9.0, 6.0, 3.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceReturnsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, MatchesR2OfFit) {
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(2.0 * i + rng.normal(0.0, 10.0));
+  }
+  const double r = pearson(xs, ys);
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(r * r, fit.r_squared, 1e-12);
+}
+
+}  // namespace
+}  // namespace hec

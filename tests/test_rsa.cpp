@@ -1,0 +1,153 @@
+#include "hec/workloads/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+__extension__ typedef unsigned __int128 u128_t;
+
+TEST(BigUInt, BasicConstructionAndBits) {
+  const BigUInt one = BigUInt::one();
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_TRUE(one.bit(0));
+  EXPECT_FALSE(one.bit(1));
+  EXPECT_TRUE(BigUInt::zero().is_zero());
+  const BigUInt x = BigUInt::from_u64(0x8000000000000000ULL);
+  EXPECT_TRUE(x.bit(63));
+  EXPECT_FALSE(x.bit(64));
+}
+
+TEST(BigUInt, CompareOrdersCorrectly) {
+  const BigUInt a = BigUInt::from_u64(5);
+  const BigUInt b = BigUInt::from_u64(9);
+  EXPECT_EQ(compare(a, b), -1);
+  EXPECT_EQ(compare(b, a), 1);
+  EXPECT_EQ(compare(a, a), 0);
+  BigUInt high;
+  high.limb[31] = 1;  // 2^1984 dominates any low limb
+  EXPECT_EQ(compare(high, b), 1);
+}
+
+TEST(BigUInt, AddSubRoundTripWithCarries) {
+  BigUInt a;
+  a.limb[0] = ~0ULL;  // forces a carry chain
+  a.limb[1] = ~0ULL;
+  const BigUInt b = BigUInt::from_u64(1);
+  BigUInt sum = a;
+  EXPECT_EQ(add(sum, b), 0u);
+  EXPECT_EQ(sum.limb[0], 0u);
+  EXPECT_EQ(sum.limb[1], 0u);
+  EXPECT_EQ(sum.limb[2], 1u);
+  BigUInt back = sum;
+  EXPECT_EQ(sub(back, b), 0u);
+  EXPECT_EQ(back, a);
+}
+
+TEST(BigUInt, SubBorrowsBelowZero) {
+  BigUInt a = BigUInt::from_u64(0);
+  EXPECT_EQ(sub(a, BigUInt::one()), 1u);  // wraps with borrow out
+  for (auto l : a.limb) EXPECT_EQ(l, ~0ULL);
+}
+
+TEST(ModAdd, WrapsModulus) {
+  const BigUInt m = BigUInt::from_u64(7);
+  BigUInt a = BigUInt::from_u64(5);
+  mod_add(a, BigUInt::from_u64(4), m);
+  EXPECT_EQ(a, BigUInt::from_u64(2));  // 9 mod 7
+  EXPECT_THROW(mod_add(a, m, m), ContractViolation);  // b >= m
+}
+
+TEST(Montgomery, RequiresOddModulus) {
+  EXPECT_THROW(MontgomeryCtx(BigUInt::from_u64(10)), ContractViolation);
+  EXPECT_THROW(MontgomeryCtx(BigUInt::one()), ContractViolation);
+  EXPECT_NO_THROW(MontgomeryCtx(BigUInt::from_u64(9)));
+}
+
+TEST(Montgomery, RoundTripIsIdentity) {
+  const MontgomeryCtx ctx(rsa_test_modulus(3));
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const BigUInt x = rsa_random_below(ctx.modulus(), rng);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+  }
+}
+
+TEST(Montgomery, SmallModulusMatchesNativeArithmetic) {
+  // A 64-bit modulus inside the 2048-bit container: cross-check modmul
+  // and modexp against native __int128 arithmetic.
+  const std::uint64_t n64 = 0xffffffffffffffc5ULL;  // large odd prime
+  const MontgomeryCtx ctx(BigUInt::from_u64(n64));
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = rng() % n64;
+    const std::uint64_t b = rng() % n64;
+    const auto expected =
+        static_cast<std::uint64_t>((static_cast<u128_t>(a) * b) % n64);
+    const BigUInt prod = ctx.from_mont(
+        ctx.mul(ctx.to_mont(BigUInt::from_u64(a)),
+                ctx.to_mont(BigUInt::from_u64(b))));
+    EXPECT_EQ(prod, BigUInt::from_u64(expected));
+  }
+}
+
+TEST(Montgomery, PowMatchesNaiveSmallCases) {
+  const std::uint64_t n64 = 1000003;  // odd prime
+  const MontgomeryCtx ctx(BigUInt::from_u64(n64));
+  auto naive_pow = [n64](std::uint64_t base, std::uint64_t e) {
+    u128_t acc = 1;
+    for (std::uint64_t i = 0; i < e; ++i) acc = acc * base % n64;
+    return static_cast<std::uint64_t>(acc);
+  };
+  for (std::uint64_t base : {2ULL, 123ULL, 999999ULL}) {
+    for (std::uint64_t e : {0ULL, 1ULL, 2ULL, 17ULL, 100ULL}) {
+      EXPECT_EQ(ctx.pow(BigUInt::from_u64(base), BigUInt::from_u64(e)),
+                BigUInt::from_u64(naive_pow(base, e)))
+          << base << "^" << e;
+    }
+  }
+}
+
+TEST(Montgomery, Pow65537MatchesGenericPow) {
+  const MontgomeryCtx ctx(rsa_test_modulus(11));
+  Rng rng(12);
+  const BigUInt sig = rsa_random_below(ctx.modulus(), rng);
+  EXPECT_EQ(ctx.pow65537(sig),
+            ctx.pow(sig, BigUInt::from_u64(65537)));
+}
+
+TEST(Montgomery, VerificationIsMultiplicative) {
+  // RSA verification is a homomorphism: (ab)^e = a^e b^e mod n.
+  const MontgomeryCtx ctx(rsa_test_modulus(21));
+  Rng rng(22);
+  const BigUInt a = rsa_random_below(ctx.modulus(), rng);
+  const BigUInt b = rsa_random_below(ctx.modulus(), rng);
+  const BigUInt ab =
+      ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+  const BigUInt lhs = ctx.pow65537(ab);
+  const BigUInt rhs = ctx.from_mont(
+      ctx.mul(ctx.to_mont(ctx.pow65537(a)), ctx.to_mont(ctx.pow65537(b))));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RsaHelpers, TestModulusShape) {
+  const BigUInt n = rsa_test_modulus(1);
+  EXPECT_TRUE(n.bit(0));                         // odd
+  EXPECT_TRUE(n.bit(BigUInt::kLimbs * 64 - 1));  // full width
+  EXPECT_EQ(rsa_test_modulus(1), rsa_test_modulus(1));
+  EXPECT_NE(rsa_test_modulus(1), rsa_test_modulus(2));
+}
+
+TEST(RsaHelpers, RandomBelowStaysBelow) {
+  const BigUInt n = rsa_test_modulus(30);
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LT(compare(rsa_random_below(n, rng), n), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,139 @@
+#include "hec/cluster/schedulers.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs(double inst_per_unit) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+struct Fixture {
+  NodeTypeModel arm{arm_cortex_a9(), make_inputs(160.0),
+                    make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4)};
+  NodeTypeModel amd{amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0)};
+  ClusterConfig mixed{NodeConfig{8, 4, 1.4}, NodeConfig{2, 6, 2.1}};
+};
+
+TEST(MatchingScheduler, SharesSumAndFinishTogether) {
+  const Fixture f;
+  const MatchingScheduler sched(f.arm, f.amd);
+  const SplitAssignment split = sched.assign(1e6, f.mixed);
+  EXPECT_NEAR(split.units_arm + split.units_amd, 1e6, 1e-6);
+  const double t_arm = f.arm.predict(split.units_arm, f.mixed.arm).t_s;
+  const double t_amd = f.amd.predict(split.units_amd, f.mixed.amd).t_s;
+  EXPECT_NEAR(t_arm, t_amd, std::max(t_arm, t_amd) * 1e-9);
+  EXPECT_EQ(sched.name(), "mix-and-match");
+}
+
+TEST(MatchingScheduler, HomogeneousGetsEverything) {
+  const Fixture f;
+  const MatchingScheduler sched(f.arm, f.amd);
+  ClusterConfig arm_only = f.mixed;
+  arm_only.amd.nodes = 0;
+  const SplitAssignment split = sched.assign(1e5, arm_only);
+  EXPECT_DOUBLE_EQ(split.units_arm, 1e5);
+  EXPECT_DOUBLE_EQ(split.units_amd, 0.0);
+}
+
+TEST(EqualSplitScheduler, SplitsByNodeCount) {
+  const Fixture f;
+  const EqualSplitScheduler sched;
+  const SplitAssignment split = sched.assign(1000.0, f.mixed);
+  EXPECT_DOUBLE_EQ(split.units_arm, 800.0);  // 8 of 10 nodes
+  EXPECT_DOUBLE_EQ(split.units_amd, 200.0);
+}
+
+TEST(EqualSplitScheduler, LeavesFasterSideIdle) {
+  // Equal split ignores per-node speed: completion is worse than matched.
+  const Fixture f;
+  const MatchingScheduler matched(f.arm, f.amd);
+  const EqualSplitScheduler equal;
+  const double w = 1e6;
+  auto completion = [&](const SplitAssignment& s) {
+    return std::max(f.arm.predict(s.units_arm, f.mixed.arm).t_s,
+                    f.amd.predict(s.units_amd, f.mixed.amd).t_s);
+  };
+  EXPECT_GT(completion(equal.assign(w, f.mixed)),
+            completion(matched.assign(w, f.mixed)) * 1.05);
+}
+
+TEST(CoreProportionalScheduler, UsesAggregateGhz) {
+  const Fixture f;
+  const CoreProportionalScheduler sched;
+  const SplitAssignment split = sched.assign(1000.0, f.mixed);
+  // ARM: 8 x 4 x 1.4 = 44.8 GHz; AMD: 2 x 6 x 2.1 = 25.2 GHz.
+  EXPECT_NEAR(split.units_arm, 1000.0 * 44.8 / 70.0, 1e-9);
+  EXPECT_NEAR(split.units_amd, 1000.0 * 25.2 / 70.0, 1e-9);
+}
+
+TEST(Schedulers, RejectNonPositiveWork) {
+  const Fixture f;
+  const EqualSplitScheduler sched;
+  EXPECT_THROW(sched.assign(0.0, f.mixed), ContractViolation);
+}
+
+TEST(ThresholdSwitch, PrefersLowPowerWhenFeasible) {
+  std::vector<ConfigOutcome> outcomes(3);
+  // ARM-only: slow but cheap.
+  outcomes[0].config = {NodeConfig{8, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  outcomes[0].t_s = 0.5;
+  outcomes[0].energy_j = 2.0;
+  // AMD-only: fast but costly.
+  outcomes[1].config = {NodeConfig{0, 1, 0.2}, NodeConfig{4, 6, 2.1}};
+  outcomes[1].t_s = 0.05;
+  outcomes[1].energy_j = 10.0;
+  // Heterogeneous: must be ignored by the switching baseline.
+  outcomes[2].config = {NodeConfig{8, 4, 1.4}, NodeConfig{4, 6, 2.1}};
+  outcomes[2].t_s = 0.04;
+  outcomes[2].energy_j = 5.0;
+
+  // Relaxed deadline: low-power side wins.
+  auto relaxed = threshold_switch_choice(outcomes, 1.0);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_FALSE(relaxed->config.uses_amd());
+  // Tight deadline: switch to high-performance.
+  auto tight = threshold_switch_choice(outcomes, 0.1);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_FALSE(tight->config.uses_arm());
+  // Impossible deadline: nothing (heterogeneous point excluded).
+  EXPECT_FALSE(threshold_switch_choice(outcomes, 0.045).has_value());
+}
+
+TEST(ThresholdSwitch, PicksCheapestWithinSide) {
+  std::vector<ConfigOutcome> outcomes(2);
+  outcomes[0].config = {NodeConfig{8, 4, 1.4}, NodeConfig{0, 1, 0.8}};
+  outcomes[0].t_s = 0.5;
+  outcomes[0].energy_j = 3.0;
+  outcomes[1].config = {NodeConfig{8, 4, 1.1}, NodeConfig{0, 1, 0.8}};
+  outcomes[1].t_s = 0.6;
+  outcomes[1].energy_j = 2.5;
+  const auto choice = threshold_switch_choice(outcomes, 1.0);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_DOUBLE_EQ(choice->energy_j, 2.5);
+}
+
+}  // namespace
+}  // namespace hec

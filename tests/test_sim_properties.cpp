@@ -1,0 +1,119 @@
+// Property sweeps of the simulator substrate across every (workload,
+// node, operating point): observables must stay inside physical
+// envelopes, respect determinism, and react to knobs in the right
+// direction.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "hec/hw/catalog.h"
+#include "hec/sim/node_sim.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+namespace {
+
+struct SimCase {
+  std::string workload;
+  bool arm;
+  int cores;
+  double f_ghz;
+};
+
+std::string sim_case_name(const ::testing::TestParamInfo<SimCase>& info) {
+  std::string name = info.param.workload + (info.param.arm ? "_arm" : "_amd") +
+                     "_c" + std::to_string(info.param.cores) + "_f" +
+                     std::to_string(static_cast<int>(info.param.f_ghz * 10));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class SimProperty : public ::testing::TestWithParam<SimCase> {
+ protected:
+  NodeSpec spec() const {
+    return GetParam().arm ? arm_cortex_a9() : amd_opteron_k10();
+  }
+  RunResult run(std::uint64_t seed = 11) const {
+    const SimCase& p = GetParam();
+    const NodeSpec s = spec();
+    // Keep the workload alive: demand_for returns a reference into it.
+    const Workload workload = find_workload(p.workload);
+    RunConfig cfg;
+    cfg.cores_used = p.cores;
+    cfg.f_ghz = p.f_ghz;
+    cfg.work_units = 5000.0;
+    cfg.seed = seed;
+    return simulate_node(s, workload.demand_for(s.isa), cfg);
+  }
+};
+
+TEST_P(SimProperty, PowerStaysInsideTheEnvelope) {
+  const NodeSpec s = spec();
+  const RunResult r = run();
+  EXPECT_GE(r.avg_power_w(), s.idle_node_w() * 0.95);
+  EXPECT_LE(r.avg_power_w(), s.peak_node_w() * 1.10);
+}
+
+TEST_P(SimProperty, UtilisationIsAFraction) {
+  const RunResult r = run();
+  EXPECT_GT(r.ucpu(), 0.0);
+  EXPECT_LE(r.ucpu(), 1.0 + 1e-9);
+}
+
+TEST_P(SimProperty, CountersAreConsistent) {
+  const NodeSpec s = spec();
+  const Workload workload = find_workload(GetParam().workload);
+  const PhaseDemand& d = workload.demand_for(s.isa);
+  const RunResult r = run();
+  EXPECT_NEAR(r.counters.instructions_per_unit(), d.instructions_per_unit,
+              d.instructions_per_unit * 0.02);
+  EXPECT_NEAR(r.counters.wpi(), d.wpi, d.wpi * 0.05);
+  EXPECT_GE(r.counters.mem_stall_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.counters.work_units, 5000.0);
+}
+
+TEST_P(SimProperty, DeterministicPerSeedAndSensitiveToIt) {
+  const RunResult a = run(42);
+  const RunResult b = run(42);
+  EXPECT_DOUBLE_EQ(a.wall_s, b.wall_s);
+  EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j());
+  const RunResult c = run(43);
+  EXPECT_NE(a.wall_s, c.wall_s);
+  EXPECT_NEAR(a.wall_s / c.wall_s, 1.0, 0.2);  // but close
+}
+
+TEST_P(SimProperty, EnergyComponentsNonNegativeAndIdleMatchesWall) {
+  const NodeSpec s = spec();
+  const RunResult r = run();
+  EXPECT_GE(r.energy.core_j, 0.0);
+  EXPECT_GE(r.energy.mem_j, 0.0);
+  EXPECT_GE(r.energy.io_j, 0.0);
+  EXPECT_NEAR(r.energy.idle_j, s.idle_node_w() * r.wall_s,
+              r.energy.idle_j * 1e-9);
+}
+
+TEST_P(SimProperty, WallCoversBusyTimePerCore) {
+  const RunResult r = run();
+  // No core can be busy longer than the run (some slack for rounding).
+  EXPECT_LE(r.cpu_busy_s,
+            r.wall_s * static_cast<double>(r.cores_used) * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimProperty,
+    ::testing::Values(
+        SimCase{"EP", true, 1, 0.2}, SimCase{"EP", true, 4, 1.4},
+        SimCase{"EP", false, 6, 2.1}, SimCase{"memcached", true, 4, 1.4},
+        SimCase{"memcached", false, 1, 0.8}, SimCase{"x264", true, 4, 0.8},
+        SimCase{"x264", false, 6, 2.1},
+        SimCase{"blackscholes", true, 2, 1.1},
+        SimCase{"blackscholes", false, 3, 1.5},
+        SimCase{"Julius", true, 4, 0.5}, SimCase{"Julius", false, 6, 0.8},
+        SimCase{"RSA-2048", true, 1, 1.4},
+        SimCase{"RSA-2048", false, 2, 2.1}),
+    sim_case_name);
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,100 @@
+#include "hec/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hec/util/expect.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, EmptyQueriesThrow) {
+  Summary s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_THROW(s.max(), ContractViolation);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // defined as 0 below two samples
+}
+
+TEST(Summary, WelfordIsNumericallyStable) {
+  Summary s;
+  // Large offset exposes the naive sum-of-squares formulation.
+  for (int i = 0; i < 10000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(data, 25.0), 1.75);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> data{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> data{7.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadArguments) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50.0), ContractViolation);
+  const std::vector<double> data{1.0};
+  EXPECT_THROW(percentile(data, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(data, 101.0), ContractViolation);
+}
+
+TEST(RelativeError, PaperMetricInPercent) {
+  RelativeError err;
+  err.add(110.0, 100.0);  // 10 %
+  err.add(95.0, 100.0);   // 5 %
+  EXPECT_EQ(err.count(), 2u);
+  EXPECT_NEAR(err.mean_pct(), 7.5, 1e-12);
+  EXPECT_NEAR(err.max_pct(), 10.0, 1e-12);
+  EXPECT_NEAR(err.stddev_pct(), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RelativeError, SymmetricInSign) {
+  RelativeError err;
+  err.add(90.0, 100.0);
+  err.add(110.0, 100.0);
+  EXPECT_NEAR(err.mean_pct(), 10.0, 1e-12);
+}
+
+TEST(RelativeError, RejectsZeroMeasured) {
+  RelativeError err;
+  EXPECT_THROW(err.add(1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,90 @@
+#include "hec/pareto/sweet_region.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+// Synthetic frontier shaped like Fig. 4: a heterogeneous prefix with
+// linearly falling energy, then a homogeneous (overlap) tail. Tags below
+// 100 mark heterogeneous configurations.
+std::vector<TimeEnergyPoint> fig4_like_frontier() {
+  std::vector<TimeEnergyPoint> frontier;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double t = 0.05 + 0.01 * static_cast<double>(i);
+    frontier.push_back({t, 30.0 - 1.5 * static_cast<double>(i), i});
+  }
+  frontier.push_back({0.20, 14.0, 100});  // ARM-only overlap region
+  frontier.push_back({0.25, 13.0, 101});
+  return frontier;
+}
+
+bool is_hetero(std::size_t tag) { return tag < 100; }
+
+TEST(SweetRegion, FindsHeterogeneousPrefix) {
+  const auto frontier = fig4_like_frontier();
+  const auto region = find_sweet_region(frontier, is_hetero);
+  ASSERT_TRUE(region.has_value());
+  EXPECT_EQ(region->begin, 0u);
+  EXPECT_EQ(region->end, 10u);
+  EXPECT_EQ(region->size(), 10u);
+}
+
+TEST(SweetRegion, LinearEnergyGivesPerfectFit) {
+  const auto frontier = fig4_like_frontier();
+  const auto region = find_sweet_region(frontier, is_hetero);
+  ASSERT_TRUE(region.has_value());
+  EXPECT_GT(region->energy_vs_time.r_squared, 0.999);
+  EXPECT_LT(region->energy_vs_time.slope, 0.0);  // relaxing saves energy
+  EXPECT_DOUBLE_EQ(region->energy_upper_j, 30.0);
+  EXPECT_DOUBLE_EQ(region->energy_lower_j, 16.5);
+}
+
+TEST(SweetRegion, RequiresMinimumPoints) {
+  std::vector<TimeEnergyPoint> frontier{
+      {1.0, 10.0, 0}, {2.0, 9.0, 1}, {3.0, 8.0, 200}};
+  EXPECT_FALSE(find_sweet_region(frontier, is_hetero, 3).has_value());
+  EXPECT_TRUE(find_sweet_region(frontier, is_hetero, 2).has_value());
+  EXPECT_THROW(find_sweet_region(frontier, is_hetero, 1),
+               ContractViolation);
+}
+
+TEST(SweetRegion, AbsentWhenFrontierStartsHomogeneous) {
+  std::vector<TimeEnergyPoint> frontier{
+      {1.0, 10.0, 300}, {2.0, 9.0, 0}, {3.0, 8.0, 1}, {4.0, 7.0, 2}};
+  EXPECT_FALSE(find_sweet_region(frontier, is_hetero).has_value());
+}
+
+TEST(OverlapRegion, HomogeneousSuffixLocated) {
+  const auto frontier = fig4_like_frontier();
+  const OverlapRegion overlap = find_overlap_region(frontier, is_hetero);
+  EXPECT_EQ(overlap.begin, 10u);
+  EXPECT_EQ(overlap.end, 12u);
+  EXPECT_EQ(overlap.size(), 2u);
+}
+
+TEST(OverlapRegion, EmptyForFullyHeterogeneousFrontier) {
+  // The paper's I/O-bound case (Fig. 5): no overlap region.
+  std::vector<TimeEnergyPoint> frontier;
+  for (std::size_t i = 0; i < 5; ++i) {
+    frontier.push_back(
+        {1.0 + static_cast<double>(i), 10.0 - static_cast<double>(i), i});
+  }
+  const OverlapRegion overlap = find_overlap_region(frontier, is_hetero);
+  EXPECT_EQ(overlap.size(), 0u);
+  EXPECT_EQ(overlap.begin, frontier.size());
+}
+
+TEST(OverlapRegion, WholeFrontierWhenAllHomogeneous) {
+  std::vector<TimeEnergyPoint> frontier{{1.0, 5.0, 100}, {2.0, 4.0, 101}};
+  const OverlapRegion overlap = find_overlap_region(frontier, is_hetero);
+  EXPECT_EQ(overlap.begin, 0u);
+  EXPECT_EQ(overlap.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,72 @@
+#include "hec/io/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"Program", "Energy"});
+  table.add_row({"EP", "19.2"});
+  table.add_row({"memcached", "21.75"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Right-aligned numeric column: both values end at the same offset.
+  std::istringstream lines(text);
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsEmptyColumns) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+  EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, CustomAlignment) {
+  TablePrinter table({"left", "alsoleft"});
+  table.set_alignment({Align::kLeft, Align::kLeft});
+  table.add_row({"a", "b"});
+  std::ostringstream out;
+  table.print(out);
+  // Left-aligned first column: row starts with the cell then padding.
+  EXPECT_NE(out.str().find("a    "), std::string::npos);
+}
+
+TEST(TablePrinter, AlignmentSizeMustMatch) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.set_alignment({Align::kLeft}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

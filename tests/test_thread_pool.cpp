@@ -1,0 +1,115 @@
+#include "hec/parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ThreadCountRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HonoursBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> touched(10, 0);
+  parallel_for(3, 7, [&](std::size_t i) { touched[i] = 1; }, pool);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], (i >= 3 && i < 7) ? 1 : 0);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; }, pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RejectsInvertedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(5, 3, [](std::size_t) {}, pool),
+               ContractViolation);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("bad index");
+                   },
+                   pool),
+      std::runtime_error);
+}
+
+TEST(ParallelMap, ComputesAllValues) {
+  ThreadPool pool(4);
+  const auto squares = parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, pool);
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelFor, MatchesSerialReduction) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> doubled(values.size());
+  parallel_for(0, values.size(),
+               [&](std::size_t i) { doubled[i] = 2.0 * values[i]; }, pool);
+  const double total = std::accumulate(doubled.begin(), doubled.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 9999.0 * 10000.0);
+}
+
+TEST(GlobalPool, IsUsableAndStable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,153 @@
+#include "hec/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+#include "hec/workloads/trace_builders.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+namespace {
+
+PhaseDemand simple_demand(double inst, double mpki = 1.0) {
+  PhaseDemand d;
+  d.instructions_per_unit = inst;
+  d.wpi = 0.8;
+  d.spi_core = 0.5;
+  d.mem_misses_per_kinst = mpki;
+  return d;
+}
+
+TEST(WorkloadTrace, TotalsAndAppend) {
+  WorkloadTrace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.append({"a", simple_demand(100.0), 10.0});
+  trace.append({"b", simple_demand(200.0), 30.0});
+  EXPECT_EQ(trace.phase_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.total_units(), 40.0);
+  PhaseRecord bad{"bad", simple_demand(1.0), 0.0};
+  EXPECT_THROW(trace.append(bad), ContractViolation);
+}
+
+TEST(WorkloadTrace, BlendIsUnitWeightedForInstructions) {
+  WorkloadTrace trace;
+  trace.append({"light", simple_demand(100.0), 30.0});
+  trace.append({"heavy", simple_demand(300.0), 10.0});
+  const PhaseDemand blend = trace.blended_demand();
+  // (30*100 + 10*300) / 40 = 150 instructions per unit.
+  EXPECT_DOUBLE_EQ(blend.instructions_per_unit, 150.0);
+  EXPECT_DOUBLE_EQ(blend.wpi, 0.8);
+  EXPECT_DOUBLE_EQ(blend.spi_core, 0.5);
+}
+
+TEST(WorkloadTrace, BlendIsInstructionWeightedForRates) {
+  WorkloadTrace trace;
+  PhaseDemand hot = simple_demand(100.0, 10.0);
+  hot.wpi = 1.0;
+  PhaseDemand cold = simple_demand(300.0, 2.0);
+  cold.wpi = 0.6;
+  trace.append({"hot", hot, 10.0});    // 1000 instructions
+  trace.append({"cold", cold, 10.0});  // 3000 instructions
+  const PhaseDemand blend = trace.blended_demand();
+  EXPECT_NEAR(blend.wpi, (1000.0 * 1.0 + 3000.0 * 0.6) / 4000.0, 1e-12);
+  EXPECT_NEAR(blend.mem_misses_per_kinst,
+              (1000.0 * 10.0 + 3000.0 * 2.0) / 4000.0, 1e-12);
+}
+
+TEST(WorkloadTrace, BlendRejectsEmpty) {
+  WorkloadTrace trace;
+  EXPECT_THROW(trace.blended_demand(), ContractViolation);
+}
+
+TEST(SimulateTrace, SinglePhaseMatchesNodeSim) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = simple_demand(1000.0);
+  WorkloadTrace trace;
+  trace.append({"only", d, 5000.0});
+  RunConfig cfg;
+  cfg.cores_used = 4;
+  cfg.f_ghz = 1.4;
+  cfg.seed = 3;
+  cfg.noise_sigma = 0.0;
+  cfg.run_bias_sigma = 0.0;
+  const RunResult via_trace = simulate_trace(arm, trace, cfg);
+  RunConfig direct_cfg = cfg;
+  direct_cfg.work_units = 5000.0;
+  direct_cfg.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;  // trace phase seed
+  const RunResult direct = simulate_node(arm, d, direct_cfg);
+  EXPECT_DOUBLE_EQ(via_trace.wall_s, direct.wall_s);
+  EXPECT_DOUBLE_EQ(via_trace.energy.total_j(), direct.energy.total_j());
+}
+
+TEST(SimulateTrace, PhasesAddUp) {
+  const NodeSpec amd = amd_opteron_k10();
+  WorkloadTrace trace;
+  trace.append({"a", simple_demand(500.0), 4000.0});
+  trace.append({"b", simple_demand(2000.0), 1000.0});
+  RunConfig cfg;
+  cfg.cores_used = 6;
+  cfg.f_ghz = 2.1;
+  cfg.noise_sigma = 0.0;
+  cfg.run_bias_sigma = 0.0;
+  const RunResult r = simulate_trace(amd, trace, cfg);
+  // Instructions: 4000*500 + 1000*2000 = 4e6.
+  EXPECT_NEAR(r.counters.instructions, 4e6, 1.0);
+  EXPECT_DOUBLE_EQ(r.counters.work_units, 5000.0);
+  EXPECT_GT(r.wall_s, 0.0);
+  // Energy equals the sum of both phases' energies (>= idle * wall).
+  EXPECT_GE(r.energy.total_j(), amd.idle_node_w() * r.wall_s * 0.999);
+}
+
+TEST(TraceBuilders, BlendsReproduceRegisteredDemand) {
+  // The phase decomposition must not change the workload's aggregate
+  // characterisation (instructions and I/O exactly; per-instruction
+  // rates within the mixing approximation).
+  for (const Workload& w : all_workloads()) {
+    for (Isa isa : {Isa::kArmV7a, Isa::kX86_64}) {
+      const PhaseDemand& base = w.demand_for(isa);
+      const WorkloadTrace trace = make_workload_trace(w, isa, 12000.0);
+      EXPECT_NEAR(trace.total_units(), 12000.0, 1e-6) << w.name;
+      const PhaseDemand blend = trace.blended_demand();
+      EXPECT_NEAR(blend.instructions_per_unit, base.instructions_per_unit,
+                  base.instructions_per_unit * 1e-9)
+          << w.name;
+      EXPECT_NEAR(blend.io_bytes_per_unit, base.io_bytes_per_unit,
+                  base.io_bytes_per_unit * 1e-9 + 1e-12)
+          << w.name;
+      EXPECT_NEAR(blend.wpi, base.wpi, base.wpi * 1e-9) << w.name;
+      EXPECT_NEAR(blend.mem_misses_per_kinst, base.mem_misses_per_kinst,
+                  base.mem_misses_per_kinst * 0.08 + 1e-12)
+          << w.name;
+    }
+  }
+}
+
+TEST(TraceBuilders, PhaseStructureMatchesPrograms) {
+  const Workload mc = workload_memcached();
+  const WorkloadTrace mc_trace =
+      make_workload_trace(mc, Isa::kArmV7a, 1000.0);
+  ASSERT_EQ(mc_trace.phase_count(), 3u);
+  EXPECT_EQ(mc_trace.phases()[0].label, "GET");
+  EXPECT_NEAR(mc_trace.phases()[0].units, 900.0, 1e-9);
+
+  const WorkloadTrace x264_trace =
+      make_workload_trace(workload_x264(), Isa::kX86_64, 120.0);
+  ASSERT_EQ(x264_trace.phase_count(), 2u);
+  EXPECT_NEAR(x264_trace.phases()[0].units, 10.0, 1e-9);  // 1 I per GOP
+  // I-frames execute more instructions than P-frames per unit.
+  EXPECT_GT(x264_trace.phases()[0].demand.instructions_per_unit,
+            x264_trace.phases()[1].demand.instructions_per_unit);
+
+  const WorkloadTrace ep_trace =
+      make_workload_trace(workload_ep(), Isa::kArmV7a, 500.0);
+  EXPECT_EQ(ep_trace.phase_count(), 1u);
+}
+
+TEST(TraceBuilders, RejectsNonPositiveUnits) {
+  EXPECT_THROW(make_workload_trace(workload_ep(), Isa::kArmV7a, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

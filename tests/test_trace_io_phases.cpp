@@ -1,0 +1,107 @@
+// Multi-phase traces with network phases: blending of I/O demands and
+// phase-by-phase execution must compose correctly when phases differ in
+// bytes and protocol floors (the memcached GET/SET asymmetry).
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/trace/trace.h"
+#include "hec/util/units.h"
+#include "hec/workloads/trace_builders.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+namespace {
+
+RunConfig quiet_config(const NodeSpec& spec) {
+  RunConfig cfg;
+  cfg.cores_used = spec.cores;
+  cfg.f_ghz = spec.pstates.max_ghz();
+  cfg.noise_sigma = 0.0;
+  cfg.run_bias_sigma = 0.0;
+  return cfg;
+}
+
+TEST(TraceIoPhases, BlendAveragesBytesAndFloors) {
+  PhaseDemand small;
+  small.instructions_per_unit = 100.0;
+  small.wpi = 1.0;
+  small.io_bytes_per_unit = 200.0;
+  small.io_interarrival_s = 1e-6;
+  PhaseDemand large = small;
+  large.io_bytes_per_unit = 1000.0;
+  large.io_interarrival_s = 3e-6;
+
+  WorkloadTrace trace;
+  trace.append({"small", small, 300.0});
+  trace.append({"large", large, 100.0});
+  const PhaseDemand blend = trace.blended_demand();
+  // Unit-weighted: (300*200 + 100*1000) / 400 = 400 bytes.
+  EXPECT_DOUBLE_EQ(blend.io_bytes_per_unit, 400.0);
+  EXPECT_DOUBLE_EQ(blend.io_interarrival_s, 1.5e-6);
+}
+
+TEST(TraceIoPhases, IoBoundTraceTimeIsSumOfPhaseTransfers) {
+  const NodeSpec arm = arm_cortex_a9();  // 100 Mbps
+  PhaseDemand heavy;
+  heavy.instructions_per_unit = 100.0;  // negligible compute
+  heavy.wpi = 1.0;
+  heavy.io_bytes_per_unit = 2000.0;
+  PhaseDemand light = heavy;
+  light.io_bytes_per_unit = 500.0;
+
+  WorkloadTrace trace;
+  trace.append({"heavy", heavy, 1000.0});
+  trace.append({"light", light, 1000.0});
+  const RunResult r = simulate_trace(arm, trace, quiet_config(arm));
+  const double bandwidth = units::mbps_to_bytes_per_s(100.0);
+  const double expected =
+      1000.0 * 2000.0 / bandwidth + 1000.0 * 500.0 / bandwidth;
+  EXPECT_NEAR(r.wall_s, expected, expected * 0.02);
+  EXPECT_NEAR(r.counters.io_bytes, 2.5e6, 1.0);
+}
+
+TEST(TraceIoPhases, MemcachedTraceMatchesBlendedSingleRun) {
+  // Executing the 3-phase memcached trace should land close to one run
+  // of its blend — same aggregate bytes and instructions.
+  const NodeSpec arm = arm_cortex_a9();
+  const Workload mc = workload_memcached();
+  const WorkloadTrace trace =
+      make_workload_trace(mc, Isa::kArmV7a, 20000.0);
+  const RunResult traced = simulate_trace(arm, trace, quiet_config(arm));
+  RunConfig single = quiet_config(arm);
+  single.work_units = 20000.0;
+  const RunResult blended =
+      simulate_node(arm, trace.blended_demand(), single);
+  EXPECT_NEAR(traced.wall_s, blended.wall_s, blended.wall_s * 0.05);
+  EXPECT_NEAR(traced.counters.io_bytes, blended.counters.io_bytes,
+              blended.counters.io_bytes * 0.01);
+  EXPECT_NEAR(traced.energy.total_j(), blended.energy.total_j(),
+              blended.energy.total_j() * 0.05);
+}
+
+TEST(TraceIoPhases, MixedComputeAndIoPhasesAccumulateEnergy) {
+  const NodeSpec amd = amd_opteron_k10();
+  PhaseDemand compute;
+  compute.instructions_per_unit = 1e5;
+  compute.wpi = 0.8;
+  compute.spi_core = 0.4;
+  PhaseDemand network;
+  network.instructions_per_unit = 100.0;
+  network.wpi = 1.0;
+  network.io_bytes_per_unit = 5000.0;
+
+  WorkloadTrace trace;
+  trace.append({"compute", compute, 5000.0});
+  trace.append({"network", network, 5000.0});
+  const RunResult r = simulate_trace(amd, trace, quiet_config(amd));
+  EXPECT_GT(r.energy.core_j, 0.0);
+  EXPECT_GT(r.energy.io_j, 0.0);
+  EXPECT_NEAR(r.energy.idle_j, amd.idle_node_w() * r.wall_s,
+              r.energy.idle_j * 1e-6);
+  // Compute phase keeps cores busy; network phase starves them.
+  EXPECT_GT(r.cpu_busy_s, 0.0);
+  EXPECT_LT(r.ucpu(), 1.0);
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,43 @@
+// Compilation/link smoke test of the umbrella header: every public type
+// is reachable through one include, and the main pipeline composes.
+#include "hec.h"
+
+#include <gtest/gtest.h>
+
+namespace hec {
+namespace {
+
+TEST(Umbrella, PipelineComposesThroughOneHeader) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const Workload ep = workload_ep();
+  CharacterizeOptions opts;
+  opts.baseline_units = 2000.0;
+  const NodeTypeModel arm_model = build_node_model(arm, ep, opts);
+  const NodeTypeModel amd_model = build_node_model(amd, ep, opts);
+  const ConfigEvaluator evaluator(arm_model, amd_model);
+  const auto configs = enumerate_configs(arm, amd, EnumerationLimits{2, 2});
+  const auto outcomes = evaluator.evaluate_all(configs, 1e6);
+  std::vector<TimeEnergyPoint> points;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    points.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+  }
+  const EnergyDeadlineCurve curve(pareto_frontier(points));
+  EXPECT_GT(curve.points().size(), 0u);
+  EXPECT_GT(curve.min_time_s(), 0.0);
+}
+
+TEST(Umbrella, AllSubsystemTypesVisible) {
+  // One declaration per subsystem proves the header exports them.
+  [[maybe_unused]] MD1Queue md1(1.0, 0.1);
+  [[maybe_unused]] MM1Queue mm1(1.0, 0.1);
+  [[maybe_unused]] Rng rng(1);
+  [[maybe_unused]] Summary summary;
+  [[maybe_unused]] WorkloadTrace trace;
+  [[maybe_unused]] TablePrinter table({"x"});
+  [[maybe_unused]] EqualSplitScheduler equal;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hec

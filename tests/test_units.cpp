@@ -1,0 +1,36 @@
+#include "hec/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hec::units {
+namespace {
+
+TEST(Units, GhzRoundTrip) {
+  EXPECT_DOUBLE_EQ(ghz_to_hz(1.4), 1.4e9);
+  EXPECT_DOUBLE_EQ(hz_to_ghz(ghz_to_hz(2.1)), 2.1);
+}
+
+TEST(Units, MbpsToBytes) {
+  // 100 Mbit/s = 12.5 MB/s.
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_s(100.0), 12.5e6);
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_s(1000.0), 125e6);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ms_to_s(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(s_to_ms(0.165), 165.0);
+  EXPECT_DOUBLE_EQ(s_to_ms(ms_to_s(41.0)), 41.0);
+}
+
+TEST(Units, CacheSizes) {
+  EXPECT_DOUBLE_EQ(kib_to_bytes(32.0), 32768.0);
+}
+
+TEST(Units, ConstexprUsable) {
+  static_assert(ghz_to_hz(1.0) == 1e9);
+  static_assert(ms_to_s(1000.0) == 1.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hec::units

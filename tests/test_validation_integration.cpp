@@ -1,0 +1,159 @@
+// Integration validation mirroring Section III: the analytical model's
+// predictions are checked against independent measurement runs of the
+// simulator substrate (fresh seeds, noise on). The paper reports model
+// errors below ~15%; the same bound must hold here.
+#include <gtest/gtest.h>
+
+#include "hec/cluster/cluster_sim.h"
+#include "hec/cluster/schedulers.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/stats/summary.h"
+
+namespace hec {
+namespace {
+
+CharacterizeOptions baseline_opts() {
+  CharacterizeOptions opts;
+  opts.baseline_units = 10000.0;
+  opts.seed = 42;
+  return opts;  // default noise: the paper's measurement irregularities
+}
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    arm_spec_ = new NodeSpec(arm_cortex_a9());
+    amd_spec_ = new NodeSpec(amd_opteron_k10());
+  }
+  static void TearDownTestSuite() {
+    delete arm_spec_;
+    delete amd_spec_;
+  }
+
+  static const NodeSpec* arm_spec_;
+  static const NodeSpec* amd_spec_;
+};
+
+const NodeSpec* ValidationTest::arm_spec_ = nullptr;
+const NodeSpec* ValidationTest::amd_spec_ = nullptr;
+
+/// Runs the Table 3 procedure for one workload on one node type: predict
+/// across (cores, frequency) combinations, measure with fresh seeds, and
+/// return the mean relative errors for time and energy.
+std::pair<double, double> single_node_errors(const NodeSpec& spec,
+                                             const Workload& workload,
+                                             double units) {
+  const NodeTypeModel model =
+      build_node_model(spec, workload, baseline_opts());
+  RelativeError time_err, energy_err;
+  std::uint64_t seed = 12345;
+  for (int c = 1; c <= spec.cores; c += (spec.cores > 4 ? 2 : 1)) {
+    for (double f : spec.pstates.frequencies_ghz()) {
+      const Prediction pred = model.predict(units, NodeConfig{1, c, f});
+      RunConfig rc;
+      rc.cores_used = c;
+      rc.f_ghz = f;
+      rc.work_units = units;
+      rc.seed = seed++;
+      const RunResult meas =
+          simulate_node(spec, workload.demand_for(spec.isa), rc);
+      time_err.add(pred.t_s, meas.wall_s);
+      energy_err.add(pred.energy_j(), meas.energy.total_j());
+    }
+  }
+  return {time_err.mean_pct(), energy_err.mean_pct()};
+}
+
+TEST_F(ValidationTest, EpSingleNodeWithinPaperBounds) {
+  for (const NodeSpec* spec : {arm_spec_, amd_spec_}) {
+    const auto [t_err, e_err] =
+        single_node_errors(*spec, workload_ep(), 50000.0);
+    EXPECT_LT(t_err, 15.0) << spec->name;
+    EXPECT_LT(e_err, 15.0) << spec->name;
+  }
+}
+
+TEST_F(ValidationTest, MemcachedSingleNodeWithinPaperBounds) {
+  for (const NodeSpec* spec : {arm_spec_, amd_spec_}) {
+    const auto [t_err, e_err] =
+        single_node_errors(*spec, workload_memcached(), 20000.0);
+    EXPECT_LT(t_err, 15.0) << spec->name;
+    EXPECT_LT(e_err, 15.0) << spec->name;
+  }
+}
+
+TEST_F(ValidationTest, X264SingleNodeWithinPaperBounds) {
+  // Memory-bound: exercises the SPImem regression path end to end.
+  for (const NodeSpec* spec : {arm_spec_, amd_spec_}) {
+    const auto [t_err, e_err] =
+        single_node_errors(*spec, workload_x264(), 60.0);
+    EXPECT_LT(t_err, 15.0) << spec->name;
+    EXPECT_LT(e_err, 15.0) << spec->name;
+  }
+}
+
+TEST_F(ValidationTest, ClusterValidationEightArmPlusOneAmd) {
+  // Table 4's configuration: 8 ARM + 1 AMD with the matched split.
+  const Workload ep = workload_ep();
+  const NodeTypeModel arm_model =
+      build_node_model(*arm_spec_, ep, baseline_opts());
+  const NodeTypeModel amd_model =
+      build_node_model(*amd_spec_, ep, baseline_opts());
+  const ClusterConfig cfg{NodeConfig{8, 4, 1.4}, NodeConfig{1, 6, 2.1}};
+  const double w = 2e6;
+
+  const MatchingScheduler sched(arm_model, amd_model);
+  const SplitAssignment split = sched.assign(w, cfg);
+  const double t_pred =
+      arm_model.predict(split.units_arm, cfg.arm).t_s;
+  const double e_pred =
+      arm_model.predict(split.units_arm, cfg.arm).energy_j() +
+      amd_model.predict(split.units_amd, cfg.amd).energy_j();
+
+  ClusterRunOptions opts;
+  opts.seed = 777;
+  const ClusterRunResult meas = simulate_cluster(
+      *arm_spec_, *amd_spec_, ep, cfg, split.units_arm, split.units_amd,
+      opts);
+  EXPECT_NEAR(t_pred, meas.t_s, meas.t_s * 0.15);
+  EXPECT_NEAR(e_pred, meas.energy_j, meas.energy_j * 0.15);
+  // The matched split really does balance completion across types.
+  EXPECT_NEAR(meas.t_arm_s, meas.t_amd_s, meas.t_s * 0.1);
+}
+
+TEST_F(ValidationTest, ExtensionNodeTypesValidateToo) {
+  // The three-tier study leans on the Cortex-A15 and Xeon-class models;
+  // their predictions must track the substrate as well as the paper
+  // pair's do.
+  for (const NodeSpec& spec : {arm_cortex_a15(), intel_xeon_class()}) {
+    const auto [t_err, e_err] =
+        single_node_errors(spec, workload_ep(), 50000.0);
+    EXPECT_LT(t_err, 15.0) << spec.name;
+    EXPECT_LT(e_err, 15.0) << spec.name;
+  }
+}
+
+TEST_F(ValidationTest, PredictionsTrackMeasurementAcrossScales) {
+  // Constant-WPI hypothesis in action: a model characterised at 10k units
+  // stays accurate when the job is 20x larger.
+  const NodeTypeModel model =
+      build_node_model(*arm_spec_, workload_blackscholes(), baseline_opts());
+  for (double units : {50000.0, 200000.0}) {
+    const Prediction pred = model.predict(units, NodeConfig{1, 4, 1.4});
+    RunConfig rc;
+    rc.cores_used = 4;
+    rc.f_ghz = 1.4;
+    rc.work_units = units;
+    rc.seed = 5150 + static_cast<std::uint64_t>(units);
+    const RunResult meas = simulate_node(
+        *arm_spec_, workload_blackscholes().demand_arm, rc);
+    EXPECT_NEAR(pred.t_s, meas.wall_s, meas.wall_s * 0.12) << units;
+    EXPECT_NEAR(pred.energy_j(), meas.energy.total_j(),
+                meas.energy.total_j() * 0.12)
+        << units;
+  }
+}
+
+}  // namespace
+}  // namespace hec

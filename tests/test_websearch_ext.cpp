@@ -1,0 +1,84 @@
+// The extension workload's defining property: its bottleneck crosses
+// over between CPU and I/O as the clock scales — a regime the paper's
+// six workloads never enter (each stays in one bottleneck class).
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/sim/node_sim.h"
+
+namespace hec {
+namespace {
+
+CharacterizeOptions opts() {
+  CharacterizeOptions o;
+  o.baseline_units = 6000.0;
+  return o;
+}
+
+TEST(WebsearchExt, RegisteredAsExtensionOnly) {
+  for (const Workload& w : all_workloads()) {
+    EXPECT_NE(w.name, "websearch");  // paper set stays intact
+  }
+  const auto exts = extension_workloads();
+  ASSERT_FALSE(exts.empty());
+  EXPECT_EQ(exts.front().name, "websearch");
+  EXPECT_EQ(find_workload("websearch").unit, "queries");
+}
+
+TEST(WebsearchExt, BottleneckCrossesOverWithFrequencyOnArm) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeTypeModel model =
+      build_node_model(arm, workload_websearch_ext(), opts());
+  const double units = 10000.0;
+  // At the lowest clock, cores are the bottleneck...
+  const Prediction slow =
+      model.predict(units, NodeConfig{1, arm.cores, arm.pstates.min_ghz()});
+  EXPECT_GT(slow.t_cpu_s, slow.t_io_s);
+  // ...at the highest clock, the NIC is.
+  const Prediction fast =
+      model.predict(units, NodeConfig{1, arm.cores, arm.pstates.max_ghz()});
+  EXPECT_LT(fast.t_cpu_s, fast.t_io_s * 1.05);
+  EXPECT_NEAR(fast.t_s, fast.t_io_s, fast.t_s * 0.05);
+}
+
+TEST(WebsearchExt, RaisingClockStopsPayingOnceIoBound) {
+  // Once the NIC binds, further DVFS only burns power: time flattens.
+  const NodeSpec amd = amd_opteron_k10();
+  const NodeTypeModel model =
+      build_node_model(amd, workload_websearch_ext(), opts());
+  const double units = 10000.0;
+  const auto& freqs = amd.pstates.frequencies_ghz();
+  const Prediction mid =
+      model.predict(units, NodeConfig{1, amd.cores, freqs[1]});
+  const Prediction top =
+      model.predict(units, NodeConfig{1, amd.cores, freqs.back()});
+  // Both already I/O-bound: same service time...
+  EXPECT_NEAR(top.t_s, mid.t_s, mid.t_s * 0.05);
+  // ...so the higher clock must not be more energy-efficient.
+  EXPECT_GE(top.energy_j(), mid.energy_j() * 0.98);
+}
+
+TEST(WebsearchExt, SimulatorAgreesWithModelAcrossTheCrossover) {
+  const NodeSpec arm = arm_cortex_a9();
+  const Workload w = workload_websearch_ext();
+  const NodeTypeModel model = build_node_model(arm, w, opts());
+  std::uint64_t seed = 404;
+  for (double f : arm.pstates.frequencies_ghz()) {
+    const Prediction pred =
+        model.predict(20000.0, NodeConfig{1, arm.cores, f});
+    RunConfig rc;
+    rc.cores_used = arm.cores;
+    rc.f_ghz = f;
+    rc.work_units = 20000.0;
+    rc.seed = seed++;
+    const RunResult meas = simulate_node(arm, w.demand_arm, rc);
+    EXPECT_NEAR(pred.t_s, meas.wall_s, meas.wall_s * 0.15) << "f=" << f;
+    EXPECT_NEAR(pred.energy_j(), meas.energy.total_j(),
+                meas.energy.total_j() * 0.15)
+        << "f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace hec

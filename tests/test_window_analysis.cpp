@@ -1,0 +1,95 @@
+#include "hec/queueing/window_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+// Two synthetic configurations: a fast power-hungry one and a slow
+// frugal one (the AMD-ish vs ARM-ish poles of Fig. 10).
+std::vector<ConfigOutcome> two_outcomes() {
+  std::vector<ConfigOutcome> outcomes(2);
+  outcomes[0].t_s = 0.05;     // fast
+  outcomes[0].energy_j = 3.0;
+  outcomes[1].t_s = 0.5;      // slow
+  outcomes[1].energy_j = 1.0;
+  return outcomes;
+}
+
+TEST(WindowAnalysis, EnergyAndResponseComposition) {
+  const auto outcomes = two_outcomes();
+  const std::vector<double> idle_w{45.0, 1.4};
+  WindowOptions opts;
+  opts.window_s = 20.0;
+  opts.utilization = 0.25;
+  const auto points = window_points(outcomes, idle_w, opts);
+  ASSERT_EQ(points.size(), 2u);
+
+  // Config 0: lambda = 0.25/0.05 = 5 jobs/s -> 100 jobs in 20 s.
+  EXPECT_NEAR(points[0].jobs_served, 100.0, 1e-9);
+  // Busy 5 s, idle 15 s at 45 W.
+  EXPECT_NEAR(points[0].window_energy_j, 100.0 * 3.0 + 15.0 * 45.0, 1e-6);
+  // M/D/1 response at rho=0.25: S (1 + rho/(2(1-rho))) = S * 7/6.
+  EXPECT_NEAR(points[0].response_s, 0.05 * (1.0 + 0.25 / 1.5), 1e-12);
+
+  // Config 1: lambda = 0.5 -> 10 jobs; busy 5 s, idle 15 s at 1.4 W.
+  EXPECT_NEAR(points[1].jobs_served, 10.0, 1e-9);
+  EXPECT_NEAR(points[1].window_energy_j, 10.0 * 1.0 + 15.0 * 1.4, 1e-6);
+}
+
+TEST(WindowAnalysis, HigherUtilizationServesMoreJobsAndWaitsLonger) {
+  const auto outcomes = two_outcomes();
+  const std::vector<double> idle_w{45.0, 1.4};
+  WindowOptions low{20.0, 0.05}, high{20.0, 0.5};
+  const auto lo = window_points(outcomes, idle_w, low);
+  const auto hi = window_points(outcomes, idle_w, high);
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    EXPECT_GT(hi[i].jobs_served, lo[i].jobs_served);
+    EXPECT_GT(hi[i].response_s, lo[i].response_s);
+  }
+}
+
+TEST(WindowAnalysis, IdleDrawDominatesAtLowUtilization) {
+  // At 5% utilisation the powered-on idle floor is most of the window
+  // energy for the high-idle configuration — the Fig. 10 effect that
+  // makes ARM-only configurations an order of magnitude cheaper.
+  const auto outcomes = two_outcomes();
+  const std::vector<double> idle_w{45.0, 1.4};
+  const auto points = window_points(outcomes, idle_w, WindowOptions{20.0, 0.05});
+  const double idle_energy_0 = (20.0 - points[0].jobs_served * 0.05) * 45.0;
+  EXPECT_GT(idle_energy_0 / points[0].window_energy_j, 0.7);
+  EXPECT_GT(points[0].window_energy_j, 10.0 * points[1].window_energy_j);
+}
+
+TEST(WindowAnalysis, FrontierPrefersBothPoles) {
+  const auto outcomes = two_outcomes();
+  const std::vector<double> idle_w{45.0, 1.4};
+  const auto points =
+      window_points(outcomes, idle_w, WindowOptions{20.0, 0.25});
+  const auto frontier = window_frontier(points);
+  // Fast-but-costly and slow-but-frugal are both Pareto optimal.
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier.front().tag, 0u);
+  EXPECT_EQ(frontier.back().tag, 1u);
+}
+
+TEST(WindowAnalysis, RejectsBadArguments) {
+  const auto outcomes = two_outcomes();
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(window_points(outcomes, wrong_size, WindowOptions{}),
+               ContractViolation);
+  const std::vector<double> idle_w{45.0, 1.4};
+  EXPECT_THROW(window_points(outcomes, idle_w, WindowOptions{0.0, 0.25}),
+               ContractViolation);
+  EXPECT_THROW(window_points(outcomes, idle_w, WindowOptions{20.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(window_points(outcomes, idle_w, WindowOptions{20.0, 1.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

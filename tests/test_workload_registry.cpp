@@ -1,0 +1,119 @@
+#include "hec/workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hec {
+namespace {
+
+TEST(Registry, HasAllSixPaperWorkloads) {
+  const auto workloads = all_workloads();
+  ASSERT_EQ(workloads.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& w : workloads) names.insert(w.name);
+  for (const char* expected : {"EP", "memcached", "x264", "blackscholes",
+                               "Julius", "RSA-2048"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Registry, Table3BottleneckClasses) {
+  EXPECT_EQ(workload_ep().bottleneck, Bottleneck::kCpu);
+  EXPECT_EQ(workload_memcached().bottleneck, Bottleneck::kIo);
+  EXPECT_EQ(workload_x264().bottleneck, Bottleneck::kMemory);
+  EXPECT_EQ(workload_blackscholes().bottleneck, Bottleneck::kCpu);
+  EXPECT_EQ(workload_julius().bottleneck, Bottleneck::kCpu);
+  EXPECT_EQ(workload_rsa2048().bottleneck, Bottleneck::kCpu);
+}
+
+TEST(Registry, Table3ProblemSizes) {
+  EXPECT_DOUBLE_EQ(workload_ep().validation_units, 2147483648.0);
+  EXPECT_DOUBLE_EQ(workload_memcached().validation_units, 600000.0);
+  EXPECT_DOUBLE_EQ(workload_x264().validation_units, 600.0);
+  EXPECT_DOUBLE_EQ(workload_blackscholes().validation_units, 500000.0);
+  EXPECT_DOUBLE_EQ(workload_julius().validation_units, 2310559.0);
+  EXPECT_DOUBLE_EQ(workload_rsa2048().validation_units, 5000.0);
+}
+
+TEST(Registry, AnalysisJobSizesMatchSectionIVB) {
+  EXPECT_DOUBLE_EQ(workload_ep().analysis_units, 50e6);
+  EXPECT_DOUBLE_EQ(workload_memcached().analysis_units, 50000.0);
+}
+
+TEST(Registry, DemandsArePerIsa) {
+  for (const auto& w : all_workloads()) {
+    EXPECT_GT(w.demand_arm.instructions_per_unit, 0.0) << w.name;
+    EXPECT_GT(w.demand_amd.instructions_per_unit, 0.0) << w.name;
+    EXPECT_GT(w.demand_arm.wpi, 0.0) << w.name;
+    EXPECT_GT(w.demand_amd.wpi, 0.0) << w.name;
+    EXPECT_EQ(&w.demand_for(Isa::kArmV7a), &w.demand_arm) << w.name;
+    EXPECT_EQ(&w.demand_for(Isa::kX86_64), &w.demand_amd) << w.name;
+  }
+}
+
+TEST(Registry, IsaInstructionRatiosReflectAccelerators) {
+  // ARMv7 RISC generally needs more instructions than x86-64...
+  for (const auto& w : all_workloads()) {
+    EXPECT_GE(w.demand_arm.instructions_per_unit,
+              w.demand_amd.instructions_per_unit)
+        << w.name;
+  }
+  // ...with the crypto gap largest (AMD's wide multipliers, Table 5).
+  const Workload rsa = workload_rsa2048();
+  EXPECT_GT(rsa.demand_arm.instructions_per_unit /
+                rsa.demand_amd.instructions_per_unit,
+            3.0);
+}
+
+TEST(Registry, MemcachedIsTheOnlyNetworkWorkload) {
+  for (const auto& w : all_workloads()) {
+    if (w.name == "memcached") {
+      EXPECT_GT(w.demand_arm.io_bytes_per_unit, 0.0);
+      EXPECT_GT(w.demand_amd.io_bytes_per_unit, 0.0);
+      EXPECT_GT(w.demand_arm.io_interarrival_s, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(w.demand_arm.io_bytes_per_unit, 0.0) << w.name;
+    }
+  }
+}
+
+TEST(Registry, X264IsMissHeaviest) {
+  // Memory-bound per Table 3: x264's miss rate dominates all others, and
+  // the L3-less ARM side misses far more than AMD.
+  const Workload x264 = workload_x264();
+  for (const auto& w : all_workloads()) {
+    if (w.name == "x264") continue;
+    EXPECT_GT(x264.demand_arm.mem_misses_per_kinst,
+              w.demand_arm.mem_misses_per_kinst)
+        << w.name;
+  }
+  EXPECT_GT(x264.demand_arm.mem_misses_per_kinst,
+            2.0 * x264.demand_amd.mem_misses_per_kinst);
+}
+
+TEST(Registry, WpiBandsMatchFig2) {
+  // Fig. 2: AMD WPI ~0.75, ARM WPI ~0.9 (both in [0.5, 1.0]).
+  for (const auto& w : all_workloads()) {
+    EXPECT_GE(w.demand_arm.wpi, 0.5) << w.name;
+    EXPECT_LE(w.demand_arm.wpi, 1.0) << w.name;
+    EXPECT_GE(w.demand_amd.wpi, 0.5) << w.name;
+    EXPECT_LE(w.demand_amd.wpi, 1.0) << w.name;
+    EXPECT_GE(w.demand_arm.wpi, w.demand_amd.wpi) << w.name;
+  }
+}
+
+TEST(Registry, FindByNameAndUnknown) {
+  EXPECT_EQ(find_workload("EP").name, "EP");
+  EXPECT_EQ(find_workload("RSA-2048").domain, "Web security");
+  EXPECT_THROW(find_workload("nginx"), std::out_of_range);
+}
+
+TEST(Registry, BottleneckToString) {
+  EXPECT_EQ(to_string(Bottleneck::kCpu), "CPU");
+  EXPECT_EQ(to_string(Bottleneck::kMemory), "Memory");
+  EXPECT_EQ(to_string(Bottleneck::kIo), "I/O");
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,93 @@
+#include "hec/util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hec/util/expect.h"
+#include "hec/workloads/kvstore.h"
+
+namespace hec {
+namespace {
+
+TEST(Zipf, PmfSumsToOneAndDecays) {
+  const ZipfGenerator zipf(100, 1.0);
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) {
+    const double p = zipf.pmf(r);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, ClassicRatios) {
+  // s = 1: P(rank 0) / P(rank 1) = 2, / P(rank 3) = 4.
+  const ZipfGenerator zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(3), 4.0, 1e-9);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfGenerator zipf(50, 0.0);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchPmf) {
+  const ZipfGenerator zipf(20, 1.2);
+  Rng rng(99);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.next(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double expected = zipf.pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 30.0) << "rank " << r;
+  }
+}
+
+TEST(Zipf, HeadDominatesAtHighSkew) {
+  const ZipfGenerator zipf(10000, 1.5);
+  Rng rng(7);
+  int head = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.next(rng) < 10) ++head;
+  }
+  // The top 10 of 10,000 keys absorb the majority of traffic.
+  EXPECT_GT(head, kDraws / 2);
+}
+
+TEST(Zipf, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), ContractViolation);
+  EXPECT_THROW(ZipfGenerator(10, -0.5), ContractViolation);
+  const ZipfGenerator zipf(10, 1.0);
+  EXPECT_THROW(zipf.pmf(10), ContractViolation);
+}
+
+TEST(Zipf, RequestGeneratorSkewsKeyTraffic) {
+  RequestGenerator uniform(1000, 8, 32, 1.0, 5, 0.0);
+  RequestGenerator skewed(1000, 8, 32, 1.0, 5, 1.2);
+  // Count how often the single hottest key appears in each stream.
+  auto hot_count = [](RequestGenerator& gen) {
+    std::size_t hot = 0;
+    std::string hottest;
+    std::unordered_map<std::string, std::size_t> histogram;
+    for (int i = 0; i < 20000; ++i) {
+      const KvRequest req = gen.next();
+      if (++histogram[req.key] > hot) {
+        hot = histogram[req.key];
+        hottest = req.key;
+      }
+    }
+    return hot;
+  };
+  EXPECT_GT(hot_count(skewed), 8 * hot_count(uniform));
+}
+
+}  // namespace
+}  // namespace hec

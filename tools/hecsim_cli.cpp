@@ -1,0 +1,210 @@
+// hecsim_cli — command-line front end for the canonical query:
+//
+//   "Which cluster configuration services this workload within this
+//    deadline using the least energy?"
+//
+//   hecsim_cli <workload> <deadline_ms>
+//              [--units N]            job size (default: paper's analysis size)
+//              [--budget WATTS]       peak-power cap on the configuration
+//              [--max-arm N]          low-power pool size (default 10)
+//              [--max-amd N]          high-performance pool size (default 10)
+//              [--method exhaustive|bnb|greedy]   search strategy
+//
+// Workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048.
+#include <charconv>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hec/config/budget.h"
+#include "hec/config/enumerate.h"
+#include "hec/config/evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/io/table.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/frontier.h"
+#include "hec/search/optimizer.h"
+#include "hec/workloads/workload.h"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: hecsim_cli <workload> <deadline_ms> [options]\n"
+      "  workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048\n"
+      "  --units N       job size in work units\n"
+      "  --budget W      peak-power cap in watts\n"
+      "  --max-arm N     low-power pool size (default 10)\n"
+      "  --max-amd N     high-performance pool size (default 10)\n"
+      "  --method M      exhaustive | bnb | greedy (default exhaustive)\n";
+}
+
+struct Options {
+  std::string workload;
+  double deadline_ms = 0.0;
+  std::optional<double> units;
+  std::optional<double> budget_w;
+  int max_arm = 10;
+  int max_amd = 10;
+  std::string method = "exhaustive";
+};
+
+double parse_number(const std::string& text, const std::string& what) {
+  double value = 0.0;
+  const char* begin = text.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + text.size(), value);
+  if (ec != std::errc{} || ptr != begin + text.size()) {
+    throw std::runtime_error("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+Options parse_args(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() < 2) throw std::runtime_error("missing arguments");
+  Options opts;
+  opts.workload = args[0];
+  opts.deadline_ms = parse_number(args[1], "deadline");
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) {
+        throw std::runtime_error("missing value after " + args[i - 1]);
+      }
+      return args[i];
+    };
+    if (args[i] == "--units") {
+      opts.units = parse_number(next(), "--units");
+    } else if (args[i] == "--budget") {
+      opts.budget_w = parse_number(next(), "--budget");
+    } else if (args[i] == "--max-arm") {
+      opts.max_arm = static_cast<int>(parse_number(next(), "--max-arm"));
+    } else if (args[i] == "--max-amd") {
+      opts.max_amd = static_cast<int>(parse_number(next(), "--max-amd"));
+    } else if (args[i] == "--method") {
+      opts.method = next();
+    } else {
+      throw std::runtime_error("unknown option: " + args[i]);
+    }
+  }
+  if (opts.method != "exhaustive" && opts.method != "bnb" &&
+      opts.method != "greedy") {
+    throw std::runtime_error("unknown method: " + opts.method);
+  }
+  return opts;
+}
+
+void print_outcome(const hec::ConfigOutcome& best, double work_units,
+                   const hec::NodeSpec& arm, const hec::NodeSpec& amd,
+                   const std::optional<double>& budget_w) {
+  using hec::TablePrinter;
+  std::cout << "\nRecommended configuration:\n";
+  hec::TablePrinter table({"Side", "Nodes", "Cores", "Clock [GHz]",
+                           "Work share"});
+  table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
+                       hec::Align::kRight, hec::Align::kRight,
+                       hec::Align::kRight});
+  if (best.config.uses_arm()) {
+    table.add_row({arm.name, std::to_string(best.config.arm.nodes),
+                   std::to_string(best.config.arm.cores),
+                   TablePrinter::num(best.config.arm.f_ghz, 1),
+                   TablePrinter::num(best.units_arm, 0)});
+  }
+  if (best.config.uses_amd()) {
+    table.add_row({amd.name, std::to_string(best.config.amd.nodes),
+                   std::to_string(best.config.amd.cores),
+                   TablePrinter::num(best.config.amd.f_ghz, 1),
+                   TablePrinter::num(best.units_amd, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nService time : " << TablePrinter::num(best.t_s * 1e3, 1)
+            << " ms\nJob energy   : "
+            << TablePrinter::num(best.energy_j, 2) << " J (for "
+            << TablePrinter::num(work_units, 0) << " work units)\n"
+            << "Peak power   : "
+            << TablePrinter::num(
+                   config_peak_power_w(arm, amd, best.config), 1)
+            << " W";
+  if (budget_w) {
+    std::cout << " (budget " << TablePrinter::num(*budget_w, 0) << " W)";
+  }
+  std::cout << "\n";
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 2 && (std::string(argv[1]) == "--help" ||
+                    std::string(argv[1]) == "-h")) {
+    print_usage();
+    return 0;
+  }
+  const Options opts = parse_args(argc, argv);
+  const hec::Workload workload = hec::find_workload(opts.workload);
+  const double units = opts.units.value_or(workload.analysis_units);
+  const double deadline_s = opts.deadline_ms * 1e-3;
+
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+  std::cout << "Characterising " << workload.name << " ("
+            << hec::to_string(workload.bottleneck)
+            << "-bound) on both node types...\n";
+  const hec::NodeTypeModel arm_model = build_node_model(arm, workload);
+  const hec::NodeTypeModel amd_model = build_node_model(amd, workload);
+  const hec::ConfigEvaluator evaluator(arm_model, amd_model);
+  const hec::EnumerationLimits limits{opts.max_arm, opts.max_amd};
+
+  auto within_cap = [&](const hec::ClusterConfig& c) {
+    return !opts.budget_w ||
+           config_peak_power_w(arm, amd, c) <= *opts.budget_w;
+  };
+
+  std::optional<hec::ConfigOutcome> best;
+  std::size_t evaluations = 0;
+  if (opts.method == "exhaustive" || opts.budget_w) {
+    // Budgeted queries always use the exhaustive path: the searchers'
+    // bounds do not account for the power cap.
+    const auto configs = enumerate_configs(arm, amd, limits);
+    for (const auto& config : configs) {
+      if (!within_cap(config)) continue;
+      const hec::ConfigOutcome outcome = evaluator.evaluate(config, units);
+      ++evaluations;
+      if (outcome.t_s <= deadline_s &&
+          (!best || outcome.energy_j < best->energy_j)) {
+        best = outcome;
+      }
+    }
+  } else {
+    const auto result =
+        opts.method == "bnb"
+            ? branch_and_bound_search(evaluator, arm, amd, limits, units,
+                                      deadline_s)
+            : greedy_search(evaluator, arm, amd, limits, units, deadline_s);
+    if (result) {
+      best = result->best;
+      evaluations = result->evaluations;
+    }
+  }
+
+  if (!best) {
+    std::cout << "No configuration of up to " << opts.max_arm << " ARM + "
+              << opts.max_amd << " AMD nodes"
+              << (opts.budget_w ? " within the power budget" : "")
+              << " meets " << opts.deadline_ms << " ms.\n";
+    return 2;
+  }
+  std::cout << "(" << evaluations << " model evaluations, method "
+            << opts.method << ")\n";
+  print_outcome(*best, units, arm, amd, opts.budget_w);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage();
+    return 1;
+  }
+}

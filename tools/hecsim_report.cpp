@@ -1,0 +1,86 @@
+// hecsim_report — writes a Markdown analysis report for one workload
+// (see hec/report/markdown_report.h for the content).
+//
+//   hecsim_report <workload> [--out report.md] [--max-arm N] [--max-amd N]
+//                 [--units N]
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/report/markdown_report.h"
+#include "hec/workloads/workload.h"
+
+namespace {
+
+double parse_number(const std::string& text, const std::string& what) {
+  double value = 0.0;
+  const char* begin = text.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + text.size(), value);
+  if (ec != std::errc{} || ptr != begin + text.size()) {
+    throw std::runtime_error("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::cout << "usage: hecsim_report <workload> [--out report.md] "
+                 "[--max-arm N] [--max-amd N] [--units N]\n";
+    return args.empty() ? 1 : 0;
+  }
+  const hec::Workload workload = hec::find_workload(args[0]);
+  std::string out_path = workload.name + "_report.md";
+  hec::ReportOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) {
+        throw std::runtime_error("missing value after " + args[i - 1]);
+      }
+      return args[i];
+    };
+    if (args[i] == "--out") {
+      out_path = next();
+    } else if (args[i] == "--max-arm") {
+      options.max_arm_nodes =
+          static_cast<int>(parse_number(next(), "--max-arm"));
+    } else if (args[i] == "--max-amd") {
+      options.max_amd_nodes =
+          static_cast<int>(parse_number(next(), "--max-amd"));
+    } else if (args[i] == "--units") {
+      options.work_units = parse_number(next(), "--units");
+    } else {
+      throw std::runtime_error("unknown option: " + args[i]);
+    }
+  }
+
+  std::cerr << "characterising " << workload.name << "...\n";
+  const hec::NodeTypeModel arm_model =
+      build_node_model(hec::arm_cortex_a9(), workload);
+  const hec::NodeTypeModel amd_model =
+      build_node_model(hec::amd_opteron_k10(), workload);
+  const std::string report =
+      markdown_report(workload, arm_model, amd_model, options);
+
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open " + out_path);
+  out << report;
+  if (!out) throw std::runtime_error("write failed for " + out_path);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
