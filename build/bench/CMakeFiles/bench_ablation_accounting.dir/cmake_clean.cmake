@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_accounting.dir/bench_ablation_accounting.cpp.o"
+  "CMakeFiles/bench_ablation_accounting.dir/bench_ablation_accounting.cpp.o.d"
+  "bench_ablation_accounting"
+  "bench_ablation_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

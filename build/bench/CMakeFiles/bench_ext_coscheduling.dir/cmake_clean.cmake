@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_coscheduling.dir/bench_ext_coscheduling.cpp.o"
+  "CMakeFiles/bench_ext_coscheduling.dir/bench_ext_coscheduling.cpp.o.d"
+  "bench_ext_coscheduling"
+  "bench_ext_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_datacenter_sim.dir/bench_ext_datacenter_sim.cpp.o"
+  "CMakeFiles/bench_ext_datacenter_sim.dir/bench_ext_datacenter_sim.cpp.o.d"
+  "bench_ext_datacenter_sim"
+  "bench_ext_datacenter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_datacenter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_three_tier.dir/bench_ext_three_tier.cpp.o"
+  "CMakeFiles/bench_ext_three_tier.dir/bench_ext_three_tier.cpp.o.d"
+  "bench_ext_three_tier"
+  "bench_ext_three_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_three_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_trace_validation.dir/bench_ext_trace_validation.cpp.o"
+  "CMakeFiles/bench_ext_trace_validation.dir/bench_ext_trace_validation.cpp.o.d"
+  "bench_ext_trace_validation"
+  "bench_ext_trace_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_trace_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

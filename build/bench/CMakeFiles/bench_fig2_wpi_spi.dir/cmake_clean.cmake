@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_wpi_spi.dir/bench_fig2_wpi_spi.cpp.o"
+  "CMakeFiles/bench_fig2_wpi_spi.dir/bench_fig2_wpi_spi.cpp.o.d"
+  "bench_fig2_wpi_spi"
+  "bench_fig2_wpi_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_wpi_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

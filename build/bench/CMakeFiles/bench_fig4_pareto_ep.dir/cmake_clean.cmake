@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pareto_ep.dir/bench_fig4_pareto_ep.cpp.o"
+  "CMakeFiles/bench_fig4_pareto_ep.dir/bench_fig4_pareto_ep.cpp.o.d"
+  "bench_fig4_pareto_ep"
+  "bench_fig4_pareto_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pareto_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

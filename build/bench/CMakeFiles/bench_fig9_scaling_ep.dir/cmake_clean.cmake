@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_scaling_ep.dir/bench_fig9_scaling_ep.cpp.o"
+  "CMakeFiles/bench_fig9_scaling_ep.dir/bench_fig9_scaling_ep.cpp.o.d"
+  "bench_fig9_scaling_ep"
+  "bench_fig9_scaling_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scaling_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

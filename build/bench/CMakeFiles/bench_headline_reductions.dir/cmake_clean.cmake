@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_reductions.dir/bench_headline_reductions.cpp.o"
+  "CMakeFiles/bench_headline_reductions.dir/bench_headline_reductions.cpp.o.d"
+  "bench_headline_reductions"
+  "bench_headline_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

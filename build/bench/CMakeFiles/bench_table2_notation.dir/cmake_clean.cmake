@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_notation.dir/bench_table2_notation.cpp.o"
+  "CMakeFiles/bench_table2_notation.dir/bench_table2_notation.cpp.o.d"
+  "bench_table2_notation"
+  "bench_table2_notation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_notation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ppr.dir/bench_table5_ppr.cpp.o"
+  "CMakeFiles/bench_table5_ppr.dir/bench_table5_ppr.cpp.o.d"
+  "bench_table5_ppr"
+  "bench_table5_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_provisioning.dir/deadline_provisioning.cpp.o"
+  "CMakeFiles/deadline_provisioning.dir/deadline_provisioning.cpp.o.d"
+  "deadline_provisioning"
+  "deadline_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

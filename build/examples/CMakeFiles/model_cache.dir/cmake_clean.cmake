@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cache.dir/model_cache.cpp.o"
+  "CMakeFiles/model_cache.dir/model_cache.cpp.o.d"
+  "model_cache"
+  "model_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier_planning.dir/three_tier_planning.cpp.o"
+  "CMakeFiles/three_tier_planning.dir/three_tier_planning.cpp.o.d"
+  "three_tier_planning"
+  "three_tier_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_kernels_demo.dir/workload_kernels_demo.cpp.o"
+  "CMakeFiles/workload_kernels_demo.dir/workload_kernels_demo.cpp.o.d"
+  "workload_kernels_demo"
+  "workload_kernels_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_kernels_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("hw")
+subdirs("parallel")
+subdirs("stats")
+subdirs("io")
+subdirs("sim")
+subdirs("trace")
+subdirs("workloads")
+subdirs("model")
+subdirs("config")
+subdirs("pareto")
+subdirs("search")
+subdirs("report")
+subdirs("queueing")
+subdirs("cluster")

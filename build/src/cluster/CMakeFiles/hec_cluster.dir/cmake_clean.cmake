@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_cluster.dir/src/cluster_sim.cpp.o"
+  "CMakeFiles/hec_cluster.dir/src/cluster_sim.cpp.o.d"
+  "CMakeFiles/hec_cluster.dir/src/coscheduler.cpp.o"
+  "CMakeFiles/hec_cluster.dir/src/coscheduler.cpp.o.d"
+  "CMakeFiles/hec_cluster.dir/src/datacenter_sim.cpp.o"
+  "CMakeFiles/hec_cluster.dir/src/datacenter_sim.cpp.o.d"
+  "CMakeFiles/hec_cluster.dir/src/schedulers.cpp.o"
+  "CMakeFiles/hec_cluster.dir/src/schedulers.cpp.o.d"
+  "libhec_cluster.a"
+  "libhec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

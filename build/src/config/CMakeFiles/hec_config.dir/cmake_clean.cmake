@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_config.dir/src/budget.cpp.o"
+  "CMakeFiles/hec_config.dir/src/budget.cpp.o.d"
+  "CMakeFiles/hec_config.dir/src/enumerate.cpp.o"
+  "CMakeFiles/hec_config.dir/src/enumerate.cpp.o.d"
+  "CMakeFiles/hec_config.dir/src/evaluate.cpp.o"
+  "CMakeFiles/hec_config.dir/src/evaluate.cpp.o.d"
+  "CMakeFiles/hec_config.dir/src/multi_space.cpp.o"
+  "CMakeFiles/hec_config.dir/src/multi_space.cpp.o.d"
+  "libhec_config.a"
+  "libhec_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhec_config.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/src/catalog.cpp" "src/hw/CMakeFiles/hec_hw.dir/src/catalog.cpp.o" "gcc" "src/hw/CMakeFiles/hec_hw.dir/src/catalog.cpp.o.d"
+  "/root/repo/src/hw/src/node_spec.cpp" "src/hw/CMakeFiles/hec_hw.dir/src/node_spec.cpp.o" "gcc" "src/hw/CMakeFiles/hec_hw.dir/src/node_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_hw.dir/src/catalog.cpp.o"
+  "CMakeFiles/hec_hw.dir/src/catalog.cpp.o.d"
+  "CMakeFiles/hec_hw.dir/src/node_spec.cpp.o"
+  "CMakeFiles/hec_hw.dir/src/node_spec.cpp.o.d"
+  "libhec_hw.a"
+  "libhec_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_io.dir/src/csv.cpp.o"
+  "CMakeFiles/hec_io.dir/src/csv.cpp.o.d"
+  "CMakeFiles/hec_io.dir/src/gnuplot.cpp.o"
+  "CMakeFiles/hec_io.dir/src/gnuplot.cpp.o.d"
+  "CMakeFiles/hec_io.dir/src/table.cpp.o"
+  "CMakeFiles/hec_io.dir/src/table.cpp.o.d"
+  "libhec_io.a"
+  "libhec_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhec_io.a"
+)

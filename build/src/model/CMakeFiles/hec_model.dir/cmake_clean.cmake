@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_model.dir/src/bottleneck.cpp.o"
+  "CMakeFiles/hec_model.dir/src/bottleneck.cpp.o.d"
+  "CMakeFiles/hec_model.dir/src/characterize.cpp.o"
+  "CMakeFiles/hec_model.dir/src/characterize.cpp.o.d"
+  "CMakeFiles/hec_model.dir/src/inputs_io.cpp.o"
+  "CMakeFiles/hec_model.dir/src/inputs_io.cpp.o.d"
+  "CMakeFiles/hec_model.dir/src/matching.cpp.o"
+  "CMakeFiles/hec_model.dir/src/matching.cpp.o.d"
+  "CMakeFiles/hec_model.dir/src/multi_matching.cpp.o"
+  "CMakeFiles/hec_model.dir/src/multi_matching.cpp.o.d"
+  "CMakeFiles/hec_model.dir/src/node_model.cpp.o"
+  "CMakeFiles/hec_model.dir/src/node_model.cpp.o.d"
+  "libhec_model.a"
+  "libhec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

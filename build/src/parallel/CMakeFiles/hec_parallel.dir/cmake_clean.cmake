@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/hec_parallel.dir/src/thread_pool.cpp.o.d"
+  "libhec_parallel.a"
+  "libhec_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

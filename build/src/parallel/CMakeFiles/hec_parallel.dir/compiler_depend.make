@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hec_parallel.
+# This may be replaced when dependencies are built.

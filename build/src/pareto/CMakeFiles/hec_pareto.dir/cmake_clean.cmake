@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_pareto.dir/src/frontier.cpp.o"
+  "CMakeFiles/hec_pareto.dir/src/frontier.cpp.o.d"
+  "CMakeFiles/hec_pareto.dir/src/hypervolume.cpp.o"
+  "CMakeFiles/hec_pareto.dir/src/hypervolume.cpp.o.d"
+  "CMakeFiles/hec_pareto.dir/src/sweet_region.cpp.o"
+  "CMakeFiles/hec_pareto.dir/src/sweet_region.cpp.o.d"
+  "libhec_pareto.a"
+  "libhec_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

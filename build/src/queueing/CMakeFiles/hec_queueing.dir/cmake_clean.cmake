@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_queueing.dir/src/md1.cpp.o"
+  "CMakeFiles/hec_queueing.dir/src/md1.cpp.o.d"
+  "CMakeFiles/hec_queueing.dir/src/queue_sim.cpp.o"
+  "CMakeFiles/hec_queueing.dir/src/queue_sim.cpp.o.d"
+  "CMakeFiles/hec_queueing.dir/src/variants.cpp.o"
+  "CMakeFiles/hec_queueing.dir/src/variants.cpp.o.d"
+  "CMakeFiles/hec_queueing.dir/src/window_analysis.cpp.o"
+  "CMakeFiles/hec_queueing.dir/src/window_analysis.cpp.o.d"
+  "libhec_queueing.a"
+  "libhec_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_report.dir/src/markdown_report.cpp.o"
+  "CMakeFiles/hec_report.dir/src/markdown_report.cpp.o.d"
+  "libhec_report.a"
+  "libhec_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_search.dir/src/optimizer.cpp.o"
+  "CMakeFiles/hec_search.dir/src/optimizer.cpp.o.d"
+  "libhec_search.a"
+  "libhec_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/hec_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/hec_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/memory_model.cpp" "src/sim/CMakeFiles/hec_sim.dir/src/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/hec_sim.dir/src/memory_model.cpp.o.d"
+  "/root/repo/src/sim/src/nic_model.cpp" "src/sim/CMakeFiles/hec_sim.dir/src/nic_model.cpp.o" "gcc" "src/sim/CMakeFiles/hec_sim.dir/src/nic_model.cpp.o.d"
+  "/root/repo/src/sim/src/node_sim.cpp" "src/sim/CMakeFiles/hec_sim.dir/src/node_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hec_sim.dir/src/node_sim.cpp.o.d"
+  "/root/repo/src/sim/src/power_meter.cpp" "src/sim/CMakeFiles/hec_sim.dir/src/power_meter.cpp.o" "gcc" "src/sim/CMakeFiles/hec_sim.dir/src/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hec_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

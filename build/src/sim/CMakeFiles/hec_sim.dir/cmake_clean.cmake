@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/hec_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/hec_sim.dir/src/memory_model.cpp.o"
+  "CMakeFiles/hec_sim.dir/src/memory_model.cpp.o.d"
+  "CMakeFiles/hec_sim.dir/src/nic_model.cpp.o"
+  "CMakeFiles/hec_sim.dir/src/nic_model.cpp.o.d"
+  "CMakeFiles/hec_sim.dir/src/node_sim.cpp.o"
+  "CMakeFiles/hec_sim.dir/src/node_sim.cpp.o.d"
+  "CMakeFiles/hec_sim.dir/src/power_meter.cpp.o"
+  "CMakeFiles/hec_sim.dir/src/power_meter.cpp.o.d"
+  "libhec_sim.a"
+  "libhec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_stats.dir/src/regression.cpp.o"
+  "CMakeFiles/hec_stats.dir/src/regression.cpp.o.d"
+  "CMakeFiles/hec_stats.dir/src/summary.cpp.o"
+  "CMakeFiles/hec_stats.dir/src/summary.cpp.o.d"
+  "libhec_stats.a"
+  "libhec_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

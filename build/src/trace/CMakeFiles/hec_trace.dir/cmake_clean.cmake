@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_trace.dir/src/trace.cpp.o"
+  "CMakeFiles/hec_trace.dir/src/trace.cpp.o.d"
+  "libhec_trace.a"
+  "libhec_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

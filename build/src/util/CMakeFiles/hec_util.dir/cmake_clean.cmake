@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_util.dir/src/rng.cpp.o"
+  "CMakeFiles/hec_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/hec_util.dir/src/zipf.cpp.o"
+  "CMakeFiles/hec_util.dir/src/zipf.cpp.o.d"
+  "libhec_util.a"
+  "libhec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

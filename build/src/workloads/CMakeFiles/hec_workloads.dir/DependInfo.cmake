@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/src/blackscholes.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/blackscholes.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/src/encoder.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/encoder.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/encoder.cpp.o.d"
+  "/root/repo/src/workloads/src/ep_kernel.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/ep_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/ep_kernel.cpp.o.d"
+  "/root/repo/src/workloads/src/julius_decoder.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/julius_decoder.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/julius_decoder.cpp.o.d"
+  "/root/repo/src/workloads/src/kvstore.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/kvstore.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/kvstore.cpp.o.d"
+  "/root/repo/src/workloads/src/registry.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/registry.cpp.o.d"
+  "/root/repo/src/workloads/src/rsa.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/rsa.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/rsa.cpp.o.d"
+  "/root/repo/src/workloads/src/trace_builders.cpp" "src/workloads/CMakeFiles/hec_workloads.dir/src/trace_builders.cpp.o" "gcc" "src/workloads/CMakeFiles/hec_workloads.dir/src/trace_builders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hec_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hec_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hec_workloads.dir/src/blackscholes.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/blackscholes.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/encoder.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/encoder.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/ep_kernel.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/ep_kernel.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/julius_decoder.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/julius_decoder.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/kvstore.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/kvstore.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/registry.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/registry.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/rsa.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/rsa.cpp.o.d"
+  "CMakeFiles/hec_workloads.dir/src/trace_builders.cpp.o"
+  "CMakeFiles/hec_workloads.dir/src/trace_builders.cpp.o.d"
+  "libhec_workloads.a"
+  "libhec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

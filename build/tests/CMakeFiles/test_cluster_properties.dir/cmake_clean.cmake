@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_properties.dir/test_cluster_properties.cpp.o"
+  "CMakeFiles/test_cluster_properties.dir/test_cluster_properties.cpp.o.d"
+  "test_cluster_properties"
+  "test_cluster_properties.pdb"
+  "test_cluster_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

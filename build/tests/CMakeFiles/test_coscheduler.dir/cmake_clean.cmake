@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coscheduler.dir/test_coscheduler.cpp.o"
+  "CMakeFiles/test_coscheduler.dir/test_coscheduler.cpp.o.d"
+  "test_coscheduler"
+  "test_coscheduler.pdb"
+  "test_coscheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coscheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

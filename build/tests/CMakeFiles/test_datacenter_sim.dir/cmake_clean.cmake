@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datacenter_sim.dir/test_datacenter_sim.cpp.o"
+  "CMakeFiles/test_datacenter_sim.dir/test_datacenter_sim.cpp.o.d"
+  "test_datacenter_sim"
+  "test_datacenter_sim.pdb"
+  "test_datacenter_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datacenter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ep_kernel.dir/test_ep_kernel.cpp.o"
+  "CMakeFiles/test_ep_kernel.dir/test_ep_kernel.cpp.o.d"
+  "test_ep_kernel"
+  "test_ep_kernel.pdb"
+  "test_ep_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ep_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

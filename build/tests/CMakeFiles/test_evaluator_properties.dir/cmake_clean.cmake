@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluator_properties.dir/test_evaluator_properties.cpp.o"
+  "CMakeFiles/test_evaluator_properties.dir/test_evaluator_properties.cpp.o.d"
+  "test_evaluator_properties"
+  "test_evaluator_properties.pdb"
+  "test_evaluator_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

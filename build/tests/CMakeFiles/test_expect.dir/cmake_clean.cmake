@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expect.dir/test_expect.cpp.o"
+  "CMakeFiles/test_expect.dir/test_expect.cpp.o.d"
+  "test_expect"
+  "test_expect.pdb"
+  "test_expect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontier_properties.dir/test_frontier_properties.cpp.o"
+  "CMakeFiles/test_frontier_properties.dir/test_frontier_properties.cpp.o.d"
+  "test_frontier_properties"
+  "test_frontier_properties.pdb"
+  "test_frontier_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontier_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

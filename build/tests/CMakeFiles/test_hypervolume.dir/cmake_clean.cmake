@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypervolume.dir/test_hypervolume.cpp.o"
+  "CMakeFiles/test_hypervolume.dir/test_hypervolume.cpp.o.d"
+  "test_hypervolume"
+  "test_hypervolume.pdb"
+  "test_hypervolume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

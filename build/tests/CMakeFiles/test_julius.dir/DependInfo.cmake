@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_julius.cpp" "tests/CMakeFiles/test_julius.dir/test_julius.cpp.o" "gcc" "tests/CMakeFiles/test_julius.dir/test_julius.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hec_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hec_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_julius.dir/test_julius.cpp.o"
+  "CMakeFiles/test_julius.dir/test_julius.cpp.o.d"
+  "test_julius"
+  "test_julius.pdb"
+  "test_julius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_julius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_extensions.dir/test_kernel_extensions.cpp.o"
+  "CMakeFiles/test_kernel_extensions.dir/test_kernel_extensions.cpp.o.d"
+  "test_kernel_extensions"
+  "test_kernel_extensions.pdb"
+  "test_kernel_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

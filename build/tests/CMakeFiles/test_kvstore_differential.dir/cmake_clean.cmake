@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore_differential.dir/test_kvstore_differential.cpp.o"
+  "CMakeFiles/test_kvstore_differential.dir/test_kvstore_differential.cpp.o.d"
+  "test_kvstore_differential"
+  "test_kvstore_differential.pdb"
+  "test_kvstore_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

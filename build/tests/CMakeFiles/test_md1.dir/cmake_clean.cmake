@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md1.dir/test_md1.cpp.o"
+  "CMakeFiles/test_md1.dir/test_md1.cpp.o.d"
+  "test_md1"
+  "test_md1.pdb"
+  "test_md1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

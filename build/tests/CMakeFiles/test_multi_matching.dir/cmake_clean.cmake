@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_matching.dir/test_multi_matching.cpp.o"
+  "CMakeFiles/test_multi_matching.dir/test_multi_matching.cpp.o.d"
+  "test_multi_matching"
+  "test_multi_matching.pdb"
+  "test_multi_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_space.dir/test_multi_space.cpp.o"
+  "CMakeFiles/test_multi_space.dir/test_multi_space.cpp.o.d"
+  "test_multi_space"
+  "test_multi_space.pdb"
+  "test_multi_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_model.dir/test_nic_model.cpp.o"
+  "CMakeFiles/test_nic_model.dir/test_nic_model.cpp.o.d"
+  "test_nic_model"
+  "test_nic_model.pdb"
+  "test_nic_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

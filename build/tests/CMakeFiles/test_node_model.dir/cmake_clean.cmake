@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_model.dir/test_node_model.cpp.o"
+  "CMakeFiles/test_node_model.dir/test_node_model.cpp.o.d"
+  "test_node_model"
+  "test_node_model.pdb"
+  "test_node_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

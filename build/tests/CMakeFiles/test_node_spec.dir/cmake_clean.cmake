@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_spec.dir/test_node_spec.cpp.o"
+  "CMakeFiles/test_node_spec.dir/test_node_spec.cpp.o.d"
+  "test_node_spec"
+  "test_node_spec.pdb"
+  "test_node_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_sim.dir/test_queue_sim.cpp.o"
+  "CMakeFiles/test_queue_sim.dir/test_queue_sim.cpp.o.d"
+  "test_queue_sim"
+  "test_queue_sim.pdb"
+  "test_queue_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_variants.dir/test_queueing_variants.cpp.o"
+  "CMakeFiles/test_queueing_variants.dir/test_queueing_variants.cpp.o.d"
+  "test_queueing_variants"
+  "test_queueing_variants.pdb"
+  "test_queueing_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweet_region.dir/test_sweet_region.cpp.o"
+  "CMakeFiles/test_sweet_region.dir/test_sweet_region.cpp.o.d"
+  "test_sweet_region"
+  "test_sweet_region.pdb"
+  "test_sweet_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweet_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

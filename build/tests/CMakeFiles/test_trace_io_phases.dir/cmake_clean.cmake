@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_io_phases.dir/test_trace_io_phases.cpp.o"
+  "CMakeFiles/test_trace_io_phases.dir/test_trace_io_phases.cpp.o.d"
+  "test_trace_io_phases"
+  "test_trace_io_phases.pdb"
+  "test_trace_io_phases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_io_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/test_umbrella.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/test_umbrella.dir/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/hec_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/hec_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hec_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hec_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/hec_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hec_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hec_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/hec_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validation_integration.dir/test_validation_integration.cpp.o"
+  "CMakeFiles/test_validation_integration.dir/test_validation_integration.cpp.o.d"
+  "test_validation_integration"
+  "test_validation_integration.pdb"
+  "test_validation_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validation_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

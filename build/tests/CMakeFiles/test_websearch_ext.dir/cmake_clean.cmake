@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_websearch_ext.dir/test_websearch_ext.cpp.o"
+  "CMakeFiles/test_websearch_ext.dir/test_websearch_ext.cpp.o.d"
+  "test_websearch_ext"
+  "test_websearch_ext.pdb"
+  "test_websearch_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_websearch_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecsim_cli.dir/hecsim_cli.cpp.o"
+  "CMakeFiles/hecsim_cli.dir/hecsim_cli.cpp.o.d"
+  "hecsim_cli"
+  "hecsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

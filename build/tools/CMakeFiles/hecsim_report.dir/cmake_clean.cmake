@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecsim_report.dir/hecsim_report.cpp.o"
+  "CMakeFiles/hecsim_report.dir/hecsim_report.cpp.o.d"
+  "hecsim_report"
+  "hecsim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecsim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

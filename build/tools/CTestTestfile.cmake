@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_ep "/root/repo/build/tools/hecsim_cli" "EP" "120")
+set_tests_properties(cli_smoke_ep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_memcached_budget "/root/repo/build/tools/hecsim_cli" "memcached" "100" "--budget" "500" "--method" "bnb")
+set_tests_properties(cli_smoke_memcached_budget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_greedy "/root/repo/build/tools/hecsim_cli" "blackscholes" "400" "--method" "greedy" "--max-arm" "6" "--max-amd" "4")
+set_tests_properties(cli_smoke_greedy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_workload "/root/repo/build/tools/hecsim_cli" "nginx" "100")
+set_tests_properties(cli_rejects_unknown_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/hecsim_cli" "--help")
+set_tests_properties(cli_usage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(report_smoke "/root/repo/build/tools/hecsim_report" "memcached" "--out" "/root/repo/build/tools/memcached_report.md" "--max-arm" "4" "--max-amd" "4")
+set_tests_properties(report_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(report_rejects_unknown "/root/repo/build/tools/hecsim_report" "nginx")
+set_tests_properties(report_rejects_unknown PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
