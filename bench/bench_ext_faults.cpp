@@ -1,0 +1,184 @@
+// Extension experiment: how faults reshape the energy-deadline frontier.
+//
+// The paper's Pareto analysis assumes nothing fails. This experiment
+// re-evaluates the configuration space under a fault regime (fail-stop
+// crashes, stragglers, thermal capping) with checkpoint + re-matching
+// recovery, Monte Carlo over fault seeds, and compares:
+//   * the nominal frontier (fault-free model predictions), vs
+//   * the robust frontier (expected time, expected energy, abandonment
+//     probability below a reliability budget).
+// Expected-energy inflation from wasted work and idle tails shifts the
+// sweet region up and to the right; the CSV holds both frontiers for
+// plotting.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "hec/config/robust_evaluate.h"
+#include "hec/pareto/robust_frontier.h"
+
+namespace {
+
+using namespace hec;
+using namespace hec::bench;
+
+double percent(double now, double base) {
+  return base > 0.0 ? (now / base - 1.0) * 100.0 : 0.0;
+}
+
+void describe_sweet(const char* label,
+                    const std::vector<TimeEnergyPoint>& frontier,
+                    const HeterogeneousPredicate& het) {
+  const auto sweet = find_sweet_region(frontier, het);
+  if (!sweet) {
+    std::cout << label << ": no sweet region (fewer than 3 leading "
+              << "heterogeneous points)\n";
+    return;
+  }
+  const auto& lo = frontier[sweet->begin];
+  const auto& hi = frontier[sweet->end - 1];
+  std::cout << label << ": " << sweet->size() << " heterogeneous points, "
+            << "t in [" << TablePrinter::num(lo.t_s * 1e3, 1) << ", "
+            << TablePrinter::num(hi.t_s * 1e3, 1) << "] ms, energy in ["
+            << TablePrinter::num(sweet->energy_lower_j, 1) << ", "
+            << TablePrinter::num(sweet->energy_upper_j, 1) << "] J, slope "
+            << TablePrinter::num(sweet->energy_vs_time.slope, 2) << " J/s\n";
+}
+
+}  // namespace
+
+int main() {
+  banner("Robust vs nominal energy-deadline Pareto under faults",
+         "reliability extension (fault-injection subsystem)");
+
+  const Workload workload = find_workload("EP");
+  const WorkloadModels models = build_models(workload);
+  const double units = workload.analysis_units;
+  const int kMaxArm = 6, kMaxAmd = 6;
+
+  const std::vector<ConfigOutcome> outcomes =
+      evaluate_space(models, kMaxArm, kMaxAmd, units);
+  const std::vector<TimeEnergyPoint> nominal_frontier =
+      pareto_frontier(to_points(outcomes));
+  std::cout << outcomes.size() << " configurations (up to " << kMaxArm
+            << " ARM + " << kMaxAmd << " AMD nodes), nominal frontier "
+            << nominal_frontier.size() << " points\n";
+
+  // Fault regime scaled to the workload. MTTF is per node, so with up to
+  // 12 nodes a run sees roughly n * t / MTTF crashes; 25x a typical
+  // frontier job puts large configurations around half a crash per run —
+  // frequent enough to separate robust from fragile mixes without
+  // drowning every configuration.
+  const double t_ref =
+      nominal_frontier[nominal_frontier.size() / 2].t_s;
+  FaultConfig faults;
+  faults.mttf_s = 25.0 * t_ref;
+  faults.straggler_prob = 0.15;
+  faults.straggler_slowdown = 2.0;
+  faults.straggler_window_s = t_ref;
+  faults.thermal_cap_prob = 0.10;
+  faults.thermal_cap_factor = 0.75;
+  faults.checkpoint_interval_s = t_ref / 5.0;
+  faults.checkpoint_cost_s = 0.01 * t_ref;
+  faults.restart_overhead_s = 0.02 * t_ref;
+  std::cout << "fault regime: MTTF " << TablePrinter::num(faults.mttf_s, 3)
+            << " s, straggler p=" << faults.straggler_prob
+            << " (2x for " << TablePrinter::num(t_ref, 3)
+            << " s), thermal p=" << faults.thermal_cap_prob
+            << " (cap 0.75f), checkpoint every "
+            << TablePrinter::num(faults.checkpoint_interval_s, 3) << " s\n";
+
+  MonteCarloOptions mc;
+  mc.trials = 16;
+  const RobustConfigEvaluator robust(models.arm, models.amd, faults, mc);
+  std::vector<ClusterConfig> configs;
+  configs.reserve(outcomes.size());
+  for (const ConfigOutcome& o : outcomes) configs.push_back(o.config);
+  const std::vector<RobustOutcome> robust_outcomes =
+      robust.evaluate_all(configs, units);
+
+  std::vector<RobustPoint> robust_points;
+  robust_points.reserve(robust_outcomes.size());
+  for (std::size_t i = 0; i < robust_outcomes.size(); ++i) {
+    const RobustOutcome& r = robust_outcomes[i];
+    robust_points.push_back({r.mean_t_s, r.mean_energy_j, r.miss_prob, i});
+  }
+  constexpr double kMaxAbandonProb = 0.05;
+  const std::vector<TimeEnergyPoint> robust_frontier =
+      robust_pareto_frontier(robust_points, kMaxAbandonProb);
+  std::cout << "robust frontier (" << mc.trials
+            << " trials/config, abandonment <= " << kMaxAbandonProb
+            << "): " << robust_frontier.size() << " points\n\n";
+
+  const auto het = [&](std::size_t tag) {
+    return outcomes[tag].config.heterogeneous();
+  };
+  describe_sweet("nominal sweet region", nominal_frontier, het);
+  describe_sweet("robust  sweet region", robust_frontier, het);
+
+  // Minimum energy to meet log-spaced deadlines, nominal vs expected.
+  const EnergyDeadlineCurve nominal_curve(nominal_frontier);
+  const EnergyDeadlineCurve robust_curve(robust_frontier);
+  const double t_lo = robust_curve.min_time_s();
+  const double t_hi = robust_frontier.back().t_s;
+  std::cout << "\nMinimum energy per deadline (nominal prediction vs "
+            << "expected under faults):\n";
+  TablePrinter table({"Deadline [ms]", "Nominal [J]", "Nominal config",
+                      "Robust E[J]", "Robust config", "Penalty"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kLeft,
+                       Align::kRight, Align::kLeft, Align::kRight});
+  const int kDeadlines = 6;
+  for (int k = 0; k < kDeadlines; ++k) {
+    const double frac = static_cast<double>(k) / (kDeadlines - 1);
+    const double deadline = t_lo * std::pow(t_hi / t_lo, frac);
+    const auto nom = nominal_curve.best_for_deadline(deadline);
+    const auto rob = robust_curve.best_for_deadline(deadline);
+    if (!nom || !rob) continue;
+    table.add_row({TablePrinter::num(deadline * 1e3, 1),
+                   TablePrinter::num(nom->energy_j, 1),
+                   describe(outcomes[nom->tag].config),
+                   TablePrinter::num(rob->energy_j, 1),
+                   describe(outcomes[rob->tag].config),
+                   TablePrinter::num(percent(rob->energy_j, nom->energy_j),
+                                     1) + " %"});
+  }
+  table.print(std::cout);
+
+  // How fragile is the nominal winner? Robust-evaluate the nominal
+  // frontier's knee point against its own nominal time as the deadline.
+  const TimeEnergyPoint knee =
+      nominal_frontier[nominal_frontier.size() / 2];
+  const RobustOutcome knee_robust = robust.evaluate(
+      outcomes[knee.tag].config, units, knee.t_s * 1.1);
+  std::cout << "\nnominal knee " << describe(outcomes[knee.tag].config)
+            << ": predicted " << TablePrinter::num(knee.t_s * 1e3, 1)
+            << " ms / " << TablePrinter::num(knee.energy_j, 1)
+            << " J; under faults E[t] "
+            << TablePrinter::num(knee_robust.mean_t_s * 1e3, 1)
+            << " ms, E[energy] "
+            << TablePrinter::num(knee_robust.mean_energy_j, 1) << " J ("
+            << TablePrinter::num(knee_robust.mean_wasted_j, 1)
+            << " J wasted), misses a 10%-padded deadline "
+            << TablePrinter::num(knee_robust.miss_prob * 100.0, 1)
+            << " % of runs\n";
+
+  CsvFile csv("fig_faults_robust_pareto");
+  csv.writer().header({"series", "t_s", "energy_j", "miss_prob",
+                       "heterogeneous", "config"});
+  for (const TimeEnergyPoint& p : nominal_frontier) {
+    csv.writer().row({"nominal", format_double(p.t_s),
+                      format_double(p.energy_j), "0",
+                      het(p.tag) ? "1" : "0",
+                      describe(outcomes[p.tag].config)});
+  }
+  for (const TimeEnergyPoint& p : robust_frontier) {
+    csv.writer().row({"robust", format_double(p.t_s),
+                      format_double(p.energy_j),
+                      format_double(robust_points[p.tag].miss_prob),
+                      het(p.tag) ? "1" : "0",
+                      describe(outcomes[p.tag].config)});
+  }
+  return 0;
+}

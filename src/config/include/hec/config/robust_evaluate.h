@@ -1,0 +1,84 @@
+// Robust (fault-aware) configuration evaluation.
+//
+// The nominal evaluator ranks configurations by model-predicted time and
+// energy assuming nothing fails. Under fail-stop crashes and stragglers
+// the matched split's "everyone finishes together" property breaks, and
+// the cheapest nominal configuration is often the most fragile one. This
+// evaluator runs Monte Carlo over fault seeds (hec/fault) and reports
+// expected time, expected energy, and the probability of missing a
+// deadline — the inputs of the robust Pareto frontier.
+//
+// All configurations share the same per-trial seed sequence (common
+// random numbers), so cross-configuration comparisons see the same fault
+// draws and the Monte Carlo noise largely cancels in differences.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/fault/fault_model.h"
+
+namespace hec {
+
+/// Monte Carlo controls for the robust evaluation.
+struct MonteCarloOptions {
+  int trials = 64;                              ///< fault seeds per config
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Robust evaluation of one configuration: Monte Carlo means over fault
+/// seeds, next to the nominal (fault-free) prediction. Means are over all
+/// trials; abandoned runs (every node crashed) contribute their
+/// abandonment time and energy and always count as deadline misses.
+struct RobustOutcome {
+  ConfigOutcome nominal;        ///< the fault-free prediction
+  double mean_t_s = 0.0;        ///< expected completion/abandonment time
+  double mean_energy_j = 0.0;   ///< expected energy, waste included
+  double miss_prob = 0.0;       ///< P(not completed or t_s > deadline)
+  double completion_prob = 1.0; ///< P(job finished at all)
+  double mean_crashes = 0.0;
+  double mean_wasted_j = 0.0;   ///< expected energy spent on lost work
+  double mean_overhead_s = 0.0; ///< expected checkpoint/restart stalls
+};
+
+/// Evaluates configurations under a fault model by Monte Carlo over the
+/// analytical recovery simulation (simulate_faulty_run).
+class RobustConfigEvaluator {
+ public:
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
+  /// Both models must outlive the evaluator.
+  RobustConfigEvaluator(const NodeTypeModel& arm_model,
+                        const NodeTypeModel& amd_model,
+                        const FaultConfig& faults,
+                        const MonteCarloOptions& mc = {});
+
+  /// Robust prediction of one configuration servicing `work_units`.
+  /// `deadline_s` feeds miss_prob (kNoDeadline: only abandonment counts
+  /// as a miss). With faults disabled this is one exact nominal trial.
+  RobustOutcome evaluate(const ClusterConfig& config, double work_units,
+                         double deadline_s = kNoDeadline,
+                         bool parallel = true) const;
+
+  /// Robust prediction of every configuration (parallel across configs
+  /// on the library pool when `parallel`; trials run serially inside).
+  std::vector<RobustOutcome> evaluate_all(
+      std::span<const ClusterConfig> configs, double work_units,
+      double deadline_s = kNoDeadline, bool parallel = true) const;
+
+  const FaultConfig& faults() const { return faults_; }
+  const MonteCarloOptions& monte_carlo() const { return mc_; }
+
+ private:
+  ConfigEvaluator nominal_;
+  const NodeTypeModel* arm_;
+  const NodeTypeModel* amd_;
+  FaultConfig faults_;
+  MonteCarloOptions mc_;
+};
+
+}  // namespace hec

@@ -1,0 +1,113 @@
+#include "hec/config/robust_evaluate.h"
+
+#include "hec/fault/recovery.h"
+#include "hec/parallel/thread_pool.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+
+/// Per-trial seed derivation (splitmix64 finaliser over base ^ trial):
+/// well-spread seeds from consecutive trial indices, identical across
+/// configurations for common-random-numbers comparisons.
+std::uint64_t trial_seed(std::uint64_t base, std::uint64_t trial) {
+  constexpr std::uint64_t kMul1 = 0xbf58476d1ce4e5b9ull;
+  constexpr std::uint64_t kMul2 = 0x94d049bb133111ebull;
+  std::uint64_t z = base ^ (trial * kMul1);
+  z = (z ^ (z >> 30)) * kMul1;
+  z = (z ^ (z >> 27)) * kMul2;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RobustConfigEvaluator::RobustConfigEvaluator(const NodeTypeModel& arm_model,
+                                             const NodeTypeModel& amd_model,
+                                             const FaultConfig& faults,
+                                             const MonteCarloOptions& mc)
+    : nominal_(arm_model, amd_model),
+      arm_(&arm_model),
+      amd_(&amd_model),
+      faults_(faults),
+      mc_(mc) {
+  HEC_EXPECTS(mc_.trials >= 1);
+}
+
+RobustOutcome RobustConfigEvaluator::evaluate(const ClusterConfig& config,
+                                              double work_units,
+                                              double deadline_s,
+                                              bool parallel) const {
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_EXPECTS(deadline_s > 0.0);
+  HEC_EXPECTS(config.uses_arm() || config.uses_amd());
+
+  RobustOutcome out;
+  out.nominal = nominal_.evaluate(config, work_units);
+
+  std::vector<TypedDeployment> deployments;
+  if (config.uses_arm()) deployments.push_back({arm_, config.arm});
+  if (config.uses_amd()) deployments.push_back({amd_, config.amd});
+
+  // Disabled faults: one trial is exact (simulate_faulty_run returns the
+  // nominal closed form), so skip the Monte Carlo loop entirely.
+  const int trials = faults_.enabled() ? mc_.trials : 1;
+
+  const auto run_trial = [&](std::size_t trial) {
+    return simulate_faulty_run(deployments, work_units, faults_,
+                               trial_seed(mc_.base_seed, trial));
+  };
+  std::vector<FaultyRunResult> runs;
+  if (parallel && trials > 1) {
+    runs = parallel_map<FaultyRunResult>(static_cast<std::size_t>(trials),
+                                         run_trial);
+  } else {
+    runs.reserve(static_cast<std::size_t>(trials));
+    for (int k = 0; k < trials; ++k) {
+      runs.push_back(run_trial(static_cast<std::size_t>(k)));
+    }
+  }
+
+  int misses = 0;
+  int completions = 0;
+  for (const FaultyRunResult& r : runs) {
+    out.mean_t_s += r.t_s;
+    out.mean_energy_j += r.energy.total_j();
+    out.mean_crashes += r.crashes;
+    out.mean_wasted_j += r.wasted_j;
+    out.mean_overhead_s += r.overhead_s;
+    if (r.completed) ++completions;
+    if (!r.completed || r.t_s > deadline_s) ++misses;
+  }
+  const double n = static_cast<double>(trials);
+  out.mean_t_s /= n;
+  out.mean_energy_j /= n;
+  out.mean_crashes /= n;
+  out.mean_wasted_j /= n;
+  out.mean_overhead_s /= n;
+  out.miss_prob = static_cast<double>(misses) / n;
+  out.completion_prob = static_cast<double>(completions) / n;
+  return out;
+}
+
+std::vector<RobustOutcome> RobustConfigEvaluator::evaluate_all(
+    std::span<const ClusterConfig> configs, double work_units,
+    double deadline_s, bool parallel) const {
+  std::vector<RobustOutcome> outcomes(configs.size());
+  if (parallel) {
+    // Trials stay serial inside each config: nesting parallel_for on the
+    // shared pool would have workers blocking on workers.
+    parallel_for(0, configs.size(), [&](std::size_t i) {
+      outcomes[i] =
+          evaluate(configs[i], work_units, deadline_s, /*parallel=*/false);
+    });
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      outcomes[i] =
+          evaluate(configs[i], work_units, deadline_s, /*parallel=*/false);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace hec

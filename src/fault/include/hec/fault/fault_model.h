@@ -1,0 +1,101 @@
+// Stochastic fault models for heterogeneous clusters.
+//
+// The paper's mix-and-match technique assumes every node finishes its
+// matched share simultaneously; one fail-stop node or one throttled
+// straggler silently breaks both the time prediction and the idle-energy
+// minimisation. This module defines the fault classes the reliability
+// extension injects — fail-stop crashes (exponential MTTF), transient
+// stragglers (bounded slowdown windows), and thermal frequency capping —
+// and samples per-node fault timelines from them. The sampled timelines
+// feed two consumers: the event-driven node simulator (via NodeFaultPlan)
+// and the analytical recovery simulation (hec/fault/recovery.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "hec/sim/node_sim.h"
+#include "hec/util/rng.h"
+
+namespace hec {
+
+/// All fault-injection and recovery knobs for one experiment. The
+/// default-constructed config is inert (enabled() == false): infinite
+/// MTTF, zero straggler/thermal probability, no checkpointing — the
+/// zero-overhead path every nominal pipeline keeps using.
+struct FaultConfig {
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  // --- fault model ---
+  /// Mean time to failure of one node (exponential fail-stop model);
+  /// infinity disables crashes.
+  double mttf_s = kNever;
+  /// Probability that a node experiences one straggler window per job.
+  double straggler_prob = 0.0;
+  /// Chunk slowdown factor inside a straggler window (> 1).
+  double straggler_slowdown = 2.0;
+  /// Length of one straggler window in seconds (bounded, then recovers).
+  double straggler_window_s = 0.0;
+  /// Probability that a node hits thermal frequency capping mid-job.
+  double thermal_cap_prob = 0.0;
+  /// Capped-clock fraction of the nominal frequency (0 < factor <= 1).
+  double thermal_cap_factor = 0.75;
+
+  // --- recovery policy ---
+  /// Synchronised cluster checkpoint interval; work completed since the
+  /// last checkpoint is lost when its node crashes. Infinity = none.
+  double checkpoint_interval_s = kNever;
+  /// Wall-clock pause per checkpoint (all nodes stall, idle-floor power).
+  double checkpoint_cost_s = 0.0;
+  /// Stall after a crash before survivors resume (failure detection plus
+  /// restart-from-checkpoint), charged at idle-floor power.
+  double restart_overhead_s = 0.0;
+  /// Stall for re-running the mix-and-match split over survivors.
+  double rematch_overhead_s = 0.0;
+
+  bool crashes_enabled() const { return mttf_s < kNever; }
+  bool enabled() const {
+    return crashes_enabled() || straggler_prob > 0.0 ||
+           thermal_cap_prob > 0.0;
+  }
+};
+
+/// One node's sampled fault timeline for one run. All times are absolute
+/// simulation seconds from job start.
+struct NodeFaultSample {
+  double crash_time_s = FaultConfig::kNever;
+  double straggler_start_s = FaultConfig::kNever;
+  double straggler_end_s = FaultConfig::kNever;
+  double straggler_slowdown = 1.0;
+  double thermal_onset_s = FaultConfig::kNever;
+  /// Execution-rate multiplier while capped (~ capped f / nominal f).
+  double thermal_factor = 1.0;
+
+  bool crashes() const { return crash_time_s < FaultConfig::kNever; }
+
+  /// Execution-rate multiplier of this (alive) node at time t: 1 nominal,
+  /// reduced inside the straggler window and after the thermal onset.
+  double rate_multiplier(double t) const {
+    double m = 1.0;
+    if (t >= straggler_start_s && t < straggler_end_s) {
+      m /= straggler_slowdown;
+    }
+    if (t >= thermal_onset_s) m *= thermal_factor;
+    return m;
+  }
+};
+
+/// Samples one node's fault timeline. `horizon_s` bounds where straggler
+/// windows and thermal onsets may begin (use the job's nominal completion
+/// time); crash times are unbounded exponentials. Draws a fixed number of
+/// variates per call, so per-node streams stay aligned across configs.
+NodeFaultSample sample_node_faults(const FaultConfig& config, Rng& rng,
+                                   double horizon_s);
+
+/// Bridges a sampled timeline to the event-driven node simulator:
+/// the thermal cap becomes an absolute capped frequency for a node
+/// clocked at `f_ghz`.
+NodeFaultPlan to_node_fault_plan(const NodeFaultSample& sample,
+                                 double f_ghz);
+
+}  // namespace hec

@@ -1,0 +1,61 @@
+// Recovery policies over a matched heterogeneous execution.
+//
+// Runs one job under the analytical model with sampled faults and the
+// configured recovery policy:
+//   * restart-from-checkpoint — synchronised cluster checkpoints every
+//     `checkpoint_interval_s`; when a node fail-stops, only its work since
+//     the last checkpoint is lost (all of it without checkpointing);
+//   * failure-aware re-matching — after every crash the mix-and-match
+//     split (match_split_multi) is rerun over the surviving nodes, so
+//     survivors again finish simultaneously; the re-balance stall and the
+//     wasted (lost) work are charged to the run.
+//
+// The execution timeline is piecewise linear: between fault/checkpoint
+// boundaries every deployment processes work at a constant rate, so the
+// simulation walks O(faults + checkpoints) segments — cheap enough for
+// Monte Carlo over thousands of configurations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hec/fault/fault_model.h"
+#include "hec/model/multi_matching.h"
+
+namespace hec {
+
+/// Outcome of one job execution under faults and recovery.
+struct FaultyRunResult {
+  bool completed = true;     ///< false when every node crashed first
+  double t_s = 0.0;          ///< job completion (or abandonment) time
+  EnergyBreakdown energy;    ///< total energy, including waste + overhead
+
+  int crashes = 0;           ///< fail-stop events before completion
+  int rematches = 0;         ///< failure-aware re-matching rounds
+  int checkpoints = 0;       ///< checkpoints taken before completion
+  double wasted_units = 0.0; ///< completed work lost to crashes and redone
+  double wasted_j = 0.0;     ///< energy that had been spent on lost work
+  double overhead_s = 0.0;   ///< checkpoint + restart + rematch stalls
+  std::vector<int> survivors;  ///< per-deployment nodes alive at the end
+};
+
+/// Failure-aware re-matching: the matched split of `remaining_units` over
+/// the surviving sub-cluster (deployments[i] reduced to survivors[i]
+/// nodes). Deployments with zero survivors receive a zero share. By the
+/// rate-proportional matching property every surviving deployment finishes
+/// its share at the same instant.
+/// Preconditions: sizes match, at least one survivor, remaining_units > 0.
+std::vector<double> rematch_survivors(
+    std::span<const TypedDeployment> deployments,
+    std::span<const int> survivors, double remaining_units);
+
+/// Simulates one job of `work_units` on the matched deployments under
+/// faults sampled from `config` with `seed`. With config.enabled() ==
+/// false, no sampling happens and the result equals the nominal
+/// predict_multi outcome exactly (same closed-form arithmetic).
+FaultyRunResult simulate_faulty_run(
+    std::span<const TypedDeployment> deployments, double work_units,
+    const FaultConfig& config, std::uint64_t seed);
+
+}  // namespace hec

@@ -1,0 +1,65 @@
+#include "hec/fault/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+NodeFaultSample sample_node_faults(const FaultConfig& config, Rng& rng,
+                                   double horizon_s) {
+  HEC_EXPECTS(horizon_s >= 0.0);
+  HEC_EXPECTS(config.straggler_prob >= 0.0 && config.straggler_prob <= 1.0);
+  HEC_EXPECTS(config.thermal_cap_prob >= 0.0 &&
+              config.thermal_cap_prob <= 1.0);
+  HEC_EXPECTS(config.straggler_slowdown >= 1.0);
+  HEC_EXPECTS(config.thermal_cap_factor > 0.0 &&
+              config.thermal_cap_factor <= 1.0);
+
+  NodeFaultSample sample;
+  // Fixed draw count per node (three uniforms + one exponential-shaped
+  // uniform) keeps sibling nodes' streams aligned no matter which fault
+  // classes are enabled.
+  const double u_crash = rng.uniform();
+  const double u_straggle = rng.uniform();
+  const double straggle_at = rng.uniform(0.0, std::max(horizon_s, 1e-12));
+  const double u_thermal = rng.uniform();
+  const double thermal_at = rng.uniform(0.0, std::max(horizon_s, 1e-12));
+
+  if (config.crashes_enabled()) {
+    // Inverse-CDF exponential: -ln(1-u) * MTTF; u < 1 so the log is finite.
+    sample.crash_time_s =
+        -std::log1p(-std::min(u_crash, 0x1.fffffffffffffp-1)) *
+        config.mttf_s;
+  }
+  if (u_straggle < config.straggler_prob &&
+      config.straggler_slowdown > 1.0 && config.straggler_window_s > 0.0) {
+    sample.straggler_start_s = straggle_at;
+    sample.straggler_end_s = straggle_at + config.straggler_window_s;
+    sample.straggler_slowdown = config.straggler_slowdown;
+  }
+  if (u_thermal < config.thermal_cap_prob &&
+      config.thermal_cap_factor < 1.0) {
+    sample.thermal_onset_s = thermal_at;
+    sample.thermal_factor = config.thermal_cap_factor;
+  }
+  return sample;
+}
+
+NodeFaultPlan to_node_fault_plan(const NodeFaultSample& sample,
+                                 double f_ghz) {
+  HEC_EXPECTS(f_ghz > 0.0);
+  NodeFaultPlan plan;
+  plan.crash_time_s = sample.crash_time_s;
+  plan.straggler_start_s = sample.straggler_start_s;
+  plan.straggler_end_s = sample.straggler_end_s;
+  plan.straggler_slowdown = sample.straggler_slowdown;
+  if (sample.thermal_factor < 1.0) {
+    plan.thermal_cap_time_s = sample.thermal_onset_s;
+    plan.thermal_cap_f_ghz = f_ghz * sample.thermal_factor;
+  }
+  return plan;
+}
+
+}  // namespace hec

@@ -1,0 +1,288 @@
+#include "hec/fault/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<double> rematch_survivors(
+    std::span<const TypedDeployment> deployments,
+    std::span<const int> survivors, double remaining_units) {
+  HEC_EXPECTS(deployments.size() == survivors.size());
+  HEC_EXPECTS(remaining_units > 0.0);
+  std::vector<TypedDeployment> live;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    HEC_EXPECTS(survivors[i] >= 0);
+    if (survivors[i] == 0) continue;
+    TypedDeployment d = deployments[i];
+    d.config.nodes = survivors[i];
+    live.push_back(d);
+    index.push_back(i);
+  }
+  HEC_EXPECTS(!live.empty());
+  const std::vector<double> shares = match_split_multi(live, remaining_units);
+  std::vector<double> out(deployments.size(), 0.0);
+  for (std::size_t k = 0; k < live.size(); ++k) out[index[k]] = shares[k];
+  return out;
+}
+
+namespace {
+
+/// Per-deployment constants of the linear model, hoisted out of the
+/// segment loop. The model is exactly linear in work units and node
+/// count, so one predict(1 unit, 1 node) call yields the per-node
+/// execution rate and per-node component power draws.
+struct DeploymentRates {
+  double rate_units_per_s = 0.0;   ///< one node's execution rate
+  double energy_per_unit_j = 0.0;  ///< energy one unit costs (any scale)
+  EnergyBreakdown node_power_w;    ///< per-node draw while executing
+  double idle_node_w = 0.0;        ///< per-node draw while waiting
+};
+
+DeploymentRates rates_of(const TypedDeployment& d) {
+  HEC_EXPECTS(d.model != nullptr);
+  NodeConfig one = d.config;
+  one.nodes = 1;
+  const Prediction p = d.model->predict(1.0, one);
+  HEC_EXPECTS(p.t_s > 0.0);
+  DeploymentRates r;
+  r.rate_units_per_s = 1.0 / p.t_s;
+  r.energy_per_unit_j = p.energy.total_j();
+  r.node_power_w.core_j = p.energy.core_j / p.t_s;
+  r.node_power_w.mem_j = p.energy.mem_j / p.t_s;
+  r.node_power_w.io_j = p.energy.io_j / p.t_s;
+  r.node_power_w.idle_j = p.energy.idle_j / p.t_s;
+  r.idle_node_w = d.model->power().idle_w;
+  return r;
+}
+
+/// Timeline breakpoint: an instant where some node's rate multiplier or
+/// liveness changes. Only crashes carry an action; straggler and thermal
+/// boundaries merely delimit constant-rate segments.
+struct Breakpoint {
+  double t = 0.0;
+  bool is_crash = false;
+  std::size_t dep = 0;
+  int node = 0;
+};
+
+}  // namespace
+
+FaultyRunResult simulate_faulty_run(
+    std::span<const TypedDeployment> deployments, double work_units,
+    const FaultConfig& config, std::uint64_t seed) {
+  HEC_EXPECTS(!deployments.empty());
+  HEC_EXPECTS(work_units > 0.0);
+
+  FaultyRunResult out;
+  out.survivors.reserve(deployments.size());
+  for (const TypedDeployment& d : deployments) {
+    HEC_EXPECTS(d.model != nullptr);
+    HEC_EXPECTS(d.config.nodes >= 1);
+    out.survivors.push_back(d.config.nodes);
+  }
+
+  const MultiPrediction nominal = predict_multi(deployments, work_units);
+  if (!config.enabled()) {
+    // Zero-overhead default: exactly the nominal closed form, no RNG.
+    out.t_s = nominal.t_s;
+    for (const Prediction& p : nominal.parts) out.energy += p.energy;
+    return out;
+  }
+
+  // --- sample per-node fault timelines (fixed order => deterministic) ---
+  Rng base(seed);
+  const double horizon = nominal.t_s;
+  std::vector<std::vector<NodeFaultSample>> faults(deployments.size());
+  std::vector<Breakpoint> events;
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    faults[i].reserve(static_cast<std::size_t>(deployments[i].config.nodes));
+    for (int j = 0; j < deployments[i].config.nodes; ++j) {
+      Rng node_rng = base.split(static_cast<std::uint64_t>(j) + 1);
+      const NodeFaultSample s =
+          sample_node_faults(config, node_rng, horizon);
+      if (s.crashes()) events.push_back({s.crash_time_s, true, i, j});
+      if (s.straggler_start_s < FaultConfig::kNever) {
+        events.push_back({s.straggler_start_s, false, i, j});
+        events.push_back({s.straggler_end_s, false, i, j});
+      }
+      if (s.thermal_onset_s < FaultConfig::kNever) {
+        events.push_back({s.thermal_onset_s, false, i, j});
+      }
+      faults[i].push_back(s);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Breakpoint& a, const Breakpoint& b) {
+                     return a.t < b.t;
+                   });
+
+  // --- per-deployment model constants and mutable run state ---
+  std::vector<DeploymentRates> rates;
+  rates.reserve(deployments.size());
+  for (const TypedDeployment& d : deployments) rates.push_back(rates_of(d));
+
+  std::vector<double> w = match_split_multi(deployments, work_units);
+  std::vector<std::vector<bool>> alive(deployments.size());
+  std::vector<std::vector<double>> since_cp(deployments.size());
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    alive[i].assign(static_cast<std::size_t>(deployments[i].config.nodes),
+                    true);
+    since_cp[i].assign(static_cast<std::size_t>(deployments[i].config.nodes),
+                       0.0);
+  }
+
+  const double work_eps = work_units * 1e-12;
+  double t = 0.0;
+  double stall_until = 0.0;
+  double next_cp = config.checkpoint_interval_s;  // kNever when disabled
+  std::size_t ev = 0;
+  int total_alive = 0;
+  for (const auto& s : out.survivors) total_alive += s;
+
+  // Each iteration advances one constant-rate segment; the breakpoint
+  // count bounds the segment count, so cap generously against bugs.
+  for (long iteration = 0;; ++iteration) {
+    if (iteration > 10'000'000) {
+      throw std::runtime_error(
+          "simulate_faulty_run: segment loop failed to converge");
+    }
+
+    double remaining = 0.0;
+    for (double wi : w) remaining += wi;
+    if (remaining <= work_eps) {
+      out.t_s = t;
+      out.completed = true;
+      break;
+    }
+
+    const bool stalled = t < stall_until;
+
+    // Deployment rates over this segment (constant until the next
+    // breakpoint: every multiplier change is an event time).
+    std::vector<double> rate(deployments.size(), 0.0);
+    for (std::size_t i = 0; i < deployments.size(); ++i) {
+      if (stalled) continue;
+      double mult_sum = 0.0;
+      for (std::size_t j = 0; j < alive[i].size(); ++j) {
+        if (alive[i][j]) mult_sum += faults[i][j].rate_multiplier(t);
+      }
+      rate[i] = rates[i].rate_units_per_s * mult_sum;
+    }
+
+    // Earliest of: stall end, any share completion, next breakpoint,
+    // next checkpoint.
+    double t_next = FaultConfig::kNever;
+    if (stalled) t_next = stall_until;
+    for (std::size_t i = 0; i < deployments.size(); ++i) {
+      if (w[i] > work_eps && rate[i] > 0.0) {
+        t_next = std::min(t_next, t + w[i] / rate[i]);
+      }
+    }
+    if (ev < events.size()) t_next = std::min(t_next, events[ev].t);
+    t_next = std::min(t_next, next_cp);
+    if (!(t_next < FaultConfig::kNever)) {
+      // No live node can make progress and no event changes that: the
+      // job is stuck (everything crashed mid-stall, etc.).
+      out.completed = false;
+      out.t_s = t;
+      break;
+    }
+    t_next = std::max(t_next, t);
+
+    // Accrue work and energy over [t, t_next).
+    const double dt = t_next - t;
+    if (dt > 0.0) {
+      for (std::size_t i = 0; i < deployments.size(); ++i) {
+        int m_alive = 0;
+        for (std::size_t j = 0; j < alive[i].size(); ++j) {
+          if (alive[i][j]) ++m_alive;
+        }
+        if (m_alive == 0) continue;  // crashed nodes are powered off
+        const bool executing = !stalled && w[i] > work_eps;
+        if (!executing) {
+          // Finished its share (idle tail) or stalled in recovery:
+          // idle floor only.
+          out.energy.idle_j += m_alive * rates[i].idle_node_w * dt;
+          continue;
+        }
+        out.energy.core_j += m_alive * rates[i].node_power_w.core_j * dt;
+        out.energy.mem_j += m_alive * rates[i].node_power_w.mem_j * dt;
+        out.energy.io_j += m_alive * rates[i].node_power_w.io_j * dt;
+        out.energy.idle_j += m_alive * rates[i].node_power_w.idle_j * dt;
+        const double dw = std::min(w[i], rate[i] * dt);
+        w[i] -= dw;
+        for (std::size_t j = 0; j < alive[i].size(); ++j) {
+          if (alive[i][j]) {
+            since_cp[i][j] += rates[i].rate_units_per_s *
+                              faults[i][j].rate_multiplier(t) * dt;
+          }
+        }
+      }
+      t = t_next;
+    } else {
+      t = t_next;
+    }
+
+    // Checkpoint due: completed work becomes durable cluster-wide.
+    if (next_cp <= t) {
+      for (auto& per_dep : since_cp) {
+        std::fill(per_dep.begin(), per_dep.end(), 0.0);
+      }
+      ++out.checkpoints;
+      if (config.checkpoint_cost_s > 0.0) {
+        stall_until = std::max(stall_until, t) + config.checkpoint_cost_s;
+        out.overhead_s += config.checkpoint_cost_s;
+      }
+      next_cp += config.checkpoint_interval_s;
+    }
+
+    // Fault events due at this instant.
+    bool need_rematch = false;
+    while (ev < events.size() && events[ev].t <= t) {
+      const Breakpoint& e = events[ev];
+      if (e.is_crash && alive[e.dep][static_cast<std::size_t>(e.node)]) {
+        alive[e.dep][static_cast<std::size_t>(e.node)] = false;
+        --out.survivors[e.dep];
+        --total_alive;
+        ++out.crashes;
+        const double lost =
+            since_cp[e.dep][static_cast<std::size_t>(e.node)];
+        since_cp[e.dep][static_cast<std::size_t>(e.node)] = 0.0;
+        if (lost > 0.0) {
+          out.wasted_units += lost;
+          out.wasted_j += lost * rates[e.dep].energy_per_unit_j;
+          w[e.dep] += lost;  // the lost share must be redone
+        }
+        need_rematch = true;
+      }
+      ++ev;
+    }
+    if (need_rematch) {
+      if (total_alive == 0) {
+        out.completed = false;
+        out.t_s = t;
+        break;
+      }
+      double rem = 0.0;
+      for (double wi : w) rem += wi;
+      if (rem > work_eps) {
+        w = rematch_survivors(deployments, out.survivors, rem);
+        ++out.rematches;
+        const double stall =
+            config.rematch_overhead_s + config.restart_overhead_s;
+        if (stall > 0.0) {
+          stall_until = std::max(stall_until, t) + stall;
+          out.overhead_s += stall;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hec

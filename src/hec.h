@@ -14,6 +14,9 @@
 #include "hec/config/enumerate.h"          // IWYU pragma: export
 #include "hec/config/evaluate.h"           // IWYU pragma: export
 #include "hec/config/multi_space.h"        // IWYU pragma: export
+#include "hec/config/robust_evaluate.h"    // IWYU pragma: export
+#include "hec/fault/fault_model.h"         // IWYU pragma: export
+#include "hec/fault/recovery.h"            // IWYU pragma: export
 #include "hec/hw/catalog.h"                // IWYU pragma: export
 #include "hec/hw/node_spec.h"              // IWYU pragma: export
 #include "hec/io/csv.h"                    // IWYU pragma: export
@@ -27,6 +30,7 @@
 #include "hec/model/node_model.h"          // IWYU pragma: export
 #include "hec/pareto/frontier.h"           // IWYU pragma: export
 #include "hec/pareto/hypervolume.h"        // IWYU pragma: export
+#include "hec/pareto/robust_frontier.h"    // IWYU pragma: export
 #include "hec/pareto/sweet_region.h"       // IWYU pragma: export
 #include "hec/queueing/md1.h"              // IWYU pragma: export
 #include "hec/report/markdown_report.h"    // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "hec/model/inputs_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -25,8 +26,30 @@ double parse_double(const std::string& token, const std::string& context) {
   if (ec != std::errc{} || ptr != end) {
     throw ParseError("malformed number '" + token + "' in " + context);
   }
+  // from_chars happily parses "inf" and "nan"; neither is a meaningful
+  // model input and both poison every downstream prediction.
+  if (!std::isfinite(value)) {
+    throw ParseError("non-finite value '" + token + "' for key '" +
+                     context + "'");
+  }
   return value;
 }
+
+/// parse_double plus a half-open range check, naming the offending key.
+double parse_in_range(const std::string& token, const std::string& key,
+                      double lo, double hi, bool lo_exclusive = false) {
+  const double value = parse_double(token, key);
+  const bool too_low = lo_exclusive ? value <= lo : value < lo;
+  if (too_low || value > hi) {
+    throw ParseError("value " + token + " for key '" + key +
+                     "' outside allowed range " +
+                     (lo_exclusive ? "(" : "[") + fmt(lo) + ", " + fmt(hi) +
+                     "]");
+  }
+  return value;
+}
+
+constexpr double kHuge = 1e30;  // upper sanity bound for open-ended keys
 
 /// Splits a line into whitespace-separated tokens.
 std::vector<std::string> tokens_of(const std::string& line) {
@@ -80,36 +103,39 @@ WorkloadInputs parse_workload_inputs(const std::string& text) {
       saw_header = true;
     } else if (key == "inst_per_unit") {
       require(2);
-      inputs.inst_per_unit = parse_double(tokens[1], key);
+      inputs.inst_per_unit =
+          parse_in_range(tokens[1], key, 0.0, kHuge, /*lo_exclusive=*/true);
       saw_inst = true;
     } else if (key == "wpi") {
       require(2);
-      inputs.wpi = parse_double(tokens[1], key);
+      inputs.wpi = parse_in_range(tokens[1], key, 0.0, kHuge);
       saw_wpi = true;
     } else if (key == "spi_core") {
       require(2);
-      inputs.spi_core = parse_double(tokens[1], key);
+      inputs.spi_core = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "ucpu") {
       require(2);
-      inputs.ucpu = parse_double(tokens[1], key);
+      inputs.ucpu =
+          parse_in_range(tokens[1], key, 0.0, 1.0, /*lo_exclusive=*/true);
     } else if (key == "io_bytes_per_unit") {
       require(2);
-      inputs.io_bytes_per_unit = parse_double(tokens[1], key);
+      inputs.io_bytes_per_unit = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "io_s_per_unit") {
       require(2);
-      inputs.io_s_per_unit = parse_double(tokens[1], key);
+      inputs.io_s_per_unit = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "spi_mem_fit") {
       require(6);
       const auto cores =
-          static_cast<std::size_t>(parse_double(tokens[1], key));
+          static_cast<std::size_t>(parse_in_range(tokens[1], key, 1.0, 1e6));
       if (cores != inputs.spi_mem_by_cores.size() + 1) {
         throw ParseError("spi_mem_fit rows must be consecutive from 1");
       }
       LinearFit fit;
-      fit.intercept = parse_double(tokens[2], key);
-      fit.slope = parse_double(tokens[3], key);
-      fit.r_squared = parse_double(tokens[4], key);
-      fit.n = static_cast<std::size_t>(parse_double(tokens[5], key));
+      fit.intercept = parse_in_range(tokens[2], key, -kHuge, kHuge);
+      fit.slope = parse_in_range(tokens[3], key, -kHuge, kHuge);
+      fit.r_squared = parse_in_range(tokens[4], key, 0.0, 1.0);
+      fit.n = static_cast<std::size_t>(
+          parse_in_range(tokens[5], key, 0.0, kHuge));
       inputs.spi_mem_by_cores.push_back(fit);
     } else {
       throw ParseError("unknown key '" + key + "'");
@@ -161,22 +187,25 @@ PowerParams parse_power_params(const std::string& text) {
       saw_header = true;
     } else if (key == "idle_w") {
       require(2);
-      params.idle_w = parse_double(tokens[1], key);
+      params.idle_w = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "mem_active_w") {
       require(2);
-      params.mem_active_w = parse_double(tokens[1], key);
+      params.mem_active_w = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "io_active_w") {
       require(2);
-      params.io_active_w = parse_double(tokens[1], key);
+      params.io_active_w = parse_in_range(tokens[1], key, 0.0, kHuge);
     } else if (key == "pstate") {
       require(4);
-      const double f = parse_double(tokens[1], key);
+      const double f =
+          parse_in_range(tokens[1], key, 0.0, kHuge, /*lo_exclusive=*/true);
       if (!params.freqs_ghz.empty() && f <= params.freqs_ghz.back()) {
         throw ParseError("pstate rows must be ascending in frequency");
       }
       params.freqs_ghz.push_back(f);
-      params.core_active_w.push_back(parse_double(tokens[2], key));
-      params.core_stall_w.push_back(parse_double(tokens[3], key));
+      params.core_active_w.push_back(
+          parse_in_range(tokens[2], key, 0.0, kHuge));
+      params.core_stall_w.push_back(
+          parse_in_range(tokens[3], key, 0.0, kHuge));
     } else {
       throw ParseError("unknown key '" + key + "'");
     }

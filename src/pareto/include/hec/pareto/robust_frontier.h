@@ -1,0 +1,36 @@
+// Robust Pareto frontier: expected time vs expected energy under a
+// deadline-miss-probability constraint.
+//
+// Under faults each configuration becomes a triple (E[time], E[energy],
+// miss probability). The robust frontier first discards every point whose
+// miss probability exceeds the caller's reliability budget, then takes
+// the ordinary time-energy frontier over the survivors. Comparing it with
+// the nominal frontier shows how much the fault model shifts the sweet
+// region — fragile nominal winners drop out or move up in energy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+
+namespace hec {
+
+/// A robust observation: Monte Carlo expectations plus the probability of
+/// missing the deadline, tagged with the source configuration's index.
+struct RobustPoint {
+  double t_s = 0.0;        ///< expected completion time
+  double energy_j = 0.0;   ///< expected energy (waste + overhead included)
+  double miss_prob = 0.0;  ///< P(deadline missed or job abandoned)
+  std::size_t tag = 0;
+
+  friend bool operator==(const RobustPoint&, const RobustPoint&) = default;
+};
+
+/// Pareto-optimal subset over (expected time, expected energy) among the
+/// points with miss_prob <= max_miss_prob. Tags refer to the caller's
+/// original array. Empty when no point meets the reliability budget.
+std::vector<TimeEnergyPoint> robust_pareto_frontier(
+    std::span<const RobustPoint> points, double max_miss_prob);
+
+}  // namespace hec

@@ -1,0 +1,21 @@
+#include "hec/pareto/robust_frontier.h"
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+std::vector<TimeEnergyPoint> robust_pareto_frontier(
+    std::span<const RobustPoint> points, double max_miss_prob) {
+  HEC_EXPECTS(max_miss_prob >= 0.0 && max_miss_prob <= 1.0);
+  std::vector<TimeEnergyPoint> admissible;
+  admissible.reserve(points.size());
+  for (const RobustPoint& p : points) {
+    HEC_EXPECTS(p.miss_prob >= 0.0 && p.miss_prob <= 1.0);
+    if (p.miss_prob <= max_miss_prob) {
+      admissible.push_back({p.t_s, p.energy_j, p.tag});
+    }
+  }
+  return pareto_frontier(admissible);
+}
+
+}  // namespace hec

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace hec {
@@ -19,22 +20,32 @@ namespace hec {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Handle for a scheduled-but-not-yet-run event; usable with cancel().
+  using EventId = std::uint64_t;
 
   /// Current simulation time in seconds. Starts at 0.
   double now() const { return now_; }
 
   /// Schedules `cb` at absolute time `when` (>= now()).
-  void schedule_at(double when, Callback cb);
+  EventId schedule_at(double when, Callback cb);
 
   /// Schedules `cb` `delay` seconds from now (delay >= 0).
-  void schedule_in(double delay, Callback cb);
+  EventId schedule_in(double delay, Callback cb);
 
-  /// True when no events remain.
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  /// Cancels a pending event. Returns true when `id` was pending (its
+  /// callback will never run); false when it already ran, was already
+  /// cancelled, or never existed. Cancellation is what lets fault
+  /// injection kill scheduled work (in-flight chunk completions, queued
+  /// NIC deliveries) at a crash instant without executing it.
+  bool cancel(EventId id);
 
-  /// Pops and runs the earliest event; advances the clock to its time.
-  /// Precondition: !empty().
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
+
+  /// Pops and runs the earliest live event; advances the clock to its
+  /// time. Cancelled entries encountered on the way are discarded without
+  /// running and without advancing the clock. Precondition: !empty().
   void step();
 
   /// Runs until the queue drains. `max_events` guards against runaway
@@ -55,6 +66,7 @@ class EventQueue {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;  ///< scheduled, not yet run/cancelled
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

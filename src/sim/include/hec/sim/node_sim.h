@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "hec/hw/node_spec.h"
 #include "hec/sim/counters.h"
@@ -25,6 +26,44 @@
 #include "hec/sim/power_meter.h"
 
 namespace hec {
+
+/// Deterministic fault schedule for one simulated run (already sampled;
+/// see hec/fault/fault_model.h for the stochastic models that produce
+/// one). All times are simulation seconds. The default-constructed plan
+/// is inert: enabled() is false and simulate_node takes the exact
+/// fault-free code path, bit-identical to a run without a plan.
+struct NodeFaultPlan {
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  /// Fail-stop crash: the node halts at this instant. In-flight chunks
+  /// are killed (their scheduled completions cancelled), counters are
+  /// prorated to the executed fraction, and the run ends at crash time.
+  double crash_time_s = kNever;
+
+  /// Transient straggler: chunks started inside [start, end) take
+  /// `slowdown` times longer (thermal throttling recovers, interfering
+  /// tenants leave — a bounded window).
+  double straggler_start_s = kNever;
+  double straggler_end_s = kNever;
+  double straggler_slowdown = 1.0;
+
+  /// Thermal frequency capping: chunks started at or after this instant
+  /// execute at min(f, cap) with the matching (lower) core power draw.
+  /// Unlike a straggler window, capping persists to the end of the run.
+  double thermal_cap_time_s = kNever;
+  double thermal_cap_f_ghz = 0.0;
+
+  bool has_crash() const { return crash_time_s < kNever; }
+  bool has_straggler() const {
+    return straggler_start_s < kNever && straggler_slowdown != 1.0;
+  }
+  bool has_thermal_cap() const {
+    return thermal_cap_time_s < kNever && thermal_cap_f_ghz > 0.0;
+  }
+  bool enabled() const {
+    return has_crash() || has_straggler() || has_thermal_cap();
+  }
+};
 
 /// One simulated execution's configuration.
 struct RunConfig {
@@ -48,6 +87,13 @@ struct RunResult {
   double io_complete_s = 0.0; ///< completion time of the last NIC delivery
   int cores_used = 0;
 
+  // Degraded-run observables (untouched by fault-free runs).
+  bool crashed = false;          ///< run ended by a fail-stop fault
+  double crash_time_s = 0.0;     ///< instant of the crash (when crashed)
+  double completed_units = 0.0;  ///< work units fully finished before the
+                                 ///< end of the run (== work_units when
+                                 ///< the run completes normally)
+
   /// Average node power over the run.
   double avg_power_w() const {
     return wall_s > 0.0 ? energy.total_j() / wall_s : 0.0;
@@ -70,6 +116,14 @@ struct RunResult {
 /// work_units > 0.
 RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
                         const RunConfig& cfg);
+
+/// Simulates the same run under a fault schedule: crashes end the run at
+/// the crash instant (killing exactly the work scheduled after it),
+/// straggler windows stretch chunk durations, and thermal capping lowers
+/// the effective clock. With plan.enabled() == false this is bit-identical
+/// to the overload above.
+RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
+                        const RunConfig& cfg, const NodeFaultPlan& plan);
 
 /// Micro-benchmark demand that maximises useful work cycles (the paper's
 /// CPU-max power characterisation benchmark, Section II-D2).

@@ -6,31 +6,43 @@
 
 namespace hec {
 
-void EventQueue::schedule_at(double when, Callback cb) {
+EventQueue::EventId EventQueue::schedule_at(double when, Callback cb) {
   HEC_EXPECTS(when >= now_);
   HEC_EXPECTS(cb != nullptr);
-  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+  const EventId id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  live_.insert(id);
+  return id;
 }
 
-void EventQueue::schedule_in(double delay, Callback cb) {
+EventQueue::EventId EventQueue::schedule_in(double delay, Callback cb) {
   HEC_EXPECTS(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Lazy deletion: the heap entry stays until it surfaces in step(),
+  // which discards it without running or advancing the clock.
+  return live_.erase(id) > 0;
 }
 
 void EventQueue::step() {
-  HEC_EXPECTS(!heap_.empty());
+  HEC_EXPECTS(!empty());
+  // Drop cancelled entries silently; the first live one executes.
+  while (!live_.contains(heap_.top().seq)) heap_.pop();
   // priority_queue::top() is const; move out via const_cast is UB-prone, so
   // copy the callback handle (shared state inside std::function is cheap
   // relative to event work) and pop first in case the callback schedules.
   Entry entry = heap_.top();
   heap_.pop();
+  live_.erase(entry.seq);
   now_ = entry.time;
   entry.cb();
 }
 
 void EventQueue::run(std::uint64_t max_events) {
   std::uint64_t executed = 0;
-  while (!heap_.empty()) {
+  while (!empty()) {
     if (executed++ >= max_events) {
       throw std::runtime_error("EventQueue::run exceeded max_events");
     }

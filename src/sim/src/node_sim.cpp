@@ -15,13 +15,21 @@ namespace hec {
 namespace {
 
 /// Mutable state of one simulated run, shared by the event callbacks.
+///
+/// Fault injection (NodeFaultPlan) rides on the same event queue: a crash
+/// is one more event that cancels every pending completion/delivery. All
+/// fault bookkeeping is gated on `fault_mode_` so that a run without a
+/// plan executes exactly the historical instruction sequence — the
+/// zero-overhead default path the regression tests pin down bit-for-bit.
 class NodeRun {
  public:
   NodeRun(const NodeSpec& spec, const PhaseDemand& demand,
-          const RunConfig& cfg)
+          const RunConfig& cfg, const NodeFaultPlan& plan)
       : spec_(spec),
         demand_(demand),
         cfg_(cfg),
+        plan_(plan),
+        fault_mode_(plan.enabled()),
         mem_model_(spec),
         meter_(spec.idle_node_w(), spec.cores),
         rng_(cfg.seed) {
@@ -29,6 +37,13 @@ class NodeRun {
     HEC_EXPECTS(spec.pstates.supports(cfg.f_ghz));
     HEC_EXPECTS(cfg.work_units > 0.0);
     HEC_EXPECTS(cfg.chunks_per_core >= 1);
+    if (fault_mode_) {
+      HEC_EXPECTS(plan.crash_time_s >= 0.0);
+      HEC_EXPECTS(plan.straggler_slowdown > 0.0);
+      if (plan.has_thermal_cap()) {
+        HEC_EXPECTS(plan.thermal_cap_f_ghz > 0.0);
+      }
+    }
     run_bias_ = rng_.lognormal_unit(cfg.run_bias_sigma);
     power_bias_ = rng_.lognormal_unit(cfg.run_bias_sigma * 0.75);
     mem_duty_.assign(static_cast<std::size_t>(spec.cores), 0.0);
@@ -42,6 +57,10 @@ class NodeRun {
     chunks_outstanding_ = total_chunks;
 
     for (int c = 0; c < cfg_.cores_used; ++c) idle_cores_.push_back(c);
+    if (fault_mode_) {
+      inflight_.assign(static_cast<std::size_t>(cfg_.cores_used),
+                       Inflight{});
+    }
 
     if (demand_.io_bytes_per_unit > 0.0) {
       schedule_deliveries(total_chunks);
@@ -51,23 +70,53 @@ class NodeRun {
       queue_.schedule_at(0.0, [this] { dispatch_ready(); });
     }
 
+    if (fault_mode_ && plan_.has_crash()) {
+      queue_.schedule_at(plan_.crash_time_s, [this] { crash(); });
+    }
+
     queue_.run();
 
     RunResult result;
-    result.wall_s = std::max(finish_time_, nic_last_completion_);
-    result.counters = counters_;
-    result.counters.work_units = cfg_.work_units;
-    result.counters.io_bytes =
-        demand_.io_bytes_per_unit * cfg_.work_units;
+    if (crashed_) {
+      result.wall_s = plan_.crash_time_s;
+      result.crashed = true;
+      result.crash_time_s = plan_.crash_time_s;
+      result.completed_units = completed_chunks_ * units_per_chunk_;
+      result.counters = counters_;
+      result.counters.work_units = result.completed_units;
+      result.counters.io_bytes = bytes_delivered_;
+      result.io_busy_s = io_busy_s_;
+      result.io_complete_s = last_delivery_s_;
+    } else {
+      result.wall_s = std::max(finish_time_, nic_last_completion_);
+      result.completed_units = cfg_.work_units;
+      result.counters = counters_;
+      result.counters.work_units = cfg_.work_units;
+      result.counters.io_bytes =
+          demand_.io_bytes_per_unit * cfg_.work_units;
+      result.io_busy_s = io_busy_s_;
+      result.io_complete_s = nic_last_completion_;
+    }
     result.energy = meter_.finish(result.wall_s);
     result.cpu_busy_s = cpu_busy_s_;
-    result.io_busy_s = io_busy_s_;
-    result.io_complete_s = nic_last_completion_;
     result.cores_used = cfg_.cores_used;
     return result;
   }
 
  private:
+  /// A chunk currently executing on a core (fault mode only): everything
+  /// needed to prorate its contribution if a crash kills it mid-flight.
+  struct Inflight {
+    bool active = false;
+    double start_s = 0.0;
+    double duration_s = 0.0;
+    EventQueue::EventId completion_id = 0;
+    double inst = 0.0;
+    double work_cycles = 0.0;
+    double core_stall_cycles = 0.0;
+    double mem_stall_cycles = 0.0;
+  };
+
   /// Pre-computes the NIC delivery schedule for request-driven workloads.
   /// Request data arrives with the per-unit spacing 1/lambda_io (the
   /// protocol floor of Eq. 11) and is transferred FIFO by the DMA NIC, so
@@ -85,18 +134,40 @@ class NodeRun {
       const double completion = nic.admit(arrival, bytes);
       const double start = completion - bytes / bandwidth;
       // Power: NIC active during the transfer window; ready on completion.
-      queue_.schedule_at(start, [this] { nic_active(true); });
-      queue_.schedule_at(completion, [this] {
+      const auto on_id =
+          queue_.schedule_at(start, [this] { nic_active(true); });
+      const auto off_id = queue_.schedule_at(completion, [this, bytes] {
         nic_active(false);
+        if (fault_mode_) {
+          bytes_delivered_ += bytes;
+          last_delivery_s_ = queue_.now();
+        }
         ++ready_chunks_;
         dispatch_ready();
       });
+      if (fault_mode_) {
+        nic_event_ids_.push_back(on_id);
+        nic_event_ids_.push_back(off_id);
+      }
     }
     nic_last_completion_ = nic.last_completion_s();
     io_busy_s_ = nic.busy_s();
+    if (fault_mode_) {
+      // A crash truncates the NIC timeline mid-schedule; the precomputed
+      // whole-run totals no longer apply, so accumulate busy time from the
+      // on/off events instead.
+      io_busy_s_ = 0.0;
+    }
   }
 
   void nic_active(bool on) {
+    if (fault_mode_) {
+      if (on) {
+        nic_on_since_ = queue_.now();
+      } else {
+        io_busy_s_ += queue_.now() - nic_on_since_;
+      }
+    }
     nic_active_count_ += on ? 1 : -1;
     const double inc = spec_.io_power.active_w - spec_.io_power.idle_w;
     meter_.set_io_power(nic_active_count_ > 0 ? inc * power_bias_ : 0.0,
@@ -108,6 +179,7 @@ class NodeRun {
 
   /// Assigns ready chunks to idle cores.
   void dispatch_ready() {
+    if (crashed_) return;
     while (ready_chunks_ > 0 && !idle_cores_.empty() &&
            chunks_remaining_to_dispatch_ > 0) {
       const int core = idle_cores_.back();
@@ -118,20 +190,34 @@ class NodeRun {
     }
   }
 
+  /// Effective core clock for a chunk starting now: the configured
+  /// P-state, possibly lowered by a thermal cap that has set in.
+  double effective_f_ghz() const {
+    if (fault_mode_ && plan_.has_thermal_cap() &&
+        queue_.now() >= plan_.thermal_cap_time_s) {
+      return std::min(cfg_.f_ghz, plan_.thermal_cap_f_ghz);
+    }
+    return cfg_.f_ghz;
+  }
+
   /// Runs one chunk on `core`: computes its duration from the cycle model,
   /// sets power state, and schedules the completion event.
   void start_chunk(int core) {
     ++busy_cores_;
+    const double f_ghz = fault_mode_ ? effective_f_ghz() : cfg_.f_ghz;
     const double inst = demand_.instructions_per_unit * units_per_chunk_;
-    const double spi_mem =
-        mem_model_.spi_mem(demand_, cfg_.f_ghz, busy_cores_);
+    const double spi_mem = mem_model_.spi_mem(demand_, f_ghz, busy_cores_);
     const double stall_spi = std::max(demand_.spi_core, spi_mem);
     const double cycles_per_inst = demand_.wpi + stall_spi;
     const double cycles = inst * cycles_per_inst;
     const double noise =
         run_bias_ * rng_.lognormal_unit(cfg_.noise_sigma);
-    const double duration =
-        cycles / units::ghz_to_hz(cfg_.f_ghz) * noise;
+    double duration = cycles / units::ghz_to_hz(f_ghz) * noise;
+    if (fault_mode_ && plan_.has_straggler() &&
+        queue_.now() >= plan_.straggler_start_s &&
+        queue_.now() < plan_.straggler_end_s) {
+      duration *= plan_.straggler_slowdown;
+    }
 
     // Counters record raw totals; overlap only affects wall time.
     // Instruction counts are architecturally exact, but cycle counters
@@ -139,19 +225,22 @@ class NodeRun {
     // smaller than wall-time variation, as on real PMUs.
     const double counter_noise =
         rng_.lognormal_unit(cfg_.noise_sigma * 0.3);
-    counters_.instructions += inst;
-    counters_.work_cycles += inst * demand_.wpi * counter_noise;
-    counters_.core_stall_cycles +=
-        inst * demand_.spi_core * counter_noise;
-    counters_.mem_stall_cycles += inst * spi_mem * counter_noise;
+    if (!fault_mode_) {
+      counters_.instructions += inst;
+      counters_.work_cycles += inst * demand_.wpi * counter_noise;
+      counters_.core_stall_cycles +=
+          inst * demand_.spi_core * counter_noise;
+      counters_.mem_stall_cycles += inst * spi_mem * counter_noise;
+      cpu_busy_s_ += duration;
+    }
 
     // Core power: time-weighted mix of active and stall draws above idle.
     const double work_frac =
         cycles_per_inst > 0.0 ? demand_.wpi / cycles_per_inst : 1.0;
     const double act_inc =
-        spec_.core_active.at(cfg_.f_ghz) - spec_.core_idle_w;
+        spec_.core_active.at(f_ghz) - spec_.core_idle_w;
     const double stall_inc =
-        spec_.core_stall.at(cfg_.f_ghz) - spec_.core_idle_w;
+        spec_.core_stall.at(f_ghz) - spec_.core_idle_w;
     const double avg_inc =
         (work_frac * act_inc + (1.0 - work_frac) * stall_inc) * power_bias_;
     meter_.set_core_power(core, std::max(0.0, avg_inc), queue_.now());
@@ -162,8 +251,21 @@ class NodeRun {
         cycles_per_inst > 0.0 ? spi_mem / cycles_per_inst : 0.0;
     set_mem_duty(core, mem_frac);
 
-    cpu_busy_s_ += duration;
-    queue_.schedule_in(duration, [this, core] { finish_chunk(core); });
+    const auto completion_id =
+        queue_.schedule_in(duration, [this, core] { finish_chunk(core); });
+    if (fault_mode_) {
+      // Counter/busy-time accounting moves to chunk completion so that a
+      // crash can charge exactly the executed fraction of killed chunks.
+      Inflight& fl = inflight_[static_cast<std::size_t>(core)];
+      fl.active = true;
+      fl.start_s = queue_.now();
+      fl.duration_s = duration;
+      fl.completion_id = completion_id;
+      fl.inst = inst;
+      fl.work_cycles = inst * demand_.wpi * counter_noise;
+      fl.core_stall_cycles = inst * demand_.spi_core * counter_noise;
+      fl.mem_stall_cycles = inst * spi_mem * counter_noise;
+    }
   }
 
   void finish_chunk(int core) {
@@ -172,11 +274,55 @@ class NodeRun {
     set_mem_duty(core, 0.0);
     idle_cores_.push_back(core);
     --chunks_outstanding_;
+    if (fault_mode_) {
+      Inflight& fl = inflight_[static_cast<std::size_t>(core)];
+      counters_.instructions += fl.inst;
+      counters_.work_cycles += fl.work_cycles;
+      counters_.core_stall_cycles += fl.core_stall_cycles;
+      counters_.mem_stall_cycles += fl.mem_stall_cycles;
+      cpu_busy_s_ += fl.duration_s;
+      fl.active = false;
+      ++completed_chunks_;
+    }
     if (chunks_outstanding_ == 0) {
       finish_time_ = queue_.now();
       return;
     }
     dispatch_ready();
+  }
+
+  /// Fail-stop: the node halts. Work scheduled after this instant is
+  /// killed — in-flight chunks are cancelled and charged only for their
+  /// executed fraction, queued NIC deliveries never arrive, and every
+  /// power channel drops so the meter integrates nothing past the crash.
+  void crash() {
+    if (chunks_outstanding_ == 0) return;  // job already finished
+    crashed_ = true;
+    const double t = queue_.now();
+    for (int core = 0; core < cfg_.cores_used; ++core) {
+      Inflight& fl = inflight_[static_cast<std::size_t>(core)];
+      if (!fl.active) continue;
+      queue_.cancel(fl.completion_id);
+      const double frac =
+          fl.duration_s > 0.0
+              ? std::clamp((t - fl.start_s) / fl.duration_s, 0.0, 1.0)
+              : 1.0;
+      counters_.instructions += frac * fl.inst;
+      counters_.work_cycles += frac * fl.work_cycles;
+      counters_.core_stall_cycles += frac * fl.core_stall_cycles;
+      counters_.mem_stall_cycles += frac * fl.mem_stall_cycles;
+      cpu_busy_s_ += frac * fl.duration_s;
+      fl.active = false;
+      meter_.set_core_power(core, 0.0, t);
+      mem_duty_[static_cast<std::size_t>(core)] = 0.0;
+    }
+    for (const auto id : nic_event_ids_) queue_.cancel(id);
+    if (nic_active_count_ > 0) {
+      io_busy_s_ += t - nic_on_since_;
+      nic_active_count_ = 0;
+    }
+    meter_.set_io_power(0.0, t);
+    update_mem_power();
   }
 
   void set_mem_duty(int core, double duty) {
@@ -196,6 +342,8 @@ class NodeRun {
   const NodeSpec& spec_;
   const PhaseDemand& demand_;
   const RunConfig& cfg_;
+  const NodeFaultPlan& plan_;
+  const bool fault_mode_;
   MemoryModel mem_model_;
   EventQueue queue_;
   PowerMeter meter_;
@@ -217,13 +365,29 @@ class NodeRun {
   double nic_last_completion_ = 0.0;
   double run_bias_ = 1.0;
   double power_bias_ = 1.0;
+
+  // Fault-mode state (untouched on the default path).
+  bool crashed_ = false;
+  int completed_chunks_ = 0;
+  double bytes_delivered_ = 0.0;
+  double last_delivery_s_ = 0.0;
+  double nic_on_since_ = 0.0;
+  std::vector<Inflight> inflight_;
+  std::vector<EventQueue::EventId> nic_event_ids_;
 };
 
 }  // namespace
 
 RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
                         const RunConfig& cfg) {
-  NodeRun run(spec, demand, cfg);
+  const NodeFaultPlan no_faults;
+  NodeRun run(spec, demand, cfg, no_faults);
+  return run.run();
+}
+
+RunResult simulate_node(const NodeSpec& spec, const PhaseDemand& demand,
+                        const RunConfig& cfg, const NodeFaultPlan& plan) {
+  NodeRun run(spec, demand, cfg, plan);
   return run.run();
 }
 

@@ -1,0 +1,97 @@
+// End-to-end exit-code contract of hecsim_cli.
+//
+// Scripts drive the CLI (sweeps, CI, schedulers), so failures must be
+// distinguishable without scraping stdout:
+//   0  success            2  no feasible configuration
+//   64 usage error        65 malformed input file (ParseError)
+//   70 contract violation  1 any other error
+//
+// The binary path is injected by CMake as HECSIM_CLI_PATH.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(HECSIM_CLI_PATH) + " " + args + " > /dev/null 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << "CLI did not exit normally: " << args;
+  return WEXITSTATUS(status);
+}
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(CliExitCodes, SuccessIsZero) {
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 2 --max-amd 2"), 0);
+}
+
+TEST(CliExitCodes, SuccessWithFaultFlagsIsZero) {
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 2 --max-amd 2 --mttf-h 100 "
+                    "--straggler-prob 0.1 --checkpoint-s 5 --trials 8"),
+            0);
+}
+
+TEST(CliExitCodes, InfeasibleDeadlineIsTwo) {
+  EXPECT_EQ(run_cli("EP 0.001 --max-arm 1 --max-amd 1"), 2);
+}
+
+TEST(CliExitCodes, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_cli("EP 120 --no-such-flag"), 64);
+}
+
+TEST(CliExitCodes, MalformedNumberIsUsageError) {
+  EXPECT_EQ(run_cli("EP twelve"), 64);
+}
+
+TEST(CliExitCodes, MissingArgumentsIsUsageError) {
+  EXPECT_EQ(run_cli("EP"), 64);
+}
+
+TEST(CliExitCodes, OutOfRangeFlagIsUsageError) {
+  EXPECT_EQ(run_cli("EP 120 --straggler-prob 1.5"), 64);
+  EXPECT_EQ(run_cli("EP 120 --mttf-h 0"), 64);
+  EXPECT_EQ(run_cli("EP 120 --trials 0"), 64);
+}
+
+TEST(CliExitCodes, MalformedInputsFileIsParseError) {
+  const std::string path = write_temp(
+      "hecsim_bad_inputs.txt",
+      "format hec-workload-inputs 1\ninst_per_unit nan\nwpi 0.8\n");
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 1 --max-amd 1 --arm-inputs " + path),
+            65);
+}
+
+TEST(CliExitCodes, UnknownKeyInInputsFileIsParseError) {
+  const std::string path = write_temp(
+      "hecsim_bad_key.txt",
+      "format hec-workload-inputs 1\ninst_per_unit 100\nwpi 0.8\nbogus 1\n");
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 1 --max-amd 1 --amd-inputs " + path),
+            65);
+}
+
+TEST(CliExitCodes, ContractViolationIsSeventy) {
+  EXPECT_EQ(run_cli("EP 120 --max-arm -3 --max-amd 0"), 70);
+}
+
+TEST(CliExitCodes, OtherErrorsAreOne) {
+  // Unknown workload and unreadable files are plain runtime errors.
+  EXPECT_EQ(run_cli("nginx 120"), 1);
+  EXPECT_EQ(run_cli("EP 120 --arm-inputs /no/such/file.txt"), 1);
+}
+
+TEST(CliExitCodes, HelpIsZero) {
+  EXPECT_EQ(run_cli("--help"), 0);
+}
+
+}  // namespace

@@ -102,5 +102,66 @@ TEST(EventQueue, PendingCount) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, CancelledEventNeverRuns) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule_at(1.0, [&] { ran = true; });
+  q.schedule_at(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, CancellingTheOnlyEventEmptiesTheQueue) {
+  EventQueue q;
+  const auto id = q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  // The empty-queue pop contract holds after lazy deletion too.
+  EXPECT_THROW(q.step(), ContractViolation);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndRejectsUnknownIds) {
+  EventQueue q;
+  const auto id = q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));      // second cancel is a no-op
+  EXPECT_FALSE(q.cancel(id + 1));  // never-issued id
+}
+
+TEST(EventQueue, CancelAfterExecutionReturnsFalse) {
+  EventQueue q;
+  const auto id = q.schedule_at(1.0, [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CallbackMayCancelALaterEvent) {
+  EventQueue q;
+  bool victim_ran = false;
+  const auto victim = q.schedule_at(2.0, [&] { victim_ran = true; });
+  q.schedule_at(1.0, [&] { EXPECT_TRUE(q.cancel(victim)); });
+  q.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, CancellationPreservesFifoOrderOfSurvivors) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(q.cancel(ids[1]));
+  EXPECT_TRUE(q.cancel(ids[4]));
+  EXPECT_TRUE(q.cancel(ids[7]));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 6}));
+}
+
 }  // namespace
 }  // namespace hec

@@ -1,0 +1,432 @@
+// Fault-injection subsystem tests: sampling, degraded node-sim runs,
+// failure-aware re-matching, and the Monte Carlo robust evaluator.
+//
+// The acceptance properties of the reliability extension:
+//   (a) a crash at time t kills exactly the work scheduled after t, and
+//       the energy breakdown stays consistent with the truncated run;
+//   (b) re-matching over survivors restores the "everyone finishes
+//       simultaneously" property of the mix-and-match split;
+//   (c) the deadline-miss probability is monotonically non-increasing in
+//       checkpoint frequency (more frequent checkpoints never hurt, at
+//       zero checkpoint cost).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hec/config/robust_evaluate.h"
+#include "hec/fault/fault_model.h"
+#include "hec/fault/recovery.h"
+#include "hec/hw/catalog.h"
+#include "hec/pareto/robust_frontier.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+// ---------------------------------------------------------------- sampling
+
+TEST(FaultModel, DefaultConfigIsInert) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_FALSE(config.crashes_enabled());
+  Rng rng(7);
+  const NodeFaultSample s = sample_node_faults(config, rng, 100.0);
+  EXPECT_FALSE(s.crashes());
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(1e9), 1.0);
+}
+
+TEST(FaultModel, CrashTimesFollowTheConfiguredMttf) {
+  FaultConfig config;
+  config.mttf_s = 250.0;
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const NodeFaultSample s = sample_node_faults(config, rng, 100.0);
+    ASSERT_TRUE(s.crashes());
+    ASSERT_GE(s.crash_time_s, 0.0);
+    sum += s.crash_time_s;
+  }
+  // Sample mean of Exp(1/250) over 20k draws: within a few percent.
+  EXPECT_NEAR(sum / n, 250.0, 250.0 * 0.05);
+}
+
+TEST(FaultModel, StragglerWindowBoundsTheSlowdown) {
+  FaultConfig config;
+  config.straggler_prob = 1.0;
+  config.straggler_slowdown = 3.0;
+  config.straggler_window_s = 10.0;
+  Rng rng(5);
+  const NodeFaultSample s = sample_node_faults(config, rng, 50.0);
+  ASSERT_LT(s.straggler_start_s, 50.0);
+  EXPECT_DOUBLE_EQ(s.straggler_end_s, s.straggler_start_s + 10.0);
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(s.straggler_start_s), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(s.straggler_end_s), 1.0);
+}
+
+TEST(FaultModel, ToNodeFaultPlanMapsThermalFactorToAbsoluteFrequency) {
+  NodeFaultSample s;
+  s.thermal_onset_s = 4.0;
+  s.thermal_factor = 0.5;
+  const NodeFaultPlan plan = to_node_fault_plan(s, 1.4);
+  ASSERT_TRUE(plan.has_thermal_cap());
+  EXPECT_DOUBLE_EQ(plan.thermal_cap_f_ghz, 0.7);
+  EXPECT_DOUBLE_EQ(plan.thermal_cap_time_s, 4.0);
+}
+
+// ------------------------------------------------------- node_sim faults
+
+PhaseDemand compute_demand() {
+  PhaseDemand d;
+  d.instructions_per_unit = 1000.0;
+  d.wpi = 0.8;
+  d.spi_core = 0.5;
+  d.mem_misses_per_kinst = 1.0;
+  return d;
+}
+
+RunConfig quiet_config(int cores, double f, double units,
+                       std::uint64_t seed = 1) {
+  RunConfig cfg;
+  cfg.cores_used = cores;
+  cfg.f_ghz = f;
+  cfg.work_units = units;
+  cfg.seed = seed;
+  cfg.noise_sigma = 0.0;
+  cfg.run_bias_sigma = 0.0;
+  return cfg;
+}
+
+TEST(NodeSimFaults, DisabledPlanIsBitIdenticalToPlainRun) {
+  const NodeSpec arm = arm_cortex_a9();
+  RunConfig cfg = quiet_config(4, 1.4, 10000.0, 99);
+  cfg.noise_sigma = 0.05;  // exercise the RNG-dependent path too
+  cfg.run_bias_sigma = 0.02;
+  PhaseDemand d = compute_demand();
+  d.io_bytes_per_unit = 200.0;  // exercise the NIC path
+  const RunResult plain = simulate_node(arm, d, cfg);
+  const RunResult with_plan = simulate_node(arm, d, cfg, NodeFaultPlan{});
+  EXPECT_EQ(plain.wall_s, with_plan.wall_s);
+  EXPECT_EQ(plain.cpu_busy_s, with_plan.cpu_busy_s);
+  EXPECT_EQ(plain.io_busy_s, with_plan.io_busy_s);
+  EXPECT_EQ(plain.energy.core_j, with_plan.energy.core_j);
+  EXPECT_EQ(plain.energy.mem_j, with_plan.energy.mem_j);
+  EXPECT_EQ(plain.energy.io_j, with_plan.energy.io_j);
+  EXPECT_EQ(plain.energy.idle_j, with_plan.energy.idle_j);
+  EXPECT_EQ(plain.counters.instructions, with_plan.counters.instructions);
+  EXPECT_EQ(plain.counters.work_units, with_plan.counters.work_units);
+  EXPECT_FALSE(with_plan.crashed);
+}
+
+TEST(NodeSimFaults, CrashKillsExactlyTheWorkAfterT) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunConfig cfg = quiet_config(4, 1.4, 20000.0);
+  const RunResult nominal = simulate_node(arm, d, cfg);
+
+  NodeFaultPlan plan;
+  plan.crash_time_s = nominal.wall_s * 0.5;
+  const RunResult crashed = simulate_node(arm, d, cfg, plan);
+
+  ASSERT_TRUE(crashed.crashed);
+  EXPECT_DOUBLE_EQ(crashed.wall_s, plan.crash_time_s);
+  EXPECT_DOUBLE_EQ(crashed.crash_time_s, plan.crash_time_s);
+  // (a) exactly the work completed before t survives; everything after
+  // dies. Completed units are whole chunks, so allow chunk granularity.
+  EXPECT_GT(crashed.completed_units, 0.0);
+  EXPECT_LT(crashed.completed_units, cfg.work_units);
+  const double chunk = cfg.work_units / (4.0 * cfg.chunks_per_core);
+  EXPECT_NEAR(crashed.completed_units, cfg.work_units * 0.5,
+              chunk * (4.0 + 1.0));
+  EXPECT_DOUBLE_EQ(crashed.counters.work_units, crashed.completed_units);
+  // Energy: the idle floor runs exactly until the crash, the breakdown
+  // stays internally consistent, and a half run costs less than a full one.
+  EXPECT_NEAR(crashed.energy.idle_j, arm.idle_node_w() * crashed.wall_s,
+              1e-9);
+  EXPECT_NEAR(crashed.energy.total_j(),
+              crashed.energy.core_j + crashed.energy.mem_j +
+                  crashed.energy.io_j + crashed.energy.idle_j,
+              1e-12);
+  EXPECT_LT(crashed.energy.total_j(), nominal.energy.total_j());
+  EXPECT_GT(crashed.energy.total_j(), 0.0);
+}
+
+TEST(NodeSimFaults, CrashAfterCompletionChangesNothing) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunConfig cfg = quiet_config(4, 1.4, 5000.0);
+  const RunResult nominal = simulate_node(arm, d, cfg);
+  NodeFaultPlan plan;
+  plan.crash_time_s = nominal.wall_s * 2.0;
+  const RunResult r = simulate_node(arm, d, cfg, plan);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_DOUBLE_EQ(r.wall_s, nominal.wall_s);
+  EXPECT_DOUBLE_EQ(r.completed_units, cfg.work_units);
+}
+
+TEST(NodeSimFaults, StragglerWindowStretchesTheRun) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunConfig cfg = quiet_config(4, 1.4, 10000.0);
+  const RunResult nominal = simulate_node(arm, d, cfg);
+
+  NodeFaultPlan plan;
+  plan.straggler_start_s = 0.0;
+  plan.straggler_end_s = nominal.wall_s * 10.0;  // covers the whole run
+  plan.straggler_slowdown = 2.0;
+  const RunResult slow = simulate_node(arm, d, cfg, plan);
+  EXPECT_FALSE(slow.crashed);
+  EXPECT_NEAR(slow.wall_s, nominal.wall_s * 2.0, nominal.wall_s * 0.01);
+  EXPECT_DOUBLE_EQ(slow.completed_units, cfg.work_units);
+
+  // A window covering only the first half degrades less than 2x.
+  plan.straggler_end_s = nominal.wall_s * 0.5;
+  const RunResult half = simulate_node(arm, d, cfg, plan);
+  EXPECT_GT(half.wall_s, nominal.wall_s);
+  EXPECT_LT(half.wall_s, slow.wall_s);
+}
+
+TEST(NodeSimFaults, ThermalCapMatchesRunningAtTheCappedClock) {
+  const NodeSpec arm = arm_cortex_a9();
+  const PhaseDemand d = compute_demand();
+  const RunResult nominal = simulate_node(arm, d, quiet_config(4, 1.4, 10000.0));
+  const RunResult at_cap = simulate_node(arm, d, quiet_config(4, 0.8, 10000.0));
+
+  NodeFaultPlan plan;
+  plan.thermal_cap_time_s = 0.0;  // capped from the start
+  plan.thermal_cap_f_ghz = 0.8;
+  const RunResult capped =
+      simulate_node(arm, d, quiet_config(4, 1.4, 10000.0), plan);
+  EXPECT_GT(capped.wall_s, nominal.wall_s);
+  EXPECT_NEAR(capped.wall_s, at_cap.wall_s, at_cap.wall_s * 0.02);
+  // Capping never lowers the clock below the cap... or raises it: a cap
+  // above the configured clock is a no-op.
+  NodeFaultPlan loose;
+  loose.thermal_cap_time_s = 0.0;
+  loose.thermal_cap_f_ghz = 2.0;
+  const RunResult uncapped =
+      simulate_node(arm, d, quiet_config(4, 1.4, 10000.0), loose);
+  EXPECT_DOUBLE_EQ(uncapped.wall_s, nominal.wall_s);
+}
+
+// ----------------------------------------------------- analytical recovery
+
+WorkloadInputs make_inputs(double inst_per_unit) {
+  WorkloadInputs in;
+  in.inst_per_unit = inst_per_unit;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = idle;
+  return p;
+}
+
+struct TwoModels {
+  NodeTypeModel a9{arm_cortex_a9(), make_inputs(160.0),
+                   make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4)};
+  NodeTypeModel k10{amd_opteron_k10(), make_inputs(120.0),
+                    make_power({0.8, 1.5, 2.1}, 45.0)};
+};
+
+std::vector<TypedDeployment> mixed_deps(const TwoModels& m) {
+  return {{&m.a9, NodeConfig{4, 4, 1.4}}, {&m.k10, NodeConfig{2, 6, 2.1}}};
+}
+
+TEST(Recovery, DisabledFaultsReproduceTheNominalPredictionExactly) {
+  const TwoModels m;
+  const auto deps = mixed_deps(m);
+  const MultiPrediction nominal = predict_multi(deps, 1e5);
+  const FaultyRunResult r = simulate_faulty_run(deps, 1e5, FaultConfig{}, 1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.t_s, nominal.t_s);
+  EXPECT_DOUBLE_EQ(r.energy.total_j(), nominal.energy_j);
+  EXPECT_EQ(r.crashes, 0);
+  EXPECT_EQ(r.rematches, 0);
+  EXPECT_DOUBLE_EQ(r.wasted_units, 0.0);
+  ASSERT_EQ(r.survivors.size(), 2u);
+  EXPECT_EQ(r.survivors[0], 4);
+  EXPECT_EQ(r.survivors[1], 2);
+}
+
+TEST(Recovery, RematchedSurvivorsFinishSimultaneously) {
+  const TwoModels m;
+  const auto deps = mixed_deps(m);
+  const std::vector<int> survivors{3, 1};  // one crash on each side
+  const double remaining = 4.2e4;
+  const auto shares = rematch_survivors(deps, survivors, remaining);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0] + shares[1], remaining, remaining * 1e-12);
+  // (b) the rate-proportional split over the surviving sub-cluster gives
+  // every deployment the same finish time.
+  NodeConfig cfg_a = deps[0].config;
+  cfg_a.nodes = survivors[0];
+  NodeConfig cfg_b = deps[1].config;
+  cfg_b.nodes = survivors[1];
+  const double t_a = m.a9.predict(shares[0], cfg_a).t_s;
+  const double t_b = m.k10.predict(shares[1], cfg_b).t_s;
+  EXPECT_NEAR(t_a, t_b, t_a * 1e-9);
+}
+
+TEST(Recovery, DeadDeploymentGetsZeroShare) {
+  const TwoModels m;
+  const auto deps = mixed_deps(m);
+  const auto shares = rematch_survivors(deps, std::vector<int>{0, 2}, 1e4);
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 1e4);
+}
+
+TEST(Recovery, CrashesDelayTheJobAndWasteWork) {
+  const TwoModels m;
+  const auto deps = mixed_deps(m);
+  const MultiPrediction nominal = predict_multi(deps, 1e5);
+  FaultConfig faults;
+  faults.mttf_s = nominal.t_s;  // crashes almost surely during the job
+  int crashed_runs = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const FaultyRunResult r = simulate_faulty_run(deps, 1e5, faults, seed);
+    EXPECT_NEAR(r.energy.total_j(),
+                r.energy.core_j + r.energy.mem_j + r.energy.io_j +
+                    r.energy.idle_j,
+                1e-9);
+    if (r.crashes > 0) {
+      ++crashed_runs;
+      EXPECT_GE(r.rematches, 1);
+      if (r.completed) {
+        // Lost work must be redone: never faster than the nominal run.
+        EXPECT_GE(r.t_s, nominal.t_s * (1.0 - 1e-9));
+      }
+    } else if (r.completed) {
+      EXPECT_NEAR(r.t_s, nominal.t_s, nominal.t_s * 1e-6);
+    }
+  }
+  EXPECT_GT(crashed_runs, 16);  // MTTF == job length: most runs see crashes
+}
+
+TEST(Recovery, CheckpointsReduceWastedWork) {
+  const TwoModels m;
+  const auto deps = mixed_deps(m);
+  const MultiPrediction nominal = predict_multi(deps, 1e5);
+  FaultConfig faults;
+  faults.mttf_s = nominal.t_s;
+  FaultConfig with_cp = faults;
+  with_cp.checkpoint_interval_s = nominal.t_s / 8.0;
+  double wasted_plain = 0.0, wasted_cp = 0.0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    wasted_plain += simulate_faulty_run(deps, 1e5, faults, seed).wasted_units;
+    wasted_cp += simulate_faulty_run(deps, 1e5, with_cp, seed).wasted_units;
+  }
+  EXPECT_LT(wasted_cp, wasted_plain);
+}
+
+// ------------------------------------------------------- robust evaluator
+
+TEST(RobustEvaluate, DisabledFaultsEqualNominal) {
+  const TwoModels m;
+  const RobustConfigEvaluator robust(m.a9, m.k10, FaultConfig{});
+  const ConfigEvaluator nominal(m.a9, m.k10);
+  ClusterConfig config;
+  config.arm = NodeConfig{4, 4, 1.4};
+  config.amd = NodeConfig{2, 6, 2.1};
+  const RobustOutcome ro = robust.evaluate(config, 1e5);
+  const ConfigOutcome co = nominal.evaluate(config, 1e5);
+  EXPECT_DOUBLE_EQ(ro.mean_t_s, co.t_s);
+  EXPECT_NEAR(ro.mean_energy_j, co.energy_j, co.energy_j * 1e-12);
+  EXPECT_DOUBLE_EQ(ro.miss_prob, 0.0);
+  EXPECT_DOUBLE_EQ(ro.completion_prob, 1.0);
+}
+
+TEST(RobustEvaluate, MissProbabilityMonotoneInCheckpointFrequency) {
+  const TwoModels m;
+  ClusterConfig config;
+  config.arm = NodeConfig{4, 4, 1.4};
+  config.amd = NodeConfig{2, 6, 2.1};
+  const ConfigEvaluator nominal(m.a9, m.k10);
+  const double t_nom = nominal.evaluate(config, 1e5).t_s;
+  const double deadline = t_nom * 1.5;
+
+  FaultConfig faults;
+  faults.mttf_s = t_nom * 2.0;  // frequent crashes relative to the job
+  MonteCarloOptions mc;
+  mc.trials = 96;
+
+  // (c) with zero checkpoint cost and crash times sampled independently
+  // of the recovery policy, checkpointing more often can only help.
+  const std::vector<double> intervals = {
+      FaultConfig::kNever, t_nom / 2.0, t_nom / 4.0, t_nom / 8.0};
+  double prev_miss = 1.0 + 1e-12;
+  for (const double interval : intervals) {
+    FaultConfig f = faults;
+    f.checkpoint_interval_s = interval;
+    const RobustConfigEvaluator robust(m.a9, m.k10, f, mc);
+    const RobustOutcome ro = robust.evaluate(config, 1e5, deadline);
+    EXPECT_LE(ro.miss_prob, prev_miss)
+        << "interval " << interval << " raised the miss probability";
+    prev_miss = ro.miss_prob;
+  }
+  // Sanity: the fault rate is high enough that the unprotected
+  // configuration actually misses sometimes.
+  FaultConfig unprotected = faults;
+  const RobustConfigEvaluator robust(m.a9, m.k10, unprotected, mc);
+  EXPECT_GT(robust.evaluate(config, 1e5, deadline).miss_prob, 0.0);
+}
+
+TEST(RobustEvaluate, EvaluateAllMatchesSingleEvaluations) {
+  const TwoModels m;
+  FaultConfig faults;
+  faults.mttf_s = 500.0;
+  MonteCarloOptions mc;
+  mc.trials = 16;
+  const RobustConfigEvaluator robust(m.a9, m.k10, faults, mc);
+  std::vector<ClusterConfig> configs(2);
+  configs[0].arm = NodeConfig{4, 4, 1.4};
+  configs[0].amd = NodeConfig{2, 6, 2.1};
+  configs[1].arm = NodeConfig{0, 4, 1.4};
+  configs[1].amd = NodeConfig{3, 6, 2.1};
+  const auto all = robust.evaluate_all(configs, 1e5, 1e9);
+  ASSERT_EQ(all.size(), 2u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const RobustOutcome single = robust.evaluate(configs[i], 1e5, 1e9);
+    EXPECT_DOUBLE_EQ(all[i].mean_t_s, single.mean_t_s);
+    EXPECT_DOUBLE_EQ(all[i].mean_energy_j, single.mean_energy_j);
+    EXPECT_DOUBLE_EQ(all[i].miss_prob, single.miss_prob);
+  }
+}
+
+// --------------------------------------------------------- robust frontier
+
+TEST(RobustFrontier, FiltersByMissProbabilityThenTakesTheFrontier) {
+  const std::vector<RobustPoint> points = {
+      {1.0, 100.0, 0.00, 0},  // fast, expensive, reliable
+      {2.0, 50.0, 0.05, 1},   // mid, reliable-ish
+      {3.0, 20.0, 0.50, 2},   // cheap but fragile
+      {4.0, 10.0, 0.01, 3},   // slow, cheap, reliable
+      {5.0, 60.0, 0.00, 4},   // dominated
+  };
+  const auto strict = robust_pareto_frontier(points, 0.01);
+  ASSERT_EQ(strict.size(), 2u);
+  EXPECT_EQ(strict[0].tag, 0u);
+  EXPECT_EQ(strict[1].tag, 3u);
+
+  const auto loose = robust_pareto_frontier(points, 1.0);
+  ASSERT_EQ(loose.size(), 4u);  // the fragile point re-enters
+  EXPECT_EQ(loose[2].tag, 2u);
+
+  EXPECT_TRUE(robust_pareto_frontier(points, 0.0).size() == 2u);
+  EXPECT_THROW(robust_pareto_frontier(points, -0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hec

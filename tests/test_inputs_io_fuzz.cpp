@@ -96,6 +96,73 @@ TEST(InputsIoFuzz, PowerParserNeverCrashes) {
   EXPECT_GT(rejected, 1000);
 }
 
+// Structurally valid documents carrying NaN/Inf or out-of-range values
+// must be rejected with a ParseError that names the offending key — they
+// would otherwise silently poison every downstream prediction.
+TEST(InputsIoFuzz, WorkloadParserRejectsNonFiniteAndOutOfRange) {
+  const std::string valid = serialize_workload_inputs(sample_inputs());
+  const auto expect_rejected = [&](const std::string& from,
+                                   const std::string& to,
+                                   const std::string& key) {
+    std::string doc = valid;
+    const std::size_t pos = doc.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    doc.replace(pos, from.size(), to);
+    try {
+      parse_workload_inputs(doc);
+      FAIL() << "accepted '" << to << "'";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "error '" << e.what() << "' does not name key '" << key << "'";
+    }
+  };
+  expect_rejected("inst_per_unit 160", "inst_per_unit nan", "inst_per_unit");
+  expect_rejected("inst_per_unit 160", "inst_per_unit inf", "inst_per_unit");
+  expect_rejected("inst_per_unit 160", "inst_per_unit 0", "inst_per_unit");
+  expect_rejected("inst_per_unit 160", "inst_per_unit -5", "inst_per_unit");
+  expect_rejected("wpi 0.88", "wpi -0.1", "wpi");
+  expect_rejected("wpi 0.88", "wpi -inf", "wpi");
+  expect_rejected("spi_core 0.52", "spi_core nan", "spi_core");
+  expect_rejected("ucpu 1", "ucpu 0", "ucpu");
+  expect_rejected("ucpu 1", "ucpu 1.5", "ucpu");
+  expect_rejected("ucpu 1", "ucpu nan", "ucpu");
+  // r_squared lives in [0, 1]; the first fit row serializes "... 0.99 5".
+  expect_rejected("0.99 5", "1.25 5", "spi_mem_fit");
+  expect_rejected("0.99 5", "nan 5", "spi_mem_fit");
+}
+
+TEST(InputsIoFuzz, PowerParserRejectsNonFiniteAndOutOfRange) {
+  PowerParams params;
+  params.freqs_ghz = {0.2, 0.8, 1.4};
+  params.core_active_w = {0.04, 0.23, 0.69};
+  params.core_stall_w = {0.02, 0.11, 0.39};
+  params.idle_w = 1.4;
+  const std::string valid = serialize_power_params(params);
+  const auto expect_rejected = [&](const std::string& from,
+                                   const std::string& to,
+                                   const std::string& key) {
+    std::string doc = valid;
+    const std::size_t pos = doc.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    doc.replace(pos, from.size(), to);
+    try {
+      parse_power_params(doc);
+      FAIL() << "accepted '" << to << "'";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "error '" << e.what() << "' does not name key '" << key << "'";
+    }
+  };
+  expect_rejected("idle_w 1.4", "idle_w nan", "idle_w");
+  expect_rejected("idle_w 1.4", "idle_w inf", "idle_w");
+  expect_rejected("idle_w 1.4", "idle_w -1", "idle_w");
+  expect_rejected("mem_active_w 0", "mem_active_w -0.5", "mem_active_w");
+  expect_rejected("pstate 0.2", "pstate 0", "pstate");
+  expect_rejected("pstate 0.2", "pstate nan", "pstate");
+  expect_rejected("pstate 0.2 0.04", "pstate 0.2 inf", "pstate");
+  expect_rejected("pstate 0.2 0.04 0.02", "pstate 0.2 0.04 -0.02", "pstate");
+}
+
 TEST(InputsIoFuzz, PureGarbageAlwaysRejected) {
   Rng rng(777);
   for (int i = 0; i < 500; ++i) {

@@ -9,8 +9,19 @@
 //              [--max-arm N]          low-power pool size (default 10)
 //              [--max-amd N]          high-performance pool size (default 10)
 //              [--method exhaustive|bnb|greedy]   search strategy
+//              [--arm-inputs FILE]    load ARM workload inputs from FILE
+//              [--amd-inputs FILE]    load AMD workload inputs from FILE
+//              [--mttf-h H]           per-node MTTF in hours (enables faults)
+//              [--straggler-prob P]   per-node straggler probability
+//              [--checkpoint-s S]     checkpoint interval in seconds
+//              [--trials N]           Monte Carlo fault seeds (default 64)
+//              [--seed S]             Monte Carlo base seed
 //
 // Workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048.
+//
+// Exit codes: 0 success; 2 no feasible configuration; 64 usage error;
+// 65 malformed input file (ParseError); 70 internal contract violation;
+// 1 any other error.
 #include <charconv>
 #include <iostream>
 #include <optional>
@@ -20,24 +31,43 @@
 #include "hec/config/budget.h"
 #include "hec/config/enumerate.h"
 #include "hec/config/evaluate.h"
+#include "hec/config/robust_evaluate.h"
 #include "hec/hw/catalog.h"
 #include "hec/io/table.h"
 #include "hec/model/characterize.h"
+#include "hec/model/inputs_io.h"
 #include "hec/pareto/frontier.h"
 #include "hec/search/optimizer.h"
+#include "hec/util/expect.h"
 #include "hec/workloads/workload.h"
 
 namespace {
 
-void print_usage() {
-  std::cout <<
+/// Bad command line (unknown flag, malformed value, missing argument):
+/// exit code 64, after sysexits.h EX_USAGE.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void print_usage(std::ostream& out) {
+  out <<
       "usage: hecsim_cli <workload> <deadline_ms> [options]\n"
       "  workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048\n"
-      "  --units N       job size in work units\n"
-      "  --budget W      peak-power cap in watts\n"
-      "  --max-arm N     low-power pool size (default 10)\n"
-      "  --max-amd N     high-performance pool size (default 10)\n"
-      "  --method M      exhaustive | bnb | greedy (default exhaustive)\n";
+      "  --units N            job size in work units\n"
+      "  --budget W           peak-power cap in watts\n"
+      "  --max-arm N          low-power pool size (default 10)\n"
+      "  --max-amd N          high-performance pool size (default 10)\n"
+      "  --method M           exhaustive | bnb | greedy (default exhaustive)\n"
+      "  --arm-inputs FILE    load ARM workload inputs instead of measuring\n"
+      "  --amd-inputs FILE    load AMD workload inputs instead of measuring\n"
+      "  --mttf-h H           per-node mean time to failure in hours\n"
+      "  --straggler-prob P   per-node straggler probability in [0, 1]\n"
+      "  --checkpoint-s S     checkpoint interval in seconds\n"
+      "  --trials N           Monte Carlo fault seeds (default 64)\n"
+      "  --seed S             Monte Carlo base seed\n"
+      "exit codes: 0 ok, 2 infeasible, 64 usage, 65 bad input file,\n"
+      "            70 contract violation, 1 other error\n";
 }
 
 struct Options {
@@ -48,6 +78,17 @@ struct Options {
   int max_arm = 10;
   int max_amd = 10;
   std::string method = "exhaustive";
+  std::optional<std::string> arm_inputs;
+  std::optional<std::string> amd_inputs;
+  std::optional<double> mttf_h;
+  std::optional<double> straggler_prob;
+  std::optional<double> checkpoint_s;
+  int trials = 64;
+  std::optional<std::uint64_t> seed;
+
+  bool faults_requested() const {
+    return mttf_h || straggler_prob || checkpoint_s;
+  }
 };
 
 double parse_number(const std::string& text, const std::string& what) {
@@ -55,41 +96,69 @@ double parse_number(const std::string& text, const std::string& what) {
   const char* begin = text.data();
   auto [ptr, ec] = std::from_chars(begin, begin + text.size(), value);
   if (ec != std::errc{} || ptr != begin + text.size()) {
-    throw std::runtime_error("bad " + what + ": '" + text + "'");
+    throw UsageError("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+double parse_positive(const std::string& text, const std::string& what) {
+  const double value = parse_number(text, what);
+  if (!(value > 0.0)) {
+    throw UsageError(what + " must be positive, got '" + text + "'");
   }
   return value;
 }
 
 Options parse_args(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.size() < 2) throw std::runtime_error("missing arguments");
+  if (args.size() < 2) throw UsageError("missing arguments");
   Options opts;
   opts.workload = args[0];
-  opts.deadline_ms = parse_number(args[1], "deadline");
+  opts.deadline_ms = parse_positive(args[1], "deadline");
   for (std::size_t i = 2; i < args.size(); ++i) {
     auto next = [&]() -> std::string {
       if (++i >= args.size()) {
-        throw std::runtime_error("missing value after " + args[i - 1]);
+        throw UsageError("missing value after " + args[i - 1]);
       }
       return args[i];
     };
     if (args[i] == "--units") {
-      opts.units = parse_number(next(), "--units");
+      opts.units = parse_positive(next(), "--units");
     } else if (args[i] == "--budget") {
-      opts.budget_w = parse_number(next(), "--budget");
+      opts.budget_w = parse_positive(next(), "--budget");
     } else if (args[i] == "--max-arm") {
       opts.max_arm = static_cast<int>(parse_number(next(), "--max-arm"));
     } else if (args[i] == "--max-amd") {
       opts.max_amd = static_cast<int>(parse_number(next(), "--max-amd"));
     } else if (args[i] == "--method") {
       opts.method = next();
+    } else if (args[i] == "--arm-inputs") {
+      opts.arm_inputs = next();
+    } else if (args[i] == "--amd-inputs") {
+      opts.amd_inputs = next();
+    } else if (args[i] == "--mttf-h") {
+      opts.mttf_h = parse_positive(next(), "--mttf-h");
+    } else if (args[i] == "--straggler-prob") {
+      const double p = parse_number(next(), "--straggler-prob");
+      if (p < 0.0 || p > 1.0) {
+        throw UsageError("--straggler-prob must be in [0, 1]");
+      }
+      opts.straggler_prob = p;
+    } else if (args[i] == "--checkpoint-s") {
+      opts.checkpoint_s = parse_positive(next(), "--checkpoint-s");
+    } else if (args[i] == "--trials") {
+      const double n = parse_positive(next(), "--trials");
+      opts.trials = static_cast<int>(n);
+    } else if (args[i] == "--seed") {
+      opts.seed =
+          static_cast<std::uint64_t>(parse_number(next(), "--seed"));
     } else {
-      throw std::runtime_error("unknown option: " + args[i]);
+      throw UsageError("unknown option: " + args[i]);
     }
   }
   if (opts.method != "exhaustive" && opts.method != "bnb" &&
       opts.method != "greedy") {
-    throw std::runtime_error("unknown method: " + opts.method);
+    throw UsageError("unknown method: " + opts.method);
   }
   return opts;
 }
@@ -131,10 +200,40 @@ void print_outcome(const hec::ConfigOutcome& best, double work_units,
   std::cout << "\n";
 }
 
+hec::FaultConfig fault_config_from(const Options& opts, double deadline_s) {
+  hec::FaultConfig faults;
+  if (opts.mttf_h) faults.mttf_s = *opts.mttf_h * 3600.0;
+  if (opts.straggler_prob) {
+    faults.straggler_prob = *opts.straggler_prob;
+    // A straggler window spanning the nominal deadline: once a node
+    // degrades it stays degraded for the rest of a typical job.
+    faults.straggler_window_s = deadline_s;
+  }
+  if (opts.checkpoint_s) faults.checkpoint_interval_s = *opts.checkpoint_s;
+  return faults;
+}
+
+void print_robust(const hec::RobustOutcome& robust, int trials,
+                  double deadline_ms) {
+  using hec::TablePrinter;
+  std::cout << "\nUnder faults (" << trials << " Monte Carlo trials):\n"
+            << "Expected time   : "
+            << TablePrinter::num(robust.mean_t_s * 1e3, 1) << " ms\n"
+            << "Expected energy : "
+            << TablePrinter::num(robust.mean_energy_j, 2) << " J ("
+            << TablePrinter::num(robust.mean_wasted_j, 2)
+            << " J on lost work)\n"
+            << "Deadline misses : "
+            << TablePrinter::num(robust.miss_prob * 100.0, 1) << " % of "
+            << TablePrinter::num(deadline_ms, 0) << " ms runs\n"
+            << "Mean crashes    : "
+            << TablePrinter::num(robust.mean_crashes, 2) << " per job\n";
+}
+
 int run(int argc, char** argv) {
   if (argc >= 2 && (std::string(argv[1]) == "--help" ||
                     std::string(argv[1]) == "-h")) {
-    print_usage();
+    print_usage(std::cout);
     return 0;
   }
   const Options opts = parse_args(argc, argv);
@@ -147,8 +246,16 @@ int run(int argc, char** argv) {
   std::cout << "Characterising " << workload.name << " ("
             << hec::to_string(workload.bottleneck)
             << "-bound) on both node types...\n";
-  const hec::NodeTypeModel arm_model = build_node_model(arm, workload);
-  const hec::NodeTypeModel amd_model = build_node_model(amd, workload);
+  // A side with a persisted inputs file skips the (expensive) workload
+  // baseline runs; power characterisation is cheap and always measured.
+  const auto make_model = [&](const hec::NodeSpec& spec,
+                              const std::optional<std::string>& inputs_file) {
+    if (!inputs_file) return build_node_model(spec, workload);
+    return hec::NodeTypeModel(spec, hec::load_workload_inputs(*inputs_file),
+                              characterize_power(spec));
+  };
+  const hec::NodeTypeModel arm_model = make_model(arm, opts.arm_inputs);
+  const hec::NodeTypeModel amd_model = make_model(amd, opts.amd_inputs);
   const hec::ConfigEvaluator evaluator(arm_model, amd_model);
   const hec::EnumerationLimits limits{opts.max_arm, opts.max_amd};
 
@@ -194,6 +301,17 @@ int run(int argc, char** argv) {
   std::cout << "(" << evaluations << " model evaluations, method "
             << opts.method << ")\n";
   print_outcome(*best, units, arm, amd, opts.budget_w);
+
+  if (opts.faults_requested()) {
+    const hec::FaultConfig faults = fault_config_from(opts, deadline_s);
+    hec::MonteCarloOptions mc;
+    mc.trials = opts.trials;
+    if (opts.seed) mc.base_seed = *opts.seed;
+    const hec::RobustConfigEvaluator robust(arm_model, amd_model, faults,
+                                            mc);
+    print_robust(robust.evaluate(best->config, units, deadline_s),
+                 mc.trials, opts.deadline_ms);
+  }
   return 0;
 }
 
@@ -202,9 +320,18 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return 64;
+  } catch (const hec::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 65;
+  } catch (const hec::ContractViolation& e) {
+    std::cerr << "contract violation: " << e.what() << "\n";
+    return 70;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n\n";
-    print_usage();
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 }
