@@ -2,9 +2,18 @@
 // simulation, configuration-space evaluation, Pareto-frontier
 // derivation and the matched split. These bound the cost of the
 // full-space analyses (36,380+ evaluations per figure).
+//
+// main() first runs an observability overhead check: the evaluator hot
+// loop with hec::obs instrumentation active vs. runtime-disabled must
+// differ by less than 5%, or the binary exits non-zero.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
 #include "bench_common.h"
+#include "hec/obs/obs.h"
 #include "hec/sim/node_sim.h"
 #include "hec/util/rng.h"
 
@@ -94,6 +103,67 @@ void BM_CharacterizeWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_CharacterizeWorkload)->Unit(benchmark::kMillisecond);
 
+/// Seconds for `iters` evaluator calls, minimum over `trials` repeats
+/// (min-of-N discards scheduler noise, the standard microbench estimator).
+double eval_loop_seconds(const hec::ConfigEvaluator& eval,
+                         const hec::ClusterConfig& cfg, int iters,
+                         int trials) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(eval.evaluate(cfg, 50e6));
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Compares the evaluator hot loop with instrumentation enabled against
+/// the runtime kill switch (obs::set_enabled(false)) — the in-binary
+/// stand-in for an HEC_OBS_DISABLE build, which cannot coexist with the
+/// instrumented code in one executable. Under HEC_OBS_DISABLE both
+/// variants compile to the same uninstrumented loop and the check is
+/// trivially satisfied.
+int obs_overhead_check() {
+  const auto& models = ep_models();
+  const hec::ConfigEvaluator eval(models.arm, models.amd);
+  const hec::ClusterConfig cfg{hec::NodeConfig{8, 4, 1.4},
+                               hec::NodeConfig{4, 6, 2.1}};
+  constexpr int kIters = 20000;
+  constexpr int kTrials = 7;
+
+  eval_loop_seconds(eval, cfg, kIters, 1);  // warm up caches + registry
+
+  hec::obs::set_enabled(false);
+  const double off_s = eval_loop_seconds(eval, cfg, kIters, kTrials);
+  hec::obs::set_enabled(true);
+  const double on_s = eval_loop_seconds(eval, cfg, kIters, kTrials);
+
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  std::printf(
+      "[obs-overhead] evaluator loop: disabled %.3f ms, instrumented "
+      "%.3f ms, overhead %+.2f%% (budget 5%%)\n",
+      off_s * 1e3, on_s * 1e3, overhead_pct);
+  if (overhead_pct >= 5.0) {
+    std::fprintf(stderr,
+                 "[obs-overhead] FAIL: instrumentation overhead %.2f%% "
+                 "exceeds the 5%% budget\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = obs_overhead_check();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

@@ -1,13 +1,68 @@
 #include "bench_common.h"
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <utility>
 
 #include "hec/io/gnuplot.h"
+#include "hec/obs/export.h"
+#include "hec/obs/obs.h"
 
 namespace hec::bench {
+
+double peak_rss_mib() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+namespace {
+
+void export_to_env_path(const char* env, void (*write)(std::ostream&)) {
+  const char* path = std::getenv(env);
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench-harness] cannot open " << path << "\n";
+    return;
+  }
+  write(out);
+  std::cerr << "[bench-harness] wrote " << path << "\n";
+}
+
+/// See the header comment: reports wall time + peak RSS at process exit
+/// and dumps obs data when HEC_TRACE_OUT / HEC_METRICS_OUT are set.
+struct HarnessReporter {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  ~HarnessReporter() {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    export_to_env_path("HEC_TRACE_OUT", [](std::ostream& out) {
+      hec::obs::write_chrome_trace(out, hec::obs::tracer(),
+                                   &hec::obs::registry());
+    });
+    export_to_env_path("HEC_METRICS_OUT", [](std::ostream& out) {
+      hec::obs::write_prometheus(out, hec::obs::registry());
+    });
+    // stderr, not stdout: bench stdout is the paper tables and may be
+    // diffed or parsed by scripts.
+    std::fprintf(stderr, "[bench-harness] wall_s=%.3f peak_rss_mb=%.1f\n",
+                 wall.count(), peak_rss_mib());
+  }
+};
+
+const HarnessReporter harness_reporter;
+
+}  // namespace
 
 CharacterizeOptions bench_characterize_options() {
   CharacterizeOptions opts;

@@ -76,6 +76,19 @@ class CsvFile {
 /// Prints a section banner for a table/figure.
 void banner(const std::string& title, const std::string& paper_ref);
 
+/// Peak resident set size of the process so far, in MiB.
+double peak_rss_mib();
+
+// Every bench binary links bench_common.cpp, whose file-scope harness
+// reporter prints per-run wall time and peak RSS to stderr on exit:
+//
+//   [bench-harness] wall_s=12.345 peak_rss_mb=87.4
+//
+// and honours HEC_TRACE_OUT / HEC_METRICS_OUT environment variables by
+// dumping the hec::obs trace (Chrome JSON) and metrics (Prometheus text)
+// collected over the whole run — the bench-side analogue of the CLI's
+// --trace-out/--metrics-out flags.
+
 /// Figs. 4-5 driver: evaluates the full 10+10 configuration space
 /// (36,380 points), prints the Pareto frontier with sweet/overlap region
 /// analysis and the homogeneous minimum-energy curves, and dumps CSV.

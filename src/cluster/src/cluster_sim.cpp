@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -50,6 +51,7 @@ ClusterRunResult simulate_cluster(const NodeSpec& arm, const NodeSpec& amd,
   HEC_EXPECTS(config.uses_arm() || units_arm == 0.0);
   HEC_EXPECTS(config.uses_amd() || units_amd == 0.0);
 
+  HEC_SPAN_NAMED(span, "cluster.simulate");
   const TypeRun arm_run = run_type(arm, workload.demand_for(arm.isa),
                                    config.arm, units_arm, opts, 0);
   const TypeRun amd_run = run_type(amd, workload.demand_for(amd.isa),
@@ -73,6 +75,15 @@ ClusterRunResult simulate_cluster(const NodeSpec& arm, const NodeSpec& amd,
   result.energy_amd_j = amd_run.energy_j + amd_tail;
   result.energy_j = result.energy_arm_j + result.energy_amd_j;
   result.idle_tail_j = arm_tail + amd_tail;
+  span.sim_window(0.0, result.t_s);
+  HEC_COUNTER_INC("cluster.runs");
+  HEC_COUNTER_ADD("cluster.node_runs",
+                  static_cast<double>(arm_run.node_walls.size() +
+                                      amd_run.node_walls.size()));
+  HEC_COUNTER_ADD("cluster.sim_time_s", result.t_s);
+  HEC_COUNTER_ADD("cluster.energy_arm_j", result.energy_arm_j);
+  HEC_COUNTER_ADD("cluster.energy_amd_j", result.energy_amd_j);
+  HEC_COUNTER_ADD("cluster.idle_tail_j", result.idle_tail_j);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "hec/config/evaluate.h"
 
+#include "hec/obs/obs.h"
 #include "hec/parallel/thread_pool.h"
 #include "hec/util/expect.h"
 
@@ -13,6 +14,7 @@ ConfigOutcome ConfigEvaluator::evaluate(const ClusterConfig& config,
                                         double work_units) const {
   HEC_EXPECTS(work_units > 0.0);
   HEC_EXPECTS(config.uses_arm() || config.uses_amd());
+  HEC_COUNTER_INC("config.evaluations");
   ConfigOutcome outcome;
   outcome.config = config;
   if (config.heterogeneous()) {
@@ -39,6 +41,11 @@ ConfigOutcome ConfigEvaluator::evaluate(const ClusterConfig& config,
 std::vector<ConfigOutcome> ConfigEvaluator::evaluate_all(
     std::span<const ClusterConfig> configs, double work_units,
     bool parallel) const {
+  HEC_SPAN("config.evaluate_all");
+  // One timer for the whole batch: a nominal evaluation is ~100 ns, so
+  // per-call clock reads would cost more than the work they measure.
+  // The robust evaluator times per call (each call runs MC trials).
+  HEC_SCOPED_TIMER("config.eval_wall_s");
   std::vector<ConfigOutcome> outcomes(configs.size());
   if (parallel) {
     parallel_for(0, configs.size(), [&](std::size_t i) {

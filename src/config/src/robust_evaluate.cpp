@@ -1,6 +1,7 @@
 #include "hec/config/robust_evaluate.h"
 
 #include "hec/fault/recovery.h"
+#include "hec/obs/obs.h"
 #include "hec/parallel/thread_pool.h"
 #include "hec/util/expect.h"
 
@@ -42,6 +43,8 @@ RobustOutcome RobustConfigEvaluator::evaluate(const ClusterConfig& config,
   HEC_EXPECTS(deadline_s > 0.0);
   HEC_EXPECTS(config.uses_arm() || config.uses_amd());
 
+  HEC_SPAN("config.robust_evaluate");
+  HEC_SCOPED_TIMER("config.eval_wall_s");
   RobustOutcome out;
   out.nominal = nominal_.evaluate(config, work_units);
 
@@ -52,6 +55,7 @@ RobustOutcome RobustConfigEvaluator::evaluate(const ClusterConfig& config,
   // Disabled faults: one trial is exact (simulate_faulty_run returns the
   // nominal closed form), so skip the Monte Carlo loop entirely.
   const int trials = faults_.enabled() ? mc_.trials : 1;
+  HEC_COUNTER_ADD("config.mc_trials", static_cast<double>(trials));
 
   const auto run_trial = [&](std::size_t trial) {
     return simulate_faulty_run(deployments, work_units, faults_,
@@ -93,6 +97,7 @@ RobustOutcome RobustConfigEvaluator::evaluate(const ClusterConfig& config,
 std::vector<RobustOutcome> RobustConfigEvaluator::evaluate_all(
     std::span<const ClusterConfig> configs, double work_units,
     double deadline_s, bool parallel) const {
+  HEC_SPAN("config.robust_evaluate_all");
   std::vector<RobustOutcome> outcomes(configs.size());
   if (parallel) {
     // Trials stay serial inside each config: nesting parallel_for on the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -78,6 +79,8 @@ FaultyRunResult simulate_faulty_run(
   HEC_EXPECTS(!deployments.empty());
   HEC_EXPECTS(work_units > 0.0);
 
+  HEC_SPAN_NAMED(span, "fault.simulate_faulty_run");
+  HEC_COUNTER_INC("fault.runs");
   FaultyRunResult out;
   out.survivors.reserve(deployments.size());
   for (const TypedDeployment& d : deployments) {
@@ -282,6 +285,11 @@ FaultyRunResult simulate_faulty_run(
       }
     }
   }
+  span.sim_window(0.0, out.t_s);
+  HEC_COUNTER_ADD("fault.crashes", static_cast<double>(out.crashes));
+  HEC_COUNTER_ADD("fault.checkpoints", static_cast<double>(out.checkpoints));
+  HEC_COUNTER_ADD("fault.rematches", static_cast<double>(out.rematches));
+  HEC_COUNTER_ADD("fault.wasted_units", out.wasted_units);
   return out;
 }
 

@@ -28,6 +28,8 @@
 #include "hec/model/matching.h"            // IWYU pragma: export
 #include "hec/model/multi_matching.h"      // IWYU pragma: export
 #include "hec/model/node_model.h"          // IWYU pragma: export
+#include "hec/obs/export.h"                // IWYU pragma: export
+#include "hec/obs/obs.h"                   // IWYU pragma: export
 #include "hec/pareto/frontier.h"           // IWYU pragma: export
 #include "hec/pareto/hypervolume.h"        // IWYU pragma: export
 #include "hec/pareto/robust_frontier.h"    // IWYU pragma: export

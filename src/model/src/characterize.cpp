@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hec/obs/obs.h"
 #include "hec/sim/node_sim.h"
 #include "hec/sim/power_meter.h"
 #include "hec/util/expect.h"
@@ -28,6 +29,8 @@ WorkloadInputs characterize_workload(const NodeSpec& spec,
                                      const PhaseDemand& demand,
                                      const CharacterizeOptions& opts) {
   HEC_EXPECTS(opts.baseline_units > 0.0);
+  HEC_SPAN("model.characterize_workload");
+  HEC_COUNTER_INC("model.characterizations");
   WorkloadInputs inputs;
 
   // One full-node baseline run at fmax: IPs, WPI, SPIcore, UCPU, I/O.
@@ -64,6 +67,7 @@ WorkloadInputs characterize_workload(const NodeSpec& spec,
 
 PowerParams characterize_power(const NodeSpec& spec,
                                const CharacterizeOptions& opts) {
+  HEC_SPAN("model.characterize_power");
   PowerParams params;
   params.freqs_ghz = spec.pstates.frequencies_ghz();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -30,6 +31,9 @@ std::vector<double> match_split_multi(
 MultiPrediction predict_multi(std::span<const TypedDeployment> deployments,
                               double work_units) {
   MultiPrediction out;
+  HEC_COUNTER_INC("model.match_splits");
+  HEC_COUNTER_ADD("model.predictions",
+                  static_cast<double>(deployments.size()));
   out.shares = match_split_multi(deployments, work_units);
   out.parts.reserve(deployments.size());
   for (std::size_t i = 0; i < deployments.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 #include "hec/util/units.h"
 

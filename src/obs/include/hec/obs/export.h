@@ -1,0 +1,38 @@
+// Exporters for the metrics registry and span tracer.
+//
+// Three formats, one per consumer:
+//   * Chrome trace_event JSON — open in chrome://tracing or
+//     https://ui.perfetto.dev to see the span tree per thread;
+//   * JSONL — one self-describing JSON object per line (spans, then
+//     counters/gauges/histograms), greppable and stream-parseable;
+//   * Prometheus text exposition — counters/gauges/cumulative histogram
+//     buckets, for diffing metric dumps across runs.
+#pragma once
+
+#include <iosfwd>
+
+namespace hec::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/// Chrome trace_event JSON: {"traceEvents":[...complete "X" events...]}.
+/// Span wall times map to ts/dur (microseconds); sim-time windows and
+/// nesting depth ride in args. When `metrics` is non-null, counter and
+/// gauge totals are embedded under "otherData" so one file carries the
+/// whole observation.
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const MetricsRegistry* metrics = nullptr);
+
+/// JSONL event log: {"type":"span",...} lines then {"type":"counter",...},
+/// {"type":"gauge",...} and {"type":"histogram",...} lines.
+void write_jsonl(std::ostream& out, const Tracer& tracer,
+                 const MetricsRegistry& metrics);
+
+/// Prometheus-style text dump. Metric names are sanitised to
+/// [a-zA-Z0-9_] and prefixed "hec_" ("sim.events_processed" becomes
+/// "hec_sim_events_processed"); histogram buckets are cumulative with a
+/// final +Inf bucket, as the exposition format requires.
+void write_prometheus(std::ostream& out, const MetricsRegistry& metrics);
+
+}  // namespace hec::obs

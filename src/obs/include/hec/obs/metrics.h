@@ -1,0 +1,213 @@
+// Lock-cheap metrics registry: counters, gauges and log-scale histograms.
+//
+// Instrumented hot paths (event-queue steps, per-config evaluations) run
+// under hec::parallel::ThreadPool, so a metric write must never take a
+// lock that other writers contend on. Counters stripe their cells across
+// cache lines and each thread writes its own stripe (assigned round-robin
+// on first use), so concurrent increments are a relaxed fetch_add on a
+// line no other thread touches until there are more threads than stripes.
+// The registry mutex is only taken on registration (find-or-create by
+// name) and on snapshot/export — the HEC_COUNTER_* macros cache the
+// returned reference in a function-local static, so each call site pays
+// the lookup once per process.
+//
+// All values are doubles: the model's "counts" (work units, instructions)
+// are already fractional, and integer counts below 2^53 stay exact.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hec::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+
+/// Stripe index of the calling thread (stable per thread). The address
+/// of a constant-initialised thread_local identifies the thread without
+/// the guard branch dynamically-initialised TLS costs on every access;
+/// stripe collisions between threads only add contention, never lose
+/// updates (cells are still atomic). Inline so hot counter adds don't
+/// pay a cross-TU call.
+///
+/// The address must be hashed, not shifted: TLS blocks are carved out
+/// of per-thread mappings at large power-of-two strides, so the low
+/// bits of &tag are identical across threads and a plain shift would
+/// put every thread on stripe 0. Fibonacci multiplicative hashing
+/// spreads the high-stride differences into the top bits.
+inline std::size_t this_thread_stripe() noexcept {
+  thread_local constinit char tag = 0;
+  const auto addr = reinterpret_cast<std::uintptr_t>(&tag);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(addr) * 0x9E3779B97F4A7C15ull) >> 48);
+}
+}  // namespace detail
+
+/// Runtime kill switch for all instrumentation (metrics AND spans). The
+/// default is enabled; disabling reduces every instrumented operation to
+/// one relaxed atomic load + branch. Compile-time removal is the
+/// HEC_OBS_DISABLE macro (see hec/obs/obs.h).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotone sum, striped across cache lines (see file comment).
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(double v) noexcept {
+    if (!enabled()) return;
+    cells_[detail::this_thread_stripe() & (kStripes - 1)].v.fetch_add(
+        v, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1.0); }
+
+  /// Sum over all stripes. Concurrent adds may or may not be included.
+  double value() const noexcept {
+    double sum = 0.0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0.0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<double> v{0.0};
+  };
+  std::string name_;
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log2-scale histogram: bin i counts observations in
+/// [2^(kMinExp2 + i), 2^(kMinExp2 + i + 1)). The bottom bin doubles as
+/// the underflow bucket (values <= 2^kMinExp2, including non-positive
+/// observations) and the top bin as the overflow bucket. The range
+/// covers ~1 ns .. ~500 s when observing seconds, and 1 .. 10^10 when
+/// observing counts — wide enough that clamping is a non-event.
+class Histogram {
+ public:
+  static constexpr int kMinExp2 = -30;
+  static constexpr int kMaxExp2 = 34;
+  static constexpr std::size_t kBins =
+      static_cast<std::size_t>(kMaxExp2 - kMinExp2);
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept {
+    if (!enabled()) return;
+    bins_[bin_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Bin that `v` lands in (clamped to [0, kBins - 1]).
+  static std::size_t bin_index(double v) noexcept;
+
+  /// Exclusive upper edge of bin i: 2^(kMinExp2 + i + 1).
+  static double bin_upper_bound(std::size_t i) noexcept;
+
+  std::uint64_t bin_count(std::size_t i) const noexcept {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept {
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric map. Registration is find-or-create under a mutex;
+/// returned references stay valid for the registry's lifetime (metrics
+/// are never deleted, only reset).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::array<std::uint64_t, Histogram::kBins> bins{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  /// Point-in-time copies, sorted by name (for exporters and tests).
+  std::vector<std::pair<std::string, double>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<HistogramSnapshot> histograms() const;
+
+  bool empty() const;
+
+  /// Zeroes every value; registrations (and handed-out references) stay.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-global registry (leaked singleton: safe to touch from static
+/// destructors such as the bench harness's at-exit reporter).
+MetricsRegistry& registry();
+
+}  // namespace hec::obs

@@ -1,0 +1,119 @@
+// hec::obs umbrella: instrumentation macros and leveled logging.
+//
+// Instrumented code uses only these macros, never the classes directly:
+//
+//   HEC_SPAN("config.evaluate_all");           // RAII scope, auto-named var
+//   HEC_SPAN_NAMED(span, "sim.node_run");      // when sim_window() is needed
+//   span.sim_window(0.0, result.wall_s);
+//   HEC_COUNTER_INC("sim.events_processed");
+//   HEC_COUNTER_ADD("sim.core_busy_s", result.cpu_busy_s);
+//   HEC_GAUGE_SET("pareto.frontier_size", n);
+//   HEC_HISTOGRAM_OBSERVE("config.eval_wall_s", seconds);
+//   HEC_SCOPED_TIMER("config.eval_wall_s");    // observes on scope exit
+//
+// Metric names are "subsystem.metric" (dots become underscores in the
+// Prometheus dump). The counter/gauge/histogram macros cache the
+// registry lookup in a function-local static, so the steady-state cost
+// is one relaxed atomic load (the obs::enabled() gate) plus one relaxed
+// fetch_add on a thread-striped cell.
+//
+// Defining HEC_OBS_DISABLE (CMake: -DHEC_OBS_DISABLE=ON) compiles every
+// macro to nothing: no statics, no atomics, no clock reads. Arguments
+// are still parsed but never evaluated, so instrumentation cannot carry
+// side effects the disabled build would miss.
+#pragma once
+
+#include <string>
+
+#include "hec/obs/metrics.h"  // IWYU pragma: export
+#include "hec/obs/span.h"     // IWYU pragma: export
+
+namespace hec::obs {
+
+/// Stderr log verbosity: 0 quiet (default), 1 progress, 2 debug.
+int log_level() noexcept;
+void set_log_level(int level) noexcept;
+
+/// Writes "[hec] msg" to stderr when `level` <= log_level().
+void log(int level, const std::string& msg);
+
+}  // namespace hec::obs
+
+#define HEC_OBS_CONCAT_IMPL(a, b) a##b
+#define HEC_OBS_CONCAT(a, b) HEC_OBS_CONCAT_IMPL(a, b)
+
+#ifndef HEC_OBS_DISABLE
+
+#define HEC_SPAN(name)                           \
+  [[maybe_unused]] ::hec::obs::SpanGuard HEC_OBS_CONCAT( \
+      hec_obs_span_, __COUNTER__) { name }
+
+#define HEC_SPAN_NAMED(var, name) \
+  ::hec::obs::SpanGuard var { name }
+
+#define HEC_COUNTER_ADD(name, amount)                      \
+  do {                                                     \
+    static ::hec::obs::Counter& hec_obs_c =                \
+        ::hec::obs::registry().counter(name);              \
+    hec_obs_c.add(amount);                                 \
+  } while (false)
+
+#define HEC_COUNTER_INC(name) HEC_COUNTER_ADD(name, 1.0)
+
+#define HEC_GAUGE_SET(name, value)                         \
+  do {                                                     \
+    static ::hec::obs::Gauge& hec_obs_g =                  \
+        ::hec::obs::registry().gauge(name);                \
+    hec_obs_g.set(value);                                  \
+  } while (false)
+
+#define HEC_HISTOGRAM_OBSERVE(name, value)                 \
+  do {                                                     \
+    static ::hec::obs::Histogram& hec_obs_h =              \
+        ::hec::obs::registry().histogram(name);            \
+    hec_obs_h.observe(value);                              \
+  } while (false)
+
+#define HEC_SCOPED_TIMER(name)                                       \
+  [[maybe_unused]] ::hec::obs::ScopedTimer HEC_OBS_CONCAT(           \
+      hec_obs_timer_, __COUNTER__) {                                 \
+    []() -> ::hec::obs::Histogram& {                                 \
+      static ::hec::obs::Histogram& hec_obs_h =                      \
+          ::hec::obs::registry().histogram(name);                    \
+      return hec_obs_h;                                              \
+    }()                                                              \
+  }
+
+#else  // HEC_OBS_DISABLE
+
+#define HEC_SPAN(name)                                   \
+  [[maybe_unused]] ::hec::obs::NoopSpan HEC_OBS_CONCAT(  \
+      hec_obs_span_, __COUNTER__) {}
+
+#define HEC_SPAN_NAMED(var, name) \
+  [[maybe_unused]] ::hec::obs::NoopSpan var {}
+
+#define HEC_COUNTER_ADD(name, amount) \
+  do {                                \
+    (void)sizeof(amount);             \
+  } while (false)
+
+#define HEC_COUNTER_INC(name) \
+  do {                        \
+  } while (false)
+
+#define HEC_GAUGE_SET(name, value) \
+  do {                             \
+    (void)sizeof(value);           \
+  } while (false)
+
+#define HEC_HISTOGRAM_OBSERVE(name, value) \
+  do {                                     \
+    (void)sizeof(value);                   \
+  } while (false)
+
+#define HEC_SCOPED_TIMER(name)                          \
+  [[maybe_unused]] ::hec::obs::NoopTimer HEC_OBS_CONCAT( \
+      hec_obs_timer_, __COUNTER__) {}
+
+#endif  // HEC_OBS_DISABLE

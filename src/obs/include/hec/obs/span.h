@@ -1,0 +1,167 @@
+// Span tracer: RAII scopes recorded into per-thread ring buffers.
+//
+// A span is one timed scope (HEC_SPAN("matching") in hec/obs/obs.h).
+// Scopes nest: each thread tracks its current depth, so an exporter can
+// reconstruct the call tree without parent pointers. Spans carry wall
+// time (steady-clock microseconds since the tracer's epoch) and an
+// optional *simulation-time* window — the discrete-event simulator's
+// clock is unrelated to wall time, and attributing a phase to "sim
+// seconds 0..0.3" is what makes a trace of a trace-driven model legible.
+//
+// Each thread owns a fixed-capacity ring; when it wraps, the oldest
+// events are overwritten and counted as dropped. Recording takes only
+// the ring's own mutex, which no other thread touches except during
+// snapshot/export — uncontended in steady state, and race-free under
+// TSan when an export races an instrumented worker.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hec/obs/metrics.h"
+
+namespace hec::obs {
+
+/// One completed scope.
+struct SpanEvent {
+  const char* name = "";  ///< stable storage (string literal in practice)
+  double start_us = 0.0;  ///< wall micros since the tracer's epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;    ///< dense thread index (registration order)
+  std::uint32_t depth = 0;  ///< nesting depth at begin (0 = top level)
+  double sim_begin_s = std::numeric_limits<double>::quiet_NaN();
+  double sim_end_s = std::numeric_limits<double>::quiet_NaN();
+
+  bool has_sim_window() const noexcept {
+    return sim_begin_s == sim_begin_s && sim_end_s == sim_end_s;
+  }
+};
+
+/// Per-thread ring buffers + depth bookkeeping. Use the process-global
+/// tracer() in instrumented code; local instances are for tests.
+class Tracer {
+ public:
+  static constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Steady-clock microseconds since this tracer's construction.
+  double now_us() const noexcept;
+
+  /// Opens a scope on the calling thread; returns its depth (0-based).
+  std::uint32_t begin_span() noexcept;
+
+  /// Closes a scope: decrements the thread's depth, stamps ev.tid and
+  /// records the event. A close without a matching open is counted in
+  /// unbalanced() and the depth is clamped at zero.
+  void end_span(SpanEvent ev) noexcept;
+
+  /// Records a pre-built event without depth bookkeeping (exporter tests
+  /// use this to build deterministic traces).
+  void record(SpanEvent ev) noexcept;
+
+  /// Copies every buffered event, sorted by start time.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Events overwritten after a ring wrapped.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently open scopes across all threads (0 when balanced).
+  int open_spans() const;
+
+  /// Closes observed without a matching open.
+  std::uint64_t unbalanced() const noexcept {
+    return unbalanced_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards buffered events and drop/unbalance counts (depths stay).
+  void clear();
+
+ private:
+  struct ThreadRing {
+    mutable std::mutex m;
+    std::vector<SpanEvent> ring;  ///< grows to kRingCapacity, then wraps
+    std::uint64_t count = 0;      ///< total recorded; > size() => wrapped
+    std::atomic<int> depth{0};
+    std::uint32_t tid = 0;
+  };
+
+  ThreadRing& local_ring() noexcept;
+
+  const std::uint64_t id_;  ///< distinguishes tracer instances in the TLS cache
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> unbalanced_{0};
+};
+
+/// Process-global tracer (leaked singleton, like obs::registry()).
+Tracer& tracer();
+
+/// RAII scope against the global tracer. Prefer the HEC_SPAN macros,
+/// which compile to nothing under HEC_OBS_DISABLE.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) noexcept;
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Annotates the span with the simulation-time window it covers.
+  void sim_window(double begin_s, double end_s) noexcept {
+    sim_begin_s_ = begin_s;
+    sim_end_s_ = end_s;
+  }
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+  double sim_begin_s_ = std::numeric_limits<double>::quiet_NaN();
+  double sim_end_s_ = std::numeric_limits<double>::quiet_NaN();
+  bool active_;
+};
+
+/// Stand-in emitted by the HEC_SPAN macros under HEC_OBS_DISABLE: same
+/// interface, no code.
+struct NoopSpan {
+  void sim_window(double, double) const noexcept {}
+};
+
+/// RAII wall-time observation into a histogram (see HEC_SCOPED_TIMER).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(&h), active_(enabled()) {
+    if (active_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!active_) return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0_;
+    h_->observe(dt.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+  bool active_;
+};
+
+/// No-op twin of ScopedTimer for the disabled build.
+struct NoopTimer {};
+
+}  // namespace hec::obs

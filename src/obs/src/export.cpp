@@ -1,0 +1,182 @@
+#include "hec/obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "hec/obs/metrics.h"
+#include "hec/obs/span.h"
+
+namespace hec::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; exporters only call this with finite
+/// values but a defensive null keeps the output parseable regardless.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_micros(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string prometheus_name(std::string_view raw) {
+  std::string out = "hec_";
+  for (const char c : raw) {
+    const auto uc = static_cast<unsigned char>(c);
+    out += std::isalnum(uc) ? c : '_';
+  }
+  return out;
+}
+
+void write_span_args(std::ostream& out, const SpanEvent& ev) {
+  out << "{\"depth\":" << ev.depth;
+  if (ev.has_sim_window()) {
+    out << ",\"sim_begin_s\":" << json_number(ev.sim_begin_s)
+        << ",\"sim_end_s\":" << json_number(ev.sim_end_s);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const MetricsRegistry* metrics) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : tracer.snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << json_escape(ev.name)
+        << "\",\"cat\":\"hec\",\"ph\":\"X\",\"ts\":" << json_micros(ev.start_us)
+        << ",\"dur\":" << json_micros(ev.dur_us)
+        << ",\"pid\":1,\"tid\":" << ev.tid << ",\"args\":";
+    write_span_args(out, ev);
+    out << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"";
+  if (metrics != nullptr) {
+    out << ",\"otherData\":{";
+    bool first_metric = true;
+    for (const auto& [name, value] : metrics->counters()) {
+      if (!first_metric) out << ",";
+      first_metric = false;
+      out << "\"" << json_escape(name) << "\":" << json_number(value);
+    }
+    for (const auto& [name, value] : metrics->gauges()) {
+      if (!first_metric) out << ",";
+      first_metric = false;
+      out << "\"" << json_escape(name) << "\":" << json_number(value);
+    }
+    out << "}";
+  }
+  out << "}\n";
+}
+
+void write_jsonl(std::ostream& out, const Tracer& tracer,
+                 const MetricsRegistry& metrics) {
+  for (const SpanEvent& ev : tracer.snapshot()) {
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(ev.name)
+        << "\",\"start_us\":" << json_micros(ev.start_us)
+        << ",\"dur_us\":" << json_micros(ev.dur_us) << ",\"tid\":" << ev.tid
+        << ",\"depth\":" << ev.depth;
+    if (ev.has_sim_window()) {
+      out << ",\"sim_begin_s\":" << json_number(ev.sim_begin_s)
+          << ",\"sim_end_s\":" << json_number(ev.sim_end_s);
+    }
+    out << "}\n";
+  }
+  for (const auto& [name, value] : metrics.counters()) {
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << json_number(value) << "}\n";
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << json_number(value) << "}\n";
+  }
+  for (const auto& h : metrics.histograms()) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
+        << "\",\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+        << ",\"bins\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+      if (h.bins[i] == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "{\"le\":" << json_number(Histogram::bin_upper_bound(i))
+          << ",\"n\":" << h.bins[i] << "}";
+    }
+    out << "]}\n";
+  }
+}
+
+void write_prometheus(std::ostream& out, const MetricsRegistry& metrics) {
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << json_number(value) << "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << json_number(value) << "\n";
+  }
+  for (const auto& h : metrics.histograms()) {
+    const std::string pname = prometheus_name(h.name);
+    out << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+      if (h.bins[i] == 0) continue;
+      cumulative += h.bins[i];
+      out << pname << "_bucket{le=\""
+          << json_number(Histogram::bin_upper_bound(i)) << "\"} " << cumulative
+          << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << pname << "_sum " << json_number(h.sum) << "\n";
+    out << pname << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace hec::obs

@@ -1,0 +1,113 @@
+#include "hec/obs/metrics.h"
+
+#include <cmath>
+
+namespace hec::obs {
+
+std::size_t Histogram::bin_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN -> underflow bucket
+  int exp = 0;
+  // v = m * 2^exp with m in [0.5, 1), so v lies in [2^(exp-1), 2^exp):
+  // the bin whose inclusive lower edge is 2^(exp-1).
+  (void)std::frexp(v, &exp);
+  const long idx = static_cast<long>(exp) - 1 - kMinExp2;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kBins)) return kBins - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double Histogram::bin_upper_bound(std::size_t i) noexcept {
+  return std::ldexp(1.0, kMinExp2 + static_cast<int>(i) + 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::counters()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+      snap.bins[i] = h->bin_count(i);
+    }
+    snap.count = h->count();
+    snap.sum = h->sum();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  // Leaked on purpose: exporters run from static destructors (bench
+  // harness at-exit reporting), which must not race registry teardown.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace hec::obs

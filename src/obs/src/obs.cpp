@@ -1,0 +1,23 @@
+#include "hec/obs/obs.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace hec::obs {
+
+namespace {
+std::atomic<int> g_log_level{0};
+}  // namespace
+
+int log_level() noexcept { return g_log_level.load(std::memory_order_relaxed); }
+
+void set_log_level(int level) noexcept {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+void log(int level, const std::string& msg) {
+  if (level > log_level()) return;
+  std::cerr << "[hec] " << msg << "\n";
+}
+
+}  // namespace hec::obs

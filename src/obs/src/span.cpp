@@ -1,0 +1,145 @@
+#include "hec/obs/span.h"
+
+#include <algorithm>
+
+namespace hec::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const noexcept {
+  const std::chrono::duration<double, std::micro> dt =
+      std::chrono::steady_clock::now() - epoch_;
+  return dt.count();
+}
+
+Tracer::ThreadRing& Tracer::local_ring() noexcept {
+  // Cache the ring pointer per (thread, tracer-instance). A plain
+  // thread_local pointer would dangle across distinct tracers in tests,
+  // so the cache also remembers which tracer it belongs to.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local ThreadRing* cached_ring = nullptr;
+  if (cached_id == id_ && cached_ring != nullptr) return *cached_ring;
+
+  auto ring = std::make_unique<ThreadRing>();
+  ThreadRing* raw = ring.get();
+  {
+    std::lock_guard lock(rings_mutex_);
+    raw->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  cached_id = id_;
+  cached_ring = raw;
+  return *raw;
+}
+
+std::uint32_t Tracer::begin_span() noexcept {
+  ThreadRing& r = local_ring();
+  const int depth = r.depth.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::uint32_t>(depth < 0 ? 0 : depth);
+}
+
+void Tracer::end_span(SpanEvent ev) noexcept {
+  ThreadRing& r = local_ring();
+  const int depth = r.depth.fetch_sub(1, std::memory_order_relaxed);
+  if (depth <= 0) {
+    // Close without a matching open: clamp and flag instead of going
+    // negative forever.
+    r.depth.store(0, std::memory_order_relaxed);
+    unbalanced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ev.tid = r.tid;
+  std::lock_guard lock(r.m);
+  if (r.ring.size() < kRingCapacity) {
+    r.ring.push_back(ev);
+  } else {
+    r.ring[static_cast<std::size_t>(r.count % kRingCapacity)] = ev;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++r.count;
+}
+
+void Tracer::record(SpanEvent ev) noexcept {
+  ThreadRing& r = local_ring();
+  ev.tid = r.tid;
+  std::lock_guard lock(r.m);
+  if (r.ring.size() < kRingCapacity) {
+    r.ring.push_back(ev);
+  } else {
+    r.ring[static_cast<std::size_t>(r.count % kRingCapacity)] = ev;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++r.count;
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::vector<SpanEvent> out;
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& r : rings_) {
+    std::lock_guard ring_lock(r->m);
+    out.insert(out.end(), r->ring.begin(), r->ring.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+int Tracer::open_spans() const {
+  int open = 0;
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& r : rings_) {
+    open += r->depth.load(std::memory_order_relaxed);
+  }
+  return open;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& r : rings_) {
+    std::lock_guard ring_lock(r->m);
+    r->ring.clear();
+    r->count = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  unbalanced_.store(0, std::memory_order_relaxed);
+}
+
+Tracer& tracer() {
+  // Leaked on purpose, same reasoning as obs::registry().
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+SpanGuard::SpanGuard(const char* name) noexcept
+    : name_(name), active_(enabled()) {
+  if (!active_) return;
+  Tracer& t = tracer();
+  depth_ = t.begin_span();
+  start_us_ = t.now_us();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  Tracer& t = tracer();
+  SpanEvent ev;
+  ev.name = name_;
+  ev.start_us = start_us_;
+  ev.dur_us = t.now_us() - start_us_;
+  ev.depth = depth_;
+  ev.sim_begin_s = sim_begin_s_;
+  ev.sim_end_s = sim_end_s_;
+  t.end_span(ev);
+}
+
+}  // namespace hec::obs

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
 
 std::vector<TimeEnergyPoint> pareto_frontier(
     std::span<const TimeEnergyPoint> points) {
+  HEC_SPAN("pareto.frontier");
+  HEC_COUNTER_INC("pareto.frontier_calls");
   std::vector<TimeEnergyPoint> sorted(points.begin(), points.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const TimeEnergyPoint& a, const TimeEnergyPoint& b) {
@@ -36,6 +39,7 @@ std::vector<TimeEnergyPoint> pareto_frontier(
       last_time = p.t_s;
     }
   }
+  HEC_GAUGE_SET("pareto.frontier_size", static_cast<double>(frontier.size()));
   return frontier;
 }
 

@@ -1,5 +1,6 @@
 #include "hec/pareto/robust_frontier.h"
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -7,6 +8,7 @@ namespace hec {
 std::vector<TimeEnergyPoint> robust_pareto_frontier(
     std::span<const RobustPoint> points, double max_miss_prob) {
   HEC_EXPECTS(max_miss_prob >= 0.0 && max_miss_prob <= 1.0);
+  HEC_SPAN("pareto.robust_frontier");
   std::vector<TimeEnergyPoint> admissible;
   admissible.reserve(points.size());
   for (const RobustPoint& p : points) {

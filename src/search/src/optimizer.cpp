@@ -4,6 +4,7 @@
 #include <array>
 #include <map>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -35,6 +36,7 @@ std::optional<SearchResult> branch_and_bound_search(
   HEC_EXPECTS(deadline_s > 0.0);
   HEC_EXPECTS(limits.max_arm_nodes >= 0 && limits.max_amd_nodes >= 0);
 
+  HEC_SPAN("search.branch_and_bound");
   struct PairBound {
     double bound_j;
     int n_arm, n_amd;
@@ -81,6 +83,8 @@ std::optional<SearchResult> branch_and_bound_search(
       }
     }
   }
+  HEC_COUNTER_ADD("search.evaluations", static_cast<double>(evaluations));
+  HEC_GAUGE_SET("search.incumbent_energy_j", incumbent->energy_j);
   return SearchResult{*incumbent, evaluations};
 }
 
@@ -94,6 +98,7 @@ std::optional<SearchResult> greedy_search(const ConfigEvaluator& evaluator,
   HEC_EXPECTS(deadline_s > 0.0);
   HEC_EXPECTS(starts >= 1);
 
+  HEC_SPAN("search.greedy");
   const auto& arm_freqs = arm.pstates.frequencies_ghz();
   const auto& amd_freqs = amd.pstates.frequencies_ghz();
 
@@ -175,6 +180,8 @@ std::optional<SearchResult> greedy_search(const ConfigEvaluator& evaluator,
     }
   }
   if (!best) return std::nullopt;
+  HEC_COUNTER_ADD("search.evaluations", static_cast<double>(evaluations));
+  HEC_GAUGE_SET("search.incumbent_energy_j", best->energy_j);
   return SearchResult{*best, evaluations};
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -38,9 +39,13 @@ void EventQueue::step() {
   live_.erase(entry.seq);
   now_ = entry.time;
   entry.cb();
+  HEC_COUNTER_INC("sim.events_processed");
+  HEC_GAUGE_SET("sim.queue_depth", static_cast<double>(live_.size()));
 }
 
 void EventQueue::run(std::uint64_t max_events) {
+  HEC_SPAN_NAMED(span, "sim.event_loop");
+  const double sim_begin_s = now_;
   std::uint64_t executed = 0;
   while (!empty()) {
     if (executed++ >= max_events) {
@@ -48,6 +53,7 @@ void EventQueue::run(std::uint64_t max_events) {
     }
     step();
   }
+  span.sim_window(sim_begin_s, now_);
 }
 
 }  // namespace hec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "hec/obs/obs.h"
 #include "hec/sim/event_queue.h"
 #include "hec/sim/memory_model.h"
 #include "hec/sim/nic_model.h"
@@ -50,6 +51,7 @@ class NodeRun {
   }
 
   RunResult run() {
+    HEC_SPAN_NAMED(span, "sim.node_run");
     const int total_chunks =
         std::max(cfg_.cores_used, cfg_.chunks_per_core * cfg_.cores_used);
     units_per_chunk_ = cfg_.work_units / total_chunks;
@@ -100,6 +102,12 @@ class NodeRun {
     result.energy = meter_.finish(result.wall_s);
     result.cpu_busy_s = cpu_busy_s_;
     result.cores_used = cfg_.cores_used;
+    span.sim_window(0.0, result.wall_s);
+    HEC_COUNTER_INC("sim.node_runs");
+    HEC_COUNTER_ADD("sim.work_units", result.completed_units);
+    HEC_COUNTER_ADD("sim.core_busy_s", result.cpu_busy_s);
+    HEC_COUNTER_ADD("sim.nic_busy_s", result.io_busy_s);
+    HEC_COUNTER_ADD("sim.mem_stall_cycles", result.counters.mem_stall_cycles);
     return result;
   }
 

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -21,6 +23,19 @@ int run_cli(const std::string& args) {
       std::string(HECSIM_CLI_PATH) + " " + args + " > /dev/null 2> /dev/null";
   const int status = std::system(cmd.c_str());
   EXPECT_TRUE(WIFEXITED(status)) << "CLI did not exit normally: " << args;
+  return WEXITSTATUS(status);
+}
+
+/// Like run_cli but captures stderr, for tests that pin diagnostics.
+int run_cli_stderr(const std::string& args, std::string* err_out) {
+  const std::string err_path = ::testing::TempDir() + "hecsim_cli_stderr.txt";
+  const std::string cmd = std::string(HECSIM_CLI_PATH) + " " + args +
+                          " > /dev/null 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << "CLI did not exit normally: " << args;
+  std::ifstream in(err_path);
+  err_out->assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
   return WEXITSTATUS(status);
 }
 
@@ -62,6 +77,68 @@ TEST(CliExitCodes, OutOfRangeFlagIsUsageError) {
   EXPECT_EQ(run_cli("EP 120 --straggler-prob 1.5"), 64);
   EXPECT_EQ(run_cli("EP 120 --mttf-h 0"), 64);
   EXPECT_EQ(run_cli("EP 120 --trials 0"), 64);
+}
+
+TEST(CliExitCodes, EqualsFormFlagsAreAccepted) {
+  EXPECT_EQ(run_cli("EP 10000 --max-arm=2 --max-amd=2 --method=exhaustive"),
+            0);
+}
+
+TEST(CliExitCodes, MalformedEqualsValueIsUsageError) {
+  EXPECT_EQ(run_cli("EP 10000 --trials=abc"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --units=  --max-arm 1"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --seed=1e"), 64);
+}
+
+TEST(CliExitCodes, MalformedValueDiagnosticNamesTheFlag) {
+  std::string err;
+  EXPECT_EQ(run_cli_stderr("EP 10000 --trials=abc", &err), 64);
+  EXPECT_NE(err.find("--trials"), std::string::npos) << err;
+  EXPECT_NE(err.find("'abc'"), std::string::npos) << err;
+
+  EXPECT_EQ(run_cli_stderr("EP 10000 --budget junk", &err), 64);
+  EXPECT_NE(err.find("--budget"), std::string::npos) << err;
+}
+
+TEST(CliExitCodes, BadLogLevelIsUsageError) {
+  EXPECT_EQ(run_cli("EP 10000 --log-level=7"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --log-level=x"), 64);
+}
+
+TEST(CliExitCodes, TraceAndMetricsFilesAreWritten) {
+  const std::string trace = ::testing::TempDir() + "hecsim_cli_trace.json";
+  const std::string metrics = ::testing::TempDir() + "hecsim_cli_metrics.txt";
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 2 --max-amd 2 --trace-out=" + trace +
+                    " --metrics-out=" + metrics),
+            0);
+
+  std::ifstream trace_in(trace);
+  ASSERT_TRUE(trace_in.good()) << trace;
+  std::string trace_text((std::istreambuf_iterator<char>(trace_in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_text.find("\"traceEvents\""), std::string::npos);
+#ifndef HEC_OBS_DISABLE
+  // This TU sees the same build-wide definitions as the CLI binary, so
+  // the span expectation tracks whether instrumentation was compiled in.
+  EXPECT_NE(trace_text.find("cli.evaluate"), std::string::npos);
+#endif
+
+  std::ifstream metrics_in(metrics);
+  ASSERT_TRUE(metrics_in.good()) << metrics;
+  std::string metrics_text((std::istreambuf_iterator<char>(metrics_in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(metrics_text.find("hec_config_evaluations"), std::string::npos);
+  EXPECT_NE(metrics_text.find("hec_sim_events_processed"),
+            std::string::npos);
+  EXPECT_NE(metrics_text.find("hec_fault_runs"), std::string::npos);
+}
+
+TEST(CliExitCodes, UnwritableTraceFileIsOtherError) {
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 1 --max-amd 1 "
+                    "--trace-out=/no/such/dir/t.json"),
+            1);
 }
 
 TEST(CliExitCodes, MalformedInputsFileIsParseError) {

@@ -1,0 +1,381 @@
+// hec::obs unit tests: histogram bin boundaries, counter exactness under
+// the thread pool, span nesting and unbalanced-scope detection, and
+// golden-file validation of the three exporters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hec/obs/export.h"
+#include "hec/obs/obs.h"
+#include "hec/parallel/thread_pool.h"
+
+namespace {
+
+using hec::obs::Counter;
+using hec::obs::Gauge;
+using hec::obs::Histogram;
+using hec::obs::MetricsRegistry;
+using hec::obs::SpanEvent;
+using hec::obs::Tracer;
+
+// ---------------------------------------------------------------- counters
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter c("test");
+  EXPECT_EQ(c.value(), 0.0);
+  c.inc();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0.0);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsFromThreadPoolAreExact) {
+  Counter c("concurrent");
+  constexpr std::size_t kIncrements = 100000;
+  hec::parallel_for(0, kIncrements, [&](std::size_t) { c.inc(); });
+  EXPECT_DOUBLE_EQ(c.value(), static_cast<double>(kIncrements));
+}
+
+TEST(ObsCounter, ConcurrentIncrementsFromRawThreadsAreExact) {
+  Counter c("raw");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(ObsCounter, RuntimeDisableDropsWrites) {
+  Counter c("gated");
+  hec::obs::set_enabled(false);
+  c.inc();
+  hec::obs::set_enabled(true);
+  EXPECT_EQ(c.value(), 0.0);
+  c.inc();
+  EXPECT_EQ(c.value(), 1.0);
+}
+
+// ------------------------------------------------------------------ gauges
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge g("depth");
+  g.set(4.0);
+  g.set(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(ObsHistogram, BinBoundariesArePowersOfTwo) {
+  // Bin i covers [2^(kMinExp2 + i), 2^(kMinExp2 + i + 1)).
+  for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+    const double lower = std::ldexp(1.0, Histogram::kMinExp2 +
+                                             static_cast<int>(i));
+    const double upper = Histogram::bin_upper_bound(i);
+    EXPECT_DOUBLE_EQ(upper, 2.0 * lower);
+    EXPECT_EQ(Histogram::bin_index(lower), i) << "lower edge of bin " << i;
+    // Just below the upper edge stays in the bin; the edge itself
+    // belongs to the next bin (half-open intervals).
+    EXPECT_EQ(Histogram::bin_index(std::nextafter(upper, 0.0)), i);
+    if (i + 1 < Histogram::kBins) {
+      EXPECT_EQ(Histogram::bin_index(upper), i + 1);
+    }
+  }
+}
+
+TEST(ObsHistogram, UnderflowAndOverflowClampToEdgeBins) {
+  EXPECT_EQ(Histogram::bin_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bin_index(-1.0), 0u);
+  EXPECT_EQ(Histogram::bin_index(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::bin_index(1e-300), 0u);
+  EXPECT_EQ(Histogram::bin_index(1e300), Histogram::kBins - 1);
+}
+
+TEST(ObsHistogram, ObserveCountsSumAndBins) {
+  Histogram h("t");
+  h.observe(1.5);   // [1, 2)
+  h.observe(1.75);  // [1, 2)
+  h.observe(3.0);   // [2, 4)
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.25);
+  EXPECT_EQ(h.bin_count(Histogram::bin_index(1.5)), 2u);
+  EXPECT_EQ(h.bin_count(Histogram::bin_index(3.0)), 1u);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "x");
+  EXPECT_DOUBLE_EQ(counters[0].second, 1.0);
+}
+
+TEST(ObsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("b.two");
+  reg.counter("a.one");
+  reg.counter("c.three");
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a.one");
+  EXPECT_EQ(counters[1].first, "b.two");
+  EXPECT_EQ(counters[2].first, "c.three");
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  c.add(5.0);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0.0);
+  EXPECT_EQ(reg.gauges()[0].second, 0.0);
+  EXPECT_EQ(reg.histograms()[0].count, 0u);
+  EXPECT_FALSE(reg.empty());
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(ObsTracer, NestedSpansRecordDepths) {
+  Tracer t;
+  {
+    const auto d0 = t.begin_span();
+    EXPECT_EQ(d0, 0u);
+    {
+      const auto d1 = t.begin_span();
+      EXPECT_EQ(d1, 1u);
+      SpanEvent inner;
+      inner.name = "inner";
+      inner.depth = d1;
+      t.end_span(inner);
+    }
+    SpanEvent outer;
+    outer.name = "outer";
+    outer.depth = d0;
+    t.end_span(outer);
+  }
+  EXPECT_EQ(t.open_spans(), 0);
+  EXPECT_EQ(t.unbalanced(), 0u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(ObsTracer, UnbalancedCloseIsDetected) {
+  Tracer t;
+  SpanEvent ev;
+  ev.name = "stray";
+  t.end_span(ev);  // close without open
+  EXPECT_EQ(t.unbalanced(), 1u);
+  EXPECT_EQ(t.open_spans(), 0);  // clamped, not negative
+}
+
+TEST(ObsTracer, OpenSpansReportsUnclosedScopes) {
+  Tracer t;
+  t.begin_span();
+  t.begin_span();
+  EXPECT_EQ(t.open_spans(), 2);
+}
+
+TEST(ObsTracer, RingWrapsAndCountsDropped) {
+  Tracer t;
+  SpanEvent ev;
+  ev.name = "x";
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + 10; ++i) {
+    ev.start_us = static_cast<double>(i);
+    t.record(ev);
+  }
+  EXPECT_EQ(t.dropped(), 10u);
+  EXPECT_EQ(t.snapshot().size(), Tracer::kRingCapacity);
+}
+
+TEST(ObsTracer, SnapshotSortsByStartTime) {
+  Tracer t;
+  for (const double start : {30.0, 10.0, 20.0}) {
+    SpanEvent ev;
+    ev.name = "s";
+    ev.start_us = start;
+    t.record(ev);
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(events[1].start_us, 20.0);
+  EXPECT_DOUBLE_EQ(events[2].start_us, 30.0);
+}
+
+// The macro-layer tests only apply when instrumentation is compiled in
+// (a -DHEC_OBS_DISABLE=ON build turns the macros into no-ops build-wide;
+// that contract is covered by test_obs_disabled).
+#ifndef HEC_OBS_DISABLE
+
+TEST(ObsSpanGuard, MacroRecordsIntoGlobalTracer) {
+  hec::obs::tracer().clear();
+  {
+    HEC_SPAN_NAMED(span, "test.outer");
+    span.sim_window(0.0, 1.5);
+    { HEC_SPAN("test.inner"); }
+  }
+  const auto events = hec::obs::tracer().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first but starts later; snapshot sorts by start.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_TRUE(events[0].has_sim_window());
+  EXPECT_DOUBLE_EQ(events[0].sim_end_s, 1.5);
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_FALSE(events[1].has_sim_window());
+  hec::obs::tracer().clear();
+}
+
+#endif  // HEC_OBS_DISABLE
+
+// --------------------------------------------------------------- exporters
+
+/// Deterministic fixture: two spans and a small registry.
+class ObsExportTest : public ::testing::Test {
+ protected:
+  ObsExportTest() {
+    SpanEvent outer;
+    outer.name = "phase.outer";
+    outer.start_us = 100.0;
+    outer.dur_us = 50.0;
+    outer.depth = 0;
+    outer.sim_begin_s = 0.0;
+    outer.sim_end_s = 0.25;
+    tracer_.record(outer);
+
+    SpanEvent inner;
+    inner.name = "phase.inner";
+    inner.start_us = 110.0;
+    inner.dur_us = 20.0;
+    inner.depth = 1;
+    tracer_.record(inner);
+
+    registry_.counter("sim.events").add(42.0);
+    registry_.gauge("queue.depth").set(3.0);
+    registry_.histogram("eval.wall_s").observe(1.5);
+  }
+
+  Tracer tracer_;
+  MetricsRegistry registry_;
+};
+
+TEST_F(ObsExportTest, ChromeTraceMatchesGolden) {
+  std::ostringstream out;
+  hec::obs::write_chrome_trace(out, tracer_, &registry_);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"phase.outer\",\"cat\":\"hec\",\"ph\":\"X\","
+      "\"ts\":100.000,\"dur\":50.000,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"depth\":0,\"sim_begin_s\":0,\"sim_end_s\":0.25}},\n"
+      "{\"name\":\"phase.inner\",\"cat\":\"hec\",\"ph\":\"X\","
+      "\"ts\":110.000,\"dur\":20.000,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"depth\":1}}\n"
+      "],\"displayTimeUnit\":\"ms\","
+      "\"otherData\":{\"sim.events\":42,\"queue.depth\":3}}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsExportTest, JsonlContainsOneObjectPerLine) {
+  std::ostringstream out;
+  hec::obs::write_jsonl(out, tracer_, registry_);
+  const std::string text = out.str();
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t spans = 0, counters = 0, gauges = 0, histograms = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"type\":\"span\"") != std::string::npos) ++spans;
+    if (line.find("\"type\":\"counter\"") != std::string::npos) ++counters;
+    if (line.find("\"type\":\"gauge\"") != std::string::npos) ++gauges;
+    if (line.find("\"type\":\"histogram\"") != std::string::npos) {
+      ++histograms;
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(counters, 1u);
+  EXPECT_EQ(gauges, 1u);
+  EXPECT_EQ(histograms, 1u);
+}
+
+TEST_F(ObsExportTest, PrometheusDumpMatchesGolden) {
+  std::ostringstream out;
+  hec::obs::write_prometheus(out, registry_);
+  const std::string expected =
+      "# TYPE hec_sim_events counter\n"
+      "hec_sim_events 42\n"
+      "# TYPE hec_queue_depth gauge\n"
+      "hec_queue_depth 3\n"
+      "# TYPE hec_eval_wall_s histogram\n"
+      "hec_eval_wall_s_bucket{le=\"2\"} 1\n"
+      "hec_eval_wall_s_bucket{le=\"+Inf\"} 1\n"
+      "hec_eval_wall_s_sum 1.5\n"
+      "hec_eval_wall_s_count 1\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsExportTest, ChromeTraceEscapesJsonSpecials) {
+  Tracer t;
+  SpanEvent ev;
+  ev.name = "quote\"back\\slash";
+  t.record(ev);
+  std::ostringstream out;
+  hec::obs::write_chrome_trace(out, t);
+  EXPECT_NE(out.str().find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ macros
+#ifndef HEC_OBS_DISABLE
+
+TEST(ObsMacros, CounterMacroCachesRegistryLookup) {
+  const double before =
+      hec::obs::registry().counter("test.macro_counter").value();
+  for (int i = 0; i < 10; ++i) HEC_COUNTER_INC("test.macro_counter");
+  HEC_COUNTER_ADD("test.macro_counter", 5.0);
+  const double after =
+      hec::obs::registry().counter("test.macro_counter").value();
+  EXPECT_DOUBLE_EQ(after - before, 15.0);
+}
+
+TEST(ObsMacros, GaugeAndHistogramMacros) {
+  HEC_GAUGE_SET("test.macro_gauge", 9.0);
+  EXPECT_DOUBLE_EQ(hec::obs::registry().gauge("test.macro_gauge").value(),
+                   9.0);
+  const auto count_before =
+      hec::obs::registry().histogram("test.macro_hist").count();
+  HEC_HISTOGRAM_OBSERVE("test.macro_hist", 0.125);
+  EXPECT_EQ(hec::obs::registry().histogram("test.macro_hist").count(),
+            count_before + 1);
+}
+
+TEST(ObsMacros, ScopedTimerObservesOnExit) {
+  auto& h = hec::obs::registry().histogram("test.macro_timer");
+  const auto before = h.count();
+  { HEC_SCOPED_TIMER("test.macro_timer"); }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+#endif  // HEC_OBS_DISABLE
+
+}  // namespace

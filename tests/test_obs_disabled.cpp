@@ -1,0 +1,67 @@
+// Compile-time no-op contract of the HEC_OBS_DISABLE macro layer.
+//
+// This TU is compiled with HEC_OBS_DISABLE defined (a target-local
+// definition in tests/CMakeLists.txt — the hec::obs library itself is
+// unchanged), so every instrumentation macro must expand to nothing:
+// no registry entries, no recorded spans, and — critically — argument
+// expressions must NOT be evaluated, so instrumentation can never carry
+// side effects that a disabled build would silently drop.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hec/obs/export.h"
+#include "hec/obs/obs.h"
+
+#ifndef HEC_OBS_DISABLE
+#error "this test must be compiled with HEC_OBS_DISABLE"
+#endif
+
+namespace {
+
+TEST(ObsDisabled, MacrosLeaveRegistryEmpty) {
+  ASSERT_TRUE(hec::obs::registry().empty());
+  HEC_COUNTER_INC("disabled.counter");
+  HEC_COUNTER_ADD("disabled.counter", 5.0);
+  HEC_GAUGE_SET("disabled.gauge", 1.0);
+  HEC_HISTOGRAM_OBSERVE("disabled.hist", 2.0);
+  { HEC_SCOPED_TIMER("disabled.timer"); }
+  EXPECT_TRUE(hec::obs::registry().empty());
+}
+
+TEST(ObsDisabled, SpanMacrosRecordNothing) {
+  {
+    HEC_SPAN("disabled.outer");
+    HEC_SPAN_NAMED(span, "disabled.named");
+    span.sim_window(0.0, 1.0);  // NoopSpan keeps the interface
+  }
+  EXPECT_TRUE(hec::obs::tracer().snapshot().empty());
+  EXPECT_EQ(hec::obs::tracer().open_spans(), 0);
+}
+
+TEST(ObsDisabled, ArgumentExpressionsAreNotEvaluated) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 1.0;
+  };
+  HEC_COUNTER_ADD("disabled.side_effect", count());
+  HEC_GAUGE_SET("disabled.side_effect", count());
+  HEC_HISTOGRAM_OBSERVE("disabled.side_effect", count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabled, ExportersStillLinkAndWriteEmptyDocuments) {
+  // The library API stays available in a disabled build; only the macro
+  // layer is compiled out. A trace written now is valid and empty.
+  std::ostringstream trace;
+  hec::obs::write_chrome_trace(trace, hec::obs::tracer(),
+                               &hec::obs::registry());
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+
+  std::ostringstream prom;
+  hec::obs::write_prometheus(prom, hec::obs::registry());
+  EXPECT_TRUE(prom.str().empty());
+}
+
+}  // namespace

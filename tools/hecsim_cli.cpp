@@ -16,6 +16,11 @@
 //              [--checkpoint-s S]     checkpoint interval in seconds
 //              [--trials N]           Monte Carlo fault seeds (default 64)
 //              [--seed S]             Monte Carlo base seed
+//              [--trace-out FILE]     write a Chrome trace of the run
+//              [--metrics-out FILE]   write a Prometheus-style metrics dump
+//              [--log-level N]        stderr verbosity (0 quiet .. 2 debug)
+//
+// Flags accept both "--flag value" and "--flag=value".
 //
 // Workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048.
 //
@@ -23,9 +28,11 @@
 // 65 malformed input file (ParseError); 70 internal contract violation;
 // 1 any other error.
 #include <charconv>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hec/config/budget.h"
@@ -36,6 +43,8 @@
 #include "hec/io/table.h"
 #include "hec/model/characterize.h"
 #include "hec/model/inputs_io.h"
+#include "hec/obs/export.h"
+#include "hec/obs/obs.h"
 #include "hec/pareto/frontier.h"
 #include "hec/search/optimizer.h"
 #include "hec/util/expect.h"
@@ -66,6 +75,10 @@ void print_usage(std::ostream& out) {
       "  --checkpoint-s S     checkpoint interval in seconds\n"
       "  --trials N           Monte Carlo fault seeds (default 64)\n"
       "  --seed S             Monte Carlo base seed\n"
+      "  --trace-out FILE     Chrome trace JSON (.jsonl for a JSONL log)\n"
+      "  --metrics-out FILE   Prometheus-style metrics dump\n"
+      "  --log-level N        stderr verbosity: 0 quiet .. 2 debug\n"
+      "flags accept both '--flag value' and '--flag=value'\n"
       "exit codes: 0 ok, 2 infeasible, 64 usage, 65 bad input file,\n"
       "            70 contract violation, 1 other error\n";
 }
@@ -85,9 +98,15 @@ struct Options {
   std::optional<double> checkpoint_s;
   int trials = 64;
   std::optional<std::uint64_t> seed;
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
+  int log_level = 0;
 
   bool faults_requested() const {
     return mttf_h || straggler_prob || checkpoint_s;
+  }
+  bool obs_requested() const {
+    return trace_out.has_value() || metrics_out.has_value();
   }
 };
 
@@ -110,7 +129,21 @@ double parse_positive(const std::string& text, const std::string& what) {
 }
 
 Options parse_args(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Normalise "--flag=value" to "--flag" "value" so both spellings go
+    // through the same parsing and produce the same diagnostics.
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        args.push_back(arg.substr(0, eq));
+        args.push_back(arg.substr(eq + 1));
+        continue;
+      }
+    }
+    args.push_back(std::move(arg));
+  }
   if (args.size() < 2) throw UsageError("missing arguments");
   Options opts;
   opts.workload = args[0];
@@ -152,6 +185,18 @@ Options parse_args(int argc, char** argv) {
     } else if (args[i] == "--seed") {
       opts.seed =
           static_cast<std::uint64_t>(parse_number(next(), "--seed"));
+    } else if (args[i] == "--trace-out") {
+      opts.trace_out = next();
+    } else if (args[i] == "--metrics-out") {
+      opts.metrics_out = next();
+    } else if (args[i] == "--log-level") {
+      const double v = parse_number(next(), "--log-level");
+      if (v < 0.0 || v > 2.0 ||
+          v != static_cast<double>(static_cast<int>(v))) {
+        throw UsageError("--log-level must be an integer in [0, 2], got '" +
+                         args[i] + "'");
+      }
+      opts.log_level = static_cast<int>(v);
     } else {
       throw UsageError("unknown option: " + args[i]);
     }
@@ -230,6 +275,50 @@ void print_robust(const hec::RobustOutcome& robust, int trials,
             << TablePrinter::num(robust.mean_crashes, 2) << " per job\n";
 }
 
+/// Registers the metric schema up front so a dump always lists every
+/// subsystem's counters, including those a particular run never hits
+/// (a no-fault run still shows fault.crashes = 0).
+void declare_metrics() {
+  auto& reg = hec::obs::registry();
+  for (const char* name :
+       {"sim.events_processed", "sim.node_runs", "sim.work_units",
+        "sim.core_busy_s", "sim.nic_busy_s", "sim.mem_stall_cycles",
+        "model.predictions", "model.match_splits", "model.characterizations",
+        "cluster.runs", "config.evaluations", "config.mc_trials",
+        "fault.runs", "fault.crashes", "fault.checkpoints", "fault.rematches",
+        "fault.wasted_units", "pareto.frontier_calls", "search.evaluations"}) {
+    reg.counter(name);
+  }
+  reg.gauge("pareto.frontier_size");
+  reg.gauge("sim.queue_depth");
+  reg.histogram("config.eval_wall_s");
+}
+
+void write_observability(const Options& opts) {
+  if (opts.trace_out) {
+    std::ofstream out(*opts.trace_out);
+    if (!out) {
+      throw std::runtime_error("cannot open trace file: " + *opts.trace_out);
+    }
+    if (opts.trace_out->ends_with(".jsonl")) {
+      hec::obs::write_jsonl(out, hec::obs::tracer(), hec::obs::registry());
+    } else {
+      hec::obs::write_chrome_trace(out, hec::obs::tracer(),
+                                   &hec::obs::registry());
+    }
+    hec::obs::log(1, "wrote trace to " + *opts.trace_out);
+  }
+  if (opts.metrics_out) {
+    std::ofstream out(*opts.metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics file: " +
+                               *opts.metrics_out);
+    }
+    hec::obs::write_prometheus(out, hec::obs::registry());
+    hec::obs::log(1, "wrote metrics to " + *opts.metrics_out);
+  }
+}
+
 int run(int argc, char** argv) {
   if (argc >= 2 && (std::string(argv[1]) == "--help" ||
                     std::string(argv[1]) == "-h")) {
@@ -237,6 +326,8 @@ int run(int argc, char** argv) {
     return 0;
   }
   const Options opts = parse_args(argc, argv);
+  hec::obs::set_log_level(opts.log_level);
+  if (opts.obs_requested()) declare_metrics();
   const hec::Workload workload = hec::find_workload(opts.workload);
   const double units = opts.units.value_or(workload.analysis_units);
   const double deadline_s = opts.deadline_ms * 1e-3;
@@ -254,8 +345,14 @@ int run(int argc, char** argv) {
     return hec::NodeTypeModel(spec, hec::load_workload_inputs(*inputs_file),
                               characterize_power(spec));
   };
-  const hec::NodeTypeModel arm_model = make_model(arm, opts.arm_inputs);
-  const hec::NodeTypeModel amd_model = make_model(amd, opts.amd_inputs);
+  const auto models = [&] {
+    HEC_SPAN("cli.characterize");
+    auto arm_m = make_model(arm, opts.arm_inputs);
+    auto amd_m = make_model(amd, opts.amd_inputs);
+    return std::pair{std::move(arm_m), std::move(amd_m)};
+  }();
+  const hec::NodeTypeModel& arm_model = models.first;
+  const hec::NodeTypeModel& amd_model = models.second;
   const hec::ConfigEvaluator evaluator(arm_model, amd_model);
   const hec::EnumerationLimits limits{opts.max_arm, opts.max_amd};
 
@@ -266,29 +363,50 @@ int run(int argc, char** argv) {
 
   std::optional<hec::ConfigOutcome> best;
   std::size_t evaluations = 0;
-  if (opts.method == "exhaustive" || opts.budget_w) {
-    // Budgeted queries always use the exhaustive path: the searchers'
-    // bounds do not account for the power cap.
-    const auto configs = enumerate_configs(arm, amd, limits);
-    for (const auto& config : configs) {
-      if (!within_cap(config)) continue;
-      const hec::ConfigOutcome outcome = evaluator.evaluate(config, units);
-      ++evaluations;
-      if (outcome.t_s <= deadline_s &&
-          (!best || outcome.energy_j < best->energy_j)) {
-        best = outcome;
+  // Collected only when a trace/metrics file was requested: the frontier
+  // over evaluated points is observability output, not part of the
+  // query, and the default run must stay byte-identical.
+  std::vector<hec::TimeEnergyPoint> evaluated_points;
+  {
+    HEC_SPAN("cli.evaluate");
+    if (opts.method == "exhaustive" || opts.budget_w) {
+      // Budgeted queries always use the exhaustive path: the searchers'
+      // bounds do not account for the power cap.
+      const auto configs = enumerate_configs(arm, amd, limits);
+      // Batch-level timer: per-config clock reads would dominate the
+      // ~100 ns evaluations they measure (see ConfigEvaluator::evaluate_all).
+      HEC_SCOPED_TIMER("config.eval_wall_s");
+      for (const auto& config : configs) {
+        if (!within_cap(config)) continue;
+        const hec::ConfigOutcome outcome = evaluator.evaluate(config, units);
+        if (opts.obs_requested()) {
+          evaluated_points.push_back(
+              {outcome.t_s, outcome.energy_j, evaluations});
+        }
+        ++evaluations;
+        if (outcome.t_s <= deadline_s &&
+            (!best || outcome.energy_j < best->energy_j)) {
+          best = outcome;
+        }
+      }
+    } else {
+      const auto result =
+          opts.method == "bnb"
+              ? branch_and_bound_search(evaluator, arm, amd, limits, units,
+                                        deadline_s)
+              : greedy_search(evaluator, arm, amd, limits, units, deadline_s);
+      if (result) {
+        best = result->best;
+        evaluations = result->evaluations;
       }
     }
-  } else {
-    const auto result =
-        opts.method == "bnb"
-            ? branch_and_bound_search(evaluator, arm, amd, limits, units,
-                                      deadline_s)
-            : greedy_search(evaluator, arm, amd, limits, units, deadline_s);
-    if (result) {
-      best = result->best;
-      evaluations = result->evaluations;
-    }
+  }
+  if (!evaluated_points.empty()) {
+    HEC_SPAN("cli.pareto");
+    const auto frontier = hec::pareto_frontier(evaluated_points);
+    hec::obs::log(1, "pareto frontier: " + std::to_string(frontier.size()) +
+                         " of " + std::to_string(evaluated_points.size()) +
+                         " evaluated points");
   }
 
   if (!best) {
@@ -296,6 +414,7 @@ int run(int argc, char** argv) {
               << opts.max_amd << " AMD nodes"
               << (opts.budget_w ? " within the power budget" : "")
               << " meets " << opts.deadline_ms << " ms.\n";
+    write_observability(opts);
     return 2;
   }
   std::cout << "(" << evaluations << " model evaluations, method "
@@ -303,6 +422,7 @@ int run(int argc, char** argv) {
   print_outcome(*best, units, arm, amd, opts.budget_w);
 
   if (opts.faults_requested()) {
+    HEC_SPAN("cli.robust");
     const hec::FaultConfig faults = fault_config_from(opts, deadline_s);
     hec::MonteCarloOptions mc;
     mc.trials = opts.trials;
@@ -312,6 +432,7 @@ int run(int argc, char** argv) {
     print_robust(robust.evaluate(best->config, units, deadline_s),
                  mc.trials, opts.deadline_ms);
   }
+  write_observability(opts);
   return 0;
 }
 
