@@ -39,6 +39,7 @@ double energy_error_pct(const hec::NodeSpec& spec,
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ablation_accounting", kAblation, "Eq. 17 accounting");
   using hec::TablePrinter;
   hec::bench::banner("Energy-accounting ablation: Eq. 17 vs overlap-aware",
                      "Section II-C design choice");

@@ -35,6 +35,7 @@ hec::NodeSpec amd_with_idle(double target_idle_w) {
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ablation_idle_power", kAblation, "idle-power model");
   using hec::TablePrinter;
   hec::bench::banner("Idle-power ablation: energy-proportional AMD",
                      "Section IV's driving assumption");

@@ -34,6 +34,7 @@ std::vector<hec::ClusterConfig> freeze(
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ablation_knobs", kAblation, "knob contributions");
   using hec::TablePrinter;
   hec::bench::banner("Knob ablation: nodes vs cores vs DVFS",
                      "Section IV-B's configuration space");

@@ -11,6 +11,7 @@
 #include "hec/cluster/schedulers.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ablation_matching", kAblation, "Sec. 3.2 matching");
   using hec::TablePrinter;
   hec::bench::banner("Scheduler ablation: matching vs static splits",
                      "Section I / Observation 1");

@@ -8,6 +8,7 @@
 #include "hec/cluster/coscheduler.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_coscheduling", kExtension, "two-job co-scheduling");
   using hec::TablePrinter;
   hec::bench::banner("Two-job co-scheduling (extension)",
                      "Section IV-D, operationalised");

@@ -11,6 +11,7 @@
 #include "hec/queueing/window_analysis.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_datacenter_sim", kExtension, "datacenter event sim");
   using hec::TablePrinter;
   hec::bench::banner("Event-driven check of the Fig. 10 window model",
                      "Fig. 10, measured");

@@ -9,6 +9,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_energy_breakdown", kExtension, "energy breakdown");
   using hec::TablePrinter;
   hec::bench::banner("Per-component energy breakdown (extension)",
                      "Eq. 13's decomposition, reported");

@@ -50,6 +50,7 @@ void describe_sweet(const char* label,
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_faults", kExtension, "robust Pareto under faults");
   banner("Robust vs nominal energy-deadline Pareto under faults",
          "reliability extension (fault-injection subsystem)");
 

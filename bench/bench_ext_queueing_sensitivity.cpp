@@ -21,6 +21,7 @@ struct Choice {
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_queueing_sensitivity", kExtension, "queueing sensitivity");
   using hec::TablePrinter;
   hec::bench::banner("Queueing-model sensitivity (extension)",
                      "Fig. 10's M/D/1 assumption, stress-tested");

@@ -12,6 +12,7 @@
 #include "hec/search/optimizer.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_search", kExtension, "search strategies");
   using hec::TablePrinter;
   hec::bench::banner("Configuration-space search (extension)",
                      "Section IV-B's deferred future work");

@@ -39,6 +39,7 @@ hec::NodeSpec scale_power(hec::NodeSpec spec, double core_factor,
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_sensitivity", kExtension, "calibration sensitivity");
   using hec::TablePrinter;
   hec::bench::banner("Calibration sensitivity (extension)",
                      "robustness of the paper's conclusions");

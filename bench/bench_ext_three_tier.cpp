@@ -13,6 +13,7 @@
 #include "hec/pareto/hypervolume.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_three_tier", kExtension, "three-tier mixes");
   using hec::TablePrinter;
   hec::bench::banner("Three-tier heterogeneous mixes (extension)",
                      "generalisation of Section IV-B");

@@ -13,6 +13,7 @@
 #include "hec/workloads/trace_builders.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("ext_trace_validation", kExtension, "trace-driven validation");
   using hec::TablePrinter;
   hec::bench::banner(
       "Multi-phase trace validation (extension)",

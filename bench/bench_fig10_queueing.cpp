@@ -14,6 +14,7 @@
 #include "hec/queueing/window_analysis.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig10_queueing", kFigure, "Fig. 10");
   using hec::TablePrinter;
   hec::bench::banner("Job queueing delay vs cluster utilisation", "Fig. 10");
 

@@ -11,6 +11,7 @@
 #include "hec/workloads/ep_kernel.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig2_wpi_spi", kFigure, "Fig. 2");
   using hec::TablePrinter;
   hec::bench::banner("WPI and SPIcore across problem size", "Fig. 2");
 

@@ -8,6 +8,7 @@
 #include "hec/sim/node_sim.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig3_spimem_regression", kFigure, "Fig. 3");
   using hec::TablePrinter;
   hec::bench::banner("SPImem regression over core frequency", "Fig. 3");
 
@@ -44,6 +45,10 @@ int main() {
       const hec::LinearFit& fit =
           inputs.spi_mem_by_cores[static_cast<std::size_t>(cores - 1)];
       all_linear = all_linear && fit.r_squared >= 0.94;
+      hec::bench::telemetry::report_metric(
+          "fig3." + std::string(spec.name) + ".cores" +
+              std::to_string(cores) + ".r_squared",
+          fit.r_squared, hec::bench::telemetry::MetricKind::kAccuracy);
       table.add_row(
           {spec.name, std::to_string(cores),
            TablePrinter::num(fit.intercept, 3) + " + " +

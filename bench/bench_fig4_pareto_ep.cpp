@@ -5,6 +5,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig4_pareto_ep", kFigure, "Fig. 4");
   hec::bench::pareto_experiment(hec::workload_ep(),
                                 hec::workload_ep().analysis_units,
                                 "fig4_pareto_ep", "Fig. 4");

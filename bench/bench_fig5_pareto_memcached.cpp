@@ -4,6 +4,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig5_pareto_memcached", kFigure, "Fig. 5");
   hec::bench::pareto_experiment(hec::workload_memcached(),
                                 hec::workload_memcached().analysis_units,
                                 "fig5_pareto_memcached", "Fig. 5");

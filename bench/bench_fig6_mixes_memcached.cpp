@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig6_mixes_memcached", kFigure, "Fig. 6");
   hec::bench::mixes_experiment(hec::workload_memcached(),
                                hec::workload_memcached().analysis_units,
                                "fig6_mixes_memcached", "Fig. 6");

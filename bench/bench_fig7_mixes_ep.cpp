@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig7_mixes_ep", kFigure, "Fig. 7");
   hec::bench::mixes_experiment(hec::workload_ep(),
                                hec::workload_ep().analysis_units,
                                "fig7_mixes_ep", "Fig. 7");

@@ -6,6 +6,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig8_scaling_memcached", kFigure, "Fig. 8");
   hec::bench::scaling_experiment(hec::workload_memcached(),
                                  hec::workload_memcached().analysis_units,
                                  "fig8_scaling_memcached", "Fig. 8");

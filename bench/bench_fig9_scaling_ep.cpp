@@ -2,6 +2,7 @@
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("fig9_scaling_ep", kFigure, "Fig. 9");
   hec::bench::scaling_experiment(hec::workload_ep(),
                                  hec::workload_ep().analysis_units,
                                  "fig9_scaling_ep", "Fig. 9");

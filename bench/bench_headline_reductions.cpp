@@ -61,6 +61,7 @@ Reduction headline(const hec::Workload& workload, double work_units) {
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("headline_reductions", kTable, "Abstract / Sec. 6");
   using hec::TablePrinter;
   hec::bench::banner("Headline energy reductions (16 ARM : 14 AMD vs AMD-only)",
                      "Abstract / Section VI");
@@ -77,6 +78,9 @@ int main() {
   table.set_alignment({hec::Align::kLeft, hec::Align::kRight,
                        hec::Align::kRight, hec::Align::kRight,
                        hec::Align::kRight});
+  hec::bench::telemetry::report_metric(
+      "headline.config_count", static_cast<double>(count),
+      hec::bench::telemetry::MetricKind::kCount);
   const Reduction mc =
       headline(hec::workload_memcached(),
                hec::workload_memcached().analysis_units);
@@ -90,6 +94,16 @@ int main() {
                  TablePrinter::num(ep.at_deadline_ms, 1) + " ms",
                  TablePrinter::num(ep.full_replacement_pct, 1) + "%",
                  "up to 58%"});
+  using hec::bench::telemetry::MetricKind;
+  using hec::bench::telemetry::report_metric;
+  report_metric("headline.memcached.reduction_pct", mc.best_pct,
+                MetricKind::kAccuracy, "%");
+  report_metric("headline.ep.reduction_pct", ep.best_pct,
+                MetricKind::kAccuracy, "%");
+  report_metric("headline.memcached.full_replacement_pct",
+                mc.full_replacement_pct, MetricKind::kAccuracy, "%");
+  report_metric("headline.ep.full_replacement_pct",
+                ep.full_replacement_pct, MetricKind::kAccuracy, "%");
   table.print(std::cout);
   std::cout << "\nShape check: heterogeneous mixes reduce energy "
                "substantially vs AMD-only at matched deadlines -> "

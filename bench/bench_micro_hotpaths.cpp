@@ -160,6 +160,7 @@ int obs_overhead_check() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  HEC_BENCH_EXPERIMENT("micro_hotpaths", kMicro, "hot-path microbenchmarks");
   const int rc = obs_overhead_check();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -17,6 +17,7 @@ std::string fmt_range(const hec::PStateTable& pstates) {
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("table1_nodes", kTable, "Table 1");
   using hec::TablePrinter;
   hec::bench::banner("Node types", "Table 1");
 

@@ -3,11 +3,21 @@
 // correspondence auditable (and completes literal coverage of every
 // table in the paper). '*' marks model-predicted quantities, '+'
 // measured ones, exactly as in the paper.
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("table2_notation", kTable, "Table 2");
+  // Synthetic-slowdown hook for the telemetry regression gate: the
+  // benchreport gate test and the CI canary set this to prove that an
+  // injected slowdown is flagged against bench/baseline.json.
+  if (const char* ms = std::getenv("HEC_BENCH_SYNTHETIC_SLEEP_MS")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::atol(ms)));
+  }
   using hec::TablePrinter;
   hec::bench::banner("Model notations -> library identifiers", "Table 2");
 

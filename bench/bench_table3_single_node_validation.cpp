@@ -42,6 +42,7 @@ ErrorStats validate(const hec::NodeSpec& spec, const hec::Workload& workload,
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("table3_single_node_validation", kTable, "Table 3");
   using hec::TablePrinter;
   hec::bench::banner("Single-node validation", "Table 3");
 
@@ -67,6 +68,17 @@ int main() {
                      arm.energy_mean}) {
       worst = std::max(worst, e);
     }
+    using hec::bench::telemetry::MetricKind;
+    using hec::bench::telemetry::report_metric;
+    const std::string key = "table3." + std::string(w.name);
+    report_metric(key + ".amd.time_mape_pct", amd.time_mean,
+                  MetricKind::kAccuracy, "%");
+    report_metric(key + ".arm.time_mape_pct", arm.time_mean,
+                  MetricKind::kAccuracy, "%");
+    report_metric(key + ".amd.energy_mape_pct", amd.energy_mean,
+                  MetricKind::kAccuracy, "%");
+    report_metric(key + ".arm.energy_mape_pct", arm.energy_mean,
+                  MetricKind::kAccuracy, "%");
     table.add_row({w.domain, w.name, to_string(w.bottleneck),
                    TablePrinter::num(amd.time_mean, 1),
                    TablePrinter::num(amd.time_std, 1),
@@ -77,6 +89,9 @@ int main() {
                    TablePrinter::num(arm.energy_mean, 1),
                    TablePrinter::num(arm.energy_std, 1)});
   }
+  hec::bench::telemetry::report_metric(
+      "table3.worst_mape_pct", worst,
+      hec::bench::telemetry::MetricKind::kAccuracy, "%");
   table.print(std::cout);
   std::cout << "\nWorst mean error: " << TablePrinter::num(worst, 1)
             << "% (paper bound: <15%) -> "

@@ -9,6 +9,7 @@
 #include "hec/cluster/schedulers.h"
 
 int main() {
+  HEC_BENCH_EXPERIMENT("table4_cluster_validation", kTable, "Table 4");
   using hec::TablePrinter;
   hec::bench::banner("Cluster validation (8 ARM + {1,0} AMD)", "Table 4");
 
@@ -54,11 +55,22 @@ int main() {
       const double e_err =
           std::abs(e_pred - meas.energy_j) / meas.energy_j * 100.0;
       worst = std::max({worst, t_err, e_err});
+      const std::string key =
+          std::string(w.name) + ".amd" + std::to_string(amd_nodes);
+      hec::bench::telemetry::report_metric(
+          "table4." + key + ".time_err_pct", t_err,
+          hec::bench::telemetry::MetricKind::kAccuracy, "%");
+      hec::bench::telemetry::report_metric(
+          "table4." + key + ".energy_err_pct", e_err,
+          hec::bench::telemetry::MetricKind::kAccuracy, "%");
       table.add_row({w.name, "8", std::to_string(amd_nodes),
                      TablePrinter::num(t_err, 1),
                      TablePrinter::num(e_err, 1)});
     }
   }
+  hec::bench::telemetry::report_metric(
+      "table4.worst_err_pct", worst,
+      hec::bench::telemetry::MetricKind::kAccuracy, "%");
   table.print(std::cout);
   std::cout << "\nWorst error: " << TablePrinter::num(worst, 1)
             << "% (paper: <=13%) -> "

@@ -45,6 +45,7 @@ double best_ppr(const hec::NodeTypeModel& model, const hec::NodeSpec& spec,
 }  // namespace
 
 int main() {
+  HEC_BENCH_EXPERIMENT("table5_ppr", kTable, "Table 5");
   using hec::TablePrinter;
   hec::bench::banner("Performance-to-power ratios", "Table 5");
 

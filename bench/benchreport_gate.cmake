@@ -1,0 +1,76 @@
+# End-to-end check of the benchmark regression gate, run as a ctest:
+#
+#   1. seed a baseline from bench_table2_notation (--write-baseline);
+#   2. a clean rerun must pass the gate (exit 0) — wall-time jitter
+#      between two back-to-back runs sits far inside the noise floor;
+#   3. a rerun with HEC_BENCH_SYNTHETIC_SLEEP_MS=1500 (the bench's
+#      injected-slowdown hook) must be flagged as a regression (exit 3):
+#      +1.5 s decisively clears the wall tolerance max(75%, 0.5 s).
+#
+# Invoked by tools/CMakeLists.txt with -DBENCHREPORT=... -DBENCH_DIR=...
+# -DWORK_DIR=... -P bench/benchreport_gate.cmake.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var BENCHREPORT BENCH_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common_args
+    --bench-dir "${BENCH_DIR}"
+    --filter bench_table2_notation
+    --baseline "${WORK_DIR}/baseline.json"
+    --repeat 1 --jobs 1 --timeout-s 60)
+
+function(run_benchreport label expected_code results_subdir)
+  execute_process(
+      COMMAND ${ARGN}
+      RESULT_VARIABLE code
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(NOT code EQUAL expected_code)
+    message(FATAL_ERROR
+        "${label}: expected exit ${expected_code}, got ${code}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "${label}: exit ${code} (expected ${expected_code})")
+endfunction()
+
+# 1. Seed the baseline.
+run_benchreport("seed baseline" 0 seed
+    "${BENCHREPORT}" ${common_args}
+    --results-dir "${WORK_DIR}/seed"
+    --out "${WORK_DIR}/seed/BENCH_seed.json"
+    --write-baseline)
+
+if(NOT EXISTS "${WORK_DIR}/baseline.json")
+  message(FATAL_ERROR "baseline.json was not written")
+endif()
+
+# 2. Clean rerun passes the gate.
+run_benchreport("clean rerun" 0 clean
+    "${BENCHREPORT}" ${common_args}
+    --results-dir "${WORK_DIR}/clean"
+    --out "${WORK_DIR}/clean/BENCH_clean.json")
+
+# 3. Synthetic slowdown is flagged as a regression.
+run_benchreport("synthetic slowdown" 3 slow
+    "${CMAKE_COMMAND}" -E env HEC_BENCH_SYNTHETIC_SLEEP_MS=1500
+    "${BENCHREPORT}" ${common_args}
+    --results-dir "${WORK_DIR}/slow"
+    --out "${WORK_DIR}/slow/BENCH_slow.json")
+
+# The regression run must still have produced a suite doc and report.
+foreach(artefact
+        "${WORK_DIR}/slow/BENCH_slow.json"
+        "${WORK_DIR}/slow/BENCH_REPORT.md")
+  if(NOT EXISTS "${artefact}")
+    message(FATAL_ERROR "missing artefact after gated run: ${artefact}")
+  endif()
+endforeach()
+
+message(STATUS "benchreport gate: all three phases behaved as expected")

@@ -51,7 +51,8 @@ struct HarnessReporter {
                                    &hec::obs::registry());
     });
     export_to_env_path("HEC_METRICS_OUT", [](std::ostream& out) {
-      hec::obs::write_prometheus(out, hec::obs::registry());
+      hec::obs::write_prometheus(out, hec::obs::registry(),
+                                 &hec::obs::tracer());
     });
     // stderr, not stdout: bench stdout is the paper tables and may be
     // diffed or parsed by scripts.
@@ -210,6 +211,24 @@ void pareto_experiment(const Workload& workload, double work_units,
                         frontier[overlap.end - 1].energy_j) /
                        frontier[overlap.begin].energy_j * 100.0;
   }
+  {
+    using telemetry::MetricKind;
+    using telemetry::report_metric;
+    const std::string key = fig_name;  // e.g. "fig4_pareto_ep"
+    report_metric(key + ".configs", static_cast<double>(outcomes.size()),
+                  MetricKind::kCount);
+    report_metric(key + ".frontier_points",
+                  static_cast<double>(frontier.size()), MetricKind::kCount);
+    report_metric(key + ".sweet_points",
+                  sweet ? static_cast<double>(sweet->size()) : 0.0,
+                  MetricKind::kCount);
+    if (sweet) {
+      report_metric(key + ".sweet_r_squared",
+                    sweet->energy_vs_time.r_squared, MetricKind::kAccuracy);
+    }
+    report_metric(key + ".overlap_points",
+                  static_cast<double>(overlap.size()), MetricKind::kCount);
+  }
   std::cout << "Overlap region (homogeneous tail): " << overlap.size()
             << " points, energy span "
             << TablePrinter::num(overlap_span_pct, 1) << "%"
@@ -278,6 +297,10 @@ void mix_series(const Workload& workload, double work_units,
     const auto outcomes =
         evaluate_space(models, max_arm, max_amd, work_units);
     const EnergyDeadlineCurve curve(pareto_frontier(to_points(outcomes)));
+    telemetry::report_metric(
+        fig_name + ".arm" + std::to_string(max_arm) + "_amd" +
+            std::to_string(max_amd) + ".fastest_ms",
+        curve.min_time_s() * 1e3, telemetry::MetricKind::kInfo, "ms");
     std::vector<std::string> row{
         "ARM " + std::to_string(max_arm) + ":AMD " + std::to_string(max_amd),
         TablePrinter::num(curve.min_time_s() * 1e3, 1)};

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "hec/bench/telemetry.h"  // IWYU pragma: export — HEC_BENCH_EXPERIMENT
 #include "hec/config/enumerate.h"
 #include "hec/config/evaluate.h"
 #include "hec/hw/catalog.h"
@@ -88,6 +89,14 @@ double peak_rss_mib();
 // dumping the hec::obs trace (Chrome JSON) and metrics (Prometheus text)
 // collected over the whole run — the bench-side analogue of the CLI's
 // --trace-out/--metrics-out flags.
+//
+// Additionally, every bench registers its experiment via
+// HEC_BENCH_EXPERIMENT(name, kind, paper_ref) as the first statement of
+// main, and reports paper-accuracy numbers with
+// hec::bench::telemetry::report_metric. When HEC_BENCH_JSON is set (as
+// hecsim_benchreport does for its children), a hec-bench-run/v1 record
+// with wall time, peak RSS, metrics, obs counters/histograms and span
+// phases is written to that path at process exit.
 
 /// Figs. 4-5 driver: evaluates the full 10+10 configuration space
 /// (36,380 points), prints the Pareto frontier with sweet/overlap region

@@ -1,43 +1,87 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper (plus the ablations and
-# extensions) into results/: console output per experiment, CSV series,
-# gnuplot scripts, and — when gnuplot is installed — rendered PNGs.
+# extensions) into results/ by driving the hecsim_benchreport runner:
+# console output per experiment, CSV series, gnuplot scripts, the
+# BENCH_<git-sha>.json telemetry suite, the BENCH_REPORT.md dashboard,
+# and — when gnuplot is installed — rendered PNGs.
+#
+# When bench/baseline.json exists, the run is gated against it: the
+# script exits 3 if any bench regressed beyond the noise thresholds
+# (see docs/BENCHMARKING.md). Pass --no-gate to skip, or
+# --write-baseline to (re)seed the baseline from this run.
 #
 # Usage: scripts/run_experiments.sh [build-dir] [results-dir]
+#            [--filter GLOB] [--jobs N] [--repeat N] [--keep-going]
+#            [--no-gate] [--write-baseline]
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-RESULTS_DIR="${2:-results}"
+BUILD_DIR="build"
+RESULTS_DIR="results"
+RUNNER_ARGS=()
+GATE=1
+positional=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --filter|--jobs|--repeat|--timeout-s)
+      RUNNER_ARGS+=("$1" "$2"); shift 2 ;;
+    --keep-going|--write-baseline)
+      RUNNER_ARGS+=("$1"); shift ;;
+    --no-gate)
+      GATE=0; shift ;;
+    -h|--help)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -*)
+      echo "error: unknown option $1 (see --help)" >&2; exit 64 ;;
+    *)
+      # Back-compat positional form: [build-dir] [results-dir].
+      if [[ $positional -eq 0 ]]; then BUILD_DIR="$1"
+      elif [[ $positional -eq 1 ]]; then RESULTS_DIR="$1"
+      else echo "error: too many positional arguments" >&2; exit 64; fi
+      positional=$((positional + 1)); shift ;;
+  esac
+done
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
   echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
   exit 1
 fi
+RUNNER="$BUILD_DIR/tools/hecsim_benchreport"
+if [[ ! -x "$RUNNER" ]]; then
+  echo "error: $RUNNER not found — rebuild (target hecsim_benchreport)" >&2
+  exit 1
+fi
 
-mkdir -p "$RESULTS_DIR"
-BENCH_DIR="$(cd "$BUILD_DIR/bench" && pwd)"
+if [[ $GATE -eq 0 ]]; then
+  # Point the runner at a baseline that cannot exist: no gate.
+  RUNNER_ARGS+=(--baseline /dev/null/no-baseline)
+fi
 
-cd "$RESULTS_DIR"
-for bench in "$BENCH_DIR"/bench_*; do
-  [[ -x "$bench" ]] || continue
-  name="$(basename "$bench")"
-  echo "== $name"
-  "$bench" > "$name.txt" 2>&1 || {
-    echo "   FAILED (see $RESULTS_DIR/$name.txt)" >&2
-    exit 1
-  }
-done
+status=0
+"$RUNNER" --bench-dir "$BUILD_DIR/bench" --results-dir "$RESULTS_DIR" \
+  --keep-going "${RUNNER_ARGS[@]}" || status=$?
+if [[ $status -ne 0 && $status -ne 3 ]]; then
+  echo "error: bench suite failed (exit $status)" >&2
+  exit "$status"
+fi
 
 if command -v gnuplot > /dev/null 2>&1; then
-  for script in *.gp; do
-    [[ -e "$script" ]] || break
-    echo "== gnuplot $script"
-    gnuplot "$script"
-  done
+  (
+    cd "$RESULTS_DIR"
+    for script in *.gp; do
+      [[ -e "$script" ]] || break
+      echo "== gnuplot $script"
+      gnuplot "$script"
+    done
+  )
 else
   echo "gnuplot not installed: CSV + .gp scripts written, PNGs skipped"
 fi
 
 echo
 echo "All experiments regenerated under $RESULTS_DIR/"
+if [[ $status -eq 3 ]]; then
+  echo "BENCHMARK REGRESSION vs bench/baseline.json — see" \
+       "$RESULTS_DIR/BENCH_REPORT.md" >&2
+fi
+exit "$status"

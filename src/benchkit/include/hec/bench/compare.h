@@ -1,0 +1,100 @@
+// Baseline comparison for benchmark telemetry suites.
+//
+// Gating perf numbers in CI fails in two directions: compare exactly
+// and every run is "a regression" (clock noise, different machines);
+// compare loosely and real regressions hide inside the slack. The
+// comparator threads that needle by classifying every gated metric with
+// a *per-kind* noise model:
+//
+//   metric kind   direction        default tolerance (rel, abs)
+//   wall time     higher is worse  75%, 0.5 s    — cross-machine noise
+//   peak RSS      higher is worse  50%, 64 MiB
+//   accuracy      higher is worse   5%, 0.25     — deterministic seeds
+//   perf metric   higher is worse  75%, 0.5
+//   count         any drift flags  0.1%, 0.5     — deterministic counts
+//
+// A delta only flags when it exceeds max(rel * |baseline|, abs): the
+// absolute floor keeps a 10 ms bench from flagging on 5 ms of jitter,
+// the relative arm keeps a 10 s bench from needing 0.5 s precision.
+// Improvements beyond tolerance are reported (refresh the baseline!)
+// but never fail the gate. Deterministic metrics (model error, event
+// counts) get tight tolerances on purpose — drifting them is a model
+// change and must be acknowledged by re-seeding bench/baseline.json.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hec/bench/json.h"
+
+namespace hec::bench::telemetry {
+
+/// Flags when |current - baseline| > max(rel * |baseline|, abs).
+struct Tolerance {
+  double rel = 0.0;
+  double abs = 0.0;
+  double threshold(double baseline) const;
+};
+
+struct CompareOptions {
+  Tolerance wall{0.75, 0.50};        // seconds
+  Tolerance rss{0.50, 64.0};         // MiB
+  Tolerance accuracy{0.05, 0.25};    // metric units (usually % error)
+  Tolerance perf_metric{0.75, 0.50};
+  Tolerance count{0.001, 0.5};
+  /// Benches present in the baseline but absent from the current suite
+  /// fail the gate. Disabled by the runner when --filter is active.
+  bool fail_on_missing_bench = true;
+};
+
+enum class Outcome {
+  kWithinNoise,
+  kImprovement,       ///< better beyond tolerance (baseline is stale)
+  kRegression,        ///< worse (or drifted, for counts) beyond tolerance
+  kMissingInCurrent,  ///< baseline has it, current run does not
+  kNewInCurrent,      ///< current has it, baseline does not (informational)
+};
+const char* to_string(Outcome outcome);
+
+/// One compared quantity. `metric` is "wall_s", "peak_rss_mb",
+/// "metric:<name>" or "counter:<name>"; a whole-bench presence check
+/// uses metric "(bench)".
+struct Delta {
+  std::string bench;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  Outcome outcome = Outcome::kWithinNoise;
+  bool gated = true;  ///< false => never fails the gate (info kinds)
+};
+
+struct Comparison {
+  std::vector<Delta> deltas;
+  int regressions = 0;  ///< gated kRegression count
+  int improvements = 0;
+  int within_noise = 0;
+  int missing = 0;  ///< gated kMissingInCurrent count
+  int added = 0;
+
+  /// Gate verdict: no gated regressions and nothing gated went missing.
+  bool ok() const { return regressions == 0 && missing == 0; }
+};
+
+/// Compares two suite documents (kSuiteSchema). Benches and metrics are
+/// matched by name; micro-kind benches skip counter gating (their
+/// iteration counts are auto-tuned by the benchmark library, not
+/// deterministic).
+Comparison compare_suites(const json::Value& baseline,
+                          const json::Value& current,
+                          const CompareOptions& opts = {});
+
+/// Renders the human dashboard (results/BENCH_REPORT.md): suite
+/// overview table, per-bench wall/RSS/phases, accuracy metrics, and —
+/// when `cmp` is non-null — the gate verdict with every out-of-noise
+/// delta. `baseline_desc` names what the run was compared against.
+void write_markdown_report(std::ostream& out, const json::Value& suite,
+                           const Comparison* cmp,
+                           const std::string& baseline_desc);
+
+}  // namespace hec::bench::telemetry

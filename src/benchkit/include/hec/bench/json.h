@@ -1,0 +1,101 @@
+// Minimal JSON document model for the benchmark telemetry pipeline.
+//
+// The telemetry records (`BENCH_<sha>.json`, `bench/baseline.json`) are
+// written by the bench binaries, parsed back by `hecsim_benchreport`,
+// and diffed across commits. That loop must not depend on an external
+// JSON library (the repo has none and pulls in none), so this header
+// provides the ~20% of JSON the schema needs, done carefully:
+//
+//   * objects keep their keys sorted (std::map), so serialising the
+//     same document twice — or on two machines — yields byte-identical
+//     output, which is what makes golden tests and `diff baseline.json`
+//     meaningful;
+//   * numbers round-trip exactly (shortest-form std::to_chars);
+//   * parse errors carry line/column context instead of failing silently.
+//
+// It is not a general-purpose JSON library: no streaming, no comments,
+// no duplicate-key preservation; numbers outside double range saturate.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace hec::bench::json {
+
+/// One JSON value: null, bool, number, string, array or object.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;  // sorted => stable output
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  /// Any non-bool arithmetic type stores as double (ints < 2^53 exact).
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T n) : v_(static_cast<double>(n)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors with a fallback instead of throwing: telemetry
+  /// consumers treat a missing/mistyped field as "absent", not fatal.
+  bool as_bool(bool fallback = false) const;
+  double as_number(double fallback = 0.0) const;
+  const std::string& as_string() const;  // empty string when not a string
+
+  /// Array/object views; empty statics when the value is another type.
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Mutable access, converting this value to the requested type first
+  /// if it holds something else (like `js["key"]["sub"] = 3` builders).
+  Array& array();
+  Object& object();
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Member lookup with a shared null fallback: `v["a"]["b"].as_number()`
+  /// never dereferences past a missing key.
+  const Value& operator[](std::string_view key) const;
+  Value& operator[](std::string_view key);  // creates (object-ifies) the key
+
+  /// Serialises with 2-space indentation when `pretty`, compact
+  /// otherwise. Non-finite numbers serialise as null (JSON has no NaN).
+  void write(std::ostream& out, bool pretty = true) const;
+  std::string dump(bool pretty = true) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// On failure returns nullopt and, when `error` is non-null, stores a
+  /// "line L, column C: reason" description.
+  static std::optional<Value> parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Shortest-round-trip decimal rendering of `v` ("0.1", not
+/// "0.10000000000000001"); "null" for non-finite values.
+std::string number_to_string(double v);
+
+}  // namespace hec::bench::json

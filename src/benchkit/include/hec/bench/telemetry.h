@@ -1,0 +1,171 @@
+// Benchmark telemetry: every experiment binary's run becomes a durable,
+// machine-comparable record.
+//
+// The 30 bench binaries reproduce the paper's tables and figures as
+// human-readable text — good for eyeballing, useless for asking "did
+// PR N make the evaluator slower?" or "did the model's Table 3 error
+// drift?". This layer closes that gap:
+//
+//   1. Each bench registers its experiment once at the top of main()
+//      (HEC_BENCH_EXPERIMENT) and optionally reports named metrics —
+//      validation benches report model-vs-paper error (MAPE), drivers
+//      report frontier sizes and fit quality.
+//   2. When the HEC_BENCH_JSON environment variable names a file, an
+//      at-exit hook serialises a RunRecord there: wall time, peak RSS,
+//      the reported metrics, a full hec::obs counter/gauge snapshot,
+//      histogram quantile summaries, per-phase span aggregates, and the
+//      tracer's ring-drop accounting.
+//   3. `hecsim_benchreport` (tools/) runs the suite, aggregates repeat
+//      runs (median) into one suite document — BENCH_<git-sha>.json —
+//      and gates it against bench/baseline.json (hec/bench/compare.h).
+//
+// Records are plain JSON (hec/bench/json.h) with versioned "schema"
+// tags, so a BENCH_*.json written today stays parseable after the
+// schema grows (consumers ignore unknown fields, reject unknown major
+// versions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hec/bench/json.h"
+
+namespace hec::bench::telemetry {
+
+/// Schema tags stamped into every record. Bump the /vN suffix on any
+/// field removal or meaning change; additions are backwards-compatible.
+inline constexpr std::string_view kRunSchema = "hec-bench-run/v1";
+inline constexpr std::string_view kSuiteSchema = "hec-bench-suite/v1";
+
+/// Environment variable naming the per-run record file. Set by the
+/// hecsim_benchreport runner for each child; unset => no record written.
+inline constexpr const char* kRunRecordEnv = "HEC_BENCH_JSON";
+
+/// What a bench binary reproduces. Mirrors the bench_* naming scheme.
+enum class ExperimentKind {
+  kFigure,     ///< a paper figure (bench_fig*)
+  kTable,      ///< a paper table (bench_table*)
+  kAblation,   ///< model-component ablation (bench_ablation_*)
+  kExtension,  ///< beyond-the-paper experiment (bench_ext_*)
+  kMicro,      ///< microbenchmark (google-benchmark driven)
+  kUnknown,    ///< binary never called HEC_BENCH_EXPERIMENT
+};
+const char* to_string(ExperimentKind kind);
+std::optional<ExperimentKind> experiment_kind_from_string(std::string_view s);
+
+/// How a reported metric is gated by the baseline comparator.
+enum class MetricKind {
+  kAccuracy,  ///< model-vs-paper error; deterministic, tight tolerance
+  kPerf,      ///< wall-clock-derived; noisy, wide tolerance
+  kCount,     ///< deterministic count; any drift beyond rounding flags
+  kInfo,      ///< recorded but never gated
+};
+const char* to_string(MetricKind kind);
+std::optional<MetricKind> metric_kind_from_string(std::string_view s);
+
+/// One value a bench chose to report (metric("table3.time_mape...")).
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  MetricKind kind = MetricKind::kInfo;
+  std::string unit;  ///< display only: "%", "s", "J", ""
+};
+
+/// Aggregate of all obs spans sharing a name: the per-phase timings
+/// (characterize / evaluate-space / frontier / ...) of the run.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+};
+
+/// Tracer ring-drop accounting for one thread (span.h ThreadDropStats).
+struct ThreadDrops {
+  std::uint32_t tid = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// count/sum plus estimated quantiles of one obs histogram. The raw
+/// buckets stay in the trace exports; records keep the summary only.
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// Everything one bench process execution reports.
+struct RunRecord {
+  std::string experiment = "(unregistered)";
+  ExperimentKind kind = ExperimentKind::kUnknown;
+  std::string paper_ref;
+
+  double wall_s = 0.0;
+  double peak_rss_mb = 0.0;
+
+  std::vector<Metric> metrics;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSummary> histograms;
+  std::vector<PhaseStat> phases;
+
+  std::uint64_t spans_dropped_total = 0;
+  std::vector<ThreadDrops> span_drops;
+};
+
+json::Value to_json(const RunRecord& record);
+std::optional<RunRecord> run_record_from_json(const json::Value& v,
+                                              std::string* error = nullptr);
+
+/// Registers the experiment this process reproduces. Call once at the
+/// top of main() — the HEC_BENCH_EXPERIMENT macro below is the spelling
+/// benches use. Later calls overwrite (harmless, discouraged).
+void register_experiment(std::string name, ExperimentKind kind,
+                         std::string paper_ref);
+
+/// Reports one named metric into this process's RunRecord. Thread-safe;
+/// re-reporting a name overwrites its value (last write wins).
+void report_metric(std::string name, double value, MetricKind kind,
+                   std::string unit = "");
+
+/// Peak resident set size of the process so far, in MiB.
+double peak_rss_mib();
+
+/// Builds the RunRecord for the current process: registered experiment
+/// info, reported metrics, and a snapshot of the global obs registry
+/// and tracer. `wall_s` is supplied by the caller (the at-exit hook
+/// measures from static initialisation; tests pass a fixed value).
+RunRecord collect_current_run(double wall_s);
+
+/// One bench binary's aggregated result across `runs.size()` repeats.
+struct BenchAggregate {
+  std::string bench;  ///< binary name, e.g. "bench_fig4_pareto_ep"
+  int exit_code = 0;
+  bool timed_out = false;
+  std::vector<RunRecord> runs;          ///< parsed per-run records
+  std::vector<double> runner_wall_s;    ///< child wall per repeat (fallback)
+};
+
+/// Aggregates repeats into the suite-schema bench entry: medians for
+/// every numeric, min/max spread for wall/RSS. Works with zero parsed
+/// runs (records only exit status + runner wall) so a crashing bench
+/// still appears in the suite document.
+json::Value aggregate_bench(const BenchAggregate& agg);
+
+/// Assembles the top-level suite document around per-bench entries.
+json::Value make_suite(const std::vector<BenchAggregate>& benches,
+                       const std::string& git_sha, int repeat,
+                       const std::string& created_utc);
+
+}  // namespace hec::bench::telemetry
+
+/// Registers the enclosing binary's experiment with the telemetry layer.
+/// Kind is the bare enumerator name (kFigure, kTable, ...).
+#define HEC_BENCH_EXPERIMENT(name, kind, paper_ref)       \
+  ::hec::bench::telemetry::register_experiment(           \
+      name, ::hec::bench::telemetry::ExperimentKind::kind, paper_ref)

@@ -1,0 +1,287 @@
+#include "hec/bench/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "hec/bench/telemetry.h"
+
+namespace hec::bench::telemetry {
+
+double Tolerance::threshold(double baseline) const {
+  return std::max(rel * std::abs(baseline), abs);
+}
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kWithinNoise: return "within-noise";
+    case Outcome::kImprovement: return "improvement";
+    case Outcome::kRegression: return "regression";
+    case Outcome::kMissingInCurrent: return "missing";
+    case Outcome::kNewInCurrent: return "new";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Counts `d` into the comparison totals and stores it.
+void push(Comparison& cmp, Delta d) {
+  if (d.gated) {
+    switch (d.outcome) {
+      case Outcome::kRegression: ++cmp.regressions; break;
+      case Outcome::kMissingInCurrent: ++cmp.missing; break;
+      case Outcome::kImprovement: ++cmp.improvements; break;
+      case Outcome::kWithinNoise: ++cmp.within_noise; break;
+      case Outcome::kNewInCurrent: ++cmp.added; break;
+    }
+  } else if (d.outcome == Outcome::kNewInCurrent) {
+    ++cmp.added;
+  } else if (d.outcome == Outcome::kImprovement) {
+    ++cmp.improvements;
+  } else if (d.outcome == Outcome::kWithinNoise) {
+    ++cmp.within_noise;
+  }
+  cmp.deltas.push_back(std::move(d));
+}
+
+/// Classifies a higher-is-worse quantity (wall, RSS, error metrics).
+Outcome classify_directional(double baseline, double current,
+                             const Tolerance& tol) {
+  const double delta = current - baseline;
+  const double thr = tol.threshold(baseline);
+  if (delta > thr) return Outcome::kRegression;
+  if (delta < -thr) return Outcome::kImprovement;
+  return Outcome::kWithinNoise;
+}
+
+/// Classifies a deterministic quantity where drift in either direction
+/// means behaviour changed (event counts, evaluation counts).
+Outcome classify_drift(double baseline, double current,
+                       const Tolerance& tol) {
+  return std::abs(current - baseline) > tol.threshold(baseline)
+             ? Outcome::kRegression
+             : Outcome::kWithinNoise;
+}
+
+void compare_bench(Comparison& cmp, const std::string& name,
+                   const json::Value& base, const json::Value& cur,
+                   const CompareOptions& opts) {
+  const auto median = [](const json::Value& bench, const char* field) {
+    return bench[field]["median"].as_number(
+        std::numeric_limits<double>::quiet_NaN());
+  };
+
+  // Wall time and peak RSS: present in every suite entry.
+  {
+    const double b = median(base, "wall_s");
+    const double c = median(cur, "wall_s");
+    push(cmp, Delta{name, "wall_s", b, c,
+                    classify_directional(b, c, opts.wall), true});
+  }
+  if (base.find("peak_rss_mb") != nullptr && cur.find("peak_rss_mb") != nullptr) {
+    const double b = median(base, "peak_rss_mb");
+    const double c = median(cur, "peak_rss_mb");
+    push(cmp, Delta{name, "peak_rss_mb", b, c,
+                    classify_directional(b, c, opts.rss), true});
+  }
+
+  // Reported metrics, gated per kind.
+  const json::Value::Object& base_metrics = base["metrics"].as_object();
+  const json::Value::Object& cur_metrics = cur["metrics"].as_object();
+  for (const auto& [mname, bval] : base_metrics) {
+    const std::string label = "metric:" + mname;
+    const double b = bval["value"].as_number();
+    const MetricKind kind =
+        metric_kind_from_string(bval["kind"].as_string())
+            .value_or(MetricKind::kInfo);
+    const auto it = cur_metrics.find(mname);
+    if (it == cur_metrics.end()) {
+      push(cmp, Delta{name, label, b, 0.0, Outcome::kMissingInCurrent,
+                      kind != MetricKind::kInfo});
+      continue;
+    }
+    const double c = it->second["value"].as_number();
+    Outcome outcome = Outcome::kWithinNoise;
+    bool gated = true;
+    switch (kind) {
+      case MetricKind::kAccuracy:
+        outcome = classify_directional(b, c, opts.accuracy);
+        break;
+      case MetricKind::kPerf:
+        outcome = classify_directional(b, c, opts.perf_metric);
+        break;
+      case MetricKind::kCount:
+        outcome = classify_drift(b, c, opts.count);
+        break;
+      case MetricKind::kInfo:
+        outcome = classify_drift(b, c, opts.count);
+        gated = false;
+        break;
+    }
+    push(cmp, Delta{name, label, b, c, outcome, gated});
+  }
+  for (const auto& [mname, cval] : cur_metrics) {
+    if (base_metrics.find(mname) == base_metrics.end()) {
+      push(cmp, Delta{name, "metric:" + mname, 0.0,
+                      cval["value"].as_number(), Outcome::kNewInCurrent,
+                      false});
+    }
+  }
+
+  // Obs counters: deterministic event/evaluation totals — except under
+  // google-benchmark, which tunes iteration counts to wall time.
+  const bool micro = cur["experiment"]["kind"].as_string() == "micro" ||
+                     base["experiment"]["kind"].as_string() == "micro";
+  if (!micro) {
+    const json::Value::Object& base_counters = base["counters"].as_object();
+    const json::Value::Object& cur_counters = cur["counters"].as_object();
+    for (const auto& [cname, bval] : base_counters) {
+      const std::string label = "counter:" + cname;
+      const double b = bval.as_number();
+      const auto it = cur_counters.find(cname);
+      if (it == cur_counters.end()) {
+        push(cmp, Delta{name, label, b, 0.0, Outcome::kMissingInCurrent,
+                        true});
+        continue;
+      }
+      const double c = it->second.as_number();
+      push(cmp, Delta{name, label, b, c, classify_drift(b, c, opts.count),
+                      true});
+    }
+    for (const auto& [cname, cval] : cur_counters) {
+      if (base_counters.find(cname) == base_counters.end()) {
+        push(cmp, Delta{name, "counter:" + cname, 0.0, cval.as_number(),
+                        Outcome::kNewInCurrent, false});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Comparison compare_suites(const json::Value& baseline,
+                          const json::Value& current,
+                          const CompareOptions& opts) {
+  Comparison cmp;
+  const json::Value::Object& base_benches = baseline["benches"].as_object();
+  const json::Value::Object& cur_benches = current["benches"].as_object();
+
+  for (const auto& [name, base_entry] : base_benches) {
+    const auto it = cur_benches.find(name);
+    if (it == cur_benches.end()) {
+      push(cmp, Delta{name, "(bench)", 0.0, 0.0, Outcome::kMissingInCurrent,
+                      opts.fail_on_missing_bench});
+      continue;
+    }
+    compare_bench(cmp, name, base_entry, it->second, opts);
+  }
+  for (const auto& [name, cur_entry] : cur_benches) {
+    if (base_benches.find(name) == base_benches.end()) {
+      push(cmp, Delta{name, "(bench)", 0.0, 0.0, Outcome::kNewInCurrent,
+                      false});
+    }
+  }
+  return cmp;
+}
+
+namespace {
+
+std::string fmt(double v, int precision = 4) {
+  if (!std::isfinite(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string pct_change(double baseline, double current) {
+  if (baseline == 0.0 || !std::isfinite(baseline) || !std::isfinite(current)) {
+    return "-";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                (current / baseline - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+void write_markdown_report(std::ostream& out, const json::Value& suite,
+                           const Comparison* cmp,
+                           const std::string& baseline_desc) {
+  out << "# Benchmark telemetry report\n\n";
+  out << "- git sha: `" << suite["git_sha"].as_string() << "`\n";
+  out << "- created: " << suite["created_utc"].as_string() << "\n";
+  out << "- repeats per bench: " << fmt(suite["repeat"].as_number(), 3)
+      << " (medians reported)\n";
+  const json::Value::Object& benches = suite["benches"].as_object();
+  out << "- benches: " << benches.size() << "\n\n";
+
+  out << "## Suite\n\n";
+  out << "| bench | kind | wall [s] | peak RSS [MiB] | spans dropped | "
+         "exit |\n";
+  out << "|---|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, b] : benches) {
+    out << "| " << name << " | " << b["experiment"]["kind"].as_string()
+        << " | " << fmt(b["wall_s"]["median"].as_number()) << " | "
+        << fmt(b["peak_rss_mb"]["median"].as_number()) << " | "
+        << fmt(b["spans_dropped_total"].as_number(), 10) << " | "
+        << fmt(b["exit_code"].as_number(), 3)
+        << (b["timed_out"].as_bool() ? " (timeout)" : "") << " |\n";
+  }
+
+  out << "\n## Accuracy metrics\n\n";
+  out << "| bench | metric | value | unit |\n|---|---|---:|---|\n";
+  bool any_accuracy = false;
+  for (const auto& [name, b] : benches) {
+    for (const auto& [mname, m] : b["metrics"].as_object()) {
+      if (m["kind"].as_string() != "accuracy") continue;
+      any_accuracy = true;
+      out << "| " << name << " | " << mname << " | "
+          << fmt(m["value"].as_number()) << " | " << m["unit"].as_string()
+          << " |\n";
+    }
+  }
+  if (!any_accuracy) out << "| - | - | - | - |\n";
+
+  if (cmp == nullptr) {
+    out << "\n## Baseline comparison\n\nNo baseline supplied; gating "
+           "skipped.\n";
+    return;
+  }
+
+  out << "\n## Baseline comparison\n\n";
+  out << "Compared against " << baseline_desc << ".\n\n";
+  out << "**Verdict: " << (cmp->ok() ? "PASS" : "FAIL — regression") << "** — "
+      << cmp->regressions << " regression(s), " << cmp->missing
+      << " missing, " << cmp->improvements << " improvement(s), "
+      << cmp->within_noise << " within noise, " << cmp->added << " new.\n\n";
+
+  bool any_flagged = false;
+  for (const Delta& d : cmp->deltas) {
+    if (d.outcome == Outcome::kWithinNoise ||
+        d.outcome == Outcome::kNewInCurrent) {
+      continue;
+    }
+    if (!any_flagged) {
+      out << "| bench | metric | baseline | current | change | outcome |\n";
+      out << "|---|---|---:|---:|---:|---|\n";
+      any_flagged = true;
+    }
+    out << "| " << d.bench << " | " << d.metric << " | " << fmt(d.baseline)
+        << " | " << fmt(d.current) << " | "
+        << pct_change(d.baseline, d.current) << " | " << to_string(d.outcome)
+        << (d.gated ? "" : " (not gated)") << " |\n";
+  }
+  if (!any_flagged) {
+    out << "All gated metrics within noise tolerances.\n";
+  } else if (cmp->improvements > 0 && cmp->ok()) {
+    out << "\nImprovements beyond tolerance: consider refreshing "
+           "`bench/baseline.json` so future regressions are measured "
+           "against the better numbers.\n";
+  }
+}
+
+}  // namespace hec::bench::telemetry

@@ -1,0 +1,398 @@
+#include "hec/bench/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+namespace hec::bench::json {
+
+namespace {
+
+const Value::Array kEmptyArray{};
+const Value::Object kEmptyObject{};
+const std::string kEmptyString{};
+const Value kNullValue{};
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+bool Value::as_bool(bool fallback) const {
+  const bool* b = std::get_if<bool>(&v_);
+  return b != nullptr ? *b : fallback;
+}
+
+double Value::as_number(double fallback) const {
+  const double* n = std::get_if<double>(&v_);
+  return n != nullptr ? *n : fallback;
+}
+
+const std::string& Value::as_string() const {
+  const std::string* s = std::get_if<std::string>(&v_);
+  return s != nullptr ? *s : kEmptyString;
+}
+
+const Value::Array& Value::as_array() const {
+  const Array* a = std::get_if<Array>(&v_);
+  return a != nullptr ? *a : kEmptyArray;
+}
+
+const Value::Object& Value::as_object() const {
+  const Object* o = std::get_if<Object>(&v_);
+  return o != nullptr ? *o : kEmptyObject;
+}
+
+Value::Array& Value::array() {
+  if (!is_array()) v_ = Array{};
+  return std::get<Array>(v_);
+}
+
+Value::Object& Value::object() {
+  if (!is_object()) v_ = Object{};
+  return std::get<Object>(v_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  const Object* o = std::get_if<Object>(&v_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(std::string(key));
+  return it != o->end() ? &it->second : nullptr;
+}
+
+const Value& Value::operator[](std::string_view key) const {
+  const Value* v = find(key);
+  return v != nullptr ? *v : kNullValue;
+}
+
+Value& Value::operator[](std::string_view key) {
+  return object()[std::string(key)];
+}
+
+namespace {
+
+void write_value(std::ostream& out, const Value& v, bool pretty, int depth) {
+  const auto indent = [&](int d) {
+    if (!pretty) return;
+    out << '\n';
+    for (int i = 0; i < 2 * d; ++i) out << ' ';
+  };
+  if (v.is_null()) {
+    out << "null";
+  } else if (v.is_bool()) {
+    out << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    out << number_to_string(v.as_number());
+  } else if (v.is_string()) {
+    write_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const auto& arr = v.as_array();
+    if (arr.empty()) {
+      out << "[]";
+      return;
+    }
+    out << '[';
+    bool first = true;
+    for (const Value& e : arr) {
+      if (!first) out << ',';
+      first = false;
+      indent(depth + 1);
+      write_value(out, e, pretty, depth + 1);
+    }
+    indent(depth);
+    out << ']';
+  } else {
+    const auto& obj = v.as_object();
+    if (obj.empty()) {
+      out << "{}";
+      return;
+    }
+    out << '{';
+    bool first = true;
+    for (const auto& [key, e] : obj) {
+      if (!first) out << ',';
+      first = false;
+      indent(depth + 1);
+      write_escaped(out, key);
+      out << (pretty ? ": " : ":");
+      write_value(out, e, pretty, depth + 1);
+    }
+    indent(depth);
+    out << '}';
+  }
+}
+
+/// Recursive-descent parser over the whole input string.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    std::optional<Value> v = parse_value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after JSON document");
+        v.reset();
+      }
+    }
+    if (!v && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't': return parse_literal("true", Value(true));
+      case 'f': return parse_literal("false", Value(false));
+      case 'n': return parse_literal("null", Value(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  // GCC 12's -Wmaybe-uninitialized misfires on moving the variant-backed
+  // Value out of the checked optional into the map node (the engaged
+  // state is guaranteed by the `if (!val)` guard above the move).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Value::Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      std::optional<Value> val = parse_value();
+      if (!val) return std::nullopt;
+      obj.insert_or_assign(std::move(*key), std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Value::Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      std::optional<Value> val = parse_value();
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          fail("unescaped control character in string");
+          return std::nullopt;
+        }
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad hex digit in \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // reassembled; telemetry strings are ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape sequence");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double v = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (res.ec == std::errc::result_out_of_range) {
+      v = text_[start] == '-' ? -HUGE_VAL : HUGE_VAL;
+    } else if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return Value(v);
+  }
+
+  std::optional<Value> parse_literal(std::string_view lit, Value v) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("unknown literal");
+    }
+    pos_ += lit.size();
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::nullopt_t fail(const std::string& reason) {
+    if (error_.empty()) {
+      std::size_t line = 1, col = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      error_ = "line " + std::to_string(line) + ", column " +
+               std::to_string(col) + ": " + reason;
+    }
+    return std::nullopt;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+void Value::write(std::ostream& out, bool pretty) const {
+  write_value(out, *this, pretty, 0);
+  if (pretty) out << '\n';
+}
+
+std::string Value::dump(bool pretty) const {
+  std::ostringstream out;
+  write(out, pretty);
+  return out.str();
+}
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace hec::bench::json

@@ -1,0 +1,418 @@
+#include "hec/bench/telemetry.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "hec/obs/metrics.h"
+#include "hec/obs/span.h"
+
+namespace hec::bench::telemetry {
+
+const char* to_string(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kFigure: return "figure";
+    case ExperimentKind::kTable: return "table";
+    case ExperimentKind::kAblation: return "ablation";
+    case ExperimentKind::kExtension: return "extension";
+    case ExperimentKind::kMicro: return "micro";
+    case ExperimentKind::kUnknown: break;
+  }
+  return "unknown";
+}
+
+std::optional<ExperimentKind> experiment_kind_from_string(
+    std::string_view s) {
+  if (s == "figure") return ExperimentKind::kFigure;
+  if (s == "table") return ExperimentKind::kTable;
+  if (s == "ablation") return ExperimentKind::kAblation;
+  if (s == "extension") return ExperimentKind::kExtension;
+  if (s == "micro") return ExperimentKind::kMicro;
+  if (s == "unknown") return ExperimentKind::kUnknown;
+  return std::nullopt;
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kAccuracy: return "accuracy";
+    case MetricKind::kPerf: return "perf";
+    case MetricKind::kCount: return "count";
+    case MetricKind::kInfo: break;
+  }
+  return "info";
+}
+
+std::optional<MetricKind> metric_kind_from_string(std::string_view s) {
+  if (s == "accuracy") return MetricKind::kAccuracy;
+  if (s == "perf") return MetricKind::kPerf;
+  if (s == "count") return MetricKind::kCount;
+  if (s == "info") return MetricKind::kInfo;
+  return std::nullopt;
+}
+
+double peak_rss_mib() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+namespace {
+
+/// Process-wide registration + reported metrics. Guarded because
+/// report_metric may be called from worker threads.
+struct Context {
+  std::mutex mutex;
+  std::string experiment = "(unregistered)";
+  ExperimentKind kind = ExperimentKind::kUnknown;
+  std::string paper_ref;
+  std::vector<Metric> metrics;  // insertion order; names unique
+};
+
+Context& context() {
+  static Context* instance = new Context();  // leaked: used at exit
+  return *instance;
+}
+
+}  // namespace
+
+void register_experiment(std::string name, ExperimentKind kind,
+                         std::string paper_ref) {
+  Context& ctx = context();
+  std::lock_guard lock(ctx.mutex);
+  ctx.experiment = std::move(name);
+  ctx.kind = kind;
+  ctx.paper_ref = std::move(paper_ref);
+}
+
+void report_metric(std::string name, double value, MetricKind kind,
+                   std::string unit) {
+  Context& ctx = context();
+  std::lock_guard lock(ctx.mutex);
+  for (Metric& m : ctx.metrics) {
+    if (m.name == name) {
+      m = Metric{std::move(name), value, kind, std::move(unit)};
+      return;
+    }
+  }
+  ctx.metrics.push_back(Metric{std::move(name), value, kind, std::move(unit)});
+}
+
+RunRecord collect_current_run(double wall_s) {
+  RunRecord rec;
+  {
+    Context& ctx = context();
+    std::lock_guard lock(ctx.mutex);
+    rec.experiment = ctx.experiment;
+    rec.kind = ctx.kind;
+    rec.paper_ref = ctx.paper_ref;
+    rec.metrics = ctx.metrics;
+  }
+  rec.wall_s = wall_s;
+  rec.peak_rss_mb = peak_rss_mib();
+
+  const obs::MetricsRegistry::Snapshot snap = obs::registry().snapshot();
+  rec.counters = snap.counters;
+  rec.gauges = snap.gauges;
+  rec.histograms.reserve(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    rec.histograms.push_back(HistogramSummary{h.name, h.count, h.sum,
+                                              h.quantile(0.50),
+                                              h.quantile(0.95),
+                                              h.quantile(0.99)});
+  }
+
+  // Per-phase timings: every span with the same name folds into one
+  // (count, total seconds) aggregate, keyed deterministically.
+  std::map<std::string, PhaseStat> phases;
+  for (const obs::SpanEvent& ev : obs::tracer().snapshot()) {
+    PhaseStat& p = phases[ev.name];
+    p.name = ev.name;
+    ++p.count;
+    p.total_s += ev.dur_us * 1e-6;
+  }
+  rec.phases.reserve(phases.size());
+  for (auto& [name, stat] : phases) rec.phases.push_back(std::move(stat));
+
+  rec.spans_dropped_total = obs::tracer().dropped();
+  for (const auto& t : obs::tracer().thread_drop_stats()) {
+    rec.span_drops.push_back(ThreadDrops{t.tid, t.recorded, t.dropped});
+  }
+  return rec;
+}
+
+json::Value to_json(const RunRecord& record) {
+  json::Value v;
+  v["schema"] = json::Value(std::string(kRunSchema));
+  {
+    json::Value& exp = v["experiment"];
+    exp["name"] = record.experiment;
+    exp["kind"] = to_string(record.kind);
+    exp["paper_ref"] = record.paper_ref;
+  }
+  v["wall_s"] = record.wall_s;
+  v["peak_rss_mb"] = record.peak_rss_mb;
+
+  json::Value& metrics = v["metrics"];
+  metrics.object();  // always present, possibly empty
+  for (const Metric& m : record.metrics) {
+    json::Value& mv = metrics[m.name];
+    mv["value"] = m.value;
+    mv["kind"] = to_string(m.kind);
+    if (!m.unit.empty()) mv["unit"] = m.unit;
+  }
+
+  json::Value& counters = v["counters"];
+  counters.object();
+  for (const auto& [name, value] : record.counters) counters[name] = value;
+  json::Value& gauges = v["gauges"];
+  gauges.object();
+  for (const auto& [name, value] : record.gauges) gauges[name] = value;
+
+  json::Value& hists = v["histograms"];
+  hists.object();
+  for (const HistogramSummary& h : record.histograms) {
+    json::Value& hv = hists[h.name];
+    hv["count"] = h.count;
+    hv["sum"] = h.sum;
+    hv["p50"] = h.p50;
+    hv["p95"] = h.p95;
+    hv["p99"] = h.p99;
+  }
+
+  json::Value& phases = v["phases"];
+  phases.object();
+  for (const PhaseStat& p : record.phases) {
+    json::Value& pv = phases[p.name];
+    pv["count"] = p.count;
+    pv["total_s"] = p.total_s;
+  }
+
+  v["spans_dropped_total"] = record.spans_dropped_total;
+  json::Value::Array drops;
+  for (const ThreadDrops& t : record.span_drops) {
+    json::Value tv;
+    tv["tid"] = t.tid;
+    tv["recorded"] = t.recorded;
+    tv["dropped"] = t.dropped;
+    drops.push_back(std::move(tv));
+  }
+  v["span_drops"] = json::Value(std::move(drops));
+  return v;
+}
+
+std::optional<RunRecord> run_record_from_json(const json::Value& v,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  const std::string& schema = v["schema"].as_string();
+  if (schema != kRunSchema) {
+    return fail("unsupported run schema: '" + schema + "'");
+  }
+  RunRecord rec;
+  rec.experiment = v["experiment"]["name"].as_string();
+  rec.kind = experiment_kind_from_string(v["experiment"]["kind"].as_string())
+                 .value_or(ExperimentKind::kUnknown);
+  rec.paper_ref = v["experiment"]["paper_ref"].as_string();
+  rec.wall_s = v["wall_s"].as_number();
+  rec.peak_rss_mb = v["peak_rss_mb"].as_number();
+
+  for (const auto& [name, mv] : v["metrics"].as_object()) {
+    Metric m;
+    m.name = name;
+    m.value = mv["value"].as_number();
+    m.kind = metric_kind_from_string(mv["kind"].as_string())
+                 .value_or(MetricKind::kInfo);
+    m.unit = mv["unit"].as_string();
+    rec.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, cv] : v["counters"].as_object()) {
+    rec.counters.emplace_back(name, cv.as_number());
+  }
+  for (const auto& [name, gv] : v["gauges"].as_object()) {
+    rec.gauges.emplace_back(name, gv.as_number());
+  }
+  for (const auto& [name, hv] : v["histograms"].as_object()) {
+    rec.histograms.push_back(HistogramSummary{
+        name, static_cast<std::uint64_t>(hv["count"].as_number()),
+        hv["sum"].as_number(), hv["p50"].as_number(), hv["p95"].as_number(),
+        hv["p99"].as_number()});
+  }
+  for (const auto& [name, pv] : v["phases"].as_object()) {
+    rec.phases.push_back(PhaseStat{
+        name, static_cast<std::uint64_t>(pv["count"].as_number()),
+        pv["total_s"].as_number()});
+  }
+  rec.spans_dropped_total =
+      static_cast<std::uint64_t>(v["spans_dropped_total"].as_number());
+  for (const json::Value& tv : v["span_drops"].as_array()) {
+    rec.span_drops.push_back(ThreadDrops{
+        static_cast<std::uint32_t>(tv["tid"].as_number()),
+        static_cast<std::uint64_t>(tv["recorded"].as_number()),
+        static_cast<std::uint64_t>(tv["dropped"].as_number())});
+  }
+  return rec;
+}
+
+namespace {
+
+struct Stats {
+  double median = 0.0, min = 0.0, max = 0.0;
+};
+
+Stats stats_of(std::vector<double> xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  const std::size_t n = xs.size();
+  s.median = n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  return s;
+}
+
+json::Value stats_json(const Stats& s) {
+  json::Value v;
+  v["median"] = s.median;
+  v["min"] = s.min;
+  v["max"] = s.max;
+  return v;
+}
+
+}  // namespace
+
+json::Value aggregate_bench(const BenchAggregate& agg) {
+  json::Value v;
+  v["exit_code"] = agg.exit_code;
+  v["timed_out"] = json::Value(agg.timed_out);
+  v["runs"] = agg.runs.size();
+
+  // Wall time: prefer the benches' own records (measured inside the
+  // process, excludes exec/loader overhead); fall back to the runner's
+  // child wall when a bench produced no record.
+  std::vector<double> walls;
+  if (!agg.runs.empty()) {
+    for (const RunRecord& r : agg.runs) walls.push_back(r.wall_s);
+  } else {
+    walls = agg.runner_wall_s;
+  }
+  v["wall_s"] = stats_json(stats_of(std::move(walls)));
+
+  if (!agg.runs.empty()) {
+    const RunRecord& first = agg.runs.front();
+    json::Value& exp = v["experiment"];
+    exp["name"] = first.experiment;
+    exp["kind"] = to_string(first.kind);
+    exp["paper_ref"] = first.paper_ref;
+
+    std::vector<double> rss;
+    for (const RunRecord& r : agg.runs) rss.push_back(r.peak_rss_mb);
+    v["peak_rss_mb"] = stats_json(stats_of(std::move(rss)));
+
+    // Median every named series across repeats. Names missing from some
+    // repeats are medianed over the runs that have them.
+    std::map<std::string, std::vector<double>> metric_vals;
+    std::map<std::string, const Metric*> metric_info;
+    std::map<std::string, std::vector<double>> counter_vals;
+    std::map<std::string, std::vector<double>> phase_count;
+    std::map<std::string, std::vector<double>> phase_total;
+    std::uint64_t drops = 0;
+    for (const RunRecord& r : agg.runs) {
+      for (const Metric& m : r.metrics) {
+        metric_vals[m.name].push_back(m.value);
+        metric_info.emplace(m.name, &m);
+      }
+      for (const auto& [name, value] : r.counters) {
+        counter_vals[name].push_back(value);
+      }
+      for (const PhaseStat& p : r.phases) {
+        phase_count[p.name].push_back(static_cast<double>(p.count));
+        phase_total[p.name].push_back(p.total_s);
+      }
+      drops = std::max(drops, r.spans_dropped_total);
+    }
+
+    json::Value& metrics = v["metrics"];
+    metrics.object();
+    for (auto& [name, vals] : metric_vals) {
+      const Metric* info = metric_info[name];
+      json::Value& mv = metrics[name];
+      mv["value"] = stats_of(std::move(vals)).median;
+      mv["kind"] = to_string(info->kind);
+      if (!info->unit.empty()) mv["unit"] = info->unit;
+    }
+    json::Value& counters = v["counters"];
+    counters.object();
+    for (auto& [name, vals] : counter_vals) {
+      counters[name] = stats_of(std::move(vals)).median;
+    }
+    json::Value& phases = v["phases"];
+    phases.object();
+    for (auto& [name, counts] : phase_count) {
+      json::Value& pv = phases[name];
+      pv["count"] = stats_of(std::move(counts)).median;
+      pv["total_s"] = stats_of(std::move(phase_total[name])).median;
+    }
+    v["spans_dropped_total"] = drops;
+  }
+  return v;
+}
+
+json::Value make_suite(const std::vector<BenchAggregate>& benches,
+                       const std::string& git_sha, int repeat,
+                       const std::string& created_utc) {
+  json::Value v;
+  v["schema"] = json::Value(std::string(kSuiteSchema));
+  v["git_sha"] = git_sha;
+  v["repeat"] = repeat;
+  v["created_utc"] = created_utc;
+  json::Value& out = v["benches"];
+  out.object();
+  for (const BenchAggregate& agg : benches) {
+    out[agg.bench] = aggregate_bench(agg);
+  }
+  return v;
+}
+
+namespace {
+
+/// At-exit record writer. File-scope static: constructed during static
+/// initialisation of any binary that references this TU (every bench
+/// does, via HEC_BENCH_EXPERIMENT), so `start` brackets ~the whole
+/// process. The destructor runs after main() returns — after the
+/// experiment finished and reported — and writes the record only when
+/// the runner asked for one via HEC_BENCH_JSON.
+struct RunRecordFlusher {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  ~RunRecordFlusher() {
+    const char* path = std::getenv(kRunRecordEnv);
+    if (path == nullptr || *path == '\0') return;
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench-telemetry] cannot open %s\n", path);
+      return;
+    }
+    to_json(collect_current_run(wall.count())).write(out);
+    if (!out) {
+      std::fprintf(stderr, "[bench-telemetry] short write to %s\n", path);
+    }
+  }
+};
+
+const RunRecordFlusher run_record_flusher;
+
+}  // namespace
+
+}  // namespace hec::bench::telemetry

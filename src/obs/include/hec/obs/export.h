@@ -18,21 +18,33 @@ class Tracer;
 
 /// Chrome trace_event JSON: {"traceEvents":[...complete "X" events...]}.
 /// Span wall times map to ts/dur (microseconds); sim-time windows and
-/// nesting depth ride in args. When `metrics` is non-null, counter and
-/// gauge totals are embedded under "otherData" so one file carries the
-/// whole observation.
+/// nesting depth ride in args. "otherData" always carries the tracer's
+/// ring-drop accounting ("obs.spans_dropped_total" plus per-thread
+/// "obs.spans_dropped_tid<N>" for threads that wrapped), so a truncated
+/// trace is visible as such; when `metrics` is non-null, counter and
+/// gauge totals are embedded alongside so one file carries the whole
+/// observation.
 void write_chrome_trace(std::ostream& out, const Tracer& tracer,
                         const MetricsRegistry* metrics = nullptr);
 
-/// JSONL event log: {"type":"span",...} lines then {"type":"counter",...},
-/// {"type":"gauge",...} and {"type":"histogram",...} lines.
+/// JSONL event log: {"type":"span",...} lines, one {"type":"tracer",...}
+/// line with per-thread recorded/dropped span counts, then
+/// {"type":"counter",...}, {"type":"gauge",...} and
+/// {"type":"histogram",...} lines. Histogram lines carry estimated
+/// p50/p95/p99 quantiles next to the raw buckets.
 void write_jsonl(std::ostream& out, const Tracer& tracer,
                  const MetricsRegistry& metrics);
 
 /// Prometheus-style text dump. Metric names are sanitised to
 /// [a-zA-Z0-9_] and prefixed "hec_" ("sim.events_processed" becomes
 /// "hec_sim_events_processed"); histogram buckets are cumulative with a
-/// final +Inf bucket, as the exposition format requires.
-void write_prometheus(std::ostream& out, const MetricsRegistry& metrics);
+/// final +Inf bucket, as the exposition format requires, and each
+/// histogram additionally exposes <name>_p50/_p95/_p99 gauges with the
+/// log-interpolated quantile estimates. When `tracer` is non-null the
+/// dump also carries hec_obs_spans_dropped_total and per-thread
+/// hec_obs_spans_dropped{tid="N"} so exports taken after a ring wrapped
+/// do not read as complete traces.
+void write_prometheus(std::ostream& out, const MetricsRegistry& metrics,
+                      const Tracer* tracer = nullptr);
 
 }  // namespace hec::obs

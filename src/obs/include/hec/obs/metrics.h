@@ -187,7 +187,28 @@ class MetricsRegistry {
     std::array<std::uint64_t, Histogram::kBins> bins{};
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) from the log2 buckets.
+    ///
+    /// The rank is located by walking the cumulative bucket counts and
+    /// interpolated *geometrically* within its bucket — the buckets are
+    /// log-uniform, so a log-linear ramp is the maximum-entropy
+    /// assumption about where mass sits inside one. The estimate is
+    /// exact at bucket edges and off by at most the bucket width (a
+    /// factor of 2) in between. Returns NaN for an empty histogram.
+    double quantile(double q) const noexcept;
   };
+
+  /// One coherent point-in-time view of every metric, for exporters and
+  /// for diffing a registry across run phases (the bench telemetry layer
+  /// snapshots at exit). Counters/gauges are (name, value) sorted by
+  /// name, like the individual accessors.
+  struct Snapshot {
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot snapshot() const;
 
   /// Point-in-time copies, sorted by name (for exporters and tests).
   std::vector<std::pair<std::string, double>> counters() const;

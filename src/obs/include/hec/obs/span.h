@@ -76,6 +76,17 @@ class Tracer {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Per-thread recording/drop totals. A snapshot that silently lost
+  /// its oldest events reads as a complete trace; exporters surface
+  /// these counts so a truncated trace is visible as such. `dropped`
+  /// sums to dropped() across entries.
+  struct ThreadDropStats {
+    std::uint32_t tid = 0;
+    std::uint64_t recorded = 0;  ///< events ever recorded on this thread
+    std::uint64_t dropped = 0;   ///< of those, overwritten by ring wrap
+  };
+  std::vector<ThreadDropStats> thread_drop_stats() const;
+
   /// Currently open scopes across all threads (0 when balanced).
   int open_spans() const;
 

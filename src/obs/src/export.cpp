@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "hec/obs/metrics.h"
 #include "hec/obs/span.h"
@@ -61,6 +62,15 @@ std::string json_micros(double v) {
   return buf;
 }
 
+/// Prometheus values, unlike JSON, have NaN/Inf spellings.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 std::string prometheus_name(std::string_view raw) {
   std::string out = "hec_";
   for (const char c : raw) {
@@ -96,22 +106,20 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
     out << "}";
   }
   out << "\n],\"displayTimeUnit\":\"ms\"";
+  out << ",\"otherData\":{\"obs.spans_dropped_total\":" << tracer.dropped();
+  for (const auto& t : tracer.thread_drop_stats()) {
+    if (t.dropped == 0) continue;
+    out << ",\"obs.spans_dropped_tid" << t.tid << "\":" << t.dropped;
+  }
   if (metrics != nullptr) {
-    out << ",\"otherData\":{";
-    bool first_metric = true;
     for (const auto& [name, value] : metrics->counters()) {
-      if (!first_metric) out << ",";
-      first_metric = false;
-      out << "\"" << json_escape(name) << "\":" << json_number(value);
+      out << ",\"" << json_escape(name) << "\":" << json_number(value);
     }
     for (const auto& [name, value] : metrics->gauges()) {
-      if (!first_metric) out << ",";
-      first_metric = false;
-      out << "\"" << json_escape(name) << "\":" << json_number(value);
+      out << ",\"" << json_escape(name) << "\":" << json_number(value);
     }
-    out << "}";
   }
-  out << "}\n";
+  out << "}}\n";
 }
 
 void write_jsonl(std::ostream& out, const Tracer& tracer,
@@ -127,6 +135,16 @@ void write_jsonl(std::ostream& out, const Tracer& tracer,
     }
     out << "}\n";
   }
+  out << "{\"type\":\"tracer\",\"spans_dropped_total\":" << tracer.dropped()
+      << ",\"by_thread\":[";
+  bool first_thread = true;
+  for (const auto& t : tracer.thread_drop_stats()) {
+    if (!first_thread) out << ",";
+    first_thread = false;
+    out << "{\"tid\":" << t.tid << ",\"recorded\":" << t.recorded
+        << ",\"dropped\":" << t.dropped << "}";
+  }
+  out << "]}\n";
   for (const auto& [name, value] : metrics.counters()) {
     out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
         << "\",\"value\":" << json_number(value) << "}\n";
@@ -138,7 +156,9 @@ void write_jsonl(std::ostream& out, const Tracer& tracer,
   for (const auto& h : metrics.histograms()) {
     out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
         << "\",\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
-        << ",\"bins\":[";
+        << ",\"p50\":" << json_number(h.quantile(0.50))
+        << ",\"p95\":" << json_number(h.quantile(0.95))
+        << ",\"p99\":" << json_number(h.quantile(0.99)) << ",\"bins\":[";
     bool first = true;
     for (std::size_t i = 0; i < Histogram::kBins; ++i) {
       if (h.bins[i] == 0) continue;
@@ -151,7 +171,8 @@ void write_jsonl(std::ostream& out, const Tracer& tracer,
   }
 }
 
-void write_prometheus(std::ostream& out, const MetricsRegistry& metrics) {
+void write_prometheus(std::ostream& out, const MetricsRegistry& metrics,
+                      const Tracer* tracer) {
   for (const auto& [name, value] : metrics.counters()) {
     const std::string pname = prometheus_name(name);
     out << "# TYPE " << pname << " counter\n";
@@ -176,6 +197,24 @@ void write_prometheus(std::ostream& out, const MetricsRegistry& metrics) {
     out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
     out << pname << "_sum " << json_number(h.sum) << "\n";
     out << pname << "_count " << h.count << "\n";
+    // Estimated quantiles as sibling gauges: a histogram and a summary
+    // cannot legally share one metric name, so the quantiles get their
+    // own _pNN names instead of {quantile=...} labels.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      out << "# TYPE " << pname << suffix << " gauge\n";
+      out << pname << suffix << " " << prom_number(h.quantile(q)) << "\n";
+    }
+  }
+  if (tracer != nullptr) {
+    out << "# TYPE hec_obs_spans_dropped_total counter\n";
+    out << "hec_obs_spans_dropped_total " << tracer->dropped() << "\n";
+    for (const auto& t : tracer->thread_drop_stats()) {
+      out << "hec_obs_spans_dropped{tid=\"" << t.tid << "\"} " << t.dropped
+          << "\n";
+    }
   }
 }
 

@@ -1,6 +1,8 @@
 #include "hec/obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace hec::obs {
 
@@ -18,6 +20,30 @@ std::size_t Histogram::bin_index(double v) noexcept {
 
 double Histogram::bin_upper_bound(std::size_t i) noexcept {
   return std::ldexp(1.0, kMinExp2 + static_cast<int>(i) + 1);
+}
+
+double MetricsRegistry::HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile among `count` observations (nearest
+  // rank, 1-based), then the bucket holding it.
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+    if (bins[i] == 0) continue;
+    const double next = cum + static_cast<double>(bins[i]);
+    if (rank <= next || i + 1 == Histogram::kBins) {
+      const double lower =
+          std::ldexp(1.0, Histogram::kMinExp2 + static_cast<int>(i));
+      // Geometric interpolation: fraction f through the bucket maps to
+      // lower * 2^f, hitting the lower/upper edges at f = 0 / 1.
+      const double f = (rank - cum) / static_cast<double>(bins[i]);
+      return lower * std::exp2(std::min(std::max(f, 0.0), 1.0));
+    }
+    cum = next;
+  }
+  return std::numeric_limits<double>::quiet_NaN();  // unreachable
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -89,6 +115,15 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
     out.push_back(std::move(snap));
   }
   return out;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Each accessor takes the registry mutex on its own; a metric updated
+  // between the three copies can differ across sections, which is the
+  // same guarantee concurrent writers already get within one section
+  // (relaxed loads). Exporters and the bench telemetry layer only read
+  // quiesced registries, where the view is exact.
+  return Snapshot{counters(), gauges(), histograms()};
 }
 
 bool MetricsRegistry::empty() const {

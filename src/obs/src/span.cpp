@@ -95,6 +95,20 @@ std::vector<SpanEvent> Tracer::snapshot() const {
   return out;
 }
 
+std::vector<Tracer::ThreadDropStats> Tracer::thread_drop_stats() const {
+  std::vector<ThreadDropStats> out;
+  std::lock_guard lock(rings_mutex_);
+  out.reserve(rings_.size());
+  for (const auto& r : rings_) {
+    std::lock_guard ring_lock(r->m);
+    // count is total recorded; once the ring wrapped, everything beyond
+    // its capacity was overwritten.
+    const std::uint64_t size = r->ring.size();
+    out.push_back({r->tid, r->count, r->count > size ? r->count - size : 0});
+  }
+  return out;
+}
+
 int Tracer::open_spans() const {
   int open = 0;
   std::lock_guard lock(rings_mutex_);

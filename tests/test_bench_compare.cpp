@@ -1,0 +1,227 @@
+// Baseline comparator for benchmark telemetry suites: per-kind noise
+// tolerances, direction-aware gating, counter drift detection, and the
+// micro-bench counter exemption. Suites are built by hand so every case
+// controls its numbers exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "hec/bench/compare.h"
+#include "hec/bench/json.h"
+
+namespace {
+
+using hec::bench::json::Value;
+using namespace hec::bench::telemetry;  // NOLINT: test-local convenience
+
+Value bench_entry(double wall_s, double rss_mb = 10.0,
+                  const std::string& kind = "table") {
+  Value b;
+  b["exit_code"] = 0;
+  b["timed_out"] = Value(false);
+  b["runs"] = 1;
+  b["wall_s"]["median"] = wall_s;
+  b["peak_rss_mb"]["median"] = rss_mb;
+  b["experiment"]["kind"] = kind;
+  b["metrics"].object();
+  b["counters"].object();
+  return b;
+}
+
+void add_metric(Value& bench, const std::string& name, double value,
+                const std::string& kind, const std::string& unit = "%") {
+  Value& m = bench["metrics"][name];
+  m["value"] = value;
+  m["kind"] = kind;
+  m["unit"] = unit;
+}
+
+Value suite_of(const std::string& bench, Value entry) {
+  Value s;
+  s["schema"] = "hec-bench-suite/v1";
+  s["git_sha"] = "test";
+  s["repeat"] = 1;
+  s["benches"][bench] = std::move(entry);
+  return s;
+}
+
+const Delta* find_delta(const Comparison& cmp, const std::string& metric) {
+  for (const Delta& d : cmp.deltas) {
+    if (d.metric == metric) return &d;
+  }
+  return nullptr;
+}
+
+TEST(BenchCompare, IdenticalSuitesPass) {
+  Value entry = bench_entry(1.0);
+  add_metric(entry, "t.err", 5.0, "accuracy");
+  entry["counters"]["sim.events"] = 1000.0;
+  const Value suite = suite_of("bench_x", entry);
+  const Comparison cmp = compare_suites(suite, suite);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.regressions, 0);
+  EXPECT_GT(cmp.within_noise, 0);
+}
+
+TEST(BenchCompare, WallRegressionBeyondToleranceFlags) {
+  // threshold = max(0.75 * 1.0, 0.5) = 0.75; +1.0 s clears it.
+  const Value base = suite_of("bench_x", bench_entry(1.0));
+  const Value cur = suite_of("bench_x", bench_entry(2.0));
+  const Comparison cmp = compare_suites(base, cur);
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.regressions, 1);
+  const Delta* d = find_delta(cmp, "wall_s");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->outcome, Outcome::kRegression);
+  EXPECT_TRUE(d->gated);
+}
+
+TEST(BenchCompare, WallJitterInsideAbsoluteFloorPasses) {
+  // Tiny bench: 20 ms -> 300 ms is huge relatively but under the 0.5 s
+  // absolute floor — exactly the cross-machine jitter the floor absorbs.
+  const Value base = suite_of("bench_x", bench_entry(0.02));
+  const Value cur = suite_of("bench_x", bench_entry(0.30));
+  const Comparison cmp = compare_suites(base, cur);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(find_delta(cmp, "wall_s")->outcome, Outcome::kWithinNoise);
+}
+
+TEST(BenchCompare, WallImprovementReportedButPasses) {
+  // threshold = max(0.75 * 4.0, 0.5) = 3.0; -3.5 s clears it downward.
+  const Value base = suite_of("bench_x", bench_entry(4.0));
+  const Value cur = suite_of("bench_x", bench_entry(0.5));
+  const Comparison cmp = compare_suites(base, cur);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.improvements, 1);
+  EXPECT_EQ(find_delta(cmp, "wall_s")->outcome, Outcome::kImprovement);
+}
+
+TEST(BenchCompare, AccuracyMetricRegressionFlags) {
+  // accuracy tolerance = max(0.05 * 5.0, 0.25) = 0.25; +1.0 pp flags.
+  Value base_entry = bench_entry(1.0);
+  add_metric(base_entry, "table3.worst", 5.0, "accuracy");
+  Value cur_entry = bench_entry(1.0);
+  add_metric(cur_entry, "table3.worst", 6.0, "accuracy");
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_FALSE(cmp.ok());
+  const Delta* d = find_delta(cmp, "metric:table3.worst");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->outcome, Outcome::kRegression);
+}
+
+TEST(BenchCompare, MissingGatedMetricFailsTheGate) {
+  Value base_entry = bench_entry(1.0);
+  add_metric(base_entry, "table3.worst", 5.0, "accuracy");
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", bench_entry(1.0)));
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.missing, 1);
+  EXPECT_EQ(find_delta(cmp, "metric:table3.worst")->outcome,
+            Outcome::kMissingInCurrent);
+}
+
+TEST(BenchCompare, InfoMetricDriftIsNotGated) {
+  Value base_entry = bench_entry(1.0);
+  add_metric(base_entry, "fig6.fastest_ms", 100.0, "info", "ms");
+  Value cur_entry = bench_entry(1.0);
+  add_metric(cur_entry, "fig6.fastest_ms", 500.0, "info", "ms");
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_TRUE(cmp.ok());
+  const Delta* d = find_delta(cmp, "metric:fig6.fastest_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->gated);
+}
+
+TEST(BenchCompare, NewMetricIsInformational) {
+  Value cur_entry = bench_entry(1.0);
+  add_metric(cur_entry, "brand.new", 1.0, "accuracy");
+  const Comparison cmp = compare_suites(suite_of("bench_x", bench_entry(1.0)),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.added, 1);
+}
+
+TEST(BenchCompare, CounterDriftBeyondRoundingFlags) {
+  // count tolerance = max(0.001 * 1000, 0.5) = 1.0; drift of 2 flags —
+  // in either direction (fewer events is also a behaviour change).
+  Value base_entry = bench_entry(1.0);
+  base_entry["counters"]["sim.events"] = 1000.0;
+  Value cur_entry = bench_entry(1.0);
+  cur_entry["counters"]["sim.events"] = 998.0;
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(find_delta(cmp, "counter:sim.events")->outcome,
+            Outcome::kRegression);
+}
+
+TEST(BenchCompare, CounterWithinRoundingPasses) {
+  Value base_entry = bench_entry(1.0);
+  base_entry["counters"]["sim.events"] = 1000.0;
+  Value cur_entry = bench_entry(1.0);
+  cur_entry["counters"]["sim.events"] = 1000.4;
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_TRUE(cmp.ok());
+}
+
+TEST(BenchCompare, MicroBenchSkipsCounterGating) {
+  // google-benchmark tunes iteration counts to wall time; their counters
+  // are not deterministic and must not gate.
+  Value base_entry = bench_entry(1.0, 10.0, "micro");
+  base_entry["counters"]["sim.events"] = 1000.0;
+  Value cur_entry = bench_entry(1.0, 10.0, "micro");
+  cur_entry["counters"]["sim.events"] = 5000.0;
+  const Comparison cmp = compare_suites(suite_of("bench_x", base_entry),
+                                        suite_of("bench_x", cur_entry));
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(find_delta(cmp, "counter:sim.events"), nullptr);
+}
+
+TEST(BenchCompare, MissingBenchFailsUnlessFiltered) {
+  const Value base = suite_of("bench_gone", bench_entry(1.0));
+  Value cur;
+  cur["benches"].object();
+  EXPECT_FALSE(compare_suites(base, cur).ok());
+
+  CompareOptions opts;
+  opts.fail_on_missing_bench = false;  // the runner's --filter mode
+  EXPECT_TRUE(compare_suites(base, cur, opts).ok());
+}
+
+TEST(BenchCompare, NewBenchIsInformational) {
+  Value base;
+  base["benches"].object();
+  const Value cur = suite_of("bench_new", bench_entry(1.0));
+  const Comparison cmp = compare_suites(base, cur);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.added, 1);
+}
+
+TEST(BenchCompare, ToleranceThresholdIsMaxOfRelAndAbs) {
+  const Tolerance tol{0.10, 0.5};
+  EXPECT_DOUBLE_EQ(tol.threshold(100.0), 10.0);  // rel arm
+  EXPECT_DOUBLE_EQ(tol.threshold(1.0), 0.5);     // abs floor
+  EXPECT_DOUBLE_EQ(tol.threshold(-100.0), 10.0); // |baseline|
+}
+
+TEST(BenchCompare, MarkdownReportStatesVerdict) {
+  const Value base = suite_of("bench_x", bench_entry(1.0));
+  const Value cur = suite_of("bench_x", bench_entry(2.0));
+  const Comparison cmp = compare_suites(base, cur);
+  std::ostringstream out;
+  write_markdown_report(out, cur, &cmp, "bench/baseline.json");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("FAIL — regression"), std::string::npos);
+  EXPECT_NE(text.find("| bench_x | wall_s |"), std::string::npos);
+
+  std::ostringstream ok_out;
+  const Comparison ok_cmp = compare_suites(base, base);
+  write_markdown_report(ok_out, base, &ok_cmp, "bench/baseline.json");
+  EXPECT_NE(ok_out.str().find("**Verdict: PASS**"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// hec::bench::json — the dependency-free JSON document model under the
+// benchmark telemetry pipeline. The properties that matter downstream:
+// deterministic (sorted-key) serialisation, exact number round-trips,
+// tolerant typed accessors, and parse errors with position context.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "hec/bench/json.h"
+
+namespace {
+
+using hec::bench::json::Value;
+
+TEST(BenchJson, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.dump(false), "null");
+}
+
+TEST(BenchJson, ScalarsSerialise) {
+  EXPECT_EQ(Value(true).dump(false), "true");
+  EXPECT_EQ(Value(false).dump(false), "false");
+  EXPECT_EQ(Value(42).dump(false), "42");
+  EXPECT_EQ(Value(0.1).dump(false), "0.1");
+  EXPECT_EQ(Value("hi").dump(false), "\"hi\"");
+}
+
+TEST(BenchJson, NonFiniteNumbersSerialiseAsNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(false), "null");
+  EXPECT_EQ(Value(INFINITY).dump(false), "null");
+}
+
+TEST(BenchJson, ObjectKeysAreSorted) {
+  Value v;
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mango"] = 3;
+  EXPECT_EQ(v.dump(false), "{\"apple\":2,\"mango\":3,\"zebra\":1}");
+}
+
+TEST(BenchJson, StringsEscape) {
+  Value v(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(v.dump(false), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(BenchJson, NumbersRoundTripExactly) {
+  for (double x : {0.1, 1e-300, 12345.6789, 3.0, -2.5e17,
+                   1048576.0, 1.0 / 3.0}) {
+    const std::string text = Value(x).dump(false);
+    const auto parsed = Value::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->as_number(), x) << text;
+  }
+}
+
+TEST(BenchJson, ParseHandlesNestedDocument) {
+  const auto v = Value::parse(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_object().size(), 2u);
+  EXPECT_EQ((*v)["a"].as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ((*v)["a"].as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE((*v)["b"]["c"].as_bool());
+  EXPECT_TRUE((*v)["b"]["d"].is_null());
+}
+
+TEST(BenchJson, ParseDecodesUnicodeEscapes) {
+  const auto v = Value::parse(R"("café")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "caf\xc3\xa9");
+}
+
+TEST(BenchJson, RoundTripPreservesDocument) {
+  Value doc;
+  doc["name"] = "suite";
+  doc["n"] = 3;
+  Value::Array list;
+  list.reserve(2);
+  list.emplace_back(1.5);
+  list.emplace_back(nullptr);
+  doc["list"] = Value(std::move(list));
+  const std::string pretty = doc.dump(true);
+  const std::string compact = doc.dump(false);
+  const auto from_pretty = Value::parse(pretty);
+  const auto from_compact = Value::parse(compact);
+  ASSERT_TRUE(from_pretty && from_compact);
+  EXPECT_EQ(from_pretty->dump(false), compact);
+  EXPECT_EQ(from_compact->dump(false), compact);
+}
+
+TEST(BenchJson, ParseErrorsCarryPosition) {
+  std::string error;
+  EXPECT_FALSE(Value::parse("{\"a\": }", &error).has_value());
+  EXPECT_NE(error.find("column"), std::string::npos);
+
+  error.clear();
+  EXPECT_FALSE(Value::parse("[1, 2\n, oops]", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(BenchJson, TrailingGarbageIsAnError) {
+  std::string error;
+  EXPECT_FALSE(Value::parse("{} extra", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchJson, AccessorsFallBackOnTypeMismatch) {
+  const Value v(3.5);
+  EXPECT_EQ(v.as_string(), "");
+  EXPECT_TRUE(v.as_array().empty());
+  EXPECT_TRUE(v.as_object().empty());
+  EXPECT_FALSE(v.as_bool());
+  EXPECT_DOUBLE_EQ(Value("nope").as_number(-1.0), -1.0);
+  EXPECT_EQ(v.find("key"), nullptr);
+  EXPECT_TRUE(v["missing"].is_null());  // const: shared null, no insert
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// The BENCH_*.json schemas: a golden serialisation of a fully-populated
+// hec-bench-run/v1 record (any unintentional field rename or reorder
+// breaks this test — rename deliberately means bumping /v1), lossless
+// round-trips through the parser, schema-version rejection, and the
+// median aggregation the suite document applies across repeats.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hec/bench/json.h"
+#include "hec/bench/telemetry.h"
+
+namespace {
+
+using namespace hec::bench::telemetry;  // NOLINT: test-local convenience
+namespace json = hec::bench::json;
+
+RunRecord sample_record() {
+  RunRecord rec;
+  rec.experiment = "table3_single_node_validation";
+  rec.kind = ExperimentKind::kTable;
+  rec.paper_ref = "Table 3";
+  rec.wall_s = 0.25;
+  rec.peak_rss_mb = 12.5;
+  rec.metrics.push_back(
+      Metric{"table3.worst_mape_pct", 9.5, MetricKind::kAccuracy, "%"});
+  rec.metrics.push_back(Metric{"table3.runs", 288.0, MetricKind::kCount, ""});
+  rec.counters.emplace_back("sim.events_processed", 1024.0);
+  rec.gauges.emplace_back("queue.depth", 3.0);
+  rec.histograms.push_back(
+      HistogramSummary{"eval.wall_s", 10, 1.5, 0.1, 0.2, 0.3});
+  rec.phases.push_back(PhaseStat{"model.characterize", 12, 0.125});
+  rec.spans_dropped_total = 2;
+  rec.span_drops.push_back(ThreadDrops{7, 100, 2});
+  return rec;
+}
+
+TEST(BenchSchema, RunRecordMatchesGolden) {
+  const std::string golden =
+      "{\"counters\":{\"sim.events_processed\":1024},"
+      "\"experiment\":{\"kind\":\"table\","
+      "\"name\":\"table3_single_node_validation\","
+      "\"paper_ref\":\"Table 3\"},"
+      "\"gauges\":{\"queue.depth\":3},"
+      "\"histograms\":{\"eval.wall_s\":{\"count\":10,\"p50\":0.1,"
+      "\"p95\":0.2,\"p99\":0.3,\"sum\":1.5}},"
+      "\"metrics\":{"
+      "\"table3.runs\":{\"kind\":\"count\",\"value\":288},"
+      "\"table3.worst_mape_pct\":{\"kind\":\"accuracy\",\"unit\":\"%\","
+      "\"value\":9.5}},"
+      "\"peak_rss_mb\":12.5,"
+      "\"phases\":{\"model.characterize\":{\"count\":12,"
+      "\"total_s\":0.125}},"
+      "\"schema\":\"hec-bench-run/v1\","
+      "\"span_drops\":[{\"dropped\":2,\"recorded\":100,\"tid\":7}],"
+      "\"spans_dropped_total\":2,"
+      "\"wall_s\":0.25}";
+  EXPECT_EQ(to_json(sample_record()).dump(false), golden);
+}
+
+TEST(BenchSchema, RunRecordRoundTripsThroughText) {
+  const RunRecord rec = sample_record();
+  const std::string text = to_json(rec).dump();
+  const auto doc = json::Value::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const auto back = run_record_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->experiment, rec.experiment);
+  EXPECT_EQ(back->kind, rec.kind);
+  EXPECT_EQ(back->paper_ref, rec.paper_ref);
+  EXPECT_DOUBLE_EQ(back->wall_s, rec.wall_s);
+  EXPECT_DOUBLE_EQ(back->peak_rss_mb, rec.peak_rss_mb);
+  ASSERT_EQ(back->metrics.size(), rec.metrics.size());
+  // Parsing sorts by name; "table3.runs" < "table3.worst_mape_pct".
+  EXPECT_EQ(back->metrics[0].name, "table3.runs");
+  EXPECT_EQ(back->metrics[0].kind, MetricKind::kCount);
+  EXPECT_EQ(back->metrics[1].kind, MetricKind::kAccuracy);
+  EXPECT_DOUBLE_EQ(back->metrics[1].value, 9.5);
+  ASSERT_EQ(back->histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(back->histograms[0].p95, 0.2);
+  ASSERT_EQ(back->span_drops.size(), 1u);
+  EXPECT_EQ(back->span_drops[0].recorded, 100u);
+  EXPECT_EQ(back->spans_dropped_total, 2u);
+  ASSERT_EQ(back->phases.size(), 1u);
+  EXPECT_EQ(back->phases[0].count, 12u);
+}
+
+TEST(BenchSchema, UnknownSchemaVersionIsRejected) {
+  json::Value doc = to_json(sample_record());
+  doc["schema"] = "hec-bench-run/v999";
+  std::string error;
+  EXPECT_FALSE(run_record_from_json(doc, &error).has_value());
+  EXPECT_NE(error.find("v999"), std::string::npos);
+}
+
+TEST(BenchSchema, KindEnumsRoundTripAsStrings) {
+  for (ExperimentKind k : {ExperimentKind::kFigure, ExperimentKind::kTable,
+                           ExperimentKind::kAblation,
+                           ExperimentKind::kExtension, ExperimentKind::kMicro,
+                           ExperimentKind::kUnknown}) {
+    EXPECT_EQ(experiment_kind_from_string(to_string(k)), k);
+  }
+  for (MetricKind k : {MetricKind::kAccuracy, MetricKind::kPerf,
+                       MetricKind::kCount, MetricKind::kInfo}) {
+    EXPECT_EQ(metric_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_FALSE(experiment_kind_from_string("nonsense").has_value());
+  EXPECT_FALSE(metric_kind_from_string("nonsense").has_value());
+}
+
+TEST(BenchSchema, SuiteAggregatesMediansAcrossRepeats) {
+  BenchAggregate agg;
+  agg.bench = "bench_sample";
+  for (double wall : {3.0, 1.0, 2.0}) {
+    RunRecord rec = sample_record();
+    rec.wall_s = wall;
+    rec.peak_rss_mb = wall * 10.0;
+    rec.metrics[0].value = wall * 100.0;
+    agg.runs.push_back(std::move(rec));
+  }
+  const json::Value suite =
+      make_suite({agg}, "abc123", 3, "2026-01-01T00:00:00Z");
+  EXPECT_EQ(suite["schema"].as_string(), "hec-bench-suite/v1");
+  EXPECT_EQ(suite["git_sha"].as_string(), "abc123");
+  const json::Value& b = suite["benches"]["bench_sample"];
+  EXPECT_DOUBLE_EQ(b["wall_s"]["median"].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(b["wall_s"]["min"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(b["wall_s"]["max"].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(b["peak_rss_mb"]["median"].as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(
+      b["metrics"]["table3.worst_mape_pct"]["value"].as_number(), 200.0);
+  EXPECT_EQ(b["experiment"]["kind"].as_string(), "table");
+}
+
+TEST(BenchSchema, CrashedBenchStillAppearsInSuite) {
+  BenchAggregate agg;
+  agg.bench = "bench_crashy";
+  agg.exit_code = 139;
+  agg.runner_wall_s.push_back(0.5);  // no record: runner wall fallback
+  const json::Value suite =
+      make_suite({agg}, "abc123", 1, "2026-01-01T00:00:00Z");
+  const json::Value& b = suite["benches"]["bench_crashy"];
+  EXPECT_DOUBLE_EQ(b["exit_code"].as_number(), 139.0);
+  EXPECT_DOUBLE_EQ(b["wall_s"]["median"].as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(b["runs"].as_number(), 0.0);
+}
+
+TEST(BenchSchema, CollectCurrentRunCarriesReportedMetrics) {
+  register_experiment("schema_test", ExperimentKind::kExtension, "none");
+  report_metric("schema.metric", 1.25, MetricKind::kAccuracy, "%");
+  const RunRecord rec = collect_current_run(2.5);
+  EXPECT_EQ(rec.experiment, "schema_test");
+  EXPECT_EQ(rec.kind, ExperimentKind::kExtension);
+  EXPECT_DOUBLE_EQ(rec.wall_s, 2.5);
+  EXPECT_GT(rec.peak_rss_mb, 0.0);
+  bool found = false;
+  for (const Metric& m : rec.metrics) {
+    if (m.name == "schema.metric") {
+      found = true;
+      EXPECT_DOUBLE_EQ(m.value, 1.25);
+      EXPECT_EQ(m.kind, MetricKind::kAccuracy);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

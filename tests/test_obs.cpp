@@ -140,6 +140,22 @@ TEST(ObsRegistry, SnapshotsAreSortedByName) {
   EXPECT_EQ(counters[2].first, "c.three");
 }
 
+TEST(ObsRegistry, SnapshotBundlesAllMetricFamilies) {
+  MetricsRegistry r;
+  r.counter("sim.events").add(2.0);
+  r.gauge("queue.depth").set(5.0);
+  r.histogram("eval.wall_s").observe(3.0);
+  const MetricsRegistry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "sim.events");
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, 2.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 5.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 3.0);
+}
+
 TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
   MetricsRegistry reg;
   Counter& c = reg.counter("n");
@@ -205,6 +221,49 @@ TEST(ObsTracer, RingWrapsAndCountsDropped) {
   }
   EXPECT_EQ(t.dropped(), 10u);
   EXPECT_EQ(t.snapshot().size(), Tracer::kRingCapacity);
+}
+
+TEST(ObsTracer, ThreadDropStatsAccountPerRing) {
+  Tracer t;
+  SpanEvent ev;
+  ev.name = "x";
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + 7; ++i) {
+    ev.start_us = static_cast<double>(i);
+    t.record(ev);
+  }
+  const auto stats = t.thread_drop_stats();
+  ASSERT_EQ(stats.size(), 1u);  // single-threaded: one ring
+  EXPECT_EQ(stats[0].recorded, Tracer::kRingCapacity + 7);
+  EXPECT_EQ(stats[0].dropped, 7u);
+  // Per-ring drops sum to the tracer-wide total.
+  std::uint64_t total = 0;
+  for (const auto& s : stats) total += s.dropped;
+  EXPECT_EQ(total, t.dropped());
+}
+
+TEST(ObsTracer, ThreadDropStatsCoverEveryThread) {
+  Tracer t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&t] {
+      SpanEvent ev;
+      ev.name = "t";
+      for (std::size_t j = 0; j < Tracer::kRingCapacity + 5; ++j) {
+        t.record(ev);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = t.thread_drop_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t recorded = 0, dropped = 0;
+  for (const auto& s : stats) {
+    recorded += s.recorded;
+    dropped += s.dropped;
+  }
+  EXPECT_EQ(recorded, 3 * (Tracer::kRingCapacity + 5));
+  EXPECT_EQ(dropped, 3 * 5u);
+  EXPECT_EQ(dropped, t.dropped());
 }
 
 TEST(ObsTracer, SnapshotSortsByStartTime) {
@@ -292,7 +351,8 @@ TEST_F(ObsExportTest, ChromeTraceMatchesGolden) {
       "\"ts\":110.000,\"dur\":20.000,\"pid\":1,\"tid\":0,"
       "\"args\":{\"depth\":1}}\n"
       "],\"displayTimeUnit\":\"ms\","
-      "\"otherData\":{\"sim.events\":42,\"queue.depth\":3}}\n";
+      "\"otherData\":{\"obs.spans_dropped_total\":0,"
+      "\"sim.events\":42,\"queue.depth\":3}}\n";
   EXPECT_EQ(out.str(), expected);
 }
 
@@ -331,8 +391,48 @@ TEST_F(ObsExportTest, PrometheusDumpMatchesGolden) {
       "hec_eval_wall_s_bucket{le=\"2\"} 1\n"
       "hec_eval_wall_s_bucket{le=\"+Inf\"} 1\n"
       "hec_eval_wall_s_sum 1.5\n"
-      "hec_eval_wall_s_count 1\n";
+      "hec_eval_wall_s_count 1\n"
+      // Quantiles interpolate geometrically inside the [1,2) bucket:
+      // p50 = 2^0.5, p95 = 2^0.95, p99 = 2^0.99.
+      "# TYPE hec_eval_wall_s_p50 gauge\n"
+      "hec_eval_wall_s_p50 1.4142135623730951\n"
+      "# TYPE hec_eval_wall_s_p95 gauge\n"
+      "hec_eval_wall_s_p95 1.931872657849691\n"
+      "# TYPE hec_eval_wall_s_p99 gauge\n"
+      "hec_eval_wall_s_p99 1.9861849908740719\n";
   EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsExportTest, PrometheusExportsTracerDropAccounting) {
+  std::ostringstream out;
+  hec::obs::write_prometheus(out, registry_, &tracer_);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE hec_obs_spans_dropped_total counter\n"
+                      "hec_obs_spans_dropped_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hec_obs_spans_dropped{tid=\""), std::string::npos);
+}
+
+TEST_F(ObsExportTest, JsonlReportsTracerDropsAndQuantiles) {
+  std::ostringstream out;
+  hec::obs::write_jsonl(out, tracer_, registry_);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"tracer\",\"spans_dropped_total\":0"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\":"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, ChromeTraceReportsPerThreadDrops) {
+  Tracer t;
+  SpanEvent ev;
+  ev.name = "x";
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + 3; ++i) t.record(ev);
+  std::ostringstream out;
+  hec::obs::write_chrome_trace(out, t);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"obs.spans_dropped_total\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"obs.spans_dropped_tid"), std::string::npos);
 }
 
 TEST_F(ObsExportTest, ChromeTraceEscapesJsonSpecials) {

@@ -1,0 +1,96 @@
+// Quantile estimation from hec::obs log2 histograms.
+//
+// The estimator can only be as sharp as the buckets: each log2 bucket
+// spans a factor of two, so any estimate is within [exact/2, exact*2].
+// These tests pin that accuracy contract, the exactness at bucket
+// edges, monotonicity in q, and the NaN-on-empty edge case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "hec/obs/metrics.h"
+
+namespace {
+
+using hec::obs::MetricsRegistry;
+
+MetricsRegistry::HistogramSnapshot snapshot_of(
+    const std::vector<double>& values) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("h");
+  for (double v : values) h.observe(v);
+  return registry.histograms().front();
+}
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+TEST(ObsQuantile, EmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  registry.histogram("h");
+  const auto snap = registry.histograms().front();
+  EXPECT_TRUE(std::isnan(snap.quantile(0.5)));
+}
+
+TEST(ObsQuantile, SingleObservationStaysInItsBucket) {
+  const auto snap = snapshot_of({1.5});
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_GE(est, 1.0) << "q=" << q;
+    EXPECT_LE(est, 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, UniformPowerOfTwoValuesHitBucketEdges) {
+  // 4 observations, one per bucket [1,2) [2,4) [4,8) [8,16). The p100
+  // estimate is the top bucket's upper edge; p50 lands at bucket 2's
+  // upper edge (rank 2 of 4 = all of bucket [2,4)).
+  const auto snap = snapshot_of({1.0, 2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 16.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 2.0);
+}
+
+TEST(ObsQuantile, WithinFactorTwoOfExactOnSyntheticData) {
+  std::mt19937_64 rng(12345);
+  std::lognormal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> values;
+  values.reserve(10000);
+  for (int i = 0; i < 10000; ++i) values.push_back(dist(rng));
+  const auto snap = snapshot_of(values);
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double est = snap.quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, MonotonicInQ) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0.001, 1000.0);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(dist(rng));
+  const auto snap = snapshot_of(values);
+  double prev = snap.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = snap.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(ObsQuantile, OutOfRangeQClamps) {
+  const auto snap = snapshot_of({1.5, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(snap.quantile(-0.5), snap.quantile(0.0));
+  EXPECT_DOUBLE_EQ(snap.quantile(1.5), snap.quantile(1.0));
+}
+
+}  // namespace

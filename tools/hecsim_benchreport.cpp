@@ -1,0 +1,496 @@
+// hecsim_benchreport — runs the bench suite and tracks its trajectory.
+//
+// Executes every bench_* binary (parallel, per-bench timeout), collects
+// the hec-bench-run/v1 record each child writes via HEC_BENCH_JSON,
+// aggregates repeats (median) into one hec-bench-suite/v1 document —
+// results/BENCH_<git-sha>.json — and gates it against bench/baseline.json
+// with the noise-tolerant comparator (hec/bench/compare.h). A human
+// dashboard lands in results/BENCH_REPORT.md.
+//
+//   hecsim_benchreport [--bench-dir build/bench] [--results-dir results]
+//                      [--out FILE.json] [--baseline bench/baseline.json]
+//                      [--report FILE.md] [--filter GLOB] [--jobs N]
+//                      [--repeat N] [--timeout-s N] [--keep-going]
+//                      [--write-baseline]
+//
+// Exit codes: 0 suite ran and gate passed (or no baseline to gate
+// against); 1 a bench failed or timed out; 3 the gate flagged a
+// regression; 64 usage error; 70 internal error (I/O, unparseable
+// baseline).
+#include <dirent.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fnmatch.h>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hec/bench/compare.h"
+#include "hec/bench/json.h"
+#include "hec/bench/telemetry.h"
+
+namespace {
+
+namespace json = hec::bench::json;
+namespace telemetry = hec::bench::telemetry;
+
+constexpr int kExitBenchFailure = 1;
+constexpr int kExitRegression = 3;
+constexpr int kExitUsage = 64;
+constexpr int kExitInternal = 70;
+
+struct Options {
+  std::string bench_dir = "build/bench";
+  std::string results_dir = "results";
+  std::string out;       // default: <results_dir>/BENCH_<sha>.json
+  std::string report;    // default: <results_dir>/BENCH_REPORT.md
+  std::string baseline = "bench/baseline.json";
+  std::string filter;    // fnmatch glob on the binary name; empty = all
+  int jobs = 4;
+  int repeat = 1;
+  double timeout_s = 120.0;
+  bool keep_going = false;
+  bool write_baseline = false;
+};
+
+void usage(std::ostream& out) {
+  out << "usage: hecsim_benchreport [options]\n"
+         "  --bench-dir DIR    directory with bench_* binaries "
+         "(default build/bench)\n"
+         "  --results-dir DIR  output directory (default results)\n"
+         "  --out FILE         suite JSON (default "
+         "<results-dir>/BENCH_<sha>.json)\n"
+         "  --baseline FILE    baseline suite to gate against "
+         "(default bench/baseline.json)\n"
+         "  --report FILE      markdown report (default "
+         "<results-dir>/BENCH_REPORT.md)\n"
+         "  --filter GLOB      run only benches matching GLOB "
+         "(disables missing-bench gating)\n"
+         "  --jobs N           parallel benches (default 4)\n"
+         "  --repeat N         repeats per bench, median aggregated "
+         "(default 1)\n"
+         "  --timeout-s N      per-run timeout in seconds (default 120)\n"
+         "  --keep-going       run remaining benches after a failure\n"
+         "  --write-baseline   write the suite to --baseline and skip "
+         "gating\n";
+}
+
+int parse_int(const std::string& text, const std::string& what) {
+  int value = 0;
+  const char* begin = text.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + text.size(), value);
+  if (ec != std::errc{} || ptr != begin + text.size() || value <= 0) {
+    throw std::runtime_error("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+/// mkdir -p: creates `path` and any missing parents.
+bool make_dirs(const std::string& path) {
+  std::string prefix;
+  std::istringstream parts(path);
+  std::string part;
+  if (!path.empty() && path[0] == '/') prefix = "/";
+  while (std::getline(parts, part, '/')) {
+    if (part.empty()) continue;
+    prefix += part + "/";
+    if (mkdir(prefix.c_str(), 0775) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+std::string absolute_path(const std::string& path) {
+  char buf[PATH_MAX];
+  if (realpath(path.c_str(), buf) == nullptr) return path;
+  return buf;
+}
+
+/// Executable bench_* regular files in `dir`, sorted by name.
+std::vector<std::string> discover_benches(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("bench_", 0) != 0) continue;
+    const std::string path = dir + "/" + name;
+    struct stat st{};
+    if (stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (access(path.c_str(), X_OK) != 0) continue;
+    names.push_back(name);
+  }
+  closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string git_sha() {
+  FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "nosha";
+  char buf[64] = {};
+  const size_t n = fread(buf, 1, sizeof(buf) - 1, pipe);
+  pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "nosha" : sha;
+}
+
+std::string utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// One bench binary's life through the scheduler.
+struct Job {
+  std::string name;
+  std::string path;           // absolute: children chdir away
+  telemetry::BenchAggregate agg;
+  int next_rep = 0;
+  pid_t pid = -1;             // -1 = not running
+  std::chrono::steady_clock::time_point started;
+  bool done = false;
+  bool failed = false;
+};
+
+/// Forks one repeat of `job`. stdout+stderr go to <results>/<name>.txt
+/// for the first repeat, /dev/null after; cwd is the results dir so the
+/// bench's CSV/gnuplot artefacts land beside the report. Children get
+/// their own process group so a timeout can kill helpers too.
+pid_t spawn_repeat(const Job& job, int rep, const std::string& results_abs,
+                   const std::string& telemetry_abs) {
+  const std::string out_path = rep == 0 ? results_abs + "/" + job.name + ".txt"
+                                        : std::string("/dev/null");
+  const std::string record_path = telemetry_abs + "/" + job.name + ".rep" +
+                                  std::to_string(rep) + ".json";
+  const pid_t pid = fork();
+  if (pid != 0) return pid;  // parent (or fork failure: -1)
+
+  setpgid(0, 0);
+  const int fd = open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    dup2(fd, STDOUT_FILENO);
+    dup2(fd, STDERR_FILENO);
+    close(fd);
+  }
+  if (chdir(results_abs.c_str()) != 0) _exit(127);
+  setenv(telemetry::kRunRecordEnv, record_path.c_str(), 1);
+  execl(job.path.c_str(), job.name.c_str(), static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+/// Runs all jobs with at most `opts.jobs` children alive. Repeats of one
+/// bench serialise (they share CSV paths); distinct benches run in
+/// parallel (distinct artefact names). Returns false when any bench
+/// failed or timed out.
+bool run_jobs(std::vector<Job>& jobs, const Options& opts,
+              const std::string& results_abs,
+              const std::string& telemetry_abs) {
+  using clock = std::chrono::steady_clock;
+  bool all_ok = true;
+  bool stop_spawning = false;
+  int running = 0;
+
+  auto pending = [&] {
+    return std::any_of(jobs.begin(), jobs.end(),
+                       [](const Job& j) { return !j.done; });
+  };
+
+  while (pending() || running > 0) {
+    // Spawn while slots are free.
+    for (Job& job : jobs) {
+      if (running >= opts.jobs) break;
+      if (job.done || job.pid >= 0) continue;
+      // After a failure without --keep-going, only drain started benches.
+      if (stop_spawning && job.next_rep == 0) {
+        job.done = true;
+        continue;
+      }
+      job.pid = spawn_repeat(job, job.next_rep, results_abs, telemetry_abs);
+      if (job.pid < 0) {
+        std::cerr << "[benchreport] fork failed for " << job.name << "\n";
+        job.done = job.failed = true;
+        all_ok = false;
+        continue;
+      }
+      job.started = clock::now();
+      ++running;
+    }
+
+    // Kill over-deadline children (whole process group).
+    for (Job& job : jobs) {
+      if (job.pid < 0 || job.agg.timed_out) continue;
+      const std::chrono::duration<double> dur = clock::now() - job.started;
+      if (dur.count() > opts.timeout_s) {
+        kill(-job.pid, SIGKILL);
+        job.agg.timed_out = true;
+      }
+    }
+
+    // Reap.
+    int status = 0;
+    const pid_t reaped = waitpid(-1, &status, WNOHANG);
+    if (reaped <= 0) {
+      if (running > 0) usleep(5000);
+      continue;
+    }
+    const auto owner = std::find_if(jobs.begin(), jobs.end(), [&](Job& j) {
+      return j.pid == reaped;
+    });
+    if (owner == jobs.end()) continue;  // not ours (shouldn't happen)
+    Job& job = *owner;
+    --running;
+    job.pid = -1;
+    const std::chrono::duration<double> wall = clock::now() - job.started;
+    job.agg.runner_wall_s.push_back(wall.count());
+
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status)
+                     : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                           : kExitInternal;
+    if (code != 0 || job.agg.timed_out) {
+      job.agg.exit_code = code;
+      job.done = job.failed = true;
+      all_ok = false;
+      std::cerr << "[benchreport] FAIL " << job.name
+                << (job.agg.timed_out
+                        ? " (timeout after " +
+                              std::to_string(opts.timeout_s) + "s)"
+                        : " (exit " + std::to_string(code) + ")")
+                << "\n";
+      if (!opts.keep_going) stop_spawning = true;
+      continue;
+    }
+    if (++job.next_rep >= opts.repeat) {
+      job.done = true;
+      std::cerr << "[benchreport] ok   " << job.name << " ("
+                << job.agg.runner_wall_s.size() << " run"
+                << (job.agg.runner_wall_s.size() == 1 ? "" : "s") << ")\n";
+    }
+  }
+  return all_ok;
+}
+
+/// Parses the per-repeat records a job's children wrote.
+void collect_records(Job& job, const std::string& telemetry_abs) {
+  for (int rep = 0; rep < job.next_rep; ++rep) {
+    const std::string path = telemetry_abs + "/" + job.name + ".rep" +
+                             std::to_string(rep) + ".json";
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const auto doc = json::Value::parse(text.str(), &error);
+    if (!doc) {
+      std::cerr << "[benchreport] bad record " << path << ": " << error
+                << "\n";
+      continue;
+    }
+    if (auto record = telemetry::run_record_from_json(*doc, &error)) {
+      job.agg.runs.push_back(std::move(*record));
+    } else {
+      std::cerr << "[benchreport] bad record " << path << ": " << error
+                << "\n";
+    }
+  }
+}
+
+bool write_file(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[benchreport] cannot write " << path << "\n";
+    return false;
+  }
+  doc.write(out);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+int run(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) {
+        throw std::runtime_error("missing value after " + args[i - 1]);
+      }
+      return args[i];
+    };
+    if (args[i] == "--help" || args[i] == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (args[i] == "--bench-dir") {
+      opts.bench_dir = next();
+    } else if (args[i] == "--results-dir") {
+      opts.results_dir = next();
+    } else if (args[i] == "--out") {
+      opts.out = next();
+    } else if (args[i] == "--baseline") {
+      opts.baseline = next();
+    } else if (args[i] == "--report") {
+      opts.report = next();
+    } else if (args[i] == "--filter") {
+      opts.filter = next();
+    } else if (args[i] == "--jobs") {
+      opts.jobs = parse_int(next(), "--jobs");
+    } else if (args[i] == "--repeat") {
+      opts.repeat = parse_int(next(), "--repeat");
+    } else if (args[i] == "--timeout-s") {
+      opts.timeout_s = parse_int(next(), "--timeout-s");
+    } else if (args[i] == "--keep-going") {
+      opts.keep_going = true;
+    } else if (args[i] == "--write-baseline") {
+      opts.write_baseline = true;
+    } else {
+      throw std::runtime_error("unknown option: " + args[i]);
+    }
+  }
+
+  const std::string telemetry_dir = opts.results_dir + "/telemetry";
+  if (!make_dirs(telemetry_dir)) {
+    std::cerr << "[benchreport] cannot create " << telemetry_dir << "\n";
+    return kExitInternal;
+  }
+  const std::string results_abs = absolute_path(opts.results_dir);
+  const std::string telemetry_abs = absolute_path(telemetry_dir);
+  const std::string bench_abs = absolute_path(opts.bench_dir);
+
+  std::vector<Job> jobs;
+  for (const std::string& name : discover_benches(opts.bench_dir)) {
+    if (!opts.filter.empty() &&
+        fnmatch(opts.filter.c_str(), name.c_str(), 0) != 0) {
+      continue;
+    }
+    Job job;
+    job.name = name;
+    job.path = bench_abs + "/" + name;
+    job.agg.bench = name;
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    std::cerr << "[benchreport] no benches in " << opts.bench_dir
+              << (opts.filter.empty() ? ""
+                                      : " matching '" + opts.filter + "'")
+              << "\n";
+    return kExitUsage;
+  }
+  std::cerr << "[benchreport] running " << jobs.size() << " benches, "
+            << opts.repeat << " repeat(s), " << opts.jobs << " jobs\n";
+
+  const bool benches_ok =
+      run_jobs(jobs, opts, results_abs, telemetry_abs);
+  std::vector<telemetry::BenchAggregate> aggregates;
+  for (Job& job : jobs) {
+    collect_records(job, telemetry_abs);
+    aggregates.push_back(std::move(job.agg));
+  }
+
+  const std::string sha = git_sha();
+  const json::Value suite =
+      telemetry::make_suite(aggregates, sha, opts.repeat, utc_now());
+  const std::string out_path =
+      opts.out.empty() ? opts.results_dir + "/BENCH_" + sha + ".json"
+                       : opts.out;
+  if (!write_file(out_path, suite)) return kExitInternal;
+  std::cout << "[benchreport] wrote " << out_path << "\n";
+
+  const std::string report_path = opts.report.empty()
+                                      ? opts.results_dir + "/BENCH_REPORT.md"
+                                      : opts.report;
+
+  if (opts.write_baseline) {
+    if (!write_file(opts.baseline, suite)) return kExitInternal;
+    std::cout << "[benchreport] wrote baseline " << opts.baseline << "\n";
+    std::ofstream report(report_path);
+    telemetry::write_markdown_report(report, suite, nullptr,
+                                     "none (baseline write)");
+    std::cout << "[benchreport] wrote " << report_path << "\n";
+    return benches_ok ? 0 : kExitBenchFailure;
+  }
+
+  std::ifstream baseline_in(opts.baseline);
+  if (!baseline_in) {
+    std::cout << "[benchreport] no baseline at " << opts.baseline
+              << " — skipping gate (seed one with --write-baseline)\n";
+    std::ofstream report(report_path);
+    telemetry::write_markdown_report(report, suite, nullptr,
+                                     "none (no baseline found)");
+    std::cout << "[benchreport] wrote " << report_path << "\n";
+    return benches_ok ? 0 : kExitBenchFailure;
+  }
+  std::stringstream baseline_text;
+  baseline_text << baseline_in.rdbuf();
+  std::string error;
+  const auto baseline = json::Value::parse(baseline_text.str(), &error);
+  if (!baseline) {
+    std::cerr << "[benchreport] unparseable baseline " << opts.baseline
+              << ": " << error << "\n";
+    return kExitInternal;
+  }
+
+  telemetry::CompareOptions copts;
+  // A filtered run legitimately misses most baseline benches.
+  copts.fail_on_missing_bench = opts.filter.empty();
+  const telemetry::Comparison cmp =
+      telemetry::compare_suites(*baseline, suite, copts);
+
+  std::ofstream report(report_path);
+  telemetry::write_markdown_report(report, suite, &cmp, opts.baseline);
+  std::cout << "[benchreport] wrote " << report_path << "\n";
+  std::cout << "[benchreport] gate vs " << opts.baseline << ": "
+            << cmp.regressions << " regression(s), " << cmp.missing
+            << " missing, " << cmp.improvements << " improvement(s), "
+            << cmp.within_noise << " within noise\n";
+  for (const auto& delta : cmp.deltas) {
+    if (!delta.gated ||
+        (delta.outcome != telemetry::Outcome::kRegression &&
+         delta.outcome != telemetry::Outcome::kMissingInCurrent)) {
+      continue;
+    }
+    std::cout << "  " << to_string(delta.outcome) << ": " << delta.bench
+              << " " << delta.metric << " "
+              << json::number_to_string(delta.baseline) << " -> "
+              << json::number_to_string(delta.current) << "\n";
+  }
+
+  if (!benches_ok) return kExitBenchFailure;
+  if (!cmp.ok()) {
+    std::cout << "[benchreport] FAIL — regression vs baseline\n";
+    return kExitRegression;
+  }
+  std::cout << "[benchreport] PASS\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "hecsim_benchreport: " << e.what() << "\n\n";
+    usage(std::cerr);
+    return kExitUsage;
+  }
+}

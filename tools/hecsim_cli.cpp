@@ -314,7 +314,8 @@ void write_observability(const Options& opts) {
       throw std::runtime_error("cannot open metrics file: " +
                                *opts.metrics_out);
     }
-    hec::obs::write_prometheus(out, hec::obs::registry());
+    hec::obs::write_prometheus(out, hec::obs::registry(),
+                               &hec::obs::tracer());
     hec::obs::log(1, "wrote metrics to " + *opts.metrics_out);
   }
 }
