@@ -1,0 +1,110 @@
+// Micro-benchmark: sweep-engine scaling on a ≥1M-configuration space.
+//
+// Runs the memoized + streaming sweep and the naive materialize-everything
+// reference over the same EP configuration space and reports wall time,
+// peak-RSS deltas and exact frontier identity. The fast path runs FIRST:
+// ru_maxrss is monotone, so ordering fast-before-naive attributes the
+// naive path's large allocations to its own delta instead of hiding them
+// under an earlier high-water mark.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  HEC_BENCH_EXPERIMENT("micro_sweep", kMicro, "sweep-engine scaling");
+  using namespace hec;
+  using namespace hec::bench;
+
+  // 53+53 nodes: 1060 ARM x 954 AMD deployments = 1,011,240 heterogeneous
+  // mixes plus 2,014 homogeneous points — a >1M-configuration space.
+  const EnumerationLimits limits{53, 53};
+  const double work_units = 50e6;
+  const WorkloadModels models = build_models(workload_ep());
+  banner("micro sweep: memoized/streaming vs naive reference",
+         "sweep-engine scaling");
+
+  const double rss_start_mib = peak_rss_mib();
+
+  const auto fast_start = std::chrono::steady_clock::now();
+  const SweepResult fast =
+      sweep_frontier(models.arm, models.amd, limits, work_units);
+  const double fast_wall_s = seconds_since(fast_start);
+  const double rss_after_fast_mib = peak_rss_mib();
+
+  const auto naive_start = std::chrono::steady_clock::now();
+  const SweepResult naive =
+      sweep_frontier_reference(models.arm, models.amd, limits, work_units);
+  const double naive_wall_s = seconds_since(naive_start);
+  const double rss_after_naive_mib = peak_rss_mib();
+
+  // Exact bit-identity: same frontier size, and every point's time,
+  // energy and enumeration tag match to the last bit.
+  bool identical = fast.frontier.size() == naive.frontier.size();
+  for (std::size_t i = 0; identical && i < fast.frontier.size(); ++i) {
+    identical = fast.frontier[i].t_s == naive.frontier[i].t_s &&
+                fast.frontier[i].energy_j == naive.frontier[i].energy_j &&
+                fast.frontier[i].tag == naive.frontier[i].tag;
+  }
+
+  // RSS deltas from the monotone high-water mark. The fast path's
+  // footprint is block-sized and can vanish under startup noise, so floor
+  // it at 1 MiB to keep the reduction ratio finite and honest.
+  const double fast_rss_mib =
+      std::max(rss_after_fast_mib - rss_start_mib, 1.0);
+  const double naive_rss_mib =
+      std::max(rss_after_naive_mib - rss_after_fast_mib, 1.0);
+  const double speedup = naive_wall_s / fast_wall_s;
+  const double rss_reduction = naive_rss_mib / fast_rss_mib;
+
+  std::printf("configs          %zu (%zu blocks, %zu worker(s))\n",
+              fast.stats.configs, fast.stats.blocks, fast.stats.workers);
+  std::printf("frontier points  %zu\n", fast.frontier.size());
+  std::printf("fast             %.3f s, +%.1f MiB peak RSS\n", fast_wall_s,
+              fast_rss_mib);
+  std::printf("naive            %.3f s, +%.1f MiB peak RSS\n", naive_wall_s,
+              naive_rss_mib);
+  std::printf("speedup          %.1fx\n", speedup);
+  std::printf("rss reduction    %.1fx\n", rss_reduction);
+  std::printf("frontier match   %s\n", identical ? "exact" : "MISMATCH");
+
+  namespace tel = hec::bench::telemetry;
+  tel::report_metric("micro_sweep.configs",
+                     static_cast<double>(fast.stats.configs),
+                     tel::MetricKind::kCount, "configs");
+  tel::report_metric("micro_sweep.frontier_identity", identical ? 1.0 : 0.0,
+                     tel::MetricKind::kAccuracy, "fraction");
+  tel::report_metric("micro_sweep.speedup_x", speedup,
+                     tel::MetricKind::kPerf, "x");
+  tel::report_metric("micro_sweep.rss_reduction_x", rss_reduction,
+                     tel::MetricKind::kPerf, "x");
+  tel::report_metric("micro_sweep.fast_wall_s", fast_wall_s,
+                     tel::MetricKind::kPerf, "s");
+  tel::report_metric("micro_sweep.naive_wall_s", naive_wall_s,
+                     tel::MetricKind::kPerf, "s");
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: frontiers differ\n");
+    return 1;
+  }
+  // Soft floors well under the expected 5x/10x: catch structural
+  // regressions without flaking on loaded CI machines. The telemetry
+  // baseline gates the precise values.
+  if (speedup < 2.0 || rss_reduction < 3.0) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx (floor 2x), rss %.2fx (floor 3x)\n",
+                 speedup, rss_reduction);
+    return 1;
+  }
+  return 0;
+}

@@ -294,9 +294,13 @@ void mix_series(const Workload& workload, double work_units,
   csv.writer().header({"arm_max", "amd_max", "deadline_ms", "energy_j"});
 
   for (const auto& [max_arm, max_amd] : pools) {
-    const auto outcomes =
-        evaluate_space(models, max_arm, max_amd, work_units);
-    const EnergyDeadlineCurve curve(pareto_frontier(to_points(outcomes)));
+    // Streaming memoized sweep: bit-identical frontier to the legacy
+    // evaluate-everything pipeline (see hec/sweep), without
+    // materialising the pool's full configuration space.
+    SweepResult sweep =
+        sweep_frontier(models.arm, models.amd,
+                       EnumerationLimits{max_arm, max_amd}, work_units);
+    const EnergyDeadlineCurve curve(std::move(sweep.frontier));
     telemetry::report_metric(
         fig_name + ".arm" + std::to_string(max_arm) + "_amd" +
             std::to_string(max_amd) + ".fastest_ms",

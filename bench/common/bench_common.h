@@ -19,6 +19,7 @@
 #include "hec/io/table.h"
 #include "hec/model/characterize.h"
 #include "hec/pareto/sweet_region.h"
+#include "hec/sweep/sweep.h"
 #include "hec/workloads/workload.h"
 
 namespace hec::bench {

@@ -1,0 +1,73 @@
+// Per-type prediction memoization for the configuration sweeps.
+//
+// The heterogeneous space is a cross product: A arm deployments × B amd
+// deployments. Evaluating it naively calls the analytical model once per
+// pair per side — O(A·B) expensive predictions, each re-interpolating
+// power curves and re-resolving memory contention for a deployment seen
+// thousands of times before. But the model is linear in the work amount,
+// so everything expensive about a deployment is work-independent: this
+// table compiles each of the A+B single-type deployments exactly once
+// (hec/model CompiledOperatingPoint) and the sweep combines two cached
+// entries per pair in O(1) via the closed-form matched split.
+//
+// Entries are laid out in the enumeration's type_sweep order (node count
+// outer, cores, P-state inner), so ConfigSpaceLayout's per-type
+// deployment indices address the table directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hec/hw/node_spec.h"
+#include "hec/model/node_model.h"
+
+namespace hec {
+
+/// One compiled single-type deployment.
+struct DeploymentEntry {
+  NodeConfig config;
+  CompiledOperatingPoint op;
+  /// Cached op.time_per_unit(): the matching split's rate inverse.
+  double time_per_unit = 0.0;
+};
+
+/// All deployments of one node type with 1..max_nodes nodes, compiled.
+class DeploymentTable {
+ public:
+  /// Compiles every (nodes, cores, P-state) deployment of `model`'s node
+  /// type. The model must outlive the table. max_nodes == 0 produces an
+  /// empty table (that type absent from the sweep).
+  DeploymentTable(const NodeTypeModel& model, int max_nodes);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entry for a deployment index in type_sweep order (the same index
+  /// ConfigSpaceLayout::slot yields for this side).
+  const DeploymentEntry& entry(std::size_t index) const {
+    return entries_[index];
+  }
+
+  /// Entry for explicit knobs: `nodes` in [1, max_nodes], `cores` in
+  /// [1, spec.cores], `f_index` into the P-state table.
+  const DeploymentEntry& entry(int nodes, int cores,
+                               std::size_t f_index) const;
+
+  /// The contiguous entries with a fixed node count, ordered (cores
+  /// outer, P-state inner) — the operating-point slice the optimizer's
+  /// per-node-count bound sweeps.
+  std::span<const DeploymentEntry> entries_for_nodes(int nodes) const;
+
+  int max_nodes() const { return max_nodes_; }
+  int cores() const { return cores_; }
+  std::size_t pstates() const { return freqs_; }
+
+ private:
+  std::vector<DeploymentEntry> entries_;
+  int max_nodes_ = 0;
+  int cores_ = 1;
+  std::size_t freqs_ = 0;
+};
+
+}  // namespace hec

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "hec/config/cluster_config.h"
@@ -25,11 +27,80 @@ struct EnumerationLimits {
   int max_amd_nodes = 10;
 };
 
+/// Random-access view of the enumeration order without materialising it.
+///
+/// enumerate_configs lays out the space as: all heterogeneous mixes
+/// (ARM-major over the AMD sweep), then the ARM-only sweep, then the
+/// AMD-only sweep; within one type the sweep runs node count (outer),
+/// core count, P-state (inner). This class is the single source of truth
+/// for that order — enumerate_configs and the blocked generator
+/// for_each_config both decode through it, so an index is a stable,
+/// storage-free name for a configuration. Per-type deployment indices
+/// (`Slot`) additionally let evaluators combine two small per-type
+/// tables instead of recomputing each cross-product entry.
+class ConfigSpaceLayout {
+ public:
+  ConfigSpaceLayout(const NodeSpec& arm, const NodeSpec& amd,
+                    const EnumerationLimits& limits);
+
+  /// Total number of configurations (== expected_config_count).
+  std::size_t size() const { return size_; }
+  /// Number of single-type deployments per side.
+  std::size_t arm_points() const { return arm_.points; }
+  std::size_t amd_points() const { return amd_.points; }
+
+  /// Deployment index marking "this type is absent".
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// A configuration named by its per-type deployment indices.
+  struct Slot {
+    std::size_t arm = npos;
+    std::size_t amd = npos;
+  };
+
+  /// Decodes a global configuration index into per-type indices.
+  Slot slot(std::size_t index) const;
+
+  /// The arm-side NodeConfig for a deployment index in [0, arm_points).
+  NodeConfig arm_deployment(std::size_t arm_index) const;
+  /// The amd-side NodeConfig for a deployment index in [0, amd_points).
+  NodeConfig amd_deployment(std::size_t amd_index) const;
+
+  /// Full configuration at a global index; bit-identical to
+  /// enumerate_configs(...)[index].
+  ClusterConfig config(std::size_t index) const;
+
+ private:
+  struct TypeAxis {
+    int cores = 1;
+    std::vector<double> freqs_ghz;
+    double min_ghz = 0.0;
+    std::size_t points = 0;  // max_nodes * cores * freqs
+  };
+  static TypeAxis make_axis(const NodeSpec& spec, int max_nodes);
+  static NodeConfig decode(const TypeAxis& axis, std::size_t index);
+
+  TypeAxis arm_;
+  TypeAxis amd_;
+  std::size_t hetero_ = 0;
+  std::size_t size_ = 0;
+};
+
 /// All configurations: heterogeneous mixes (>=1 node of each) plus the
 /// homogeneous ARM-only and AMD-only sweeps.
 std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
                                              const NodeSpec& amd,
                                              const EnumerationLimits& limits);
+
+/// Streams the same sequence as enumerate_configs in blocks of at most
+/// `block` configurations, reusing one buffer: peak memory is O(block)
+/// instead of O(space). fn receives the global index of the block's
+/// first configuration and the block itself.
+void for_each_config(
+    const NodeSpec& arm, const NodeSpec& amd, const EnumerationLimits& limits,
+    std::size_t block,
+    const std::function<void(std::size_t first, std::span<const ClusterConfig>)>&
+        fn);
 
 /// Closed-form size of enumerate_configs' result (footnote 2's formula).
 std::size_t expected_config_count(const NodeSpec& arm, const NodeSpec& amd,

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "hec/config/cluster_config.h"
+#include "hec/config/deployment_table.h"
+#include "hec/config/enumerate.h"
 #include "hec/model/matching.h"
 
 namespace hec {
@@ -43,9 +45,72 @@ class ConfigEvaluator {
   /// (used by the queueing analysis; unused nodes are off).
   double powered_idle_w(const ClusterConfig& config) const;
 
+  const NodeTypeModel& arm_model() const { return *arm_; }
+  const NodeTypeModel& amd_model() const { return *amd_; }
+
  private:
   const NodeTypeModel* arm_;
   const NodeTypeModel* amd_;
+};
+
+/// Sweep-grade evaluator over an enumeration space: compiles the A+B
+/// single-type deployments once (DeploymentTable) and evaluates any of
+/// the A·B+A+B configurations by combining at most two cached entries —
+/// a closed-form matched split plus two ~20-flop compiled predictions.
+/// Outcomes are bit-identical to ConfigEvaluator::evaluate on the
+/// corresponding enumerate_configs entry, because the cached entries
+/// replay exactly the arithmetic the uncached path performs.
+///
+/// Unlike ConfigEvaluator::evaluate, evaluate_at does not bump the
+/// "config.evaluations" counter per call (an atomic per ~20 flops would
+/// dominate); batch drivers account blocks instead (see hec/sweep).
+class MemoizedConfigEvaluator {
+ public:
+  /// Both models must outlive the evaluator. Compiles every deployment
+  /// up front: O(A+B) model compilations.
+  MemoizedConfigEvaluator(const NodeTypeModel& arm_model,
+                          const NodeTypeModel& amd_model,
+                          const EnumerationLimits& limits);
+
+  /// Number of configurations (== expected_config_count).
+  std::size_t size() const { return layout_.size(); }
+
+  /// The configuration at a global enumeration index; bit-identical to
+  /// enumerate_configs(...)[index].
+  ClusterConfig config_at(std::size_t index) const {
+    return layout_.config(index);
+  }
+
+  /// Evaluates the configuration at a global enumeration index.
+  ConfigOutcome evaluate_at(std::size_t index, double work_units) const;
+
+  /// Combines two compiled deployments into a matched heterogeneous
+  /// outcome (mirrors predict_mixed; `config` is copied into the result).
+  static ConfigOutcome evaluate_hetero(const ClusterConfig& config,
+                                       const DeploymentEntry& arm,
+                                       const DeploymentEntry& amd,
+                                       double work_units);
+  /// Evaluates a homogeneous deployment from its compiled entry.
+  static ConfigOutcome evaluate_arm_only(const ClusterConfig& config,
+                                         const DeploymentEntry& arm,
+                                         double work_units);
+  static ConfigOutcome evaluate_amd_only(const ClusterConfig& config,
+                                         const DeploymentEntry& amd,
+                                         double work_units);
+
+  const ConfigSpaceLayout& layout() const { return layout_; }
+  const DeploymentTable& arm_table() const { return arm_table_; }
+  const DeploymentTable& amd_table() const { return amd_table_; }
+
+ private:
+  ConfigSpaceLayout layout_;
+  DeploymentTable arm_table_;
+  DeploymentTable amd_table_;
+  // Absent-side placeholders (same values layout_.config uses), cached
+  // so evaluate_at builds configurations straight from table entries
+  // without re-decoding the index.
+  NodeConfig arm_unused_;
+  NodeConfig amd_unused_;
 };
 
 }  // namespace hec

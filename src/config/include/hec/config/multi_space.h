@@ -6,9 +6,12 @@
 // point; evaluation applies the generalised matching split.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "hec/config/deployment_table.h"
 #include "hec/hw/node_spec.h"
 #include "hec/model/multi_matching.h"
 
@@ -57,6 +60,57 @@ class MultiEvaluator {
 
  private:
   std::vector<const NodeTypeModel*> models_;
+};
+
+/// Streams the same sequence as enumerate_multi in blocks of at most
+/// `block` configurations, reusing one buffer: peak memory is O(block)
+/// instead of O(product of per-type option counts), and no max_points
+/// cap applies. fn receives the global index of the block's first
+/// configuration and the block itself.
+void for_each_multi_config(
+    std::span<const NodeSpec> specs, std::span<const int> limits,
+    std::size_t block,
+    const std::function<void(std::size_t first,
+                             std::span<const MultiClusterConfig>)>& fn);
+
+/// Sweep-grade N-type evaluator: compiles each type's deployments once
+/// (DeploymentTable per type) and evaluates any multi-type configuration
+/// by the generalised matched split over cached per-unit times plus one
+/// ~20-flop compiled prediction per active type. Outcomes are
+/// bit-identical to MultiEvaluator::evaluate on the corresponding
+/// enumerate_multi entry. Unlike MultiEvaluator it addresses the space
+/// by global index, so no configuration vector is ever materialised.
+class MemoizedMultiEvaluator {
+ public:
+  /// models.size() == limits.size(); models must outlive the evaluator.
+  MemoizedMultiEvaluator(std::vector<const NodeTypeModel*> models,
+                         std::span<const int> limits);
+
+  /// Number of configurations (== expected_multi_count; no cap).
+  std::size_t size() const { return size_; }
+
+  /// The configuration at a global enumeration index; equal to
+  /// enumerate_multi(...)[index] where that call is allowed to
+  /// materialise.
+  MultiClusterConfig config_at(std::size_t index) const;
+
+  /// Evaluates the configuration at a global enumeration index.
+  MultiOutcome evaluate_at(std::size_t index, double work_units) const;
+
+  const DeploymentTable& table(std::size_t type) const {
+    return tables_[type];
+  }
+
+ private:
+  /// Per-type option index (0 = absent, j >= 1 = table entry j-1) for a
+  /// global index, written into `options`.
+  void decode(std::size_t index, std::vector<std::size_t>& options) const;
+
+  std::vector<const NodeTypeModel*> models_;
+  std::vector<DeploymentTable> tables_;
+  std::vector<NodeConfig> absent_;       ///< per-type "unused" config
+  std::vector<std::size_t> radix_;       ///< per-type option count
+  std::size_t size_ = 0;
 };
 
 }  // namespace hec

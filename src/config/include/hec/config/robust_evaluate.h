@@ -72,6 +72,8 @@ class RobustConfigEvaluator {
 
   const FaultConfig& faults() const { return faults_; }
   const MonteCarloOptions& monte_carlo() const { return mc_; }
+  const NodeTypeModel& arm_model() const { return *arm_; }
+  const NodeTypeModel& amd_model() const { return *amd_; }
 
  private:
   ConfigEvaluator nominal_;

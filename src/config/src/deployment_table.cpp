@@ -1,0 +1,52 @@
+#include "hec/config/deployment_table.h"
+
+#include "hec/obs/obs.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+DeploymentTable::DeploymentTable(const NodeTypeModel& model, int max_nodes)
+    : max_nodes_(max_nodes),
+      cores_(model.spec().cores),
+      freqs_(model.spec().pstates.size()) {
+  HEC_EXPECTS(max_nodes >= 0);
+  if (max_nodes == 0) return;
+  HEC_SPAN("config.deployment_table_build");
+  const std::vector<double>& freqs =
+      model.spec().pstates.frequencies_ghz();
+  entries_.reserve(static_cast<std::size_t>(max_nodes) *
+                   static_cast<std::size_t>(cores_) * freqs_);
+  // type_sweep order: node count outer, cores, P-state inner.
+  for (int n = 1; n <= max_nodes; ++n) {
+    for (int c = 1; c <= cores_; ++c) {
+      for (double f : freqs) {
+        const NodeConfig cfg{n, c, f};
+        CompiledOperatingPoint op = model.compile(cfg);
+        const double tpu = op.time_per_unit();
+        entries_.push_back(DeploymentEntry{cfg, std::move(op), tpu});
+      }
+    }
+  }
+  HEC_COUNTER_ADD("config.compiled_deployments",
+                  static_cast<double>(entries_.size()));
+}
+
+const DeploymentEntry& DeploymentTable::entry(int nodes, int cores,
+                                              std::size_t f_index) const {
+  HEC_EXPECTS(nodes >= 1 && nodes <= max_nodes_);
+  HEC_EXPECTS(cores >= 1 && cores <= cores_);
+  HEC_EXPECTS(f_index < freqs_);
+  const std::size_t per_node = static_cast<std::size_t>(cores_) * freqs_;
+  return entries_[static_cast<std::size_t>(nodes - 1) * per_node +
+                  static_cast<std::size_t>(cores - 1) * freqs_ + f_index];
+}
+
+std::span<const DeploymentEntry> DeploymentTable::entries_for_nodes(
+    int nodes) const {
+  HEC_EXPECTS(nodes >= 1 && nodes <= max_nodes_);
+  const std::size_t per_node = static_cast<std::size_t>(cores_) * freqs_;
+  return std::span<const DeploymentEntry>(entries_).subspan(
+      static_cast<std::size_t>(nodes - 1) * per_node, per_node);
+}
+
+}  // namespace hec

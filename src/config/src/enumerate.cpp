@@ -1,5 +1,7 @@
 #include "hec/config/enumerate.h"
 
+#include <algorithm>
+
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -23,33 +25,104 @@ NodeConfig unused_type(const NodeSpec& spec) {
 }
 }  // namespace
 
-std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
-                                             const NodeSpec& amd,
-                                             const EnumerationLimits& limits) {
+ConfigSpaceLayout::ConfigSpaceLayout(const NodeSpec& arm, const NodeSpec& amd,
+                                     const EnumerationLimits& limits) {
   HEC_EXPECTS(limits.max_arm_nodes >= 0);
   HEC_EXPECTS(limits.max_amd_nodes >= 0);
   HEC_EXPECTS(limits.max_arm_nodes + limits.max_amd_nodes >= 1);
+  arm_ = make_axis(arm, limits.max_arm_nodes);
+  amd_ = make_axis(amd, limits.max_amd_nodes);
+  hetero_ = arm_.points * amd_.points;
+  size_ = hetero_ + arm_.points + amd_.points;
+}
+
+ConfigSpaceLayout::TypeAxis ConfigSpaceLayout::make_axis(const NodeSpec& spec,
+                                                         int max_nodes) {
+  TypeAxis axis;
+  axis.cores = spec.cores;
+  axis.freqs_ghz = spec.pstates.frequencies_ghz();
+  axis.min_ghz = spec.pstates.min_ghz();
+  axis.points = static_cast<std::size_t>(max_nodes) *
+                static_cast<std::size_t>(spec.cores) * axis.freqs_ghz.size();
+  return axis;
+}
+
+NodeConfig ConfigSpaceLayout::decode(const TypeAxis& axis, std::size_t index) {
+  // Inverse of type_sweep's loop nest: node count outer, cores, P-state
+  // inner.
+  const std::size_t freqs = axis.freqs_ghz.size();
+  const std::size_t per_node = static_cast<std::size_t>(axis.cores) * freqs;
+  const std::size_t node_idx = index / per_node;
+  const std::size_t rest = index % per_node;
+  return NodeConfig{static_cast<int>(node_idx) + 1,
+                    static_cast<int>(rest / freqs) + 1,
+                    axis.freqs_ghz[rest % freqs]};
+}
+
+ConfigSpaceLayout::Slot ConfigSpaceLayout::slot(std::size_t index) const {
+  HEC_EXPECTS(index < size_);
+  Slot s;
+  if (index < hetero_) {
+    s.arm = index / amd_.points;
+    s.amd = index % amd_.points;
+  } else if (index < hetero_ + arm_.points) {
+    s.arm = index - hetero_;
+  } else {
+    s.amd = index - hetero_ - arm_.points;
+  }
+  return s;
+}
+
+NodeConfig ConfigSpaceLayout::arm_deployment(std::size_t arm_index) const {
+  HEC_EXPECTS(arm_index < arm_.points);
+  return decode(arm_, arm_index);
+}
+
+NodeConfig ConfigSpaceLayout::amd_deployment(std::size_t amd_index) const {
+  HEC_EXPECTS(amd_index < amd_.points);
+  return decode(amd_, amd_index);
+}
+
+ClusterConfig ConfigSpaceLayout::config(std::size_t index) const {
+  const Slot s = slot(index);
+  ClusterConfig cfg;
+  cfg.arm = s.arm == npos ? NodeConfig{0, 1, arm_.min_ghz}
+                          : decode(arm_, s.arm);
+  cfg.amd = s.amd == npos ? NodeConfig{0, 1, amd_.min_ghz}
+                          : decode(amd_, s.amd);
+  return cfg;
+}
+
+std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
+                                             const NodeSpec& amd,
+                                             const EnumerationLimits& limits) {
+  const ConfigSpaceLayout layout(arm, amd, limits);
   std::vector<ClusterConfig> out;
-  out.reserve(expected_config_count(arm, amd, limits));
-
-  const auto arm_sweep = type_sweep(arm, 1, limits.max_arm_nodes);
-  const auto amd_sweep = type_sweep(amd, 1, limits.max_amd_nodes);
-
-  // Heterogeneous mixes: at least one node of each type.
-  for (const auto& a : arm_sweep) {
-    for (const auto& d : amd_sweep) {
-      out.push_back(ClusterConfig{a, d});
-    }
-  }
-  // Homogeneous sweeps.
-  for (const auto& a : arm_sweep) {
-    out.push_back(ClusterConfig{a, unused_type(amd)});
-  }
-  for (const auto& d : amd_sweep) {
-    out.push_back(ClusterConfig{unused_type(arm), d});
+  out.reserve(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    out.push_back(layout.config(i));
   }
   HEC_ENSURES(out.size() == expected_config_count(arm, amd, limits));
   return out;
+}
+
+void for_each_config(
+    const NodeSpec& arm, const NodeSpec& amd, const EnumerationLimits& limits,
+    std::size_t block,
+    const std::function<void(std::size_t, std::span<const ClusterConfig>)>&
+        fn) {
+  HEC_EXPECTS(block >= 1);
+  const ConfigSpaceLayout layout(arm, amd, limits);
+  std::vector<ClusterConfig> buffer;
+  buffer.reserve(std::min(block, layout.size()));
+  for (std::size_t first = 0; first < layout.size(); first += block) {
+    const std::size_t count = std::min(block, layout.size() - first);
+    buffer.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      buffer.push_back(layout.config(first + i));
+    }
+    fn(first, std::span<const ClusterConfig>(buffer));
+  }
 }
 
 std::size_t expected_config_count(const NodeSpec& arm, const NodeSpec& amd,

@@ -1,5 +1,7 @@
 #include "hec/config/evaluate.h"
 
+#include <algorithm>
+
 #include "hec/obs/obs.h"
 #include "hec/parallel/thread_pool.h"
 #include "hec/util/expect.h"
@@ -57,6 +59,83 @@ std::vector<ConfigOutcome> ConfigEvaluator::evaluate_all(
     }
   }
   return outcomes;
+}
+
+MemoizedConfigEvaluator::MemoizedConfigEvaluator(
+    const NodeTypeModel& arm_model, const NodeTypeModel& amd_model,
+    const EnumerationLimits& limits)
+    : layout_(arm_model.spec(), amd_model.spec(), limits),
+      arm_table_(arm_model, limits.max_arm_nodes),
+      amd_table_(amd_model, limits.max_amd_nodes),
+      arm_unused_{0, 1, arm_model.spec().pstates.min_ghz()},
+      amd_unused_{0, 1, amd_model.spec().pstates.min_ghz()} {}
+
+ConfigOutcome MemoizedConfigEvaluator::evaluate_at(std::size_t index,
+                                                   double work_units) const {
+  // One decode per call: table entries carry their NodeConfig (built in
+  // the same type_sweep order the layout decodes), so the configuration
+  // is assembled from cached pieces instead of re-deriving it.
+  const ConfigSpaceLayout::Slot s = layout_.slot(index);
+  if (s.arm != ConfigSpaceLayout::npos && s.amd != ConfigSpaceLayout::npos) {
+    const DeploymentEntry& a = arm_table_.entry(s.arm);
+    const DeploymentEntry& d = amd_table_.entry(s.amd);
+    return evaluate_hetero(ClusterConfig{a.config, d.config}, a, d,
+                           work_units);
+  }
+  if (s.arm != ConfigSpaceLayout::npos) {
+    const DeploymentEntry& a = arm_table_.entry(s.arm);
+    return evaluate_arm_only(ClusterConfig{a.config, amd_unused_}, a,
+                             work_units);
+  }
+  const DeploymentEntry& d = amd_table_.entry(s.amd);
+  return evaluate_amd_only(ClusterConfig{arm_unused_, d.config}, d,
+                           work_units);
+}
+
+ConfigOutcome MemoizedConfigEvaluator::evaluate_hetero(
+    const ClusterConfig& config, const DeploymentEntry& arm,
+    const DeploymentEntry& amd, double work_units) {
+  HEC_EXPECTS(work_units > 0.0);
+  ConfigOutcome outcome;
+  outcome.config = config;
+  // Mirror of predict_mixed over the cached entries: same matched split
+  // (k-based overload), same two predictions, same max/sum — the naive
+  // path runs this exact arithmetic, so outcomes are bit-identical.
+  const MatchedSplit split =
+      match_split(arm.time_per_unit, amd.time_per_unit, work_units);
+  const Prediction pa = arm.op.predict(split.units_a);
+  const Prediction pd = amd.op.predict(split.units_b);
+  outcome.t_s = std::max(pa.t_s, pd.t_s);
+  outcome.energy_j = pa.energy_j() + pd.energy_j();
+  outcome.units_arm = split.units_a;
+  outcome.units_amd = split.units_b;
+  return outcome;
+}
+
+ConfigOutcome MemoizedConfigEvaluator::evaluate_arm_only(
+    const ClusterConfig& config, const DeploymentEntry& arm,
+    double work_units) {
+  HEC_EXPECTS(work_units > 0.0);
+  ConfigOutcome outcome;
+  outcome.config = config;
+  const Prediction p = arm.op.predict(work_units);
+  outcome.t_s = p.t_s;
+  outcome.energy_j = p.energy_j();
+  outcome.units_arm = work_units;
+  return outcome;
+}
+
+ConfigOutcome MemoizedConfigEvaluator::evaluate_amd_only(
+    const ClusterConfig& config, const DeploymentEntry& amd,
+    double work_units) {
+  HEC_EXPECTS(work_units > 0.0);
+  ConfigOutcome outcome;
+  outcome.config = config;
+  const Prediction p = amd.op.predict(work_units);
+  outcome.t_s = p.t_s;
+  outcome.energy_j = p.energy_j();
+  outcome.units_amd = work_units;
+  return outcome;
 }
 
 double ConfigEvaluator::powered_idle_w(const ClusterConfig& config) const {

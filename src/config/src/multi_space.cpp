@@ -1,5 +1,6 @@
 #include "hec/config/multi_space.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hec/parallel/thread_pool.h"
@@ -86,6 +87,139 @@ std::vector<MultiClusterConfig> enumerate_multi(
     if (pos == index.size()) break;
   }
   HEC_ENSURES(out.size() == count);
+  return out;
+}
+
+void for_each_multi_config(
+    std::span<const NodeSpec> specs, std::span<const int> limits,
+    std::size_t block,
+    const std::function<void(std::size_t,
+                             std::span<const MultiClusterConfig>)>& fn) {
+  HEC_EXPECTS(block >= 1);
+  const std::size_t count = expected_multi_count(specs, limits);
+  HEC_EXPECTS(count >= 1);
+
+  std::vector<std::vector<NodeConfig>> options;
+  options.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    options.push_back(type_options(specs[i], limits[i]));
+  }
+
+  std::vector<MultiClusterConfig> buffer;
+  buffer.reserve(std::min(block, count));
+  std::size_t emitted = 0;
+  std::vector<std::size_t> index(specs.size(), 0);
+  for (;;) {
+    MultiClusterConfig config;
+    config.per_type.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      config.per_type.push_back(options[i][index[i]]);
+    }
+    if (config.types_used() >= 1) {
+      buffer.push_back(std::move(config));
+      if (buffer.size() == block) {
+        fn(emitted, std::span<const MultiClusterConfig>(buffer));
+        emitted += buffer.size();
+        buffer.clear();
+      }
+    }
+    std::size_t pos = 0;
+    while (pos < index.size()) {
+      if (++index[pos] < options[pos].size()) break;
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == index.size()) break;
+  }
+  if (!buffer.empty()) {
+    fn(emitted, std::span<const MultiClusterConfig>(buffer));
+    emitted += buffer.size();
+  }
+  HEC_ENSURES(emitted == count);
+}
+
+MemoizedMultiEvaluator::MemoizedMultiEvaluator(
+    std::vector<const NodeTypeModel*> models, std::span<const int> limits)
+    : models_(std::move(models)) {
+  HEC_EXPECTS(!models_.empty());
+  HEC_EXPECTS(models_.size() == limits.size());
+  tables_.reserve(models_.size());
+  absent_.reserve(models_.size());
+  radix_.reserve(models_.size());
+  std::size_t product = 1;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    HEC_EXPECTS(models_[i] != nullptr);
+    HEC_EXPECTS(limits[i] >= 0);
+    tables_.emplace_back(*models_[i], limits[i]);
+    absent_.push_back(
+        NodeConfig{0, 1, models_[i]->spec().pstates.min_ghz()});
+    radix_.push_back(1 + tables_.back().size());
+    product *= radix_.back();
+  }
+  size_ = product - 1;  // exclude the all-absent point
+  HEC_EXPECTS(size_ >= 1);
+}
+
+void MemoizedMultiEvaluator::decode(std::size_t index,
+                                    std::vector<std::size_t>& options) const {
+  HEC_EXPECTS(index < size_);
+  // The odometer (type 0 fastest) visits combo c at position c, and the
+  // all-absent point is combo 0, skipped — so enumeration index i is
+  // combo i + 1.
+  std::size_t combo = index + 1;
+  options.resize(radix_.size());
+  for (std::size_t i = 0; i < radix_.size(); ++i) {
+    options[i] = combo % radix_[i];
+    combo /= radix_[i];
+  }
+}
+
+MultiClusterConfig MemoizedMultiEvaluator::config_at(std::size_t index) const {
+  std::vector<std::size_t> options;
+  decode(index, options);
+  MultiClusterConfig config;
+  config.per_type.reserve(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    config.per_type.push_back(options[i] == 0
+                                  ? absent_[i]
+                                  : tables_[i].entry(options[i] - 1).config);
+  }
+  return config;
+}
+
+MultiOutcome MemoizedMultiEvaluator::evaluate_at(std::size_t index,
+                                                 double work_units) const {
+  HEC_EXPECTS(work_units > 0.0);
+  std::vector<std::size_t> options;
+  decode(index, options);
+
+  MultiOutcome out;
+  out.config.per_type.reserve(models_.size());
+  std::vector<const DeploymentEntry*> active;
+  std::vector<std::size_t> active_idx;
+  std::vector<double> ks;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (options[i] == 0) {
+      out.config.per_type.push_back(absent_[i]);
+      continue;
+    }
+    const DeploymentEntry& e = tables_[i].entry(options[i] - 1);
+    out.config.per_type.push_back(e.config);
+    active.push_back(&e);
+    active_idx.push_back(i);
+    ks.push_back(e.time_per_unit);
+  }
+  // Mirror of predict_multi over the cached entries: same k-based split,
+  // same per-type predictions accumulated in type order — bit-identical
+  // to MultiEvaluator::evaluate.
+  const std::vector<double> shares = match_split_multi(ks, work_units);
+  out.shares.assign(models_.size(), 0.0);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const Prediction p = active[k]->op.predict(shares[k]);
+    out.t_s = std::max(out.t_s, p.t_s);
+    out.energy_j += p.energy_j();
+    out.shares[active_idx[k]] = shares[k];
+  }
   return out;
 }
 

@@ -101,8 +101,10 @@ std::vector<RobustOutcome> RobustConfigEvaluator::evaluate_all(
   std::vector<RobustOutcome> outcomes(configs.size());
   if (parallel) {
     // Trials stay serial inside each config: nesting parallel_for on the
-    // shared pool would have workers blocking on workers.
-    parallel_for(0, configs.size(), [&](std::size_t i) {
+    // shared pool would have workers blocking on workers. Dynamic
+    // scheduling, because per-config cost varies with how many faults a
+    // trial draws (crashes trigger the recovery simulation's re-matching).
+    parallel_for_dynamic(0, configs.size(), /*grain=*/1, [&](std::size_t i) {
       outcomes[i] =
           evaluate(configs[i], work_units, deadline_s, /*parallel=*/false);
     });

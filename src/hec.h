@@ -11,6 +11,7 @@
 #include "hec/cluster/datacenter_sim.h"    // IWYU pragma: export
 #include "hec/cluster/schedulers.h"        // IWYU pragma: export
 #include "hec/config/budget.h"             // IWYU pragma: export
+#include "hec/config/deployment_table.h"   // IWYU pragma: export
 #include "hec/config/enumerate.h"          // IWYU pragma: export
 #include "hec/config/evaluate.h"           // IWYU pragma: export
 #include "hec/config/multi_space.h"        // IWYU pragma: export
@@ -33,6 +34,7 @@
 #include "hec/pareto/frontier.h"           // IWYU pragma: export
 #include "hec/pareto/hypervolume.h"        // IWYU pragma: export
 #include "hec/pareto/robust_frontier.h"    // IWYU pragma: export
+#include "hec/pareto/streaming.h"          // IWYU pragma: export
 #include "hec/pareto/sweet_region.h"       // IWYU pragma: export
 #include "hec/queueing/md1.h"              // IWYU pragma: export
 #include "hec/report/markdown_report.h"    // IWYU pragma: export
@@ -42,6 +44,7 @@
 #include "hec/search/optimizer.h"          // IWYU pragma: export
 #include "hec/sim/node_sim.h"              // IWYU pragma: export
 #include "hec/stats/regression.h"          // IWYU pragma: export
+#include "hec/sweep/sweep.h"               // IWYU pragma: export
 #include "hec/stats/summary.h"             // IWYU pragma: export
 #include "hec/trace/trace.h"               // IWYU pragma: export
 #include "hec/util/rng.h"                  // IWYU pragma: export

@@ -26,6 +26,14 @@ MatchedSplit match_split(const NodeTypeModel& a, const NodeConfig& cfg_a,
                          const NodeTypeModel& b, const NodeConfig& cfg_b,
                          double work_units);
 
+/// The same closed form over already-known per-unit service times
+/// (k = time_per_unit). The model-based overload routes through this,
+/// so splits computed from cached per-type tables (hec/config
+/// DeploymentTable) are bit-identical to the uncached ones.
+/// Preconditions: work_units > 0, both k strictly positive.
+MatchedSplit match_split(double time_per_unit_a, double time_per_unit_b,
+                         double work_units);
+
 /// Bisection on T_a(w) - T_b(W - w); tolerance is relative on time.
 /// Exists to validate the linearity assumption behind match_split.
 MatchedSplit match_split_bisect(const NodeTypeModel& a,

@@ -27,6 +27,14 @@ struct TypedDeployment {
 std::vector<double> match_split_multi(
     std::span<const TypedDeployment> deployments, double work_units);
 
+/// The same rate-proportional shares over already-known per-unit service
+/// times (k_i = time_per_unit of deployment i). The deployment-based
+/// overload routes through this, so shares computed from cached per-type
+/// tables are bit-identical to the uncached ones.
+/// Preconditions: non-empty, every k strictly positive, work_units > 0.
+std::vector<double> match_split_multi(std::span<const double> time_per_unit,
+                                      double work_units);
+
 /// Joint prediction for a matched multi-type execution.
 struct MultiPrediction {
   std::vector<double> shares;      ///< per-deployment work units

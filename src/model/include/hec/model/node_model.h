@@ -16,6 +16,17 @@
 // only non-memory stalls) and an overlap-aware variant that charges stall
 // power for the full stalled portion of T_CPU — a design-choice ablation
 // measured by bench_ablation_accounting.
+//
+// Every quantity above except the final scaling by W is independent of
+// the work amount, so prediction factors into an expensive
+// configuration-dependent step (interpolating the power curves, resolving
+// memory contention, computing c_act) and a cheap work-dependent step
+// (~20 flops). compile() materialises the first step as a
+// CompiledOperatingPoint whose predict(W) replays the second — predict()
+// itself routes through it, so the two are bit-identical by construction.
+// The configuration sweeps (hec/config DeploymentTable) cache one
+// compiled point per deployment and amortise the expensive step across
+// millions of evaluations.
 #pragma once
 
 #include "hec/hw/node_spec.h"
@@ -48,6 +59,53 @@ struct Prediction {
   double energy_j() const { return energy.total_j(); }
 };
 
+/// All work-independent intermediates of one (node type, configuration)
+/// pair, ready to predict any work amount. predict(W) performs exactly
+/// the arithmetic NodeTypeModel::predict would — same operations, same
+/// order — so results are bit-identical whether or not the compiled
+/// point is cached and reused.
+class CompiledOperatingPoint {
+ public:
+  /// Predicts time and energy for `work_units` on the compiled
+  /// configuration. Precondition: work_units >= 0.
+  Prediction predict(double work_units) const;
+
+  /// Service time per work unit (T is linear in W); equals
+  /// NodeTypeModel::time_per_unit on the compiled configuration.
+  double time_per_unit() const { return time_per_unit_; }
+  /// Energy per work unit at the compiled configuration.
+  double energy_per_unit() const { return energy_per_unit_; }
+
+  const NodeConfig& config() const { return config_; }
+
+ private:
+  friend class NodeTypeModel;
+  CompiledOperatingPoint() = default;
+
+  NodeConfig config_;
+  EnergyAccounting accounting_ = EnergyAccounting::kOverlapAware;
+  // Work-independent model intermediates, named as in predict()'s
+  // derivation (see node_model.cpp).
+  double n_ = 1.0;                ///< node count, as double
+  double f_hz_ = 0.0;
+  double cact_ = 0.0;             ///< active cores (Eqs. 5-6)
+  double n_cact_ = 0.0;           ///< n * cact, the I_core denominator
+  double inst_per_unit_ = 0.0;
+  double wpi_ = 0.0;
+  double spi_core_ = 0.0;
+  double spi_mem_ = 0.0;          ///< at the resolved contention level
+  double io_s_per_unit_ = 0.0;
+  double io_bytes_per_unit_ = 0.0;
+  double bandwidth_bytes_s_ = 0.0;
+  double p_act_w_ = 0.0;          ///< interpolated core active power
+  double p_stall_w_ = 0.0;        ///< interpolated core stall power
+  double mem_active_w_ = 0.0;
+  double io_active_w_ = 0.0;
+  double idle_w_ = 0.0;
+  double time_per_unit_ = 0.0;
+  double energy_per_unit_ = 0.0;
+};
+
 /// Analytical model of one node type running one workload.
 class NodeTypeModel {
  public:
@@ -61,6 +119,10 @@ class NodeTypeModel {
   /// Predicts time and energy for `work_units` on the given configuration.
   /// Preconditions: work_units >= 0, cfg valid for the node type.
   Prediction predict(double work_units, const NodeConfig& cfg) const;
+
+  /// Resolves every work-independent intermediate of `cfg` once, for
+  /// reuse across many work amounts. Precondition: cfg valid.
+  CompiledOperatingPoint compile(const NodeConfig& cfg) const;
 
   /// Service time per work unit (T is linear in W for fixed cfg); this is
   /// the execution-rate inverse used by the matching split.

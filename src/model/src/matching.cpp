@@ -11,9 +11,15 @@ namespace hec {
 MatchedSplit match_split(const NodeTypeModel& a, const NodeConfig& cfg_a,
                          const NodeTypeModel& b, const NodeConfig& cfg_b,
                          double work_units) {
+  return match_split(a.time_per_unit(cfg_a), b.time_per_unit(cfg_b),
+                     work_units);
+}
+
+MatchedSplit match_split(double time_per_unit_a, double time_per_unit_b,
+                         double work_units) {
   HEC_EXPECTS(work_units > 0.0);
-  const double k_a = a.time_per_unit(cfg_a);
-  const double k_b = b.time_per_unit(cfg_b);
+  const double k_a = time_per_unit_a;
+  const double k_b = time_per_unit_b;
   HEC_EXPECTS(k_a > 0.0 && k_b > 0.0);
   // T_a(w) = k_a w and T_b(W - w) = k_b (W - w) meet at
   // w = W k_b / (k_a + k_b): shares proportional to execution rates.

@@ -10,18 +10,28 @@ namespace hec {
 std::vector<double> match_split_multi(
     std::span<const TypedDeployment> deployments, double work_units) {
   HEC_EXPECTS(!deployments.empty());
-  HEC_EXPECTS(work_units > 0.0);
-  std::vector<double> rates;
-  rates.reserve(deployments.size());
-  double total_rate = 0.0;
+  std::vector<double> ks;
+  ks.reserve(deployments.size());
   for (const TypedDeployment& d : deployments) {
     HEC_EXPECTS(d.model != nullptr);
-    const double k = d.model->time_per_unit(d.config);
+    ks.push_back(d.model->time_per_unit(d.config));
+  }
+  return match_split_multi(ks, work_units);
+}
+
+std::vector<double> match_split_multi(std::span<const double> time_per_unit,
+                                      double work_units) {
+  HEC_EXPECTS(!time_per_unit.empty());
+  HEC_EXPECTS(work_units > 0.0);
+  std::vector<double> rates;
+  rates.reserve(time_per_unit.size());
+  double total_rate = 0.0;
+  for (const double k : time_per_unit) {
     HEC_EXPECTS(k > 0.0);
     rates.push_back(1.0 / k);
     total_rate += rates.back();
   }
-  std::vector<double> shares(deployments.size());
+  std::vector<double> shares(time_per_unit.size());
   for (std::size_t i = 0; i < shares.size(); ++i) {
     shares[i] = work_units * rates[i] / total_rate;
   }

@@ -56,21 +56,19 @@ void NodeTypeModel::validate_config(const NodeConfig& cfg) const {
   HEC_EXPECTS(spec_.pstates.supports(cfg.f_ghz));
 }
 
-Prediction NodeTypeModel::predict(double work_units,
-                                  const NodeConfig& cfg) const {
+CompiledOperatingPoint NodeTypeModel::compile(const NodeConfig& cfg) const {
   validate_config(cfg);
-  HEC_EXPECTS(work_units >= 0.0);
-  Prediction p;
-  if (work_units == 0.0) return p;
+  CompiledOperatingPoint op;
+  op.config_ = cfg;
+  op.accounting_ = accounting_;
+  op.n_ = static_cast<double>(cfg.nodes);
+  op.f_hz_ = units::ghz_to_hz(cfg.f_ghz);
 
-  const double n = static_cast<double>(cfg.nodes);
-  const double f_hz = units::ghz_to_hz(cfg.f_ghz);
-
-  // Eqs. 5-6: instructions per active core, with cact = UCPU * c.
-  // For batch workloads UCPU is the measured baseline utilisation (~1 for
-  // compute-bound programs). For served workloads the cores are starved
-  // behind the NIC, and the starvation depends on the operating point: at
-  // a config-independent delivery rate of 1/io_s_per_unit units/s, the
+  // Eqs. 5-6: active cores, with cact = UCPU * c. For batch workloads
+  // UCPU is the measured baseline utilisation (~1 for compute-bound
+  // programs). For served workloads the cores are starved behind the
+  // NIC, and the starvation depends on the operating point: at a
+  // config-independent delivery rate of 1/io_s_per_unit units/s, the
   // busy core-seconds per second are cpu_s_per_unit / io_s_per_unit —
   // which is exactly what UCPU * c measures at the baseline point
   // (Section II-B1: "due to serialization of the requests on the I/O
@@ -82,7 +80,7 @@ Prediction NodeTypeModel::predict(double work_units,
   const double spi_mem_guess = workload_.spi_mem(cfg.f_ghz, contending_guess);
   const double cpu_s_per_unit =
       workload_.inst_per_unit *
-      (workload_.wpi + std::max(workload_.spi_core, spi_mem_guess)) / f_hz;
+      (workload_.wpi + std::max(workload_.spi_core, spi_mem_guess)) / op.f_hz_;
   double cact;
   if (workload_.io_s_per_unit > 0.0) {
     cact = std::min(static_cast<double>(cfg.cores),
@@ -90,65 +88,98 @@ Prediction NodeTypeModel::predict(double work_units,
   } else {
     cact = workload_.ucpu * static_cast<double>(cfg.cores);
   }
-  cact = std::max(cact, 1e-9);
-  const double total_instructions = work_units * workload_.inst_per_unit;
-  const double i_core = total_instructions / (n * cact);
+  op.cact_ = std::max(cact, 1e-9);
+  op.n_cact_ = op.n_ * op.cact_;
 
-  // Eqs. 7-10: core and memory response times. Contention is driven by
-  // the number of cores concurrently issuing requests.
-  const int contending =
-      std::max(1, std::min(cfg.cores, static_cast<int>(std::lround(cact))));
-  const double spi_mem = workload_.spi_mem(cfg.f_ghz, contending);
-  p.t_core_s = i_core * (workload_.wpi + workload_.spi_core) / f_hz;
-  p.t_mem_s = i_core * (workload_.wpi + spi_mem) / f_hz;
+  // Eqs. 9-10: memory contention is driven by the number of cores
+  // concurrently issuing requests.
+  const int contending = std::max(
+      1, std::min(cfg.cores, static_cast<int>(std::lround(op.cact_))));
+  op.spi_mem_ = workload_.spi_mem(cfg.f_ghz, contending);
+  op.inst_per_unit_ = workload_.inst_per_unit;
+  op.wpi_ = workload_.wpi;
+  op.spi_core_ = workload_.spi_core;
+  op.io_s_per_unit_ = workload_.io_s_per_unit;
+  op.io_bytes_per_unit_ = workload_.io_bytes_per_unit;
+  op.bandwidth_bytes_s_ =
+      units::mbps_to_bytes_per_s(spec_.io_bandwidth_mbps);
+
+  op.p_act_w_ = power_.core_active_at(cfg.f_ghz);
+  op.p_stall_w_ = power_.core_stall_at(cfg.f_ghz);
+  op.mem_active_w_ = power_.mem_active_w;
+  op.io_active_w_ = power_.io_active_w;
+  op.idle_w_ = power_.idle_w;
+
+  const Prediction per_unit = op.predict(1.0);
+  op.time_per_unit_ = per_unit.t_s;
+  op.energy_per_unit_ = per_unit.energy_j();
+  return op;
+}
+
+Prediction CompiledOperatingPoint::predict(double work_units) const {
+  HEC_EXPECTS(work_units >= 0.0);
+  Prediction p;
+  if (work_units == 0.0) return p;
+
+  // Eqs. 5-6: instructions per active core.
+  const double total_instructions = work_units * inst_per_unit_;
+  const double i_core = total_instructions / n_cact_;
+
+  // Eqs. 7-10: core and memory response times.
+  p.t_core_s = i_core * (wpi_ + spi_core_) / f_hz_;
+  p.t_mem_s = i_core * (wpi_ + spi_mem_) / f_hz_;
   // Eq. 3: out-of-order cores overlap compute with memory waits.
   p.t_cpu_s = std::max(p.t_core_s, p.t_mem_s);
 
   // Eq. 11: I/O response time per node; transfers and arrival waits
   // overlap, so the per-unit cost is their max (io_s_per_unit).
-  p.t_io_s = work_units * workload_.io_s_per_unit / n;
+  p.t_io_s = work_units * io_s_per_unit_ / n_;
 
   // Eq. 2: CPU and I/O activity overlap completely (DMA).
   p.t_s = std::max(p.t_cpu_s, p.t_io_s);
 
   // ---- Energy (Eqs. 12-19), per node, then scaled by n. ----
-  const double t_act = i_core * workload_.wpi / f_hz;  // Eq. 16
-  const double p_act = power_.core_active_at(cfg.f_ghz);
-  const double p_stall = power_.core_stall_at(cfg.f_ghz);
+  const double t_act = i_core * wpi_ / f_hz_;  // Eq. 16
 
-  double t_stall;       // Eq. 17 or overlap-aware variant
-  double mem_busy_s;    // memory device active time
+  double t_stall;     // Eq. 17 or overlap-aware variant
+  double mem_busy_s;  // memory device active time
   if (accounting_ == EnergyAccounting::kPaperEq17) {
-    t_stall = i_core * workload_.spi_core / f_hz;
+    t_stall = i_core * spi_core_ / f_hz_;
     mem_busy_s = p.t_mem_s;
   } else {
     t_stall = std::max(0.0, p.t_cpu_s - t_act);
     // Per-core memory stall time, summed over active cores, capped by the
     // job duration (the device cannot be active longer than the run).
-    const double per_core_mem_stall = i_core * spi_mem / f_hz;
-    mem_busy_s = std::min(p.t_s, cact * per_core_mem_stall);
+    const double per_core_mem_stall = i_core * spi_mem_ / f_hz_;
+    mem_busy_s = std::min(p.t_s, cact_ * per_core_mem_stall);
   }
 
   // Eq. 15: core energy for all active cores of one node.
-  const double e_core_node = (p_act * t_act + p_stall * t_stall) * cact;
+  const double e_core_node = (p_act_w_ * t_act + p_stall_w_ * t_stall) * cact_;
   // Eq. 18: memory energy.
-  const double e_mem_node = power_.mem_active_w * mem_busy_s;
+  const double e_mem_node = mem_active_w_ * mem_busy_s;
   // Eq. 19: I/O energy; the NIC is busy only while actually transferring.
-  const double bandwidth =
-      units::mbps_to_bytes_per_s(spec_.io_bandwidth_mbps);
   const double transfer_s =
-      work_units * workload_.io_bytes_per_unit / bandwidth / n;
+      work_units * io_bytes_per_unit_ / bandwidth_bytes_s_ / n_;
   const double e_io_node =
-      power_.io_active_w *
+      io_active_w_ *
       (accounting_ == EnergyAccounting::kPaperEq17 ? p.t_io_s : transfer_s);
   // Eq. 14: idle floor over the whole service time.
-  const double e_idle_node = power_.idle_w * p.t_s;
+  const double e_idle_node = idle_w_ * p.t_s;
 
-  p.energy.core_j = e_core_node * n;
-  p.energy.mem_j = e_mem_node * n;
-  p.energy.io_j = e_io_node * n;
-  p.energy.idle_j = e_idle_node * n;
+  p.energy.core_j = e_core_node * n_;
+  p.energy.mem_j = e_mem_node * n_;
+  p.energy.io_j = e_io_node * n_;
+  p.energy.idle_j = e_idle_node * n_;
   return p;
+}
+
+Prediction NodeTypeModel::predict(double work_units,
+                                  const NodeConfig& cfg) const {
+  // One code path for every prediction: the sweep caches compiled points
+  // and replays the same arithmetic, so cached and uncached results are
+  // bit-identical.
+  return compile(cfg).predict(work_units);
 }
 
 double NodeTypeModel::time_per_unit(const NodeConfig& cfg) const {

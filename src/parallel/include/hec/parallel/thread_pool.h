@@ -4,10 +4,26 @@
 // points for a 10+10-node cluster, millions for the budget studies), and
 // evaluating each point is an independent pure computation — an
 // embarrassingly parallel map. This pool provides the classic
-// submit/wait interface plus a static-chunked parallel_for that mirrors an
-// OpenMP "parallel for schedule(static)" without the dependency.
+// submit/wait interface plus two loop schedulers that mirror OpenMP
+// "parallel for" without the dependency:
+//
+//   * parallel_for          — static chunking; uniform-cost bodies.
+//   * parallel_for_dynamic  — an atomic cursor hands out grain-sized
+//     chunks to whichever worker finishes first; variable-cost bodies
+//     (the Monte Carlo robust evaluator, whose per-config cost depends
+//     on how many faults the trial draws).
+//
+// Both run the body inline when the range is at most one grain or the
+// pool has a single worker, so tiny loops never pay submit overhead.
+//
+// The shared pool size can be pinned with the HEC_THREADS environment
+// variable (HEC_THREADS=0 or 1 means fully serial, deterministic
+// execution — useful for CI and sanitizer jobs); unset or invalid values
+// fall back to the hardware concurrency.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -62,21 +78,35 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Worker count requested by an HEC_THREADS-style value: a decimal
+/// count, with 0 meaning "serial" (one worker — parallel_for then runs
+/// inline). nullptr, empty or unparseable values return `fallback`.
+/// Pure so tests can pin the parsing without re-initialising the pool.
+std::size_t thread_count_from_env(const char* value, std::size_t fallback);
+
 /// Shared pool for library-internal parallelism (lazily constructed).
+/// Sized by HEC_THREADS when set (see thread_count_from_env), else by
+/// the hardware concurrency.
 ThreadPool& global_pool();
 
-/// Runs body(i) for i in [begin, end) across the pool with static chunking.
-/// Rethrows the first exception thrown by any chunk. body must be safe to
-/// invoke concurrently for distinct indices.
+/// Ranges of at most this many indices run inline: a pool submit costs
+/// on the order of a microsecond, which dwarfs tiny loops' useful work.
+inline constexpr std::size_t kParallelInlineGrain = 32;
+
+/// Runs body(i) for i in [begin, end) across the pool with static
+/// chunking. Ranges of at most `grain` indices run inline on the calling
+/// thread. Rethrows the first exception thrown by any chunk. body must
+/// be safe to invoke concurrently for distinct indices.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, const Body& body,
-                  ThreadPool& pool = global_pool()) {
+                  ThreadPool& pool = global_pool(),
+                  std::size_t grain = kParallelInlineGrain) {
   HEC_EXPECTS(begin <= end);
   const std::size_t n = end - begin;
   if (n == 0) return;
   const std::size_t workers = pool.thread_count();
   // Small ranges: not worth the dispatch overhead.
-  if (n == 1 || workers <= 1) {
+  if (n <= grain || workers <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -90,6 +120,59 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body,
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(pool.submit([lo, hi, &body] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs body(i) for i in [begin, end) with dynamic scheduling: an atomic
+/// cursor hands out `grain`-sized chunks to whichever worker is free, so
+/// variable-cost bodies (Monte Carlo trials, pruned searches) load-balance
+/// instead of convoying behind the slowest static chunk. Ranges of at
+/// most `grain` indices run inline. Rethrows the first exception; the
+/// cursor is driven to the end first so no chunk runs after an error
+/// escapes. body must be safe to invoke concurrently for distinct indices.
+template <typename Body>
+void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                          std::size_t grain, const Body& body,
+                          ThreadPool& pool = global_pool()) {
+  HEC_EXPECTS(begin <= end);
+  HEC_EXPECTS(grain >= 1);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t workers = pool.thread_count();
+  if (n <= grain || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t tasks =
+      std::min(workers, (n + grain - 1) / grain);
+  std::atomic<std::size_t> cursor{begin};
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(pool.submit([&cursor, end, grain, &body] {
+      for (;;) {
+        const std::size_t lo = cursor.fetch_add(grain);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + grain);
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          // Park the cursor past the end so sibling tasks drain quickly,
+          // then let the exception surface through the future.
+          cursor.store(end);
+          throw;
+        }
+      }
     }));
   }
   std::exception_ptr first_error;

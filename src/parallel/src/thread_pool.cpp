@@ -1,5 +1,8 @@
 #include "hec/parallel/thread_pool.h"
 
+#include <cctype>
+#include <cstdlib>
+
 namespace hec {
 
 std::size_t ThreadPool::default_thread_count() {
@@ -38,8 +41,28 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t thread_count_from_env(const char* value, std::size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  // Reject trailing garbage ("4x"), signs and empty parses; strtoul
+  // accepts leading whitespace, which is fine.
+  if (end == value) return fallback;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return fallback;
+    ++end;
+  }
+  if (value[0] == '-' || value[0] == '+') return fallback;
+  // 0 means "serial": one worker, so parallel_for runs inline.
+  if (parsed == 0) return 1;
+  // Cap absurd requests; a pool of thousands of threads is never useful.
+  constexpr unsigned long kMaxThreads = 1024;
+  return static_cast<std::size_t>(std::min(parsed, kMaxThreads));
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(thread_count_from_env(
+      std::getenv("HEC_THREADS"), ThreadPool::default_thread_count()));
   return pool;
 }
 

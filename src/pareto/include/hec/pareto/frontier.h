@@ -24,9 +24,34 @@ struct TimeEnergyPoint {
                          const TimeEnergyPoint&) = default;
 };
 
+/// Relative epsilon for the dominance scan: energy "improvements" at
+/// floating-point rounding scale (e.g. the same configuration computed
+/// with a different node count but identical per-unit cost) do not
+/// create spurious frontier points.
+inline constexpr double kParetoRelEps = 1e-9;
+
+/// Total order used by the frontier scan: ascending time, then ascending
+/// energy, then ascending tag. Sorting any point set with this comparator
+/// and running pareto_scan_sorted over it yields the frontier.
+bool time_energy_less(const TimeEnergyPoint& a, const TimeEnergyPoint& b);
+
+/// Dominance scan over points already sorted with time_energy_less:
+/// keeps a point when its energy beats the best seen so far by more than
+/// kParetoRelEps (relative). Compacts in place and returns the frontier.
+/// This is the single scan every frontier construction in the library
+/// funnels through — the streaming accumulators (streaming.h) reuse it,
+/// which is what makes their results bit-identical to pareto_frontier.
+std::vector<TimeEnergyPoint> pareto_scan_sorted(
+    std::vector<TimeEnergyPoint> sorted);
+
 /// Pareto-optimal subset, sorted by ascending time (and thus strictly
 /// descending energy). Ties in time keep the lowest-energy point; exact
-/// duplicates keep the first tag.
+/// duplicates keep the first tag. Sorts the argument in place — pass with
+/// std::move when the caller no longer needs the point set.
+std::vector<TimeEnergyPoint> pareto_frontier(
+    std::vector<TimeEnergyPoint> points);
+
+/// Convenience overload for borrowed storage; copies, then delegates.
 std::vector<TimeEnergyPoint> pareto_frontier(
     std::span<const TimeEnergyPoint> points);
 

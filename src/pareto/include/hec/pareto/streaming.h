@@ -1,0 +1,97 @@
+// Streaming Pareto reduction for the blocked configuration sweeps.
+//
+// The full sweep over a large heterogeneous space produces millions of
+// (time, energy) points of which only a few hundred survive dominance.
+// Materialising every point just to sort and scan once costs O(A·B)
+// memory and an O(N log N) sort dominated by doomed points. Instead each
+// sweep worker feeds its points into a ParetoAccumulator, which keeps a
+// small buffer and periodically compacts it against the partial frontier
+// it maintains; the per-worker partials are then combined with
+// merge_frontiers.
+//
+// Exactness (not an approximation): the dominance scan in
+// pareto_scan_sorted depends only on the sorted order of its input, and
+// it satisfies the compaction identity
+//
+//   frontier(A ∪ B) == frontier(frontier(A) ∪ B)
+//
+// because every point the union's scan keeps also survives the scan of
+// any subset containing it (the running best-energy bound can only be
+// weaker on a subset). Repeated compaction and the final merge therefore
+// produce exactly the frontier pareto_frontier would compute over the
+// concatenation of all points — bit-identical, same tags, same order.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+
+namespace hec {
+
+/// Online partial-frontier accumulator. Feed points with add(); take()
+/// returns the Pareto frontier of everything added, identical to
+/// pareto_frontier over the same multiset. Peak memory is
+/// O(frontier size + compact_limit) regardless of how many points pass
+/// through. Not thread-safe: use one accumulator per worker.
+class ParetoAccumulator {
+ public:
+  /// `compact_limit` bounds the unsorted buffer; larger values amortise
+  /// the sort better, smaller values cap memory tighter.
+  explicit ParetoAccumulator(std::size_t compact_limit = 16384);
+
+  /// Inline hot path: almost every point of a large sweep is dominated,
+  /// and the prefilter rejects those in O(log frontier) without touching
+  /// the buffer, so compaction runs only when genuinely new candidates
+  /// accumulate.
+  void add(const TimeEnergyPoint& p) {
+    ++points_seen_;
+    if (!frontier_.empty() && provably_dominated(p)) return;
+    buffer_.push_back(p);
+    if (buffer_.size() >= compact_limit_) compact();
+  }
+
+  /// Points accepted so far (including ones later found dominated).
+  std::size_t points_seen() const { return points_seen_; }
+
+  /// Compacts and returns the frontier of all added points, sorted by
+  /// ascending time. The accumulator is left empty and reusable.
+  std::vector<TimeEnergyPoint> take();
+
+ private:
+  /// True when some compacted-frontier point q sorts before p (in
+  /// time_energy_less order) with p.energy_j >= q.energy_j * (1 - eps).
+  /// The final dominance scan's running best-energy at p's position is
+  /// then at most q.energy_j whatever else arrives, so it drops p —
+  /// skipping the buffer is result-identical, not an approximation.
+  /// frontier_ has strictly increasing t_s and strictly decreasing
+  /// energy_j, so the last entry with t_s <= p.t_s is the strongest
+  /// witness.
+  bool provably_dominated(const TimeEnergyPoint& p) const {
+    const auto it = std::upper_bound(
+        frontier_.begin(), frontier_.end(), p.t_s,
+        [](double t, const TimeEnergyPoint& q) { return t < q.t_s; });
+    if (it == frontier_.begin()) return false;
+    const TimeEnergyPoint& q = *(it - 1);
+    const bool sorts_before = q.t_s < p.t_s || q.energy_j < p.energy_j;
+    return sorts_before &&
+           p.energy_j >= q.energy_j * (1.0 - kParetoRelEps);
+  }
+
+  void compact();
+
+  std::vector<TimeEnergyPoint> frontier_;  // sorted, dominance-scanned
+  std::vector<TimeEnergyPoint> buffer_;    // unsorted recent points
+  std::size_t compact_limit_;
+  std::size_t points_seen_ = 0;
+};
+
+/// Combines per-worker partial frontiers (each sorted with
+/// time_energy_less, as produced by ParetoAccumulator::take or
+/// pareto_frontier) via a k-way merge followed by a single dominance
+/// scan. Returns exactly the frontier of the union of all inputs.
+std::vector<TimeEnergyPoint> merge_frontiers(
+    std::span<const std::vector<TimeEnergyPoint>> partials);
+
+}  // namespace hec

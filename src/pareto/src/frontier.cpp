@@ -8,39 +8,41 @@
 
 namespace hec {
 
-std::vector<TimeEnergyPoint> pareto_frontier(
-    std::span<const TimeEnergyPoint> points) {
-  HEC_SPAN("pareto.frontier");
-  HEC_COUNTER_INC("pareto.frontier_calls");
-  std::vector<TimeEnergyPoint> sorted(points.begin(), points.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const TimeEnergyPoint& a, const TimeEnergyPoint& b) {
-              if (a.t_s != b.t_s) return a.t_s < b.t_s;
-              if (a.energy_j != b.energy_j) return a.energy_j < b.energy_j;
-              return a.tag < b.tag;
-            });
-  std::vector<TimeEnergyPoint> frontier;
+bool time_energy_less(const TimeEnergyPoint& a, const TimeEnergyPoint& b) {
+  if (a.t_s != b.t_s) return a.t_s < b.t_s;
+  if (a.energy_j != b.energy_j) return a.energy_j < b.energy_j;
+  return a.tag < b.tag;
+}
+
+std::vector<TimeEnergyPoint> pareto_scan_sorted(
+    std::vector<TimeEnergyPoint> sorted) {
   double best_energy = std::numeric_limits<double>::infinity();
-  double last_time = -std::numeric_limits<double>::infinity();
-  // Strict dominance with a relative epsilon: energy "improvements" at
-  // floating-point rounding scale (e.g. the same configuration computed
-  // with a different node count but identical per-unit cost) do not
-  // create spurious frontier points.
-  constexpr double kRelEps = 1e-9;
-  for (const auto& p : sorted) {
-    if (p.energy_j < best_energy * (1.0 - kRelEps)) {
-      if (p.t_s == last_time && !frontier.empty()) {
-        // Same time, lower energy cannot happen post-sort; defensive only.
-        frontier.back() = p;
-      } else {
-        frontier.push_back(p);
-      }
-      best_energy = p.energy_j;
-      last_time = p.t_s;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].energy_j < best_energy * (1.0 - kParetoRelEps)) {
+      best_energy = sorted[i].energy_j;
+      sorted[kept++] = sorted[i];
     }
   }
+  sorted.resize(kept);
+  return sorted;
+}
+
+std::vector<TimeEnergyPoint> pareto_frontier(
+    std::vector<TimeEnergyPoint> points) {
+  HEC_SPAN("pareto.frontier");
+  HEC_COUNTER_INC("pareto.frontier_calls");
+  std::sort(points.begin(), points.end(), time_energy_less);
+  std::vector<TimeEnergyPoint> frontier =
+      pareto_scan_sorted(std::move(points));
   HEC_GAUGE_SET("pareto.frontier_size", static_cast<double>(frontier.size()));
   return frontier;
+}
+
+std::vector<TimeEnergyPoint> pareto_frontier(
+    std::span<const TimeEnergyPoint> points) {
+  return pareto_frontier(
+      std::vector<TimeEnergyPoint>(points.begin(), points.end()));
 }
 
 EnergyDeadlineCurve::EnergyDeadlineCurve(

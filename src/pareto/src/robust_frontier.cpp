@@ -1,5 +1,7 @@
 #include "hec/pareto/robust_frontier.h"
 
+#include <utility>
+
 #include "hec/obs/obs.h"
 #include "hec/util/expect.h"
 
@@ -17,7 +19,7 @@ std::vector<TimeEnergyPoint> robust_pareto_frontier(
       admissible.push_back({p.t_s, p.energy_j, p.tag});
     }
   }
-  return pareto_frontier(admissible);
+  return pareto_frontier(std::move(admissible));
 }
 
 }  // namespace hec

@@ -1,0 +1,66 @@
+#include "hec/pareto/streaming.h"
+
+#include <algorithm>
+#include <iterator>
+#include <queue>
+#include <utility>
+
+#include "hec/obs/obs.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+ParetoAccumulator::ParetoAccumulator(std::size_t compact_limit)
+    : compact_limit_(compact_limit) {
+  HEC_EXPECTS(compact_limit_ >= 1);
+  buffer_.reserve(compact_limit_);
+}
+
+void ParetoAccumulator::compact() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end(), time_energy_less);
+  std::vector<TimeEnergyPoint> merged;
+  merged.reserve(frontier_.size() + buffer_.size());
+  std::merge(frontier_.begin(), frontier_.end(), buffer_.begin(),
+             buffer_.end(), std::back_inserter(merged), time_energy_less);
+  buffer_.clear();
+  frontier_ = pareto_scan_sorted(std::move(merged));
+}
+
+std::vector<TimeEnergyPoint> ParetoAccumulator::take() {
+  compact();
+  points_seen_ = 0;
+  return std::exchange(frontier_, {});
+}
+
+std::vector<TimeEnergyPoint> merge_frontiers(
+    std::span<const std::vector<TimeEnergyPoint>> partials) {
+  HEC_SPAN("pareto.merge_frontiers");
+  std::size_t total = 0;
+  for (const auto& part : partials) total += part.size();
+  std::vector<TimeEnergyPoint> merged;
+  merged.reserve(total);
+  // K-way merge via a min-heap of (cursor into partial) — partials are
+  // individually sorted, so popping the least head yields global order.
+  struct Cursor {
+    const std::vector<TimeEnergyPoint>* part;
+    std::size_t pos;
+  };
+  const auto cursor_greater = [](const Cursor& a, const Cursor& b) {
+    return time_energy_less((*b.part)[b.pos], (*a.part)[a.pos]);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_greater)>
+      heap(cursor_greater);
+  for (const auto& part : partials) {
+    if (!part.empty()) heap.push({&part, 0});
+  }
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    merged.push_back((*c.part)[c.pos]);
+    if (++c.pos < c.part->size()) heap.push(c);
+  }
+  return pareto_scan_sorted(std::move(merged));
+}
+
+}  // namespace hec

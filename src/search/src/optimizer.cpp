@@ -37,6 +37,36 @@ std::optional<SearchResult> branch_and_bound_search(
   HEC_EXPECTS(limits.max_arm_nodes >= 0 && limits.max_amd_nodes >= 0);
 
   HEC_SPAN("search.branch_and_bound");
+  // Compile each side's deployments once; every evaluation below is an
+  // O(1) combine of cached entries, bit-identical to
+  // ConfigEvaluator::evaluate on the same configuration (and counted the
+  // same way: one evaluation per combine).
+  const DeploymentTable arm_table(evaluator.arm_model(),
+                                  limits.max_arm_nodes);
+  const DeploymentTable amd_table(evaluator.amd_model(),
+                                  limits.max_amd_nodes);
+  // PStateTable is sorted ascending, so fmax is the last index.
+  const std::size_t fa_max = arm.pstates.size() - 1;
+  const std::size_t fd_max = amd.pstates.size() - 1;
+  const NodeConfig arm_unused{0, 1, arm.pstates.min_ghz()};
+  const NodeConfig amd_unused{0, 1, amd.pstates.min_ghz()};
+
+  const auto evaluate_pair = [&](const ClusterConfig& config, int n_arm,
+                                 int n_amd, int c_arm, std::size_t f_arm,
+                                 int c_amd, std::size_t f_amd) {
+    if (n_arm > 0 && n_amd > 0) {
+      return MemoizedConfigEvaluator::evaluate_hetero(
+          config, arm_table.entry(n_arm, c_arm, f_arm),
+          amd_table.entry(n_amd, c_amd, f_amd), work_units);
+    }
+    if (n_arm > 0) {
+      return MemoizedConfigEvaluator::evaluate_arm_only(
+          config, arm_table.entry(n_arm, c_arm, f_arm), work_units);
+    }
+    return MemoizedConfigEvaluator::evaluate_amd_only(
+        config, amd_table.entry(n_amd, c_amd, f_amd), work_units);
+  };
+
   struct PairBound {
     double bound_j;
     int n_arm, n_amd;
@@ -50,7 +80,8 @@ std::optional<SearchResult> branch_and_bound_search(
     for (int n_amd = 0; n_amd <= limits.max_amd_nodes; ++n_amd) {
       if (n_arm == 0 && n_amd == 0) continue;
       const ClusterConfig fast = fastest_config(arm, amd, n_arm, n_amd);
-      const ConfigOutcome outcome = evaluator.evaluate(fast, work_units);
+      const ConfigOutcome outcome = evaluate_pair(
+          fast, n_arm, n_amd, arm.cores, fa_max, amd.cores, fd_max);
       ++evaluations;
       if (outcome.t_s > deadline_s) continue;  // pair cannot meet it
       if (!incumbent || outcome.energy_j < incumbent->energy_j) {
@@ -65,24 +96,47 @@ std::optional<SearchResult> branch_and_bound_search(
   if (!incumbent) return std::nullopt;
 
   // Phase 2: sweep pairs in bound order until the bound exceeds the
-  // incumbent — everything after is pruned.
+  // incumbent — everything after is pruned. Traversal matches
+  // enumerate_operating_points (arm outer, amd inner; cores before
+  // P-state), so incumbent ties resolve exactly as before.
   std::sort(feasible_pairs.begin(), feasible_pairs.end(),
             [](const PairBound& a, const PairBound& b) {
               return a.bound_j < b.bound_j;
             });
+  const auto consider = [&](const ConfigOutcome& outcome) {
+    ++evaluations;
+    if (outcome.t_s <= deadline_s &&
+        outcome.energy_j < incumbent->energy_j) {
+      incumbent = outcome;
+    }
+  };
   for (const PairBound& pair : feasible_pairs) {
     if (pair.bound_j >= incumbent->energy_j) break;
-    const auto points = enumerate_operating_points(arm, pair.n_arm, amd,
-                                                   pair.n_amd);
-    for (const ClusterConfig& config : points) {
-      const ConfigOutcome outcome = evaluator.evaluate(config, work_units);
-      ++evaluations;
-      if (outcome.t_s <= deadline_s &&
-          outcome.energy_j < incumbent->energy_j) {
-        incumbent = outcome;
+    if (pair.n_arm == 0) {
+      for (const DeploymentEntry& d :
+           amd_table.entries_for_nodes(pair.n_amd)) {
+        consider(MemoizedConfigEvaluator::evaluate_amd_only(
+            ClusterConfig{arm_unused, d.config}, d, work_units));
+      }
+      continue;
+    }
+    if (pair.n_amd == 0) {
+      for (const DeploymentEntry& a :
+           arm_table.entries_for_nodes(pair.n_arm)) {
+        consider(MemoizedConfigEvaluator::evaluate_arm_only(
+            ClusterConfig{a.config, amd_unused}, a, work_units));
+      }
+      continue;
+    }
+    for (const DeploymentEntry& a : arm_table.entries_for_nodes(pair.n_arm)) {
+      for (const DeploymentEntry& d :
+           amd_table.entries_for_nodes(pair.n_amd)) {
+        consider(MemoizedConfigEvaluator::evaluate_hetero(
+            ClusterConfig{a.config, d.config}, a, d, work_units));
       }
     }
   }
+  HEC_COUNTER_ADD("config.evaluations", static_cast<double>(evaluations));
   HEC_COUNTER_ADD("search.evaluations", static_cast<double>(evaluations));
   HEC_GAUGE_SET("search.incumbent_energy_j", incumbent->energy_j);
   return SearchResult{*incumbent, evaluations};

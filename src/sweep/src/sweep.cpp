@@ -1,0 +1,226 @@
+#include "hec/sweep/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "hec/obs/obs.h"
+#include "hec/pareto/robust_frontier.h"
+#include "hec/pareto/streaming.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+
+namespace {
+
+/// Runs the generic streaming reduction: workers claim `claim`-sized
+/// index blocks from an atomic cursor and feed `consume_block(first,
+/// count, accumulator)`; per-worker partial frontiers merge at the end.
+/// The result is bit-identical for any claim size, worker count or
+/// compaction limit (see hec/pareto/streaming.h).
+template <typename ConsumeBlock>
+SweepResult run_streaming_reduction(std::size_t total, std::size_t claim,
+                                    const SweepOptions& opts,
+                                    const ConsumeBlock& consume_block) {
+  HEC_EXPECTS(claim >= 1);
+  SweepResult result;
+  result.stats.configs = total;
+  result.stats.blocks = (total + claim - 1) / claim;
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : global_pool();
+  const std::size_t workers =
+      opts.parallel ? std::min(pool.thread_count(), result.stats.blocks)
+                    : std::size_t{1};
+  result.stats.workers = std::max<std::size_t>(workers, 1);
+
+  if (result.stats.workers <= 1) {
+    ParetoAccumulator acc(opts.compact_limit);
+    for (std::size_t first = 0; first < total; first += claim) {
+      consume_block(first, std::min(claim, total - first), acc);
+    }
+    result.frontier = acc.take();
+    return result;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::vector<TimeEnergyPoint>> partials(result.stats.workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(result.stats.workers);
+  for (std::size_t w = 0; w < result.stats.workers; ++w) {
+    futures.push_back(pool.submit([&, w] {
+      ParetoAccumulator acc(opts.compact_limit);
+      for (;;) {
+        const std::size_t first = cursor.fetch_add(claim);
+        if (first >= total) break;
+        consume_block(first, std::min(claim, total - first), acc);
+      }
+      partials[w] = acc.take();
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  result.frontier = merge_frontiers(partials);
+  return result;
+}
+
+SweepResult finish(SweepResult result) {
+  HEC_GAUGE_SET("sweep.frontier_size",
+                static_cast<double>(result.frontier.size()));
+  HEC_COUNTER_ADD("sweep.configs",
+                  static_cast<double>(result.stats.configs));
+  return result;
+}
+
+std::vector<TimeEnergyPoint> outcome_points(
+    std::span<const ConfigOutcome> outcomes) {
+  std::vector<TimeEnergyPoint> points;
+  points.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    points.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+  }
+  return points;
+}
+
+}  // namespace
+
+SweepResult sweep_frontier(const NodeTypeModel& arm_model,
+                           const NodeTypeModel& amd_model,
+                           const EnumerationLimits& limits,
+                           double work_units, const SweepOptions& opts) {
+  HEC_SPAN("sweep.frontier");
+  const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
+  SweepResult result = run_streaming_reduction(
+      memo.size(), opts.block, opts,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const ConfigOutcome o = memo.evaluate_at(i, work_units);
+          acc.add({o.t_s, o.energy_j, i});
+        }
+        // Batch accounting: the memoized evaluator does not bump the
+        // counter per call, so sweep totals stay comparable with the
+        // naive path's per-evaluation increments.
+        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+      });
+  return finish(std::move(result));
+}
+
+SweepResult sweep_frontier_reference(const NodeTypeModel& arm_model,
+                                     const NodeTypeModel& amd_model,
+                                     const EnumerationLimits& limits,
+                                     double work_units,
+                                     const SweepOptions& opts) {
+  HEC_SPAN("sweep.frontier_reference");
+  const std::vector<ClusterConfig> configs =
+      enumerate_configs(arm_model.spec(), amd_model.spec(), limits);
+  const ConfigEvaluator evaluator(arm_model, amd_model);
+  const std::vector<ConfigOutcome> outcomes =
+      evaluator.evaluate_all(configs, work_units, opts.parallel);
+  SweepResult result;
+  result.stats.configs = configs.size();
+  result.stats.blocks = 1;
+  result.frontier = pareto_frontier(outcome_points(outcomes));
+  return finish(std::move(result));
+}
+
+SweepResult sweep_robust_frontier(const RobustConfigEvaluator& evaluator,
+                                  const EnumerationLimits& limits,
+                                  double work_units, double deadline_s,
+                                  double max_miss_prob,
+                                  const SweepOptions& opts) {
+  HEC_EXPECTS(max_miss_prob >= 0.0 && max_miss_prob <= 1.0);
+  HEC_SPAN("sweep.robust_frontier");
+  const ConfigSpaceLayout layout(evaluator.arm_model().spec(),
+                                 evaluator.amd_model().spec(), limits);
+  SweepResult result = run_streaming_reduction(
+      layout.size(), opts.robust_block, opts,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const RobustOutcome o =
+              evaluator.evaluate(layout.config(i), work_units, deadline_s,
+                                 /*parallel=*/false);
+          // Same admissibility test as robust_pareto_frontier.
+          if (o.miss_prob <= max_miss_prob) {
+            acc.add({o.mean_t_s, o.mean_energy_j, i});
+          }
+        }
+      });
+  return finish(std::move(result));
+}
+
+SweepResult sweep_robust_frontier_reference(
+    const RobustConfigEvaluator& evaluator, const EnumerationLimits& limits,
+    double work_units, double deadline_s, double max_miss_prob,
+    const SweepOptions& opts) {
+  HEC_SPAN("sweep.robust_frontier_reference");
+  const std::vector<ClusterConfig> configs = enumerate_configs(
+      evaluator.arm_model().spec(), evaluator.amd_model().spec(), limits);
+  const std::vector<RobustOutcome> outcomes =
+      evaluator.evaluate_all(configs, work_units, deadline_s, opts.parallel);
+  std::vector<RobustPoint> points;
+  points.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    points.push_back(
+        {outcomes[i].mean_t_s, outcomes[i].mean_energy_j,
+         outcomes[i].miss_prob, i});
+  }
+  SweepResult result;
+  result.stats.configs = configs.size();
+  result.stats.blocks = 1;
+  result.frontier = robust_pareto_frontier(points, max_miss_prob);
+  return finish(std::move(result));
+}
+
+SweepResult sweep_multi_frontier(std::vector<const NodeTypeModel*> models,
+                                 std::span<const int> limits,
+                                 double work_units,
+                                 const SweepOptions& opts) {
+  HEC_SPAN("sweep.multi_frontier");
+  const MemoizedMultiEvaluator memo(std::move(models), limits);
+  SweepResult result = run_streaming_reduction(
+      memo.size(), opts.block, opts,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const MultiOutcome o = memo.evaluate_at(i, work_units);
+          acc.add({o.t_s, o.energy_j, i});
+        }
+        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+      });
+  return finish(std::move(result));
+}
+
+SweepResult sweep_multi_frontier_reference(
+    std::vector<const NodeTypeModel*> models, std::span<const int> limits,
+    double work_units, const SweepOptions& opts) {
+  HEC_SPAN("sweep.multi_frontier_reference");
+  std::vector<NodeSpec> specs;
+  specs.reserve(models.size());
+  for (const NodeTypeModel* m : models) {
+    HEC_EXPECTS(m != nullptr);
+    specs.push_back(m->spec());
+  }
+  const std::vector<MultiClusterConfig> configs =
+      enumerate_multi(specs, limits);
+  const MultiEvaluator evaluator(std::move(models));
+  const std::vector<MultiOutcome> outcomes =
+      evaluator.evaluate_all(configs, work_units, opts.parallel);
+  std::vector<TimeEnergyPoint> points;
+  points.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    points.push_back({outcomes[i].t_s, outcomes[i].energy_j, i});
+  }
+  SweepResult result;
+  result.stats.configs = configs.size();
+  result.stats.blocks = 1;
+  result.frontier = pareto_frontier(std::move(points));
+  return finish(std::move(result));
+}
+
+}  // namespace hec

@@ -1,0 +1,112 @@
+// DeploymentTable: one compiled entry per (nodes, cores, P-state), in
+// the exact order type_sweep enumerates deployments, each bit-identical
+// to a fresh NodeTypeModel::predict on the same configuration.
+#include "hec/config/deployment_table.h"
+
+#include <gtest/gtest.h>
+
+#include "hec/hw/catalog.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+WorkloadInputs make_inputs() {
+  WorkloadInputs in;
+  in.inst_per_unit = 160.0;
+  in.wpi = 0.8;
+  in.spi_core = 0.5;
+  in.spi_mem_by_cores = {LinearFit{0.0, 0.05, 1.0, 2}};
+  in.ucpu = 1.0;
+  return in;
+}
+
+PowerParams make_power(std::vector<double> freqs, double idle) {
+  PowerParams p;
+  p.core_active_w.assign(freqs.size(), 1.0);
+  p.core_stall_w.assign(freqs.size(), 0.6);
+  p.freqs_ghz = std::move(freqs);
+  p.mem_active_w = 0.5;
+  p.io_active_w = 0.5;
+  p.idle_w = 1.4;
+  return p;
+}
+
+NodeTypeModel make_model() {
+  return NodeTypeModel(arm_cortex_a9(), make_inputs(),
+                       make_power({0.2, 0.5, 0.8, 1.1, 1.4}, 1.4));
+}
+
+TEST(DeploymentTable, SizeAndIndexRoundTrip) {
+  const NodeTypeModel model = make_model();
+  const NodeSpec& spec = model.spec();
+  const DeploymentTable table(model, 3);
+  const std::size_t freqs = spec.pstates.size();
+  ASSERT_EQ(table.size(),
+            3u * static_cast<std::size_t>(spec.cores) * freqs);
+  EXPECT_EQ(table.max_nodes(), 3);
+  EXPECT_EQ(table.cores(), spec.cores);
+  EXPECT_EQ(table.pstates(), freqs);
+  const auto& freq_list = spec.pstates.frequencies_ghz();
+  for (int n = 1; n <= 3; ++n) {
+    for (int c = 1; c <= spec.cores; ++c) {
+      for (std::size_t f = 0; f < freqs; ++f) {
+        const DeploymentEntry& e = table.entry(n, c, f);
+        EXPECT_EQ(e.config.nodes, n);
+        EXPECT_EQ(e.config.cores, c);
+        EXPECT_EQ(e.config.f_ghz, freq_list[f]);
+      }
+    }
+  }
+}
+
+TEST(DeploymentTable, EntriesBitIdenticalToModelPredict) {
+  const NodeTypeModel model = make_model();
+  const DeploymentTable table(model, 2);
+  for (double work_units : {1.0, 1e3, 5e6}) {
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const DeploymentEntry& e = table.entry(i);
+      const Prediction cached = e.op.predict(work_units);
+      const Prediction fresh = model.predict(work_units, e.config);
+      EXPECT_EQ(cached.t_s, fresh.t_s);
+      EXPECT_EQ(cached.energy_j(), fresh.energy_j());
+    }
+  }
+}
+
+TEST(DeploymentTable, TimePerUnitMatchesCompiledOperatingPoint) {
+  const NodeTypeModel model = make_model();
+  const DeploymentTable table(model, 2);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const DeploymentEntry& e = table.entry(i);
+    EXPECT_EQ(e.time_per_unit, e.op.time_per_unit());
+    EXPECT_EQ(e.time_per_unit, model.compile(e.config).time_per_unit());
+  }
+}
+
+TEST(DeploymentTable, EntriesForNodesIsTheContiguousSlice) {
+  const NodeTypeModel model = make_model();
+  const NodeSpec& spec = model.spec();
+  const DeploymentTable table(model, 4);
+  const std::size_t per_node =
+      static_cast<std::size_t>(spec.cores) * spec.pstates.size();
+  for (int n = 1; n <= 4; ++n) {
+    const auto slice = table.entries_for_nodes(n);
+    ASSERT_EQ(slice.size(), per_node);
+    for (const DeploymentEntry& e : slice) {
+      EXPECT_EQ(e.config.nodes, n);
+    }
+    EXPECT_EQ(slice.data(),
+              &table.entry(static_cast<std::size_t>(n - 1) * per_node));
+  }
+}
+
+TEST(DeploymentTable, ZeroNodesYieldsEmptyTable) {
+  const NodeTypeModel model = make_model();
+  const DeploymentTable table(model, 0);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hec

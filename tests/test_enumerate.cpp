@@ -94,6 +94,62 @@ TEST(EnumerateOperatingPoints, FixedMixSweepsPStatesAndCores) {
   }
 }
 
+void expect_same_config(const ClusterConfig& a, const ClusterConfig& b,
+                        std::size_t index) {
+  EXPECT_EQ(a.arm.nodes, b.arm.nodes) << "index " << index;
+  EXPECT_EQ(a.arm.cores, b.arm.cores) << "index " << index;
+  EXPECT_EQ(a.arm.f_ghz, b.arm.f_ghz) << "index " << index;
+  EXPECT_EQ(a.amd.nodes, b.amd.nodes) << "index " << index;
+  EXPECT_EQ(a.amd.cores, b.amd.cores) << "index " << index;
+  EXPECT_EQ(a.amd.f_ghz, b.amd.f_ghz) << "index " << index;
+}
+
+TEST(ConfigSpaceLayout, DecodesEveryIndexLikeEnumerateConfigs) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  for (const EnumerationLimits limits :
+       {EnumerationLimits{3, 2}, EnumerationLimits{1, 0},
+        EnumerationLimits{0, 2}}) {
+    const auto configs = enumerate_configs(arm, amd, limits);
+    const ConfigSpaceLayout layout(arm, amd, limits);
+    ASSERT_EQ(layout.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expect_same_config(layout.config(i), configs[i], i);
+      const ConfigSpaceLayout::Slot s = layout.slot(i);
+      if (configs[i].heterogeneous()) {
+        EXPECT_NE(s.arm, ConfigSpaceLayout::npos);
+        EXPECT_NE(s.amd, ConfigSpaceLayout::npos);
+      } else if (configs[i].uses_arm()) {
+        EXPECT_EQ(s.amd, ConfigSpaceLayout::npos);
+      } else {
+        EXPECT_EQ(s.arm, ConfigSpaceLayout::npos);
+      }
+    }
+  }
+}
+
+TEST(ForEachConfig, ConcatenationOfBlocksIsEnumerateConfigs) {
+  const NodeSpec arm = arm_cortex_a9();
+  const NodeSpec amd = amd_opteron_k10();
+  const EnumerationLimits limits{3, 2};
+  const auto want = enumerate_configs(arm, amd, limits);
+  for (const std::size_t block : {1u, 7u, 64u, 100000u}) {
+    std::vector<ClusterConfig> got;
+    std::size_t expected_first = 0;
+    for_each_config(arm, amd, limits, block,
+                    [&](std::size_t first, std::span<const ClusterConfig> b) {
+                      EXPECT_EQ(first, expected_first);
+                      EXPECT_LE(b.size(), block);
+                      expected_first += b.size();
+                      got.insert(got.end(), b.begin(), b.end());
+                    });
+    ASSERT_EQ(got.size(), want.size()) << "block " << block;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_same_config(got[i], want[i], i);
+    }
+  }
+}
+
 TEST(EnumerateOperatingPoints, HomogeneousSides) {
   const NodeSpec arm = arm_cortex_a9();
   const NodeSpec amd = amd_opteron_k10();

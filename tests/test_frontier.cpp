@@ -64,7 +64,7 @@ TEST(ParetoFrontier, TiesInTimeKeepCheapest) {
 }
 
 TEST(ParetoFrontier, EmptyAndSingleton) {
-  EXPECT_TRUE(pareto_frontier({}).empty());
+  EXPECT_TRUE(pareto_frontier(std::vector<TimeEnergyPoint>{}).empty());
   const std::vector<TimeEnergyPoint> one{{1.0, 1.0, 7}};
   const auto frontier = pareto_frontier(one);
   ASSERT_EQ(frontier.size(), 1u);

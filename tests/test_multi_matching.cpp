@@ -108,7 +108,8 @@ TEST(MultiMatch, FasterTierCarriesMoreWork) {
 
 TEST(MultiMatch, RejectsInvalidInput) {
   const ThreeModels m;
-  EXPECT_THROW(match_split_multi({}, 1.0), ContractViolation);
+  EXPECT_THROW(match_split_multi(std::vector<TypedDeployment>{}, 1.0),
+               ContractViolation);
   const std::vector<TypedDeployment> deps{{&m.a9, NodeConfig{1, 1, 0.2}}};
   EXPECT_THROW(match_split_multi(deps, 0.0), ContractViolation);
   const std::vector<TypedDeployment> null_model{

@@ -1,0 +1,103 @@
+// ParetoAccumulator / merge_frontiers exactness: any partitioning of a
+// point stream across accumulators, any compaction limit and any merge
+// order must reproduce pareto_frontier over the concatenation bit for
+// bit (see the compaction identity in streaming.h).
+#include "hec/pareto/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+
+namespace hec {
+namespace {
+
+/// Random points with deliberate ties: times and energies snap to a
+/// coarse grid so duplicate (t, e) pairs and equal-time runs are common,
+/// exercising the tag tiebreak and the eps guard.
+std::vector<TimeEnergyPoint> random_points(std::mt19937& rng,
+                                           std::size_t count) {
+  std::uniform_int_distribution<int> grid(1, 40);
+  std::vector<TimeEnergyPoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({0.25 * grid(rng), 0.5 * grid(rng), i});
+  }
+  return points;
+}
+
+void expect_identical(const std::vector<TimeEnergyPoint>& got,
+                      const std::vector<TimeEnergyPoint>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "frontier point " << i;
+  }
+}
+
+TEST(ParetoAccumulator, MatchesParetoFrontierAcrossCompactLimits) {
+  std::mt19937 rng(42);
+  const auto points = random_points(rng, 2000);
+  const auto want = pareto_frontier(points);
+  for (std::size_t limit : {1u, 2u, 3u, 17u, 256u, 100000u}) {
+    ParetoAccumulator acc(limit);
+    for (const auto& p : points) acc.add(p);
+    EXPECT_EQ(acc.points_seen(), points.size());
+    expect_identical(acc.take(), want);
+  }
+}
+
+TEST(ParetoAccumulator, TakeResetsForReuse) {
+  std::mt19937 rng(7);
+  const auto first = random_points(rng, 300);
+  auto second = random_points(rng, 300);
+  // Distinct tags so the two batches cannot produce identical frontiers
+  // by accident.
+  for (auto& p : second) p.tag += first.size();
+  ParetoAccumulator acc(16);
+  for (const auto& p : first) acc.add(p);
+  expect_identical(acc.take(), pareto_frontier(first));
+  EXPECT_EQ(acc.points_seen(), 0u);
+  for (const auto& p : second) acc.add(p);
+  expect_identical(acc.take(), pareto_frontier(second));
+}
+
+TEST(ParetoAccumulator, EmptyTakeIsEmpty) {
+  ParetoAccumulator acc;
+  EXPECT_TRUE(acc.take().empty());
+}
+
+TEST(MergeFrontiers, PartitionInvariance) {
+  std::mt19937 rng(1234);
+  const auto points = random_points(rng, 3000);
+  const auto want = pareto_frontier(points);
+  std::uniform_int_distribution<std::size_t> pick_parts(1, 7);
+  std::uniform_int_distribution<std::size_t> pick_limit(1, 64);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t parts = pick_parts(rng);
+    std::vector<ParetoAccumulator> accs;
+    for (std::size_t i = 0; i < parts; ++i) {
+      accs.emplace_back(pick_limit(rng));
+    }
+    std::uniform_int_distribution<std::size_t> pick_acc(0, parts - 1);
+    for (const auto& p : points) accs[pick_acc(rng)].add(p);
+    std::vector<std::vector<TimeEnergyPoint>> partials;
+    partials.reserve(parts);
+    for (auto& acc : accs) partials.push_back(acc.take());
+    expect_identical(merge_frontiers(partials), want);
+  }
+}
+
+TEST(MergeFrontiers, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(merge_frontiers({}).empty());
+  std::vector<std::vector<TimeEnergyPoint>> empties(3);
+  EXPECT_TRUE(merge_frontiers(empties).empty());
+  const std::vector<TimeEnergyPoint> one = {{1.0, 2.0, 9}};
+  std::vector<std::vector<TimeEnergyPoint>> partials = {
+      pareto_frontier(one), {}, {}};
+  expect_identical(merge_frontiers(partials), pareto_frontier(one));
+}
+
+}  // namespace
+}  // namespace hec

@@ -1,0 +1,223 @@
+// Sweep-engine equivalence: the memoized + streaming sweeps must return
+// the naive materialize-sort-scan reference's frontier bit for bit —
+// same sizes, times, energies and enumeration tags — for every
+// workload, any enumeration limits, any block/compaction sizing and any
+// worker count.
+#include "hec/sweep/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "hec/config/robust_evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/parallel/thread_pool.h"
+#include "hec/workloads/workload.h"
+
+namespace hec {
+namespace {
+
+CharacterizeOptions opts() {
+  CharacterizeOptions o;
+  o.baseline_units = 8000.0;
+  return o;
+}
+
+struct WorkloadCase {
+  const char* name;
+  NodeTypeModel arm;
+  NodeTypeModel amd;
+};
+
+void expect_identical(const SweepResult& got, const SweepResult& want,
+                      const char* label) {
+  EXPECT_EQ(got.stats.configs, want.stats.configs) << label;
+  ASSERT_EQ(got.frontier.size(), want.frontier.size()) << label;
+  for (std::size_t i = 0; i < got.frontier.size(); ++i) {
+    EXPECT_EQ(got.frontier[i], want.frontier[i])
+        << label << " frontier point " << i;
+  }
+}
+
+// Characterisation is the expensive step: do it once per workload for
+// the whole suite.
+class SweepEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const NodeSpec arm = arm_cortex_a9();
+    const NodeSpec amd = amd_opteron_k10();
+    cases_ = new std::vector<WorkloadCase>();
+    const std::pair<const char*, Workload> workloads[] = {
+        {"ep", workload_ep()},
+        {"memcached", workload_memcached()},
+        {"x264", workload_x264()},
+        {"blackscholes", workload_blackscholes()},
+        {"julius", workload_julius()},
+        {"rsa2048", workload_rsa2048()},
+    };
+    for (const auto& [name, w] : workloads) {
+      cases_->push_back({name, build_node_model(arm, w, opts()),
+                         build_node_model(amd, w, opts())});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete cases_;
+    cases_ = nullptr;
+  }
+
+  static const WorkloadCase& ep() { return cases_->front(); }
+
+  static std::vector<WorkloadCase>* cases_;
+};
+
+std::vector<WorkloadCase>* SweepEquivalence::cases_ = nullptr;
+
+TEST_F(SweepEquivalence, AllWorkloadsMatchReferenceBitForBit) {
+  const EnumerationLimits limits{3, 2};
+  const double work_units = 5e5;
+  for (const WorkloadCase& c : *cases_) {
+    const SweepResult fast =
+        sweep_frontier(c.arm, c.amd, limits, work_units);
+    const SweepResult naive =
+        sweep_frontier_reference(c.arm, c.amd, limits, work_units);
+    expect_identical(fast, naive, c.name);
+    EXPECT_FALSE(fast.frontier.empty()) << c.name;
+  }
+}
+
+TEST_F(SweepEquivalence, RandomLimitsAndWorkProperty) {
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> pick_nodes(0, 5);
+  std::uniform_real_distribution<double> pick_exp(4.0, 7.0);
+  for (int round = 0; round < 10; ++round) {
+    EnumerationLimits limits{pick_nodes(rng), pick_nodes(rng)};
+    if (limits.max_arm_nodes == 0 && limits.max_amd_nodes == 0) {
+      limits.max_arm_nodes = 1;  // empty spaces are rejected upstream
+    }
+    const double work_units = std::pow(10.0, pick_exp(rng));
+    const SweepResult fast =
+        sweep_frontier(ep().arm, ep().amd, limits, work_units);
+    const SweepResult naive =
+        sweep_frontier_reference(ep().arm, ep().amd, limits, work_units);
+    expect_identical(fast, naive, "random round");
+  }
+}
+
+TEST_F(SweepEquivalence, BlockAndCompactionSizingIsInvisible) {
+  const EnumerationLimits limits{4, 3};
+  const double work_units = 1e6;
+  const SweepResult want =
+      sweep_frontier_reference(ep().arm, ep().amd, limits, work_units);
+  for (const auto [block, compact] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {7, 1},
+        {97, 3},
+        {4096, 16384}}) {
+    SweepOptions o;
+    o.block = block;
+    o.compact_limit = compact;
+    expect_identical(
+        sweep_frontier(ep().arm, ep().amd, limits, work_units, o), want,
+        "block/compact variant");
+  }
+}
+
+TEST_F(SweepEquivalence, ExplicitPoolMatchesSerial) {
+  const EnumerationLimits limits{5, 4};
+  const double work_units = 2e6;
+  SweepOptions serial;
+  serial.parallel = false;
+  const SweepResult want =
+      sweep_frontier(ep().arm, ep().amd, limits, work_units, serial);
+  EXPECT_EQ(want.stats.workers, 1u);
+
+  ThreadPool pool(4);
+  SweepOptions parallel;
+  parallel.pool = &pool;
+  parallel.block = 64;  // many claims so all workers engage
+  parallel.compact_limit = 32;
+  const SweepResult got =
+      sweep_frontier(ep().arm, ep().amd, limits, work_units, parallel);
+  EXPECT_GT(got.stats.workers, 1u);
+  expect_identical(got, want, "pool(4)");
+  expect_identical(
+      got, sweep_frontier_reference(ep().arm, ep().amd, limits, work_units),
+      "pool(4) vs reference");
+}
+
+TEST_F(SweepEquivalence, RobustSweepMatchesReference) {
+  FaultConfig faults;
+  faults.mttf_s = 4000.0;
+  faults.straggler_prob = 0.2;
+  faults.straggler_window_s = 30.0;
+  faults.checkpoint_interval_s = 500.0;
+  faults.checkpoint_cost_s = 5.0;
+  MonteCarloOptions mc;
+  mc.trials = 6;
+  const RobustConfigEvaluator evaluator(ep().arm, ep().amd, faults, mc);
+  const EnumerationLimits limits{2, 1};
+  const double work_units = 1e5;
+  for (const double deadline_s : {50.0, 1e6}) {
+    for (const double max_miss : {0.0, 0.5, 1.0}) {
+      const SweepResult fast = sweep_robust_frontier(
+          evaluator, limits, work_units, deadline_s, max_miss);
+      const SweepResult naive = sweep_robust_frontier_reference(
+          evaluator, limits, work_units, deadline_s, max_miss);
+      expect_identical(fast, naive, "robust");
+    }
+  }
+}
+
+TEST_F(SweepEquivalence, RobustSweepOnExplicitPoolMatchesSerial) {
+  FaultConfig faults;
+  faults.mttf_s = 3000.0;
+  faults.checkpoint_interval_s = 400.0;
+  faults.checkpoint_cost_s = 2.0;
+  MonteCarloOptions mc;
+  mc.trials = 4;
+  const RobustConfigEvaluator evaluator(ep().arm, ep().amd, faults, mc);
+  const EnumerationLimits limits{2, 2};
+  SweepOptions serial;
+  serial.parallel = false;
+  const SweepResult want = sweep_robust_frontier(evaluator, limits, 1e5,
+                                                 100.0, 0.8, serial);
+  ThreadPool pool(3);
+  SweepOptions parallel;
+  parallel.pool = &pool;
+  parallel.robust_block = 8;
+  const SweepResult got = sweep_robust_frontier(evaluator, limits, 1e5,
+                                                100.0, 0.8, parallel);
+  expect_identical(got, want, "robust pool(3)");
+}
+
+TEST_F(SweepEquivalence, MultiTypeSweepMatchesReference) {
+  // Three-type space: both paper types plus a second ARM deployment
+  // running the memcached characterisation.
+  const NodeTypeModel third =
+      build_node_model(arm_cortex_a9(), workload_memcached(), opts());
+  const std::vector<const NodeTypeModel*> models = {&ep().arm, &ep().amd,
+                                                    &third};
+  const std::vector<int> limits = {2, 1, 2};
+  const double work_units = 2e5;
+  const SweepResult fast =
+      sweep_multi_frontier(models, limits, work_units);
+  const SweepResult naive =
+      sweep_multi_frontier_reference(models, limits, work_units);
+  expect_identical(fast, naive, "multi");
+
+  ThreadPool pool(4);
+  SweepOptions parallel;
+  parallel.pool = &pool;
+  parallel.block = 16;
+  parallel.compact_limit = 8;
+  expect_identical(
+      sweep_multi_frontier(models, limits, work_units, parallel), naive,
+      "multi pool(4)");
+}
+
+}  // namespace
+}  // namespace hec

@@ -104,6 +104,86 @@ TEST(ParallelFor, MatchesSerialReduction) {
   EXPECT_DOUBLE_EQ(total, 9999.0 * 10000.0);
 }
 
+TEST(ParallelFor, TinyRangeRunsInlineOnCallingThread) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(kParallelInlineGrain);
+  parallel_for(0, ran_on.size(),
+               [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); },
+               pool);
+  for (const auto& id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForDynamic, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_dynamic(0, hits.size(), 7,
+                       [&](std::size_t i) { ++hits[i]; }, pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamic, HonoursBeginOffsetAndGrainLargerThanRange) {
+  ThreadPool pool(4);
+  std::vector<int> touched(10, 0);
+  parallel_for_dynamic(3, 7, 64, [&](std::size_t i) { touched[i] = 1; },
+                       pool);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], (i >= 3 && i < 7) ? 1 : 0);
+  }
+}
+
+TEST(ParallelForDynamic, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_dynamic(5, 5, 4, [&](std::size_t) { called = true; }, pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForDynamic, RejectsInvertedRangeAndZeroGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_dynamic(5, 3, 1, [](std::size_t) {}, pool),
+               ContractViolation);
+  EXPECT_THROW(parallel_for_dynamic(0, 5, 0, [](std::size_t) {}, pool),
+               ContractViolation);
+}
+
+TEST(ParallelForDynamic, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_dynamic(0, 500, 3,
+                           [](std::size_t i) {
+                             if (i == 457) throw std::runtime_error("bad");
+                           },
+                           pool),
+      std::runtime_error);
+}
+
+TEST(ParallelForDynamic, MatchesSerialReduction) {
+  ThreadPool pool(4);
+  std::vector<double> doubled(10000);
+  parallel_for_dynamic(0, doubled.size(), 11,
+                       [&](std::size_t i) { doubled[i] = 2.0 * double(i); },
+                       pool);
+  const double total = std::accumulate(doubled.begin(), doubled.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 9999.0 * 10000.0);
+}
+
+TEST(ThreadCountFromEnv, ParsesCountsAndFallsBack) {
+  EXPECT_EQ(thread_count_from_env(nullptr, 8), 8u);
+  EXPECT_EQ(thread_count_from_env("", 8), 8u);
+  EXPECT_EQ(thread_count_from_env("4", 8), 4u);
+  EXPECT_EQ(thread_count_from_env(" 16 ", 8), 16u);
+  // 0 requests serial execution: a single worker.
+  EXPECT_EQ(thread_count_from_env("0", 8), 1u);
+  // Garbage falls back.
+  EXPECT_EQ(thread_count_from_env("4x", 8), 8u);
+  EXPECT_EQ(thread_count_from_env("auto", 8), 8u);
+  EXPECT_EQ(thread_count_from_env("-2", 8), 8u);
+  EXPECT_EQ(thread_count_from_env("+2", 8), 8u);
+  // Absurd requests are capped.
+  EXPECT_EQ(thread_count_from_env("999999999", 8), 1024u);
+}
+
 TEST(GlobalPool, IsUsableAndStable) {
   ThreadPool& a = global_pool();
   ThreadPool& b = global_pool();
