@@ -1,16 +1,19 @@
 // Micro-benchmark: sweep-engine scaling on a ≥1M-configuration space.
 //
-// Runs the memoized + streaming sweep and the naive materialize-everything
-// reference over the same EP configuration space and reports wall time,
-// peak-RSS deltas and exact frontier identity. The fast path runs FIRST:
-// ru_maxrss is monotone, so ordering fast-before-naive attributes the
-// naive path's large allocations to its own delta instead of hiding them
-// under an earlier high-water mark.
+// Runs the memoized + streaming sweep, its crash-safe resumable twin
+// (journalling a checkpoint at every epoch boundary), and the naive
+// materialize-everything reference over the same EP configuration space;
+// reports wall time, peak-RSS deltas, checkpoint overhead and exact
+// frontier identity. The fast path runs FIRST: ru_maxrss is monotone, so
+// ordering fast-before-naive attributes the naive path's large
+// allocations to its own delta instead of hiding them under an earlier
+// high-water mark.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "hec/resilience/resumable.h"
 
 namespace {
 
@@ -43,6 +46,20 @@ int main() {
   const double fast_wall_s = seconds_since(fast_start);
   const double rss_after_fast_mib = peak_rss_mib();
 
+  // Resumable twin at a 20 ms commit cadence — 50x more aggressive than
+  // the 1 s production default, so a handful of durable (fsynced)
+  // checkpoints land inside this sub-100ms sweep and the overhead metric
+  // prices real commits, not just the epoch machinery.
+  hec::resilience::ResilienceOptions journaled;
+  journaled.journal_path = "bench_micro_sweep_journal.jsonl";
+  journaled.checkpoint_interval_s = 0.02;
+  const auto resumable_start = std::chrono::steady_clock::now();
+  const hec::resilience::ResumableSweepResult resumable =
+      hec::resilience::resumable_sweep_frontier(models.arm, models.amd,
+                                                limits, work_units, {},
+                                                journaled);
+  const double resumable_wall_s = seconds_since(resumable_start);
+
   const auto naive_start = std::chrono::steady_clock::now();
   const SweepResult naive =
       sweep_frontier_reference(models.arm, models.amd, limits, work_units);
@@ -56,6 +73,13 @@ int main() {
     identical = fast.frontier[i].t_s == naive.frontier[i].t_s &&
                 fast.frontier[i].energy_j == naive.frontier[i].energy_j &&
                 fast.frontier[i].tag == naive.frontier[i].tag;
+  }
+  bool resumable_identical =
+      resumable.complete &&
+      resumable.frontier.size() == fast.frontier.size();
+  for (std::size_t i = 0; resumable_identical && i < fast.frontier.size();
+       ++i) {
+    resumable_identical = resumable.frontier[i] == fast.frontier[i];
   }
 
   // RSS deltas from the monotone high-water mark. The fast path's
@@ -71,13 +95,20 @@ int main() {
   std::printf("configs          %zu (%zu blocks, %zu worker(s))\n",
               fast.stats.configs, fast.stats.blocks, fast.stats.workers);
   std::printf("frontier points  %zu\n", fast.frontier.size());
+  const double checkpoint_overhead_frac =
+      resumable_wall_s / fast_wall_s - 1.0;
   std::printf("fast             %.3f s, +%.1f MiB peak RSS\n", fast_wall_s,
               fast_rss_mib);
+  std::printf("resumable        %.3f s, %zu checkpoints (%+.1f%% wall)\n",
+              resumable_wall_s, resumable.checkpoints,
+              100.0 * checkpoint_overhead_frac);
   std::printf("naive            %.3f s, +%.1f MiB peak RSS\n", naive_wall_s,
               naive_rss_mib);
   std::printf("speedup          %.1fx\n", speedup);
   std::printf("rss reduction    %.1fx\n", rss_reduction);
   std::printf("frontier match   %s\n", identical ? "exact" : "MISMATCH");
+  std::printf("resumable match  %s\n",
+              resumable_identical ? "exact" : "MISMATCH");
 
   namespace tel = hec::bench::telemetry;
   tel::report_metric("micro_sweep.configs",
@@ -93,9 +124,26 @@ int main() {
                      tel::MetricKind::kPerf, "s");
   tel::report_metric("micro_sweep.naive_wall_s", naive_wall_s,
                      tel::MetricKind::kPerf, "s");
+  tel::report_metric("micro_sweep.resumable_identity",
+                     resumable_identical ? 1.0 : 0.0,
+                     tel::MetricKind::kAccuracy, "fraction");
+  tel::report_metric("micro_sweep.checkpoint_overhead_frac",
+                     checkpoint_overhead_frac, tel::MetricKind::kPerf,
+                     "fraction");
+  tel::report_metric("micro_sweep.checkpoints",
+                     static_cast<double>(resumable.checkpoints),
+                     tel::MetricKind::kCount, "commits");
 
-  if (!identical) {
+  if (!identical || !resumable_identical) {
     std::fprintf(stderr, "FAIL: frontiers differ\n");
+    return 1;
+  }
+  // The acceptance ceiling is 5%; a single loaded-machine run can wobble,
+  // so the in-binary gate sits at 3x that and the telemetry baseline
+  // tracks the precise value.
+  if (checkpoint_overhead_frac > 0.15) {
+    std::fprintf(stderr, "FAIL: checkpoint overhead %.1f%% (ceiling 15%%)\n",
+                 100.0 * checkpoint_overhead_frac);
     return 1;
   }
   // Soft floors well under the expected 5x/10x: catch structural

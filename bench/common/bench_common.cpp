@@ -13,6 +13,7 @@
 #include "hec/io/gnuplot.h"
 #include "hec/obs/export.h"
 #include "hec/obs/obs.h"
+#include "hec/util/atomic_file.h"
 
 namespace hec::bench {
 
@@ -28,12 +29,15 @@ namespace {
 void export_to_env_path(const char* env, void (*write)(std::ostream&)) {
   const char* path = std::getenv(env);
   if (path == nullptr || *path == '\0') return;
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "[bench-harness] cannot open " << path << "\n";
+  std::ostringstream out;
+  write(out);
+  try {
+    hec::util::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    // Exit-time export: report, don't abort the process's real exit code.
+    std::cerr << "[bench-harness] " << e.what() << "\n";
     return;
   }
-  write(out);
   std::cerr << "[bench-harness] wrote " << path << "\n";
 }
 
@@ -136,10 +140,15 @@ std::string describe(const ClusterConfig& config) {
 }
 
 CsvFile::CsvFile(const std::string& name)
-    : path_(name + ".csv"), out_(path_), writer_(out_) {}
+    : path_(name + ".csv"), writer_(out_) {}
 
 CsvFile::~CsvFile() {
-  out_.flush();
+  try {
+    hec::util::atomic_write_file(path_, out_.str());
+  } catch (const std::exception& e) {
+    std::cerr << "[csv] " << e.what() << "\n";
+    std::exit(hec::util::kExitIoError);
+  }
   std::cout << "\n[csv] wrote " << path_ << " (" << writer_.rows_written()
             << " rows)\n";
 }

@@ -7,7 +7,7 @@
 // stays focused on its experiment.
 #pragma once
 
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,8 +59,10 @@ std::vector<TimeEnergyPoint> filtered_frontier(
 /// Short "ARM n(c@f) + AMD n(c@f)" description of a configuration.
 std::string describe(const ClusterConfig& config);
 
-/// Opens <name>.csv in the working directory and reports the path chosen.
-/// Returns the stream; prints "wrote <path>" on destruction.
+/// Buffers CSV rows for <name>.csv in the working directory and commits
+/// them atomically (temp + fsync + rename) on destruction, so a crash or
+/// full disk never leaves a truncated dump; prints "wrote <path>" on
+/// success and exits with code 74 (EX_IOERR) on write failure.
 class CsvFile {
  public:
   explicit CsvFile(const std::string& name);
@@ -71,7 +73,7 @@ class CsvFile {
 
  private:
   std::string path_;
-  std::ofstream out_;
+  std::ostringstream out_;
   CsvWriter writer_;
 };
 

@@ -147,9 +147,14 @@ struct BenchAggregate {
   std::string bench;  ///< binary name, e.g. "bench_fig4_pareto_ep"
   int exit_code = 0;
   bool timed_out = false;
+  int term_signal = 0;  ///< signal that killed the child (0 = exited)
+  int retries = 0;      ///< interrupted attempts that were re-run
   std::vector<RunRecord> runs;          ///< parsed per-run records
   std::vector<double> runner_wall_s;    ///< child wall per repeat (fallback)
 };
+
+/// "SIGKILL"/"SIGSEGV"/... for the common signals, "SIG<n>" otherwise.
+std::string signal_name(int sig);
 
 /// Aggregates repeats into the suite-schema bench entry: medians for
 /// every numeric, min/max spread for wall/RSS. Works with zero parsed

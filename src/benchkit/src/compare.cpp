@@ -228,8 +228,16 @@ void write_markdown_report(std::ostream& out, const json::Value& suite,
         << " | " << fmt(b["wall_s"]["median"].as_number()) << " | "
         << fmt(b["peak_rss_mb"]["median"].as_number()) << " | "
         << fmt(b["spans_dropped_total"].as_number(), 10) << " | "
-        << fmt(b["exit_code"].as_number(), 3)
-        << (b["timed_out"].as_bool() ? " (timeout)" : "") << " |\n";
+        << fmt(b["exit_code"].as_number(), 3);
+    // term_signal/retries only exist for signal-killed / re-run benches.
+    if (const json::Value* sig = b.find("term_signal")) {
+      out << " (" << sig->as_string() << ")";
+    }
+    if (b["timed_out"].as_bool()) out << " (timeout)";
+    if (const json::Value* retries = b.find("retries")) {
+      out << " (retried x" << fmt(retries->as_number(), 3) << ")";
+    }
+    out << " |\n";
   }
 
   out << "\n## Accuracy metrics\n\n";

@@ -4,14 +4,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
 
 #include "hec/obs/metrics.h"
 #include "hec/obs/span.h"
+#include "hec/util/atomic_file.h"
 
 namespace hec::bench::telemetry {
 
@@ -289,10 +292,32 @@ json::Value stats_json(const Stats& s) {
 
 }  // namespace
 
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+  }
+  return "SIG" + std::to_string(sig);
+}
+
 json::Value aggregate_bench(const BenchAggregate& agg) {
   json::Value v;
   v["exit_code"] = agg.exit_code;
   v["timed_out"] = json::Value(agg.timed_out);
+  // Only present for signal deaths / re-runs: keys absent from healthy
+  // suites so baselines stay unchanged.
+  if (agg.term_signal != 0) v["term_signal"] = signal_name(agg.term_signal);
+  if (agg.retries != 0) v["retries"] = agg.retries;
   v["runs"] = agg.runs.size();
 
   // Wall time: prefer the benches' own records (measured inside the
@@ -399,14 +424,14 @@ struct RunRecordFlusher {
     if (path == nullptr || *path == '\0') return;
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "[bench-telemetry] cannot open %s\n", path);
-      return;
-    }
+    std::ostringstream out;
     to_json(collect_current_run(wall.count())).write(out);
-    if (!out) {
-      std::fprintf(stderr, "[bench-telemetry] short write to %s\n", path);
+    try {
+      // Atomic replace: the runner either reads a complete record or
+      // none (it treats a missing file as "child died before exit").
+      util::atomic_write_file(path, out.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench-telemetry] %s\n", e.what());
     }
   }
 };

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hec/config/cluster_config.h"
@@ -69,6 +70,14 @@ class ConfigSpaceLayout {
   /// Full configuration at a global index; bit-identical to
   /// enumerate_configs(...)[index].
   ClusterConfig config(std::size_t index) const;
+
+  /// Compact structural description of the space — per-type axis sizes
+  /// and the total — e.g. "hetero arm=1060 amd=954 total=1013254". Two
+  /// layouts with equal descriptions enumerate the same index ↔
+  /// configuration mapping, which is what the sweep checkpoint journal
+  /// fingerprints so a resume never replays indices into a different
+  /// space (hec/resilience/journal.h).
+  std::string describe() const;
 
  private:
   struct TypeAxis {

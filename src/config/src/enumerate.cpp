@@ -93,6 +93,22 @@ ClusterConfig ConfigSpaceLayout::config(std::size_t index) const {
   return cfg;
 }
 
+std::string ConfigSpaceLayout::describe() const {
+  // Frequencies are listed exactly (to_chars round-trip precision lives
+  // in the journal values, not here): equal descriptions really do mean
+  // equal index → configuration decode.
+  const auto axis_text = [](const TypeAxis& axis) {
+    std::string text = std::to_string(axis.cores) + "c@";
+    for (std::size_t i = 0; i < axis.freqs_ghz.size(); ++i) {
+      if (i != 0) text += '/';
+      text += std::to_string(axis.freqs_ghz[i]);
+    }
+    return text + " points=" + std::to_string(axis.points);
+  };
+  return "hetero arm[" + axis_text(arm_) + "] amd[" + axis_text(amd_) +
+         "] total=" + std::to_string(size_);
+}
+
 std::vector<ClusterConfig> enumerate_configs(const NodeSpec& arm,
                                              const NodeSpec& amd,
                                              const EnumerationLimits& limits) {

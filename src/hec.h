@@ -38,6 +38,9 @@
 #include "hec/pareto/sweet_region.h"       // IWYU pragma: export
 #include "hec/queueing/md1.h"              // IWYU pragma: export
 #include "hec/report/markdown_report.h"    // IWYU pragma: export
+#include "hec/resilience/failpoint.h"      // IWYU pragma: export
+#include "hec/resilience/journal.h"        // IWYU pragma: export
+#include "hec/resilience/resumable.h"      // IWYU pragma: export
 #include "hec/queueing/queue_sim.h"        // IWYU pragma: export
 #include "hec/queueing/variants.h"         // IWYU pragma: export
 #include "hec/queueing/window_analysis.h"  // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "hec/util/atomic_file.h"
 #include "hec/util/expect.h"
 
 namespace hec {
@@ -225,10 +226,9 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for write");
-  out << text;
-  if (!out) throw std::runtime_error("write failed for " + path);
+  // Atomic replace (hec::IoError on failure): a crash mid-save never
+  // truncates a previously good inputs file.
+  util::atomic_write_file(path, text);
 }
 }  // namespace
 

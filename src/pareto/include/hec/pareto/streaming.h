@@ -55,6 +55,15 @@ class ParetoAccumulator {
   /// Points accepted so far (including ones later found dominated).
   std::size_t points_seen() const { return points_seen_; }
 
+  /// Preloads a compacted partial frontier (as produced by take(),
+  /// pareto_frontier or merge_frontiers) into an empty accumulator, as
+  /// if every one of its points had been add()ed. The checkpoint-resume
+  /// path uses this to seed a fresh accumulator with the journaled
+  /// carry frontier; by the compaction identity, the final take() is
+  /// bit-identical to one uninterrupted accumulation. Validated (sorted,
+  /// strictly decreasing energy) on entry.
+  void seed(std::vector<TimeEnergyPoint> frontier);
+
   /// Compacts and returns the frontier of all added points, sorted by
   /// ascending time. The accumulator is left empty and reusable.
   std::vector<TimeEnergyPoint> take();

@@ -27,6 +27,15 @@ void ParetoAccumulator::compact() {
   frontier_ = pareto_scan_sorted(std::move(merged));
 }
 
+void ParetoAccumulator::seed(std::vector<TimeEnergyPoint> frontier) {
+  HEC_EXPECTS(frontier_.empty() && buffer_.empty());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    HEC_EXPECTS(frontier[i - 1].t_s < frontier[i].t_s);
+    HEC_EXPECTS(frontier[i - 1].energy_j > frontier[i].energy_j);
+  }
+  frontier_ = std::move(frontier);
+}
+
 std::vector<TimeEnergyPoint> ParetoAccumulator::take() {
   compact();
   points_seen_ = 0;

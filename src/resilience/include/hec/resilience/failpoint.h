@@ -1,0 +1,11 @@
+// Deterministic failpoint harness — re-export.
+//
+// The implementation lives in hec/util/failpoint.h so the lowest layers
+// (file I/O, thread-pool workers, block claims) can hook sites without
+// depending on this library; resilience is the subsystem that *drives*
+// them (HEC_FAILPOINT=<site>:<nth>[:crash|error|delay] in the
+// crash-restart tests and CI canaries), so the harness is also part of
+// its public surface.
+#pragma once
+
+#include "hec/util/failpoint.h"  // IWYU pragma: export

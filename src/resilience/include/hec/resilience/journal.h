@@ -1,0 +1,95 @@
+// Sweep checkpoint journal: durable snapshots of a streaming sweep.
+//
+// A million-config sweep_frontier run that dies mid-way (OOM kill,
+// preemption, ENOSPC, ctrl-C) used to lose everything. The journal
+// periodically persists the sweep's progress — the atomic block cursor
+// plus the compacted partial frontier of every configuration below it —
+// and resume_sweep (hec/resilience/resumable.h) restarts from the last
+// durable checkpoint with a bit-identical final frontier, guaranteed by
+// the compaction identity frontier(frontier(A) ∪ B) == frontier(A ∪ B)
+// (hec/pareto/streaming.h).
+//
+// Format: hec-sweep-journal/v1, a two-line JSONL file replaced
+// atomically (write-temp → fsync → rename) on every commit:
+//
+//   {"schema":"hec-sweep-journal/v1","space":"<layout describe()>",
+//    "total":N,"work_units":W}
+//   {"checkpoint":{"cursor":C,"seq":K,"frontier":[[t,e,tag],...]},
+//    "crc64":"<hex FNV-1a of the checkpoint's compact serialisation>"}
+//
+// Numbers use shortest-round-trip rendering (hec/bench/json.h), so
+// times and energies reload to the last bit. A journal that fails to
+// parse, fails its CRC, or fingerprints a different space is reported
+// as corrupt/mismatched — the caller restarts from scratch with a
+// warning; a wrong frontier is never produced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+
+namespace hec::resilience {
+
+inline constexpr std::string_view kJournalSchema = "hec-sweep-journal/v1";
+
+/// One durable snapshot: every configuration index < cursor has been
+/// evaluated and `frontier` is exactly the Pareto frontier over them.
+struct JournalCheckpoint {
+  std::size_t cursor = 0;
+  std::uint64_t seq = 0;  ///< commit ordinal (for logs/tests)
+  std::vector<TimeEnergyPoint> frontier;
+};
+
+/// Why a journal load produced no usable checkpoint, or kOk.
+enum class JournalLoadStatus {
+  kNone,      ///< no journal file: fresh start
+  kOk,        ///< checkpoint loaded
+  kCorrupt,   ///< unparseable / truncated / CRC mismatch: restart, warn
+  kMismatch,  ///< valid journal for a *different* space: restart, warn
+};
+const char* to_string(JournalLoadStatus status);
+
+struct JournalLoadResult {
+  JournalLoadStatus status = JournalLoadStatus::kNone;
+  JournalCheckpoint checkpoint;  ///< valid only when status == kOk
+  std::string detail;            ///< human-readable reason for non-kOk
+};
+
+/// FNV-1a 64-bit, the journal's line checksum (also exposed for tests).
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Owns one journal file for one sweep space. The space signature
+/// (ConfigSpaceLayout::describe() plus the work parameters) fingerprints
+/// the enumeration so indices never replay into a different space.
+class SweepJournal {
+ public:
+  /// `total` is the space size; `space_signature` must be identical
+  /// across the runs that are allowed to resume each other.
+  SweepJournal(std::string path, std::string space_signature,
+               std::size_t total, double work_units);
+
+  const std::string& path() const { return path_; }
+
+  /// Loads the last durable checkpoint. Never throws on bad content —
+  /// corruption is a load *status*, not an error, because the correct
+  /// response (restart from scratch) is always available.
+  JournalLoadResult load() const;
+
+  /// Durably commits a checkpoint (atomic whole-file replace + fsync).
+  /// Throws hec::IoError on write failure. Failpoint: journal.commit.
+  void commit(const JournalCheckpoint& checkpoint);
+
+  /// Removes the journal file (sweep completed; nothing to resume).
+  void remove() const;
+
+ private:
+  std::string path_;
+  std::string signature_;
+  std::size_t total_;
+  double work_units_;
+};
+
+}  // namespace hec::resilience

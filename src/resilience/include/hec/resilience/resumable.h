@@ -1,0 +1,95 @@
+// Crash-safe, deadline-bounded sweeps: the resumable twin of
+// hec/sweep/sweep.h.
+//
+// The resumable engine runs the same claim-loop reduction as the plain
+// sweeps (hec/sweep/reduction.h), but structures the index space into
+// epochs of `checkpoint_blocks` blocks. At each epoch boundary it
+//
+//   * merges the epoch's per-worker partial frontiers into the carry
+//     frontier (exact, by the compaction identity),
+//   * commits {cursor, carry frontier} to the SweepJournal when the
+//     checkpoint interval elapsed (atomic write → a crash at any
+//     instant leaves the previous durable checkpoint intact),
+//   * checks the wall-clock deadline and, when exceeded, stops cleanly
+//     at the block boundary and returns the partial frontier with
+//     coverage metadata instead of nothing.
+//
+// resume semantics: when the journal holds a checkpoint for the same
+// space fingerprint, enumeration restarts at its cursor with the carry
+// frontier seeded from it; the final frontier is bit-identical — same
+// times, energies, tags, order — to an uninterrupted run. A corrupt or
+// mismatched journal is reported (stderr warning + obs counter) and the
+// sweep restarts from scratch: never a wrong frontier.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "hec/sweep/sweep.h"
+
+namespace hec::resilience {
+
+/// Exit code for a deadline-stopped partial result, after sysexits.h
+/// EX_TEMPFAIL ("try again later" — resume finishes the job).
+inline constexpr int kExitPartial = 75;
+
+/// Knobs of the checkpoint/deadline layer. The defaults checkpoint
+/// roughly once per second of sweep and never stop early.
+struct ResilienceOptions {
+  /// Journal file; empty disables checkpointing (deadline still works).
+  std::string journal_path;
+  /// Blocks per epoch — the granularity of checkpoint decisions. This is
+  /// a cap: spaces smaller than ~16 epochs shrink the epoch so short
+  /// sweeps still reach checkpoint boundaries.
+  std::size_t checkpoint_blocks = 64;
+  /// Minimum wall seconds between journal commits (commits happen at
+  /// the first epoch boundary after the interval; 0 commits every
+  /// epoch). Correctness never depends on the cadence.
+  double checkpoint_interval_s = 1.0;
+  /// Wall-clock budget for enumeration; infinity = run to completion.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// False ignores an existing journal (always start from scratch).
+  bool resume = true;
+};
+
+/// Reads HEC_DEADLINE_S (wall seconds, > 0) from the environment;
+/// returns infinity when unset or unparseable-as-positive.
+double deadline_from_env();
+
+/// A resumable sweep's product: the (possibly partial) frontier plus
+/// coverage and checkpoint accounting.
+struct ResumableSweepResult {
+  std::vector<TimeEnergyPoint> frontier;
+  SweepStats stats;
+  std::size_t configs_visited = 0;  ///< indices evaluated (this run + resumed)
+  std::size_t configs_total = 0;
+  bool complete = true;             ///< false: deadline stopped the sweep
+  bool resumed = false;             ///< a journal checkpoint was loaded
+  std::size_t resume_cursor = 0;    ///< cursor restored from the journal
+  std::size_t checkpoints = 0;      ///< journal commits this run
+};
+
+/// Two-type sweep (sweep_frontier's space). When run to completion the
+/// frontier is bit-identical to sweep_frontier / the naive reference,
+/// whether or not the run was interrupted and resumed any number of
+/// times. A partial (deadline) result's frontier is exactly the
+/// frontier of configurations [0, configs_visited).
+ResumableSweepResult resumable_sweep_frontier(
+    const NodeTypeModel& arm_model, const NodeTypeModel& amd_model,
+    const EnumerationLimits& limits, double work_units,
+    const SweepOptions& opts = {}, const ResilienceOptions& resilience = {});
+
+/// Robust (Monte Carlo fault-model) sweep; resumable twin of
+/// sweep_robust_frontier.
+ResumableSweepResult resumable_sweep_robust_frontier(
+    const RobustConfigEvaluator& evaluator, const EnumerationLimits& limits,
+    double work_units, double deadline_s, double max_miss_prob,
+    const SweepOptions& opts = {}, const ResilienceOptions& resilience = {});
+
+/// N-type sweep; resumable twin of sweep_multi_frontier.
+ResumableSweepResult resumable_sweep_multi_frontier(
+    std::vector<const NodeTypeModel*> models, std::span<const int> limits,
+    double work_units, const SweepOptions& opts = {},
+    const ResilienceOptions& resilience = {});
+
+}  // namespace hec::resilience

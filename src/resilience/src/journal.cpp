@@ -1,0 +1,172 @@
+#include "hec/resilience/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "hec/bench/json.h"
+#include "hec/obs/obs.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/failpoint.h"
+
+namespace hec::resilience {
+
+namespace json = hec::bench::json;
+
+const char* to_string(JournalLoadStatus status) {
+  switch (status) {
+    case JournalLoadStatus::kNone: return "none";
+    case JournalLoadStatus::kOk: return "ok";
+    case JournalLoadStatus::kCorrupt: return "corrupt";
+    case JournalLoadStatus::kMismatch: return "mismatch";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+json::Value checkpoint_payload(const JournalCheckpoint& cp) {
+  json::Value payload;
+  payload["cursor"] = static_cast<double>(cp.cursor);
+  payload["seq"] = static_cast<double>(cp.seq);
+  json::Value::Array frontier;
+  frontier.reserve(cp.frontier.size());
+  for (const TimeEnergyPoint& p : cp.frontier) {
+    json::Value::Array point;
+    point.emplace_back(p.t_s);
+    point.emplace_back(p.energy_j);
+    point.emplace_back(static_cast<double>(p.tag));
+    frontier.emplace_back(std::move(point));
+  }
+  payload["frontier"] = json::Value(std::move(frontier));
+  return payload;
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, std::string space_signature,
+                           std::size_t total, double work_units)
+    : path_(std::move(path)),
+      signature_(std::move(space_signature)),
+      total_(total),
+      work_units_(work_units) {}
+
+JournalLoadResult SweepJournal::load() const {
+  JournalLoadResult result;
+  std::ifstream in(path_);
+  if (!in) {
+    result.status = JournalLoadStatus::kNone;
+    return result;
+  }
+  const auto corrupt = [&](const std::string& why) {
+    result.status = JournalLoadStatus::kCorrupt;
+    result.detail = why;
+    result.checkpoint = {};
+    return result;
+  };
+
+  std::string header_line;
+  if (!std::getline(in, header_line)) {
+    return corrupt("empty journal file");
+  }
+  std::string error;
+  const auto header = json::Value::parse(header_line, &error);
+  if (!header) return corrupt("unparseable header: " + error);
+  if (header->operator[]("schema").as_string() != kJournalSchema) {
+    return corrupt("unknown schema '" +
+                   header->operator[]("schema").as_string() + "'");
+  }
+  if (header->operator[]("space").as_string() != signature_ ||
+      header->operator[]("total").as_number() !=
+          static_cast<double>(total_) ||
+      header->operator[]("work_units").as_number() != work_units_) {
+    result.status = JournalLoadStatus::kMismatch;
+    result.detail = "journal is for space '" +
+                    header->operator[]("space").as_string() +
+                    "', this sweep is '" + signature_ + "'";
+    return result;
+  }
+
+  std::string checkpoint_line;
+  if (!std::getline(in, checkpoint_line) || checkpoint_line.empty()) {
+    return corrupt("missing checkpoint line");
+  }
+  const auto record = json::Value::parse(checkpoint_line, &error);
+  if (!record) return corrupt("unparseable checkpoint: " + error);
+  const json::Value& payload = record->operator[]("checkpoint");
+  if (!payload.is_object()) return corrupt("checkpoint is not an object");
+  const std::string want_crc = record->operator[]("crc64").as_string();
+  const std::string got_crc = hex64(fnv1a64(payload.dump(/*pretty=*/false)));
+  if (want_crc != got_crc) {
+    return corrupt("checkpoint CRC mismatch (want " + want_crc + ", got " +
+                   got_crc + ")");
+  }
+
+  JournalCheckpoint cp;
+  cp.cursor = static_cast<std::size_t>(payload["cursor"].as_number());
+  cp.seq = static_cast<std::uint64_t>(payload["seq"].as_number());
+  if (cp.cursor > total_) return corrupt("cursor beyond space size");
+  double prev_t = -1.0;
+  for (const json::Value& pv : payload["frontier"].as_array()) {
+    const json::Value::Array& triple = pv.as_array();
+    if (triple.size() != 3) return corrupt("frontier point is not [t,e,tag]");
+    TimeEnergyPoint p;
+    p.t_s = triple[0].as_number();
+    p.energy_j = triple[1].as_number();
+    p.tag = static_cast<std::size_t>(triple[2].as_number());
+    // Frontier invariant: strictly increasing time. A journal that
+    // breaks it would poison the seed accumulator; reject it instead.
+    if (p.t_s <= prev_t) return corrupt("frontier not strictly sorted");
+    prev_t = p.t_s;
+    cp.frontier.push_back(p);
+  }
+  result.status = JournalLoadStatus::kOk;
+  result.checkpoint = std::move(cp);
+  return result;
+}
+
+void SweepJournal::commit(const JournalCheckpoint& checkpoint) {
+  HEC_SPAN("resilience.checkpoint");
+  HEC_FAILPOINT_HIT("journal.commit");
+  json::Value header;
+  header["schema"] = json::Value(std::string(kJournalSchema));
+  header["space"] = signature_;
+  header["total"] = static_cast<double>(total_);
+  header["work_units"] = work_units_;
+
+  const json::Value payload = checkpoint_payload(checkpoint);
+  const std::string payload_text = payload.dump(/*pretty=*/false);
+
+  std::ostringstream out;
+  out << header.dump(/*pretty=*/false) << "\n"
+      << "{\"checkpoint\":" << payload_text << ",\"crc64\":\""
+      << hex64(fnv1a64(payload_text)) << "\"}\n";
+  const std::string text = out.str();
+  util::atomic_write_file(path_, text);
+  HEC_COUNTER_INC("resilience.checkpoints");
+  HEC_COUNTER_ADD("resilience.journal_bytes",
+                  static_cast<double>(text.size()));
+}
+
+void SweepJournal::remove() const {
+  std::remove(path_.c_str());
+}
+
+}  // namespace hec::resilience

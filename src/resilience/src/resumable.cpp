@@ -1,0 +1,245 @@
+#include "hec/resilience/resumable.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "hec/obs/obs.h"
+#include "hec/resilience/journal.h"
+#include "hec/sweep/reduction.h"
+#include "hec/util/expect.h"
+
+namespace hec::resilience {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Epoch-structured reduction shared by the three resumable twins.
+/// `signature` fingerprints the enumeration (space layout plus every
+/// parameter that changes per-index outcomes), so a journal never
+/// resumes into a different sweep.
+template <typename ConsumeBlock>
+ResumableSweepResult run_resumable(const std::string& signature,
+                                   std::size_t total, std::size_t claim,
+                                   double work_units, const SweepOptions& opts,
+                                   const ResilienceOptions& res,
+                                   const ConsumeBlock& consume_block) {
+  HEC_EXPECTS(res.checkpoint_blocks >= 1);
+  const Clock::time_point start = Clock::now();
+  ResumableSweepResult result;
+  result.configs_total = total;
+  result.stats.configs = total;
+
+  std::optional<SweepJournal> journal;
+  if (!res.journal_path.empty()) {
+    journal.emplace(res.journal_path, signature, total, work_units);
+  }
+
+  std::size_t cursor = 0;
+  std::uint64_t seq = 0;
+  std::vector<TimeEnergyPoint> carry;
+  if (journal && res.resume) {
+    const JournalLoadResult loaded = journal->load();
+    switch (loaded.status) {
+      case JournalLoadStatus::kNone:
+        break;
+      case JournalLoadStatus::kOk:
+        cursor = loaded.checkpoint.cursor;
+        seq = loaded.checkpoint.seq;
+        carry = loaded.checkpoint.frontier;
+        result.resumed = true;
+        result.resume_cursor = cursor;
+        HEC_COUNTER_INC("resilience.resumes");
+        break;
+      case JournalLoadStatus::kCorrupt:
+      case JournalLoadStatus::kMismatch:
+        // The only safe continuation is a fresh sweep: a damaged
+        // checkpoint must never shape the frontier.
+        std::fprintf(stderr,
+                     "warning: sweep journal %s is %s (%s); restarting "
+                     "sweep from scratch\n",
+                     journal->path().c_str(), to_string(loaded.status),
+                     loaded.detail.c_str());
+        HEC_COUNTER_INC("resilience.journal_corrupt");
+        break;
+    }
+  }
+
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : global_pool();
+  // checkpoint_blocks caps the epoch; small spaces shrink it to ~1/16 of
+  // the sweep so they still reach checkpoint boundaries (epoch sizing
+  // affects only checkpoint cadence, never the frontier).
+  const std::size_t epoch_span = std::min(
+      claim * res.checkpoint_blocks, std::max(claim, total / 16));
+  double last_commit_s = 0.0;
+  result.complete = true;
+
+  // Workers poll this before every block claim, so a deadline stops the
+  // sweep within one block — not one epoch — while the consumed range
+  // stays a contiguous, checkpointable prefix (see reduce_index_range).
+  const bool bounded = res.deadline_s < std::numeric_limits<double>::infinity();
+  const std::function<bool()> past_deadline = [&] {
+    return seconds_since(start) >= res.deadline_s;
+  };
+
+  while (cursor < total) {
+    const std::size_t epoch_end = std::min(total, cursor + epoch_span);
+    RangeReduction reduction = reduce_index_range(
+        pool, opts.parallel, cursor, epoch_end, claim, opts.compact_limit,
+        std::move(carry), consume_block,
+        bounded ? &past_deadline : nullptr);
+    result.stats.blocks += reduction.blocks;
+    result.stats.workers = std::max(result.stats.workers, reduction.workers);
+    carry = merge_frontiers(reduction.partials);
+    cursor = reduction.end;
+    if (cursor < epoch_end) {  // the deadline stopped the claim loop
+      result.complete = false;
+      break;
+    }
+    if (journal) {
+      const double elapsed = seconds_since(start);
+      if (cursor < total &&
+          elapsed - last_commit_s >= res.checkpoint_interval_s) {
+        journal->commit({cursor, ++seq, carry});
+        ++result.checkpoints;
+        last_commit_s = elapsed;
+      }
+    }
+  }
+
+  result.configs_visited = cursor;
+  result.frontier = std::move(carry);
+  HEC_GAUGE_SET("resilience.configs_visited",
+                static_cast<double>(result.configs_visited));
+  // Mirror the plain sweeps' finish() accounting so dashboards see one
+  // metric surface regardless of which engine ran.
+  HEC_GAUGE_SET("sweep.frontier_size",
+                static_cast<double>(result.frontier.size()));
+  HEC_COUNTER_ADD("sweep.configs",
+                  static_cast<double>(result.configs_visited));
+  if (journal) {
+    if (result.complete) {
+      // Finished: nothing left to resume; a stale journal would only
+      // confuse the next run.
+      journal->remove();
+    } else {
+      // Deadline-stopped: persist the boundary we reached even if the
+      // interval hadn't elapsed, so a resume loses no work.
+      journal->commit({cursor, ++seq, result.frontier});
+      ++result.checkpoints;
+    }
+  }
+  return result;
+}
+
+/// Per-type axis fingerprint for the multi-type signature (mirrors
+/// ConfigSpaceLayout::describe's per-axis text).
+std::string axis_signature(const NodeSpec& spec, int limit) {
+  std::string text = std::to_string(spec.cores) + "c@";
+  const std::vector<double> freqs = spec.pstates.frequencies_ghz();
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i != 0) text += '/';
+    text += std::to_string(freqs[i]);
+  }
+  return text + " limit=" + std::to_string(limit);
+}
+
+}  // namespace
+
+double deadline_from_env() {
+  const char* raw = std::getenv("HEC_DEADLINE_S");
+  if (raw == nullptr || *raw == '\0') {
+    return std::numeric_limits<double>::infinity();
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(value > 0.0)) {
+    std::fprintf(stderr,
+                 "warning: ignoring HEC_DEADLINE_S='%s' (want a positive "
+                 "number of seconds)\n",
+                 raw);
+    return std::numeric_limits<double>::infinity();
+  }
+  return value;
+}
+
+ResumableSweepResult resumable_sweep_frontier(
+    const NodeTypeModel& arm_model, const NodeTypeModel& amd_model,
+    const EnumerationLimits& limits, double work_units,
+    const SweepOptions& opts, const ResilienceOptions& resilience) {
+  HEC_SPAN("resilience.sweep_frontier");
+  const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
+  return run_resumable(
+      memo.layout().describe(), memo.size(), opts.block, work_units, opts,
+      resilience,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const ConfigOutcome o = memo.evaluate_at(i, work_units);
+          acc.add({o.t_s, o.energy_j, i});
+        }
+        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+      });
+}
+
+ResumableSweepResult resumable_sweep_robust_frontier(
+    const RobustConfigEvaluator& evaluator, const EnumerationLimits& limits,
+    double work_units, double deadline_s, double max_miss_prob,
+    const SweepOptions& opts, const ResilienceOptions& resilience) {
+  HEC_EXPECTS(max_miss_prob >= 0.0 && max_miss_prob <= 1.0);
+  HEC_SPAN("resilience.sweep_robust_frontier");
+  const ConfigSpaceLayout layout(evaluator.arm_model().spec(),
+                                 evaluator.amd_model().spec(), limits);
+  // The robust sweep's outcome at an index also depends on the job
+  // deadline and admissibility threshold; fold them into the space
+  // fingerprint so those runs never resume each other.
+  const std::string signature =
+      "robust " + layout.describe() +
+      " deadline=" + std::to_string(deadline_s) +
+      " max_miss=" + std::to_string(max_miss_prob);
+  return run_resumable(
+      signature, layout.size(), opts.robust_block, work_units, opts,
+      resilience,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const RobustOutcome o =
+              evaluator.evaluate(layout.config(i), work_units, deadline_s,
+                                 /*parallel=*/false);
+          if (o.miss_prob <= max_miss_prob) {
+            acc.add({o.mean_t_s, o.mean_energy_j, i});
+          }
+        }
+      });
+}
+
+ResumableSweepResult resumable_sweep_multi_frontier(
+    std::vector<const NodeTypeModel*> models, std::span<const int> limits,
+    double work_units, const SweepOptions& opts,
+    const ResilienceOptions& resilience) {
+  HEC_SPAN("resilience.sweep_multi_frontier");
+  std::string signature = "multi types=" + std::to_string(models.size());
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    HEC_EXPECTS(models[t] != nullptr);
+    signature += " [" + axis_signature(models[t]->spec(), limits[t]) + "]";
+  }
+  const MemoizedMultiEvaluator memo(std::move(models), limits);
+  signature += " total=" + std::to_string(memo.size());
+  return run_resumable(
+      signature, memo.size(), opts.block, work_units, opts, resilience,
+      [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
+        for (std::size_t i = first; i < first + count; ++i) {
+          const MultiOutcome o = memo.evaluate_at(i, work_units);
+          acc.add({o.t_s, o.energy_j, i});
+        }
+        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+      });
+}
+
+}  // namespace hec::resilience

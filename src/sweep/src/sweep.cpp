@@ -1,73 +1,34 @@
 #include "hec/sweep/sweep.h"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <future>
 #include <utility>
 
 #include "hec/obs/obs.h"
 #include "hec/pareto/robust_frontier.h"
 #include "hec/pareto/streaming.h"
+#include "hec/sweep/reduction.h"
 #include "hec/util/expect.h"
 
 namespace hec {
 
 namespace {
 
-/// Runs the generic streaming reduction: workers claim `claim`-sized
-/// index blocks from an atomic cursor and feed `consume_block(first,
-/// count, accumulator)`; per-worker partial frontiers merge at the end.
-/// The result is bit-identical for any claim size, worker count or
-/// compaction limit (see hec/pareto/streaming.h).
+/// Runs the generic streaming reduction (hec/sweep/reduction.h) over the
+/// whole index space in one pass; per-worker partial frontiers merge at
+/// the end. The result is bit-identical for any claim size, worker count
+/// or compaction limit (see hec/pareto/streaming.h).
 template <typename ConsumeBlock>
 SweepResult run_streaming_reduction(std::size_t total, std::size_t claim,
                                     const SweepOptions& opts,
                                     const ConsumeBlock& consume_block) {
-  HEC_EXPECTS(claim >= 1);
   SweepResult result;
   result.stats.configs = total;
-  result.stats.blocks = (total + claim - 1) / claim;
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : global_pool();
-  const std::size_t workers =
-      opts.parallel ? std::min(pool.thread_count(), result.stats.blocks)
-                    : std::size_t{1};
-  result.stats.workers = std::max<std::size_t>(workers, 1);
-
-  if (result.stats.workers <= 1) {
-    ParetoAccumulator acc(opts.compact_limit);
-    for (std::size_t first = 0; first < total; first += claim) {
-      consume_block(first, std::min(claim, total - first), acc);
-    }
-    result.frontier = acc.take();
-    return result;
-  }
-
-  std::atomic<std::size_t> cursor{0};
-  std::vector<std::vector<TimeEnergyPoint>> partials(result.stats.workers);
-  std::vector<std::future<void>> futures;
-  futures.reserve(result.stats.workers);
-  for (std::size_t w = 0; w < result.stats.workers; ++w) {
-    futures.push_back(pool.submit([&, w] {
-      ParetoAccumulator acc(opts.compact_limit);
-      for (;;) {
-        const std::size_t first = cursor.fetch_add(claim);
-        if (first >= total) break;
-        consume_block(first, std::min(claim, total - first), acc);
-      }
-      partials[w] = acc.take();
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  result.frontier = merge_frontiers(partials);
+  RangeReduction reduction =
+      reduce_index_range(pool, opts.parallel, 0, total, claim,
+                         opts.compact_limit, {}, consume_block);
+  result.stats.blocks = reduction.blocks;
+  result.stats.workers = reduction.workers;
+  result.frontier = merge_frontiers(reduction.partials);
   return result;
 }
 

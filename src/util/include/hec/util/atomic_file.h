@@ -1,0 +1,67 @@
+// Crash-safe file output: write-temp → fsync → rename.
+//
+// Every durable sink in the library (gnuplot scripts, CSV dumps, obs
+// trace/metrics exports, benchkit records, sweep journals) funnels
+// through atomic_write_file, which guarantees that a reader — including
+// this process restarted after a crash — sees either the previous
+// complete file or the new complete file, never a truncation, and that
+// every write error (ENOSPC, EPERM, EIO) is surfaced as hec::IoError
+// instead of a silently short file. Tools map IoError to exit code 74
+// (sysexits.h EX_IOERR).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hec {
+
+/// A file write failed (open, write, fsync or rename). The path and the
+/// failing step are in what(); tools exit 74 (EX_IOERR) on it.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace util {
+
+/// Exit code tools use for IoError, after sysexits.h EX_IOERR.
+inline constexpr int kExitIoError = 74;
+
+/// Durably replaces `path` with `contents`: writes <path>.tmp.<pid> in
+/// the same directory, fsyncs it, renames it over `path` and fsyncs the
+/// directory. Throws IoError on any failure, leaving `path` untouched
+/// (the temp file is unlinked best-effort). Non-regular targets that
+/// already exist (/dev/null, pipes) are written directly — atomicity is
+/// meaningless for them and a temp file beside /dev/null is not
+/// creatable anyway.
+///
+/// Failpoint sites (hec/util/failpoint.h): io.atomic_write.open,
+/// io.atomic_write.write, io.atomic_write.fsync, io.atomic_write.rename.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Ostream adapter over atomic_write_file for writers that stream
+/// (obs exporters, CSV): accumulate via stream(), then commit() performs
+/// the atomic replace. Destruction without commit() discards the output
+/// (nothing was ever on disk). commit() throws IoError and is
+/// single-shot.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+
+  std::ostream& stream() { return buffer_; }
+  const std::string& path() const { return path_; }
+
+  /// Atomically publishes everything streamed so far. Throws IoError on
+  /// failure or if already committed.
+  void commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+}  // namespace util
+}  // namespace hec

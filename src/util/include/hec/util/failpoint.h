@@ -1,0 +1,93 @@
+// Deterministic failpoint framework for crash-crash testing.
+//
+// Production code marks fault-prone sites with HEC_FAILPOINT_HIT("name");
+// tests and CI arm them through the HEC_FAILPOINT environment variable:
+//
+//   HEC_FAILPOINT=<site>:<nth>[:crash|error|delay][,<site>:<nth>[:<mode>]...]
+//
+// The <nth> hit (1-based) of the named site triggers its mode:
+//   crash  — die immediately via SIGKILL (no destructors, no stream
+//            flushes): the honest simulation of OOM-kill / preemption
+//            that journaled-storage crash tests are built on. Default.
+//   error  — throw hec::util::InjectedFault, exercising the error paths
+//            a real EIO / ENOSPC would take.
+//   delay  — sleep ~100 ms and continue, widening race windows.
+//
+// Hits count per site across all threads; sites that are not armed cost
+// one relaxed atomic load (a global "any failpoint armed?" gate), so the
+// instrumentation is free in production.
+//
+// This lives in hec::util (not hec::resilience) because the lowest
+// layers — file I/O, the sweep engine — need the hooks, and util is the
+// dependency-free base of the library. hec/resilience/failpoint.h
+// re-exports it under the subsystem that owns the testing story.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hec::util {
+
+/// Thrown by an armed `error`-mode failpoint. Derives from runtime_error
+/// so ordinary error handling (and the CLI's exit-code mapping) treats
+/// injected faults exactly like real ones.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when the HEC_FAILPOINT grammar is malformed; the CLI maps it
+/// to exit 64 (usage error), since the environment is user input.
+class FailpointParseError : public std::runtime_error {
+ public:
+  explicit FailpointParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class FailpointMode { kCrash, kError, kDelay };
+
+struct FailpointSpec {
+  std::string site;
+  std::uint64_t nth = 1;  ///< 1-based hit that triggers
+  FailpointMode mode = FailpointMode::kCrash;
+};
+
+/// Parses the HEC_FAILPOINT grammar. Throws FailpointParseError on an
+/// empty site, a non-positive or malformed <nth>, or an unknown mode.
+std::vector<FailpointSpec> parse_failpoints(const std::string& text);
+
+/// Installs `specs` as the process's armed failpoints, replacing any
+/// previous set and zeroing all hit counters. Tests use this directly;
+/// production arms via HEC_FAILPOINT (see failpoints_from_env).
+void set_failpoints(std::vector<FailpointSpec> specs);
+
+/// Parses and installs HEC_FAILPOINT from the environment. Returns the
+/// number of armed sites (0 when unset). Throws FailpointParseError on
+/// bad grammar. Idempotent; the CLI calls it once at startup.
+std::size_t arm_failpoints_from_env();
+
+/// Reports a hit at `site`. No-op unless a spec for `site` is armed and
+/// this is its nth hit, in which case the spec's mode fires (see file
+/// comment). Thread-safe.
+void failpoint_hit(const char* site);
+
+/// Hits observed at `site` since the last set_failpoints call.
+std::uint64_t failpoint_hits(const std::string& site);
+
+/// True when any failpoint is armed (the fast-path gate, exposed for
+/// tests).
+bool failpoints_armed();
+
+}  // namespace hec::util
+
+/// Marks a fault-prone site. Compiles to one relaxed load when nothing
+/// is armed.
+#define HEC_FAILPOINT_HIT(site)                       \
+  do {                                                \
+    if (::hec::util::failpoints_armed()) {            \
+      ::hec::util::failpoint_hit(site);               \
+    }                                                 \
+  } while (false)

@@ -1,0 +1,124 @@
+#include "hec/util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "hec/util/failpoint.h"
+
+namespace hec::util {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// True when `path` exists and is not a regular file (/dev/null, fifo,
+/// socket): rename-over is wrong for those, write through directly.
+bool is_special_target(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  return !S_ISREG(st.st_mode);
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write failed for " + path + ": " + errno_text());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void direct_write(const std::string& path, std::string_view contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC);
+  if (fd < 0) {
+    throw IoError("cannot open " + path + ": " + errno_text());
+  }
+  try {
+    write_all(fd, contents.data(), contents.size(), path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  HEC_FAILPOINT_HIT("io.atomic_write.open");
+  if (is_special_target(path)) {
+    direct_write(path, contents);
+    return;
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot open " + tmp + ": " + errno_text());
+  }
+  try {
+    HEC_FAILPOINT_HIT("io.atomic_write.write");
+    write_all(fd, contents.data(), contents.size(), tmp);
+    HEC_FAILPOINT_HIT("io.atomic_write.fsync");
+    if (::fsync(fd) != 0) {
+      throw IoError("fsync failed for " + tmp + ": " + errno_text());
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw IoError("close failed for " + tmp + ": " + errno_text());
+  }
+  try {
+    HEC_FAILPOINT_HIT("io.atomic_write.rename");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("rename " + tmp + " -> " + path + " failed: " +
+                    errno_text());
+    }
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  // Make the rename itself durable. Failure here is not fatal to
+  // correctness (the file content is complete either way), but surface
+  // it: a journal whose rename never reaches disk can resurrect an old
+  // checkpoint after power loss, which resume handles, at the cost of
+  // redone work.
+  const int dirfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)) {}
+
+void AtomicFileWriter::commit() {
+  if (committed_) {
+    throw IoError("double commit of " + path_);
+  }
+  committed_ = true;
+  atomic_write_file(path_, buffer_.str());
+}
+
+}  // namespace hec::util

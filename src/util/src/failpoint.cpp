@@ -1,0 +1,156 @@
+#include "hec/util/failpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace hec::util {
+
+namespace {
+
+/// One armed site plus its hit counter. The vector is replaced wholesale
+/// under the mutex by set_failpoints; failpoint_hit only reads the
+/// vector and bumps the per-site atomic, so steady-state hits take the
+/// mutex only to find their spec (hits are rare, fault-prone sites —
+/// file I/O, journal commits — never hot loops).
+struct ArmedSite {
+  FailpointSpec spec;
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::mutex g_mutex;
+std::vector<ArmedSite>* g_sites = nullptr;  // leaked: process-lifetime
+std::atomic<bool> g_armed{false};
+
+FailpointMode parse_mode(const std::string& text) {
+  if (text == "crash") return FailpointMode::kCrash;
+  if (text == "error") return FailpointMode::kError;
+  if (text == "delay") return FailpointMode::kDelay;
+  throw FailpointParseError("unknown failpoint mode '" + text +
+                            "' (want crash|error|delay)");
+}
+
+[[noreturn]] void crash_now(const std::string& site) {
+  // SIGKILL cannot be caught or cleaned up after: no destructors run, no
+  // streams flush, exactly like the OOM killer or a preemption. _Exit is
+  // the (unreachable in practice) fallback.
+  std::fprintf(stderr, "[failpoint] crash at %s\n", site.c_str());
+  ::kill(::getpid(), SIGKILL);
+  std::_Exit(137);
+}
+
+}  // namespace
+
+std::vector<FailpointSpec> parse_failpoints(const std::string& text) {
+  std::vector<FailpointSpec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      if (text.empty()) break;
+      throw FailpointParseError("empty failpoint entry in '" + text + "'");
+    }
+    FailpointSpec spec;
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      throw FailpointParseError("failpoint entry '" + entry +
+                                "' wants <site>:<nth>[:mode]");
+    }
+    spec.site = entry.substr(0, c1);
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    const std::string nth_text =
+        entry.substr(c1 + 1, (c2 == std::string::npos ? entry.size() : c2) -
+                                 c1 - 1);
+    if (nth_text.empty() ||
+        nth_text.find_first_not_of("0123456789") != std::string::npos) {
+      throw FailpointParseError("bad failpoint count '" + nth_text +
+                                "' in '" + entry + "'");
+    }
+    spec.nth = std::strtoull(nth_text.c_str(), nullptr, 10);
+    if (spec.nth == 0) {
+      throw FailpointParseError("failpoint count must be >= 1 in '" + entry +
+                                "'");
+    }
+    if (c2 != std::string::npos) spec.mode = parse_mode(entry.substr(c2 + 1));
+    specs.push_back(std::move(spec));
+    if (end == text.size()) break;
+  }
+  return specs;
+}
+
+void set_failpoints(std::vector<FailpointSpec> specs) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  delete g_sites;
+  g_sites = new std::vector<ArmedSite>(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    (*g_sites)[i].spec = std::move(specs[i]);
+  }
+  g_armed.store(!g_sites->empty(), std::memory_order_release);
+}
+
+std::size_t arm_failpoints_from_env() {
+  const char* env = std::getenv("HEC_FAILPOINT");
+  if (env == nullptr || *env == '\0') return 0;
+  std::vector<FailpointSpec> specs = parse_failpoints(env);
+  const std::size_t n = specs.size();
+  set_failpoints(std::move(specs));
+  return n;
+}
+
+void failpoint_hit(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  FailpointSpec fire;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_sites == nullptr) return;
+    for (ArmedSite& armed : *g_sites) {
+      if (armed.spec.site != site) continue;
+      const std::uint64_t hit =
+          armed.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (hit == armed.spec.nth) {
+        fire = armed.spec;
+        fired = true;
+      }
+      break;
+    }
+  }
+  if (!fired) return;
+  switch (fire.mode) {
+    case FailpointMode::kCrash:
+      crash_now(fire.site);
+    case FailpointMode::kError:
+      throw InjectedFault("injected fault at failpoint '" + fire.site +
+                          "' (hit " + std::to_string(fire.nth) + ")");
+    case FailpointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      return;
+  }
+}
+
+std::uint64_t failpoint_hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sites == nullptr) return 0;
+  for (const ArmedSite& armed : *g_sites) {
+    if (armed.spec.site == site) {
+      return armed.hits.load(std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+bool failpoints_armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+}  // namespace hec::util

@@ -1,0 +1,111 @@
+// Crash-safe file output contract (hec/util/atomic_file.h): readers see
+// the old complete file or the new complete file, never a truncation,
+// and every failure surfaces as hec::IoError.
+#include "hec/util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "hec/util/failpoint.h"
+
+namespace hec::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+bool exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(AtomicWriteFile, CreatesFileWithExactContents) {
+  const std::string path = temp_path("atomic_create.txt");
+  atomic_write_file(path, "hello\nworld\n");
+  EXPECT_EQ(read_file(path), "hello\nworld\n");
+}
+
+TEST(AtomicWriteFile, ReplacesExistingContents) {
+  const std::string path = temp_path("atomic_replace.txt");
+  atomic_write_file(path, "old contents, longer than the new ones");
+  atomic_write_file(path, "new");
+  EXPECT_EQ(read_file(path), "new");
+}
+
+TEST(AtomicWriteFile, EmptyContentsYieldEmptyFile) {
+  const std::string path = temp_path("atomic_empty.txt");
+  atomic_write_file(path, "");
+  EXPECT_EQ(read_file(path), "");
+}
+
+TEST(AtomicWriteFile, MissingDirectoryThrowsIoError) {
+  EXPECT_THROW(atomic_write_file("/no/such/dir/file.txt", "x"), IoError);
+}
+
+TEST(AtomicWriteFile, FailedWriteLeavesTargetUntouched) {
+  const std::string path = temp_path("atomic_preserved.txt");
+  atomic_write_file(path, "survivor");
+  // An injected fault at the write step must behave like a real EIO:
+  // the error propagates and the previous file stays complete.
+  set_failpoints({{"io.atomic_write.write", 1, FailpointMode::kError}});
+  EXPECT_THROW(atomic_write_file(path, "replacement"), InjectedFault);
+  set_failpoints({});
+  EXPECT_EQ(read_file(path), "survivor");
+}
+
+TEST(AtomicWriteFile, SpecialTargetIsWrittenDirectly) {
+  // /dev/null exists and is not a regular file; the rename path is
+  // impossible there, so the write-through path must succeed.
+  EXPECT_NO_THROW(atomic_write_file("/dev/null", "discarded"));
+}
+
+TEST(AtomicFileWriter, CommitPublishesStreamedOutput) {
+  const std::string path = temp_path("atomic_writer.txt");
+  AtomicFileWriter writer(path);
+  EXPECT_EQ(writer.path(), path);
+  writer.stream() << "line " << 1 << "\n";
+  writer.stream() << "line " << 2 << "\n";
+  EXPECT_FALSE(exists(path)) << "nothing durable before commit";
+  writer.commit();
+  EXPECT_EQ(read_file(path), "line 1\nline 2\n");
+}
+
+TEST(AtomicFileWriter, DestructionWithoutCommitWritesNothing) {
+  const std::string path = temp_path("atomic_discard.txt");
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "never published";
+  }
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(AtomicFileWriter, SecondCommitThrows) {
+  const std::string path = temp_path("atomic_double_commit.txt");
+  AtomicFileWriter writer(path);
+  writer.stream() << "once";
+  writer.commit();
+  EXPECT_THROW(writer.commit(), IoError);
+}
+
+TEST(AtomicFileWriter, CommitToMissingDirectoryThrowsIoError) {
+  AtomicFileWriter writer("/no/such/dir/report.md");
+  writer.stream() << "contents";
+  EXPECT_THROW(writer.commit(), IoError);
+}
+
+}  // namespace
+}  // namespace hec::util

@@ -4,7 +4,8 @@
 // distinguishable without scraping stdout:
 //   0  success            2  no feasible configuration
 //   64 usage error        65 malformed input file (ParseError)
-//   70 contract violation  1 any other error
+//   70 contract violation 74 file write failure (IoError)
+//   75 partial result (wall-clock deadline)   1 any other error
 //
 // The binary path is injected by CMake as HECSIM_CLI_PATH.
 #include <gtest/gtest.h>
@@ -135,10 +136,12 @@ TEST(CliExitCodes, TraceAndMetricsFilesAreWritten) {
   EXPECT_NE(metrics_text.find("hec_fault_runs"), std::string::npos);
 }
 
-TEST(CliExitCodes, UnwritableTraceFileIsOtherError) {
+TEST(CliExitCodes, UnwritableTraceFileIsIoError) {
+  // Observability exports commit atomically; a write failure is the
+  // dedicated I/O exit code, not a generic error.
   EXPECT_EQ(run_cli("EP 10000 --max-arm 1 --max-amd 1 "
                     "--trace-out=/no/such/dir/t.json"),
-            1);
+            74);
 }
 
 TEST(CliExitCodes, MalformedInputsFileIsParseError) {
@@ -169,6 +172,96 @@ TEST(CliExitCodes, OtherErrorsAreOne) {
 
 TEST(CliExitCodes, HelpIsZero) {
   EXPECT_EQ(run_cli("--help"), 0);
+}
+
+/// Like run_cli but with an environment assignment prefixed (the
+/// command runs through the shell, so VAR=value binds to the CLI only).
+int run_cli_env(const std::string& env, const std::string& args) {
+  const std::string cmd = env + " " + std::string(HECSIM_CLI_PATH) + " " +
+                          args + " > /dev/null 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << "CLI did not exit normally: " << args;
+  return WEXITSTATUS(status);
+}
+
+TEST(CliExitCodes, JournaledRunSucceedsAndRemovesJournal) {
+  const std::string journal = ::testing::TempDir() + "cli_journal.jsonl";
+  std::remove(journal.c_str());
+  EXPECT_EQ(run_cli("EP 10000 --journal " + journal +
+                    " --journal-interval-s 0"),
+            0);
+  std::ifstream left_over(journal);
+  EXPECT_FALSE(left_over.good()) << "journal must be removed on completion";
+}
+
+TEST(CliExitCodes, WallDeadlineYieldsPartialExitAndJournalResumes) {
+  const std::string journal = ::testing::TempDir() + "cli_partial.jsonl";
+  std::remove(journal.c_str());
+  // A deadline far below thread-spawn latency: the sweep stops before
+  // (or just after) the first block and must report partial coverage.
+  EXPECT_EQ(run_cli("EP 10000 --journal " + journal +
+                    " --deadline-s 0.0000001"),
+            75);
+  std::ifstream saved(journal);
+  EXPECT_TRUE(saved.good()) << "partial run must leave a journal";
+  // The resume finishes the sweep and cleans up.
+  EXPECT_EQ(run_cli("EP 10000 --journal " + journal), 0);
+  std::ifstream left_over(journal);
+  EXPECT_FALSE(left_over.good());
+}
+
+TEST(CliExitCodes, DeadlineEnvVariableAlsoBoundsTheSweep) {
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=0.0000001", "EP 10000"), 75);
+}
+
+TEST(CliExitCodes, ResilienceFlagsRequireExhaustiveMethod) {
+  const std::string journal = ::testing::TempDir() + "cli_usage.jsonl";
+  EXPECT_EQ(run_cli("EP 10000 --method greedy --journal " + journal), 64);
+  EXPECT_EQ(run_cli("EP 10000 --budget 500 --journal " + journal), 64);
+  EXPECT_EQ(run_cli("EP 10000 --deadline-s 0"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --deadline-s -1"), 64);
+}
+
+TEST(CliExitCodes, BadFailpointGrammarIsUsageError) {
+  std::string err;
+  const std::string err_path = ::testing::TempDir() + "cli_failpoint_err.txt";
+  const std::string cmd = std::string("HEC_FAILPOINT=bogus ") +
+                          HECSIM_CLI_PATH +
+                          " EP 10000 > /dev/null 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 64);
+  std::ifstream in(err_path);
+  err.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  EXPECT_NE(err.find("failpoint"), std::string::npos) << err;
+}
+
+TEST(CliExitCodes, FailpointCrashKillsThenJournalResumes) {
+  const std::string journal = ::testing::TempDir() + "cli_crash.jsonl";
+  std::remove(journal.c_str());
+  // The shell reports a SIGKILLed child as 128 + 9.
+  EXPECT_EQ(run_cli_env("HEC_FAILPOINT=journal.commit:2:crash",
+                        "EP 10000 --journal " + journal +
+                            " --journal-interval-s 0"),
+            137);
+  std::ifstream saved(journal);
+  EXPECT_TRUE(saved.good()) << "crash must leave the last durable commit";
+  EXPECT_EQ(run_cli("EP 10000 --journal " + journal +
+                    " --journal-interval-s 0"),
+            0);
+}
+
+TEST(CliExitCodes, CorruptJournalWarnsAndRestartsCleanly) {
+  const std::string journal = ::testing::TempDir() + "cli_corrupt.jsonl";
+  {
+    std::ofstream out(journal);
+    out << "{\"schema\":\"hec-sweep-journal/v1\"  broken\n";
+  }
+  std::string err;
+  EXPECT_EQ(run_cli_stderr("EP 10000 --journal " + journal, &err), 0);
+  EXPECT_NE(err.find("restarting sweep from scratch"), std::string::npos)
+      << err;
 }
 
 }  // namespace

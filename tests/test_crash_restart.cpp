@@ -1,0 +1,306 @@
+// Kill/restart property matrix for the crash-safe sweeps: a child
+// process runs a journaled sweep with a deterministic failpoint armed
+// (SIGKILL crash or injected error, at randomized hit counts across
+// every instrumented site), the parent reaps it and resumes from the
+// journal, and the final frontier must be bit-identical to an
+// uninterrupted run — across repeated kills, and with a corruption
+// canary that garbles the journal between crash and resume.
+//
+// Everything in this TU runs single-threaded (SweepOptions.parallel =
+// false, serial characterisation) so fork() never duplicates a process
+// that holds thread-pool or allocator locks.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hec/config/robust_evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/resilience/resumable.h"
+#include "hec/util/failpoint.h"
+#include "hec/workloads/workload.h"
+
+namespace hec::resilience {
+namespace {
+
+CharacterizeOptions characterize_opts() {
+  CharacterizeOptions o;
+  o.baseline_units = 8000.0;
+  return o;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+SweepOptions serial_opts(std::size_t block) {
+  SweepOptions o;
+  o.parallel = false;
+  o.block = block;
+  o.robust_block = block;
+  return o;
+}
+
+ResilienceOptions journaled(const std::string& path) {
+  ResilienceOptions res;
+  res.journal_path = path;
+  res.checkpoint_interval_s = 0.0;  // commit every epoch: many targets
+  res.checkpoint_blocks = 4;
+  return res;
+}
+
+void expect_identical_frontiers(const std::vector<TimeEnergyPoint>& got,
+                                const std::vector<TimeEnergyPoint>& want,
+                                const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " frontier point " << i;
+  }
+}
+
+/// Forks a child that arms `spec` and runs `sweep`. Child exit protocol:
+/// 0 = sweep completed (failpoint never fired), 42 = InjectedFault,
+/// SIGKILL = crash mode fired. Returns the raw wait status.
+template <typename SweepFn>
+int run_interrupted_child(const util::FailpointSpec& spec,
+                          const SweepFn& sweep) {
+  fflush(nullptr);  // don't let the child double-flush inherited buffers
+  const pid_t pid = fork();
+  if (pid == 0) {
+    util::set_failpoints({spec});
+    try {
+      sweep();
+    } catch (const util::InjectedFault&) {
+      _exit(42);
+    } catch (...) {
+      _exit(43);
+    }
+    _exit(0);
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+void expect_interrupted(int status, const util::FailpointSpec& spec,
+                        const std::string& label) {
+  if (spec.mode == util::FailpointMode::kCrash) {
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << label << ": crash-mode child should die to a signal";
+    EXPECT_EQ(WTERMSIG(status), SIGKILL) << label;
+  } else {
+    ASSERT_TRUE(WIFEXITED(status)) << label;
+    EXPECT_EQ(WEXITSTATUS(status), 42)
+        << label << ": error-mode child should see InjectedFault";
+  }
+}
+
+class CrashRestart : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Workload w = workload_ep();
+    arm_ = new NodeTypeModel(
+        build_node_model(arm_cortex_a9(), w, characterize_opts()));
+    amd_ = new NodeTypeModel(
+        build_node_model(amd_opteron_k10(), w, characterize_opts()));
+  }
+  static void TearDownTestSuite() {
+    delete arm_;
+    delete amd_;
+    arm_ = nullptr;
+    amd_ = nullptr;
+  }
+  void TearDown() override { util::set_failpoints({}); }
+
+  static const NodeTypeModel& arm() { return *arm_; }
+  static const NodeTypeModel& amd() { return *amd_; }
+
+  static NodeTypeModel* arm_;
+  static NodeTypeModel* amd_;
+};
+
+NodeTypeModel* CrashRestart::arm_ = nullptr;
+NodeTypeModel* CrashRestart::amd_ = nullptr;
+
+TEST_F(CrashRestart, SiteByModeMatrixResumesBitIdentical) {
+  // ~577k configs; block 128 => ~4.5k blocks in 4-block epochs, so
+  // every nth range below lands well past the first durable checkpoint.
+  const EnumerationLimits limits{40, 40};
+  const double units = 5e5;
+  const SweepOptions opts = serial_opts(128);
+  const ResumableSweepResult reference =
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts);
+
+  // Fixed-seed randomized hit counts: deterministic across runs, but
+  // checkpoints land at arbitrary (not hand-picked) boundaries.
+  std::mt19937 rng(20260806);
+  struct Site {
+    const char* name;
+    std::uint64_t min_nth, max_nth;  // range guaranteed to fire mid-sweep
+  };
+  const Site sites[] = {
+      {"sweep.worker_start", 2, 20},  // once per epoch on the serial path
+      {"sweep.block", 6, 150},
+      {"journal.commit", 2, 20},
+  };
+  for (const Site& site : sites) {
+    for (const util::FailpointMode mode :
+         {util::FailpointMode::kCrash, util::FailpointMode::kError}) {
+      for (int draw = 0; draw < 2; ++draw) {
+        std::uniform_int_distribution<std::uint64_t> nth(site.min_nth,
+                                                         site.max_nth);
+        const util::FailpointSpec spec{site.name, nth(rng), mode};
+        const std::string label =
+            std::string(site.name) + ":" + std::to_string(spec.nth) +
+            (mode == util::FailpointMode::kCrash ? ":crash" : ":error");
+        const std::string journal = temp_journal("crash_matrix.jsonl");
+        const ResilienceOptions res = journaled(journal);
+
+        const int status = run_interrupted_child(spec, [&] {
+          resumable_sweep_frontier(arm(), amd(), limits, units, opts, res);
+        });
+        expect_interrupted(status, spec, label);
+
+        const ResumableSweepResult resumed = resumable_sweep_frontier(
+            arm(), amd(), limits, units, opts, res);
+        EXPECT_TRUE(resumed.complete) << label;
+        expect_identical_frontiers(resumed.frontier, reference.frontier,
+                                   label);
+        std::remove(journal.c_str());
+      }
+    }
+  }
+}
+
+TEST_F(CrashRestart, RepeatedKillsThenResumeIsBitIdentical) {
+  const EnumerationLimits limits{40, 40};
+  const double units = 5e5;
+  const SweepOptions opts = serial_opts(128);
+  const ResumableSweepResult reference =
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts);
+
+  const std::string journal = temp_journal("crash_repeat.jsonl");
+  const ResilienceOptions res = journaled(journal);
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<std::uint64_t> nth(5, 60);
+  for (int round = 0; round < 3; ++round) {
+    const util::FailpointSpec spec{"sweep.block", nth(rng),
+                                   util::FailpointMode::kCrash};
+    const int status = run_interrupted_child(spec, [&] {
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts, res);
+    });
+    expect_interrupted(status, spec, "round " + std::to_string(round));
+  }
+  const ResumableSweepResult resumed =
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts, res);
+  EXPECT_TRUE(resumed.complete);
+  expect_identical_frontiers(resumed.frontier, reference.frontier,
+                             "triple kill");
+}
+
+TEST_F(CrashRestart, GarbledJournalAfterCrashStillYieldsCorrectFrontier) {
+  const EnumerationLimits limits{40, 40};
+  const double units = 5e5;
+  const SweepOptions opts = serial_opts(128);
+  const ResumableSweepResult reference =
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts);
+
+  const std::string journal = temp_journal("crash_corrupt.jsonl");
+  const ResilienceOptions res = journaled(journal);
+  const util::FailpointSpec spec{"sweep.block", 60,
+                                 util::FailpointMode::kCrash};
+  const int status = run_interrupted_child(spec, [&] {
+    resumable_sweep_frontier(arm(), amd(), limits, units, opts, res);
+  });
+  expect_interrupted(status, spec, "corrupt canary");
+
+  // Bit-rot the journal the crash left behind: the resume must detect
+  // it, restart from scratch, and still produce the exact frontier.
+  {
+    std::ifstream in(journal);
+    ASSERT_TRUE(in.good()) << "crash should leave a journal";
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(text.size(), 10u);
+    text[text.size() / 2] ^= 0x20;
+    std::ofstream out(journal);
+    out << text;
+  }
+  const ResumableSweepResult resumed =
+      resumable_sweep_frontier(arm(), amd(), limits, units, opts, res);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_FALSE(resumed.resumed) << "garbled journal must not seed a resume";
+  expect_identical_frontiers(resumed.frontier, reference.frontier,
+                             "corrupt canary");
+}
+
+TEST_F(CrashRestart, RobustSweepSurvivesCrashAndResume) {
+  FaultConfig faults;
+  faults.mttf_s = 4000.0;
+  faults.straggler_prob = 0.2;
+  faults.straggler_window_s = 30.0;
+  faults.checkpoint_interval_s = 500.0;
+  faults.checkpoint_cost_s = 5.0;
+  MonteCarloOptions mc;
+  mc.trials = 6;
+  const RobustConfigEvaluator evaluator(arm(), amd(), faults, mc);
+  const EnumerationLimits limits{2, 2};
+  const SweepOptions opts = serial_opts(4);
+  const ResumableSweepResult reference = resumable_sweep_robust_frontier(
+      evaluator, limits, 1e5, 100.0, 0.8, opts);
+
+  const std::string journal = temp_journal("crash_robust.jsonl");
+  const ResilienceOptions res = journaled(journal);
+  const util::FailpointSpec spec{"journal.commit", 3,
+                                 util::FailpointMode::kCrash};
+  const int status = run_interrupted_child(spec, [&] {
+    resumable_sweep_robust_frontier(evaluator, limits, 1e5, 100.0, 0.8,
+                                    opts, res);
+  });
+  expect_interrupted(status, spec, "robust crash");
+
+  const ResumableSweepResult resumed = resumable_sweep_robust_frontier(
+      evaluator, limits, 1e5, 100.0, 0.8, opts, res);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  expect_identical_frontiers(resumed.frontier, reference.frontier,
+                             "robust crash+resume");
+}
+
+TEST_F(CrashRestart, MultiSweepSurvivesCrashAndResume) {
+  const NodeTypeModel third = build_node_model(
+      arm_cortex_a9(), workload_memcached(), characterize_opts());
+  const std::vector<const NodeTypeModel*> models = {&arm(), &amd(), &third};
+  const std::vector<int> limits = {2, 2, 2};
+  const SweepOptions opts = serial_opts(8);
+  const ResumableSweepResult reference =
+      resumable_sweep_multi_frontier(models, limits, 2e5, opts);
+
+  const std::string journal = temp_journal("crash_multi.jsonl");
+  const ResilienceOptions res = journaled(journal);
+  const util::FailpointSpec spec{"sweep.block", 25,
+                                 util::FailpointMode::kCrash};
+  const int status = run_interrupted_child(spec, [&] {
+    resumable_sweep_multi_frontier(models, limits, 2e5, opts, res);
+  });
+  expect_interrupted(status, spec, "multi crash");
+
+  const ResumableSweepResult resumed =
+      resumable_sweep_multi_frontier(models, limits, 2e5, opts, res);
+  EXPECT_TRUE(resumed.complete);
+  expect_identical_frontiers(resumed.frontier, reference.frontier,
+                             "multi crash+resume");
+}
+
+}  // namespace
+}  // namespace hec::resilience

@@ -1,0 +1,123 @@
+// Deterministic failpoint framework (hec/util/failpoint.h): the
+// HEC_FAILPOINT grammar, nth-hit triggering, the three modes, and the
+// armed/disarmed fast path. Crash mode is validated in a forked child
+// (death test) because it SIGKILLs the process.
+#include "hec/util/failpoint.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <chrono>
+#include <cstdlib>
+
+namespace hec::util {
+namespace {
+
+// Every test leaves the process disarmed, so tests can run in any order.
+class Failpoints : public ::testing::Test {
+ protected:
+  void TearDown() override { set_failpoints({}); }
+};
+
+TEST_F(Failpoints, ParsesSingleEntryWithDefaults) {
+  const auto specs = parse_failpoints("journal.commit:3");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].site, "journal.commit");
+  EXPECT_EQ(specs[0].nth, 3u);
+  EXPECT_EQ(specs[0].mode, FailpointMode::kCrash);
+}
+
+TEST_F(Failpoints, ParsesModeAndMultipleEntries) {
+  const auto specs =
+      parse_failpoints("sweep.block:2:error,io.atomic_write.fsync:1:delay");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].site, "sweep.block");
+  EXPECT_EQ(specs[0].nth, 2u);
+  EXPECT_EQ(specs[0].mode, FailpointMode::kError);
+  EXPECT_EQ(specs[1].site, "io.atomic_write.fsync");
+  EXPECT_EQ(specs[1].mode, FailpointMode::kDelay);
+}
+
+TEST_F(Failpoints, EmptyTextArmsNothing) {
+  EXPECT_TRUE(parse_failpoints("").empty());
+}
+
+TEST_F(Failpoints, RejectsMalformedGrammar) {
+  EXPECT_THROW(parse_failpoints("siteonly"), FailpointParseError);
+  EXPECT_THROW(parse_failpoints(":1"), FailpointParseError);
+  EXPECT_THROW(parse_failpoints("site:0"), FailpointParseError);
+  EXPECT_THROW(parse_failpoints("site:abc"), FailpointParseError);
+  EXPECT_THROW(parse_failpoints("site:1:explode"), FailpointParseError);
+  EXPECT_THROW(parse_failpoints("a:1,,b:1"), FailpointParseError);
+}
+
+TEST_F(Failpoints, UnarmedProcessIgnoresHits) {
+  EXPECT_FALSE(failpoints_armed());
+  HEC_FAILPOINT_HIT("anything");  // must be a free no-op
+  EXPECT_EQ(failpoint_hits("anything"), 0u);
+}
+
+TEST_F(Failpoints, ErrorModeFiresOnNthHitOnly) {
+  set_failpoints({{"fp.test", 3, FailpointMode::kError}});
+  EXPECT_TRUE(failpoints_armed());
+  HEC_FAILPOINT_HIT("fp.test");
+  HEC_FAILPOINT_HIT("fp.test");
+  EXPECT_EQ(failpoint_hits("fp.test"), 2u);
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.test"), InjectedFault);
+  // Past the nth hit the site is spent: the run can continue.
+  HEC_FAILPOINT_HIT("fp.test");
+  EXPECT_EQ(failpoint_hits("fp.test"), 4u);
+}
+
+TEST_F(Failpoints, OtherSitesDoNotTrigger) {
+  set_failpoints({{"fp.armed", 1, FailpointMode::kError}});
+  HEC_FAILPOINT_HIT("fp.other");  // unarmed site: no effect, no count
+  EXPECT_EQ(failpoint_hits("fp.other"), 0u);
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.armed"), InjectedFault);
+}
+
+TEST_F(Failpoints, SetFailpointsResetsCounters) {
+  set_failpoints({{"fp.reset", 10, FailpointMode::kError}});
+  HEC_FAILPOINT_HIT("fp.reset");
+  set_failpoints({{"fp.reset", 10, FailpointMode::kError}});
+  EXPECT_EQ(failpoint_hits("fp.reset"), 0u);
+}
+
+TEST_F(Failpoints, DelayModeContinues) {
+  set_failpoints({{"fp.delay", 1, FailpointMode::kDelay}});
+  const auto start = std::chrono::steady_clock::now();
+  HEC_FAILPOINT_HIT("fp.delay");
+  const std::chrono::duration<double> dur =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_GE(dur.count(), 0.05) << "delay mode should stall ~100 ms";
+  EXPECT_EQ(failpoint_hits("fp.delay"), 1u);
+}
+
+TEST_F(Failpoints, CrashModeKillsTheProcess) {
+  // SIGKILL means no destructors and no flushes — exactly the crash the
+  // journal's durability story is built against.
+  EXPECT_EXIT(
+      {
+        set_failpoints({{"fp.crash", 1, FailpointMode::kCrash}});
+        HEC_FAILPOINT_HIT("fp.crash");
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+}
+
+TEST_F(Failpoints, ArmsFromEnvironment) {
+  setenv("HEC_FAILPOINT", "fp.env:2:error", 1);
+  EXPECT_EQ(arm_failpoints_from_env(), 1u);
+  HEC_FAILPOINT_HIT("fp.env");
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.env"), InjectedFault);
+  unsetenv("HEC_FAILPOINT");
+  EXPECT_EQ(arm_failpoints_from_env(), 0u);  // unset env arms nothing new
+}
+
+TEST_F(Failpoints, BadEnvironmentGrammarThrowsParseError) {
+  setenv("HEC_FAILPOINT", "nonsense", 1);
+  EXPECT_THROW(arm_failpoints_from_env(), FailpointParseError);
+  unsetenv("HEC_FAILPOINT");
+}
+
+}  // namespace
+}  // namespace hec::util

@@ -68,6 +68,35 @@ TEST(ParetoAccumulator, EmptyTakeIsEmpty) {
   EXPECT_TRUE(acc.take().empty());
 }
 
+TEST(ParetoAccumulator, SeedThenAddEqualsOnePassAccumulation) {
+  // The checkpoint-resume identity: seeding an accumulator with the
+  // frontier of a prefix, then adding the suffix, must equal one
+  // uninterrupted accumulation over the whole stream — bit for bit, for
+  // any split point and any compaction limit.
+  std::mt19937 rng(99);
+  const auto points = random_points(rng, 1500);
+  const auto want = pareto_frontier(points);
+  for (const std::size_t split : {0u, 1u, 200u, 750u, 1499u, 1500u}) {
+    for (const std::size_t limit : {1u, 16u, 100000u}) {
+      ParetoAccumulator prefix(limit);
+      for (std::size_t i = 0; i < split; ++i) prefix.add(points[i]);
+      ParetoAccumulator resumed(limit);
+      resumed.seed(prefix.take());
+      for (std::size_t i = split; i < points.size(); ++i) {
+        resumed.add(points[i]);
+      }
+      expect_identical(resumed.take(), want);
+    }
+  }
+}
+
+TEST(ParetoAccumulator, SeedWithEmptyFrontierIsNoOp) {
+  ParetoAccumulator acc;
+  acc.seed({});
+  acc.add({1.0, 2.0, 0});
+  EXPECT_EQ(acc.take().size(), 1u);
+}
+
 TEST(MergeFrontiers, PartitionInvariance) {
   std::mt19937 rng(1234);
   const auto points = random_points(rng, 3000);

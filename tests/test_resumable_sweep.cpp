@@ -1,0 +1,378 @@
+// Resumable-sweep contract (hec/resilience/resumable.h):
+//   * run to completion == plain sweep, bit for bit, all workloads;
+//   * an interrupted run resumed from its journal == uninterrupted run;
+//   * a deadline stops cleanly at a block boundary and the partial
+//     frontier is exactly the frontier of the visited prefix;
+//   * corrupt/mismatched journals restart from scratch, never poisoning
+//     the result.
+#include "hec/resilience/resumable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/config/robust_evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/frontier.h"
+#include "hec/resilience/journal.h"
+#include "hec/util/failpoint.h"
+#include "hec/workloads/workload.h"
+
+namespace hec::resilience {
+namespace {
+
+CharacterizeOptions characterize_opts() {
+  CharacterizeOptions o;
+  o.baseline_units = 8000.0;
+  return o;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+void expect_identical_frontiers(const std::vector<TimeEnergyPoint>& got,
+                                const std::vector<TimeEnergyPoint>& want,
+                                const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " frontier point " << i;
+  }
+}
+
+struct WorkloadCase {
+  const char* name;
+  NodeTypeModel arm;
+  NodeTypeModel amd;
+};
+
+class ResumableSweep : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const NodeSpec arm = arm_cortex_a9();
+    const NodeSpec amd = amd_opteron_k10();
+    cases_ = new std::vector<WorkloadCase>();
+    const std::pair<const char*, Workload> workloads[] = {
+        {"ep", workload_ep()},
+        {"memcached", workload_memcached()},
+        {"x264", workload_x264()},
+        {"blackscholes", workload_blackscholes()},
+        {"julius", workload_julius()},
+        {"rsa2048", workload_rsa2048()},
+    };
+    for (const auto& [name, w] : workloads) {
+      cases_->push_back({name,
+                         build_node_model(arm, w, characterize_opts()),
+                         build_node_model(amd, w, characterize_opts())});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete cases_;
+    cases_ = nullptr;
+  }
+  void TearDown() override { util::set_failpoints({}); }
+
+  static const WorkloadCase& ep() { return cases_->front(); }
+  static std::vector<WorkloadCase>* cases_;
+};
+
+std::vector<WorkloadCase>* ResumableSweep::cases_ = nullptr;
+
+TEST_F(ResumableSweep, CompleteRunMatchesPlainSweepAllWorkloads) {
+  const EnumerationLimits limits{3, 2};
+  const double units = 5e5;
+  for (const WorkloadCase& c : *cases_) {
+    const SweepResult plain = sweep_frontier(c.arm, c.amd, limits, units);
+    const ResumableSweepResult resumable =
+        resumable_sweep_frontier(c.arm, c.amd, limits, units);
+    EXPECT_TRUE(resumable.complete) << c.name;
+    EXPECT_FALSE(resumable.resumed) << c.name;
+    EXPECT_EQ(resumable.configs_visited, resumable.configs_total) << c.name;
+    expect_identical_frontiers(resumable.frontier, plain.frontier, c.name);
+  }
+}
+
+TEST_F(ResumableSweep, CompletedRunRemovesItsJournal) {
+  // Big enough for several epochs, so checkpoints actually commit.
+  const EnumerationLimits limits{40, 40};
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_done.jsonl");
+  res.checkpoint_interval_s = 0.0;  // commit at every epoch boundary
+  const ResumableSweepResult result =
+      resumable_sweep_frontier(ep().arm, ep().amd, limits, 1e5, {}, res);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GE(result.checkpoints, 1u) << "epoch cadence should commit";
+  std::ifstream left_over(res.journal_path);
+  EXPECT_FALSE(left_over.good()) << "journal must be removed on completion";
+}
+
+TEST_F(ResumableSweep, InjectedFaultThenResumeIsBitIdentical) {
+  // Large space (~577k configs) with tight 4-block epochs, so the fault
+  // at block 40 lands in epoch 10 with nine checkpoints already durable.
+  const EnumerationLimits limits{40, 40};
+  const double units = 5e5;
+  const ResumableSweepResult uninterrupted =
+      resumable_sweep_frontier(ep().arm, ep().amd, limits, units);
+
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_fault.jsonl");
+  res.checkpoint_interval_s = 0.0;
+  res.checkpoint_blocks = 4;
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.block = 256;
+
+  // First run dies to an injected EIO-style fault mid-sweep...
+  util::set_failpoints({{"sweep.block", 40, util::FailpointMode::kError}});
+  EXPECT_THROW(resumable_sweep_frontier(ep().arm, ep().amd, limits, units,
+                                        serial, res),
+               util::InjectedFault);
+  util::set_failpoints({});
+
+  // ...and the restart resumes from the last durable checkpoint.
+  const ResumableSweepResult resumed = resumable_sweep_frontier(
+      ep().arm, ep().amd, limits, units, serial, res);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_GT(resumed.resume_cursor, 0u);
+  expect_identical_frontiers(resumed.frontier, uninterrupted.frontier,
+                             "fault+resume");
+}
+
+TEST_F(ResumableSweep, DeadlineYieldsPartialPrefixFrontier) {
+  const EnumerationLimits limits{40, 40};
+  const double units = 5e5;
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_deadline.jsonl");
+  // A delay failpoint stretches the first block past the deadline, so
+  // the stop is deterministic: at least one block completes (claimed
+  // blocks always finish), then the next claim sees the deadline.
+  res.deadline_s = 0.05;
+  util::set_failpoints({{"sweep.block", 1, util::FailpointMode::kDelay}});
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.block = 64;
+  const ResumableSweepResult partial = resumable_sweep_frontier(
+      ep().arm, ep().amd, limits, units, serial, res);
+  util::set_failpoints({});
+  EXPECT_FALSE(partial.complete);
+  EXPECT_GE(partial.configs_visited, serial.block);
+  EXPECT_LT(partial.configs_visited, partial.configs_total);
+
+  // The partial frontier must be exactly the frontier of the visited
+  // prefix [0, configs_visited) — recompute it the naive way.
+  const MemoizedConfigEvaluator memo(ep().arm, ep().amd, limits);
+  std::vector<TimeEnergyPoint> prefix;
+  prefix.reserve(partial.configs_visited);
+  for (std::size_t i = 0; i < partial.configs_visited; ++i) {
+    const ConfigOutcome o = memo.evaluate_at(i, units);
+    prefix.push_back({o.t_s, o.energy_j, i});
+  }
+  expect_identical_frontiers(partial.frontier,
+                             pareto_frontier(std::move(prefix)),
+                             "partial prefix");
+
+  // The final checkpoint persists the stop boundary...
+  const SweepJournal journal(res.journal_path, memo.layout().describe(),
+                             memo.size(), units);
+  const JournalLoadResult loaded = journal.load();
+  ASSERT_EQ(loaded.status, JournalLoadStatus::kOk) << loaded.detail;
+  EXPECT_EQ(loaded.checkpoint.cursor, partial.configs_visited);
+
+  // ...and a deadline-free rerun picks up there and finishes, equal to
+  // an uninterrupted run.
+  ResilienceOptions finish = res;
+  finish.deadline_s = std::numeric_limits<double>::infinity();
+  const ResumableSweepResult full = resumable_sweep_frontier(
+      ep().arm, ep().amd, limits, units, serial, finish);
+  EXPECT_TRUE(full.complete);
+  const ResumableSweepResult reference =
+      resumable_sweep_frontier(ep().arm, ep().amd, limits, units);
+  expect_identical_frontiers(full.frontier, reference.frontier,
+                             "deadline resume");
+}
+
+TEST_F(ResumableSweep, CorruptJournalRestartsFromScratch) {
+  const EnumerationLimits limits{2, 2};
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_corrupt.jsonl");
+  {
+    std::ofstream out(res.journal_path);
+    out << "{\"schema\":\"hec-sweep-journal/v1\"\nGARBAGE";
+  }
+  const ResumableSweepResult result =
+      resumable_sweep_frontier(ep().arm, ep().amd, limits, 1e5, {}, res);
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.resumed) << "corrupt journals must not seed a resume";
+  const ResumableSweepResult reference =
+      resumable_sweep_frontier(ep().arm, ep().amd, limits, 1e5);
+  expect_identical_frontiers(result.frontier, reference.frontier,
+                             "corrupt restart");
+}
+
+TEST_F(ResumableSweep, MismatchedJournalRestartsFromScratch) {
+  // Journal a small sweep, then run a *different* space against the
+  // same path: the fingerprint must block the resume.
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_mismatch.jsonl");
+  res.deadline_s = 1e-9;
+  SweepOptions serial;
+  serial.parallel = false;
+  const ResumableSweepResult partial = resumable_sweep_frontier(
+      ep().arm, ep().amd, EnumerationLimits{40, 40}, 5e5, serial, res);
+  EXPECT_FALSE(partial.complete);
+
+  ResilienceOptions fresh;
+  fresh.journal_path = res.journal_path;
+  const ResumableSweepResult other = resumable_sweep_frontier(
+      ep().arm, ep().amd, EnumerationLimits{2, 1}, 1e5, {}, fresh);
+  EXPECT_TRUE(other.complete);
+  EXPECT_FALSE(other.resumed);
+  const ResumableSweepResult reference = resumable_sweep_frontier(
+      ep().arm, ep().amd, EnumerationLimits{2, 1}, 1e5);
+  expect_identical_frontiers(other.frontier, reference.frontier,
+                             "mismatch restart");
+}
+
+TEST_F(ResumableSweep, ResumeFalseIgnoresExistingJournal) {
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_noresume.jsonl");
+  res.deadline_s = 1e-9;
+  SweepOptions serial;
+  serial.parallel = false;
+  const ResumableSweepResult partial = resumable_sweep_frontier(
+      ep().arm, ep().amd, EnumerationLimits{40, 40}, 5e5, serial, res);
+  EXPECT_FALSE(partial.complete);
+
+  ResilienceOptions scratch = res;
+  scratch.deadline_s = std::numeric_limits<double>::infinity();
+  scratch.resume = false;
+  const ResumableSweepResult result = resumable_sweep_frontier(
+      ep().arm, ep().amd, EnumerationLimits{40, 40}, 5e5, serial, scratch);
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_EQ(result.configs_visited, result.configs_total);
+}
+
+TEST_F(ResumableSweep, RobustTwinMatchesPlainRobustSweep) {
+  FaultConfig faults;
+  faults.mttf_s = 4000.0;
+  faults.straggler_prob = 0.2;
+  faults.straggler_window_s = 30.0;
+  faults.checkpoint_interval_s = 500.0;
+  faults.checkpoint_cost_s = 5.0;
+  MonteCarloOptions mc;
+  mc.trials = 6;
+  const RobustConfigEvaluator evaluator(ep().arm, ep().amd, faults, mc);
+  const EnumerationLimits limits{2, 1};
+  const SweepResult plain =
+      sweep_robust_frontier(evaluator, limits, 1e5, 50.0, 0.5);
+  const ResumableSweepResult resumable =
+      resumable_sweep_robust_frontier(evaluator, limits, 1e5, 50.0, 0.5);
+  EXPECT_TRUE(resumable.complete);
+  expect_identical_frontiers(resumable.frontier, plain.frontier, "robust");
+}
+
+TEST_F(ResumableSweep, RobustInterruptResumeIsBitIdentical) {
+  FaultConfig faults;
+  faults.mttf_s = 3000.0;
+  faults.checkpoint_interval_s = 400.0;
+  faults.checkpoint_cost_s = 2.0;
+  MonteCarloOptions mc;
+  mc.trials = 4;
+  const RobustConfigEvaluator evaluator(ep().arm, ep().amd, faults, mc);
+  const EnumerationLimits limits{2, 2};
+  const ResumableSweepResult uninterrupted =
+      resumable_sweep_robust_frontier(evaluator, limits, 1e5, 100.0, 0.8);
+
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_robust.jsonl");
+  res.checkpoint_interval_s = 0.0;
+  res.checkpoint_blocks = 4;  // 4-block epochs: a commit lands before nth=5
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.robust_block = 4;
+  util::set_failpoints({{"sweep.block", 5, util::FailpointMode::kError}});
+  EXPECT_THROW(resumable_sweep_robust_frontier(evaluator, limits, 1e5, 100.0,
+                                               0.8, serial, res),
+               util::InjectedFault);
+  util::set_failpoints({});
+  const ResumableSweepResult resumed = resumable_sweep_robust_frontier(
+      evaluator, limits, 1e5, 100.0, 0.8, serial, res);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  expect_identical_frontiers(resumed.frontier, uninterrupted.frontier,
+                             "robust fault+resume");
+}
+
+TEST_F(ResumableSweep, MultiTwinMatchesPlainMultiSweep) {
+  const NodeTypeModel third = build_node_model(
+      arm_cortex_a9(), workload_memcached(), characterize_opts());
+  const std::vector<const NodeTypeModel*> models = {&ep().arm, &ep().amd,
+                                                    &third};
+  const std::vector<int> limits = {2, 1, 2};
+  const SweepResult plain = sweep_multi_frontier(models, limits, 2e5);
+  const ResumableSweepResult resumable =
+      resumable_sweep_multi_frontier(models, limits, 2e5);
+  EXPECT_TRUE(resumable.complete);
+  expect_identical_frontiers(resumable.frontier, plain.frontier, "multi");
+}
+
+TEST_F(ResumableSweep, MultiInterruptResumeIsBitIdentical) {
+  const NodeTypeModel third = build_node_model(
+      arm_cortex_a9(), workload_memcached(), characterize_opts());
+  const std::vector<const NodeTypeModel*> models = {&ep().arm, &ep().amd,
+                                                    &third};
+  const std::vector<int> limits = {2, 2, 2};
+  const ResumableSweepResult uninterrupted =
+      resumable_sweep_multi_frontier(models, limits, 2e5);
+
+  ResilienceOptions res;
+  res.journal_path = temp_journal("resumable_multi.jsonl");
+  res.checkpoint_interval_s = 0.0;
+  res.checkpoint_blocks = 4;
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.block = 8;
+  // With 4-block epochs, nth 20 lands in epoch 5, past four durable
+  // checkpoints.
+  util::set_failpoints({{"sweep.block", 20, util::FailpointMode::kError}});
+  EXPECT_THROW(
+      resumable_sweep_multi_frontier(models, limits, 2e5, serial, res),
+      util::InjectedFault);
+  util::set_failpoints({});
+  const ResumableSweepResult resumed =
+      resumable_sweep_multi_frontier(models, limits, 2e5, serial, res);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  expect_identical_frontiers(resumed.frontier, uninterrupted.frontier,
+                             "multi fault+resume");
+}
+
+TEST(DeadlineFromEnv, ParsesPositiveSeconds) {
+  setenv("HEC_DEADLINE_S", "2.5", 1);
+  EXPECT_DOUBLE_EQ(deadline_from_env(), 2.5);
+  unsetenv("HEC_DEADLINE_S");
+  EXPECT_EQ(deadline_from_env(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineFromEnv, RejectsNonPositiveAndGarbage) {
+  for (const char* bad : {"0", "-3", "abc", "1.5x", ""}) {
+    setenv("HEC_DEADLINE_S", bad, 1);
+    EXPECT_EQ(deadline_from_env(), std::numeric_limits<double>::infinity())
+        << "HEC_DEADLINE_S='" << bad << "'";
+  }
+  unsetenv("HEC_DEADLINE_S");
+}
+
+}  // namespace
+}  // namespace hec::resilience

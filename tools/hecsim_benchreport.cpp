@@ -13,10 +13,17 @@
 //                      [--repeat N] [--timeout-s N] [--keep-going]
 //                      [--write-baseline]
 //
+// Children that die to a signal are reported by name (SIGKILL,
+// SIGSEGV, ...) in the FAIL line, the suite document (term_signal) and
+// the report's exit column; an interrupted child — signal-killed or
+// timed out — is reaped and retried once before the bench counts as
+// failed, so a stray OOM-kill or operator ^C doesn't sink the suite.
+//
 // Exit codes: 0 suite ran and gate passed (or no baseline to gate
 // against); 1 a bench failed or timed out; 3 the gate flagged a
-// regression; 64 usage error; 70 internal error (I/O, unparseable
-// baseline).
+// regression; 64 usage error; 70 internal error (unparseable
+// baseline); 74 suite/baseline/report could not be written (all three
+// are committed atomically: write-temp, fsync, rename).
 #include <dirent.h>
 #include <fcntl.h>
 #include <limits.h>
@@ -44,6 +51,7 @@
 #include "hec/bench/compare.h"
 #include "hec/bench/json.h"
 #include "hec/bench/telemetry.h"
+#include "hec/util/atomic_file.h"
 
 namespace {
 
@@ -54,6 +62,7 @@ constexpr int kExitBenchFailure = 1;
 constexpr int kExitRegression = 3;
 constexpr int kExitUsage = 64;
 constexpr int kExitInternal = 70;
+constexpr int kExitIo = hec::util::kExitIoError;
 
 struct Options {
   std::string bench_dir = "build/bench";
@@ -172,6 +181,7 @@ struct Job {
   std::chrono::steady_clock::time_point started;
   bool done = false;
   bool failed = false;
+  bool retried = false;       // the one interrupted-child retry was spent
 };
 
 /// Forks one repeat of `job`. stdout+stderr go to <results>/<name>.txt
@@ -185,7 +195,13 @@ pid_t spawn_repeat(const Job& job, int rep, const std::string& results_abs,
   const std::string record_path = telemetry_abs + "/" + job.name + ".rep" +
                                   std::to_string(rep) + ".json";
   const pid_t pid = fork();
-  if (pid != 0) return pid;  // parent (or fork failure: -1)
+  if (pid != 0) {
+    // Mirror the child's setpgid so the group exists before any timeout
+    // kill, whichever side wins the race (EACCES after exec is fine —
+    // the child already moved itself).
+    if (pid > 0) setpgid(pid, pid);
+    return pid;  // parent (or fork failure: -1)
+  }
 
   setpgid(0, 0);
   const int fd = open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -243,7 +259,9 @@ bool run_jobs(std::vector<Job>& jobs, const Options& opts,
       if (job.pid < 0 || job.agg.timed_out) continue;
       const std::chrono::duration<double> dur = clock::now() - job.started;
       if (dur.count() > opts.timeout_s) {
-        kill(-job.pid, SIGKILL);
+        // Group kill first (helpers too); fall back to the child alone
+        // if the group is already gone.
+        if (kill(-job.pid, SIGKILL) != 0) kill(job.pid, SIGKILL);
         job.agg.timed_out = true;
       }
     }
@@ -265,19 +283,33 @@ bool run_jobs(std::vector<Job>& jobs, const Options& opts,
     const std::chrono::duration<double> wall = clock::now() - job.started;
     job.agg.runner_wall_s.push_back(wall.count());
 
+    const bool signaled = WIFSIGNALED(status);
     const int code = WIFEXITED(status) ? WEXITSTATUS(status)
-                     : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
-                                           : kExitInternal;
+                     : signaled       ? 128 + WTERMSIG(status)
+                                      : kExitInternal;
     if (code != 0 || job.agg.timed_out) {
+      const std::string why =
+          job.agg.timed_out
+              ? " (timeout after " + std::to_string(opts.timeout_s) + "s)"
+          : signaled
+              ? " (killed by " + telemetry::signal_name(WTERMSIG(status)) + ")"
+              : " (exit " + std::to_string(code) + ")";
+      // A signal-killed or timed-out child was interrupted, not refuted:
+      // the zombie is reaped (waitpid above), so re-run that repeat once.
+      // Deterministic nonzero exits are real failures and never retried.
+      if ((signaled || job.agg.timed_out) && !job.retried) {
+        job.retried = true;
+        ++job.agg.retries;
+        job.agg.timed_out = false;
+        job.agg.runner_wall_s.pop_back();  // killed attempt would skew walls
+        std::cerr << "[benchreport] retry " << job.name << why << "\n";
+        continue;  // pid is cleared: the spawn loop re-runs this repeat
+      }
       job.agg.exit_code = code;
+      if (signaled) job.agg.term_signal = WTERMSIG(status);
       job.done = job.failed = true;
       all_ok = false;
-      std::cerr << "[benchreport] FAIL " << job.name
-                << (job.agg.timed_out
-                        ? " (timeout after " +
-                              std::to_string(opts.timeout_s) + "s)"
-                        : " (exit " + std::to_string(code) + ")")
-                << "\n";
+      std::cerr << "[benchreport] FAIL " << job.name << why << "\n";
       if (!opts.keep_going) stop_spawning = true;
       continue;
     }
@@ -317,14 +349,34 @@ void collect_records(Job& job, const std::string& telemetry_abs) {
 }
 
 bool write_file(const std::string& path, const json::Value& doc) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "[benchreport] cannot write " << path << "\n";
-    return false;
-  }
+  std::ostringstream out;
   doc.write(out);
   out << "\n";
-  return static_cast<bool>(out);
+  try {
+    hec::util::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    std::cerr << "[benchreport] " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Commits the markdown report atomically; false (after a stderr
+/// message) when the write failed.
+bool write_report(const std::string& path, const json::Value& suite,
+                  const telemetry::Comparison* cmp,
+                  const std::string& baseline_desc) {
+  try {
+    hec::util::AtomicFileWriter report(path);
+    telemetry::write_markdown_report(report.stream(), suite, cmp,
+                                     baseline_desc);
+    report.commit();
+  } catch (const std::exception& e) {
+    std::cerr << "[benchreport] " << e.what() << "\n";
+    return false;
+  }
+  std::cout << "[benchreport] wrote " << path << "\n";
+  return true;
 }
 
 int run(int argc, char** argv) {
@@ -412,7 +464,7 @@ int run(int argc, char** argv) {
   const std::string out_path =
       opts.out.empty() ? opts.results_dir + "/BENCH_" + sha + ".json"
                        : opts.out;
-  if (!write_file(out_path, suite)) return kExitInternal;
+  if (!write_file(out_path, suite)) return kExitIo;
   std::cout << "[benchreport] wrote " << out_path << "\n";
 
   const std::string report_path = opts.report.empty()
@@ -420,12 +472,11 @@ int run(int argc, char** argv) {
                                       : opts.report;
 
   if (opts.write_baseline) {
-    if (!write_file(opts.baseline, suite)) return kExitInternal;
+    if (!write_file(opts.baseline, suite)) return kExitIo;
     std::cout << "[benchreport] wrote baseline " << opts.baseline << "\n";
-    std::ofstream report(report_path);
-    telemetry::write_markdown_report(report, suite, nullptr,
-                                     "none (baseline write)");
-    std::cout << "[benchreport] wrote " << report_path << "\n";
+    if (!write_report(report_path, suite, nullptr, "none (baseline write)")) {
+      return kExitIo;
+    }
     return benches_ok ? 0 : kExitBenchFailure;
   }
 
@@ -433,10 +484,10 @@ int run(int argc, char** argv) {
   if (!baseline_in) {
     std::cout << "[benchreport] no baseline at " << opts.baseline
               << " — skipping gate (seed one with --write-baseline)\n";
-    std::ofstream report(report_path);
-    telemetry::write_markdown_report(report, suite, nullptr,
-                                     "none (no baseline found)");
-    std::cout << "[benchreport] wrote " << report_path << "\n";
+    if (!write_report(report_path, suite, nullptr,
+                      "none (no baseline found)")) {
+      return kExitIo;
+    }
     return benches_ok ? 0 : kExitBenchFailure;
   }
   std::stringstream baseline_text;
@@ -455,9 +506,7 @@ int run(int argc, char** argv) {
   const telemetry::Comparison cmp =
       telemetry::compare_suites(*baseline, suite, copts);
 
-  std::ofstream report(report_path);
-  telemetry::write_markdown_report(report, suite, &cmp, opts.baseline);
-  std::cout << "[benchreport] wrote " << report_path << "\n";
+  if (!write_report(report_path, suite, &cmp, opts.baseline)) return kExitIo;
   std::cout << "[benchreport] gate vs " << opts.baseline << ": "
             << cmp.regressions << " regression(s), " << cmp.missing
             << " missing, " << cmp.improvements << " improvement(s), "

@@ -19,17 +19,25 @@
 //              [--trace-out FILE]     write a Chrome trace of the run
 //              [--metrics-out FILE]   write a Prometheus-style metrics dump
 //              [--log-level N]        stderr verbosity (0 quiet .. 2 debug)
+//              [--journal FILE]       crash-safe sweep checkpoint journal
+//              [--journal-interval-s S]  min seconds between checkpoints
+//              [--deadline-s S]       wall-clock budget for the sweep
 //
 // Flags accept both "--flag value" and "--flag=value".
 //
 // Workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048.
 //
+// Environment: HEC_DEADLINE_S is the wall-clock budget when --deadline-s
+// is absent; HEC_FAILPOINT arms the deterministic failpoint harness
+// (hec/resilience/failpoint.h) for crash testing.
+//
 // Exit codes: 0 success; 2 no feasible configuration; 64 usage error;
 // 65 malformed input file (ParseError); 70 internal contract violation;
-// 1 any other error.
+// 74 file write failure (IoError); 75 partial result (wall-clock
+// deadline stopped the sweep; resume via --journal); 1 any other error.
 #include <charconv>
-#include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
@@ -46,7 +54,10 @@
 #include "hec/obs/export.h"
 #include "hec/obs/obs.h"
 #include "hec/pareto/frontier.h"
+#include "hec/resilience/failpoint.h"
+#include "hec/resilience/resumable.h"
 #include "hec/search/optimizer.h"
+#include "hec/util/atomic_file.h"
 #include "hec/util/expect.h"
 #include "hec/workloads/workload.h"
 
@@ -78,9 +89,17 @@ void print_usage(std::ostream& out) {
       "  --trace-out FILE     Chrome trace JSON (.jsonl for a JSONL log)\n"
       "  --metrics-out FILE   Prometheus-style metrics dump\n"
       "  --log-level N        stderr verbosity: 0 quiet .. 2 debug\n"
+      "  --journal FILE       crash-safe sweep checkpoint journal; if FILE\n"
+      "                       holds a checkpoint of this sweep, resume it\n"
+      "  --journal-interval-s S  min seconds between checkpoints (default 1)\n"
+      "  --deadline-s S       wall-clock budget for the sweep; on expiry\n"
+      "                       report the partial result and exit 75\n"
+      "                       (HEC_DEADLINE_S when the flag is absent)\n"
+      "journal/deadline runs require --method exhaustive and no --budget\n"
       "flags accept both '--flag value' and '--flag=value'\n"
       "exit codes: 0 ok, 2 infeasible, 64 usage, 65 bad input file,\n"
-      "            70 contract violation, 1 other error\n";
+      "            70 contract violation, 74 i/o error, 75 partial result,\n"
+      "            1 other error\n";
 }
 
 struct Options {
@@ -101,12 +120,23 @@ struct Options {
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   int log_level = 0;
+  std::optional<std::string> journal;
+  std::optional<double> journal_interval_s;
+  std::optional<double> wall_deadline_s;
 
   bool faults_requested() const {
     return mttf_h || straggler_prob || checkpoint_s;
   }
   bool obs_requested() const {
     return trace_out.has_value() || metrics_out.has_value();
+  }
+  /// True when the run goes through the crash-safe resumable sweep
+  /// instead of the legacy evaluate-everything loop. Gated on the new
+  /// flags (plus HEC_DEADLINE_S) so default runs stay byte-identical.
+  bool resilience_requested() const {
+    return journal.has_value() || wall_deadline_s.has_value() ||
+           hec::resilience::deadline_from_env() <
+               std::numeric_limits<double>::infinity();
   }
 };
 
@@ -189,6 +219,16 @@ Options parse_args(int argc, char** argv) {
       opts.trace_out = next();
     } else if (args[i] == "--metrics-out") {
       opts.metrics_out = next();
+    } else if (args[i] == "--journal") {
+      opts.journal = next();
+    } else if (args[i] == "--journal-interval-s") {
+      const double s = parse_number(next(), "--journal-interval-s");
+      if (s < 0.0) {
+        throw UsageError("--journal-interval-s must be >= 0");
+      }
+      opts.journal_interval_s = s;
+    } else if (args[i] == "--deadline-s") {
+      opts.wall_deadline_s = parse_positive(next(), "--deadline-s");
     } else if (args[i] == "--log-level") {
       const double v = parse_number(next(), "--log-level");
       if (v < 0.0 || v > 2.0 ||
@@ -204,6 +244,17 @@ Options parse_args(int argc, char** argv) {
   if (opts.method != "exhaustive" && opts.method != "bnb" &&
       opts.method != "greedy") {
     throw UsageError("unknown method: " + opts.method);
+  }
+  if (opts.resilience_requested()) {
+    // The journal fingerprints the plain exhaustive enumeration; the
+    // searchers and the budget filter evaluate a different (pruned)
+    // sequence, so checkpoints would not describe their progress.
+    if (opts.method != "exhaustive") {
+      throw UsageError("--journal/--deadline-s require --method exhaustive");
+    }
+    if (opts.budget_w) {
+      throw UsageError("--journal/--deadline-s cannot combine with --budget");
+    }
   }
   return opts;
 }
@@ -289,33 +340,37 @@ void declare_metrics() {
         "fault.wasted_units", "pareto.frontier_calls", "search.evaluations"}) {
     reg.counter(name);
   }
+  for (const char* name :
+       {"resilience.checkpoints", "resilience.resumes",
+        "resilience.journal_corrupt", "resilience.journal_bytes"}) {
+    reg.counter(name);
+  }
   reg.gauge("pareto.frontier_size");
   reg.gauge("sim.queue_depth");
+  reg.gauge("resilience.configs_visited");
   reg.histogram("config.eval_wall_s");
 }
 
 void write_observability(const Options& opts) {
+  // Atomic commits (hec::IoError → exit 74): an export never leaves a
+  // truncated trace/metrics file behind, even on ENOSPC mid-write.
   if (opts.trace_out) {
-    std::ofstream out(*opts.trace_out);
-    if (!out) {
-      throw std::runtime_error("cannot open trace file: " + *opts.trace_out);
-    }
+    hec::util::AtomicFileWriter out(*opts.trace_out);
     if (opts.trace_out->ends_with(".jsonl")) {
-      hec::obs::write_jsonl(out, hec::obs::tracer(), hec::obs::registry());
+      hec::obs::write_jsonl(out.stream(), hec::obs::tracer(),
+                            hec::obs::registry());
     } else {
-      hec::obs::write_chrome_trace(out, hec::obs::tracer(),
+      hec::obs::write_chrome_trace(out.stream(), hec::obs::tracer(),
                                    &hec::obs::registry());
     }
+    out.commit();
     hec::obs::log(1, "wrote trace to " + *opts.trace_out);
   }
   if (opts.metrics_out) {
-    std::ofstream out(*opts.metrics_out);
-    if (!out) {
-      throw std::runtime_error("cannot open metrics file: " +
-                               *opts.metrics_out);
-    }
-    hec::obs::write_prometheus(out, hec::obs::registry(),
+    hec::util::AtomicFileWriter out(*opts.metrics_out);
+    hec::obs::write_prometheus(out.stream(), hec::obs::registry(),
                                &hec::obs::tracer());
+    out.commit();
     hec::obs::log(1, "wrote metrics to " + *opts.metrics_out);
   }
 }
@@ -364,13 +419,47 @@ int run(int argc, char** argv) {
 
   std::optional<hec::ConfigOutcome> best;
   std::size_t evaluations = 0;
+  bool partial = false;              // wall deadline stopped the sweep
+  std::size_t configs_total = 0;     // coverage denominator when partial
   // Collected only when a trace/metrics file was requested: the frontier
   // over evaluated points is observability output, not part of the
   // query, and the default run must stay byte-identical.
   std::vector<hec::TimeEnergyPoint> evaluated_points;
   {
     HEC_SPAN("cli.evaluate");
-    if (opts.method == "exhaustive" || opts.budget_w) {
+    if (opts.resilience_requested()) {
+      // Crash-safe path: checkpointed, deadline-bounded streaming sweep
+      // over the full space (bit-identical frontier to the legacy loop).
+      hec::resilience::ResilienceOptions rop;
+      if (opts.journal) rop.journal_path = *opts.journal;
+      if (opts.journal_interval_s) {
+        rop.checkpoint_interval_s = *opts.journal_interval_s;
+      }
+      rop.deadline_s =
+          opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
+      const hec::resilience::ResumableSweepResult sweep =
+          hec::resilience::resumable_sweep_frontier(arm_model, amd_model,
+                                                    limits, units, {}, rop);
+      evaluations = sweep.configs_visited;
+      partial = !sweep.complete;
+      configs_total = sweep.configs_total;
+      if (sweep.resumed) {
+        std::cout << "(resumed from checkpoint: " << sweep.resume_cursor
+                  << " of " << sweep.configs_total
+                  << " configurations already evaluated)\n";
+      }
+      // The frontier is sorted by ascending time / descending energy, so
+      // the last deadline-feasible point is the cheapest feasible one.
+      std::optional<std::size_t> pick;
+      for (const auto& p : sweep.frontier) {
+        if (p.t_s > deadline_s) break;
+        pick = p.tag;
+      }
+      if (pick) {
+        const hec::ConfigSpaceLayout layout(arm, amd, limits);
+        best = evaluator.evaluate(layout.config(*pick), units);
+      }
+    } else if (opts.method == "exhaustive" || opts.budget_w) {
       // Budgeted queries always use the exhaustive path: the searchers'
       // bounds do not account for the power cap.
       const auto configs = enumerate_configs(arm, amd, limits);
@@ -410,16 +499,27 @@ int run(int argc, char** argv) {
                          " evaluated points");
   }
 
+  if (partial) {
+    std::cout << "Partial sweep: visited " << evaluations << " of "
+              << configs_total
+              << " configurations before the wall-clock deadline";
+    if (opts.journal) {
+      std::cout << "; re-run with --journal " << *opts.journal
+                << " to continue";
+    }
+    std::cout << ".\n";
+  }
   if (!best) {
     std::cout << "No configuration of up to " << opts.max_arm << " ARM + "
               << opts.max_amd << " AMD nodes"
               << (opts.budget_w ? " within the power budget" : "")
-              << " meets " << opts.deadline_ms << " ms.\n";
+              << (partial ? " in the visited prefix" : "") << " meets "
+              << opts.deadline_ms << " ms.\n";
     write_observability(opts);
-    return 2;
+    return partial ? hec::resilience::kExitPartial : 2;
   }
   std::cout << "(" << evaluations << " model evaluations, method "
-            << opts.method << ")\n";
+            << opts.method << (partial ? ", partial" : "") << ")\n";
   print_outcome(*best, units, arm, amd, opts.budget_w);
 
   if (opts.faults_requested()) {
@@ -434,17 +534,21 @@ int run(int argc, char** argv) {
                  mc.trials, opts.deadline_ms);
   }
   write_observability(opts);
-  return 0;
+  return partial ? hec::resilience::kExitPartial : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    hec::util::arm_failpoints_from_env();
     return run(argc, argv);
   } catch (const UsageError& e) {
     std::cerr << "usage error: " << e.what() << "\n";
     print_usage(std::cerr);
+    return 64;
+  } catch (const hec::util::FailpointParseError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
     return 64;
   } catch (const hec::ParseError& e) {
     std::cerr << "parse error: " << e.what() << "\n";
@@ -452,6 +556,9 @@ int main(int argc, char** argv) {
   } catch (const hec::ContractViolation& e) {
     std::cerr << "contract violation: " << e.what() << "\n";
     return 70;
+  } catch (const hec::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << "\n";
+    return hec::util::kExitIoError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

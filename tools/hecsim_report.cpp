@@ -4,12 +4,12 @@
 //   hecsim_report <workload> [--out report.md] [--max-arm N] [--max-amd N]
 //                 [--units N]
 #include <charconv>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "hec/hw/catalog.h"
+#include "hec/util/atomic_file.h"
 #include "hec/model/characterize.h"
 #include "hec/report/markdown_report.h"
 #include "hec/workloads/workload.h"
@@ -66,10 +66,7 @@ int run(int argc, char** argv) {
   const std::string report =
       markdown_report(workload, arm_model, amd_model, options);
 
-  std::ofstream out(out_path);
-  if (!out) throw std::runtime_error("cannot open " + out_path);
-  out << report;
-  if (!out) throw std::runtime_error("write failed for " + out_path);
+  hec::util::atomic_write_file(out_path, report);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }
@@ -79,6 +76,9 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const hec::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return hec::util::kExitIoError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
