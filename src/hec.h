@@ -45,6 +45,10 @@
 #include "hec/queueing/variants.h"         // IWYU pragma: export
 #include "hec/queueing/window_analysis.h"  // IWYU pragma: export
 #include "hec/search/optimizer.h"          // IWYU pragma: export
+#include "hec/shard/lease.h"               // IWYU pragma: export
+#include "hec/shard/protocol.h"            // IWYU pragma: export
+#include "hec/shard/result_file.h"         // IWYU pragma: export
+#include "hec/shard/shard.h"               // IWYU pragma: export
 #include "hec/sim/node_sim.h"              // IWYU pragma: export
 #include "hec/stats/regression.h"          // IWYU pragma: export
 #include "hec/sweep/sweep.h"               // IWYU pragma: export

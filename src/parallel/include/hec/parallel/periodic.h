@@ -1,0 +1,55 @@
+// Periodic background task: run a callback every interval until stopped.
+//
+// The sharded sweep substrate (hec/shard) needs two tiny recurring
+// jobs — a worker's heartbeat sender and the coordinator's lease
+// monitor — that must keep firing while the main thread is busy or
+// blocked. This is the minimal primitive for both: one thread, a
+// condvar-timed wait (so stop() takes effect immediately, not after a
+// sleep expires), first fire one interval after construction.
+//
+// Fork-safety contract: the callback runs on the task's own thread. A
+// process that intends to fork() while a PeriodicTask is live must make
+// the callback take the same lock the forking thread holds around
+// fork(), so the child is never created while the callback is mid-heap
+// operation (see hec/shard/coordinator.cpp for the pattern).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace hec {
+
+/// Runs `fn` every `interval_s` seconds on a dedicated thread until
+/// stop() or destruction. Exceptions escaping `fn` terminate the
+/// process (they indicate a programming error in a monitor/heartbeat
+/// body, which must be fail-safe by design).
+class PeriodicTask {
+ public:
+  PeriodicTask(double interval_s, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops the cadence and joins the thread. Idempotent; after stop()
+  /// returns, `fn` is guaranteed not to be running and never runs again.
+  void stop();
+
+  /// Completed invocations of `fn` so far (for tests and accounting).
+  std::uint64_t ticks() const;
+
+ private:
+  void loop(double interval_s, const std::function<void()>& fn);
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace hec

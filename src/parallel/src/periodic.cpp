@@ -1,0 +1,44 @@
+#include "hec/parallel/periodic.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hec {
+
+PeriodicTask::PeriodicTask(double interval_s, std::function<void()> fn)
+    : thread_([this, interval_s, fn = std::move(fn)] {
+        loop(interval_s, fn);
+      }) {}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Serialise the join so concurrent stop() calls are safe.
+  std::lock_guard join_lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t PeriodicTask::ticks() const {
+  std::lock_guard lock(mutex_);
+  return ticks_;
+}
+
+void PeriodicTask::loop(double interval_s, const std::function<void()>& fn) {
+  const auto interval = std::chrono::duration<double>(interval_s);
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [&] { return stopping_; })) break;
+    // Run the body unlocked so stop() and ticks() never wait on it.
+    lock.unlock();
+    fn();
+    lock.lock();
+    ++ticks_;
+  }
+}
+
+}  // namespace hec

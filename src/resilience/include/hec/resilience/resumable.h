@@ -22,9 +22,13 @@
 // sweep restarts from scratch: never a wrong frontier.
 #pragma once
 
+#include <functional>
 #include <limits>
+#include <optional>
 #include <string>
 
+#include "hec/pareto/streaming.h"
+#include "hec/sweep/slices.h"
 #include "hec/sweep/sweep.h"
 
 namespace hec::resilience {
@@ -50,10 +54,24 @@ struct ResilienceOptions {
   double deadline_s = std::numeric_limits<double>::infinity();
   /// False ignores an existing journal (always start from scratch).
   bool resume = true;
+  /// Restricts the sweep to the index slice [range->first, range->last)
+  /// of the space — the shard of a distributed sweep. nullopt sweeps the
+  /// whole space. The slice bounds are folded into the journal's space
+  /// fingerprint, so a journal written for one shard can never resume
+  /// into another shard's slice: the mismatch is reported and that
+  /// shard restarts from scratch (hec/shard relies on this).
+  std::optional<IndexRange> range;
+  /// Called with the absolute enumeration cursor after the resume load
+  /// and at every epoch boundary. The shard worker uses it to renew its
+  /// progress lease; correctness never depends on it being set.
+  std::function<void(std::size_t cursor)> on_progress;
 };
 
 /// Reads HEC_DEADLINE_S (wall seconds, > 0) from the environment;
-/// returns infinity when unset or unparseable-as-positive.
+/// returns infinity when unset or empty. Throws hec::util::EnvParseError
+/// (tools map it to exit 64) on a negative, zero, NaN or
+/// trailing-garbage value — a malformed deadline must never silently
+/// become "no deadline".
 double deadline_from_env();
 
 /// A resumable sweep's product: the (possibly partial) frontier plus
@@ -91,5 +109,19 @@ ResumableSweepResult resumable_sweep_multi_frontier(
     std::vector<const NodeTypeModel*> models, std::span<const int> limits,
     double work_units, const SweepOptions& opts = {},
     const ResilienceOptions& resilience = {});
+
+/// Generic entry to the epoch-structured engine: resumable reduction of
+/// an opaque index space. `consume_block(first, count, acc)` evaluates
+/// indices [first, first+count) into the accumulator; `signature` must
+/// fingerprint everything that shapes per-index outcomes (the model
+/// sweeps above show the discipline). `claim` is the block size workers
+/// claim at a time. This is how hec/shard runs a caller-supplied sweep
+/// body inside each worker process with full journal/resume semantics.
+ResumableSweepResult resumable_sweep_indexed(
+    const std::string& signature, std::size_t total, std::size_t claim,
+    double work_units,
+    const std::function<void(std::size_t first, std::size_t count,
+                             ParetoAccumulator& acc)>& consume_block,
+    const SweepOptions& opts = {}, const ResilienceOptions& resilience = {});
 
 }  // namespace hec::resilience

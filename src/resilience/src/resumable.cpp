@@ -10,6 +10,7 @@
 #include "hec/obs/obs.h"
 #include "hec/resilience/journal.h"
 #include "hec/sweep/reduction.h"
+#include "hec/util/env.h"
 #include "hec/util/expect.h"
 
 namespace hec::resilience {
@@ -25,25 +26,35 @@ double seconds_since(Clock::time_point start) {
 /// Epoch-structured reduction shared by the three resumable twins.
 /// `signature` fingerprints the enumeration (space layout plus every
 /// parameter that changes per-index outcomes), so a journal never
-/// resumes into a different sweep.
+/// resumes into a different sweep. An options range restricts the run
+/// to its slice [first, last) of the space and extends the fingerprint
+/// with the slice bounds — per-shard journals are mutually mismatched
+/// by construction.
 template <typename ConsumeBlock>
-ResumableSweepResult run_resumable(const std::string& signature,
-                                   std::size_t total, std::size_t claim,
-                                   double work_units, const SweepOptions& opts,
+ResumableSweepResult run_resumable(std::string signature, std::size_t total,
+                                   std::size_t claim, double work_units,
+                                   const SweepOptions& opts,
                                    const ResilienceOptions& res,
                                    const ConsumeBlock& consume_block) {
   HEC_EXPECTS(res.checkpoint_blocks >= 1);
+  IndexRange range{0, total};
+  if (res.range) {
+    HEC_EXPECTS(res.range->first <= res.range->last);
+    HEC_EXPECTS(res.range->last <= total);
+    range = *res.range;
+    signature += " shard=" + describe(range);
+  }
   const Clock::time_point start = Clock::now();
   ResumableSweepResult result;
-  result.configs_total = total;
-  result.stats.configs = total;
+  result.configs_total = range.size();
+  result.stats.configs = range.size();
 
   std::optional<SweepJournal> journal;
   if (!res.journal_path.empty()) {
     journal.emplace(res.journal_path, signature, total, work_units);
   }
 
-  std::size_t cursor = 0;
+  std::size_t cursor = range.first;
   std::uint64_t seq = 0;
   std::vector<TimeEnergyPoint> carry;
   if (journal && res.resume) {
@@ -52,6 +63,16 @@ ResumableSweepResult run_resumable(const std::string& signature,
       case JournalLoadStatus::kNone:
         break;
       case JournalLoadStatus::kOk:
+        if (loaded.checkpoint.cursor < range.first ||
+            loaded.checkpoint.cursor > range.last) {
+          std::fprintf(stderr,
+                       "warning: sweep journal %s cursor %zu is outside "
+                       "slice %s; restarting sweep from scratch\n",
+                       journal->path().c_str(), loaded.checkpoint.cursor,
+                       describe(range).c_str());
+          HEC_COUNTER_INC("resilience.journal_corrupt");
+          break;
+        }
         cursor = loaded.checkpoint.cursor;
         seq = loaded.checkpoint.seq;
         carry = loaded.checkpoint.frontier;
@@ -72,13 +93,14 @@ ResumableSweepResult run_resumable(const std::string& signature,
         break;
     }
   }
+  if (res.on_progress) res.on_progress(cursor);
 
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : global_pool();
-  // checkpoint_blocks caps the epoch; small spaces shrink it to ~1/16 of
-  // the sweep so they still reach checkpoint boundaries (epoch sizing
-  // affects only checkpoint cadence, never the frontier).
+  // checkpoint_blocks caps the epoch; small ranges shrink it to ~1/16 of
+  // the sweep so short runs still reach checkpoint boundaries (epoch
+  // sizing affects only checkpoint cadence, never the frontier).
   const std::size_t epoch_span = std::min(
-      claim * res.checkpoint_blocks, std::max(claim, total / 16));
+      claim * res.checkpoint_blocks, std::max(claim, range.size() / 16));
   double last_commit_s = 0.0;
   result.complete = true;
 
@@ -90,8 +112,8 @@ ResumableSweepResult run_resumable(const std::string& signature,
     return seconds_since(start) >= res.deadline_s;
   };
 
-  while (cursor < total) {
-    const std::size_t epoch_end = std::min(total, cursor + epoch_span);
+  while (cursor < range.last) {
+    const std::size_t epoch_end = std::min(range.last, cursor + epoch_span);
     RangeReduction reduction = reduce_index_range(
         pool, opts.parallel, cursor, epoch_end, claim, opts.compact_limit,
         std::move(carry), consume_block,
@@ -100,13 +122,14 @@ ResumableSweepResult run_resumable(const std::string& signature,
     result.stats.workers = std::max(result.stats.workers, reduction.workers);
     carry = merge_frontiers(reduction.partials);
     cursor = reduction.end;
+    if (res.on_progress) res.on_progress(cursor);
     if (cursor < epoch_end) {  // the deadline stopped the claim loop
       result.complete = false;
       break;
     }
     if (journal) {
       const double elapsed = seconds_since(start);
-      if (cursor < total &&
+      if (cursor < range.last &&
           elapsed - last_commit_s >= res.checkpoint_interval_s) {
         journal->commit({cursor, ++seq, carry});
         ++result.checkpoints;
@@ -115,7 +138,7 @@ ResumableSweepResult run_resumable(const std::string& signature,
     }
   }
 
-  result.configs_visited = cursor;
+  result.configs_visited = cursor - range.first;
   result.frontier = std::move(carry);
   HEC_GAUGE_SET("resilience.configs_visited",
                 static_cast<double>(result.configs_visited));
@@ -155,20 +178,11 @@ std::string axis_signature(const NodeSpec& spec, int limit) {
 }  // namespace
 
 double deadline_from_env() {
-  const char* raw = std::getenv("HEC_DEADLINE_S");
-  if (raw == nullptr || *raw == '\0') {
-    return std::numeric_limits<double>::infinity();
-  }
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || !(value > 0.0)) {
-    std::fprintf(stderr,
-                 "warning: ignoring HEC_DEADLINE_S='%s' (want a positive "
-                 "number of seconds)\n",
-                 raw);
-    return std::numeric_limits<double>::infinity();
-  }
-  return value;
+  // env_positive rejects negative/zero/NaN/trailing-garbage values with
+  // a diagnostic (EnvParseError → exit 64): a typoed deadline must never
+  // silently become "no deadline".
+  return util::env_positive("HEC_DEADLINE_S")
+      .value_or(std::numeric_limits<double>::infinity());
 }
 
 ResumableSweepResult resumable_sweep_frontier(
@@ -217,6 +231,18 @@ ResumableSweepResult resumable_sweep_robust_frontier(
           }
         }
       });
+}
+
+ResumableSweepResult resumable_sweep_indexed(
+    const std::string& signature, std::size_t total, std::size_t claim,
+    double work_units,
+    const std::function<void(std::size_t first, std::size_t count,
+                             ParetoAccumulator& acc)>& consume_block,
+    const SweepOptions& opts, const ResilienceOptions& resilience) {
+  HEC_EXPECTS(claim >= 1);
+  HEC_EXPECTS(consume_block != nullptr);
+  return run_resumable(signature, total, claim, work_units, opts, resilience,
+                       consume_block);
 }
 
 ResumableSweepResult resumable_sweep_multi_frontier(

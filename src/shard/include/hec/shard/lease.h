@@ -1,0 +1,81 @@
+// Lease table: liveness and progress accounting for in-flight shards.
+//
+// The coordinator's monitor thread and its main loop both touch this
+// state, so it is a self-contained, internally-locked class with
+// injected time (callers pass "now" in seconds on any monotonic scale)
+// — which also makes lease expiry unit-testable without sleeping.
+//
+// Two timeouts, two remedies:
+//  - heartbeat_timeout_s: no R message at all for this long → the
+//    worker is dead or wedged. Remedy: kill + requeue ("reassignment").
+//  - progress_timeout_s: heartbeats arrive but the cursor has not moved
+//    for this long → a straggler. Remedy: "steal" the shard — kill the
+//    attempt and relaunch it; the stolen work survives in the shard's
+//    journal, so the thief resumes where the straggler stalled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace hec::shard {
+
+enum class LeaseAction {
+  kReassign,  ///< heartbeat silence: presume the worker dead
+  kSteal,     ///< heartbeats without progress: presume a straggler
+};
+
+struct LeaseRevocation {
+  std::size_t shard = 0;
+  std::uint64_t attempt = 0;
+  LeaseAction action = LeaseAction::kReassign;
+  double idle_s = 0.0;  ///< how long the triggering signal was absent
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(double heartbeat_timeout_s, double progress_timeout_s);
+
+  /// Registers a freshly spawned attempt; `now_s` starts both clocks.
+  void grant(std::size_t shard, std::uint64_t attempt, std::size_t cursor,
+             double now_s);
+
+  /// Records a heartbeat. A cursor advance also resets the progress
+  /// clock. Reports from attempts that no longer hold the lease (killed
+  /// stragglers racing their replacement) are ignored — returns false.
+  bool heartbeat(std::size_t shard, std::uint64_t attempt, std::size_t cursor,
+                 double now_s);
+
+  /// Seconds since the lease's last heartbeat, if it is still held.
+  std::optional<double> heartbeat_gap_s(std::size_t shard, double now_s) const;
+
+  /// Drops the lease (shard finished, failed, or its worker was reaped).
+  /// Returns false if `attempt` was not the current holder.
+  bool release(std::size_t shard, std::uint64_t attempt);
+
+  /// Scans every live lease against the timeouts and returns the ones
+  /// that expired. Expired leases stay in the table — the caller kills
+  /// the process, reaps it, then release()s — so repeated sweeps
+  /// re-report rather than double-free.
+  std::vector<LeaseRevocation> expired(double now_s) const;
+
+  std::size_t active() const;
+
+ private:
+  struct Lease {
+    std::uint64_t attempt = 0;
+    std::size_t cursor = 0;
+    double last_heartbeat_s = 0.0;
+    double last_progress_s = 0.0;
+  };
+
+  double heartbeat_timeout_s_;
+  double progress_timeout_s_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, Lease> leases_;
+};
+
+}  // namespace hec::shard

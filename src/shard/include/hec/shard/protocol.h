@@ -1,0 +1,73 @@
+// Coordinator/worker wire protocol for sharded sweeps (hecshard/v1).
+//
+// Single-machine today the transport is a pipe per forked worker, but
+// the grammar is deliberately socket-ready: newline-delimited ASCII
+// records, self-describing, order-independent per connection, at-least-
+// once tolerant (the coordinator ignores duplicate DONE records — shard
+// results are idempotent by construction, see result_file.h).
+//
+//   hecshard/v1 messages, one per line:
+//     A <shard> <attempt> <first> <last>   assignment (coordinator → worker)
+//     R <shard> <attempt> <cursor>         progress report / heartbeat
+//     D <shard> <attempt>                  shard complete, result durable
+//     F <shard> <attempt> <detail...>      attempt failed (exception text)
+//
+// <attempt> is the coordinator-global spawn ordinal (1-based): it names
+// one worker process, so a late message from a superseded attempt can
+// never be confused with its replacement after a steal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hec::shard {
+
+enum class MessageKind {
+  kAssign,    ///< A: coordinator hands a worker its slice
+  kProgress,  ///< R: heartbeat carrying the absolute sweep cursor
+  kDone,      ///< D: shard finished; result file committed
+  kFailed,    ///< F: attempt hit an exception; detail is the reason
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kProgress;
+  std::size_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::size_t first = 0;   ///< kAssign only
+  std::size_t last = 0;    ///< kAssign only
+  std::size_t cursor = 0;  ///< kProgress only
+  std::string detail;      ///< kFailed only
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Renders `m` as one protocol line, newline-terminated.
+std::string encode(const Message& m);
+
+/// Parses one line (with or without the trailing newline). Returns
+/// nullopt on any malformed record — a protocol error from a worker is
+/// treated like worker death, never a crash of the coordinator.
+std::optional<Message> parse(std::string_view line);
+
+/// Incremental splitter for a byte-stream transport: feed() arbitrary
+/// chunks, take() complete lines. A partial trailing line is buffered
+/// until its newline arrives, so a heartbeat torn across two read()s is
+/// still parsed whole.
+class LineBuffer {
+ public:
+  void feed(std::string_view bytes);
+  /// Complete lines received so far, without their newlines; the
+  /// internal queue is cleared.
+  std::vector<std::string> take();
+  /// Bytes of the unterminated trailing line (for tests/diagnostics).
+  std::size_t pending() const { return partial_.size(); }
+
+ private:
+  std::string partial_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace hec::shard

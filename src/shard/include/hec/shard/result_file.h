@@ -1,0 +1,48 @@
+// Durable per-shard result files (`shard-<id>.result`).
+//
+// A worker that finishes its slice commits the slice frontier to disk
+// (atomic replace) *before* reporting D to the coordinator. That
+// ordering is what makes the protocol at-least-once safe and the final
+// frontier crash-identical:
+//   * if the worker dies after the commit but before the D line lands,
+//     the retry (or a restarted coordinator) finds the file, verifies
+//     its fingerprint, and reuses it instead of recomputing;
+//   * duplicate D deliveries are harmless — the file is the result, the
+//     message only says "look now";
+//   * a result file for a different space/slice/work-unit combination
+//     fingerprint-mismatches and is ignored, never merged.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hec/pareto/frontier.h"
+#include "hec/sweep/slices.h"
+
+namespace hec::shard {
+
+inline constexpr const char* kResultSchema = "hecshard-result/v1";
+
+struct ShardResult {
+  IndexRange range;
+  std::vector<TimeEnergyPoint> frontier;
+};
+
+/// Atomically writes `result` for the slice to `path`, fingerprinted
+/// with the sweep `signature` and guarded by a content CRC.
+/// Throws hec::IoError on filesystem failure.
+void write_shard_result(const std::string& path, const std::string& signature,
+                        const ShardResult& result);
+
+/// Loads a shard result, returning nullopt when the file is absent,
+/// unparseable, CRC-damaged, or fingerprinted for a different sweep or
+/// slice. `why` (optional) receives the reason for a nullopt with the
+/// file present — callers warn, then recompute from scratch.
+std::optional<ShardResult> load_shard_result(const std::string& path,
+                                             const std::string& signature,
+                                             const IndexRange& range,
+                                             std::string* why = nullptr);
+
+}  // namespace hec::shard

@@ -1,0 +1,160 @@
+// Fault-tolerant sharded sweeps: a coordinator/worker substrate that
+// partitions a configuration space into contiguous index slices
+// ("shards"), runs each shard in a worker process, and merges the
+// per-shard Pareto frontiers into a result bit-identical to an
+// uninterrupted single-process sweep.
+//
+// Transport today is fork + pipe on one machine; the protocol
+// (hec/shard/protocol.h) and the durability scheme (per-shard journals
+// + result files under `state_dir`, hec/shard/result_file.h) are
+// transport-agnostic, so a socket coordinator can reuse everything but
+// the spawn call.
+//
+// Robustness model
+// ----------------
+//   * Workers heartbeat (R lines) on a fixed cadence; the coordinator's
+//     monitor thread tracks leases (hec/shard/lease.h).
+//   * Heartbeat silence ≥ heartbeat_timeout_s → the worker is presumed
+//     dead (also detected sooner via waitpid): SIGKILL + requeue. Obs:
+//     `shard.reassignments`.
+//   * Heartbeats without cursor movement ≥ progress_timeout_s → the
+//     worker is a straggler: the shard is *stolen* — the attempt is
+//     killed and relaunched; the replacement resumes from the shard's
+//     journal, so the straggler's progress is kept, not discarded. Obs:
+//     `shard.steals`.
+//   * Failed attempts retry with exponential backoff under a bounded
+//     per-shard budget; an exhausted shard is reported, not retried
+//     forever. Obs: `shard.retries`.
+//   * A finished shard's frontier is committed durably *before* the
+//     done report, so duplicate delivery and coordinator restarts are
+//     idempotent: results found on disk are fingerprint-verified and
+//     reused. Obs: `shard.results_reused`.
+//   * On the global deadline the coordinator kills outstanding workers
+//     and returns the exact merge of completed shards with coverage
+//     accounting (`deadline_hit`, configs_visited/configs_total);
+//     callers map that to exit 75.
+//
+// Failpoint sites (HEC_FAILPOINT): `shard.assign` (coordinator, before
+// each spawn), `shard.heartbeat` (worker, each heartbeat send),
+// `shard.merge` (coordinator, per merged shard), and the dynamic
+// `shard.attempt.<ordinal>` (worker, each progress boundary of the
+// ordinal-th spawned attempt) — the last is how tests SIGKILL exactly
+// k of n workers mid-shard, deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hec/config/enumerate.h"
+#include "hec/model/node_model.h"
+#include "hec/resilience/resumable.h"
+#include "hec/sweep/slices.h"
+#include "hec/sweep/sweep.h"
+
+namespace hec::shard {
+
+/// A deadline-stopped sharded sweep exits with the same code as a
+/// deadline-stopped resumable sweep: partial results, resume finishes.
+inline constexpr int kExitPartial = resilience::kExitPartial;
+
+/// The sweep to distribute, described as an opaque index space — the
+/// same contract as resilience::resumable_sweep_indexed, which is what
+/// each worker runs over its slice.
+struct ShardedSweepSpec {
+  /// Fingerprint of the space and every parameter shaping per-index
+  /// outcomes. Shard journals and result files extend it with slice
+  /// bounds, so artifacts can never migrate between shards or sweeps.
+  std::string signature;
+  std::size_t total = 0;       ///< index space size
+  std::size_t claim = 4096;    ///< block size workers claim at a time
+  double work_units = 1.0;
+  /// Evaluates indices [first, first+count) into the accumulator. Runs
+  /// in worker processes — it must not depend on parent-side threads,
+  /// and any expensive setup it captures should be built before
+  /// run_sharded so fork shares it copy-on-write.
+  std::function<void(std::size_t first, std::size_t count,
+                     ParetoAccumulator& acc)>
+      body;
+};
+
+struct ShardedSweepOptions {
+  /// Concurrent worker processes.
+  std::size_t workers = 2;
+  /// Shard count (work units handed to workers). 0 derives 4× workers,
+  /// so work stealing and requeues have slack to rebalance.
+  std::size_t shards = 0;
+  /// Directory for per-shard journals and result files. Required; the
+  /// CLI uses `<journal>.shards` or a temp dir.
+  std::string state_dir;
+  /// Worker heartbeat cadence.
+  double heartbeat_interval_s = 0.05;
+  /// Heartbeat silence after which a worker is presumed dead.
+  double heartbeat_timeout_s = 10.0;
+  /// Heartbeats-without-progress span after which a shard is stolen.
+  /// Infinity disables stealing.
+  double progress_timeout_s = std::numeric_limits<double>::infinity();
+  /// Retry budget per shard beyond the first attempt.
+  std::size_t max_retries = 3;
+  /// Exponential backoff for retries: first delay, doubling per attempt
+  /// up to the cap. Steals relaunch immediately (the shard did nothing
+  /// wrong; its worker did).
+  double retry_backoff_s = 0.05;
+  double retry_backoff_max_s = 2.0;
+  /// Global wall-clock budget; infinity runs to completion.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Wall seconds between a worker's journal commits (0 = every epoch;
+  /// the default keeps steals cheap to resume).
+  double checkpoint_interval_s = 0.0;
+  /// Threads per worker process (each worker builds its own pool after
+  /// fork — parent threads do not survive into children). 0 = serial.
+  std::size_t threads_per_worker = 0;
+};
+
+struct ShardedSweepResult {
+  /// Exact merge of the completed shards' frontiers. When every shard
+  /// completed this is bit-identical to the single-process sweep of the
+  /// whole space.
+  std::vector<TimeEnergyPoint> frontier;
+  bool complete = false;      ///< every shard finished
+  bool deadline_hit = false;  ///< the global deadline stopped the run
+  std::size_t shards_total = 0;
+  std::size_t shards_complete = 0;
+  std::size_t configs_total = 0;
+  std::size_t configs_visited = 0;  ///< indices covered by merged shards
+  /// Shards whose retry budget ran out (empty unless something is
+  /// persistently wrong with the body or the machine).
+  std::vector<std::size_t> failed_shards;
+  /// Process-level accounting, mirrored in the obs counters.
+  std::size_t spawns = 0;
+  std::size_t reassignments = 0;
+  std::size_t steals = 0;
+  std::size_t retries = 0;
+  std::size_t results_reused = 0;
+};
+
+/// Runs `spec` sharded across worker processes. Throws hec::IoError
+/// when `state_dir` is unusable and std::invalid_argument on nonsense
+/// options (0 workers, empty body, empty state_dir).
+ShardedSweepResult run_sharded(const ShardedSweepSpec& spec,
+                               const ShardedSweepOptions& opts);
+
+/// Sharded twin of sweep_frontier / resumable_sweep_frontier: the
+/// two-type paper space. Characterizes both models once (the memoized
+/// evaluator), then forks workers that share the tables copy-on-write.
+ShardedSweepResult sharded_sweep_frontier(const NodeTypeModel& arm_model,
+                                          const NodeTypeModel& amd_model,
+                                          const EnumerationLimits& limits,
+                                          double work_units,
+                                          const ShardedSweepOptions& opts);
+
+/// Path of shard `id`'s journal / result file under `state_dir` (the
+/// layout is part of the durability contract; tests and operators may
+/// inspect these).
+std::string shard_journal_path(const std::string& state_dir, std::size_t id);
+std::string shard_result_path(const std::string& state_dir, std::size_t id);
+
+}  // namespace hec::shard

@@ -1,0 +1,596 @@
+// Coordinator half of the sharded sweep: plans shards, spawns worker
+// processes, supervises them through the lease table, and merges the
+// per-shard frontiers. See hec/shard/shard.h for the robustness model.
+//
+// Threading: exactly one extra thread — the monitor (a PeriodicTask)
+// that scans the lease table and queues revocations. All process
+// operations (fork, kill, waitpid, fd reads) happen on the caller's
+// thread. The monitor callback and fork() serialise on one mutex, so a
+// child is never created while the monitor is mid-operation and the
+// child never inherits a locked lock it could trip over.
+#include "hec/shard/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "hec/config/evaluate.h"
+#include "hec/obs/obs.h"
+#include "hec/parallel/periodic.h"
+#include "hec/pareto/streaming.h"
+#include "hec/shard/lease.h"
+#include "hec/shard/protocol.h"
+#include "hec/shard/result_file.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/failpoint.h"
+#include "internal.h"
+
+namespace hec::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ShardState {
+  IndexRange range;
+  std::size_t attempts = 0;  ///< spawns so far (every respawn costs budget)
+  bool complete = false;
+  bool failed = false;  ///< retry budget exhausted
+  double eligible_at_s = 0.0;
+  std::vector<TimeEnergyPoint> frontier;
+};
+
+struct RunningWorker {
+  pid_t pid = -1;
+  int fd = -1;  ///< read end of the worker's report pipe; -1 after EOF
+  std::size_t shard = 0;
+  std::uint64_t attempt = 0;
+  LineBuffer buffer;
+};
+
+void make_state_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0775) == 0 || errno == EEXIST) return;
+  throw IoError("cannot create shard state dir '" + dir +
+                "': " + std::strerror(errno));
+}
+
+/// The whole supervision state, shared between the caller's thread and
+/// the monitor thread (only `lease` and `revocations` cross threads).
+class Coordinator {
+ public:
+  Coordinator(const ShardedSweepSpec& spec, const ShardedSweepOptions& opts)
+      : spec_(spec),
+        opts_(opts),
+        signature_(internal::sweep_signature(spec)),
+        lease_(opts.heartbeat_timeout_s, opts.progress_timeout_s),
+        start_(Clock::now()) {}
+
+  ShardedSweepResult run();
+
+ private:
+  double now_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void plan_shards();
+  bool load_result(std::size_t shard);
+  bool try_reuse_result(std::size_t shard);
+  void spawn(std::size_t shard);
+  void spawn_eligible();
+  void drain_revocations();
+  void pump_pipes();
+  void handle_line(RunningWorker& worker, const Message& m);
+  void reap_exits();
+  void requeue(std::size_t shard, const char* cause, bool backoff);
+  void kill_worker(RunningWorker& worker);
+  void kill_all();
+  std::optional<std::size_t> find_running(std::size_t shard,
+                                          std::uint64_t attempt) const;
+  bool work_remains() const;
+  ShardedSweepResult finish();
+
+  const ShardedSweepSpec& spec_;
+  const ShardedSweepOptions& opts_;
+  const std::string signature_;
+
+  std::vector<ShardState> shards_;
+  std::vector<RunningWorker> running_;
+  std::uint64_t spawn_ordinal_ = 0;
+  bool deadline_hit_ = false;
+  ShardedSweepResult tally_;
+
+  LeaseTable lease_;
+  /// Serialises fork() with the monitor callback and guards
+  /// `revocations_` (see file comment).
+  std::mutex fork_mutex_;
+  std::vector<LeaseRevocation> revocations_;
+  const Clock::time_point start_;
+};
+
+void Coordinator::plan_shards() {
+  const std::size_t parts =
+      opts_.shards != 0 ? opts_.shards
+                        : std::max<std::size_t>(1, 4 * opts_.workers);
+  for (const IndexRange& range : slice_index_space(spec_.total, parts)) {
+    ShardState state;
+    state.range = range;
+    shards_.push_back(std::move(state));
+  }
+  tally_.shards_total = shards_.size();
+  tally_.configs_total = spec_.total;
+}
+
+/// Loads shard's result file if present and fingerprint-valid, marking
+/// the shard complete. No reuse accounting — callers decide whether a
+/// load counts as the first delivery or a recovery.
+bool Coordinator::load_result(std::size_t shard) {
+  ShardState& state = shards_[shard];
+  if (state.complete) return true;
+  const std::string path = shard_result_path(opts_.state_dir, shard);
+  std::string why;
+  std::optional<ShardResult> result =
+      load_shard_result(path, signature_, state.range, &why);
+  if (!result) {
+    if (!why.empty()) {
+      std::fprintf(stderr,
+                   "warning: ignoring shard result %s (%s); recomputing "
+                   "shard %zu from scratch\n",
+                   path.c_str(), why.c_str(), shard);
+    }
+    return false;
+  }
+  state.complete = true;
+  state.frontier = std::move(result->frontier);
+  return true;
+}
+
+/// load_result plus recovery accounting: a result found on disk outside
+/// the normal D-delivery path was salvaged, not computed this attempt.
+bool Coordinator::try_reuse_result(std::size_t shard) {
+  if (shards_[shard].complete || !load_result(shard)) {
+    return shards_[shard].complete;
+  }
+  ++tally_.results_reused;
+  HEC_COUNTER_INC("shard.results_reused");
+  return true;
+}
+
+void Coordinator::spawn(std::size_t shard) {
+  ShardState& state = shards_[shard];
+  HEC_FAILPOINT_HIT("shard.assign");
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw IoError(std::string("pipe() failed: ") + std::strerror(errno));
+  }
+  const std::uint64_t attempt = ++spawn_ordinal_;
+
+  // Every coordinator-side descriptor the child would inherit; it
+  // closes them all except its own write end.
+  std::vector<int> inherited{fds[0], fds[1]};
+  for (const RunningWorker& w : running_) {
+    if (w.fd >= 0) inherited.push_back(w.fd);
+  }
+
+  pid_t pid = -1;
+  {
+    std::lock_guard lock(fork_mutex_);
+    pid = ::fork();
+  }
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw IoError(std::string("fork() failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    internal::run_worker_attempt(spec_, opts_, shard, attempt, state.range,
+                                 fds[1], inherited);
+  }
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+  running_.push_back({pid, fds[0], shard, attempt});
+  ++state.attempts;
+  lease_.grant(shard, attempt, state.range.first, now_s());
+  ++tally_.spawns;
+  HEC_COUNTER_INC("shard.spawns");
+}
+
+void Coordinator::spawn_eligible() {
+  while (running_.size() < opts_.workers) {
+    const double now = now_s();
+    std::optional<std::size_t> pick;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const ShardState& s = shards_[i];
+      if (s.complete || s.failed || s.eligible_at_s > now) continue;
+      if (find_running(i, 0).has_value()) continue;  // already leased
+      pick = i;
+      break;
+    }
+    if (!pick) return;
+    spawn(*pick);
+  }
+}
+
+std::optional<std::size_t> Coordinator::find_running(
+    std::size_t shard, std::uint64_t attempt) const {
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].shard == shard &&
+        (attempt == 0 || running_[i].attempt == attempt)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Schedules the next attempt of `shard` (or marks it failed when the
+/// budget is gone). A result file committed by a dying worker that
+/// never delivered its D line is discovered and reused here — the
+/// at-least-once idempotence path.
+void Coordinator::requeue(std::size_t shard, const char* cause,
+                          bool backoff) {
+  ShardState& state = shards_[shard];
+  if (try_reuse_result(shard)) return;
+  if (state.attempts > opts_.max_retries) {
+    state.failed = true;
+    std::fprintf(stderr,
+                 "error: shard %zu (slice %s) exhausted its retry budget "
+                 "(%zu attempts) %s; giving up\n",
+                 shard, describe(state.range).c_str(), state.attempts,
+                 cause);
+    return;
+  }
+  // attempts-1 doublings of the base delay, capped; steals skip the
+  // backoff entirely (the shard did nothing wrong, its worker did).
+  const double delay =
+      backoff ? std::min(opts_.retry_backoff_max_s,
+                         opts_.retry_backoff_s *
+                             static_cast<double>(
+                                 std::uint64_t{1} << std::min<std::size_t>(
+                                     state.attempts - 1, 32)))
+              : 0.0;
+  state.eligible_at_s = now_s() + delay;
+}
+
+void Coordinator::kill_worker(RunningWorker& worker) {
+  if (worker.pid > 0) {
+    ::kill(worker.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    worker.pid = -1;
+  }
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+}
+
+void Coordinator::kill_all() {
+  for (RunningWorker& worker : running_) {
+    lease_.release(worker.shard, worker.attempt);
+    kill_worker(worker);
+  }
+  running_.clear();
+}
+
+void Coordinator::drain_revocations() {
+  std::vector<LeaseRevocation> pending;
+  {
+    std::lock_guard lock(fork_mutex_);
+    pending.swap(revocations_);
+  }
+  for (const LeaseRevocation& rev : pending) {
+    const std::optional<std::size_t> idx = find_running(rev.shard, rev.attempt);
+    if (!idx || !lease_.release(rev.shard, rev.attempt)) continue;
+    const bool steal = rev.action == LeaseAction::kSteal;
+    std::fprintf(stderr,
+                 "warning: shard %zu attempt %llu %s for %.2fs; %s\n",
+                 rev.shard, static_cast<unsigned long long>(rev.attempt),
+                 steal ? "made no progress" : "sent no heartbeat", rev.idle_s,
+                 steal ? "stealing the shard (journal keeps its progress)"
+                       : "presuming the worker dead and requeueing");
+    kill_worker(running_[*idx]);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(*idx));
+    if (steal) {
+      ++tally_.steals;
+      HEC_COUNTER_INC("shard.steals");
+      requeue(rev.shard, "stalling", /*backoff=*/false);
+    } else {
+      ++tally_.reassignments;
+      HEC_COUNTER_INC("shard.reassignments");
+      requeue(rev.shard, "losing heartbeats", /*backoff=*/true);
+    }
+  }
+}
+
+void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
+  // A message from a superseded attempt (a straggler racing its killer)
+  // must never mutate shard state; the attempt check filters it.
+  if (m.shard != worker.shard || m.attempt != worker.attempt) return;
+  const double now = now_s();
+  switch (m.kind) {
+    case MessageKind::kProgress: {
+      const std::optional<double> gap = lease_.heartbeat_gap_s(m.shard, now);
+      if (lease_.heartbeat(m.shard, m.attempt, m.cursor, now)) {
+        HEC_COUNTER_INC("shard.heartbeats");
+        if (gap) HEC_HISTOGRAM_OBSERVE("shard.heartbeat_gap_s", *gap);
+      }
+      break;
+    }
+    case MessageKind::kDone: {
+      lease_.release(m.shard, m.attempt);
+      if (!load_result(m.shard)) {
+        // D without a loadable result is a broken worker; retry.
+        ++tally_.retries;
+        HEC_COUNTER_INC("shard.retries");
+        requeue(m.shard, "reporting done without a loadable result",
+                /*backoff=*/true);
+      }
+      break;
+    }
+    case MessageKind::kFailed: {
+      lease_.release(m.shard, m.attempt);
+      std::fprintf(stderr, "warning: shard %zu attempt %llu failed: %s\n",
+                   m.shard, static_cast<unsigned long long>(m.attempt),
+                   m.detail.c_str());
+      ++tally_.retries;
+      HEC_COUNTER_INC("shard.retries");
+      requeue(m.shard, "failing", /*backoff=*/true);
+      break;
+    }
+    case MessageKind::kAssign:
+      break;  // coordinator → worker only; ignore on this side
+  }
+}
+
+void Coordinator::pump_pipes() {
+  std::vector<pollfd> fds;
+  fds.reserve(running_.size());
+  for (const RunningWorker& worker : running_) {
+    if (worker.fd >= 0) fds.push_back({worker.fd, POLLIN, 0});
+  }
+  if (fds.empty()) {
+    // Nothing to listen to (all pipes at EOF / backoff wait): sleep one
+    // supervision tick instead of spinning.
+    ::poll(nullptr, 0, 20);
+    return;
+  }
+  const int ready = ::poll(fds.data(), fds.size(), 20);
+  if (ready <= 0) return;
+  for (const pollfd& p : fds) {
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const std::optional<std::size_t> idx = [&]() -> std::optional<std::size_t> {
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].fd == p.fd) return i;
+      }
+      return std::nullopt;
+    }();
+    if (!idx) continue;
+    RunningWorker& worker = running_[*idx];
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::read(worker.fd, chunk, sizeof(chunk));
+      if (got > 0) {
+        worker.buffer.feed({chunk, static_cast<std::size_t>(got)});
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF (or a read error, treated the same): the worker is gone or
+      // going; reap_exits owns the aftermath.
+      ::close(worker.fd);
+      worker.fd = -1;
+      break;
+    }
+    for (const std::string& line : worker.buffer.take()) {
+      const std::optional<Message> m = parse(line);
+      if (!m) {
+        std::fprintf(stderr,
+                     "warning: shard %zu attempt %llu sent a malformed "
+                     "report (%s); treating the worker as failed\n",
+                     worker.shard,
+                     static_cast<unsigned long long>(worker.attempt),
+                     line.c_str());
+        continue;  // its exit (or lease expiry) triggers the requeue
+      }
+      handle_line(worker, *m);
+    }
+  }
+}
+
+void Coordinator::reap_exits() {
+  for (std::size_t i = 0; i < running_.size();) {
+    RunningWorker& worker = running_[i];
+    int status = 0;
+    const pid_t got = ::waitpid(worker.pid, &status, WNOHANG);
+    if (got == 0) {
+      ++i;
+      continue;
+    }
+    // Exited: drain any report bytes still in the pipe first, so a D
+    // that raced the exit is honoured before we presume death.
+    worker.pid = -1;
+    if (worker.fd >= 0) {
+      char chunk[4096];
+      ssize_t n;
+      while ((n = ::read(worker.fd, chunk, sizeof(chunk))) > 0) {
+        worker.buffer.feed({chunk, static_cast<std::size_t>(n)});
+      }
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+    for (const std::string& line : worker.buffer.take()) {
+      if (const std::optional<Message> m = parse(line)) {
+        handle_line(worker, *m);
+      }
+    }
+    if (!shards_[worker.shard].complete &&
+        lease_.release(worker.shard, worker.attempt)) {
+      // Died without a done/failed report: dead-worker path.
+      std::fprintf(stderr,
+                   "warning: shard %zu attempt %llu exited (%s) without "
+                   "reporting; requeueing\n",
+                   worker.shard,
+                   static_cast<unsigned long long>(worker.attempt),
+                   WIFSIGNALED(status)
+                       ? ("signal " + std::to_string(WTERMSIG(status)))
+                             .c_str()
+                       : ("status " +
+                          std::to_string(WIFEXITED(status)
+                                             ? WEXITSTATUS(status)
+                                             : -1))
+                             .c_str());
+      ++tally_.reassignments;
+      HEC_COUNTER_INC("shard.reassignments");
+      requeue(worker.shard, "dying repeatedly", /*backoff=*/true);
+    }
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+bool Coordinator::work_remains() const {
+  if (!running_.empty()) return true;
+  for (const ShardState& s : shards_) {
+    if (!s.complete && !s.failed) return true;
+  }
+  return false;
+}
+
+ShardedSweepResult Coordinator::finish() {
+  HEC_SPAN("shard.merge");
+  std::vector<std::vector<TimeEnergyPoint>> partials;
+  partials.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& state = shards_[i];
+    if (!state.complete) {
+      if (state.failed) tally_.failed_shards.push_back(i);
+      continue;
+    }
+    HEC_FAILPOINT_HIT("shard.merge");
+    ++tally_.shards_complete;
+    tally_.configs_visited += state.range.size();
+    partials.push_back(std::move(state.frontier));
+  }
+  tally_.frontier = merge_frontiers(partials);
+  tally_.complete = tally_.shards_complete == tally_.shards_total;
+  tally_.deadline_hit = deadline_hit_;
+  HEC_GAUGE_SET("shard.shards_complete",
+                static_cast<double>(tally_.shards_complete));
+  HEC_GAUGE_SET("shard.configs_visited",
+                static_cast<double>(tally_.configs_visited));
+  HEC_GAUGE_SET("sweep.frontier_size",
+                static_cast<double>(tally_.frontier.size()));
+  return std::move(tally_);
+}
+
+ShardedSweepResult Coordinator::run() {
+  HEC_SPAN("shard.coordinator");
+  make_state_dir(opts_.state_dir);
+  plan_shards();
+  for (std::size_t i = 0; i < shards_.size(); ++i) try_reuse_result(i);
+
+  // The monitor: scans leases, queues revocations. It shares
+  // fork_mutex_ with spawn() so fork() never interleaves with it.
+  const double scan_interval = std::clamp(
+      std::min(opts_.heartbeat_timeout_s, opts_.progress_timeout_s) / 4.0,
+      0.01, 1.0);
+  PeriodicTask monitor(scan_interval, [this] {
+    std::lock_guard lock(fork_mutex_);
+    std::vector<LeaseRevocation> expired = lease_.expired(now_s());
+    revocations_.insert(revocations_.end(), expired.begin(), expired.end());
+  });
+
+  try {
+    while (work_remains()) {
+      if (now_s() >= opts_.deadline_s) {
+        deadline_hit_ = true;
+        std::fprintf(stderr,
+                     "warning: global deadline (%.3fs) reached with %zu "
+                     "worker(s) outstanding; emitting the partial frontier\n",
+                     opts_.deadline_s, running_.size());
+        kill_all();
+        break;
+      }
+      drain_revocations();
+      spawn_eligible();
+      pump_pipes();
+      reap_exits();
+    }
+  } catch (...) {
+    // Whatever went wrong, never leak live children or the monitor.
+    monitor.stop();
+    kill_all();
+    throw;
+  }
+  monitor.stop();
+  kill_all();
+  return finish();
+}
+
+}  // namespace
+
+std::string shard_journal_path(const std::string& state_dir, std::size_t id) {
+  return state_dir + "/shard-" + std::to_string(id) + ".journal";
+}
+
+std::string shard_result_path(const std::string& state_dir, std::size_t id) {
+  return state_dir + "/shard-" + std::to_string(id) + ".result";
+}
+
+ShardedSweepResult run_sharded(const ShardedSweepSpec& spec,
+                               const ShardedSweepOptions& opts) {
+  if (opts.workers == 0) {
+    throw std::invalid_argument("sharded sweep needs at least one worker");
+  }
+  if (!spec.body) {
+    throw std::invalid_argument("sharded sweep needs a sweep body");
+  }
+  if (spec.claim == 0) {
+    throw std::invalid_argument("sharded sweep claim must be positive");
+  }
+  if (opts.state_dir.empty()) {
+    throw std::invalid_argument(
+        "sharded sweep needs a state_dir for journals and results");
+  }
+  Coordinator coordinator(spec, opts);
+  return coordinator.run();
+}
+
+ShardedSweepResult sharded_sweep_frontier(const NodeTypeModel& arm_model,
+                                          const NodeTypeModel& amd_model,
+                                          const EnumerationLimits& limits,
+                                          double work_units,
+                                          const ShardedSweepOptions& opts) {
+  HEC_SPAN("shard.sweep_frontier");
+  // Characterize once, fork many: the memo tables are built before any
+  // worker exists and shared copy-on-write with all of them.
+  const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
+  ShardedSweepSpec spec;
+  spec.signature = memo.layout().describe();
+  spec.total = memo.size();
+  spec.work_units = work_units;
+  spec.body = [&memo, work_units](std::size_t first, std::size_t count,
+                                  ParetoAccumulator& acc) {
+    for (std::size_t i = first; i < first + count; ++i) {
+      const ConfigOutcome o = memo.evaluate_at(i, work_units);
+      acc.add({o.t_s, o.energy_j, i});
+    }
+    HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+  };
+  return run_sharded(spec, opts);
+}
+
+}  // namespace hec::shard

@@ -1,0 +1,32 @@
+// Internals shared between the coordinator and the worker half of the
+// fork. Not installed; include only from src/shard/src.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hec/shard/shard.h"
+#include "hec/sweep/slices.h"
+
+namespace hec::shard::internal {
+
+/// Fingerprint used by per-shard journals and result files: the spec's
+/// space signature plus the parameters the journal header would
+/// otherwise carry separately. One string, compared byte-for-byte.
+std::string sweep_signature(const ShardedSweepSpec& spec);
+
+/// Runs one attempt of `shard_id` over `range` in the current (child)
+/// process: heartbeats on `report_fd`, journaled resumable sweep of the
+/// slice, durable result commit, then a D/F report and _exit. Never
+/// returns. `inherited_fds` are the coordinator-side descriptors the
+/// child must close first.
+[[noreturn]] void run_worker_attempt(const ShardedSweepSpec& spec,
+                                     const ShardedSweepOptions& opts,
+                                     std::size_t shard_id,
+                                     std::uint64_t attempt, IndexRange range,
+                                     int report_fd,
+                                     const std::vector<int>& inherited_fds);
+
+}  // namespace hec::shard::internal

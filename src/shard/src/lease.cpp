@@ -1,0 +1,67 @@
+#include "hec/shard/lease.h"
+
+namespace hec::shard {
+
+LeaseTable::LeaseTable(double heartbeat_timeout_s, double progress_timeout_s)
+    : heartbeat_timeout_s_(heartbeat_timeout_s),
+      progress_timeout_s_(progress_timeout_s) {}
+
+void LeaseTable::grant(std::size_t shard, std::uint64_t attempt,
+                       std::size_t cursor, double now_s) {
+  std::lock_guard lock(mutex_);
+  leases_[shard] = Lease{attempt, cursor, now_s, now_s};
+}
+
+bool LeaseTable::heartbeat(std::size_t shard, std::uint64_t attempt,
+                           std::size_t cursor, double now_s) {
+  std::lock_guard lock(mutex_);
+  const auto it = leases_.find(shard);
+  if (it == leases_.end() || it->second.attempt != attempt) return false;
+  it->second.last_heartbeat_s = now_s;
+  if (cursor > it->second.cursor) {
+    it->second.cursor = cursor;
+    it->second.last_progress_s = now_s;
+  }
+  return true;
+}
+
+std::optional<double> LeaseTable::heartbeat_gap_s(std::size_t shard,
+                                                  double now_s) const {
+  std::lock_guard lock(mutex_);
+  const auto it = leases_.find(shard);
+  if (it == leases_.end()) return std::nullopt;
+  return now_s - it->second.last_heartbeat_s;
+}
+
+bool LeaseTable::release(std::size_t shard, std::uint64_t attempt) {
+  std::lock_guard lock(mutex_);
+  const auto it = leases_.find(shard);
+  if (it == leases_.end() || it->second.attempt != attempt) return false;
+  leases_.erase(it);
+  return true;
+}
+
+std::vector<LeaseRevocation> LeaseTable::expired(double now_s) const {
+  std::lock_guard lock(mutex_);
+  std::vector<LeaseRevocation> out;
+  for (const auto& [shard, lease] : leases_) {
+    const double heartbeat_gap = now_s - lease.last_heartbeat_s;
+    const double progress_gap = now_s - lease.last_progress_s;
+    // Heartbeat silence wins when both trip: a dead worker trivially
+    // also stops progressing, and "reassign" is the right label for it.
+    if (heartbeat_gap >= heartbeat_timeout_s_) {
+      out.push_back(
+          {shard, lease.attempt, LeaseAction::kReassign, heartbeat_gap});
+    } else if (progress_gap >= progress_timeout_s_) {
+      out.push_back({shard, lease.attempt, LeaseAction::kSteal, progress_gap});
+    }
+  }
+  return out;
+}
+
+std::size_t LeaseTable::active() const {
+  std::lock_guard lock(mutex_);
+  return leases_.size();
+}
+
+}  // namespace hec::shard

@@ -1,0 +1,131 @@
+#include "hec/shard/protocol.h"
+
+#include <charconv>
+#include <string_view>
+
+namespace hec::shard {
+
+namespace {
+
+/// Consumes one space-delimited token from `rest`. Empty on exhaustion.
+std::string_view next_token(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  std::size_t end = rest.find(' ');
+  if (end == std::string_view::npos) end = rest.size();
+  const std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end);
+  return token;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+std::string encode(const Message& m) {
+  std::string line;
+  switch (m.kind) {
+    case MessageKind::kAssign:
+      line = "A " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
+             ' ' + std::to_string(m.first) + ' ' + std::to_string(m.last);
+      break;
+    case MessageKind::kProgress:
+      line = "R " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
+             ' ' + std::to_string(m.cursor);
+      break;
+    case MessageKind::kDone:
+      line = "D " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt);
+      break;
+    case MessageKind::kFailed:
+      line = "F " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt);
+      if (!m.detail.empty()) {
+        line += ' ';
+        // The detail is free text from an exception; newlines would break
+        // the line framing, so flatten them.
+        for (const char c : m.detail) line += c == '\n' ? ' ' : c;
+      }
+      break;
+  }
+  line += '\n';
+  return line;
+}
+
+std::optional<Message> parse(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  std::string_view rest = line;
+  const std::string_view tag = next_token(rest);
+  if (tag.size() != 1) return std::nullopt;
+
+  Message m;
+  switch (tag.front()) {
+    case 'A': {
+      m.kind = MessageKind::kAssign;
+      if (!parse_number(next_token(rest), m.shard) ||
+          !parse_number(next_token(rest), m.attempt) ||
+          !parse_number(next_token(rest), m.first) ||
+          !parse_number(next_token(rest), m.last)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case 'R': {
+      m.kind = MessageKind::kProgress;
+      if (!parse_number(next_token(rest), m.shard) ||
+          !parse_number(next_token(rest), m.attempt) ||
+          !parse_number(next_token(rest), m.cursor)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case 'D': {
+      m.kind = MessageKind::kDone;
+      if (!parse_number(next_token(rest), m.shard) ||
+          !parse_number(next_token(rest), m.attempt)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case 'F': {
+      m.kind = MessageKind::kFailed;
+      if (!parse_number(next_token(rest), m.shard) ||
+          !parse_number(next_token(rest), m.attempt)) {
+        return std::nullopt;
+      }
+      while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+      m.detail = std::string(rest);
+      rest = {};
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  // Trailing garbage after a well-formed record is a framing bug.
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (!rest.empty()) return std::nullopt;
+  return m;
+}
+
+void LineBuffer::feed(std::string_view bytes) {
+  for (const char c : bytes) {
+    if (c == '\n') {
+      lines_.push_back(std::move(partial_));
+      partial_.clear();
+    } else {
+      partial_ += c;
+    }
+  }
+}
+
+std::vector<std::string> LineBuffer::take() {
+  std::vector<std::string> out;
+  out.swap(lines_);
+  return out;
+}
+
+}  // namespace hec::shard

@@ -1,0 +1,111 @@
+#include "hec/shard/result_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "hec/bench/json.h"
+#include "hec/resilience/journal.h"
+#include "hec/util/atomic_file.h"
+
+namespace hec::shard {
+
+namespace json = hec::bench::json;
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+json::Value result_payload(const std::string& signature,
+                           const ShardResult& result) {
+  json::Value payload;
+  payload["space"] = signature;
+  payload["first"] = static_cast<double>(result.range.first);
+  payload["last"] = static_cast<double>(result.range.last);
+  json::Value::Array frontier;
+  frontier.reserve(result.frontier.size());
+  for (const TimeEnergyPoint& p : result.frontier) {
+    json::Value::Array point;
+    point.emplace_back(p.t_s);
+    point.emplace_back(p.energy_j);
+    point.emplace_back(static_cast<double>(p.tag));
+    frontier.emplace_back(std::move(point));
+  }
+  payload["frontier"] = json::Value(std::move(frontier));
+  return payload;
+}
+
+}  // namespace
+
+void write_shard_result(const std::string& path, const std::string& signature,
+                        const ShardResult& result) {
+  const json::Value payload = result_payload(signature, result);
+  const std::string payload_text = payload.dump(/*pretty=*/false);
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kResultSchema << "\",\"result\":" << payload_text
+      << ",\"crc64\":\"" << hex64(resilience::fnv1a64(payload_text))
+      << "\"}\n";
+  util::atomic_write_file(path, out.str());
+}
+
+std::optional<ShardResult> load_shard_result(const std::string& path,
+                                             const std::string& signature,
+                                             const IndexRange& range,
+                                             std::string* why) {
+  const auto reject = [&](std::string reason) -> std::optional<ShardResult> {
+    if (why != nullptr) *why = std::move(reason);
+    return std::nullopt;
+  };
+  std::ifstream in(path);
+  if (!in) return std::nullopt;  // absent is the common case, not an error
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  const auto doc = json::Value::parse(buffer.str(), &error);
+  if (!doc) return reject("unparseable result file: " + error);
+  if (doc->operator[]("schema").as_string() != kResultSchema) {
+    return reject("unknown schema '" +
+                  doc->operator[]("schema").as_string() + "'");
+  }
+  const json::Value& payload = doc->operator[]("result");
+  if (!payload.is_object()) return reject("result is not an object");
+  const std::string want_crc = doc->operator[]("crc64").as_string();
+  const std::string got_crc =
+      hex64(resilience::fnv1a64(payload.dump(/*pretty=*/false)));
+  if (want_crc != got_crc) {
+    return reject("CRC mismatch (want " + want_crc + ", got " + got_crc + ")");
+  }
+  if (payload["space"].as_string() != signature) {
+    return reject("result is for space '" + payload["space"].as_string() +
+                  "', this sweep is '" + signature + "'");
+  }
+  ShardResult result;
+  result.range.first = static_cast<std::size_t>(payload["first"].as_number());
+  result.range.last = static_cast<std::size_t>(payload["last"].as_number());
+  if (result.range != range) {
+    return reject("result covers slice " + describe(result.range) +
+                  ", expected " + describe(range));
+  }
+  double prev_t = -1.0;
+  for (const json::Value& pv : payload["frontier"].as_array()) {
+    const json::Value::Array& triple = pv.as_array();
+    if (triple.size() != 3) return reject("frontier point is not [t,e,tag]");
+    TimeEnergyPoint p;
+    p.t_s = triple[0].as_number();
+    p.energy_j = triple[1].as_number();
+    p.tag = static_cast<std::size_t>(triple[2].as_number());
+    if (p.t_s <= prev_t) return reject("frontier not strictly sorted");
+    prev_t = p.t_s;
+    result.frontier.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace hec::shard

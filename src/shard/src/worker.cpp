@@ -1,0 +1,129 @@
+// Worker half of the sharded sweep: runs in the forked child.
+//
+// The child inherits the parent's memoized evaluator (captured in
+// spec.body) copy-on-write, so it pays no characterization cost. It
+// runs the slice through the resumable engine with a per-shard journal
+// — which is exactly what makes kills, steals and retries safe: any
+// successor attempt resumes from the journal's last epoch boundary and
+// still produces the bit-identical slice frontier.
+//
+// Report ordering is the durability contract: the result file commits
+// (atomic replace) BEFORE the D line is sent, so a crash between the
+// two leaves a reusable result that the coordinator discovers on retry.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <exception>
+#include <string>
+
+#include <unistd.h>
+
+#include "hec/parallel/periodic.h"
+#include "hec/parallel/thread_pool.h"
+#include "hec/resilience/resumable.h"
+#include "hec/shard/protocol.h"
+#include "hec/shard/result_file.h"
+#include "hec/util/failpoint.h"
+#include "internal.h"
+
+namespace hec::shard::internal {
+
+namespace {
+
+/// Writes one protocol line, retrying on EINTR. Lines are far below
+/// PIPE_BUF, so each send is atomic with respect to the heartbeat
+/// thread's sends. Failures are ignored: the pipe dying means the
+/// coordinator died, and the result file is the durable truth anyway.
+void send_line(int fd, const Message& m) {
+  const std::string line = encode(m);
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace
+
+std::string sweep_signature(const ShardedSweepSpec& spec) {
+  return spec.signature + " total=" + std::to_string(spec.total) +
+         " work_units=" + std::to_string(spec.work_units);
+}
+
+void run_worker_attempt(const ShardedSweepSpec& spec,
+                        const ShardedSweepOptions& opts, std::size_t shard_id,
+                        std::uint64_t attempt, IndexRange range, int report_fd,
+                        const std::vector<int>& inherited_fds) {
+  for (const int fd : inherited_fds) {
+    if (fd != report_fd) ::close(fd);
+  }
+  // A dead coordinator must not SIGPIPE-kill a worker mid-commit; the
+  // failed write is simply dropped (see send_line).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The absolute cursor the heartbeat thread reports; updated at every
+  // epoch boundary via on_progress.
+  std::atomic<std::size_t> cursor{range.first};
+  PeriodicTask heartbeat(opts.heartbeat_interval_s, [&] {
+    // Armed as e.g. "shard.heartbeat:3:crash" this kills whichever
+    // worker reaches the process-wide 3rd heartbeat — a racy, "any
+    // victim" kill for stress tests.
+    HEC_FAILPOINT_HIT("shard.heartbeat");
+    send_line(report_fd, {MessageKind::kProgress, shard_id, attempt,
+                          /*first=*/0, /*last=*/0, cursor.load(), {}});
+  });
+
+  // Deterministic kill site: the ordinal-th spawned attempt hits
+  // "shard.attempt.<ordinal>" once per progress boundary, so
+  // "shard.attempt.2:1:crash" SIGKILLs exactly the second worker at its
+  // first epoch — reproducible k-of-n crash matrices.
+  const std::string attempt_site = "shard.attempt." + std::to_string(attempt);
+
+  try {
+    // Parent threads do not survive fork: the worker builds its own
+    // pool. threads_per_worker == 0 runs the slice serially.
+    ThreadPool pool(std::max<std::size_t>(1, opts.threads_per_worker));
+    SweepOptions sweep;
+    sweep.block = spec.claim;
+    sweep.parallel = opts.threads_per_worker > 1;
+    sweep.pool = &pool;
+
+    resilience::ResilienceOptions res;
+    res.journal_path = shard_journal_path(opts.state_dir, shard_id);
+    res.checkpoint_interval_s = opts.checkpoint_interval_s;
+    res.range = range;
+    res.on_progress = [&](std::size_t at) {
+      cursor.store(at);
+      HEC_FAILPOINT_HIT(attempt_site.c_str());
+    };
+
+    const resilience::ResumableSweepResult swept =
+        resilience::resumable_sweep_indexed(sweep_signature(spec), spec.total,
+                                            spec.claim, spec.work_units,
+                                            spec.body, sweep, res);
+
+    write_shard_result(shard_result_path(opts.state_dir, shard_id),
+                       sweep_signature(spec), {range, swept.frontier});
+    heartbeat.stop();
+    send_line(report_fd, {MessageKind::kDone, shard_id, attempt, 0, 0, 0, {}});
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    heartbeat.stop();
+    send_line(report_fd,
+              {MessageKind::kFailed, shard_id, attempt, 0, 0, 0, e.what()});
+    ::_exit(1);
+  } catch (...) {
+    heartbeat.stop();
+    send_line(report_fd, {MessageKind::kFailed, shard_id, attempt, 0, 0, 0,
+                          "unknown exception"});
+    ::_exit(1);
+  }
+}
+
+}  // namespace hec::shard::internal

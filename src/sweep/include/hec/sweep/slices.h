@@ -1,0 +1,61 @@
+// Shard-aware slicing of a configuration index space.
+//
+// ConfigSpaceLayout names every configuration by a dense global index,
+// so a distributed sweep never ships configurations — it ships index
+// ranges. This header is the single definition of how a space of
+// `total` indices is cut into contiguous shards: near-equal ranges,
+// every index covered exactly once, order-preserving. The coordinator
+// (hec/shard) plans with it and the per-shard journal fingerprints
+// embed the resulting [first, last) bounds, so a journal can never
+// resume into a different shard's slice.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hec/util/expect.h"
+
+namespace hec {
+
+/// A contiguous half-open slice [first, last) of a sweep index space.
+struct IndexRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+
+  std::size_t size() const { return last - first; }
+  bool empty() const { return last <= first; }
+
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Stable textual form of a range, used in journal fingerprints and
+/// protocol messages: "[first,last)".
+inline std::string describe(const IndexRange& range) {
+  return "[" + std::to_string(range.first) + "," +
+         std::to_string(range.last) + ")";
+}
+
+/// Cuts [0, total) into at most `parts` contiguous non-empty slices of
+/// near-equal size (sizes differ by at most one, larger slices first).
+/// Fewer than `parts` slices are returned when total < parts; together
+/// the slices always cover [0, total) exactly once, in order.
+inline std::vector<IndexRange> slice_index_space(std::size_t total,
+                                                 std::size_t parts) {
+  HEC_EXPECTS(parts >= 1);
+  std::vector<IndexRange> slices;
+  if (total == 0) return slices;
+  const std::size_t count = std::min(parts, total);
+  const std::size_t base = total / count;
+  const std::size_t extra = total % count;  // first `extra` slices get +1
+  slices.reserve(count);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    slices.push_back({cursor, cursor + size});
+    cursor += size;
+  }
+  return slices;
+}
+
+}  // namespace hec

@@ -1,0 +1,43 @@
+// Strict parsing for numeric environment variables.
+//
+// Environment variables are user input exactly like command-line flags,
+// so a malformed value must produce a usage diagnostic (tools map
+// EnvParseError to exit 64, sysexits.h EX_USAGE) — never a silent
+// fallback. The historical behaviour of warning-and-ignoring a bad
+// HEC_DEADLINE_S turned a typo ("30s", "-5", "nan") into an unbounded
+// sweep, which is the opposite of what the operator asked for.
+//
+// Unset or empty variables are not errors: they mean "feature off" and
+// return the caller's fallback.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace hec::util {
+
+/// Thrown when a numeric environment variable holds a value that does
+/// not parse cleanly (trailing garbage, NaN/inf, empty after sign) or
+/// violates the caller's stated range. Tools map it to exit 64.
+class EnvParseError : public std::runtime_error {
+ public:
+  explicit EnvParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Reads `name` as a finite double. Returns nullopt when the variable is
+/// unset or empty. Throws EnvParseError on trailing garbage ("1.5x"),
+/// NaN, infinity, or anything std::from_chars rejects.
+std::optional<double> env_number(const char* name);
+
+/// Like env_number but additionally requires value > 0; the diagnostic
+/// names the variable and the constraint ("must be a positive number").
+std::optional<double> env_positive(const char* name);
+
+/// Like env_number but requires a non-negative integer (a count);
+/// returns it as std::size_t.
+std::optional<std::size_t> env_count(const char* name);
+
+}  // namespace hec::util

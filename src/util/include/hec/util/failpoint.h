@@ -5,6 +5,12 @@
 //
 //   HEC_FAILPOINT=<site>:<nth>[:crash|error|delay][,<site>:<nth>[:<mode>]...]
 //
+// Entries are comma-separated; several entries may name the SAME site —
+// they share one hit counter and each fires at its own <nth>, which is
+// how one scenario kills k of n workers at the same site (e.g.
+// "shard.heartbeat:3:crash,shard.heartbeat:9:crash") or a coordinator
+// and a worker in a single run.
+//
 // The <nth> hit (1-based) of the named site triggers its mode:
 //   crash  — die immediately via SIGKILL (no destructors, no stream
 //            flushes): the honest simulation of OOM-kill / preemption

@@ -1,0 +1,64 @@
+#include "hec/util/env.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+namespace hec::util {
+
+namespace {
+
+/// One strict scalar parse shared by every env accessor: the whole
+/// value must be consumed and the result must be finite. from_chars
+/// rejects leading whitespace, "nan", "inf" and locale surprises, which
+/// is exactly the strictness user-facing diagnostics need.
+double parse_env_double(const char* name, std::string_view text) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value)) {
+    throw EnvParseError(std::string(name) + "='" + std::string(text) +
+                        "' is not a finite number");
+  }
+  return value;
+}
+
+const char* raw_env(const char* name) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? nullptr : raw;
+}
+
+}  // namespace
+
+std::optional<double> env_number(const char* name) {
+  const char* raw = raw_env(name);
+  if (raw == nullptr) return std::nullopt;
+  return parse_env_double(name, raw);
+}
+
+std::optional<double> env_positive(const char* name) {
+  const char* raw = raw_env(name);
+  if (raw == nullptr) return std::nullopt;
+  const double value = parse_env_double(name, raw);
+  if (!(value > 0.0)) {
+    throw EnvParseError(std::string(name) + "='" + raw +
+                        "' must be a positive number");
+  }
+  return value;
+}
+
+std::optional<std::size_t> env_count(const char* name) {
+  const char* raw = raw_env(name);
+  if (raw == nullptr) return std::nullopt;
+  const double value = parse_env_double(name, raw);
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<unsigned long long>(value))) {
+    throw EnvParseError(std::string(name) + "='" + raw +
+                        "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace hec::util

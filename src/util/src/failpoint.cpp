@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -15,18 +16,24 @@ namespace hec::util {
 
 namespace {
 
-/// One armed site plus its hit counter. The vector is replaced wholesale
-/// under the mutex by set_failpoints; failpoint_hit only reads the
-/// vector and bumps the per-site atomic, so steady-state hits take the
-/// mutex only to find their spec (hits are rare, fault-prone sites —
-/// file I/O, journal commits — never hot loops).
+/// One armed site: its shared hit counter plus every spec targeting it.
+/// Multiple entries for the same site in one HEC_FAILPOINT value (e.g.
+/// "shard.heartbeat:1:crash,shard.heartbeat:5:crash" to kill two
+/// workers in one scenario) count against the same counter, each firing
+/// at its own nth. The vector is replaced wholesale under the mutex by
+/// set_failpoints; failpoint_hit takes the mutex only to find its site
+/// (hits are rare, fault-prone sites — file I/O, journal commits —
+/// never hot loops).
+// (A deque because the atomic counter makes the element immovable, and
+// deque::emplace_back never relocates.)
 struct ArmedSite {
-  FailpointSpec spec;
+  std::string site;
+  std::vector<FailpointSpec> specs;
   std::atomic<std::uint64_t> hits{0};
 };
 
 std::mutex g_mutex;
-std::vector<ArmedSite>* g_sites = nullptr;  // leaked: process-lifetime
+std::deque<ArmedSite>* g_sites = nullptr;  // leaked: process-lifetime
 std::atomic<bool> g_armed{false};
 
 FailpointMode parse_mode(const std::string& text) {
@@ -89,12 +96,25 @@ std::vector<FailpointSpec> parse_failpoints(const std::string& text) {
 }
 
 void set_failpoints(std::vector<FailpointSpec> specs) {
+  // Group specs by site so every spec for a site shares one counter.
+  std::deque<ArmedSite>* sites = new std::deque<ArmedSite>();
+  for (FailpointSpec& spec : specs) {
+    ArmedSite* slot = nullptr;
+    for (ArmedSite& armed : *sites) {
+      if (armed.site == spec.site) {
+        slot = &armed;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slot = &sites->emplace_back();
+      slot->site = spec.site;
+    }
+    slot->specs.push_back(std::move(spec));
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
   delete g_sites;
-  g_sites = new std::vector<ArmedSite>(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    (*g_sites)[i].spec = std::move(specs[i]);
-  }
+  g_sites = sites;
   g_armed.store(!g_sites->empty(), std::memory_order_release);
 }
 
@@ -115,12 +135,15 @@ void failpoint_hit(const char* site) {
     std::lock_guard<std::mutex> lock(g_mutex);
     if (g_sites == nullptr) return;
     for (ArmedSite& armed : *g_sites) {
-      if (armed.spec.site != site) continue;
+      if (armed.site != site) continue;
       const std::uint64_t hit =
           armed.hits.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (hit == armed.spec.nth) {
-        fire = armed.spec;
-        fired = true;
+      for (const FailpointSpec& spec : armed.specs) {
+        if (hit == spec.nth) {
+          fire = spec;
+          fired = true;
+          break;
+        }
       }
       break;
     }
@@ -142,7 +165,7 @@ std::uint64_t failpoint_hits(const std::string& site) {
   std::lock_guard<std::mutex> lock(g_mutex);
   if (g_sites == nullptr) return 0;
   for (const ArmedSite& armed : *g_sites) {
-    if (armed.spec.site == site) {
+    if (armed.site == site) {
       return armed.hits.load(std::memory_order_relaxed);
     }
   }

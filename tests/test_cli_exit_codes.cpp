@@ -214,6 +214,33 @@ TEST(CliExitCodes, DeadlineEnvVariableAlsoBoundsTheSweep) {
   EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=0.0000001", "EP 10000"), 75);
 }
 
+TEST(CliExitCodes, MalformedDeadlineEnvIsUsageErrorNeverIgnored) {
+  // A typoed HEC_DEADLINE_S must never silently become "no deadline".
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=-1", "EP 10000"), 64);
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=0", "EP 10000"), 64);
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=nan", "EP 10000"), 64);
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=30s", "EP 10000"), 64);
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=1.5x", "EP 10000"), 64);
+  // Empty means unset — feature off, normal run.
+  EXPECT_EQ(run_cli_env("HEC_DEADLINE_S=",
+                        "EP 10000 --max-arm 2 --max-amd 2"),
+            0);
+}
+
+TEST(CliExitCodes, MalformedDeadlineEnvDiagnosticNamesTheVariable) {
+  const std::string err_path = ::testing::TempDir() + "cli_env_err.txt";
+  const std::string cmd = std::string("HEC_DEADLINE_S=abc ") +
+                          HECSIM_CLI_PATH +
+                          " EP 10000 > /dev/null 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 64);
+  std::ifstream in(err_path);
+  std::string err((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(err.find("HEC_DEADLINE_S"), std::string::npos) << err;
+}
+
 TEST(CliExitCodes, ResilienceFlagsRequireExhaustiveMethod) {
   const std::string journal = ::testing::TempDir() + "cli_usage.jsonl";
   EXPECT_EQ(run_cli("EP 10000 --method greedy --journal " + journal), 64);
@@ -250,6 +277,58 @@ TEST(CliExitCodes, FailpointCrashKillsThenJournalResumes) {
   EXPECT_EQ(run_cli("EP 10000 --journal " + journal +
                     " --journal-interval-s 0"),
             0);
+}
+
+TEST(CliExitCodes, ShardedFlagValidation) {
+  EXPECT_EQ(run_cli("EP 10000 --shards 0"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards two"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards 2.5"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards 2 --method greedy"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards 2 --budget 500"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards 2 --shard-timeout-s 0"), 64);
+  EXPECT_EQ(run_cli("EP 10000 --shards 2 --max-retries -1"), 64);
+}
+
+TEST(CliExitCodes, ShardedSweepMatchesSingleProcessSweep) {
+  // The sharded run prints one extra accounting line; everything else —
+  // the frontier-derived recommendation — must be byte-identical to an
+  // uninterrupted single-process (resumable) sweep of the same space.
+  const std::string plain_out = ::testing::TempDir() + "cli_plain.txt";
+  const std::string shard_out = ::testing::TempDir() + "cli_sharded.txt";
+  const std::string journal = ::testing::TempDir() + "cli_single.jsonl";
+  std::remove(journal.c_str());
+  const std::string base = "EP 10000 --max-arm 6 --max-amd 6";
+  ASSERT_EQ(std::system((std::string(HECSIM_CLI_PATH) + " " + base +
+                         " --journal " + journal + " > " + plain_out +
+                         " 2> /dev/null")
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system((std::string(HECSIM_CLI_PATH) + " " + base +
+                         " --shards 2 --shard-timeout-s 30 --max-retries 2 "
+                         "| grep -v 'sharded sweep' > " +
+                         shard_out + " 2> /dev/null")
+                            .c_str()),
+            0);
+  std::ifstream plain_in(plain_out), shard_in(shard_out);
+  const std::string plain((std::istreambuf_iterator<char>(plain_in)),
+                          std::istreambuf_iterator<char>());
+  const std::string sharded((std::istreambuf_iterator<char>(shard_in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_FALSE(plain.empty());
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(CliExitCodes, ShardedSweepSurvivesAWorkerKill) {
+  // SIGKILL the second spawned worker at its first progress boundary;
+  // the coordinator requeues the shard and still exits 0 with a full
+  // answer.
+  EXPECT_EQ(run_cli_env("HEC_FAILPOINT=shard.attempt.2:1:crash",
+                        "EP 10000 --shards 2 --max-arm 8 --max-amd 8"),
+            0);
+}
+
+TEST(CliExitCodes, ShardedDeadlineIsPartialExit) {
+  EXPECT_EQ(run_cli("EP 10000 --shards 2 --deadline-s 0.0000001"), 75);
 }
 
 TEST(CliExitCodes, CorruptJournalWarnsAndRestartsCleanly) {

@@ -83,6 +83,40 @@ TEST_F(Failpoints, SetFailpointsResetsCounters) {
   EXPECT_EQ(failpoint_hits("fp.reset"), 0u);
 }
 
+TEST_F(Failpoints, SameSiteSpecsShareOneCounterAndFireIndependently) {
+  // Two specs for one site (the kill-two-workers grammar, e.g.
+  // "shard.heartbeat:2:crash,shard.heartbeat:4:crash") count hits on a
+  // single shared counter and each fires at its own nth.
+  set_failpoints({{"fp.multi", 2, FailpointMode::kError},
+                  {"fp.multi", 4, FailpointMode::kError}});
+  HEC_FAILPOINT_HIT("fp.multi");                       // hit 1: quiet
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.multi"), InjectedFault);  // hit 2
+  HEC_FAILPOINT_HIT("fp.multi");                       // hit 3: quiet
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.multi"), InjectedFault);  // hit 4
+  HEC_FAILPOINT_HIT("fp.multi");                       // hit 5: spent
+  EXPECT_EQ(failpoint_hits("fp.multi"), 5u)
+      << "one counter for the site, not one per spec";
+}
+
+TEST_F(Failpoints, ParsesRepeatedSitesAsSeparateSpecs) {
+  const auto specs = parse_failpoints("fp.dup:1:error,fp.dup:3:delay");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].site, specs[1].site);
+  EXPECT_EQ(specs[0].nth, 1u);
+  EXPECT_EQ(specs[1].nth, 3u);
+  EXPECT_EQ(specs[1].mode, FailpointMode::kDelay);
+}
+
+TEST_F(Failpoints, SameNthTwiceFiresOnceNotTwice) {
+  // Degenerate but legal: two specs naming the same hit. The first
+  // match wins; the hit still advances the shared counter once.
+  set_failpoints({{"fp.same", 2, FailpointMode::kError},
+                  {"fp.same", 2, FailpointMode::kDelay}});
+  HEC_FAILPOINT_HIT("fp.same");
+  EXPECT_THROW(HEC_FAILPOINT_HIT("fp.same"), InjectedFault);
+  EXPECT_EQ(failpoint_hits("fp.same"), 2u);
+}
+
 TEST_F(Failpoints, DelayModeContinues) {
   set_failpoints({{"fp.delay", 1, FailpointMode::kDelay}});
   const auto start = std::chrono::steady_clock::now();

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <random>
 #include <vector>
 
@@ -116,6 +118,55 @@ TEST(MergeFrontiers, PartitionInvariance) {
     for (auto& acc : accs) partials.push_back(acc.take());
     expect_identical(merge_frontiers(partials), want);
   }
+}
+
+TEST(MergeFrontiers, BitIdenticalUnderAllShardPermutations) {
+  // The sharded-sweep coordinator merges per-shard frontiers in
+  // whatever order shards happen to finish; every permutation of the
+  // four shard frontiers must reproduce the whole-space frontier bit
+  // for bit, or retries/steals would change the answer.
+  std::mt19937 rng(99);
+  const auto points = random_points(rng, 4000);
+  const auto want = pareto_frontier(points);
+  std::vector<std::vector<TimeEnergyPoint>> shards;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::vector<TimeEnergyPoint> slice(
+        points.begin() + static_cast<std::ptrdiff_t>(s * 1000),
+        points.begin() + static_cast<std::ptrdiff_t>((s + 1) * 1000));
+    shards.push_back(pareto_frontier(slice));
+  }
+  std::array<std::size_t, 4> order = {0, 1, 2, 3};
+  do {
+    std::vector<std::vector<TimeEnergyPoint>> partials;
+    for (const std::size_t i : order) partials.push_back(shards[i]);
+    expect_identical(merge_frontiers(partials), want);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(MergeFrontiers, DuplicateShardDeliveryChangesNothing) {
+  // At-least-once delivery: a shard frontier showing up twice (a retry
+  // racing its original, or a reused result file plus a late D) must
+  // not perturb the merge — duplicates are exact copies and the
+  // dominance scan keeps strict improvements only.
+  std::mt19937 rng(101);
+  const auto points = random_points(rng, 4000);
+  const auto want = pareto_frontier(points);
+  std::vector<std::vector<TimeEnergyPoint>> shards;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::vector<TimeEnergyPoint> slice(
+        points.begin() + static_cast<std::ptrdiff_t>(s * 1000),
+        points.begin() + static_cast<std::ptrdiff_t>((s + 1) * 1000));
+    shards.push_back(pareto_frontier(slice));
+  }
+  for (std::size_t dup = 0; dup < 4; ++dup) {
+    std::vector<std::vector<TimeEnergyPoint>> partials = shards;
+    partials.push_back(shards[dup]);
+    expect_identical(merge_frontiers(partials), want);
+  }
+  // Every shard delivered twice at once.
+  std::vector<std::vector<TimeEnergyPoint>> doubled = shards;
+  doubled.insert(doubled.end(), shards.begin(), shards.end());
+  expect_identical(merge_frontiers(doubled), want);
 }
 
 TEST(MergeFrontiers, EmptyAndSingletonInputs) {

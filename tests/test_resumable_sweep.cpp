@@ -22,6 +22,7 @@
 #include "hec/model/characterize.h"
 #include "hec/pareto/frontier.h"
 #include "hec/resilience/journal.h"
+#include "hec/util/env.h"
 #include "hec/util/failpoint.h"
 #include "hec/workloads/workload.h"
 
@@ -366,11 +367,16 @@ TEST(DeadlineFromEnv, ParsesPositiveSeconds) {
 }
 
 TEST(DeadlineFromEnv, RejectsNonPositiveAndGarbage) {
-  for (const char* bad : {"0", "-3", "abc", "1.5x", ""}) {
+  // A typoed deadline must never silently become "no deadline": every
+  // malformed value is a loud EnvParseError (the CLI maps it to exit
+  // 64). Only unset/empty mean the feature is off.
+  for (const char* bad : {"0", "-3", "abc", "1.5x", "nan", "inf", "1e999"}) {
     setenv("HEC_DEADLINE_S", bad, 1);
-    EXPECT_EQ(deadline_from_env(), std::numeric_limits<double>::infinity())
+    EXPECT_THROW(deadline_from_env(), hec::util::EnvParseError)
         << "HEC_DEADLINE_S='" << bad << "'";
   }
+  setenv("HEC_DEADLINE_S", "", 1);
+  EXPECT_EQ(deadline_from_env(), std::numeric_limits<double>::infinity());
   unsetenv("HEC_DEADLINE_S");
 }
 

@@ -1,0 +1,127 @@
+// hecshard/v1 wire grammar (hec/shard/protocol.h): encode/parse are
+// exact inverses, every malformed record parses to nullopt (a protocol
+// error must read as worker death, never crash the coordinator), and
+// LineBuffer reassembles records torn across arbitrary read() chunks.
+#include "hec/shard/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hec::shard {
+namespace {
+
+TEST(ShardProtocol, EncodesEveryKindAsOneTerminatedLine) {
+  EXPECT_EQ(encode({MessageKind::kAssign, 3, 7, 100, 200, 0, {}}),
+            "A 3 7 100 200\n");
+  EXPECT_EQ(encode({MessageKind::kProgress, 3, 7, 0, 0, 150, {}}),
+            "R 3 7 150\n");
+  EXPECT_EQ(encode({MessageKind::kDone, 3, 7, 0, 0, 0, {}}), "D 3 7\n");
+  EXPECT_EQ(encode({MessageKind::kFailed, 3, 7, 0, 0, 0, "disk full"}),
+            "F 3 7 disk full\n");
+}
+
+TEST(ShardProtocol, RoundTripsEveryKind) {
+  const Message messages[] = {
+      {MessageKind::kAssign, 0, 1, 0, 1013254, 0, {}},
+      {MessageKind::kProgress, 12, 99, 0, 0, 4096, {}},
+      {MessageKind::kDone, 5, 6, 0, 0, 0, {}},
+      {MessageKind::kFailed, 2, 3, 0, 0, 0, "std::bad_alloc"},
+      {MessageKind::kFailed, 2, 3, 0, 0, 0, ""},  // empty detail is legal
+  };
+  for (const Message& m : messages) {
+    const std::optional<Message> back = parse(encode(m));
+    ASSERT_TRUE(back.has_value()) << encode(m);
+    EXPECT_EQ(*back, m) << encode(m);
+  }
+}
+
+TEST(ShardProtocol, ParsesWithOrWithoutTrailingNewline) {
+  EXPECT_TRUE(parse("R 1 2 3\n").has_value());
+  EXPECT_TRUE(parse("R 1 2 3").has_value());
+  EXPECT_TRUE(parse("R 1 2 3\r\n").has_value());
+}
+
+TEST(ShardProtocol, FailureDetailKeepsInternalSpaces) {
+  const std::optional<Message> m =
+      parse("F 4 9 injected fault at failpoint 'shard.heartbeat' (hit 2)");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, MessageKind::kFailed);
+  EXPECT_EQ(m->detail,
+            "injected fault at failpoint 'shard.heartbeat' (hit 2)");
+}
+
+TEST(ShardProtocol, EncodeFlattensNewlinesInFailureDetail) {
+  // A multi-line exception message must not forge extra protocol lines.
+  const std::string line =
+      encode({MessageKind::kFailed, 1, 1, 0, 0, 0, "line one\nline two"});
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+  const std::optional<Message> back = parse(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->detail.find('\n'), std::string::npos);
+}
+
+TEST(ShardProtocol, RejectsMalformedRecords) {
+  const char* bad[] = {
+      "",                  // empty line
+      "Z 1 2",             // unknown kind
+      "R 1 2",             // progress wants a cursor
+      "R 1 2 3 4",         // trailing field
+      "A 1 2 3",           // assign wants first and last
+      "D 1",               // done wants shard and attempt
+      "D 1 2 3",           // done takes nothing else
+      "R one 2 3",         // non-numeric shard
+      "R 1 2 3x",          // trailing garbage inside a number
+      "R -1 2 3",          // negative
+      "R 99999999999999999999 1 0",  // overflow
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse(line).has_value()) << "'" << line << "'";
+  }
+}
+
+TEST(ShardProtocol, LineBufferSplitsCompleteLines) {
+  LineBuffer buffer;
+  buffer.feed("D 1 2\nR 3 4 5\n");
+  const std::vector<std::string> lines = buffer.take();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "D 1 2");
+  EXPECT_EQ(lines[1], "R 3 4 5");
+  EXPECT_EQ(buffer.pending(), 0u);
+  EXPECT_TRUE(buffer.take().empty()) << "take() must clear the queue";
+}
+
+TEST(ShardProtocol, LineBufferReassemblesTornRecords) {
+  // A heartbeat split across three read() chunks, byte by byte where it
+  // matters, must come out whole.
+  LineBuffer buffer;
+  buffer.feed("R 7 ");
+  EXPECT_TRUE(buffer.take().empty());
+  EXPECT_GT(buffer.pending(), 0u);
+  buffer.feed("12 40");
+  EXPECT_TRUE(buffer.take().empty());
+  buffer.feed("96\nD 7 12\nF 1 2 bo");
+  const std::vector<std::string> lines = buffer.take();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "R 7 12 4096");
+  EXPECT_EQ(lines[1], "D 7 12");
+  buffer.feed("om\n");
+  const std::vector<std::string> rest = buffer.take();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "F 1 2 boom");
+  EXPECT_EQ(buffer.pending(), 0u);
+}
+
+TEST(ShardProtocol, LineBufferFeedsOfOneByteEach) {
+  LineBuffer buffer;
+  const std::string stream = "R 1 2 3\nD 1 2\n";
+  for (char c : stream) buffer.feed({&c, 1});
+  const std::vector<std::string> lines = buffer.take();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(parse(lines[0])->kind, MessageKind::kProgress);
+  EXPECT_EQ(parse(lines[1])->kind, MessageKind::kDone);
+}
+
+}  // namespace
+}  // namespace hec::shard

@@ -1,0 +1,480 @@
+// Sharded-sweep contract (hec/shard/shard.h): with any worker count,
+// and under worker crashes, steals and retries, the merged frontier is
+// bit-identical to one uninterrupted single-process sweep. Failures are
+// injected deterministically (HEC_FAILPOINT attempt sites, poisoned
+// bodies, stalled bodies), so every robustness path is exercised
+// without flaky timing: crash recovery, work stealing, retry-budget
+// exhaustion, deadline partials, durable result reuse, and the
+// cross-shard journal firewall.
+#include "hec/shard/shard.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/pareto/streaming.h"
+#include "hec/shard/result_file.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/failpoint.h"
+#include "hec/workloads/workload.h"
+
+namespace hec::shard {
+namespace {
+
+constexpr std::size_t kTotal = 20000;
+
+/// The synthetic index space every process-level test sweeps: pure
+/// arithmetic, so parent and forked workers agree bit for bit.
+void eval_points(std::size_t first, std::size_t count,
+                 ParetoAccumulator& acc) {
+  for (std::size_t i = first; i < first + count; ++i) {
+    const double t = 1.0 + static_cast<double>((i * 7919 + 13) % 613) * 0.01;
+    const double e =
+        1.0 + static_cast<double>((i * 2654435761ULL + 7) % 997) * 0.01;
+    acc.add({t, e, i});
+  }
+}
+
+ShardedSweepSpec synthetic_spec() {
+  ShardedSweepSpec spec;
+  spec.signature = "synthetic-points v1";
+  spec.total = kTotal;
+  spec.claim = 256;
+  spec.body = eval_points;
+  return spec;
+}
+
+/// Uninterrupted single-accumulator reference for a slice.
+std::vector<TimeEnergyPoint> reference_frontier(const IndexRange& range) {
+  ParetoAccumulator acc;
+  eval_points(range.first, range.size(), acc);
+  return acc.take();
+}
+
+/// A fresh per-test state dir; stale shard files from an earlier run of
+/// the same test are removed so reuse counts start from zero.
+std::string fresh_state_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "shard_" + name;
+  for (std::size_t id = 0; id < 64; ++id) {
+    std::remove(shard_result_path(dir, id).c_str());
+    std::remove(shard_journal_path(dir, id).c_str());
+  }
+  return dir;
+}
+
+void expect_identical_frontiers(const std::vector<TimeEnergyPoint>& got,
+                                const std::vector<TimeEnergyPoint>& want,
+                                const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " frontier point " << i;
+  }
+}
+
+class ShardedSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_failpoints({}); }
+};
+
+// ---------------------------------------------------------------------
+// Durable result files.
+
+TEST_F(ShardedSweep, ResultFileRoundTrips) {
+  const std::string dir = fresh_state_dir("result_file");
+  const std::string path = shard_result_path(dir, 0);
+  ::mkdir(dir.c_str(), 0775);
+  const IndexRange range{100, 400};
+  const ShardResult result{range, reference_frontier(range)};
+  write_shard_result(path, "sig v1", result);
+
+  std::string why = "unset";
+  const std::optional<ShardResult> back =
+      load_shard_result(path, "sig v1", range, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(back->range, range);
+  expect_identical_frontiers(back->frontier, result.frontier, "roundtrip");
+}
+
+TEST_F(ShardedSweep, ResultFileRejectsForeignArtifacts) {
+  const std::string dir = fresh_state_dir("result_reject");
+  const std::string path = shard_result_path(dir, 0);
+  ::mkdir(dir.c_str(), 0775);
+  const IndexRange range{0, 256};
+  write_shard_result(path, "sig v1", {range, reference_frontier(range)});
+
+  std::string why;
+  // Another sweep's fingerprint: never merged.
+  EXPECT_FALSE(load_shard_result(path, "sig v2", range, &why).has_value());
+  EXPECT_FALSE(why.empty());
+  // Another shard's slice of the same sweep: never merged.
+  EXPECT_FALSE(
+      load_shard_result(path, "sig v1", IndexRange{256, 512}, &why)
+          .has_value());
+  // Bit rot: the CRC catches it.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage";
+  }
+  why.clear();
+  EXPECT_FALSE(load_shard_result(path, "sig v1", range, &why).has_value());
+  EXPECT_FALSE(why.empty());
+  // Absent file: nullopt with no complaint (the caller just computes).
+  why.clear();
+  EXPECT_FALSE(load_shard_result(shard_result_path(dir, 9), "sig v1", range,
+                                 &why)
+                   .has_value());
+  EXPECT_TRUE(why.empty());
+}
+
+// ---------------------------------------------------------------------
+// The happy path: any worker count, bit-identical frontiers.
+
+TEST_F(ShardedSweep, IdentityAcrossWorkerCounts) {
+  const std::vector<TimeEnergyPoint> want =
+      reference_frontier({0, kTotal});
+  ASSERT_GE(want.size(), 2u) << "degenerate reference frontier";
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ShardedSweepOptions opts;
+    opts.workers = workers;
+    opts.shards = 4;
+    opts.state_dir =
+        fresh_state_dir("identity_w" + std::to_string(workers));
+    const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+    EXPECT_TRUE(result.complete);
+    EXPECT_FALSE(result.deadline_hit);
+    EXPECT_EQ(result.shards_complete, 4u);
+    EXPECT_EQ(result.configs_visited, kTotal);
+    EXPECT_EQ(result.spawns, 4u);
+    EXPECT_EQ(result.reassignments, 0u);
+    EXPECT_EQ(result.steals, 0u);
+    EXPECT_TRUE(result.failed_shards.empty());
+    expect_identical_frontiers(result.frontier, want, "identity");
+  }
+}
+
+TEST_F(ShardedSweep, ModelSweepMatchesPlainSweep) {
+  // The paper space end to end: sharded_sweep_frontier forks workers
+  // that share the memoized evaluator; the merge must equal the plain
+  // in-process sweep bit for bit.
+  CharacterizeOptions copts;
+  copts.baseline_units = 8000.0;
+  const Workload w = workload_ep();
+  const NodeTypeModel arm = build_node_model(arm_cortex_a9(), w, copts);
+  const NodeTypeModel amd = build_node_model(amd_opteron_k10(), w, copts);
+  const EnumerationLimits limits{10, 10};
+  const double units = 5e5;
+
+  const SweepResult plain = sweep_frontier(arm, amd, limits, units);
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.state_dir = fresh_state_dir("model");
+  const ShardedSweepResult sharded =
+      sharded_sweep_frontier(arm, amd, limits, units, opts);
+  EXPECT_TRUE(sharded.complete);
+  expect_identical_frontiers(sharded.frontier, plain.frontier, "model");
+}
+
+TEST_F(ShardedSweep, EmptySpaceCompletesTrivially) {
+  ShardedSweepSpec spec = synthetic_spec();
+  spec.total = 0;
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.state_dir = fresh_state_dir("empty");
+  const ShardedSweepResult result = run_sharded(spec, opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.shards_total, 0u);
+  EXPECT_TRUE(result.frontier.empty());
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: SIGKILL k of n workers mid-shard.
+
+TEST_F(ShardedSweep, KillTwoOfFourWorkersMidShardIsBitIdentical) {
+  // Spawn ordinals 2 and 3 (shards 1 and 2 of the initial wave) are
+  // SIGKILLed at their third progress boundary — mid-shard, after the
+  // journal has committed epochs. The respawned attempts resume from
+  // the journals and the final frontier must not show a trace of it.
+  util::set_failpoints({{"shard.attempt.2", 3, util::FailpointMode::kCrash},
+                        {"shard.attempt.3", 3, util::FailpointMode::kCrash}});
+  ShardedSweepOptions opts;
+  opts.workers = 4;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("kill2of4");
+  opts.heartbeat_interval_s = 0.01;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.reassignments, 2u);
+  EXPECT_EQ(result.spawns, 6u);
+  EXPECT_TRUE(result.failed_shards.empty());
+  EXPECT_EQ(result.configs_visited, kTotal);
+  expect_identical_frontiers(result.frontier,
+                             reference_frontier({0, kTotal}), "kill 2-of-4");
+}
+
+TEST_F(ShardedSweep, SurvivesACrashStormWithinTheRetryBudget) {
+  // Three consecutive attempts die (whatever shards they carry); the
+  // budget (3 retries per shard) absorbs it.
+  util::set_failpoints({{"shard.attempt.1", 1, util::FailpointMode::kCrash},
+                        {"shard.attempt.2", 2, util::FailpointMode::kCrash},
+                        {"shard.attempt.3", 3, util::FailpointMode::kCrash}});
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("storm");
+  opts.heartbeat_interval_s = 0.01;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.reassignments, 3u);
+  expect_identical_frontiers(result.frontier,
+                             reference_frontier({0, kTotal}), "crash storm");
+}
+
+// ---------------------------------------------------------------------
+// Work stealing.
+
+TEST_F(ShardedSweep, StealsAStragglerWithoutLosingTheSweep) {
+  // The first attempt at shard 0 stalls (sleeps) at its first block —
+  // heartbeats keep flowing but the cursor freezes, so the progress
+  // timeout must steal the shard. The marker file makes the stall
+  // one-shot: the replacement attempt runs clean.
+  const std::string marker =
+      ::testing::TempDir() + "shard_steal_marker";
+  std::remove(marker.c_str());
+
+  ShardedSweepSpec spec = synthetic_spec();
+  spec.body = [&marker](std::size_t first, std::size_t count,
+                        ParetoAccumulator& acc) {
+    if (first == 0) {
+      std::ifstream probe(marker);
+      if (!probe.good()) {
+        std::ofstream(marker) << "stalled once\n";
+        std::this_thread::sleep_for(std::chrono::seconds(5));
+      }
+    }
+    eval_points(first, count, acc);
+  };
+
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("steal");
+  opts.heartbeat_interval_s = 0.02;
+  opts.heartbeat_timeout_s = 30.0;  // only the progress clock may trip
+  opts.progress_timeout_s = 0.2;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GE(result.steals, 1u);
+  EXPECT_EQ(result.reassignments, 0u);
+  EXPECT_TRUE(result.failed_shards.empty());
+  expect_identical_frontiers(result.frontier,
+                             reference_frontier({0, kTotal}), "steal");
+  std::remove(marker.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Retry budget exhaustion: report, don't retry forever.
+
+TEST_F(ShardedSweep, ExhaustedRetryBudgetMarksTheShardFailed) {
+  // Shard 1's slice [5000, 10000) poisons every attempt; the rest of
+  // the space must still complete and merge exactly.
+  ShardedSweepSpec spec = synthetic_spec();
+  spec.body = [](std::size_t first, std::size_t count,
+                 ParetoAccumulator& acc) {
+    if (first >= 5000 && first < 10000) {
+      throw std::runtime_error("poisoned slice");
+    }
+    eval_points(first, count, acc);
+  };
+
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("poison");
+  opts.max_retries = 1;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+  EXPECT_FALSE(result.complete);
+  EXPECT_FALSE(result.deadline_hit);
+  ASSERT_EQ(result.failed_shards.size(), 1u);
+  EXPECT_EQ(result.failed_shards[0], 1u);
+  EXPECT_EQ(result.shards_complete, 3u);
+  EXPECT_EQ(result.retries, 2u) << "first attempt + one retry";
+  EXPECT_EQ(result.configs_visited, kTotal - 5000);
+
+  const std::vector<std::vector<TimeEnergyPoint>> partials = {
+      reference_frontier({0, 5000}), reference_frontier({10000, 15000}),
+      reference_frontier({15000, 20000})};
+  expect_identical_frontiers(result.frontier, merge_frontiers(partials),
+                             "survivors");
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: the global deadline.
+
+TEST_F(ShardedSweep, DeadlineEmitsExactlyTheCompletedShards) {
+  // One worker, four slow shards, a deadline sized for roughly one or
+  // two of them. However many complete, the partial frontier must be
+  // exactly their merge — with one worker shards finish in order, so
+  // the completed set is a prefix.
+  ShardedSweepSpec spec = synthetic_spec();
+  spec.claim = 5000;  // one block per shard
+  spec.body = [](std::size_t first, std::size_t count,
+                 ParetoAccumulator& acc) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    eval_points(first, count, acc);
+  };
+
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("deadline");
+  opts.deadline_s = 0.15;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+  EXPECT_TRUE(result.deadline_hit);
+  EXPECT_FALSE(result.complete);
+  EXPECT_LT(result.shards_complete, 4u);
+  EXPECT_EQ(result.configs_visited, result.shards_complete * 5000);
+  EXPECT_TRUE(result.failed_shards.empty()) << "deadline is not failure";
+
+  std::vector<std::vector<TimeEnergyPoint>> partials;
+  for (std::size_t s = 0; s < result.shards_complete; ++s) {
+    partials.push_back(reference_frontier({s * 5000, (s + 1) * 5000}));
+  }
+  expect_identical_frontiers(result.frontier, merge_frontiers(partials),
+                             "deadline partial");
+}
+
+// ---------------------------------------------------------------------
+// Durability: results survive the coordinator.
+
+TEST_F(ShardedSweep, DurableResultsAreReusedAcrossCoordinatorRuns) {
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("reuse");
+  const ShardedSweepResult first = run_sharded(synthetic_spec(), opts);
+  ASSERT_TRUE(first.complete);
+  EXPECT_EQ(first.results_reused, 0u);
+
+  // A "restarted coordinator": same spec, same state dir. Every shard
+  // is salvaged from disk; no worker is ever spawned.
+  const ShardedSweepResult second = run_sharded(synthetic_spec(), opts);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.results_reused, 4u);
+  EXPECT_EQ(second.spawns, 0u);
+  expect_identical_frontiers(second.frontier, first.frontier, "reuse");
+}
+
+TEST_F(ShardedSweep, DamagedResultFileIsRecomputedNotMerged) {
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("damage");
+  const ShardedSweepResult first = run_sharded(synthetic_spec(), opts);
+  ASSERT_TRUE(first.complete);
+
+  {
+    std::ofstream out(shard_result_path(opts.state_dir, 2), std::ios::app);
+    out << "bit rot";
+  }
+  const ShardedSweepResult second = run_sharded(synthetic_spec(), opts);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.results_reused, 3u);
+  EXPECT_EQ(second.spawns, 1u) << "only the damaged shard recomputes";
+  expect_identical_frontiers(second.frontier, first.frontier, "damage");
+}
+
+// ---------------------------------------------------------------------
+// The journal firewall: a worker handed another shard's journal must
+// restart from scratch with a warning, never silently merge.
+
+TEST_F(ShardedSweep, ForeignShardJournalRestartsFromScratchWithWarning) {
+  const std::string dir = fresh_state_dir("firewall");
+  ::mkdir(dir.c_str(), 0775);
+  const std::string journal = shard_journal_path(dir, 0);
+  const ShardedSweepSpec spec = synthetic_spec();
+
+  // Leave a genuine mid-shard checkpoint for slice [0, 10000): the
+  // immediate deadline stops the sweep at the first boundary and
+  // commits the partial cursor.
+  resilience::ResilienceOptions res;
+  res.journal_path = journal;
+  res.checkpoint_interval_s = 0.0;
+  res.deadline_s = 1e-9;
+  res.range = IndexRange{0, 10000};
+  const resilience::ResumableSweepResult partial =
+      resilience::resumable_sweep_indexed(spec.signature, spec.total,
+                                          spec.claim, spec.work_units,
+                                          spec.body, {}, res);
+  ASSERT_FALSE(partial.complete);
+  ASSERT_TRUE(std::ifstream(journal).good()) << "partial must journal";
+
+  // The same journal offered to the *other* shard: the slice bound in
+  // the fingerprint mismatches, so the sweep warns and restarts — and
+  // the result is the clean slice frontier, not a hybrid.
+  res.deadline_s = std::numeric_limits<double>::infinity();
+  res.range = IndexRange{10000, 20000};
+  ::testing::internal::CaptureStderr();
+  const resilience::ResumableSweepResult clean =
+      resilience::resumable_sweep_indexed(spec.signature, spec.total,
+                                          spec.claim, spec.work_units,
+                                          spec.body, {}, res);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("restarting sweep from scratch"), std::string::npos)
+      << err;
+  EXPECT_FALSE(clean.resumed);
+  EXPECT_TRUE(clean.complete);
+  expect_identical_frontiers(clean.frontier,
+                             reference_frontier({10000, 20000}), "firewall");
+}
+
+// ---------------------------------------------------------------------
+// Option validation.
+
+TEST_F(ShardedSweep, RejectsNonsenseOptions) {
+  const ShardedSweepSpec spec = synthetic_spec();
+  ShardedSweepOptions opts;
+  opts.state_dir = fresh_state_dir("validate");
+
+  ShardedSweepOptions no_workers = opts;
+  no_workers.workers = 0;
+  EXPECT_THROW(run_sharded(spec, no_workers), std::invalid_argument);
+
+  ShardedSweepSpec no_body = spec;
+  no_body.body = nullptr;
+  EXPECT_THROW(run_sharded(no_body, opts), std::invalid_argument);
+
+  ShardedSweepSpec no_claim = spec;
+  no_claim.claim = 0;
+  EXPECT_THROW(run_sharded(no_claim, opts), std::invalid_argument);
+
+  ShardedSweepOptions no_dir = opts;
+  no_dir.state_dir.clear();
+  EXPECT_THROW(run_sharded(spec, no_dir), std::invalid_argument);
+
+  ShardedSweepOptions bad_dir = opts;
+  bad_dir.state_dir = "/nonexistent-hec-parent/state";
+  EXPECT_THROW(run_sharded(spec, bad_dir), IoError);
+}
+
+TEST_F(ShardedSweep, ShardPathsAreStable) {
+  // The state-dir layout is a durability contract (operators and the
+  // kill-matrix CI inspect these files).
+  EXPECT_EQ(shard_journal_path("/tmp/s", 7), "/tmp/s/shard-7.journal");
+  EXPECT_EQ(shard_result_path("/tmp/s", 7), "/tmp/s/shard-7.result");
+}
+
+}  // namespace
+}  // namespace hec::shard

@@ -22,6 +22,10 @@
 //              [--journal FILE]       crash-safe sweep checkpoint journal
 //              [--journal-interval-s S]  min seconds between checkpoints
 //              [--deadline-s S]       wall-clock budget for the sweep
+//              [--shards N]           fault-tolerant sweep across N worker
+//                                     processes (hec/shard)
+//              [--shard-timeout-s S]  per-worker heartbeat timeout
+//              [--max-retries N]      per-shard retry budget
 //
 // Flags accept both "--flag value" and "--flag=value".
 //
@@ -29,19 +33,24 @@
 //
 // Environment: HEC_DEADLINE_S is the wall-clock budget when --deadline-s
 // is absent; HEC_FAILPOINT arms the deterministic failpoint harness
-// (hec/resilience/failpoint.h) for crash testing.
+// (hec/resilience/failpoint.h) for crash testing. Malformed values of
+// either are usage errors (exit 64), never silently ignored.
 //
 // Exit codes: 0 success; 2 no feasible configuration; 64 usage error;
 // 65 malformed input file (ParseError); 70 internal contract violation;
 // 74 file write failure (IoError); 75 partial result (wall-clock
 // deadline stopped the sweep; resume via --journal); 1 any other error.
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "hec/config/budget.h"
 #include "hec/config/enumerate.h"
@@ -57,7 +66,9 @@
 #include "hec/resilience/failpoint.h"
 #include "hec/resilience/resumable.h"
 #include "hec/search/optimizer.h"
+#include "hec/shard/shard.h"
 #include "hec/util/atomic_file.h"
+#include "hec/util/env.h"
 #include "hec/util/expect.h"
 #include "hec/workloads/workload.h"
 
@@ -95,7 +106,15 @@ void print_usage(std::ostream& out) {
       "  --deadline-s S       wall-clock budget for the sweep; on expiry\n"
       "                       report the partial result and exit 75\n"
       "                       (HEC_DEADLINE_S when the flag is absent)\n"
-      "journal/deadline runs require --method exhaustive and no --budget\n"
+      "  --shards N           run the sweep sharded across N worker\n"
+      "                       processes with heartbeats, retries and work\n"
+      "                       stealing; shard state lives in\n"
+      "                       <journal>.shards/ (or a temp dir)\n"
+      "  --shard-timeout-s S  heartbeat silence before a worker is presumed\n"
+      "                       dead and its shard requeued (default 10)\n"
+      "  --max-retries N      attempts per shard beyond the first\n"
+      "                       (default 3); an exhausted shard fails the run\n"
+      "journal/deadline/shard runs require --method exhaustive, no --budget\n"
       "flags accept both '--flag value' and '--flag=value'\n"
       "exit codes: 0 ok, 2 infeasible, 64 usage, 65 bad input file,\n"
       "            70 contract violation, 74 i/o error, 75 partial result,\n"
@@ -123,6 +142,12 @@ struct Options {
   std::optional<std::string> journal;
   std::optional<double> journal_interval_s;
   std::optional<double> wall_deadline_s;
+  std::optional<std::size_t> shards;
+  double shard_timeout_s = 10.0;
+  std::size_t max_retries = 3;
+
+  /// True when the sweep runs as coordinator + worker processes.
+  bool sharded_requested() const { return shards.has_value(); }
 
   bool faults_requested() const {
     return mttf_h || straggler_prob || checkpoint_s;
@@ -229,6 +254,20 @@ Options parse_args(int argc, char** argv) {
       opts.journal_interval_s = s;
     } else if (args[i] == "--deadline-s") {
       opts.wall_deadline_s = parse_positive(next(), "--deadline-s");
+    } else if (args[i] == "--shards") {
+      const double n = parse_positive(next(), "--shards");
+      if (n != static_cast<double>(static_cast<std::size_t>(n))) {
+        throw UsageError("--shards must be a positive integer");
+      }
+      opts.shards = static_cast<std::size_t>(n);
+    } else if (args[i] == "--shard-timeout-s") {
+      opts.shard_timeout_s = parse_positive(next(), "--shard-timeout-s");
+    } else if (args[i] == "--max-retries") {
+      const double n = parse_number(next(), "--max-retries");
+      if (n < 0.0 || n != static_cast<double>(static_cast<std::size_t>(n))) {
+        throw UsageError("--max-retries must be a non-negative integer");
+      }
+      opts.max_retries = static_cast<std::size_t>(n);
     } else if (args[i] == "--log-level") {
       const double v = parse_number(next(), "--log-level");
       if (v < 0.0 || v > 2.0 ||
@@ -245,15 +284,17 @@ Options parse_args(int argc, char** argv) {
       opts.method != "greedy") {
     throw UsageError("unknown method: " + opts.method);
   }
-  if (opts.resilience_requested()) {
+  if (opts.resilience_requested() || opts.sharded_requested()) {
     // The journal fingerprints the plain exhaustive enumeration; the
     // searchers and the budget filter evaluate a different (pruned)
     // sequence, so checkpoints would not describe their progress.
     if (opts.method != "exhaustive") {
-      throw UsageError("--journal/--deadline-s require --method exhaustive");
+      throw UsageError(
+          "--journal/--deadline-s/--shards require --method exhaustive");
     }
     if (opts.budget_w) {
-      throw UsageError("--journal/--deadline-s cannot combine with --budget");
+      throw UsageError(
+          "--journal/--deadline-s/--shards cannot combine with --budget");
     }
   }
   return opts;
@@ -345,10 +386,18 @@ void declare_metrics() {
         "resilience.journal_corrupt", "resilience.journal_bytes"}) {
     reg.counter(name);
   }
+  for (const char* name :
+       {"shard.spawns", "shard.reassignments", "shard.steals",
+        "shard.retries", "shard.heartbeats", "shard.results_reused"}) {
+    reg.counter(name);
+  }
   reg.gauge("pareto.frontier_size");
   reg.gauge("sim.queue_depth");
   reg.gauge("resilience.configs_visited");
+  reg.gauge("shard.shards_complete");
+  reg.gauge("shard.configs_visited");
   reg.histogram("config.eval_wall_s");
+  reg.histogram("shard.heartbeat_gap_s");
 }
 
 void write_observability(const Options& opts) {
@@ -420,14 +469,73 @@ int run(int argc, char** argv) {
   std::optional<hec::ConfigOutcome> best;
   std::size_t evaluations = 0;
   bool partial = false;              // wall deadline stopped the sweep
+  bool shards_failed = false;        // a shard exhausted its retry budget
   std::size_t configs_total = 0;     // coverage denominator when partial
   // Collected only when a trace/metrics file was requested: the frontier
   // over evaluated points is observability output, not part of the
   // query, and the default run must stay byte-identical.
   std::vector<hec::TimeEnergyPoint> evaluated_points;
+  // Picks the cheapest deadline-feasible point off a (time-sorted)
+  // frontier and re-evaluates its configuration for the full outcome.
+  const auto best_from_frontier =
+      [&](const std::vector<hec::TimeEnergyPoint>& frontier) {
+        std::optional<std::size_t> pick;
+        for (const auto& p : frontier) {
+          if (p.t_s > deadline_s) break;
+          pick = p.tag;
+        }
+        if (pick) {
+          const hec::ConfigSpaceLayout layout(arm, amd, limits);
+          best = evaluator.evaluate(layout.config(*pick), units);
+        }
+      };
   {
     HEC_SPAN("cli.evaluate");
-    if (opts.resilience_requested()) {
+    if (opts.sharded_requested()) {
+      // Fault-tolerant multi-process path: shard the space across
+      // worker processes with heartbeats, retries and work stealing.
+      hec::shard::ShardedSweepOptions sop;
+      sop.workers = *opts.shards;
+      sop.heartbeat_timeout_s = opts.shard_timeout_s;
+      sop.max_retries = opts.max_retries;
+      sop.deadline_s =
+          opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
+      bool temp_state = false;
+      if (opts.journal) {
+        sop.state_dir = *opts.journal + ".shards";
+      } else {
+        char tmpl[] = "/tmp/hecsim-shards-XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr) {
+          throw hec::IoError("cannot create shard state dir");
+        }
+        sop.state_dir = tmpl;
+        temp_state = true;
+      }
+      const hec::shard::ShardedSweepResult sweep =
+          hec::shard::sharded_sweep_frontier(arm_model, amd_model, limits,
+                                             units, sop);
+      evaluations = sweep.configs_visited;
+      partial = sweep.deadline_hit;
+      shards_failed = !sweep.failed_shards.empty();
+      configs_total = sweep.configs_total;
+      std::cout << "(sharded sweep: " << sweep.shards_complete << "/"
+                << sweep.shards_total << " shards across " << sop.workers
+                << " workers; " << sweep.spawns << " spawns, "
+                << sweep.reassignments << " reassignments, " << sweep.steals
+                << " steals, " << sweep.retries << " retries, "
+                << sweep.results_reused << " results reused)\n";
+      best_from_frontier(sweep.frontier);
+      if (sweep.complete && temp_state) {
+        // Ephemeral state dir: nothing to resume, leave nothing behind.
+        for (std::size_t i = 0; i < sweep.shards_total; ++i) {
+          std::remove(
+              hec::shard::shard_result_path(sop.state_dir, i).c_str());
+          std::remove(
+              hec::shard::shard_journal_path(sop.state_dir, i).c_str());
+        }
+        ::rmdir(sop.state_dir.c_str());
+      }
+    } else if (opts.resilience_requested()) {
       // Crash-safe path: checkpointed, deadline-bounded streaming sweep
       // over the full space (bit-identical frontier to the legacy loop).
       hec::resilience::ResilienceOptions rop;
@@ -450,15 +558,7 @@ int run(int argc, char** argv) {
       }
       // The frontier is sorted by ascending time / descending energy, so
       // the last deadline-feasible point is the cheapest feasible one.
-      std::optional<std::size_t> pick;
-      for (const auto& p : sweep.frontier) {
-        if (p.t_s > deadline_s) break;
-        pick = p.tag;
-      }
-      if (pick) {
-        const hec::ConfigSpaceLayout layout(arm, amd, limits);
-        best = evaluator.evaluate(layout.config(*pick), units);
-      }
+      best_from_frontier(sweep.frontier);
     } else if (opts.method == "exhaustive" || opts.budget_w) {
       // Budgeted queries always use the exhaustive path: the searchers'
       // bounds do not account for the power cap.
@@ -509,6 +609,11 @@ int run(int argc, char** argv) {
     }
     std::cout << ".\n";
   }
+  if (shards_failed) {
+    std::cout << "Sharded sweep: some shards exhausted their retry budget "
+                 "(see stderr); covered " << evaluations << " of "
+              << configs_total << " configurations.\n";
+  }
   if (!best) {
     std::cout << "No configuration of up to " << opts.max_arm << " ARM + "
               << opts.max_amd << " AMD nodes"
@@ -516,6 +621,7 @@ int run(int argc, char** argv) {
               << (partial ? " in the visited prefix" : "") << " meets "
               << opts.deadline_ms << " ms.\n";
     write_observability(opts);
+    if (shards_failed) return 1;
     return partial ? hec::resilience::kExitPartial : 2;
   }
   std::cout << "(" << evaluations << " model evaluations, method "
@@ -534,6 +640,7 @@ int run(int argc, char** argv) {
                  mc.trials, opts.deadline_ms);
   }
   write_observability(opts);
+  if (shards_failed) return 1;
   return partial ? hec::resilience::kExitPartial : 0;
 }
 
@@ -548,6 +655,11 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 64;
   } catch (const hec::util::FailpointParseError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 64;
+  } catch (const hec::util::EnvParseError& e) {
+    // Malformed environment knobs (HEC_DEADLINE_S etc.) are user input:
+    // diagnose and exit 64 rather than silently running without them.
     std::cerr << "usage error: " << e.what() << "\n";
     return 64;
   } catch (const hec::ParseError& e) {
