@@ -13,11 +13,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "bench_common.h"
+#include "hec/bench/json.h"
 #include "hec/shard/shard.h"
+#include "hec/shard/telemetry.h"
 #include "hec/util/failpoint.h"
 
 namespace {
@@ -35,6 +39,11 @@ void reset_state_dir(const std::string& dir) {
   for (std::size_t id = 0; id < 64; ++id) {
     std::remove(hec::shard::shard_journal_path(dir, id).c_str());
     std::remove(hec::shard::shard_result_path(dir, id).c_str());
+  }
+  // Telemetry sidecars are keyed by attempt ordinal; retries push the
+  // ordinal past the shard count, so sweep a wider window.
+  for (std::uint64_t a = 1; a <= 128; ++a) {
+    std::remove(hec::shard::shard_telemetry_path(dir, a).c_str());
   }
 }
 
@@ -87,12 +96,42 @@ int main() {
       models.arm, models.amd, limits, work_units, opts);
   const double serial_wall_s = seconds_since(serial_start);
 
+  // The scaled run also exercises the live status surface: the final
+  // status pass is where coverage and per-attempt throughput land.
   opts.workers = scaled_workers;
+  opts.status_path = state_dir + "/status.json";
+  std::remove(opts.status_path.c_str());
   reset_state_dir(state_dir);
   const auto scaled_start = std::chrono::steady_clock::now();
   const shard::ShardedSweepResult scaled = shard::sharded_sweep_frontier(
       models.arm, models.amd, limits, work_units, opts);
   const double scaled_wall_s = seconds_since(scaled_start);
+  opts.status_path.clear();
+
+  // Final coverage straight from the status document (the operator's
+  // view), worker-rate spread from the run's own accounting.
+  double final_coverage_pct = -1.0;
+  {
+    std::ifstream in(state_dir + "/status.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (const auto doc = hec::bench::json::Value::parse(buffer.str())) {
+      final_coverage_pct = (*doc)["coverage_pct"].as_number(-1.0);
+    }
+  }
+  double rate_min = 0.0;
+  double rate_max = 0.0;
+  for (const shard::ShardedSweepResult::WorkerRate& rate :
+       scaled.worker_rates) {
+    if (!rate.completed || rate.superseded || rate.configs_per_s <= 0.0) {
+      continue;
+    }
+    if (rate_min == 0.0 || rate.configs_per_s < rate_min) {
+      rate_min = rate.configs_per_s;
+    }
+    rate_max = std::max(rate_max, rate.configs_per_s);
+  }
+  const double rate_spread_x = rate_min > 0.0 ? rate_max / rate_min : 0.0;
 
   // Kill drill: SIGKILL the 2nd and 3rd spawned attempts mid-shard (3rd
   // progress boundary = after ~two committed epochs). Always 4 workers
@@ -125,6 +164,8 @@ int main() {
               scaled_workers, scaled_wall_s, speedup);
   std::printf("kill drill       %.3f s, %zu reassignments, %zu spawns\n",
               kill_wall_s, killed.reassignments, killed.spawns);
+  std::printf("status coverage  %.1f%% | worker rate spread %.2fx\n",
+              final_coverage_pct, rate_spread_x);
   std::printf("frontier match   serial=%s scaled=%s killed=%s\n",
               serial_identical ? "exact" : "MISMATCH",
               scaled_identical ? "exact" : "MISMATCH",
@@ -150,9 +191,21 @@ int main() {
   tel::report_metric("micro_shard.kill_reassignments",
                      static_cast<double>(killed.reassignments),
                      tel::MetricKind::kCount, "reassignments");
+  tel::report_metric("micro_shard.final_coverage_pct", final_coverage_pct,
+                     tel::MetricKind::kAccuracy, "pct");
+  // Informational: max/min completed-attempt throughput. Wide spreads
+  // flag scheduling skew; timing noise keeps this out of the gate.
+  tel::report_metric("micro_shard.worker_rate_spread_x", rate_spread_x,
+                     tel::MetricKind::kInfo, "x");
 
   if (!serial_identical || !scaled_identical || !kill_identical) {
     std::fprintf(stderr, "FAIL: sharded frontier differs from reference\n");
+    return 1;
+  }
+  if (final_coverage_pct != 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: final status coverage %.3f%% (expected exactly 100)\n",
+                 final_coverage_pct);
     return 1;
   }
   if (killed.reassignments < 2) {

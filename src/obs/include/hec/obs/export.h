@@ -9,12 +9,61 @@
 //     buckets, for diffing metric dumps across runs.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 namespace hec::obs {
 
 class MetricsRegistry;
 class Tracer;
+
+/// A span decoded from another process's telemetry (hec/shard's
+/// `hec-telemetry/v1` sidecars). Same shape as SpanEvent, but the name
+/// is owned: SpanEvent stores `const char*` because live spans point at
+/// string literals, and a decoded name has no literal to point at.
+struct ExternalSpan {
+  std::string name;
+  double start_us = 0.0;  ///< tracer-epoch-relative (see Tracer::now_us)
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< tid in the *originating* process
+  std::uint32_t depth = 0;
+  /// Sim-time window, absent by default. Unlike SpanEvent this uses an
+  /// ordered sentinel instead of NaN — the JSON codec cannot carry NaN.
+  double sim_begin_s = 0.0;
+  double sim_end_s = -1.0;
+  bool has_sim_window() const { return sim_end_s >= sim_begin_s; }
+};
+
+/// One remapped track in the merged trace: all spans of one foreign
+/// process, rendered under their own trace-local pid with `label` as
+/// the process name. `superseded` marks attempts whose work was redone
+/// (killed/retried shard attempts) so the viewer shows them as such.
+struct ExternalTrack {
+  std::string label;
+  std::uint64_t pid = 0;  ///< trace-local pid (NOT the OS pid)
+  std::int64_t sort_index = 0;
+  bool superseded = false;
+  std::vector<ExternalSpan> spans;
+};
+
+/// A point-in-time decision marker (lease granted, shard stolen, retry
+/// scheduled...) rendered as a Chrome instant event on its own thread
+/// track of the coordinator process.
+struct InstantEvent {
+  std::string name;
+  double ts_us = 0.0;  ///< tracer-epoch-relative
+  std::string detail;  ///< free-form args payload
+};
+
+/// Spans and instant events gathered from other processes, merged into
+/// one Chrome trace next to the local tracer's spans.
+struct ExternalTrace {
+  std::vector<ExternalTrack> tracks;
+  std::vector<InstantEvent> instants;
+  bool empty() const { return tracks.empty() && instants.empty(); }
+};
 
 /// Chrome trace_event JSON: {"traceEvents":[...complete "X" events...]}.
 /// Span wall times map to ts/dur (microseconds); sim-time windows and
@@ -24,8 +73,18 @@ class Tracer;
 /// trace is visible as such; when `metrics` is non-null, counter and
 /// gauge totals are embedded alongside so one file carries the whole
 /// observation.
+///
+/// When `external` is non-null, the local tracer renders as pid 1
+/// ("coordinator"), every ExternalTrack renders under its trace-local
+/// pid with process_name/process_sort_index metadata events, and
+/// instant events land on a dedicated "decisions" thread of pid 1 —
+/// one file, one timeline, per-worker tracks. All processes share the
+/// tracer epoch (workers are forked after the coordinator's tracer is
+/// constructed and CLOCK_MONOTONIC is system-wide), so no timestamp
+/// rebasing is needed.
 void write_chrome_trace(std::ostream& out, const Tracer& tracer,
-                        const MetricsRegistry* metrics = nullptr);
+                        const MetricsRegistry* metrics = nullptr,
+                        const ExternalTrace* external = nullptr);
 
 /// JSONL event log: {"type":"span",...} lines, one {"type":"tracer",...}
 /// line with per-thread recorded/dropped span counts, then

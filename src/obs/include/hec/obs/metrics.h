@@ -164,6 +164,20 @@ class Histogram {
     sum_.store(0.0, std::memory_order_relaxed);
   }
 
+  /// Folds a pre-binned delta (another histogram's bins/count/sum, or a
+  /// decoded telemetry record) into this histogram. Used by the
+  /// cross-process merge path: the distribution shape is preserved
+  /// exactly because both sides share the fixed log2 bin edges.
+  void accumulate(const std::array<std::uint64_t, kBins>& bins,
+                  std::uint64_t count, double sum) noexcept {
+    if (!enabled()) return;
+    for (std::size_t i = 0; i < kBins; ++i) {
+      if (bins[i] != 0) bins_[i].fetch_add(bins[i], std::memory_order_relaxed);
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
   const std::string& name() const noexcept { return name_; }
 
  private:
@@ -220,6 +234,12 @@ class MetricsRegistry {
   /// Zeroes every value; registrations (and handed-out references) stay.
   void reset();
 
+  /// Folds a snapshot *delta* (see snapshot_delta) into this registry:
+  /// counters add, histograms accumulate bin-wise. Gauges are skipped —
+  /// an instantaneous value from another process has no meaningful sum
+  /// or last-writer order here, so gauge authority stays local.
+  void accumulate(const Snapshot& delta);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
@@ -230,5 +250,15 @@ class MetricsRegistry {
 /// Process-global registry (leaked singleton: safe to touch from static
 /// destructors such as the bench harness's at-exit reporter).
 MetricsRegistry& registry();
+
+/// What changed between two snapshots of the *same* process: counters
+/// and histograms subtract per name (a name missing from `base` counts
+/// as zero); gauges carry the `now` value but only when it differs from
+/// the base (changed-since-base filter). Zero counter deltas and
+/// histograms with no new observations are dropped. This is what a
+/// forked worker ships: `base` is the snapshot inherited at fork, so
+/// the delta contains exactly the work this attempt did.
+MetricsRegistry::Snapshot snapshot_delta(const MetricsRegistry::Snapshot& now,
+                                         const MetricsRegistry::Snapshot& base);
 
 }  // namespace hec::obs

@@ -91,8 +91,28 @@ void write_span_args(std::ostream& out, const SpanEvent& ev) {
 
 }  // namespace
 
+namespace {
+
+/// Trace-local tid for the coordinator's decision markers: far above
+/// any real per-process span tid (those are small ordinals handed out
+/// by the tracer), so the instants always get their own track.
+constexpr std::uint32_t kDecisionsTid = 1000000;
+
+void write_metadata_event(std::ostream& out, bool& first, const char* what,
+                          std::uint64_t pid, std::uint64_t tid,
+                          const std::string& name_arg) {
+  if (!first) out << ",";
+  first = false;
+  out << "\n{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+      << json_escape(name_arg) << "\"}}";
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& out, const Tracer& tracer,
-                        const MetricsRegistry* metrics) {
+                        const MetricsRegistry* metrics,
+                        const ExternalTrace* external) {
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const SpanEvent& ev : tracer.snapshot()) {
@@ -104,6 +124,41 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
         << ",\"pid\":1,\"tid\":" << ev.tid << ",\"args\":";
     write_span_args(out, ev);
     out << "}";
+  }
+  if (external != nullptr && !external->empty()) {
+    write_metadata_event(out, first, "process_name", 1, 0, "coordinator");
+    for (const ExternalTrack& track : external->tracks) {
+      std::string label = track.label;
+      if (track.superseded) label += " [superseded]";
+      write_metadata_event(out, first, "process_name", track.pid, 0, label);
+      if (!first) out << ",";
+      out << "\n{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":"
+          << track.pid << ",\"tid\":0,\"args\":{\"sort_index\":"
+          << track.sort_index << "}}";
+      for (const ExternalSpan& ev : track.spans) {
+        out << ",\n{\"name\":\"" << json_escape(ev.name)
+            << "\",\"cat\":\"hec\",\"ph\":\"X\",\"ts\":"
+            << json_micros(ev.start_us) << ",\"dur\":" << json_micros(ev.dur_us)
+            << ",\"pid\":" << track.pid << ",\"tid\":" << ev.tid
+            << ",\"args\":{\"depth\":" << ev.depth;
+        if (track.superseded) out << ",\"superseded\":true";
+        if (ev.has_sim_window()) {
+          out << ",\"sim_begin_s\":" << json_number(ev.sim_begin_s)
+              << ",\"sim_end_s\":" << json_number(ev.sim_end_s);
+        }
+        out << "}}";
+      }
+    }
+    if (!external->instants.empty()) {
+      write_metadata_event(out, first, "thread_name", 1, kDecisionsTid,
+                           "coordinator decisions");
+      for (const InstantEvent& ev : external->instants) {
+        out << ",\n{\"name\":\"" << json_escape(ev.name)
+            << "\",\"cat\":\"hec\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+            << json_micros(ev.ts_us) << ",\"pid\":1,\"tid\":" << kDecisionsTid
+            << ",\"args\":{\"detail\":\"" << json_escape(ev.detail) << "\"}}";
+      }
+    }
   }
   out << "\n],\"displayTimeUnit\":\"ms\"";
   out << ",\"otherData\":{\"obs.spans_dropped_total\":" << tracer.dropped();

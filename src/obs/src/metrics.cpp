@@ -138,6 +138,55 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+void MetricsRegistry::accumulate(const Snapshot& delta) {
+  for (const auto& [name, value] : delta.counters) counter(name).add(value);
+  for (const HistogramSnapshot& h : delta.histograms) {
+    histogram(h.name).accumulate(h.bins, h.count, h.sum);
+  }
+}
+
+MetricsRegistry::Snapshot snapshot_delta(
+    const MetricsRegistry::Snapshot& now,
+    const MetricsRegistry::Snapshot& base) {
+  // All snapshot vectors are sorted by name, so each lookup is a simple
+  // merge walk; linear scans would also do at these sizes, but keeping
+  // the two-pointer shape makes the sorted-output invariant obvious.
+  MetricsRegistry::Snapshot delta;
+  {
+    auto b = base.counters.begin();
+    for (const auto& [name, value] : now.counters) {
+      while (b != base.counters.end() && b->first < name) ++b;
+      const double prev =
+          (b != base.counters.end() && b->first == name) ? b->second : 0.0;
+      if (value != prev) delta.counters.emplace_back(name, value - prev);
+    }
+  }
+  {
+    auto b = base.gauges.begin();
+    for (const auto& [name, value] : now.gauges) {
+      while (b != base.gauges.end() && b->first < name) ++b;
+      const bool had = b != base.gauges.end() && b->first == name;
+      if (!had || b->second != value) delta.gauges.emplace_back(name, value);
+    }
+  }
+  {
+    auto b = base.histograms.begin();
+    for (const auto& h : now.histograms) {
+      while (b != base.histograms.end() && b->name < h.name) ++b;
+      MetricsRegistry::HistogramSnapshot d = h;
+      if (b != base.histograms.end() && b->name == h.name) {
+        for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+          d.bins[i] -= b->bins[i];
+        }
+        d.count -= b->count;
+        d.sum -= b->sum;
+      }
+      if (d.count != 0) delta.histograms.push_back(std::move(d));
+    }
+  }
+  return delta;
+}
+
 MetricsRegistry& registry() {
   // Leaked on purpose: exporters run from static destructors (bench
   // harness at-exit reporting), which must not race registry teardown.

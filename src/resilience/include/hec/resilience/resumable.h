@@ -65,6 +65,12 @@ struct ResilienceOptions {
   /// and at every epoch boundary. The shard worker uses it to renew its
   /// progress lease; correctness never depends on it being set.
   std::function<void(std::size_t cursor)> on_progress;
+  /// Called right after every durable journal commit — the interval-gated
+  /// mid-sweep commits *and* the final deadline-stop commit. Everything
+  /// the hook observes (counters, spans) is therefore at least as fresh
+  /// as the durable cursor; the shard worker flushes its telemetry
+  /// sidecar here so telemetry durability tracks sweep durability.
+  std::function<void()> on_flush;
 };
 
 /// Reads HEC_DEADLINE_S (wall seconds, > 0) from the environment;

@@ -114,10 +114,17 @@ ResumableSweepResult run_resumable(std::string signature, std::size_t total,
 
   while (cursor < range.last) {
     const std::size_t epoch_end = std::min(range.last, cursor + epoch_span);
-    RangeReduction reduction = reduce_index_range(
-        pool, opts.parallel, cursor, epoch_end, claim, opts.compact_limit,
-        std::move(carry), consume_block,
-        bounded ? &past_deadline : nullptr);
+    // The epoch gets its own span (closed before the commit below) so a
+    // worker killed mid-shard still has every completed epoch visible in
+    // the telemetry it flushed at the last checkpoint — an open
+    // enclosing span would die with the process.
+    RangeReduction reduction = [&] {
+      HEC_SPAN("resilience.epoch");
+      return reduce_index_range(pool, opts.parallel, cursor, epoch_end, claim,
+                                opts.compact_limit, std::move(carry),
+                                consume_block,
+                                bounded ? &past_deadline : nullptr);
+    }();
     result.stats.blocks += reduction.blocks;
     result.stats.workers = std::max(result.stats.workers, reduction.workers);
     carry = merge_frontiers(reduction.partials);
@@ -134,6 +141,7 @@ ResumableSweepResult run_resumable(std::string signature, std::size_t total,
         journal->commit({cursor, ++seq, carry});
         ++result.checkpoints;
         last_commit_s = elapsed;
+        if (res.on_flush) res.on_flush();
       }
     }
   }
@@ -158,6 +166,7 @@ ResumableSweepResult run_resumable(std::string signature, std::size_t total,
       // interval hadn't elapsed, so a resume loses no work.
       journal->commit({cursor, ++seq, result.frontier});
       ++result.checkpoints;
+      if (res.on_flush) res.on_flush();
     }
   }
   return result;

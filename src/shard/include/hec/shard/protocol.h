@@ -7,14 +7,21 @@
 // results are idempotent by construction, see result_file.h).
 //
 //   hecshard/v1 messages, one per line:
-//     A <shard> <attempt> <first> <last>   assignment (coordinator → worker)
-//     R <shard> <attempt> <cursor>         progress report / heartbeat
-//     D <shard> <attempt>                  shard complete, result durable
-//     F <shard> <attempt> <detail...>      attempt failed (exception text)
+//     A <shard> <attempt> <first> <last> <run>  assignment (coordinator → worker)
+//     R <shard> <attempt> <cursor>              progress report / heartbeat
+//     D <shard> <attempt>                       shard complete, result durable
+//     F <shard> <attempt> <detail...>           attempt failed (exception text)
 //
 // <attempt> is the coordinator-global spawn ordinal (1-based): it names
 // one worker process, so a late message from a superseded attempt can
 // never be confused with its replacement after a steal.
+//
+// <run> is the coordinator's run id (decimal uint64), minted once per
+// sharded sweep. Workers fold it into their telemetry fingerprint (see
+// telemetry.h), so sidecar files from an earlier run of the same state
+// directory — or from a different sweep entirely — can never merge into
+// this run's registry, and every span in the merged trace correlates
+// back to the coordinator invocation that assigned it.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +47,7 @@ struct Message {
   std::size_t last = 0;    ///< kAssign only
   std::size_t cursor = 0;  ///< kProgress only
   std::string detail;      ///< kFailed only
+  std::uint64_t run = 0;   ///< kAssign only: coordinator run id
 
   friend bool operator==(const Message&, const Message&) = default;
 };

@@ -51,6 +51,7 @@
 
 #include "hec/config/enumerate.h"
 #include "hec/model/node_model.h"
+#include "hec/obs/export.h"
 #include "hec/resilience/resumable.h"
 #include "hec/sweep/slices.h"
 #include "hec/sweep/sweep.h"
@@ -112,6 +113,19 @@ struct ShardedSweepOptions {
   /// Threads per worker process (each worker builds its own pool after
   /// fork — parent threads do not survive into children). 0 = serial.
   std::size_t threads_per_worker = 0;
+  /// Minimum wall seconds between a worker's telemetry sidecar flushes
+  /// (hec/shard/telemetry.h). Flushes piggyback on journal commits, so
+  /// the effective cadence is max(this, checkpoint cadence); 0 flushes
+  /// at every commit (deterministic, for tests and traced CLI runs),
+  /// negative disables telemetry shipping entirely. Ignored under
+  /// HEC_OBS_DISABLE builds (no sidecars are written).
+  double telemetry_interval_s = 0.25;
+  /// Live status document (hec-sweep-status/v1 JSON), atomically
+  /// replaced every status_interval_s and once more at the end. Empty
+  /// disables. Derived from protocol state, so it works — coverage, ETA,
+  /// per-worker rates — even under HEC_OBS_DISABLE.
+  std::string status_path;
+  double status_interval_s = 0.5;
 };
 
 struct ShardedSweepResult {
@@ -134,6 +148,24 @@ struct ShardedSweepResult {
   std::size_t steals = 0;
   std::size_t retries = 0;
   std::size_t results_reused = 0;
+  /// Run id minted for this invocation; fingerprints telemetry sidecars
+  /// and correlates worker spans with the coordinator (protocol.h).
+  std::uint64_t run_id = 0;
+  /// Merged worker spans (one track per attempt, superseded attempts
+  /// tagged) plus coordinator decision markers, ready for
+  /// obs::write_chrome_trace's `external` parameter. Empty when
+  /// telemetry shipping was disabled or compiled out.
+  obs::ExternalTrace trace;
+  /// Observed throughput per attempt (cursor movement between its first
+  /// and last heartbeat), for the status surface and bench reporting.
+  struct WorkerRate {
+    std::uint64_t attempt = 0;
+    std::size_t shard = 0;
+    double configs_per_s = 0.0;
+    bool completed = false;   ///< attempt reported D
+    bool superseded = false;  ///< attempt was requeued/stolen
+  };
+  std::vector<WorkerRate> worker_rates;
 };
 
 /// Runs `spec` sharded across worker processes. Throws hec::IoError

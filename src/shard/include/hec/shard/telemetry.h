@@ -1,0 +1,165 @@
+// Cross-process telemetry sidecars (`attempt-<ordinal>.telemetry`).
+//
+// A forked worker's `hec::obs` counters, histograms and spans die with
+// the process — and workers are *expected* to die (SIGKILL drills,
+// straggler replacement). Each attempt therefore periodically flushes a
+// durable `hec-telemetry/v1` snapshot of everything it observed since
+// fork, via the same atomic-replace + CRC + fingerprint discipline as
+// the shard result files:
+//   * the payload is a *delta* against the registry state inherited at
+//     fork (obs::snapshot_delta), so merging adds exactly the work this
+//     attempt did and nothing the coordinator already counted;
+//   * the flush happens in the resumable engine's on_flush hook, right
+//     after each journal commit, so telemetry durability tracks sweep
+//     durability — a SIGKILLed attempt's telemetry survives up to its
+//     last checkpoint;
+//   * the fingerprint is the sweep signature plus the coordinator's
+//     per-run id (minted fresh every `run_sharded`), so a stale sidecar
+//     from a previous run in the same state directory — or from a
+//     different sweep — is rejected, never merged;
+//   * flushes are seq-numbered whole-file replacements: the merger
+//     keeps the highest seq per attempt, so re-reading a file mid-run
+//     is idempotent and a torn read (impossible with atomic_write_file,
+//     simulated in tests) fails the CRC instead of half-merging.
+//
+// The coordinator ingests sidecars during its supervision loop and once
+// more at the end, folds non-superseded deltas into its own registry
+// (one Prometheus dump for the whole fleet) and renders every attempt
+// as its own track in the merged Chrome trace. Attempts that were
+// requeued after a crash/steal are marked superseded: their spans stay
+// visible (tagged), but their counter deltas are dropped so redone work
+// is never double-counted — see ShardedSweepResult::trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hec/obs/export.h"
+#include "hec/obs/metrics.h"
+
+namespace hec::shard {
+
+inline constexpr const char* kTelemetrySchema = "hec-telemetry/v1";
+
+/// One flush from one worker attempt: header naming the attempt, metric
+/// deltas since fork, and every span closed since the attempt began.
+/// Gauges ride along as instantaneous values (changed-since-fork only);
+/// the merger never folds them into the registry — a last-writer race
+/// between processes has no meaning — but tools can read them per
+/// attempt.
+struct TelemetryRecord {
+  std::size_t shard = 0;
+  std::uint64_t attempt = 0;   ///< coordinator-global spawn ordinal
+  std::int64_t pid = 0;        ///< OS pid of the worker (diagnostics)
+  std::uint64_t seq = 0;       ///< flush ordinal within the attempt
+  bool final_flush = false;    ///< true for the flush before D/F
+  obs::MetricsRegistry::Snapshot metrics;
+  std::vector<obs::ExternalSpan> spans;
+};
+
+/// Sidecar path for one attempt. Attempt ordinals (not shard ids) key
+/// the files: a shard retried three times leaves three sidecars, and
+/// each must survive its successor.
+std::string shard_telemetry_path(const std::string& state_dir,
+                                 std::uint64_t attempt);
+
+/// The sidecar fingerprint: sweep signature (space + work units) plus
+/// the coordinator run id. Both sides — worker encode, coordinator
+/// decode — must derive it identically.
+std::string telemetry_fingerprint(const std::string& sweep_signature,
+                                  std::uint64_t run);
+
+/// Renders one record as a `hec-telemetry/v1` document (single line of
+/// JSON with an embedded payload CRC, like `hecshard-result/v1`).
+std::string encode_telemetry(const TelemetryRecord& record,
+                             const std::string& fingerprint);
+
+/// Parses a document. Returns nullopt when the text is truncated,
+/// unparseable, CRC-damaged, schema-unknown, or fingerprinted for a
+/// different sweep/run (pass an empty `fingerprint` to skip that check,
+/// for tools). `why` (optional) receives the rejection reason.
+std::optional<TelemetryRecord> decode_telemetry(std::string_view text,
+                                                const std::string& fingerprint,
+                                                std::string* why = nullptr);
+
+/// Worker-side flusher, used from the attempt's main thread only.
+///
+/// `begin_attempt()` pins the fork-inherited registry snapshot as the
+/// delta baseline and clears the inherited span ring; `flush_if_due()`
+/// is the resumable engine's on_flush hook (rate-limited by
+/// `min_interval_s`; 0 flushes at every checkpoint); `final_flush()`
+/// runs unconditionally before the attempt reports D/F. A negative
+/// `min_interval_s` makes the whole object inert. Flush I/O errors are
+/// swallowed: telemetry must never kill a worker that is doing useful
+/// work. Under HEC_OBS_DISABLE every method is a compile-time no-op —
+/// a disabled sharded sweep writes no sidecars at all.
+class WorkerTelemetry {
+ public:
+  WorkerTelemetry(std::string path, std::string fingerprint,
+                  std::size_t shard, std::uint64_t attempt,
+                  double min_interval_s);
+
+  void begin_attempt();
+  void flush_if_due();
+  void final_flush();
+
+ private:
+  void flush(bool final_flush);
+
+  std::string path_;
+  std::string fingerprint_;
+  std::size_t shard_;
+  std::uint64_t attempt_;
+  double min_interval_s_;
+  std::uint64_t seq_ = 0;
+  double last_flush_s_ = 0.0;
+  obs::MetricsRegistry::Snapshot base_;
+};
+
+/// Coordinator-side accumulator: ingests sidecars (latest seq per
+/// attempt wins), tracks which attempts were superseded by a retry, and
+/// produces the merged registry deltas and the per-worker trace tracks.
+class TelemetryMerger {
+ public:
+  explicit TelemetryMerger(std::string fingerprint);
+
+  /// Reads one sidecar file. Returns true when it replaced (or first
+  /// provided) the held record for its attempt. An absent file is a
+  /// silent false (workers flush lazily); a present-but-invalid file
+  /// counts as rejected and reports `why`.
+  bool ingest_file(const std::string& path, std::string* why = nullptr);
+
+  /// Marks an attempt's deltas as superseded: a replacement attempt
+  /// will redo (part of) its work, so folding both into the registry
+  /// would double-count. Spans stay in the trace, tagged.
+  void mark_superseded(std::uint64_t attempt);
+
+  /// Folds every non-superseded attempt's counter and histogram deltas
+  /// into `registry`. Gauges are never merged (see TelemetryRecord).
+  void apply(obs::MetricsRegistry& registry) const;
+
+  /// One track per ingested attempt (superseded ones tagged), sorted by
+  /// attempt ordinal, plus the coordinator's decision markers.
+  obs::ExternalTrace build_trace(std::vector<obs::InstantEvent> instants) const;
+
+  /// Sum of one counter's deltas over non-superseded attempts.
+  double counter_total(std::string_view name) const;
+
+  std::size_t records() const { return latest_.size(); }
+  std::size_t rejected() const { return rejected_; }
+  std::size_t superseded() const { return superseded_.size(); }
+
+ private:
+  std::string fingerprint_;
+  std::map<std::uint64_t, TelemetryRecord> latest_;
+  std::set<std::uint64_t> superseded_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace hec::shard

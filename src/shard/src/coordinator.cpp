@@ -16,6 +16,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -27,13 +28,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "hec/bench/json.h"
 #include "hec/config/evaluate.h"
 #include "hec/obs/obs.h"
 #include "hec/parallel/periodic.h"
 #include "hec/pareto/streaming.h"
+#include "hec/resilience/journal.h"
 #include "hec/shard/lease.h"
 #include "hec/shard/protocol.h"
 #include "hec/shard/result_file.h"
+#include "hec/shard/telemetry.h"
 #include "hec/util/atomic_file.h"
 #include "hec/util/failpoint.h"
 #include "internal.h"
@@ -67,6 +71,39 @@ void make_state_dir(const std::string& dir) {
                 "': " + std::strerror(errno));
 }
 
+/// Mints the per-run id that fingerprints telemetry sidecars and tags
+/// the assignment lines. Wall clock + pid hashed together: two runs of
+/// the same sweep in the same state directory must never collide, or a
+/// stale sidecar could merge into the wrong run.
+std::uint64_t mint_run_id() {
+  const auto wall =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  return resilience::fnv1a64(std::to_string(wall) + ":" +
+                             std::to_string(::getpid()));
+}
+
+/// Rate observed between an attempt's first and last cursor reports.
+struct AttemptInfo {
+  std::size_t shard = 0;
+  pid_t pid = -1;
+  bool saw_cursor = false;
+  std::size_t first_cursor = 0;
+  double first_seen_s = 0.0;
+  std::size_t last_cursor = 0;
+  double last_seen_s = 0.0;
+  bool completed = false;
+  bool superseded = false;
+
+  double configs_per_s() const {
+    if (!saw_cursor || last_seen_s <= first_seen_s ||
+        last_cursor <= first_cursor) {
+      return 0.0;
+    }
+    return static_cast<double>(last_cursor - first_cursor) /
+           (last_seen_s - first_seen_s);
+  }
+};
+
 /// The whole supervision state, shared between the caller's thread and
 /// the monitor thread (only `lease` and `revocations` cross threads).
 class Coordinator {
@@ -75,6 +112,9 @@ class Coordinator {
       : spec_(spec),
         opts_(opts),
         signature_(internal::sweep_signature(spec)),
+        run_id_(mint_run_id()),
+        merger_(telemetry_fingerprint(internal::sweep_signature(spec),
+                                      run_id_)),
         lease_(opts.heartbeat_timeout_s, opts.progress_timeout_s),
         start_(Clock::now()) {}
 
@@ -94,7 +134,8 @@ class Coordinator {
   void pump_pipes();
   void handle_line(RunningWorker& worker, const Message& m);
   void reap_exits();
-  void requeue(std::size_t shard, const char* cause, bool backoff);
+  void requeue(std::size_t shard, std::uint64_t attempt, const char* cause,
+               bool backoff);
   void kill_worker(RunningWorker& worker);
   void kill_all();
   std::optional<std::size_t> find_running(std::size_t shard,
@@ -102,15 +143,44 @@ class Coordinator {
   bool work_remains() const;
   ShardedSweepResult finish();
 
+  /// True when workers ship telemetry sidecars this run.
+  bool telemetry_enabled() const {
+#ifdef HEC_OBS_DISABLE
+    return false;
+#else
+    return opts_.telemetry_interval_s >= 0.0;
+#endif
+  }
+  /// Records a coordinator decision as an instant event for the merged
+  /// trace's decisions track.
+  void note(const char* name, std::string detail);
+  /// Reads every known attempt's sidecar into the merger.
+  void ingest_telemetry();
+  /// Time-gated telemetry ingest + status/progress emission; called
+  /// once per supervision-loop turn and unconditionally from finish().
+  void observe(bool final_pass);
+  /// Atomically replaces the hec-sweep-status/v1 document (and emits
+  /// the opt-in stderr progress line).
+  void write_status(bool final_pass);
+  /// Indices covered so far: committed shards plus live lease progress.
+  std::size_t configs_covered() const;
+
   const ShardedSweepSpec& spec_;
   const ShardedSweepOptions& opts_;
   const std::string signature_;
+  const std::uint64_t run_id_;
 
   std::vector<ShardState> shards_;
   std::vector<RunningWorker> running_;
   std::uint64_t spawn_ordinal_ = 0;
   bool deadline_hit_ = false;
   ShardedSweepResult tally_;
+
+  TelemetryMerger merger_;
+  std::map<std::uint64_t, AttemptInfo> attempts_;
+  std::vector<obs::InstantEvent> instants_;
+  double last_ingest_s_ = 0.0;
+  double last_status_s_ = 0.0;
 
   LeaseTable lease_;
   /// Serialises fork() with the monitor callback and guards
@@ -195,8 +265,8 @@ void Coordinator::spawn(std::size_t shard) {
     throw IoError(std::string("fork() failed: ") + std::strerror(errno));
   }
   if (pid == 0) {
-    internal::run_worker_attempt(spec_, opts_, shard, attempt, state.range,
-                                 fds[1], inherited);
+    internal::run_worker_attempt(spec_, opts_, shard, attempt, run_id_,
+                                 state.range, fds[1], inherited);
   }
   ::close(fds[1]);
   ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
@@ -206,6 +276,13 @@ void Coordinator::spawn(std::size_t shard) {
   lease_.grant(shard, attempt, state.range.first, now_s());
   ++tally_.spawns;
   HEC_COUNTER_INC("shard.spawns");
+  AttemptInfo& info = attempts_[attempt];
+  info.shard = shard;
+  info.pid = pid;
+  note("shard.spawn", "shard=" + std::to_string(shard) +
+                          " attempt=" + std::to_string(attempt) +
+                          " pid=" + std::to_string(pid) + " slice=" +
+                          describe(state.range));
 }
 
 void Coordinator::spawn_eligible() {
@@ -239,12 +316,23 @@ std::optional<std::size_t> Coordinator::find_running(
 /// budget is gone). A result file committed by a dying worker that
 /// never delivered its D line is discovered and reused here — the
 /// at-least-once idempotence path.
-void Coordinator::requeue(std::size_t shard, const char* cause,
-                          bool backoff) {
+void Coordinator::requeue(std::size_t shard, std::uint64_t attempt,
+                          const char* cause, bool backoff) {
   ShardState& state = shards_[shard];
   if (try_reuse_result(shard)) return;
+  // No reusable result: whatever the dead attempt counted will be
+  // recounted by its successor (journal resume keeps the *frontier*
+  // exact, but the successor's completion counter spans the whole
+  // slice). Supersede the attempt so the merge never double-counts;
+  // its spans stay in the trace, tagged.
+  if (auto it = attempts_.find(attempt); it != attempts_.end()) {
+    it->second.superseded = true;
+  }
+  merger_.mark_superseded(attempt);
   if (state.attempts > opts_.max_retries) {
     state.failed = true;
+    note("shard.failed", "shard=" + std::to_string(shard) + " attempts=" +
+                             std::to_string(state.attempts));
     std::fprintf(stderr,
                  "error: shard %zu (slice %s) exhausted its retry budget "
                  "(%zu attempts) %s; giving up\n",
@@ -307,11 +395,18 @@ void Coordinator::drain_revocations() {
     if (steal) {
       ++tally_.steals;
       HEC_COUNTER_INC("shard.steals");
-      requeue(rev.shard, "stalling", /*backoff=*/false);
+      note("shard.steal",
+           "shard=" + std::to_string(rev.shard) + " attempt=" +
+               std::to_string(rev.attempt) + " idle_s=" +
+               std::to_string(rev.idle_s));
+      requeue(rev.shard, rev.attempt, "stalling", /*backoff=*/false);
     } else {
       ++tally_.reassignments;
       HEC_COUNTER_INC("shard.reassignments");
-      requeue(rev.shard, "losing heartbeats", /*backoff=*/true);
+      note("shard.reassign",
+           "shard=" + std::to_string(rev.shard) + " attempt=" +
+               std::to_string(rev.attempt) + " cause=heartbeat-timeout");
+      requeue(rev.shard, rev.attempt, "losing heartbeats", /*backoff=*/true);
     }
   }
 }
@@ -328,6 +423,14 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
         HEC_COUNTER_INC("shard.heartbeats");
         if (gap) HEC_HISTOGRAM_OBSERVE("shard.heartbeat_gap_s", *gap);
       }
+      AttemptInfo& info = attempts_[m.attempt];
+      if (!info.saw_cursor) {
+        info.saw_cursor = true;
+        info.first_cursor = m.cursor;
+        info.first_seen_s = now;
+      }
+      info.last_cursor = m.cursor;
+      info.last_seen_s = now;
       break;
     }
     case MessageKind::kDone: {
@@ -336,8 +439,24 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
         // D without a loadable result is a broken worker; retry.
         ++tally_.retries;
         HEC_COUNTER_INC("shard.retries");
-        requeue(m.shard, "reporting done without a loadable result",
+        note("shard.retry",
+             "shard=" + std::to_string(m.shard) + " attempt=" +
+                 std::to_string(m.attempt) + " cause=no-result");
+        requeue(m.shard, m.attempt, "reporting done without a loadable result",
                 /*backoff=*/true);
+      } else {
+        AttemptInfo& info = attempts_[m.attempt];
+        info.completed = true;
+        if (info.saw_cursor) {
+          // Credit the slice tail, so a completed attempt's rate spans
+          // its whole observed run rather than stopping at the last
+          // heartbeat before the result commit.
+          info.last_cursor = shards_[m.shard].range.first +
+                             shards_[m.shard].range.size();
+          info.last_seen_s = now;
+        }
+        note("shard.done", "shard=" + std::to_string(m.shard) +
+                               " attempt=" + std::to_string(m.attempt));
       }
       break;
     }
@@ -348,7 +467,9 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
                    m.detail.c_str());
       ++tally_.retries;
       HEC_COUNTER_INC("shard.retries");
-      requeue(m.shard, "failing", /*backoff=*/true);
+      note("shard.retry", "shard=" + std::to_string(m.shard) + " attempt=" +
+                              std::to_string(m.attempt) + " error=" + m.detail);
+      requeue(m.shard, m.attempt, "failing", /*backoff=*/true);
       break;
     }
     case MessageKind::kAssign:
@@ -455,9 +576,199 @@ void Coordinator::reap_exits() {
                              .c_str());
       ++tally_.reassignments;
       HEC_COUNTER_INC("shard.reassignments");
-      requeue(worker.shard, "dying repeatedly", /*backoff=*/true);
+      note("shard.reassign",
+           "shard=" + std::to_string(worker.shard) + " attempt=" +
+               std::to_string(worker.attempt) + " cause=exit");
+      requeue(worker.shard, worker.attempt, "dying repeatedly",
+              /*backoff=*/true);
     }
     running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void Coordinator::note(const char* name, std::string detail) {
+#ifndef HEC_OBS_DISABLE
+  instants_.push_back({name, obs::tracer().now_us(), std::move(detail)});
+#else
+  (void)name;
+  (void)detail;
+#endif
+}
+
+void Coordinator::ingest_telemetry() {
+  if (!telemetry_enabled()) return;
+  for (const auto& [attempt, info] : attempts_) {
+    (void)info;
+    std::string why;
+    if (merger_.ingest_file(shard_telemetry_path(opts_.state_dir, attempt),
+                            &why)) {
+      HEC_COUNTER_INC("shard.telemetry_ingests");
+    } else if (!why.empty()) {
+      HEC_COUNTER_INC("shard.telemetry_rejected");
+      obs::log(2, "rejecting telemetry sidecar of attempt " +
+                      std::to_string(attempt) + ": " + why);
+    }
+  }
+}
+
+std::size_t Coordinator::configs_covered() const {
+  std::size_t covered = 0;
+  for (const ShardState& s : shards_) {
+    if (s.complete) covered += s.range.size();
+  }
+  // Live attempts on incomplete shards: the lease cursor is durable
+  // progress (journaled), so count it even though the shard may still
+  // die and resume.
+  for (const RunningWorker& w : running_) {
+    if (shards_[w.shard].complete) continue;
+    const auto it = attempts_.find(w.attempt);
+    if (it != attempts_.end() && it->second.saw_cursor &&
+        it->second.last_cursor > shards_[w.shard].range.first) {
+      covered += it->second.last_cursor - shards_[w.shard].range.first;
+    }
+  }
+  return covered;
+}
+
+void Coordinator::write_status(bool final_pass) {
+  using bench::json::Value;
+  const double now = now_s();
+  std::size_t complete = 0;
+  std::size_t failed = 0;
+  for (const ShardState& s : shards_) {
+    if (s.complete) ++complete;
+    if (s.failed) ++failed;
+  }
+  const bool all_done = complete == shards_.size();
+  const std::size_t covered = all_done ? spec_.total : configs_covered();
+  const double coverage_pct =
+      all_done || spec_.total == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(covered) /
+                static_cast<double>(spec_.total);
+  const double rate = now > 0.0 ? static_cast<double>(covered) / now : 0.0;
+  const std::size_t frontier_size = [&] {
+    if (final_pass) return tally_.frontier.size();
+    std::vector<std::vector<TimeEnergyPoint>> partials;
+    for (const ShardState& s : shards_) {
+      if (s.complete) partials.push_back(s.frontier);
+    }
+    return merge_frontiers(partials).size();
+  }();
+
+  Value doc;
+  doc["schema"] = "hec-sweep-status/v1";
+  doc["run_id"] = std::to_string(run_id_);  // string: ids exceed 2^53
+  doc["elapsed_s"] = now;
+  doc["complete"] = all_done;
+  doc["deadline_hit"] = deadline_hit_;
+  doc["shards"]["total"] = shards_.size();
+  doc["shards"]["complete"] = complete;
+  doc["shards"]["failed"] = failed;
+  doc["shards"]["running"] = running_.size();
+  doc["configs"]["total"] = spec_.total;
+  doc["configs"]["visited"] = covered;
+  doc["coverage_pct"] = coverage_pct;
+  doc["configs_per_s"] = rate;
+  if (rate > 0.0 && covered < spec_.total) {
+    doc["eta_s"] = static_cast<double>(spec_.total - covered) / rate;
+  } else {
+    doc["eta_s"] = Value();  // null: done, or no observed progress yet
+  }
+  doc["frontier_size"] = frontier_size;
+  doc["spawns"] = tally_.spawns;
+  doc["reassignments"] = tally_.reassignments;
+  doc["steals"] = tally_.steals;
+  doc["retries"] = tally_.retries;
+  doc["results_reused"] = tally_.results_reused;
+  doc["telemetry"]["records"] = merger_.records();
+  doc["telemetry"]["rejected"] = merger_.rejected();
+  doc["telemetry"]["superseded"] = merger_.superseded();
+
+  Value::Array workers;
+  for (const RunningWorker& w : running_) {
+    const auto it = attempts_.find(w.attempt);
+    if (it == attempts_.end()) continue;
+    const AttemptInfo& info = it->second;
+    Value entry;
+    entry["attempt"] = w.attempt;
+    entry["shard"] = w.shard;
+    entry["pid"] = info.pid;
+    entry["cursor"] =
+        info.saw_cursor ? info.last_cursor : shards_[w.shard].range.first;
+    entry["configs_per_s"] = info.configs_per_s();
+    if (info.saw_cursor) {
+      entry["heartbeat_age_s"] = now - info.last_seen_s;
+    } else {
+      entry["heartbeat_age_s"] = Value();  // spawned, nothing heard yet
+    }
+    workers.push_back(std::move(entry));
+  }
+  doc["workers"] = std::move(workers);
+
+  // Every attempt ever spawned, not just the live ones: the final
+  // document (live list empty) still carries the whole run's rates,
+  // which is what the bench throughput-spread metric reads.
+  Value::Array rates;
+  for (const auto& [attempt, info] : attempts_) {
+    Value entry;
+    entry["attempt"] = attempt;
+    entry["shard"] = info.shard;
+    entry["configs_per_s"] = info.configs_per_s();
+    entry["completed"] = info.completed;
+    entry["superseded"] = info.superseded;
+    rates.push_back(std::move(entry));
+  }
+  doc["worker_rates"] = std::move(rates);
+
+  try {
+    util::atomic_write_file(opts_.status_path, doc.dump(true) + "\n");
+  } catch (const IoError& e) {
+    // Status is best-effort: a bad path must not kill a healthy sweep.
+    obs::log(2, std::string("status write failed: ") + e.what());
+  }
+
+  // The opt-in progress line (visible at --log-level info and up). The
+  // "sharded sweep:" prefix is the contract output-comparison scripts
+  // filter on.
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "sharded sweep: %5.1f%% (%zu/%zu configs) | %.0f configs/s | "
+                "eta %.1fs | workers %zu | retries %zu steals %zu | "
+                "frontier %zu",
+                coverage_pct, covered, spec_.total, rate,
+                rate > 0.0 && covered < spec_.total
+                    ? static_cast<double>(spec_.total - covered) / rate
+                    : 0.0,
+                running_.size(), tally_.retries, tally_.steals, frontier_size);
+  std::string line(buf);
+  for (const RunningWorker& w : running_) {
+    const auto it = attempts_.find(w.attempt);
+    if (it == attempts_.end()) continue;
+    char rate_buf[64];
+    std::snprintf(rate_buf, sizeof(rate_buf), " a%llu=%.0f/s",
+                  static_cast<unsigned long long>(w.attempt),
+                  it->second.configs_per_s());
+    line += rate_buf;
+  }
+  obs::log(1, line);
+}
+
+void Coordinator::observe(bool final_pass) {
+  const double now = now_s();
+  // Sidecar ingest is decoupled from the status cadence: merged
+  // counters matter even when no status file was requested (a
+  // --metrics-out dump at the end must see every flushed delta).
+  constexpr double kIngestInterval = 0.5;
+  if (telemetry_enabled() &&
+      (final_pass || now - last_ingest_s_ >= kIngestInterval)) {
+    last_ingest_s_ = now;
+    ingest_telemetry();
+  }
+  if (!opts_.status_path.empty() &&
+      (final_pass || now - last_status_s_ >= opts_.status_interval_s)) {
+    last_status_s_ = now;
+    write_status(final_pass);
   }
 }
 
@@ -487,12 +798,27 @@ ShardedSweepResult Coordinator::finish() {
   tally_.frontier = merge_frontiers(partials);
   tally_.complete = tally_.shards_complete == tally_.shards_total;
   tally_.deadline_hit = deadline_hit_;
+  tally_.run_id = run_id_;
+  if (telemetry_enabled()) {
+    // The last ingest pass sees every final flush (workers final-flush
+    // before their result commit, and all workers are reaped by now),
+    // then the non-superseded deltas fold into the coordinator registry
+    // so one --metrics-out dump covers the whole fleet.
+    ingest_telemetry();
+    merger_.apply(obs::registry());
+    tally_.trace = merger_.build_trace(std::move(instants_));
+  }
+  for (const auto& [attempt, info] : attempts_) {
+    tally_.worker_rates.push_back({attempt, info.shard, info.configs_per_s(),
+                                   info.completed, info.superseded});
+  }
   HEC_GAUGE_SET("shard.shards_complete",
                 static_cast<double>(tally_.shards_complete));
   HEC_GAUGE_SET("shard.configs_visited",
                 static_cast<double>(tally_.configs_visited));
   HEC_GAUGE_SET("sweep.frontier_size",
                 static_cast<double>(tally_.frontier.size()));
+  if (!opts_.status_path.empty()) write_status(/*final_pass=*/true);
   return std::move(tally_);
 }
 
@@ -517,6 +843,9 @@ ShardedSweepResult Coordinator::run() {
     while (work_remains()) {
       if (now_s() >= opts_.deadline_s) {
         deadline_hit_ = true;
+        note("shard.deadline",
+             "deadline_s=" + std::to_string(opts_.deadline_s) +
+                 " outstanding=" + std::to_string(running_.size()));
         std::fprintf(stderr,
                      "warning: global deadline (%.3fs) reached with %zu "
                      "worker(s) outstanding; emitting the partial frontier\n",
@@ -528,6 +857,7 @@ ShardedSweepResult Coordinator::run() {
       spawn_eligible();
       pump_pipes();
       reap_exits();
+      observe(/*final_pass=*/false);
     }
   } catch (...) {
     // Whatever went wrong, never leak live children or the monitor.

@@ -20,13 +20,14 @@ std::string sweep_signature(const ShardedSweepSpec& spec);
 /// Runs one attempt of `shard_id` over `range` in the current (child)
 /// process: heartbeats on `report_fd`, journaled resumable sweep of the
 /// slice, durable result commit, then a D/F report and _exit. Never
-/// returns. `inherited_fds` are the coordinator-side descriptors the
-/// child must close first.
+/// returns. `run` is the coordinator run id from the assignment (it
+/// fingerprints the attempt's telemetry sidecar); `inherited_fds` are
+/// the coordinator-side descriptors the child must close first.
 [[noreturn]] void run_worker_attempt(const ShardedSweepSpec& spec,
                                      const ShardedSweepOptions& opts,
                                      std::size_t shard_id,
-                                     std::uint64_t attempt, IndexRange range,
-                                     int report_fd,
+                                     std::uint64_t attempt, std::uint64_t run,
+                                     IndexRange range, int report_fd,
                                      const std::vector<int>& inherited_fds);
 
 }  // namespace hec::shard::internal

@@ -31,7 +31,8 @@ std::string encode(const Message& m) {
   switch (m.kind) {
     case MessageKind::kAssign:
       line = "A " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
-             ' ' + std::to_string(m.first) + ' ' + std::to_string(m.last);
+             ' ' + std::to_string(m.first) + ' ' + std::to_string(m.last) +
+             ' ' + std::to_string(m.run);
       break;
     case MessageKind::kProgress:
       line = "R " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
@@ -69,7 +70,8 @@ std::optional<Message> parse(std::string_view line) {
       if (!parse_number(next_token(rest), m.shard) ||
           !parse_number(next_token(rest), m.attempt) ||
           !parse_number(next_token(rest), m.first) ||
-          !parse_number(next_token(rest), m.last)) {
+          !parse_number(next_token(rest), m.last) ||
+          !parse_number(next_token(rest), m.run)) {
         return std::nullopt;
       }
       break;

@@ -1,0 +1,328 @@
+#include "hec/shard/telemetry.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "hec/bench/json.h"
+#include "hec/obs/obs.h"
+#include "hec/obs/span.h"
+#include "hec/resilience/journal.h"
+#include "hec/util/atomic_file.h"
+
+namespace hec::shard {
+
+namespace json = hec::bench::json;
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+#ifndef HEC_OBS_DISABLE
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+#endif
+
+json::Value telemetry_payload(const TelemetryRecord& record,
+                              const std::string& fingerprint) {
+  json::Value payload;
+  payload["fingerprint"] = fingerprint;
+  payload["shard"] = static_cast<double>(record.shard);
+  payload["attempt"] = static_cast<double>(record.attempt);
+  payload["pid"] = static_cast<double>(record.pid);
+  payload["seq"] = static_cast<double>(record.seq);
+  payload["final"] = record.final_flush;
+  json::Value::Object counters;
+  for (const auto& [name, value] : record.metrics.counters) {
+    counters[name] = value;
+  }
+  payload["counters"] = json::Value(std::move(counters));
+  json::Value::Object gauges;
+  for (const auto& [name, value] : record.metrics.gauges) {
+    gauges[name] = value;
+  }
+  payload["gauges"] = json::Value(std::move(gauges));
+  json::Value::Array histograms;
+  for (const auto& h : record.metrics.histograms) {
+    json::Value hv;
+    hv["name"] = h.name;
+    hv["count"] = static_cast<double>(h.count);
+    hv["sum"] = h.sum;
+    json::Value::Array bins;
+    for (std::size_t i = 0; i < obs::Histogram::kBins; ++i) {
+      if (h.bins[i] == 0) continue;
+      json::Value::Array bin;
+      bin.emplace_back(static_cast<double>(i));
+      bin.emplace_back(static_cast<double>(h.bins[i]));
+      bins.emplace_back(std::move(bin));
+    }
+    hv["bins"] = json::Value(std::move(bins));
+    histograms.emplace_back(std::move(hv));
+  }
+  payload["histograms"] = json::Value(std::move(histograms));
+  json::Value::Array spans;
+  for (const obs::ExternalSpan& ev : record.spans) {
+    json::Value::Array span;
+    span.emplace_back(ev.name);
+    span.emplace_back(ev.start_us);
+    span.emplace_back(ev.dur_us);
+    span.emplace_back(static_cast<double>(ev.tid));
+    span.emplace_back(static_cast<double>(ev.depth));
+    if (ev.has_sim_window()) {
+      span.emplace_back(ev.sim_begin_s);
+      span.emplace_back(ev.sim_end_s);
+    }
+    spans.emplace_back(std::move(span));
+  }
+  payload["spans"] = json::Value(std::move(spans));
+  return payload;
+}
+
+}  // namespace
+
+std::string shard_telemetry_path(const std::string& state_dir,
+                                 std::uint64_t attempt) {
+  return state_dir + "/attempt-" + std::to_string(attempt) + ".telemetry";
+}
+
+std::string telemetry_fingerprint(const std::string& sweep_signature,
+                                  std::uint64_t run) {
+  return sweep_signature + " run=" + std::to_string(run);
+}
+
+std::string encode_telemetry(const TelemetryRecord& record,
+                             const std::string& fingerprint) {
+  const std::string payload_text =
+      telemetry_payload(record, fingerprint).dump(/*pretty=*/false);
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kTelemetrySchema
+      << "\",\"telemetry\":" << payload_text << ",\"crc64\":\""
+      << hex64(resilience::fnv1a64(payload_text)) << "\"}\n";
+  return out.str();
+}
+
+std::optional<TelemetryRecord> decode_telemetry(std::string_view text,
+                                                const std::string& fingerprint,
+                                                std::string* why) {
+  const auto reject = [&](std::string reason) -> std::optional<TelemetryRecord> {
+    if (why != nullptr) *why = std::move(reason);
+    return std::nullopt;
+  };
+  std::string error;
+  const auto doc = json::Value::parse(text, &error);
+  if (!doc) return reject("unparseable telemetry: " + error);
+  if (doc->operator[]("schema").as_string() != kTelemetrySchema) {
+    return reject("unknown schema '" + doc->operator[]("schema").as_string() +
+                  "'");
+  }
+  const json::Value& payload = doc->operator[]("telemetry");
+  if (!payload.is_object()) return reject("telemetry is not an object");
+  const std::string want_crc = doc->operator[]("crc64").as_string();
+  const std::string got_crc =
+      hex64(resilience::fnv1a64(payload.dump(/*pretty=*/false)));
+  if (want_crc != got_crc) {
+    return reject("CRC mismatch (want " + want_crc + ", got " + got_crc + ")");
+  }
+  if (!fingerprint.empty() &&
+      payload["fingerprint"].as_string() != fingerprint) {
+    return reject("telemetry is for '" + payload["fingerprint"].as_string() +
+                  "', this run is '" + fingerprint + "'");
+  }
+  TelemetryRecord record;
+  record.shard = static_cast<std::size_t>(payload["shard"].as_number());
+  record.attempt = static_cast<std::uint64_t>(payload["attempt"].as_number());
+  record.pid = static_cast<std::int64_t>(payload["pid"].as_number());
+  record.seq = static_cast<std::uint64_t>(payload["seq"].as_number());
+  record.final_flush = payload["final"].as_bool();
+  for (const auto& [name, value] : payload["counters"].as_object()) {
+    if (!value.is_number()) return reject("counter '" + name + "' not numeric");
+    record.metrics.counters.emplace_back(name, value.as_number());
+  }
+  for (const auto& [name, value] : payload["gauges"].as_object()) {
+    if (!value.is_number()) return reject("gauge '" + name + "' not numeric");
+    record.metrics.gauges.emplace_back(name, value.as_number());
+  }
+  for (const json::Value& hv : payload["histograms"].as_array()) {
+    obs::MetricsRegistry::HistogramSnapshot h;
+    h.name = hv["name"].as_string();
+    if (h.name.empty()) return reject("histogram without a name");
+    h.count = static_cast<std::uint64_t>(hv["count"].as_number());
+    h.sum = hv["sum"].as_number();
+    for (const json::Value& bv : hv["bins"].as_array()) {
+      const json::Value::Array& bin = bv.as_array();
+      if (bin.size() != 2) return reject("histogram bin is not [index,n]");
+      const double index = bin[0].as_number();
+      if (index < 0 ||
+          index >= static_cast<double>(obs::Histogram::kBins)) {
+        return reject("histogram bin index out of range");
+      }
+      h.bins[static_cast<std::size_t>(index)] =
+          static_cast<std::uint64_t>(bin[1].as_number());
+    }
+    record.metrics.histograms.push_back(std::move(h));
+  }
+  for (const json::Value& sv : payload["spans"].as_array()) {
+    const json::Value::Array& span = sv.as_array();
+    if (span.size() != 5 && span.size() != 7) {
+      return reject("span is not [name,start,dur,tid,depth(,simb,sime)]");
+    }
+    obs::ExternalSpan ev;
+    ev.name = span[0].as_string();
+    ev.start_us = span[1].as_number();
+    ev.dur_us = span[2].as_number();
+    ev.tid = static_cast<std::uint32_t>(span[3].as_number());
+    ev.depth = static_cast<std::uint32_t>(span[4].as_number());
+    if (span.size() == 7) {
+      ev.sim_begin_s = span[5].as_number();
+      ev.sim_end_s = span[6].as_number();
+    }
+    record.spans.push_back(std::move(ev));
+  }
+  return record;
+}
+
+WorkerTelemetry::WorkerTelemetry(std::string path, std::string fingerprint,
+                                 std::size_t shard, std::uint64_t attempt,
+                                 double min_interval_s)
+    : path_(std::move(path)),
+      fingerprint_(std::move(fingerprint)),
+      shard_(shard),
+      attempt_(attempt),
+      min_interval_s_(min_interval_s) {}
+
+void WorkerTelemetry::begin_attempt() {
+#ifndef HEC_OBS_DISABLE
+  if (min_interval_s_ < 0.0) return;
+  // The fork copied the coordinator's registry and span rings wholesale;
+  // pin the former as the delta baseline and drop the latter so every
+  // span this attempt ships is its own.
+  base_ = obs::registry().snapshot();
+  obs::tracer().clear();
+  last_flush_s_ = steady_now_s();
+#endif
+}
+
+void WorkerTelemetry::flush_if_due() {
+#ifndef HEC_OBS_DISABLE
+  if (min_interval_s_ < 0.0) return;
+  const double now_s = steady_now_s();
+  if (now_s - last_flush_s_ < min_interval_s_) return;
+  last_flush_s_ = now_s;
+  flush(/*final_flush=*/false);
+#endif
+}
+
+void WorkerTelemetry::final_flush() {
+#ifndef HEC_OBS_DISABLE
+  if (min_interval_s_ < 0.0) return;
+  flush(/*final_flush=*/true);
+#endif
+}
+
+void WorkerTelemetry::flush(bool final_flush) {
+  TelemetryRecord record;
+  record.shard = shard_;
+  record.attempt = attempt_;
+  record.pid = static_cast<std::int64_t>(::getpid());
+  record.seq = ++seq_;
+  record.final_flush = final_flush;
+  record.metrics = obs::snapshot_delta(obs::registry().snapshot(), base_);
+  for (const obs::SpanEvent& ev : obs::tracer().snapshot()) {
+    obs::ExternalSpan span;
+    span.name = ev.name;
+    span.start_us = ev.start_us;
+    span.dur_us = ev.dur_us;
+    span.tid = ev.tid;
+    span.depth = ev.depth;
+    if (ev.has_sim_window()) {
+      span.sim_begin_s = ev.sim_begin_s;
+      span.sim_end_s = ev.sim_end_s;
+    }
+    record.spans.push_back(std::move(span));
+  }
+  try {
+    util::atomic_write_file(path_, encode_telemetry(record, fingerprint_));
+  } catch (const IoError& e) {
+    // Best-effort by design: a full disk must cost the operator this
+    // attempt's telemetry, not the attempt.
+    obs::log(2, std::string("telemetry flush failed: ") + e.what());
+  }
+}
+
+TelemetryMerger::TelemetryMerger(std::string fingerprint)
+    : fingerprint_(std::move(fingerprint)) {}
+
+bool TelemetryMerger::ingest_file(const std::string& path, std::string* why) {
+  std::ifstream in(path);
+  if (!in) return false;  // not flushed yet: the common mid-run case
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string reason;
+  const auto record = decode_telemetry(buffer.str(), fingerprint_, &reason);
+  if (!record) {
+    ++rejected_;
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  }
+  auto it = latest_.find(record->attempt);
+  if (it != latest_.end() && it->second.seq >= record->seq) return false;
+  latest_[record->attempt] = std::move(*record);
+  return true;
+}
+
+void TelemetryMerger::mark_superseded(std::uint64_t attempt) {
+  superseded_.insert(attempt);
+}
+
+void TelemetryMerger::apply(obs::MetricsRegistry& registry) const {
+  for (const auto& [attempt, record] : latest_) {
+    if (superseded_.count(attempt) != 0) continue;
+    registry.accumulate(record.metrics);
+  }
+}
+
+obs::ExternalTrace TelemetryMerger::build_trace(
+    std::vector<obs::InstantEvent> instants) const {
+  obs::ExternalTrace trace;
+  trace.instants = std::move(instants);
+  trace.tracks.reserve(latest_.size());
+  for (const auto& [attempt, record] : latest_) {
+    obs::ExternalTrack track;
+    track.label = "worker shard=" + std::to_string(record.shard) +
+                  " attempt=" + std::to_string(attempt) +
+                  " pid=" + std::to_string(record.pid);
+    // Trace-local pids: the coordinator owns pid 1, attempt N renders
+    // as pid N+1. OS pids would collide after reuse and sort randomly.
+    track.pid = attempt + 1;
+    track.sort_index = static_cast<std::int64_t>(attempt);
+    track.superseded = superseded_.count(attempt) != 0;
+    track.spans = record.spans;
+    trace.tracks.push_back(std::move(track));
+  }
+  return trace;
+}
+
+double TelemetryMerger::counter_total(std::string_view name) const {
+  double total = 0.0;
+  for (const auto& [attempt, record] : latest_) {
+    if (superseded_.count(attempt) != 0) continue;
+    for (const auto& [counter, value] : record.metrics.counters) {
+      if (counter == name) total += value;
+    }
+  }
+  return total;
+}
+
+}  // namespace hec::shard

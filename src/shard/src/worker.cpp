@@ -18,11 +18,13 @@
 
 #include <unistd.h>
 
+#include "hec/obs/obs.h"
 #include "hec/parallel/periodic.h"
 #include "hec/parallel/thread_pool.h"
 #include "hec/resilience/resumable.h"
 #include "hec/shard/protocol.h"
 #include "hec/shard/result_file.h"
+#include "hec/shard/telemetry.h"
 #include "hec/util/failpoint.h"
 #include "internal.h"
 
@@ -58,7 +60,8 @@ std::string sweep_signature(const ShardedSweepSpec& spec) {
 
 void run_worker_attempt(const ShardedSweepSpec& spec,
                         const ShardedSweepOptions& opts, std::size_t shard_id,
-                        std::uint64_t attempt, IndexRange range, int report_fd,
+                        std::uint64_t attempt, std::uint64_t run,
+                        IndexRange range, int report_fd,
                         const std::vector<int>& inherited_fds) {
   for (const int fd : inherited_fds) {
     if (fd != report_fd) ::close(fd);
@@ -66,6 +69,15 @@ void run_worker_attempt(const ShardedSweepSpec& spec,
   // A dead coordinator must not SIGPIPE-kill a worker mid-commit; the
   // failed write is simply dropped (see send_line).
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Pin the telemetry baseline (and clear the fork-inherited span ring)
+  // before any thread of ours starts: the registry snapshot must see
+  // exactly the coordinator's pre-fork state.
+  WorkerTelemetry telemetry(
+      shard_telemetry_path(opts.state_dir, attempt),
+      telemetry_fingerprint(sweep_signature(spec), run), shard_id, attempt,
+      opts.telemetry_interval_s);
+  telemetry.begin_attempt();
 
   // The absolute cursor the heartbeat thread reports; updated at every
   // epoch boundary via on_progress.
@@ -102,23 +114,42 @@ void run_worker_attempt(const ShardedSweepSpec& spec,
       cursor.store(at);
       HEC_FAILPOINT_HIT(attempt_site.c_str());
     };
+    // Telemetry flushes ride the journal commits: whenever the cursor is
+    // durable, so is everything observed up to it. A SIGKILL between
+    // commits loses at most one epoch of telemetry — same blast radius
+    // as the sweep itself.
+    res.on_flush = [&] { telemetry.flush_if_due(); };
 
-    const resilience::ResumableSweepResult swept =
-        resilience::resumable_sweep_indexed(sweep_signature(spec), spec.total,
-                                            spec.claim, spec.work_units,
-                                            spec.body, sweep, res);
+    // The sweep gets a scoped span (closed before the final flush) so
+    // even a completed attempt's track shows one enclosing bar over its
+    // resilience.epoch children.
+    const resilience::ResumableSweepResult swept = [&] {
+      HEC_SPAN("shard.worker_sweep");
+      return resilience::resumable_sweep_indexed(sweep_signature(spec),
+                                                 spec.total, spec.claim,
+                                                 spec.work_units, spec.body,
+                                                 sweep, res);
+    }();
 
+    // Final flush BEFORE the result commit: if we die in between, the
+    // requeue finds no result and supersedes this attempt (successor
+    // recounts the slice); if we die after, the coordinator reuses the
+    // result and this flush — already durable — is the slice's full
+    // count. Either way the merged totals stay exact.
+    telemetry.final_flush();
     write_shard_result(shard_result_path(opts.state_dir, shard_id),
                        sweep_signature(spec), {range, swept.frontier});
     heartbeat.stop();
     send_line(report_fd, {MessageKind::kDone, shard_id, attempt, 0, 0, 0, {}});
     ::_exit(0);
   } catch (const std::exception& e) {
+    telemetry.final_flush();
     heartbeat.stop();
     send_line(report_fd,
               {MessageKind::kFailed, shard_id, attempt, 0, 0, 0, e.what()});
     ::_exit(1);
   } catch (...) {
+    telemetry.final_flush();
     heartbeat.stop();
     send_line(report_fd, {MessageKind::kFailed, shard_id, attempt, 0, 0, 0,
                           "unknown exception"});

@@ -13,8 +13,8 @@ namespace hec::shard {
 namespace {
 
 TEST(ShardProtocol, EncodesEveryKindAsOneTerminatedLine) {
-  EXPECT_EQ(encode({MessageKind::kAssign, 3, 7, 100, 200, 0, {}}),
-            "A 3 7 100 200\n");
+  EXPECT_EQ(encode({MessageKind::kAssign, 3, 7, 100, 200, 0, {}, 9}),
+            "A 3 7 100 200 9\n");
   EXPECT_EQ(encode({MessageKind::kProgress, 3, 7, 0, 0, 150, {}}),
             "R 3 7 150\n");
   EXPECT_EQ(encode({MessageKind::kDone, 3, 7, 0, 0, 0, {}}), "D 3 7\n");
@@ -24,7 +24,7 @@ TEST(ShardProtocol, EncodesEveryKindAsOneTerminatedLine) {
 
 TEST(ShardProtocol, RoundTripsEveryKind) {
   const Message messages[] = {
-      {MessageKind::kAssign, 0, 1, 0, 1013254, 0, {}},
+      {MessageKind::kAssign, 0, 1, 0, 1013254, 0, {}, 0x9e3779b97f4a7c15},
       {MessageKind::kProgress, 12, 99, 0, 0, 4096, {}},
       {MessageKind::kDone, 5, 6, 0, 0, 0, {}},
       {MessageKind::kFailed, 2, 3, 0, 0, 0, "std::bad_alloc"},
@@ -68,7 +68,9 @@ TEST(ShardProtocol, RejectsMalformedRecords) {
       "Z 1 2",             // unknown kind
       "R 1 2",             // progress wants a cursor
       "R 1 2 3 4",         // trailing field
-      "A 1 2 3",           // assign wants first and last
+      "A 1 2 3",           // assign wants first, last and run id
+      "A 1 2 3 4",         // assign without the run id
+      "A 1 2 3 4 5 6",     // assign with a trailing field
       "D 1",               // done wants shard and attempt
       "D 1 2 3",           // done takes nothing else
       "R one 2 3",         // non-numeric shard

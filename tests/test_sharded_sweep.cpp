@@ -15,15 +15,19 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "hec/bench/json.h"
 #include "hec/hw/catalog.h"
 #include "hec/model/characterize.h"
+#include "hec/obs/metrics.h"
 #include "hec/pareto/streaming.h"
 #include "hec/shard/result_file.h"
+#include "hec/shard/telemetry.h"
 #include "hec/util/atomic_file.h"
 #include "hec/util/failpoint.h"
 #include "hec/workloads/workload.h"
@@ -68,6 +72,10 @@ std::string fresh_state_dir(const std::string& name) {
   for (std::size_t id = 0; id < 64; ++id) {
     std::remove(shard_result_path(dir, id).c_str());
     std::remove(shard_journal_path(dir, id).c_str());
+  }
+  // Telemetry sidecars are keyed by attempt ordinal (1-based).
+  for (std::uint64_t a = 1; a <= 64; ++a) {
+    std::remove(shard_telemetry_path(dir, a).c_str());
   }
   return dir;
 }
@@ -438,6 +446,150 @@ TEST_F(ShardedSweep, ForeignShardJournalRestartsFromScratchWithWarning) {
   EXPECT_TRUE(clean.complete);
   expect_identical_frontiers(clean.frontier,
                              reference_frontier({10000, 20000}), "firewall");
+}
+
+// ---------------------------------------------------------------------
+// Cross-process telemetry: merged counters stay exact under kills, the
+// status surface reports full coverage, and stale sidecars from a
+// previous run never pollute the merge.
+
+#ifndef HEC_OBS_DISABLE
+double counter_delta(const obs::MetricsRegistry::Snapshot& delta,
+                     std::string_view name) {
+  for (const auto& [counter, value] : delta.counters) {
+    if (counter == name) return value;
+  }
+  return 0.0;
+}
+
+TEST_F(ShardedSweep, MergedCountersAreExactUnderKills) {
+  // Two attempts die mid-shard after flushing partial telemetry. Their
+  // sidecars are superseded (dropped from counter merges) and the
+  // respawned attempts' final flushes cover each whole slice including
+  // the journal-resumed prefix — so the merged `sweep.configs` delta in
+  // *this* process must equal the space size exactly, kills and all.
+  util::set_failpoints({{"shard.attempt.2", 3, util::FailpointMode::kCrash},
+                        {"shard.attempt.3", 3, util::FailpointMode::kCrash}});
+  ShardedSweepOptions opts;
+  opts.workers = 4;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("telemetry_kill");
+  opts.heartbeat_interval_s = 0.01;
+  opts.retry_backoff_s = 0.01;
+  opts.telemetry_interval_s = 0.0;  // flush at every commit: deterministic
+
+  const obs::MetricsRegistry::Snapshot base = obs::registry().snapshot();
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.reassignments, 2u);
+  EXPECT_NE(result.run_id, 0u);
+
+  const obs::MetricsRegistry::Snapshot delta =
+      obs::snapshot_delta(obs::registry().snapshot(), base);
+  EXPECT_EQ(counter_delta(delta, "sweep.configs"),
+            static_cast<double>(kTotal));
+
+  // One track per spawned attempt, the two killed ones tagged; each
+  // dead attempt shipped at least one epoch span before dying (the
+  // failpoint fires at the third progress boundary).
+  ASSERT_EQ(result.trace.tracks.size(), result.spawns);
+  std::size_t superseded = 0;
+  for (const obs::ExternalTrack& track : result.trace.tracks) {
+    if (!track.superseded) continue;
+    ++superseded;
+    EXPECT_FALSE(track.spans.empty()) << track.label;
+  }
+  EXPECT_EQ(superseded, 2u);
+  EXPECT_FALSE(result.trace.instants.empty()) << "spawn/reassign markers";
+
+  ASSERT_EQ(result.worker_rates.size(), result.spawns);
+  std::size_t rates_superseded = 0;
+  for (const ShardedSweepResult::WorkerRate& rate : result.worker_rates) {
+    if (rate.superseded) ++rates_superseded;
+  }
+  EXPECT_EQ(rates_superseded, 2u);
+}
+
+TEST_F(ShardedSweep, StaleSidecarFromAPreviousRunNeverMerges) {
+  // A forged sidecar carrying an absurd counter under a previous run's
+  // fingerprint sits where attempt 1 will write. Whether the
+  // coordinator reads it before the live worker overwrites it or not,
+  // the run-id firewall keeps it out of the merge: the counter delta is
+  // exactly the space size.
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("stale_sidecar");
+  opts.telemetry_interval_s = 0.0;
+  ::mkdir(opts.state_dir.c_str(), 0775);
+
+  TelemetryRecord forged;
+  forged.shard = 0;
+  forged.attempt = 1;
+  forged.seq = 999;  // rejected records must not advance the held seq
+  forged.metrics.counters = {{"sweep.configs", 1e9}};
+  util::atomic_write_file(
+      shard_telemetry_path(opts.state_dir, 1),
+      encode_telemetry(forged,
+                       telemetry_fingerprint("synthetic-points v1", 1)));
+
+  const obs::MetricsRegistry::Snapshot base = obs::registry().snapshot();
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  ASSERT_TRUE(result.complete);
+  const obs::MetricsRegistry::Snapshot delta =
+      obs::snapshot_delta(obs::registry().snapshot(), base);
+  EXPECT_EQ(counter_delta(delta, "sweep.configs"),
+            static_cast<double>(kTotal));
+}
+#endif  // HEC_OBS_DISABLE
+
+TEST_F(ShardedSweep, StatusFileReportsTheFinishedRun) {
+  // The status surface is protocol-derived, so this holds even under
+  // HEC_OBS_DISABLE builds. The final pass must report exact coverage:
+  // 100.0 by construction when every shard completed, not a rounded
+  // ratio.
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("status");
+  opts.status_path = ::testing::TempDir() + "shard_status.json";
+  std::remove(opts.status_path.c_str());
+
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  ASSERT_TRUE(result.complete);
+
+  std::ifstream in(opts.status_path);
+  ASSERT_TRUE(in.good()) << "final status pass must write the file";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const std::optional<bench::json::Value> parsed =
+      bench::json::Value::parse(buffer.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const bench::json::Value& doc = *parsed;
+
+  EXPECT_EQ(doc["schema"].as_string(), "hec-sweep-status/v1");
+  EXPECT_EQ(doc["run_id"].as_string(), std::to_string(result.run_id));
+  EXPECT_TRUE(doc["complete"].as_bool());
+  EXPECT_FALSE(doc["deadline_hit"].as_bool(true));
+  EXPECT_EQ(doc["coverage_pct"].as_number(), 100.0);
+  EXPECT_EQ(doc["configs"]["total"].as_number(),
+            static_cast<double>(kTotal));
+  EXPECT_EQ(doc["configs"]["visited"].as_number(),
+            static_cast<double>(kTotal));
+  EXPECT_EQ(doc["shards"]["complete"].as_number(), 4.0);
+  EXPECT_EQ(doc["shards"]["running"].as_number(), 0.0);
+  EXPECT_TRUE(doc["eta_s"].is_null()) << "no ETA once the sweep is done";
+  EXPECT_EQ(doc["frontier_size"].as_number(),
+            static_cast<double>(result.frontier.size()));
+  EXPECT_TRUE(doc["workers"].as_array().empty()) << "no live workers";
+  const bench::json::Value::Array& rates = doc["worker_rates"].as_array();
+  ASSERT_EQ(rates.size(), result.spawns);
+  for (const bench::json::Value& entry : rates) {
+    EXPECT_TRUE(entry["completed"].as_bool());
+    EXPECT_FALSE(entry["superseded"].as_bool(true));
+  }
+  std::remove(opts.status_path.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,295 @@
+// hec-telemetry/v1 sidecar contract (hec/shard/telemetry.h): encode and
+// decode are exact inverses, every damaged document — truncated, torn,
+// bit-flipped, appended-to — parses to nullopt with a reason, a foreign
+// fingerprint never merges, and the merger keeps exactly the highest
+// flush per attempt while dropping superseded attempts' deltas. All
+// in-process (no fork), so the suite runs under TSan where the
+// fork-based sharded tests cannot.
+#include "hec/shard/telemetry.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hec/obs/export.h"
+#include "hec/obs/metrics.h"
+#include "hec/util/atomic_file.h"
+
+namespace hec::shard {
+namespace {
+
+constexpr const char* kFingerprint = "synthetic space v1 run=42";
+
+/// A record exercising every field: counters, gauges, a sparse
+/// histogram, spans with and without sim windows, and names containing
+/// the characters the JSON layer must escape.
+TelemetryRecord sample_record() {
+  TelemetryRecord record;
+  record.shard = 3;
+  record.attempt = 7;
+  record.pid = 4242;
+  record.seq = 5;
+  record.final_flush = true;
+  record.metrics.counters = {{"config.evaluations", 1250.0},
+                             {"sweep.configs", 1250.0},
+                             {R"(weird"name)", 1.0}};
+  record.metrics.gauges = {{"resilience.configs_visited", 1250.0}};
+  obs::MetricsRegistry::HistogramSnapshot h;
+  h.name = "shard.heartbeat_gap_s";
+  h.bins[4] = 9;
+  h.bins[obs::Histogram::kBins - 1] = 2;
+  h.count = 11;
+  h.sum = 0.75;
+  record.metrics.histograms.push_back(h);
+  obs::ExternalSpan plain;
+  plain.name = "resilience.epoch\nwith newline";
+  plain.start_us = 10.5;
+  plain.dur_us = 2000.25;
+  plain.tid = 3;
+  plain.depth = 1;
+  record.spans.push_back(plain);
+  obs::ExternalSpan windowed;
+  windowed.name = "sim.run";
+  windowed.start_us = 5000.0;
+  windowed.dur_us = 1.0;
+  windowed.sim_begin_s = 0.0;
+  windowed.sim_end_s = 12.5;
+  record.spans.push_back(windowed);
+  return record;
+}
+
+void expect_equal(const TelemetryRecord& got, const TelemetryRecord& want) {
+  EXPECT_EQ(got.shard, want.shard);
+  EXPECT_EQ(got.attempt, want.attempt);
+  EXPECT_EQ(got.pid, want.pid);
+  EXPECT_EQ(got.seq, want.seq);
+  EXPECT_EQ(got.final_flush, want.final_flush);
+  EXPECT_EQ(got.metrics.counters, want.metrics.counters);
+  EXPECT_EQ(got.metrics.gauges, want.metrics.gauges);
+  ASSERT_EQ(got.metrics.histograms.size(), want.metrics.histograms.size());
+  for (std::size_t i = 0; i < got.metrics.histograms.size(); ++i) {
+    const auto& gh = got.metrics.histograms[i];
+    const auto& wh = want.metrics.histograms[i];
+    EXPECT_EQ(gh.name, wh.name);
+    EXPECT_EQ(gh.bins, wh.bins);
+    EXPECT_EQ(gh.count, wh.count);
+    EXPECT_EQ(gh.sum, wh.sum);
+  }
+  ASSERT_EQ(got.spans.size(), want.spans.size());
+  for (std::size_t i = 0; i < got.spans.size(); ++i) {
+    const obs::ExternalSpan& gs = got.spans[i];
+    const obs::ExternalSpan& ws = want.spans[i];
+    EXPECT_EQ(gs.name, ws.name);
+    EXPECT_EQ(gs.start_us, ws.start_us);
+    EXPECT_EQ(gs.dur_us, ws.dur_us);
+    EXPECT_EQ(gs.tid, ws.tid);
+    EXPECT_EQ(gs.depth, ws.depth);
+    EXPECT_EQ(gs.has_sim_window(), ws.has_sim_window());
+    if (gs.has_sim_window() && ws.has_sim_window()) {
+      EXPECT_EQ(gs.sim_begin_s, ws.sim_begin_s);
+      EXPECT_EQ(gs.sim_end_s, ws.sim_end_s);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Codec.
+
+TEST(TelemetryCodec, RoundTripsEveryField) {
+  const TelemetryRecord record = sample_record();
+  const std::string text = encode_telemetry(record, kFingerprint);
+  EXPECT_EQ(text.find('\n'), text.size() - 1) << "one line plus newline";
+
+  std::string why = "unset";
+  const auto back = decode_telemetry(text, kFingerprint, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  expect_equal(*back, record);
+}
+
+TEST(TelemetryCodec, EncodeIsDeterministic) {
+  // Sorted-key JSON: the same record always serialises to the same
+  // bytes, so sidecar diffs across runs are meaningful.
+  EXPECT_EQ(encode_telemetry(sample_record(), kFingerprint),
+            encode_telemetry(sample_record(), kFingerprint));
+}
+
+TEST(TelemetryCodec, RejectsTruncationAtEveryLength) {
+  // A torn write (simulated: atomic_write_file makes real ones
+  // impossible) must read as damage, never as a shorter valid record.
+  const std::string text = encode_telemetry(sample_record(), kFingerprint);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, text.size() / 4, text.size() / 2,
+        text.size() - 2}) {
+    std::string why;
+    EXPECT_FALSE(
+        decode_telemetry(text.substr(0, keep), kFingerprint, &why)
+            .has_value())
+        << "kept " << keep << " bytes";
+    EXPECT_FALSE(why.empty());
+  }
+}
+
+TEST(TelemetryCodec, RejectsBitFlipsViaCrc) {
+  const std::string text = encode_telemetry(sample_record(), kFingerprint);
+  // Flip a digit inside the payload (a counter value) so the document
+  // still parses as JSON but the CRC no longer matches.
+  const std::size_t pos = text.find("1250");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bent = text;
+  bent[pos] = '9';
+  std::string why;
+  EXPECT_FALSE(decode_telemetry(bent, kFingerprint, &why).has_value());
+  EXPECT_NE(why.find("CRC"), std::string::npos) << why;
+}
+
+TEST(TelemetryCodec, RejectsAppendedGarbageAndWrongSchema) {
+  const std::string text = encode_telemetry(sample_record(), kFingerprint);
+  std::string why;
+  EXPECT_FALSE(
+      decode_telemetry(text + "trailing garbage", kFingerprint, &why)
+          .has_value());
+  EXPECT_FALSE(decode_telemetry("{}", kFingerprint, &why).has_value());
+  EXPECT_NE(why.find("schema"), std::string::npos) << why;
+  EXPECT_FALSE(decode_telemetry("not json at all", kFingerprint, &why)
+                   .has_value());
+}
+
+TEST(TelemetryCodec, ForeignFingerprintIsFirewalled) {
+  const std::string text = encode_telemetry(sample_record(), kFingerprint);
+  // Same sweep, previous run id: a stale sidecar in a reused state dir.
+  std::string why;
+  EXPECT_FALSE(
+      decode_telemetry(text, "synthetic space v1 run=41", &why).has_value());
+  EXPECT_NE(why.find("run=41"), std::string::npos) << why;
+  // An empty expected fingerprint skips the check (inspection tools).
+  EXPECT_TRUE(decode_telemetry(text, "", &why).has_value());
+}
+
+TEST(TelemetryCodec, PathsAndFingerprintsAreStable) {
+  // The sidecar layout and fingerprint derivation are cross-process
+  // contracts: worker encode and coordinator decode build them
+  // independently and must agree byte for byte.
+  EXPECT_EQ(shard_telemetry_path("/tmp/s", 7), "/tmp/s/attempt-7.telemetry");
+  EXPECT_EQ(telemetry_fingerprint("sig total=10", 42),
+            "sig total=10 run=42");
+}
+
+// ---------------------------------------------------------------------
+// Merger.
+
+class TelemetryMergerTest : public ::testing::Test {
+ protected:
+  // ctest runs each case as its own process, possibly in parallel, so
+  // every test gets a private sidecar directory.
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "telemetry_merger_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(dir_.c_str(), 0775);
+  }
+
+  std::string write_sidecar(std::uint64_t attempt, std::uint64_t seq,
+                            double configs,
+                            const std::string& fingerprint = kFingerprint) {
+    TelemetryRecord record;
+    record.shard = attempt;  // one shard per attempt keeps labels simple
+    record.attempt = attempt;
+    record.pid = 1000 + static_cast<std::int64_t>(attempt);
+    record.seq = seq;
+    record.metrics.counters = {{"sweep.configs", configs}};
+    obs::ExternalSpan span;
+    span.name = "resilience.epoch";
+    span.dur_us = configs;
+    record.spans.push_back(span);
+    const std::string path =
+        shard_telemetry_path(dir_, attempt);
+    util::atomic_write_file(path, encode_telemetry(record, fingerprint));
+    return path;
+  }
+
+  void TearDown() override {
+    for (std::uint64_t a = 1; a <= 8; ++a) {
+      std::remove(shard_telemetry_path(dir_, a).c_str());
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TelemetryMergerTest, LatestSeqWinsAndReingestIsIdempotent) {
+  TelemetryMerger merger(kFingerprint);
+  const std::string path = write_sidecar(1, 1, 100.0);
+  EXPECT_TRUE(merger.ingest_file(path));
+  EXPECT_FALSE(merger.ingest_file(path)) << "same seq must not replace";
+  write_sidecar(1, 2, 250.0);
+  EXPECT_TRUE(merger.ingest_file(path));
+  EXPECT_EQ(merger.records(), 1u);
+  EXPECT_EQ(merger.counter_total("sweep.configs"), 250.0)
+      << "the newer flush replaces, never adds to, the older one";
+}
+
+TEST_F(TelemetryMergerTest, AbsentFileIsSilentDamageIsRejected) {
+  TelemetryMerger merger(kFingerprint);
+  std::string why = "unset";
+  EXPECT_FALSE(merger.ingest_file(
+      shard_telemetry_path(dir_, 8), &why));
+  EXPECT_EQ(why, "unset") << "not flushed yet is not an error";
+  EXPECT_EQ(merger.rejected(), 0u);
+
+  const std::string path = write_sidecar(2, 1, 50.0);
+  {
+    std::string text;
+    {
+      std::ifstream in(path);
+      std::getline(in, text);
+    }
+    util::atomic_write_file(path, text.substr(0, text.size() / 2));
+  }
+  EXPECT_FALSE(merger.ingest_file(path, &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_EQ(merger.rejected(), 1u);
+
+  // A sidecar from a previous run in the same state dir: firewalled.
+  write_sidecar(3, 1, 75.0, "synthetic space v1 run=41");
+  EXPECT_FALSE(merger.ingest_file(
+      shard_telemetry_path(dir_, 3), &why));
+  EXPECT_EQ(merger.rejected(), 2u);
+  EXPECT_EQ(merger.records(), 0u);
+}
+
+TEST_F(TelemetryMergerTest, SupersededDeltasAreDroppedSpansAreTagged) {
+  TelemetryMerger merger(kFingerprint);
+  ASSERT_TRUE(merger.ingest_file(write_sidecar(1, 1, 100.0)));
+  ASSERT_TRUE(merger.ingest_file(write_sidecar(2, 1, 40.0)));
+  ASSERT_TRUE(merger.ingest_file(write_sidecar(3, 1, 60.0)));
+  merger.mark_superseded(2);  // attempt 2 was killed and requeued
+
+  EXPECT_EQ(merger.counter_total("sweep.configs"), 160.0)
+      << "the superseded attempt's work is redone elsewhere";
+  EXPECT_EQ(merger.superseded(), 1u);
+
+  obs::MetricsRegistry registry;
+  merger.apply(registry);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "sweep.configs");
+  EXPECT_EQ(counters[0].second, 160.0);
+
+  const obs::ExternalTrace trace = merger.build_trace(
+      {{"shard.reassign", 123.0, "shard=2 attempt=2 cause=exit"}});
+  ASSERT_EQ(trace.tracks.size(), 3u) << "superseded spans stay visible";
+  EXPECT_EQ(trace.tracks[0].label, "worker shard=1 attempt=1 pid=1001");
+  EXPECT_EQ(trace.tracks[0].pid, 2u) << "trace-local pid = attempt + 1";
+  EXPECT_FALSE(trace.tracks[0].superseded);
+  EXPECT_TRUE(trace.tracks[1].superseded);
+  ASSERT_EQ(trace.tracks[1].spans.size(), 1u);
+  EXPECT_EQ(trace.tracks[1].spans[0].name, "resilience.epoch");
+  ASSERT_EQ(trace.instants.size(), 1u);
+  EXPECT_EQ(trace.instants[0].name, "shard.reassign");
+}
+
+}  // namespace
+}  // namespace hec::shard

@@ -18,6 +18,7 @@
 //              [--seed S]             Monte Carlo base seed
 //              [--trace-out FILE]     write a Chrome trace of the run
 //              [--metrics-out FILE]   write a Prometheus-style metrics dump
+//              [--status-out FILE]    live sweep status JSON (sharded runs)
 //              [--log-level N]        stderr verbosity (0 quiet .. 2 debug)
 //              [--journal FILE]       crash-safe sweep checkpoint journal
 //              [--journal-interval-s S]  min seconds between checkpoints
@@ -67,6 +68,7 @@
 #include "hec/resilience/resumable.h"
 #include "hec/search/optimizer.h"
 #include "hec/shard/shard.h"
+#include "hec/shard/telemetry.h"
 #include "hec/util/atomic_file.h"
 #include "hec/util/env.h"
 #include "hec/util/expect.h"
@@ -97,8 +99,14 @@ void print_usage(std::ostream& out) {
       "  --checkpoint-s S     checkpoint interval in seconds\n"
       "  --trials N           Monte Carlo fault seeds (default 64)\n"
       "  --seed S             Monte Carlo base seed\n"
-      "  --trace-out FILE     Chrome trace JSON (.jsonl for a JSONL log)\n"
-      "  --metrics-out FILE   Prometheus-style metrics dump\n"
+      "  --trace-out FILE     Chrome trace JSON (.jsonl for a JSONL log);\n"
+      "                       sharded runs merge every worker's spans into\n"
+      "                       per-process tracks\n"
+      "  --metrics-out FILE   Prometheus-style metrics dump; sharded runs\n"
+      "                       fold worker telemetry into one dump\n"
+      "  --status-out FILE    hec-sweep-status/v1 JSON, atomically replaced\n"
+      "                       while a sharded sweep runs (coverage, ETA,\n"
+      "                       per-worker rates); requires --shards\n"
       "  --log-level N        stderr verbosity: 0 quiet .. 2 debug\n"
       "  --journal FILE       crash-safe sweep checkpoint journal; if FILE\n"
       "                       holds a checkpoint of this sweep, resume it\n"
@@ -138,6 +146,7 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
+  std::optional<std::string> status_out;
   int log_level = 0;
   std::optional<std::string> journal;
   std::optional<double> journal_interval_s;
@@ -244,6 +253,8 @@ Options parse_args(int argc, char** argv) {
       opts.trace_out = next();
     } else if (args[i] == "--metrics-out") {
       opts.metrics_out = next();
+    } else if (args[i] == "--status-out") {
+      opts.status_out = next();
     } else if (args[i] == "--journal") {
       opts.journal = next();
     } else if (args[i] == "--journal-interval-s") {
@@ -296,6 +307,9 @@ Options parse_args(int argc, char** argv) {
       throw UsageError(
           "--journal/--deadline-s/--shards cannot combine with --budget");
     }
+  }
+  if (opts.status_out && !opts.sharded_requested()) {
+    throw UsageError("--status-out requires --shards");
   }
   return opts;
 }
@@ -388,7 +402,8 @@ void declare_metrics() {
   }
   for (const char* name :
        {"shard.spawns", "shard.reassignments", "shard.steals",
-        "shard.retries", "shard.heartbeats", "shard.results_reused"}) {
+        "shard.retries", "shard.heartbeats", "shard.results_reused",
+        "shard.telemetry_ingests", "shard.telemetry_rejected"}) {
     reg.counter(name);
   }
   reg.gauge("pareto.frontier_size");
@@ -400,7 +415,8 @@ void declare_metrics() {
   reg.histogram("shard.heartbeat_gap_s");
 }
 
-void write_observability(const Options& opts) {
+void write_observability(const Options& opts,
+                         const hec::obs::ExternalTrace* external = nullptr) {
   // Atomic commits (hec::IoError → exit 74): an export never leaves a
   // truncated trace/metrics file behind, even on ENOSPC mid-write.
   if (opts.trace_out) {
@@ -410,7 +426,7 @@ void write_observability(const Options& opts) {
                             hec::obs::registry());
     } else {
       hec::obs::write_chrome_trace(out.stream(), hec::obs::tracer(),
-                                   &hec::obs::registry());
+                                   &hec::obs::registry(), external);
     }
     out.commit();
     hec::obs::log(1, "wrote trace to " + *opts.trace_out);
@@ -475,6 +491,10 @@ int run(int argc, char** argv) {
   // over evaluated points is observability output, not part of the
   // query, and the default run must stay byte-identical.
   std::vector<hec::TimeEnergyPoint> evaluated_points;
+  // Worker spans + coordinator decisions from a sharded run, threaded
+  // into the Chrome trace export. Empty (and skipped by the writer) on
+  // every other path.
+  hec::obs::ExternalTrace merged_trace;
   // Picks the cheapest deadline-feasible point off a (time-sorted)
   // frontier and re-evaluates its configuration for the full outcome.
   const auto best_from_frontier =
@@ -500,6 +520,11 @@ int run(int argc, char** argv) {
       sop.max_retries = opts.max_retries;
       sop.deadline_s =
           opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
+      if (opts.status_out) sop.status_path = *opts.status_out;
+      // A traced/metered run flushes telemetry at every journal commit:
+      // deterministic sidecar contents are worth more than the saved
+      // writes when the user asked to observe the run.
+      if (opts.obs_requested()) sop.telemetry_interval_s = 0.0;
       bool temp_state = false;
       if (opts.journal) {
         sop.state_dir = *opts.journal + ".shards";
@@ -511,9 +536,10 @@ int run(int argc, char** argv) {
         sop.state_dir = tmpl;
         temp_state = true;
       }
-      const hec::shard::ShardedSweepResult sweep =
+      hec::shard::ShardedSweepResult sweep =
           hec::shard::sharded_sweep_frontier(arm_model, amd_model, limits,
                                              units, sop);
+      merged_trace = std::move(sweep.trace);
       evaluations = sweep.configs_visited;
       partial = sweep.deadline_hit;
       shards_failed = !sweep.failed_shards.empty();
@@ -532,6 +558,10 @@ int run(int argc, char** argv) {
               hec::shard::shard_result_path(sop.state_dir, i).c_str());
           std::remove(
               hec::shard::shard_journal_path(sop.state_dir, i).c_str());
+        }
+        for (std::uint64_t a = 1; a <= sweep.spawns; ++a) {
+          std::remove(
+              hec::shard::shard_telemetry_path(sop.state_dir, a).c_str());
         }
         ::rmdir(sop.state_dir.c_str());
       }
@@ -620,7 +650,7 @@ int run(int argc, char** argv) {
               << (opts.budget_w ? " within the power budget" : "")
               << (partial ? " in the visited prefix" : "") << " meets "
               << opts.deadline_ms << " ms.\n";
-    write_observability(opts);
+    write_observability(opts, &merged_trace);
     if (shards_failed) return 1;
     return partial ? hec::resilience::kExitPartial : 2;
   }
@@ -639,7 +669,7 @@ int run(int argc, char** argv) {
     print_robust(robust.evaluate(best->config, units, deadline_s),
                  mc.trials, opts.deadline_ms);
   }
-  write_observability(opts);
+  write_observability(opts, &merged_trace);
   if (shards_failed) return 1;
   return partial ? hec::resilience::kExitPartial : 0;
 }
