@@ -13,6 +13,7 @@
 #include "hec/io/gnuplot.h"
 #include "hec/obs/export.h"
 #include "hec/obs/obs.h"
+#include "hec/obs/profile.h"
 #include "hec/util/atomic_file.h"
 
 namespace hec::bench {
@@ -57,6 +58,11 @@ struct HarnessReporter {
     export_to_env_path("HEC_METRICS_OUT", [](std::ostream& out) {
       hec::obs::write_prometheus(out, hec::obs::registry(),
                                  &hec::obs::tracer());
+    });
+    export_to_env_path("HEC_PROFILE_OUT", [](std::ostream& out) {
+      hec::obs::ProfileTree tree;
+      tree.add(hec::obs::tracer());
+      tree.write_json(out);
     });
     // stderr, not stdout: bench stdout is the paper tables and may be
     // diffed or parsed by scripts.

@@ -88,10 +88,11 @@ double peak_rss_mib();
 //
 //   [bench-harness] wall_s=12.345 peak_rss_mb=87.4
 //
-// and honours HEC_TRACE_OUT / HEC_METRICS_OUT environment variables by
-// dumping the hec::obs trace (Chrome JSON) and metrics (Prometheus text)
-// collected over the whole run — the bench-side analogue of the CLI's
-// --trace-out/--metrics-out flags.
+// and honours HEC_TRACE_OUT / HEC_METRICS_OUT / HEC_PROFILE_OUT
+// environment variables by dumping the hec::obs trace (Chrome JSON),
+// metrics (Prometheus text) and aggregated span-tree profile
+// (hec-profile/v1) collected over the whole run — the bench-side
+// analogue of the CLI's --trace-out/--metrics-out/--profile-out flags.
 //
 // Additionally, every bench registers its experiment via
 // HEC_BENCH_EXPERIMENT(name, kind, paper_ref) as the first statement of

@@ -1,0 +1,112 @@
+// Durable cross-run ledger: one append-only JSONL file remembering
+// every CLI/bench invocation.
+//
+// A trace answers "where did *this* run spend its time"; the ledger
+// answers "is that normal?". Each record carries the run's identity
+// (run id, UTC timestamp, tool, argv), the build that produced it
+// (hec::util::build_info(): git sha, build type, obs on/off), its
+// outcome (exit code, wall seconds, peak RSS) and a small map of key
+// counters (configs swept, shard spawn/steal/retry tallies). Records
+// are single lines framed with an FNV-1a CRC, appended with
+// O_APPEND + fsync — crash-durable like the sweep journal, and a torn
+// final line is detected and skipped on read instead of poisoning the
+// history. `trend()` compares the newest record against the median of
+// its predecessors with the benchkit comparator's noise model, so
+// `hecsim_obsreport` can flag "this run was slower than the last N"
+// without a hand-maintained baseline.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hec/bench/compare.h"
+#include "hec/bench/json.h"
+
+namespace hec::bench::ledger {
+
+inline constexpr std::string_view kSchema = "hec-run-ledger/v1";
+
+/// Environment variable naming the ledger file. When set, the bench
+/// at-exit hook (telemetry.cpp) appends one record per bench process.
+inline constexpr const char* kLedgerEnv = "HEC_LEDGER";
+
+/// Exit code recorded by at-exit hooks that cannot observe the real
+/// process exit status.
+inline constexpr int kExitUnknown = -1;
+
+struct Record {
+  std::string run_id;  ///< caller-chosen; "" when the run minted none
+  std::string ts_utc;  ///< ISO 8601 UTC, e.g. "2026-08-08T12:00:00Z"
+  std::string tool;    ///< "hecsim_cli", "bench_micro_sweep", ...
+  std::vector<std::string> argv;
+
+  // Build provenance (hec::util::build_info()).
+  std::string version;
+  std::string git_sha;
+  std::string build_type;
+  bool obs_enabled = true;
+
+  int exit_code = kExitUnknown;
+  double wall_s = 0.0;
+  double peak_rss_mb = 0.0;
+
+  /// Key counters: protocol-derived tallies (sweep.configs_total,
+  /// shard.spawns, ...) that stay identical under HEC_OBS_DISABLE.
+  std::map<std::string, double> counters;
+};
+
+/// Record pre-filled from the current process: build info, UTC
+/// timestamp, peak RSS so far. Caller fills outcome and counters.
+Record make_record(std::string tool, std::vector<std::string> argv);
+
+/// Current time as ISO 8601 UTC (the ts_utc format).
+std::string utc_now();
+
+json::Value to_json(const Record& record);
+std::optional<Record> record_from_json(const json::Value& v,
+                                       std::string* error = nullptr);
+
+/// Appends one CRC-framed line, creating the file if needed. Durable:
+/// single write(2) under O_APPEND, then fsync. Throws hec::IoError on
+/// any failure.
+void append(const std::string& path, const Record& record);
+
+struct ReadResult {
+  std::vector<Record> records;  ///< valid records, file order (oldest first)
+  std::size_t rejected = 0;     ///< torn/corrupt/foreign-schema lines skipped
+};
+
+/// Reads every intact record. A missing file is an empty ledger, not an
+/// error; unreadable lines are counted in `rejected` and skipped.
+ReadResult read(const std::string& path);
+
+/// One compared quantity in a trend: wall_s, peak_rss_mb or a counter.
+struct TrendDelta {
+  std::string metric;
+  double baseline = 0.0;  ///< median over the baseline window
+  double current = 0.0;
+  telemetry::Outcome outcome = telemetry::Outcome::kWithinNoise;
+};
+
+struct Trend {
+  std::string tool;
+  std::size_t baseline_runs = 0;  ///< predecessors the medians cover
+  std::vector<TrendDelta> deltas;
+  int regressions = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+/// Compares the newest record against the median of up to `window`
+/// earlier records of the same tool, using the benchkit per-kind noise
+/// model (wall/rss tolerances; counters use the count tolerance and
+/// flag drift in either direction). Fewer than one predecessor => an
+/// empty trend (nothing to compare against).
+Trend trend(const std::vector<Record>& records, std::size_t window = 8,
+            const telemetry::CompareOptions& opts = {});
+
+}  // namespace hec::bench::ledger

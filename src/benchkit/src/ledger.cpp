@@ -1,0 +1,264 @@
+#include "hec/bench/ledger.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <utility>
+
+#include "hec/bench/telemetry.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/build_info.h"
+
+namespace hec::bench::ledger {
+
+namespace {
+
+/// Same FNV-1a as the sweep journal (hec/resilience/journal.h). Local
+/// copy: benchkit sits below resilience in the dependency order.
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string crc_hex(std::string_view payload) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  return buf;
+}
+
+double median(std::vector<double> vals) {
+  if (vals.empty()) return 0.0;
+  std::sort(vals.begin(), vals.end());
+  const std::size_t mid = vals.size() / 2;
+  return vals.size() % 2 == 1 ? vals[mid]
+                              : 0.5 * (vals[mid - 1] + vals[mid]);
+}
+
+/// Mirrors the suite comparator's per-metric verdict: flag only beyond
+/// max(rel*|base|, abs); improvements (when direction matters) are
+/// reported, never counted as regressions.
+telemetry::Outcome classify(double baseline, double current,
+                            const telemetry::Tolerance& tol,
+                            bool drift_both_ways) {
+  const double delta = current - baseline;
+  if (std::fabs(delta) <= tol.threshold(baseline)) {
+    return telemetry::Outcome::kWithinNoise;
+  }
+  if (drift_both_ways || delta > 0) return telemetry::Outcome::kRegression;
+  return telemetry::Outcome::kImprovement;
+}
+
+}  // namespace
+
+std::string utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Record make_record(std::string tool, std::vector<std::string> argv) {
+  Record rec;
+  rec.tool = std::move(tool);
+  rec.argv = std::move(argv);
+  rec.ts_utc = utc_now();
+  const util::BuildInfo& build = util::build_info();
+  rec.version = build.version;
+  rec.git_sha = build.git_sha;
+  rec.build_type = build.build_type;
+  rec.obs_enabled = build.obs_enabled;
+  rec.peak_rss_mb = telemetry::peak_rss_mib();
+  return rec;
+}
+
+json::Value to_json(const Record& record) {
+  json::Value v;
+  json::Value& argv = v["argv"];
+  argv.array();
+  for (const std::string& a : record.argv) argv.array().push_back(a);
+  json::Value& build = v["build"];
+  build["build_type"] = record.build_type;
+  build["git_sha"] = record.git_sha;
+  build["obs"] = record.obs_enabled;
+  build["version"] = record.version;
+  json::Value& counters = v["counters"];
+  counters.object();
+  for (const auto& [name, value] : record.counters) counters[name] = value;
+  v["exit_code"] = record.exit_code;
+  v["peak_rss_mb"] = record.peak_rss_mb;
+  v["run_id"] = record.run_id;
+  v["tool"] = record.tool;
+  v["ts_utc"] = record.ts_utc;
+  v["wall_s"] = record.wall_s;
+  return v;
+}
+
+std::optional<Record> record_from_json(const json::Value& v,
+                                       std::string* error) {
+  const auto fail = [error](const char* why) -> std::optional<Record> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!v.is_object()) return fail("record is not an object");
+  const json::Value* tool = v.find("tool");
+  if (tool == nullptr || !tool->is_string()) return fail("missing tool");
+  Record rec;
+  rec.tool = tool->as_string();
+  rec.run_id = v["run_id"].as_string();
+  rec.ts_utc = v["ts_utc"].as_string();
+  if (const json::Value* argv = v.find("argv"); argv && argv->is_array()) {
+    for (const json::Value& a : argv->as_array()) {
+      rec.argv.push_back(a.as_string());
+    }
+  }
+  const json::Value& build = v["build"];
+  rec.version = build["version"].as_string();
+  rec.git_sha = build["git_sha"].as_string();
+  rec.build_type = build["build_type"].as_string();
+  rec.obs_enabled = build["obs"].as_bool(true);
+  rec.exit_code = static_cast<int>(v["exit_code"].as_number(kExitUnknown));
+  rec.wall_s = v["wall_s"].as_number();
+  rec.peak_rss_mb = v["peak_rss_mb"].as_number();
+  if (const json::Value* counters = v.find("counters");
+      counters && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      rec.counters[name] = value.as_number();
+    }
+  }
+  return rec;
+}
+
+void append(const std::string& path, const Record& record) {
+  const std::string payload = to_json(record).dump(/*pretty=*/false);
+  json::Value frame;
+  frame["crc"] = crc_hex(payload);
+  frame["record"] = to_json(record);
+  frame["schema"] = std::string(kSchema);
+  const std::string line = frame.dump(/*pretty=*/false) + "\n";
+
+  // O_APPEND keeps concurrent writers (a bench suite run appends from
+  // every child) line-atomic for writes under PIPE_BUF; fsync makes the
+  // record as durable as the sweep journal's commits.
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw IoError("ledger: open " + path + ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw IoError("ledger: write " + path + ": " + why);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("ledger: fsync " + path + ": " + why);
+  }
+  ::close(fd);
+}
+
+ReadResult read(const std::string& path) {
+  ReadResult result;
+  std::ifstream in(path);
+  if (!in) return result;  // no file yet: an empty ledger
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::optional<json::Value> frame = json::Value::parse(line);
+    if (!frame || !frame->is_object() ||
+        (*frame)["schema"].as_string() != kSchema) {
+      ++result.rejected;
+      continue;
+    }
+    const json::Value* rec = frame->find("record");
+    if (rec == nullptr ||
+        (*frame)["crc"].as_string() != crc_hex(rec->dump(/*pretty=*/false))) {
+      ++result.rejected;
+      continue;
+    }
+    std::optional<Record> parsed = record_from_json(*rec);
+    if (!parsed) {
+      ++result.rejected;
+      continue;
+    }
+    result.records.push_back(std::move(*parsed));
+  }
+  return result;
+}
+
+Trend trend(const std::vector<Record>& records, std::size_t window,
+            const telemetry::CompareOptions& opts) {
+  Trend t;
+  if (records.empty() || window == 0) return t;
+  const Record& current = records.back();
+  t.tool = current.tool;
+
+  // Baseline: the newest `window` predecessors of the *same invocation*
+  // (tool + argv) — comparing a 10-shard sweep against a 2-shard one
+  // would only report that the flags changed.
+  std::vector<const Record*> base;
+  for (std::size_t i = records.size() - 1; i-- > 0;) {
+    const Record& r = records[i];
+    if (r.tool == current.tool && r.argv == current.argv) {
+      base.push_back(&r);
+      if (base.size() == window) break;
+    }
+  }
+  t.baseline_runs = base.size();
+  if (base.empty()) return t;
+
+  const auto add = [&t](std::string metric, double baseline, double cur,
+                        telemetry::Outcome outcome) {
+    if (outcome == telemetry::Outcome::kRegression) ++t.regressions;
+    t.deltas.push_back({std::move(metric), baseline, cur, outcome});
+  };
+
+  std::vector<double> walls, rsses;
+  for (const Record* r : base) {
+    walls.push_back(r->wall_s);
+    rsses.push_back(r->peak_rss_mb);
+  }
+  const double wall_base = median(std::move(walls));
+  add("wall_s", wall_base, current.wall_s,
+      classify(wall_base, current.wall_s, opts.wall, false));
+  const double rss_base = median(std::move(rsses));
+  add("peak_rss_mb", rss_base, current.peak_rss_mb,
+      classify(rss_base, current.peak_rss_mb, opts.rss, false));
+
+  for (const auto& [name, value] : current.counters) {
+    std::vector<double> vals;
+    for (const Record* r : base) {
+      if (const auto it = r->counters.find(name); it != r->counters.end()) {
+        vals.push_back(it->second);
+      }
+    }
+    if (vals.empty()) continue;  // new counter: informational only
+    const double counter_base = median(std::move(vals));
+    add("counter:" + name, counter_base, value,
+        classify(counter_base, value, opts.count, true));
+  }
+  return t;
+}
+
+}  // namespace hec::bench::ledger

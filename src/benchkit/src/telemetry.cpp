@@ -12,9 +12,11 @@
 #include <mutex>
 #include <sstream>
 
+#include "hec/bench/ledger.h"
 #include "hec/obs/metrics.h"
 #include "hec/obs/span.h"
 #include "hec/util/atomic_file.h"
+#include "hec/util/build_info.h"
 
 namespace hec::bench::telemetry {
 
@@ -399,6 +401,16 @@ json::Value make_suite(const std::vector<BenchAggregate>& benches,
   v["git_sha"] = git_sha;
   v["repeat"] = repeat;
   v["created_utc"] = created_utc;
+  // Same build-info block as ledger records and `hecsim_cli
+  // --build-info`: one provenance shape across every surface. The
+  // runner-observed `git_sha` above stays authoritative for baseline
+  // matching; this records what the binaries themselves were built as.
+  const util::BuildInfo& build = util::build_info();
+  json::Value& bv = v["build"];
+  bv["build_type"] = build.build_type;
+  bv["git_sha"] = build.git_sha;
+  bv["obs"] = build.obs_enabled;
+  bv["version"] = build.version;
   json::Value& out = v["benches"];
   out.object();
   for (const BenchAggregate& agg : benches) {
@@ -420,18 +432,42 @@ struct RunRecordFlusher {
       std::chrono::steady_clock::now();
 
   ~RunRecordFlusher() {
-    const char* path = std::getenv(kRunRecordEnv);
-    if (path == nullptr || *path == '\0') return;
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
-    std::ostringstream out;
-    to_json(collect_current_run(wall.count())).write(out);
-    try {
-      // Atomic replace: the runner either reads a complete record or
-      // none (it treats a missing file as "child died before exit").
-      util::atomic_write_file(path, out.str());
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "[bench-telemetry] %s\n", e.what());
+    const char* path = std::getenv(kRunRecordEnv);
+    if (path != nullptr && *path != '\0') {
+      std::ostringstream out;
+      to_json(collect_current_run(wall.count())).write(out);
+      try {
+        // Atomic replace: the runner either reads a complete record or
+        // none (it treats a missing file as "child died before exit").
+        util::atomic_write_file(path, out.str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench-telemetry] %s\n", e.what());
+      }
+    }
+    const char* ledger_path = std::getenv(ledger::kLedgerEnv);
+    if (ledger_path != nullptr && *ledger_path != '\0') {
+      const RunRecord rec = collect_current_run(wall.count());
+      ledger::Record entry =
+          ledger::make_record(rec.experiment, {rec.experiment});
+      entry.wall_s = rec.wall_s;
+      // exit_code stays kExitUnknown: an at-exit hook cannot observe
+      // the status main() is about to return.
+      for (const auto& [name, value] : rec.counters) {
+        // Key tallies only — the full counter set lives in the bench
+        // record; the ledger keeps the sweep/shard protocol counters
+        // that trend comparisons care about.
+        if (name.rfind("sweep.", 0) == 0 || name.rfind("shard.", 0) == 0 ||
+            name == "config.evaluations") {
+          entry.counters[name] = value;
+        }
+      }
+      try {
+        ledger::append(ledger_path, entry);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench-telemetry] %s\n", e.what());
+      }
     }
   }
 };

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hec::obs {
@@ -105,5 +106,11 @@ void write_jsonl(std::ostream& out, const Tracer& tracer,
 /// do not read as complete traces.
 void write_prometheus(std::ostream& out, const MetricsRegistry& metrics,
                       const Tracer* tracer = nullptr);
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline become \\, \" and \n. Anything
+/// writing `name{label="<value>"}` lines must route the value through
+/// this, or a label containing a quote corrupts the whole scrape.
+std::string prometheus_escape_label(std::string_view raw);
 
 }  // namespace hec::obs

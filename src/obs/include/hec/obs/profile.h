@@ -1,0 +1,113 @@
+// ProfileTree: folds the span stream into an aggregated call tree.
+//
+// The tracer records flat per-thread spans (name, start, dur, depth);
+// this aggregator reconstructs the nesting per thread from the depth
+// field and merges identical call paths across threads and processes
+// into one tree node carrying invocation count, total wall time, self
+// wall time (total minus direct children) and the union of sim-time
+// windows attributed to that path. Two exports:
+//
+//   * write_json      — `hec-profile/v1`, deterministic sorted-key JSON
+//                       (children live in std::map, numbers printed with
+//                       fixed formats), parseable by hec/bench/json.h;
+//   * write_collapsed — folded-stack lines "a;b;c <self_us>" for
+//                       flamegraph.pl / speedscope / inferno.
+//
+// Folding is order-independent: spans are sorted by (process, tid,
+// start, depth) before reconstruction, so shuffled delivery — e.g.
+// telemetry sidecars merged in arbitrary completion order — yields a
+// byte-identical profile.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hec::obs {
+
+class Tracer;
+struct ExternalTrace;
+
+/// One span normalised for folding. Unlike SpanEvent the name is owned
+/// (external spans have no string literal to point at) and the process
+/// label is explicit ("" = the local process).
+struct ProfileSpan {
+  std::string process;  ///< "" local; else a track label ("worker shard=0 ...")
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  bool has_sim = false;
+  double sim_begin_s = 0.0;
+  double sim_end_s = 0.0;
+};
+
+/// One aggregated call-tree node. Synthetic frames — process containers
+/// and "(unknown)" stand-ins for parents lost to ring wrap — carry
+/// count 0 and self 0; only measured spans contribute count/self.
+struct ProfileNode {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double child_us = 0.0;  ///< sum of direct children's total_us
+  bool has_sim = false;
+  double sim_begin_s = 0.0;
+  double sim_end_s = 0.0;
+  std::map<std::string, ProfileNode> children;
+
+  /// Wall time spent in this frame itself. Clamped at zero: a parent
+  /// whose children were recorded but whose own close was dropped can
+  /// transiently read total < child.
+  double self_us() const {
+    return total_us > child_us ? total_us - child_us : 0.0;
+  }
+};
+
+class ProfileTree {
+ public:
+  /// Folds a batch of spans into the tree. Order-independent: any
+  /// permutation of the same batch produces the same tree. Spans whose
+  /// parent frames are missing (ring wrap ate them) nest under
+  /// "(unknown)" stand-in frames rather than being misattributed.
+  void add(std::vector<ProfileSpan> spans);
+
+  /// Folds a snapshot of a live tracer (the local process).
+  void add(const Tracer& tracer);
+
+  /// Folds every track of a merged external trace; each track's spans
+  /// nest under a synthetic root frame named after the track label
+  /// (superseded attempts get the same " [superseded]" suffix as the
+  /// Chrome trace exporter).
+  void add(const ExternalTrace& external);
+
+  bool empty() const { return roots_.empty(); }
+  const std::map<std::string, ProfileNode>& roots() const { return roots_; }
+
+  /// Sum of root totals: all attributed wall time.
+  double total_us() const;
+
+  /// Pre-order flattening, paths joined with ';'. Deterministic
+  /// (lexicographic at every level).
+  struct Row {
+    std::string path;
+    std::uint32_t depth = 0;
+    const ProfileNode* node = nullptr;
+  };
+  std::vector<Row> rows() const;
+
+  /// `hec-profile/v1` JSON document. Byte-deterministic for a given
+  /// tree: keys sorted, numbers in fixed formats.
+  void write_json(std::ostream& out) const;
+
+  /// Collapsed folded-stack lines: "root;child;leaf <self_us>", one per
+  /// frame with non-zero self time, integer microseconds as the sample
+  /// weight. Feed straight to flamegraph.pl.
+  void write_collapsed(std::ostream& out) const;
+
+ private:
+  std::map<std::string, ProfileNode> roots_;
+};
+
+}  // namespace hec::obs

@@ -10,57 +10,15 @@
 
 #include "hec/obs/metrics.h"
 #include "hec/obs/span.h"
+#include "json_text.h"
 
 namespace hec::obs {
 
+using internal::json_escape;
+using internal::json_micros;
+using internal::json_number;
+
 namespace {
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// JSON has no NaN/Inf literals; exporters only call this with finite
-/// values but a defensive null keeps the output parseable regardless.
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string json_micros(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
 
 /// Prometheus values, unlike JSON, have NaN/Inf spellings.
 std::string prom_number(double v) {
@@ -90,6 +48,27 @@ void write_span_args(std::ostream& out, const SpanEvent& ev) {
 }
 
 }  // namespace
+
+std::string prometheus_escape_label(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 namespace {
 
@@ -254,7 +233,10 @@ void write_prometheus(std::ostream& out, const MetricsRegistry& metrics,
     out << pname << "_count " << h.count << "\n";
     // Estimated quantiles as sibling gauges: a histogram and a summary
     // cannot legally share one metric name, so the quantiles get their
-    // own _pNN names instead of {quantile=...} labels.
+    // own _pNN names instead of {quantile=...} labels. Skipped entirely
+    // for empty histograms — quantile() is NaN with no samples, and a
+    // NaN gauge poisons scrapers that treat the dump as numbers.
+    if (h.count == 0) continue;
     for (const auto& [suffix, q] :
          {std::pair<const char*, double>{"_p50", 0.50},
           {"_p95", 0.95},
@@ -267,8 +249,9 @@ void write_prometheus(std::ostream& out, const MetricsRegistry& metrics,
     out << "# TYPE hec_obs_spans_dropped_total counter\n";
     out << "hec_obs_spans_dropped_total " << tracer->dropped() << "\n";
     for (const auto& t : tracer->thread_drop_stats()) {
-      out << "hec_obs_spans_dropped{tid=\"" << t.tid << "\"} " << t.dropped
-          << "\n";
+      out << "hec_obs_spans_dropped{tid=\""
+          << prometheus_escape_label(std::to_string(t.tid)) << "\"} "
+          << t.dropped << "\n";
     }
   }
 }

@@ -1,0 +1,63 @@
+// Internal JSON text helpers shared by the obs exporters (export.cpp,
+// profile.cpp). Not installed: hec::obs sits below hec::benchkit in the
+// dependency order, so it hand-rolls its JSON instead of using
+// hec/bench/json.h — these helpers keep the hand-rolling in one place.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hec::obs::internal {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; exporters only call this with finite
+/// values but a defensive null keeps the output parseable regardless.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Microsecond timestamps: fixed %.3f so values are stable under
+/// accumulation order and the trace stays byte-deterministic.
+inline std::string json_micros(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace hec::obs::internal

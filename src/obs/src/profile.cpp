@@ -1,0 +1,203 @@
+#include "hec/obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <tuple>
+#include <utility>
+
+#include "hec/obs/export.h"
+#include "hec/obs/span.h"
+#include "json_text.h"
+
+namespace hec::obs {
+
+namespace {
+
+/// Stand-in frame for spans whose parents were lost to ring wrap: a
+/// depth-3 span with no surviving depth-2 parent nests under this
+/// instead of being misattributed to an unrelated sibling.
+constexpr const char* kUnknownFrame = "(unknown)";
+
+void merge_sim_window(ProfileNode& n, const ProfileSpan& s) {
+  if (!s.has_sim) return;
+  if (!n.has_sim) {
+    n.has_sim = true;
+    n.sim_begin_s = s.sim_begin_s;
+    n.sim_end_s = s.sim_end_s;
+  } else {
+    n.sim_begin_s = std::min(n.sim_begin_s, s.sim_begin_s);
+    n.sim_end_s = std::max(n.sim_end_s, s.sim_end_s);
+  }
+}
+
+}  // namespace
+
+void ProfileTree::add(std::vector<ProfileSpan> spans) {
+  // Total order over every field that matters: after this sort any
+  // delivery permutation of the same batch folds identically.
+  std::sort(spans.begin(), spans.end(),
+            [](const ProfileSpan& a, const ProfileSpan& b) {
+              return std::tie(a.process, a.tid, a.start_us, a.depth, a.name,
+                              a.dur_us) < std::tie(b.process, b.tid, b.start_us,
+                                                   b.depth, b.name, b.dur_us);
+            });
+
+  // One reconstruction stack per (process, tid) group. stack[i] is the
+  // open frame at depth i (plus a leading process-container frame for
+  // external groups). std::map node references are stable under
+  // insertion, so raw pointers survive sibling lookups.
+  std::vector<ProfileNode*> stack;
+  std::size_t container_frames = 0;
+  const ProfileSpan* group = nullptr;
+
+  const auto lookup = [this, &stack](const std::string& name) -> ProfileNode& {
+    auto& siblings = stack.empty() ? roots_ : stack.back()->children;
+    return siblings[name];
+  };
+
+  for (const ProfileSpan& s : spans) {
+    if (group == nullptr || group->process != s.process ||
+        group->tid != s.tid) {
+      group = &s;
+      stack.clear();
+      container_frames = 0;
+      if (!s.process.empty()) {
+        stack.push_back(&roots_[s.process]);
+        container_frames = 1;
+      }
+    }
+    const std::size_t target = container_frames + s.depth;
+    while (stack.size() > target) stack.pop_back();
+    while (stack.size() < target) stack.push_back(&lookup(kUnknownFrame));
+
+    ProfileNode& node = lookup(s.name);
+    node.count += 1;
+    node.total_us += s.dur_us;
+    merge_sim_window(node, s);
+    if (!stack.empty()) {
+      stack.back()->child_us += s.dur_us;
+      // The process container is synthetic: it has no measured span of
+      // its own, so its total is defined as the sum of its top-level
+      // children (keeping self at zero and total_us() exact).
+      if (stack.size() == container_frames) stack.back()->total_us += s.dur_us;
+    }
+    stack.push_back(&node);
+  }
+}
+
+void ProfileTree::add(const Tracer& tracer) {
+  std::vector<ProfileSpan> spans;
+  for (const SpanEvent& ev : tracer.snapshot()) {
+    ProfileSpan s;
+    s.tid = ev.tid;
+    s.depth = ev.depth;
+    s.name = ev.name != nullptr ? ev.name : "";
+    s.start_us = ev.start_us;
+    s.dur_us = ev.dur_us;
+    if (ev.has_sim_window()) {
+      s.has_sim = true;
+      s.sim_begin_s = ev.sim_begin_s;
+      s.sim_end_s = ev.sim_end_s;
+    }
+    spans.push_back(std::move(s));
+  }
+  add(std::move(spans));
+}
+
+void ProfileTree::add(const ExternalTrace& external) {
+  std::vector<ProfileSpan> spans;
+  for (const ExternalTrack& track : external.tracks) {
+    std::string label = track.label;
+    if (track.superseded) label += " [superseded]";
+    for (const ExternalSpan& ev : track.spans) {
+      ProfileSpan s;
+      s.process = label;
+      s.tid = ev.tid;
+      s.depth = ev.depth;
+      s.name = ev.name;
+      s.start_us = ev.start_us;
+      s.dur_us = ev.dur_us;
+      if (ev.has_sim_window()) {
+        s.has_sim = true;
+        s.sim_begin_s = ev.sim_begin_s;
+        s.sim_end_s = ev.sim_end_s;
+      }
+      spans.push_back(std::move(s));
+    }
+  }
+  add(std::move(spans));
+}
+
+double ProfileTree::total_us() const {
+  double total = 0.0;
+  for (const auto& [name, node] : roots_) total += node.total_us;
+  return total;
+}
+
+namespace {
+
+void flatten(const std::map<std::string, ProfileNode>& siblings,
+             const std::string& prefix, std::uint32_t depth,
+             std::vector<ProfileTree::Row>& out) {
+  for (const auto& [name, node] : siblings) {
+    std::string path = prefix.empty() ? name : prefix + ";" + name;
+    out.push_back({path, depth, &node});
+    flatten(node.children, path, depth + 1, out);
+  }
+}
+
+void write_node_json(std::ostream& out, const ProfileNode& node) {
+  using internal::json_micros;
+  using internal::json_number;
+  out << "{\"count\":" << node.count
+      << ",\"self_us\":" << json_micros(node.self_us())
+      << ",\"total_us\":" << json_micros(node.total_us);
+  if (node.has_sim) {
+    out << ",\"sim_begin_s\":" << json_number(node.sim_begin_s)
+        << ",\"sim_end_s\":" << json_number(node.sim_end_s);
+  }
+  if (!node.children.empty()) {
+    out << ",\"children\":{";
+    bool first = true;
+    for (const auto& [name, child] : node.children) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << internal::json_escape(name) << "\":";
+      write_node_json(out, child);
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::vector<ProfileTree::Row> ProfileTree::rows() const {
+  std::vector<Row> out;
+  flatten(roots_, "", 0, out);
+  return out;
+}
+
+void ProfileTree::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"hec-profile/v1\",\"total_us\":"
+      << internal::json_micros(total_us()) << ",\"tree\":{";
+  bool first = true;
+  for (const auto& [name, node] : roots_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << internal::json_escape(name) << "\":";
+    write_node_json(out, node);
+  }
+  out << "}}\n";
+}
+
+void ProfileTree::write_collapsed(std::ostream& out) const {
+  for (const Row& row : rows()) {
+    const long long weight = std::llround(row.node->self_us());
+    if (weight <= 0) continue;
+    out << row.path << " " << weight << "\n";
+  }
+}
+
+}  // namespace hec::obs

@@ -1,0 +1,76 @@
+// Critical path of a sharded sweep: which chain of work set the wall?
+//
+// The coordinator's decision markers (`shard.spawn` / `shard.done` /
+// `shard.steal` / `shard.reassign` / `shard.retry` / ...) plus the
+// `shard.coordinator` span window are enough to reconstruct the longest
+// dependency chain of a run: plan/queue lead-in, then the attempt
+// history of the *gating* shard (the one whose result arrived last —
+// every other shard overlapped it), then the merge/finish tail. The
+// segments tile the coordinator window exactly, so their sum equals the
+// coordinator wall time by construction; that identity is the report's
+// sanity check (and CI asserts it within 5% against the measured wall).
+//
+// Two entry points: one over in-memory instants (what a just-finished
+// `ShardedSweepResult.trace` carries), one over a parsed `--trace-out`
+// Chrome trace file (what `hecsim_obsreport` reads after the fact).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hec/bench/json.h"
+#include "hec/obs/export.h"
+
+namespace hec::shard {
+
+enum class SegmentKind {
+  kLeadIn,      ///< coordinator plan + queue wait before the first spawn
+  kAttemptRun,  ///< a gating-shard attempt that produced the result
+  kWastedRun,   ///< a gating-shard attempt later stolen/retried/killed
+  kBackoff,     ///< gap between a failed attempt and its respawn
+  kTail,        ///< ingest + merge + finish after the gating done
+};
+
+const char* to_string(SegmentKind kind);
+
+struct PathSegment {
+  SegmentKind kind = SegmentKind::kLeadIn;
+  std::string label;  ///< human rendering, e.g. "shard 3 attempt 7 run"
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  std::size_t shard = std::numeric_limits<std::size_t>::max();
+  std::uint64_t attempt = 0;
+  double dur_us() const { return end_us - begin_us; }
+};
+
+struct CriticalPath {
+  std::vector<PathSegment> segments;
+  double begin_us = 0.0;  ///< coordinator window start
+  double end_us = 0.0;    ///< coordinator window end
+  std::size_t gating_shard = std::numeric_limits<std::size_t>::max();
+  bool gating_done = false;  ///< the gating shard reached shard.done
+
+  double wall_us() const { return end_us - begin_us; }
+  double total_us() const;  ///< sum of segment durations (== wall_us)
+  bool empty() const { return segments.empty(); }
+};
+
+/// Builds the critical path from coordinator decision markers over the
+/// window [begin_us, end_us] (the `shard.coordinator` span). Returns an
+/// empty path when no shard events are present (non-sharded run, or
+/// obs disabled).
+CriticalPath critical_path(const std::vector<obs::InstantEvent>& instants,
+                           double begin_us, double end_us);
+
+/// Extracts the decision markers and coordinator window from a parsed
+/// `--trace-out` Chrome trace and delegates to critical_path(). Returns
+/// nullopt (with a reason in *why) when the trace carries no sharded
+/// run; falls back to the instants' own extent when the coordinator
+/// span itself was dropped.
+std::optional<CriticalPath> critical_path_from_chrome_trace(
+    const bench::json::Value& trace, std::string* why = nullptr);
+
+}  // namespace hec::shard

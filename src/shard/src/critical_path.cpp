@@ -1,0 +1,237 @@
+#include "hec/shard/critical_path.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace hec::shard {
+
+namespace {
+
+enum class EventKind { kSpawn, kDone, kSteal, kReassign, kRetry, kFailed };
+
+struct ShardEvent {
+  EventKind kind = EventKind::kSpawn;
+  double ts_us = 0.0;
+  std::size_t shard = 0;
+  std::uint64_t attempt = 0;
+};
+
+std::optional<std::uint64_t> parse_field(const std::string& detail,
+                                         const char* key) {
+  const std::size_t pos = detail.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = detail.c_str() + pos + std::strlen(key);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(start, &end, 10);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+std::optional<EventKind> classify(const std::string& name) {
+  if (name == "shard.spawn") return EventKind::kSpawn;
+  if (name == "shard.done") return EventKind::kDone;
+  if (name == "shard.steal") return EventKind::kSteal;
+  if (name == "shard.reassign") return EventKind::kReassign;
+  if (name == "shard.retry") return EventKind::kRetry;
+  if (name == "shard.failed") return EventKind::kFailed;
+  return std::nullopt;  // shard.deadline etc: no per-shard chain edge
+}
+
+const char* cause_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSteal:
+      return "stolen";
+    case EventKind::kReassign:
+      return "reassigned";
+    case EventKind::kRetry:
+      return "retried";
+    case EventKind::kFailed:
+      return "failed";
+    default:
+      return "ended";
+  }
+}
+
+std::string shard_attempt_label(std::size_t shard, std::uint64_t attempt) {
+  return "shard " + std::to_string(shard) + " attempt " +
+         std::to_string(attempt);
+}
+
+}  // namespace
+
+const char* to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kLeadIn:
+      return "lead-in";
+    case SegmentKind::kAttemptRun:
+      return "run";
+    case SegmentKind::kWastedRun:
+      return "wasted-run";
+    case SegmentKind::kBackoff:
+      return "backoff";
+    case SegmentKind::kTail:
+      return "tail";
+  }
+  return "unknown";
+}
+
+double CriticalPath::total_us() const {
+  double total = 0.0;
+  for (const PathSegment& s : segments) total += s.dur_us();
+  return total;
+}
+
+CriticalPath critical_path(const std::vector<obs::InstantEvent>& instants,
+                           double begin_us, double end_us) {
+  CriticalPath path;
+  path.begin_us = begin_us;
+  path.end_us = end_us;
+
+  std::vector<ShardEvent> events;
+  for (const obs::InstantEvent& ev : instants) {
+    const std::optional<EventKind> kind = classify(ev.name);
+    if (!kind) continue;
+    const std::optional<std::uint64_t> shard = parse_field(ev.detail, "shard=");
+    if (!shard) continue;
+    ShardEvent e;
+    e.kind = *kind;
+    e.ts_us = std::clamp(ev.ts_us, begin_us, end_us);
+    e.shard = static_cast<std::size_t>(*shard);
+    e.attempt = parse_field(ev.detail, "attempt=").value_or(0);
+    events.push_back(e);
+  }
+  if (events.empty()) return path;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ShardEvent& a, const ShardEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  // The gating shard: the one whose result landed last. Every other
+  // shard's chain finished under it, so this shard's attempt history is
+  // the critical path. Runs that never completed (deadline, exhausted
+  // retries) gate on whichever shard was active last instead.
+  const ShardEvent* gate = nullptr;
+  for (const ShardEvent& e : events) {
+    if (e.kind == EventKind::kDone) gate = &e;
+  }
+  if (gate != nullptr) {
+    path.gating_done = true;
+  } else {
+    gate = &events.back();
+  }
+  path.gating_shard = gate->shard;
+
+  std::vector<ShardEvent> chain;
+  for (const ShardEvent& e : events) {
+    if (e.shard == path.gating_shard) chain.push_back(e);
+  }
+
+  const auto emit = [&path](SegmentKind kind, std::string label, double b,
+                            double e, std::size_t shard = SIZE_MAX,
+                            std::uint64_t attempt = 0) {
+    if (e <= b) return;  // zero-length edges keep the tiling sum exact
+    path.segments.push_back({kind, std::move(label), b, e, shard, attempt});
+  };
+
+  // Segments tile [begin_us, end_us]: lead-in, then the gating shard's
+  // alternating run/backoff chain, then the merge tail. `cursor` is the
+  // end of the last emitted segment, so sum(dur) == wall by induction.
+  double cursor = begin_us;
+  emit(SegmentKind::kLeadIn, "coordinator plan + queue", cursor,
+       chain.front().ts_us);
+  cursor = chain.front().ts_us;
+
+  bool open = false;
+  double attempt_start = cursor;
+  std::uint64_t attempt = 0;
+  for (const ShardEvent& e : chain) {
+    switch (e.kind) {
+      case EventKind::kSpawn:
+        emit(SegmentKind::kBackoff, "backoff / requeue wait", cursor, e.ts_us,
+             path.gating_shard);
+        open = true;
+        attempt = e.attempt;
+        attempt_start = e.ts_us;
+        cursor = e.ts_us;
+        break;
+      case EventKind::kDone:
+        emit(SegmentKind::kAttemptRun,
+             shard_attempt_label(path.gating_shard, open ? attempt : e.attempt) +
+                 " run",
+             open ? attempt_start : cursor, e.ts_us, path.gating_shard,
+             open ? attempt : e.attempt);
+        open = false;
+        cursor = e.ts_us;
+        break;
+      case EventKind::kSteal:
+      case EventKind::kReassign:
+      case EventKind::kRetry:
+      case EventKind::kFailed:
+        emit(SegmentKind::kWastedRun,
+             shard_attempt_label(path.gating_shard, open ? attempt : e.attempt) +
+                 " run (" + cause_of(e.kind) + ")",
+             open ? attempt_start : cursor, e.ts_us, path.gating_shard,
+             open ? attempt : e.attempt);
+        open = false;
+        cursor = e.ts_us;
+        break;
+    }
+  }
+  if (open) {
+    // Attempt still in flight at window end: killed by the deadline or
+    // the final kill_all(). Its segment runs to the edge; no tail.
+    emit(SegmentKind::kWastedRun,
+         shard_attempt_label(path.gating_shard, attempt) + " run (aborted)",
+         attempt_start, end_us, path.gating_shard, attempt);
+  } else {
+    emit(SegmentKind::kTail, "telemetry ingest + merge + finish", cursor,
+         end_us);
+  }
+  return path;
+}
+
+std::optional<CriticalPath> critical_path_from_chrome_trace(
+    const bench::json::Value& trace, std::string* why) {
+  const auto fail = [why](const char* reason) -> std::optional<CriticalPath> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  const bench::json::Value* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("not a Chrome trace (no traceEvents array)");
+  }
+
+  std::vector<obs::InstantEvent> instants;
+  double begin_us = 0.0;
+  double end_us = -1.0;
+  for (const bench::json::Value& ev : events->as_array()) {
+    const std::string& ph = ev["ph"].as_string();
+    const std::string& name = ev["name"].as_string();
+    if (ph == "X" && name == "shard.coordinator") {
+      begin_us = ev["ts"].as_number();
+      end_us = begin_us + ev["dur"].as_number();
+    } else if (ph == "i" && name.rfind("shard.", 0) == 0) {
+      instants.push_back(
+          {name, ev["ts"].as_number(), ev["args"]["detail"].as_string()});
+    }
+  }
+  if (instants.empty()) {
+    return fail(
+        "trace has no shard decision markers (not a sharded run, or obs "
+        "was disabled)");
+  }
+  if (end_us < begin_us) {
+    // Coordinator span lost (ring wrap): fall back to the markers' own
+    // extent — lead-in and tail read as zero, the chain itself survives.
+    begin_us = instants.front().ts_us;
+    end_us = instants.front().ts_us;
+    for (const obs::InstantEvent& ev : instants) {
+      begin_us = std::min(begin_us, ev.ts_us);
+      end_us = std::max(end_us, ev.ts_us);
+    }
+  }
+  return critical_path(instants, begin_us, end_us);
+}
+
+}  // namespace hec::shard

@@ -1,0 +1,27 @@
+// Build provenance: one struct answering "which binary produced this?".
+//
+// The git sha and build type are baked in at configure time (see the
+// top-level CMakeLists); the obs flag reflects HEC_OBS_DISABLE as seen
+// by this library. Every provenance surface — `hecsim_cli --version`,
+// run-ledger records, bench suite documents — reads the same struct so
+// they can never disagree.
+#pragma once
+
+#include <string>
+
+namespace hec::util {
+
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git_sha;     ///< short sha at configure time, or "unknown"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE ("Release", "Debug", ...)
+  bool obs_enabled = true;  ///< false when built with HEC_OBS_DISABLE
+};
+
+/// The process's build info (values fixed at compile time).
+const BuildInfo& build_info();
+
+/// One-line human rendering: "1.0.0 (git abc123def456, Release, obs on)".
+std::string describe(const BuildInfo& info);
+
+}  // namespace hec::util

@@ -1,0 +1,32 @@
+#include "hec/util/build_info.h"
+
+#ifndef HEC_GIT_SHA
+#define HEC_GIT_SHA "unknown"
+#endif
+#ifndef HEC_BUILD_TYPE
+#define HEC_BUILD_TYPE "unknown"
+#endif
+#ifndef HEC_VERSION
+#define HEC_VERSION "0.0.0"
+#endif
+
+namespace hec::util {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      HEC_VERSION, HEC_GIT_SHA, HEC_BUILD_TYPE,
+#ifdef HEC_OBS_DISABLE
+      false,
+#else
+      true,
+#endif
+  };
+  return info;
+}
+
+std::string describe(const BuildInfo& info) {
+  return info.version + " (git " + info.git_sha + ", " + info.build_type +
+         ", obs " + (info.obs_enabled ? "on" : "off") + ")";
+}
+
+}  // namespace hec::util

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -172,6 +173,82 @@ TEST(CliExitCodes, OtherErrorsAreOne) {
 
 TEST(CliExitCodes, HelpIsZero) {
   EXPECT_EQ(run_cli("--help"), 0);
+}
+
+TEST(CliExitCodes, VersionAndBuildInfoAreZero) {
+  EXPECT_EQ(run_cli("--version"), 0);
+  EXPECT_EQ(run_cli("--build-info"), 0);
+}
+
+TEST(CliExitCodes, VersionPrintsBuildProvenance) {
+  const std::string out_path = ::testing::TempDir() + "cli_version_out.txt";
+  const std::string cmd = std::string(HECSIM_CLI_PATH) + " --version > " +
+                          out_path + " 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::ifstream in(out_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("hecsim_cli"), std::string::npos) << text;
+  EXPECT_NE(text.find("git "), std::string::npos) << text;
+  EXPECT_NE(text.find("obs "), std::string::npos) << text;
+}
+
+TEST(CliExitCodes, ProfileOutWritesBothFormats) {
+  const std::string json = ::testing::TempDir() + "cli_profile.json";
+  const std::string folded = ::testing::TempDir() + "cli_profile.folded";
+  std::remove(json.c_str());
+  std::remove(folded.c_str());
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 2 --max-amd 2 --profile-out=" + json),
+            0);
+  EXPECT_EQ(
+      run_cli("EP 10000 --max-arm 2 --max-amd 2 --profile-out=" + folded), 0);
+
+  std::ifstream json_in(json);
+  ASSERT_TRUE(json_in.good()) << json;
+  std::string json_text((std::istreambuf_iterator<char>(json_in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(json_text.find("\"schema\":\"hec-profile/v1\""),
+            std::string::npos);
+  std::ifstream folded_in(folded);
+  ASSERT_TRUE(folded_in.good()) << folded;
+#ifndef HEC_OBS_DISABLE
+  EXPECT_NE(json_text.find("cli.evaluate"), std::string::npos);
+#endif
+}
+
+TEST(CliExitCodes, UnwritableProfileFileIsIoError) {
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 1 --max-amd 1 "
+                    "--profile-out=/no/such/dir/p.json"),
+            74);
+}
+
+TEST(CliExitCodes, LedgerRecordsEveryInvocationWithItsExitCode) {
+  const std::string ledger = ::testing::TempDir() + "cli_ledger.jsonl";
+  std::remove(ledger.c_str());
+  // Success, infeasible and usage-error runs must all land one record
+  // each, carrying the real process exit code — the ledger is the
+  // cross-run memory, so error runs matter as much as clean ones.
+  EXPECT_EQ(run_cli("EP 10000 --max-arm 2 --max-amd 2 --ledger " + ledger),
+            0);
+  EXPECT_EQ(run_cli("EP 0.001 --max-arm 1 --max-amd 1 --ledger " + ledger),
+            2);
+
+  std::ifstream in(ledger);
+  ASSERT_TRUE(in.good()) << ledger;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"schema\":\"hec-run-ledger/v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"exit_code\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"tool\":\"hecsim_cli\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"git_sha\""), std::string::npos);
+  // Protocol-derived counters survive even under HEC_OBS_DISABLE.
+  EXPECT_NE(lines[0].find("sweep.configs_visited"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"exit_code\":2"), std::string::npos);
 }
 
 /// Like run_cli but with an environment assignment prefixed (the

@@ -1,0 +1,217 @@
+// Critical path of a sharded sweep, reconstructed from the
+// coordinator's decision markers.
+//
+// The invariant every test leans on: the emitted segments tile the
+// coordinator window exactly, so sum(segment durations) == wall. That
+// identity is what makes the obsreport attribution trustworthy — a
+// chain that under- or over-counts would silently misattribute time.
+#include "hec/shard/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hec/bench/json.h"
+#include "hec/obs/export.h"
+
+namespace {
+
+using hec::obs::InstantEvent;
+using hec::shard::CriticalPath;
+using hec::shard::PathSegment;
+using hec::shard::SegmentKind;
+
+InstantEvent marker(std::string name, double ts_us, std::string detail) {
+  return {std::move(name), ts_us, std::move(detail)};
+}
+
+void expect_tiles_window(const CriticalPath& path) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_DOUBLE_EQ(path.total_us(), path.wall_us());
+  EXPECT_DOUBLE_EQ(path.segments.front().begin_us, path.begin_us);
+  EXPECT_DOUBLE_EQ(path.segments.back().end_us, path.end_us);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(path.segments[i].begin_us,
+                     path.segments[i - 1].end_us);
+  }
+}
+
+TEST(CriticalPath, SingleCleanAttempt) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", 10.0, "shard=0 attempt=1 pid=100 slice=[0,50)"),
+      marker("shard.done", 60.0, "shard=0 attempt=1"),
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 100.0);
+
+  expect_tiles_window(path);
+  EXPECT_EQ(path.gating_shard, 0u);
+  EXPECT_TRUE(path.gating_done);
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[0].kind, SegmentKind::kLeadIn);
+  EXPECT_DOUBLE_EQ(path.segments[0].dur_us(), 10.0);
+  EXPECT_EQ(path.segments[1].kind, SegmentKind::kAttemptRun);
+  EXPECT_EQ(path.segments[1].label, "shard 0 attempt 1 run");
+  EXPECT_DOUBLE_EQ(path.segments[1].dur_us(), 50.0);
+  EXPECT_EQ(path.segments[1].attempt, 1u);
+  EXPECT_EQ(path.segments[2].kind, SegmentKind::kTail);
+  EXPECT_DOUBLE_EQ(path.segments[2].dur_us(), 40.0);
+}
+
+TEST(CriticalPath, GatesOnTheLastShardToFinish) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", 5.0, "shard=0 attempt=1 pid=1 slice=[0,10)"),
+      marker("shard.spawn", 5.0, "shard=1 attempt=2 pid=2 slice=[10,20)"),
+      marker("shard.done", 40.0, "shard=0 attempt=1"),
+      marker("shard.done", 90.0, "shard=1 attempt=2"),
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 100.0);
+
+  expect_tiles_window(path);
+  // Shard 0 finished under shard 1's run; only shard 1's chain gates.
+  EXPECT_EQ(path.gating_shard, 1u);
+  for (const PathSegment& seg : path.segments) {
+    if (seg.kind == SegmentKind::kAttemptRun) {
+      EXPECT_EQ(seg.shard, 1u);
+      EXPECT_DOUBLE_EQ(seg.dur_us(), 85.0);
+    }
+  }
+}
+
+TEST(CriticalPath, RetryChainShowsWasteAndBackoff) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", 10.0, "shard=2 attempt=1 pid=5 slice=[0,99)"),
+      marker("shard.retry", 30.0, "shard=2 attempt=1 cause=no-result"),
+      marker("shard.spawn", 45.0, "shard=2 attempt=2 pid=6 slice=[0,99)"),
+      marker("shard.done", 80.0, "shard=2 attempt=2"),
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 100.0);
+
+  expect_tiles_window(path);
+  ASSERT_EQ(path.segments.size(), 5u);
+  EXPECT_EQ(path.segments[0].kind, SegmentKind::kLeadIn);
+  EXPECT_EQ(path.segments[1].kind, SegmentKind::kWastedRun);
+  EXPECT_EQ(path.segments[1].label, "shard 2 attempt 1 run (retried)");
+  EXPECT_DOUBLE_EQ(path.segments[1].dur_us(), 20.0);
+  EXPECT_EQ(path.segments[2].kind, SegmentKind::kBackoff);
+  EXPECT_DOUBLE_EQ(path.segments[2].dur_us(), 15.0);
+  EXPECT_EQ(path.segments[3].kind, SegmentKind::kAttemptRun);
+  EXPECT_EQ(path.segments[3].label, "shard 2 attempt 2 run");
+  EXPECT_EQ(path.segments[4].kind, SegmentKind::kTail);
+}
+
+TEST(CriticalPath, StolenAttemptIsWasted) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", 10.0, "shard=1 attempt=1 pid=5 slice=[0,9)"),
+      marker("shard.steal", 50.0, "shard=1 attempt=1 idle_s=0.5"),
+      marker("shard.spawn", 50.0, "shard=1 attempt=2 pid=6 slice=[0,9)"),
+      marker("shard.done", 70.0, "shard=1 attempt=2"),
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 80.0);
+
+  expect_tiles_window(path);
+  bool saw_stolen = false;
+  for (const PathSegment& seg : path.segments) {
+    if (seg.kind == SegmentKind::kWastedRun) {
+      EXPECT_EQ(seg.label, "shard 1 attempt 1 run (stolen)");
+      saw_stolen = true;
+    }
+  }
+  EXPECT_TRUE(saw_stolen);
+}
+
+TEST(CriticalPath, RunThatNeverFinishedGatesOnLastActivity) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", 10.0, "shard=3 attempt=1 pid=9 slice=[0,9)"),
+      marker("shard.deadline", 95.0, "budget exhausted"),  // no shard=: skipped
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 100.0);
+
+  expect_tiles_window(path);
+  EXPECT_FALSE(path.gating_done);
+  EXPECT_EQ(path.gating_shard, 3u);
+  // The in-flight attempt runs to the window edge; there is no tail.
+  const PathSegment& last = path.segments.back();
+  EXPECT_EQ(last.kind, SegmentKind::kWastedRun);
+  EXPECT_EQ(last.label, "shard 3 attempt 1 run (aborted)");
+  EXPECT_DOUBLE_EQ(last.end_us, 100.0);
+}
+
+TEST(CriticalPath, NoShardMarkersYieldsEmptyPath) {
+  EXPECT_TRUE(hec::shard::critical_path({}, 0.0, 100.0).empty());
+  const std::vector<InstantEvent> unrelated = {
+      marker("journal.checkpoint", 5.0, "seq=1")};
+  EXPECT_TRUE(hec::shard::critical_path(unrelated, 0.0, 100.0).empty());
+}
+
+TEST(CriticalPath, EventsOutsideTheWindowAreClamped) {
+  const std::vector<InstantEvent> instants = {
+      marker("shard.spawn", -5.0, "shard=0 attempt=1 pid=1 slice=[0,9)"),
+      marker("shard.done", 120.0, "shard=0 attempt=1"),
+  };
+  const CriticalPath path = hec::shard::critical_path(instants, 0.0, 100.0);
+  expect_tiles_window(path);
+  EXPECT_DOUBLE_EQ(path.segments.front().begin_us, 0.0);
+  EXPECT_DOUBLE_EQ(path.segments.back().end_us, 100.0);
+}
+
+hec::bench::json::Value parse_or_die(const std::string& text) {
+  std::string error;
+  auto v = hec::bench::json::Value::parse(text, &error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return std::move(*v);
+}
+
+TEST(CriticalPathChromeTrace, ExtractsWindowAndMarkers) {
+  const std::string trace = R"json({"traceEvents":[
+    {"name":"shard.coordinator","ph":"X","ts":100.0,"dur":900.0,"pid":1,"tid":1},
+    {"name":"shard.spawn","ph":"i","ts":150.0,"pid":1,"tid":1000000,
+     "args":{"detail":"shard=0 attempt=1 pid=77 slice=[0,9)"}},
+    {"name":"shard.done","ph":"i","ts":700.0,"pid":1,"tid":1000000,
+     "args":{"detail":"shard=0 attempt=1"}},
+    {"name":"sweep.frontier","ph":"X","ts":200.0,"dur":50.0,"pid":1,"tid":2}
+  ]})json";
+  std::string why;
+  const auto path =
+      hec::shard::critical_path_from_chrome_trace(parse_or_die(trace), &why);
+  ASSERT_TRUE(path.has_value()) << why;
+  expect_tiles_window(*path);
+  EXPECT_DOUBLE_EQ(path->begin_us, 100.0);
+  EXPECT_DOUBLE_EQ(path->end_us, 1000.0);
+  EXPECT_EQ(path->gating_shard, 0u);
+  EXPECT_TRUE(path->gating_done);
+}
+
+TEST(CriticalPathChromeTrace, FallsBackToMarkerExtentWithoutCoordinator) {
+  const std::string trace = R"json({"traceEvents":[
+    {"name":"shard.spawn","ph":"i","ts":10.0,"pid":1,"tid":1000000,
+     "args":{"detail":"shard=0 attempt=1 pid=77 slice=[0,9)"}},
+    {"name":"shard.done","ph":"i","ts":90.0,"pid":1,"tid":1000000,
+     "args":{"detail":"shard=0 attempt=1"}}
+  ]})json";
+  const auto path =
+      hec::shard::critical_path_from_chrome_trace(parse_or_die(trace));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->begin_us, 10.0);
+  EXPECT_DOUBLE_EQ(path->end_us, 90.0);
+  expect_tiles_window(*path);
+}
+
+TEST(CriticalPathChromeTrace, NonShardedTraceExplainsItself) {
+  const std::string trace = R"json({"traceEvents":[
+    {"name":"cli.evaluate","ph":"X","ts":0.0,"dur":10.0,"pid":1,"tid":1}
+  ]})json";
+  std::string why;
+  const auto path =
+      hec::shard::critical_path_from_chrome_trace(parse_or_die(trace), &why);
+  EXPECT_FALSE(path.has_value());
+  EXPECT_NE(why.find("no shard decision markers"), std::string::npos);
+
+  why.clear();
+  const auto not_a_trace =
+      hec::shard::critical_path_from_chrome_trace(parse_or_die("{}"), &why);
+  EXPECT_FALSE(not_a_trace.has_value());
+  EXPECT_NE(why.find("traceEvents"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Run ledger: durable append, CRC framing, and the trend comparator.
+//
+// The ledger is the provenance layer's long-term memory, so the tests
+// focus on what makes history trustworthy: round-tripping records
+// byte-exactly, rejecting corrupt or torn lines instead of poisoning
+// the read, and flagging a genuinely slower run while staying quiet
+// within the noise model.
+#include "hec/bench/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hec/util/build_info.h"
+
+namespace {
+
+namespace ledger = hec::bench::ledger;
+using hec::bench::telemetry::Outcome;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ledger_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_file() const {
+    std::ifstream in(path_);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  void write_file(const std::string& text) const {
+    std::ofstream out(path_, std::ios::trunc);
+    out << text;
+  }
+
+  std::string path_;
+};
+
+ledger::Record sample_record(double wall_s, int exit_code = 0) {
+  ledger::Record r = ledger::make_record("hecsim_cli", {"hecsim_cli", "EP"});
+  r.run_id = "00000000deadbeef";
+  r.exit_code = exit_code;
+  r.wall_s = wall_s;
+  r.peak_rss_mb = 42.0;
+  r.counters["sweep.configs_total"] = 36380.0;
+  r.counters["shard.spawns"] = 4.0;
+  return r;
+}
+
+TEST_F(LedgerTest, AppendReadRoundTrip) {
+  ledger::append(path_, sample_record(1.5));
+  ledger::append(path_, sample_record(2.5, 75));
+
+  const ledger::ReadResult got = ledger::read(path_);
+  EXPECT_EQ(got.rejected, 0u);
+  ASSERT_EQ(got.records.size(), 2u);
+
+  const ledger::Record& r = got.records[0];
+  EXPECT_EQ(r.run_id, "00000000deadbeef");
+  EXPECT_EQ(r.tool, "hecsim_cli");
+  EXPECT_EQ(r.argv, (std::vector<std::string>{"hecsim_cli", "EP"}));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_DOUBLE_EQ(r.wall_s, 1.5);
+  EXPECT_DOUBLE_EQ(r.peak_rss_mb, 42.0);
+  EXPECT_DOUBLE_EQ(r.counters.at("sweep.configs_total"), 36380.0);
+  EXPECT_EQ(got.records[1].exit_code, 75);
+
+  // make_record stamps the build that produced the run.
+  const hec::util::BuildInfo& build = hec::util::build_info();
+  EXPECT_EQ(r.git_sha, build.git_sha);
+  EXPECT_EQ(r.build_type, build.build_type);
+  EXPECT_EQ(r.version, build.version);
+  EXPECT_EQ(r.obs_enabled, build.obs_enabled);
+  EXPECT_FALSE(r.ts_utc.empty());
+  EXPECT_EQ(r.ts_utc.back(), 'Z');
+}
+
+TEST_F(LedgerTest, MissingFileIsAnEmptyLedger) {
+  const ledger::ReadResult got = ledger::read(path_ + ".does-not-exist");
+  EXPECT_TRUE(got.records.empty());
+  EXPECT_EQ(got.rejected, 0u);
+}
+
+TEST_F(LedgerTest, CorruptedPayloadIsRejectedNotReturned) {
+  ledger::append(path_, sample_record(1.0));
+  ledger::append(path_, sample_record(2.0));
+
+  // Flip the wall time inside the *first* line's payload: the CRC no
+  // longer matches, so that record must be dropped while the second
+  // survives untouched.
+  std::string text = read_file();
+  const std::size_t pos = text.find("\"wall_s\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 9] = '9';
+  write_file(text);
+
+  const ledger::ReadResult got = ledger::read(path_);
+  EXPECT_EQ(got.rejected, 1u);
+  ASSERT_EQ(got.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.records[0].wall_s, 2.0);
+}
+
+TEST_F(LedgerTest, TornFinalLineIsSkipped) {
+  ledger::append(path_, sample_record(1.0));
+  ledger::append(path_, sample_record(2.0));
+
+  // A crash mid-append leaves a truncated last line.
+  std::string text = read_file();
+  write_file(text.substr(0, text.size() - 25));
+
+  const ledger::ReadResult got = ledger::read(path_);
+  EXPECT_EQ(got.rejected, 1u);
+  ASSERT_EQ(got.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.records[0].wall_s, 1.0);
+}
+
+TEST_F(LedgerTest, ForeignSchemaLinesAreCounted) {
+  write_file("{\"schema\":\"someone-elses/v7\",\"x\":1}\nnot json at all\n");
+  const ledger::ReadResult got = ledger::read(path_);
+  EXPECT_TRUE(got.records.empty());
+  EXPECT_EQ(got.rejected, 2u);
+}
+
+TEST(LedgerTrend, QuietWithinNoiseAndFlagsRealSlowdowns) {
+  std::vector<ledger::Record> history;
+  for (int i = 0; i < 4; ++i) history.push_back(sample_record(1.0));
+
+  // Newest within noise: identical run.
+  history.push_back(sample_record(1.0));
+  ledger::Trend quiet = ledger::trend(history);
+  EXPECT_EQ(quiet.baseline_runs, 4u);
+  EXPECT_TRUE(quiet.ok());
+  for (const ledger::TrendDelta& d : quiet.deltas) {
+    EXPECT_EQ(d.outcome, Outcome::kWithinNoise) << d.metric;
+  }
+
+  // Newest 10x slower: far beyond the wall tolerance (75% rel, 0.5 abs).
+  history.back() = sample_record(10.0);
+  ledger::Trend slow = ledger::trend(history);
+  EXPECT_FALSE(slow.ok());
+  bool wall_flagged = false;
+  for (const ledger::TrendDelta& d : slow.deltas) {
+    if (d.metric == "wall_s") {
+      wall_flagged = d.outcome == Outcome::kRegression;
+      EXPECT_DOUBLE_EQ(d.baseline, 1.0);
+      EXPECT_DOUBLE_EQ(d.current, 10.0);
+    }
+  }
+  EXPECT_TRUE(wall_flagged);
+}
+
+TEST(LedgerTrend, CounterDriftFlagsEitherDirection) {
+  std::vector<ledger::Record> history;
+  for (int i = 0; i < 3; ++i) history.push_back(sample_record(1.0));
+  history.push_back(sample_record(1.0));
+  history.back().counters["sweep.configs_total"] = 36000.0;  // fewer configs
+
+  const ledger::Trend trend = ledger::trend(history);
+  bool flagged = false;
+  for (const ledger::TrendDelta& d : trend.deltas) {
+    if (d.metric == "counter:sweep.configs_total") {
+      flagged = d.outcome == Outcome::kRegression;
+    }
+  }
+  // Deterministic counts drifting *down* still flags: the sweep visited
+  // a different space, which is a correctness signal, not an improvement.
+  EXPECT_TRUE(flagged);
+  EXPECT_FALSE(trend.ok());
+}
+
+TEST(LedgerTrend, DifferentInvocationsDoNotCompare) {
+  std::vector<ledger::Record> history;
+  history.push_back(sample_record(1.0));
+  ledger::Record other = sample_record(50.0);
+  other.argv = {"hecsim_cli", "EP", "--shards", "8"};
+  history.push_back(other);
+
+  // A 10-shard sweep vs a plain one would only ever report that the
+  // flags changed; argv must match for a record to join the baseline.
+  const ledger::Trend trend = ledger::trend(history);
+  EXPECT_EQ(trend.baseline_runs, 0u);
+  EXPECT_TRUE(trend.deltas.empty());
+}
+
+TEST(LedgerTrend, SingleRecordHasNothingToCompare) {
+  const ledger::Trend trend = ledger::trend({sample_record(1.0)});
+  EXPECT_EQ(trend.baseline_runs, 0u);
+  EXPECT_TRUE(trend.ok());
+}
+
+TEST(LedgerJson, RecordJsonRoundTripsThroughParser) {
+  const ledger::Record r = sample_record(3.25, 75);
+  const std::string text = ledger::to_json(r).dump(false);
+  std::string error;
+  const auto parsed = hec::bench::json::Value::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  std::string convert_error;
+  const auto back = ledger::record_from_json(*parsed, &convert_error);
+  ASSERT_TRUE(back.has_value()) << convert_error;
+  EXPECT_EQ(back->wall_s, r.wall_s);
+  EXPECT_EQ(back->exit_code, 75);
+  EXPECT_EQ(back->counters, r.counters);
+  // Same-library round trip is byte-exact (shortest round-trip numbers,
+  // sorted keys) — the property the CRC framing relies on.
+  EXPECT_EQ(ledger::to_json(*back).dump(false), text);
+}
+
+}  // namespace

@@ -435,6 +435,92 @@ TEST_F(ObsExportTest, ChromeTraceReportsPerThreadDrops) {
   EXPECT_NE(text.find("\"obs.spans_dropped_tid"), std::string::npos);
 }
 
+TEST(ObsExportDrops, PerThreadDropsSurfaceIdenticallyInAllExporters) {
+  // Three threads each overflow their ring by a distinct margin; every
+  // exporter must attribute the same per-thread drop counts, so an
+  // operator reading any one artifact sees the same accounting.
+  Tracer t;
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 3; ++i) {
+    threads.emplace_back([&t, i] {
+      SpanEvent ev;
+      ev.name = "spin";
+      for (std::size_t j = 0; j < Tracer::kRingCapacity + 10 * i; ++j) {
+        t.record(ev);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = t.thread_drop_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  MetricsRegistry empty;
+  std::ostringstream chrome, jsonl, prom;
+  hec::obs::write_chrome_trace(chrome, t);
+  hec::obs::write_jsonl(jsonl, t, empty);
+  hec::obs::write_prometheus(prom, empty, &t);
+
+  std::uint64_t total = 0;
+  for (const auto& s : stats) {
+    ASSERT_GT(s.dropped, 0u);
+    total += s.dropped;
+    EXPECT_NE(chrome.str().find("\"obs.spans_dropped_tid" +
+                                std::to_string(s.tid) +
+                                "\":" + std::to_string(s.dropped)),
+              std::string::npos)
+        << "chrome trace misses tid " << s.tid;
+    EXPECT_NE(jsonl.str().find("{\"tid\":" + std::to_string(s.tid) +
+                               ",\"recorded\":" + std::to_string(s.recorded) +
+                               ",\"dropped\":" + std::to_string(s.dropped) +
+                               "}"),
+              std::string::npos)
+        << "jsonl misses tid " << s.tid;
+    EXPECT_NE(prom.str().find("hec_obs_spans_dropped{tid=\"" +
+                              std::to_string(s.tid) +
+                              "\"} " + std::to_string(s.dropped)),
+              std::string::npos)
+        << "prometheus misses tid " << s.tid;
+  }
+  EXPECT_EQ(total, t.dropped());
+  EXPECT_NE(chrome.str().find("\"obs.spans_dropped_total\":" +
+                              std::to_string(total)),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("hec_obs_spans_dropped_total " +
+                            std::to_string(total)),
+            std::string::npos);
+}
+
+TEST(ObsExportQuantiles, ZeroSampleHistogramEmitsNoQuantileLines) {
+  // A registered-but-never-observed histogram has undefined quantiles;
+  // emitting them would put NaN into the scrape and poison ingestion.
+  MetricsRegistry reg;
+  reg.histogram("never.observed");
+  std::ostringstream out;
+  hec::obs::write_prometheus(out, reg);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("hec_never_observed_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("_p50"), std::string::npos);
+  EXPECT_EQ(text.find("_p95"), std::string::npos);
+  EXPECT_EQ(text.find("_p99"), std::string::npos);
+  EXPECT_EQ(text.find("NaN"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+
+  // One observation brings the quantile gauges back.
+  reg.histogram("never.observed").observe(1.5);
+  std::ostringstream after;
+  hec::obs::write_prometheus(after, reg);
+  EXPECT_NE(after.str().find("hec_never_observed_p50 "), std::string::npos);
+  EXPECT_EQ(after.str().find("NaN"), std::string::npos);
+}
+
+TEST(ObsPrometheusEscape, LabelValuesAreEscaped) {
+  EXPECT_EQ(hec::obs::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(hec::obs::prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(hec::obs::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(hec::obs::prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(hec::obs::prometheus_escape_label(""), "");
+}
+
 TEST_F(ObsExportTest, ChromeTraceEscapesJsonSpecials) {
   Tracer t;
   SpanEvent ev;

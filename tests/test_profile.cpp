@@ -1,0 +1,215 @@
+// ProfileTree: folding flat span streams into an aggregated call tree.
+//
+// The load-bearing property is determinism: sidecar telemetry arrives
+// in completion order, so the fold must yield a byte-identical profile
+// for any permutation of the same spans. The rest pins the self-time
+// arithmetic, the "(unknown)" stand-in for parents lost to ring wrap,
+// and the external-track container frames.
+#include "hec/obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hec/obs/export.h"
+#include "hec/obs/obs.h"
+
+namespace {
+
+using hec::obs::ProfileNode;
+using hec::obs::ProfileSpan;
+using hec::obs::ProfileTree;
+
+ProfileSpan span(std::uint32_t tid, std::uint32_t depth, std::string name,
+                 double start_us, double dur_us) {
+  ProfileSpan s;
+  s.tid = tid;
+  s.depth = depth;
+  s.name = std::move(name);
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  return s;
+}
+
+/// A two-thread workload: nested frames on tid 1, a repeated leaf on
+/// tid 2 sharing the same call path as tid 1's.
+std::vector<ProfileSpan> nested_batch() {
+  return {
+      span(1, 0, "root", 0.0, 100.0),      span(1, 1, "child_a", 5.0, 30.0),
+      span(1, 2, "leaf", 10.0, 10.0),      span(1, 1, "child_b", 40.0, 20.0),
+      span(2, 0, "root", 0.0, 50.0),       span(2, 1, "child_a", 5.0, 25.0),
+      span(2, 2, "leaf", 6.0, 5.0),        span(2, 2, "leaf", 15.0, 5.0),
+  };
+}
+
+std::string json_of(const ProfileTree& tree) {
+  std::ostringstream out;
+  tree.write_json(out);
+  return out.str();
+}
+
+TEST(ProfileTree, FoldsNestingByDepthAndMergesThreads) {
+  ProfileTree tree;
+  tree.add(nested_batch());
+
+  ASSERT_EQ(tree.roots().size(), 1u);
+  const ProfileNode& root = tree.roots().at("root");
+  EXPECT_EQ(root.count, 2u);  // one root frame per thread
+  EXPECT_DOUBLE_EQ(root.total_us, 150.0);
+
+  const ProfileNode& child_a = root.children.at("child_a");
+  EXPECT_EQ(child_a.count, 2u);
+  EXPECT_DOUBLE_EQ(child_a.total_us, 55.0);
+  const ProfileNode& leaf = child_a.children.at("leaf");
+  EXPECT_EQ(leaf.count, 3u);  // 1 on tid 1, 2 on tid 2
+  EXPECT_DOUBLE_EQ(leaf.total_us, 20.0);
+
+  // Self = total minus direct children: root 150 - (55 + 20) = 75.
+  EXPECT_DOUBLE_EQ(root.self_us(), 75.0);
+  EXPECT_DOUBLE_EQ(child_a.self_us(), 35.0);
+  EXPECT_DOUBLE_EQ(leaf.self_us(), 20.0);  // leaves keep everything
+}
+
+TEST(ProfileTree, FoldIsOrderIndependent) {
+  const std::vector<ProfileSpan> batch = nested_batch();
+  ProfileTree reference;
+  reference.add(batch);
+  const std::string want = json_of(reference);
+
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ProfileSpan> shuffled = batch;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    ProfileTree tree;
+    tree.add(std::move(shuffled));
+    EXPECT_EQ(json_of(tree), want) << "round " << round;
+  }
+}
+
+TEST(ProfileTree, IncrementalAddMatchesOneBatch) {
+  const std::vector<ProfileSpan> batch = nested_batch();
+  ProfileTree whole;
+  whole.add(batch);
+
+  // Feeding per-thread slices (how merged sidecars arrive) must agree.
+  std::vector<ProfileSpan> tid1;
+  std::vector<ProfileSpan> tid2;
+  for (const ProfileSpan& s : batch) (s.tid == 1 ? tid1 : tid2).push_back(s);
+  ProfileTree sliced;
+  sliced.add(std::move(tid2));
+  sliced.add(std::move(tid1));
+  EXPECT_EQ(json_of(sliced), json_of(whole));
+}
+
+TEST(ProfileTree, LostParentsNestUnderUnknownFrames) {
+  // Ring wrap ate the depth-0/1 parents: the surviving depth-2 span must
+  // land under synthetic "(unknown)" frames, not get promoted to a root.
+  ProfileTree tree;
+  tree.add({span(1, 2, "leaf", 10.0, 5.0)});
+
+  const ProfileNode& u0 = tree.roots().at("(unknown)");
+  EXPECT_EQ(u0.count, 0u);  // synthetic: never measured
+  const ProfileNode& u1 = u0.children.at("(unknown)");
+  const ProfileNode& leaf = u1.children.at("leaf");
+  EXPECT_EQ(leaf.count, 1u);
+  EXPECT_DOUBLE_EQ(leaf.total_us, 5.0);
+  EXPECT_DOUBLE_EQ(u0.self_us(), 0.0);
+  EXPECT_DOUBLE_EQ(u1.self_us(), 0.0);
+}
+
+TEST(ProfileTree, ExternalTracksFoldUnderLabelledContainers) {
+  hec::obs::ExternalTrace external;
+  hec::obs::ExternalTrack worker;
+  worker.label = "worker shard=0";
+  worker.pid = 2;
+  worker.spans.push_back({"shard.worker_sweep", 0.0, 80.0, 1, 0, 0.0, -1.0});
+  worker.spans.push_back({"sweep.block", 10.0, 30.0, 1, 1, 0.0, -1.0});
+  external.tracks.push_back(worker);
+
+  hec::obs::ExternalTrack dead = worker;
+  dead.superseded = true;
+  dead.pid = 3;
+  external.tracks.push_back(dead);
+
+  ProfileTree tree;
+  tree.add(external);
+
+  const ProfileNode& container = tree.roots().at("worker shard=0");
+  EXPECT_EQ(container.count, 0u);  // container frame, not a measured span
+  EXPECT_DOUBLE_EQ(container.total_us, 80.0);
+  EXPECT_DOUBLE_EQ(container.self_us(), 0.0);
+  const ProfileNode& sweep = container.children.at("shard.worker_sweep");
+  EXPECT_EQ(sweep.count, 1u);
+  EXPECT_DOUBLE_EQ(sweep.children.at("sweep.block").total_us, 30.0);
+
+  // Superseded attempts keep the Chrome exporter's suffix so wasted work
+  // is attributed separately from the run that counted.
+  EXPECT_TRUE(tree.roots().count("worker shard=0 [superseded]"));
+}
+
+TEST(ProfileTree, SimWindowsMergeToTheUnion) {
+  ProfileSpan a = span(1, 0, "sim.node_run", 0.0, 10.0);
+  a.has_sim = true;
+  a.sim_begin_s = 5.0;
+  a.sim_end_s = 9.0;
+  ProfileSpan b = span(1, 0, "sim.node_run", 20.0, 10.0);
+  b.has_sim = true;
+  b.sim_begin_s = 1.0;
+  b.sim_end_s = 7.0;
+  ProfileTree tree;
+  tree.add({a, b});
+
+  const ProfileNode& node = tree.roots().at("sim.node_run");
+  EXPECT_TRUE(node.has_sim);
+  EXPECT_DOUBLE_EQ(node.sim_begin_s, 1.0);
+  EXPECT_DOUBLE_EQ(node.sim_end_s, 9.0);
+}
+
+TEST(ProfileTree, RowsAreLexicographicPreOrder) {
+  ProfileTree tree;
+  tree.add(nested_batch());
+  const std::vector<ProfileTree::Row> rows = tree.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].path, "root");
+  EXPECT_EQ(rows[1].path, "root;child_a");
+  EXPECT_EQ(rows[2].path, "root;child_a;leaf");
+  EXPECT_EQ(rows[3].path, "root;child_b");
+  EXPECT_EQ(rows[2].depth, 2u);
+}
+
+TEST(ProfileTree, CollapsedOutputWeighsSelfTime) {
+  ProfileTree tree;
+  tree.add(nested_batch());
+  std::ostringstream out;
+  tree.write_collapsed(out);
+  EXPECT_EQ(out.str(),
+            "root 75\n"
+            "root;child_a 35\n"
+            "root;child_a;leaf 20\n"
+            "root;child_b 20\n");
+}
+
+TEST(ProfileTree, JsonDocumentShapeAndDeterminism) {
+  ProfileTree tree;
+  tree.add({span(1, 0, "only", 0.0, 1.5)});
+  const std::string text = json_of(tree);
+  EXPECT_NE(text.find("\"schema\":\"hec-profile/v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"only\""), std::string::npos);
+  EXPECT_EQ(text, json_of(tree));  // serialisation itself is stable
+}
+
+TEST(ProfileTree, EmptyTreeExportsAreWellFormed) {
+  ProfileTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_DOUBLE_EQ(tree.total_us(), 0.0);
+  std::ostringstream folded;
+  tree.write_collapsed(folded);
+  EXPECT_EQ(folded.str(), "");
+  EXPECT_NE(json_of(tree).find("hec-profile/v1"), std::string::npos);
+}
+
+}  // namespace

@@ -27,6 +27,11 @@
 //                                     processes (hec/shard)
 //              [--shard-timeout-s S]  per-worker heartbeat timeout
 //              [--max-retries N]      per-shard retry budget
+//              [--profile-out FILE]   hec-profile/v1 span-tree profile
+//                                     (.folded => collapsed flamegraph stacks)
+//              [--ledger FILE]        append a hec-run-ledger/v1 record
+//              [--version]            print version + build provenance
+//              [--build-info]         same, as a JSON document
 //
 // Flags accept both "--flag value" and "--flag=value".
 //
@@ -42,10 +47,12 @@
 // 74 file write failure (IoError); 75 partial result (wall-clock
 // deadline stopped the sweep; resume via --journal); 1 any other error.
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -53,6 +60,8 @@
 
 #include <unistd.h>
 
+#include "hec/bench/json.h"
+#include "hec/bench/ledger.h"
 #include "hec/config/budget.h"
 #include "hec/config/enumerate.h"
 #include "hec/config/evaluate.h"
@@ -63,6 +72,7 @@
 #include "hec/model/inputs_io.h"
 #include "hec/obs/export.h"
 #include "hec/obs/obs.h"
+#include "hec/obs/profile.h"
 #include "hec/pareto/frontier.h"
 #include "hec/resilience/failpoint.h"
 #include "hec/resilience/resumable.h"
@@ -70,6 +80,7 @@
 #include "hec/shard/shard.h"
 #include "hec/shard/telemetry.h"
 #include "hec/util/atomic_file.h"
+#include "hec/util/build_info.h"
 #include "hec/util/env.h"
 #include "hec/util/expect.h"
 #include "hec/workloads/workload.h"
@@ -122,6 +133,15 @@ void print_usage(std::ostream& out) {
       "                       dead and its shard requeued (default 10)\n"
       "  --max-retries N      attempts per shard beyond the first\n"
       "                       (default 3); an exhausted shard fails the run\n"
+      "  --profile-out FILE   hec-profile/v1 aggregated span-tree profile\n"
+      "                       (counts + total/self wall time per call path);\n"
+      "                       a .folded suffix writes collapsed flamegraph\n"
+      "                       stacks instead\n"
+      "  --ledger FILE        append one hec-run-ledger/v1 record (run id,\n"
+      "                       build info, argv, key counters, wall, RSS,\n"
+      "                       exit code) to FILE; see hecsim_obsreport\n"
+      "  --version            print version and build provenance, exit 0\n"
+      "  --build-info         print build provenance as JSON, exit 0\n"
       "journal/deadline/shard runs require --method exhaustive, no --budget\n"
       "flags accept both '--flag value' and '--flag=value'\n"
       "exit codes: 0 ok, 2 infeasible, 64 usage, 65 bad input file,\n"
@@ -154,6 +174,8 @@ struct Options {
   std::optional<std::size_t> shards;
   double shard_timeout_s = 10.0;
   std::size_t max_retries = 3;
+  std::optional<std::string> profile_out;
+  std::optional<std::string> ledger_out;
 
   /// True when the sweep runs as coordinator + worker processes.
   bool sharded_requested() const { return shards.has_value(); }
@@ -162,7 +184,8 @@ struct Options {
     return mttf_h || straggler_prob || checkpoint_s;
   }
   bool obs_requested() const {
-    return trace_out.has_value() || metrics_out.has_value();
+    return trace_out.has_value() || metrics_out.has_value() ||
+           profile_out.has_value();
   }
   /// True when the run goes through the crash-safe resumable sweep
   /// instead of the legacy evaluate-everything loop. Gated on the new
@@ -255,6 +278,10 @@ Options parse_args(int argc, char** argv) {
       opts.metrics_out = next();
     } else if (args[i] == "--status-out") {
       opts.status_out = next();
+    } else if (args[i] == "--profile-out") {
+      opts.profile_out = next();
+    } else if (args[i] == "--ledger") {
+      opts.ledger_out = next();
     } else if (args[i] == "--journal") {
       opts.journal = next();
     } else if (args[i] == "--journal-interval-s") {
@@ -415,6 +442,17 @@ void declare_metrics() {
   reg.histogram("shard.heartbeat_gap_s");
 }
 
+/// Provenance to append after run() returns. Populated by run() once
+/// --ledger is parsed, consumed by main() — the record must carry the
+/// final exit code, which only main() sees (including the error paths).
+struct LedgerState {
+  std::string path;
+  std::vector<std::string> argv;
+  std::string run_id;
+  std::map<std::string, double> counters;
+};
+std::optional<LedgerState> g_ledger;
+
 void write_observability(const Options& opts,
                          const hec::obs::ExternalTrace* external = nullptr) {
   // Atomic commits (hec::IoError → exit 74): an export never leaves a
@@ -438,15 +476,51 @@ void write_observability(const Options& opts,
     out.commit();
     hec::obs::log(1, "wrote metrics to " + *opts.metrics_out);
   }
+  if (opts.profile_out) {
+    hec::obs::ProfileTree tree;
+    tree.add(hec::obs::tracer());
+    if (external != nullptr) tree.add(*external);
+    hec::util::AtomicFileWriter out(*opts.profile_out);
+    if (opts.profile_out->ends_with(".folded")) {
+      tree.write_collapsed(out.stream());
+    } else {
+      tree.write_json(out.stream());
+    }
+    out.commit();
+    hec::obs::log(1, "wrote profile to " + *opts.profile_out);
+  }
 }
 
 int run(int argc, char** argv) {
-  if (argc >= 2 && (std::string(argv[1]) == "--help" ||
-                    std::string(argv[1]) == "-h")) {
-    print_usage(std::cout);
-    return 0;
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (first == "--version") {
+      std::cout << "hecsim_cli "
+                << hec::util::describe(hec::util::build_info()) << "\n";
+      return 0;
+    }
+    if (first == "--build-info") {
+      const hec::util::BuildInfo& build = hec::util::build_info();
+      hec::bench::json::Value v;
+      v["build_type"] = build.build_type;
+      v["git_sha"] = build.git_sha;
+      v["obs"] = build.obs_enabled;
+      v["tool"] = "hecsim_cli";
+      v["version"] = build.version;
+      std::cout << v.dump() << "\n";
+      return 0;
+    }
   }
   const Options opts = parse_args(argc, argv);
+  if (opts.ledger_out) {
+    g_ledger.emplace();
+    g_ledger->path = *opts.ledger_out;
+    for (int i = 0; i < argc; ++i) g_ledger->argv.emplace_back(argv[i]);
+  }
   hec::obs::set_log_level(opts.log_level);
   if (opts.obs_requested()) declare_metrics();
   const hec::Workload workload = hec::find_workload(opts.workload);
@@ -544,6 +618,22 @@ int run(int argc, char** argv) {
       partial = sweep.deadline_hit;
       shards_failed = !sweep.failed_shards.empty();
       configs_total = sweep.configs_total;
+      if (g_ledger) {
+        char run_id[32];
+        std::snprintf(run_id, sizeof(run_id), "%016llx",
+                      static_cast<unsigned long long>(sweep.run_id));
+        g_ledger->run_id = run_id;
+        g_ledger->counters["shard.spawns"] =
+            static_cast<double>(sweep.spawns);
+        g_ledger->counters["shard.reassignments"] =
+            static_cast<double>(sweep.reassignments);
+        g_ledger->counters["shard.steals"] =
+            static_cast<double>(sweep.steals);
+        g_ledger->counters["shard.retries"] =
+            static_cast<double>(sweep.retries);
+        g_ledger->counters["shard.results_reused"] =
+            static_cast<double>(sweep.results_reused);
+      }
       std::cout << "(sharded sweep: " << sweep.shards_complete << "/"
                 << sweep.shards_total << " shards across " << sop.workers
                 << " workers; " << sweep.spawns << " spawns, "
@@ -621,6 +711,16 @@ int run(int argc, char** argv) {
       }
     }
   }
+  if (g_ledger) {
+    // Protocol-derived tallies only: these come from the sweep results
+    // themselves, so the record is identical under HEC_OBS_DISABLE.
+    g_ledger->counters["sweep.configs_visited"] =
+        static_cast<double>(evaluations);
+    if (configs_total > 0) {
+      g_ledger->counters["sweep.configs_total"] =
+          static_cast<double>(configs_total);
+    }
+  }
   if (!evaluated_points.empty()) {
     HEC_SPAN("cli.pareto");
     const auto frontier = hec::pareto_frontier(evaluated_points);
@@ -677,32 +777,54 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    hec::util::arm_failpoints_from_env();
-    return run(argc, argv);
-  } catch (const UsageError& e) {
-    std::cerr << "usage error: " << e.what() << "\n";
-    print_usage(std::cerr);
-    return 64;
-  } catch (const hec::util::FailpointParseError& e) {
-    std::cerr << "usage error: " << e.what() << "\n";
-    return 64;
-  } catch (const hec::util::EnvParseError& e) {
-    // Malformed environment knobs (HEC_DEADLINE_S etc.) are user input:
-    // diagnose and exit 64 rather than silently running without them.
-    std::cerr << "usage error: " << e.what() << "\n";
-    return 64;
-  } catch (const hec::ParseError& e) {
-    std::cerr << "parse error: " << e.what() << "\n";
-    return 65;
-  } catch (const hec::ContractViolation& e) {
-    std::cerr << "contract violation: " << e.what() << "\n";
-    return 70;
-  } catch (const hec::IoError& e) {
-    std::cerr << "i/o error: " << e.what() << "\n";
-    return hec::util::kExitIoError;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+  const auto start = std::chrono::steady_clock::now();
+  const int code = [&] {
+    try {
+      hec::util::arm_failpoints_from_env();
+      return run(argc, argv);
+    } catch (const UsageError& e) {
+      std::cerr << "usage error: " << e.what() << "\n";
+      print_usage(std::cerr);
+      return 64;
+    } catch (const hec::util::FailpointParseError& e) {
+      std::cerr << "usage error: " << e.what() << "\n";
+      return 64;
+    } catch (const hec::util::EnvParseError& e) {
+      // Malformed environment knobs (HEC_DEADLINE_S etc.) are user
+      // input: diagnose and exit 64 rather than silently running
+      // without them.
+      std::cerr << "usage error: " << e.what() << "\n";
+      return 64;
+    } catch (const hec::ParseError& e) {
+      std::cerr << "parse error: " << e.what() << "\n";
+      return 65;
+    } catch (const hec::ContractViolation& e) {
+      std::cerr << "contract violation: " << e.what() << "\n";
+      return 70;
+    } catch (const hec::IoError& e) {
+      std::cerr << "i/o error: " << e.what() << "\n";
+      return hec::util::kExitIoError;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }();
+  if (g_ledger) {
+    // Best-effort provenance: a failed append warns but never changes
+    // the exit code the query itself earned.
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    hec::bench::ledger::Record rec =
+        hec::bench::ledger::make_record("hecsim_cli", g_ledger->argv);
+    rec.run_id = g_ledger->run_id;
+    rec.exit_code = code;
+    rec.wall_s = wall.count();
+    rec.counters = std::move(g_ledger->counters);
+    try {
+      hec::bench::ledger::append(g_ledger->path, rec);
+    } catch (const std::exception& e) {
+      std::cerr << "warning: " << e.what() << "\n";
+    }
   }
+  return code;
 }

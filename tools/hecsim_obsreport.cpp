@@ -1,0 +1,473 @@
+// hecsim_obsreport — turns raw observability artifacts into answers.
+//
+//   hecsim_obsreport [--trace FILE] [--profile FILE] [--ledger FILE]
+//                    [--out FILE] [--flamegraph FILE] [--top N] [--last N]
+//
+// Reads any combination of a `--trace-out` Chrome trace, a
+// `--profile-out` hec-profile/v1 document and a `--ledger`
+// hec-run-ledger/v1 file, and renders one Markdown report:
+//
+//   * top call paths by self wall time (from the profile, or folded on
+//     the fly from the trace's spans when only a trace is given);
+//   * the critical path of a sharded run (hec/shard/critical_path.h)
+//     with per-segment attribution — the tiling identity "segment sum
+//     == coordinator wall" is printed and checked in CI;
+//   * collapsed flamegraph stacks (--flamegraph FILE) ready for
+//     flamegraph.pl / speedscope;
+//   * the run-ledger tail with a noise-tolerant trend verdict (newest
+//     run vs the median of its predecessors, benchkit tolerances).
+//
+// The report is a pure function of its inputs: no timestamps, sorted
+// keys, fixed number formats — running it twice on the same files
+// yields byte-identical output (CI asserts this).
+//
+// Exit codes: 0 ok; 64 usage error; 65 malformed input file; 74 file
+// write failure. Absent sections degrade gracefully: a ledger-only
+// invocation (e.g. under HEC_OBS_DISABLE, where traces are empty)
+// still renders the provenance tables.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hec/bench/json.h"
+#include "hec/bench/ledger.h"
+#include "hec/obs/profile.h"
+#include "hec/shard/critical_path.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/build_info.h"
+
+namespace {
+
+namespace json = hec::bench::json;
+namespace ledger = hec::bench::ledger;
+
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Unreadable/unparseable input file: exit 65, after sysexits EX_DATAERR.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: hecsim_obsreport [options]\n"
+         "  --trace FILE       Chrome trace from hecsim_cli --trace-out\n"
+         "  --profile FILE     hec-profile/v1 from hecsim_cli --profile-out\n"
+         "  --ledger FILE      hec-run-ledger/v1 JSONL (missing => empty)\n"
+         "  --out FILE         write the Markdown report here (default:\n"
+         "                     stdout), atomically\n"
+         "  --flamegraph FILE  write collapsed flamegraph stacks here\n"
+         "  --top N            call paths in the self-time table (default 15)\n"
+         "  --last N           ledger records in the history table\n"
+         "                     (default 10)\n"
+         "  --version          print version and build provenance, exit 0\n"
+         "at least one of --trace/--profile/--ledger is required\n"
+         "exit codes: 0 ok, 64 usage, 65 bad input file, 74 i/o error\n";
+}
+
+struct Options {
+  std::optional<std::string> trace;
+  std::optional<std::string> profile;
+  std::optional<std::string> ledger_path;
+  std::optional<std::string> out;
+  std::optional<std::string> flamegraph;
+  std::size_t top = 15;
+  std::size_t last = 10;
+};
+
+Options parse_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        args.push_back(arg.substr(0, eq));
+        args.push_back(arg.substr(eq + 1));
+        continue;
+      }
+    }
+    args.push_back(std::move(arg));
+  }
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) {
+        throw UsageError("missing value after " + args[i - 1]);
+      }
+      return args[i];
+    };
+    auto next_count = [&](const char* what) -> std::size_t {
+      const std::string text = next();
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size() || n == 0) {
+        throw UsageError(std::string(what) + " must be a positive integer");
+      }
+      return static_cast<std::size_t>(n);
+    };
+    if (args[i] == "--trace") {
+      opts.trace = next();
+    } else if (args[i] == "--profile") {
+      opts.profile = next();
+    } else if (args[i] == "--ledger") {
+      opts.ledger_path = next();
+    } else if (args[i] == "--out") {
+      opts.out = next();
+    } else if (args[i] == "--flamegraph") {
+      opts.flamegraph = next();
+    } else if (args[i] == "--top") {
+      opts.top = next_count("--top");
+    } else if (args[i] == "--last") {
+      opts.last = next_count("--last");
+    } else {
+      throw UsageError("unknown option: " + args[i]);
+    }
+  }
+  if (!opts.trace && !opts.profile && !opts.ledger_path) {
+    throw UsageError("nothing to report: give --trace, --profile or --ledger");
+  }
+  if (opts.flamegraph && !opts.profile && !opts.trace) {
+    throw UsageError("--flamegraph needs --profile or --trace");
+  }
+  return opts;
+}
+
+std::string fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+json::Value load_json(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) throw InputError(std::string(what) + ": cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  std::optional<json::Value> v = json::Value::parse(buf.str(), &error);
+  if (!v) {
+    throw InputError(std::string(what) + ": " + path + ": " + error);
+  }
+  return std::move(*v);
+}
+
+/// One flattened call path, reconstructed from a profile document or
+/// folded from trace spans.
+struct PathRow {
+  std::string path;
+  double count = 0.0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+void walk_profile_tree(const json::Value& nodes, const std::string& prefix,
+                       std::vector<PathRow>& out) {
+  for (const auto& [name, node] : nodes.as_object()) {
+    // Keep the path in a local: recursing while holding a reference
+    // into `out` would dangle when the vector reallocates.
+    const std::string path = prefix.empty() ? name : prefix + ";" + name;
+    out.push_back({path, node["count"].as_number(),
+                   node["total_us"].as_number(), node["self_us"].as_number()});
+    if (const json::Value* children = node.find("children")) {
+      walk_profile_tree(*children, path, out);
+    }
+  }
+}
+
+std::vector<PathRow> rows_from_profile(const json::Value& doc) {
+  if (doc["schema"].as_string() != "hec-profile/v1") {
+    throw InputError("profile: unexpected schema '" +
+                     doc["schema"].as_string() + "'");
+  }
+  std::vector<PathRow> rows;
+  walk_profile_tree(doc["tree"], "", rows);
+  return rows;
+}
+
+/// Folds a Chrome trace's complete spans into a ProfileTree: pid 1 is
+/// the local process, other pids keep their process_name metadata label
+/// so worker tracks profile under their own root frame.
+hec::obs::ProfileTree profile_from_trace(const json::Value& trace) {
+  hec::obs::ProfileTree tree;
+  const json::Value* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return tree;
+  std::map<double, std::string> process_names;
+  for (const json::Value& ev : events->as_array()) {
+    if (ev["ph"].as_string() == "M" &&
+        ev["name"].as_string() == "process_name") {
+      process_names[ev["pid"].as_number()] = ev["args"]["name"].as_string();
+    }
+  }
+  std::vector<hec::obs::ProfileSpan> spans;
+  for (const json::Value& ev : events->as_array()) {
+    if (ev["ph"].as_string() != "X") continue;
+    hec::obs::ProfileSpan s;
+    const double pid = ev["pid"].as_number(1.0);
+    if (pid != 1.0) {
+      const auto it = process_names.find(pid);
+      s.process = it != process_names.end() ? it->second
+                                            : "pid " + fmt(pid, 0);
+    }
+    s.tid = static_cast<std::uint32_t>(ev["tid"].as_number());
+    s.depth = static_cast<std::uint32_t>(ev["args"]["depth"].as_number());
+    s.name = ev["name"].as_string();
+    s.start_us = ev["ts"].as_number();
+    s.dur_us = ev["dur"].as_number();
+    if (const json::Value* sim = ev["args"].find("sim_begin_s")) {
+      s.has_sim = true;
+      s.sim_begin_s = sim->as_number();
+      s.sim_end_s = ev["args"]["sim_end_s"].as_number();
+    }
+    spans.push_back(std::move(s));
+  }
+  tree.add(std::move(spans));
+  return tree;
+}
+
+std::vector<PathRow> rows_from_tree(const hec::obs::ProfileTree& tree) {
+  std::vector<PathRow> rows;
+  for (const hec::obs::ProfileTree::Row& r : tree.rows()) {
+    rows.push_back({r.path, static_cast<double>(r.node->count),
+                    r.node->total_us, r.node->self_us()});
+  }
+  return rows;
+}
+
+void write_top_spans(std::ostream& out, std::vector<PathRow> rows,
+                     std::size_t top, const std::string& source) {
+  out << "## Top call paths by self time\n\n";
+  if (rows.empty()) {
+    out << "_No spans in " << source
+        << " (empty run, or built with HEC_OBS_DISABLE)._\n\n";
+    return;
+  }
+  double total_self = 0.0;
+  for (const PathRow& r : rows) total_self += r.self_us;
+  // Self-time descending; path as the deterministic tiebreak.
+  std::sort(rows.begin(), rows.end(), [](const PathRow& a, const PathRow& b) {
+    if (a.self_us != b.self_us) return a.self_us > b.self_us;
+    return a.path < b.path;
+  });
+  out << "Source: " << source << ". Total attributed self time: "
+      << fmt(total_self / 1e3) << " ms across " << rows.size()
+      << " call paths.\n\n";
+  out << "| rank | call path | count | total ms | self ms | self % |\n"
+         "|-----:|-----------|------:|---------:|--------:|-------:|\n";
+  const std::size_t n = std::min(top, rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PathRow& r = rows[i];
+    const double pct = total_self > 0.0 ? 100.0 * r.self_us / total_self : 0.0;
+    out << "| " << i + 1 << " | `" << r.path << "` | " << fmt(r.count, 0)
+        << " | " << fmt(r.total_us / 1e3) << " | " << fmt(r.self_us / 1e3)
+        << " | " << fmt(pct, 1) << " |\n";
+  }
+  out << "\n";
+}
+
+void write_critical_path(std::ostream& out, const json::Value& trace) {
+  out << "## Critical path (sharded run)\n\n";
+  std::string why;
+  const std::optional<hec::shard::CriticalPath> path =
+      hec::shard::critical_path_from_chrome_trace(trace, &why);
+  if (!path || path->empty()) {
+    out << "_Not available: " << (path ? "no shard events in the window" : why)
+        << "._\n\n";
+    return;
+  }
+  out << "Gating shard: **" << path->gating_shard << "** ("
+      << (path->gating_done ? "completed" : "never completed")
+      << "). The chain below tiles the coordinator window, so its segment\n"
+         "sum equals the coordinator wall time by construction.\n\n";
+  out << "| segment | kind | start ms | end ms | duration ms | share % |\n"
+         "|---------|------|---------:|-------:|------------:|--------:|\n";
+  const double wall = path->wall_us();
+  for (const hec::shard::PathSegment& seg : path->segments) {
+    const double pct = wall > 0.0 ? 100.0 * seg.dur_us() / wall : 0.0;
+    out << "| " << seg.label << " | " << hec::shard::to_string(seg.kind)
+        << " | " << fmt((seg.begin_us - path->begin_us) / 1e3) << " | "
+        << fmt((seg.end_us - path->begin_us) / 1e3) << " | "
+        << fmt(seg.dur_us() / 1e3) << " | " << fmt(pct, 1) << " |\n";
+  }
+  const double total = path->total_us();
+  const double ratio = wall > 0.0 ? 100.0 * total / wall : 0.0;
+  out << "\nSegment sum " << fmt(total / 1e3) << " ms vs coordinator wall "
+      << fmt(wall / 1e3) << " ms (" << fmt(ratio, 1) << "%).\n\n";
+}
+
+void write_ledger_section(std::ostream& out, const ledger::ReadResult& read,
+                          const std::string& path, std::size_t last) {
+  out << "## Run ledger\n\n";
+  if (read.records.empty()) {
+    out << "_" << path << ": no intact records";
+    if (read.rejected > 0) out << " (" << read.rejected << " rejected)";
+    out << "._\n\n";
+    return;
+  }
+  out << path << ": " << read.records.size() << " intact record"
+      << (read.records.size() == 1 ? "" : "s");
+  if (read.rejected > 0) {
+    out << ", " << read.rejected << " corrupt/torn line"
+        << (read.rejected == 1 ? "" : "s") << " skipped";
+  }
+  out << ".\n\n";
+  out << "| # | ts (UTC) | tool | git sha | build | obs | exit | wall s | "
+         "rss MB |\n"
+         "|--:|----------|------|---------|-------|-----|-----:|-------:|"
+         "-------:|\n";
+  const std::size_t n = std::min(last, read.records.size());
+  for (std::size_t i = read.records.size() - n; i < read.records.size();
+       ++i) {
+    const ledger::Record& r = read.records[i];
+    out << "| " << i + 1 << " | " << r.ts_utc << " | " << r.tool << " | "
+        << r.git_sha << " | " << r.build_type << " | "
+        << (r.obs_enabled ? "on" : "off") << " | "
+        << (r.exit_code == ledger::kExitUnknown
+                ? std::string("?")
+                : std::to_string(r.exit_code))
+        << " | " << fmt(r.wall_s) << " | " << fmt(r.peak_rss_mb, 1)
+        << " |\n";
+  }
+  out << "\n";
+
+  const ledger::Record& newest = read.records.back();
+  if (!newest.counters.empty()) {
+    out << "Newest run counters:\n\n| counter | value |\n|---------|------:|\n";
+    for (const auto& [name, value] : newest.counters) {
+      out << "| " << name << " | " << fmt(value, 0) << " |\n";
+    }
+    out << "\n";
+  }
+
+  const ledger::Trend trend = ledger::trend(read.records);
+  out << "### Trend vs previous runs\n\n";
+  if (trend.baseline_runs == 0) {
+    out << "_No earlier run of the same invocation to compare against._\n\n";
+    return;
+  }
+  out << "Newest run vs the median of its last " << trend.baseline_runs
+      << " identical invocation" << (trend.baseline_runs == 1 ? "" : "s")
+      << " (benchkit noise model):\n\n";
+  out << "| metric | baseline | current | verdict |\n"
+         "|--------|---------:|--------:|---------|\n";
+  for (const ledger::TrendDelta& d : trend.deltas) {
+    out << "| " << d.metric << " | " << fmt(d.baseline) << " | "
+        << fmt(d.current) << " | " << hec::bench::telemetry::to_string(d.outcome)
+        << " |\n";
+  }
+  out << "\nVerdict: "
+      << (trend.ok() ? "**ok** — within noise of recent history"
+                     : "**regression** — " +
+                           std::to_string(trend.regressions) +
+                           " metric(s) beyond tolerance")
+      << ".\n\n";
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (first == "--version") {
+      std::cout << "hecsim_obsreport "
+                << hec::util::describe(hec::util::build_info()) << "\n";
+      return 0;
+    }
+  }
+  const Options opts = parse_args(argc, argv);
+
+  std::optional<json::Value> trace;
+  if (opts.trace) trace = load_json(*opts.trace, "trace");
+  std::optional<json::Value> profile;
+  if (opts.profile) profile = load_json(*opts.profile, "profile");
+
+  std::ostringstream report;
+  report << "# hecsim observability report\n\n";
+
+  if (profile) {
+    write_top_spans(report, rows_from_profile(*profile), opts.top,
+                    "`" + *opts.profile + "`");
+  } else if (trace) {
+    write_top_spans(report, rows_from_tree(profile_from_trace(*trace)),
+                    opts.top, "`" + *opts.trace + "` (folded from spans)");
+  }
+
+  if (trace) write_critical_path(report, *trace);
+
+  if (opts.flamegraph) {
+    hec::obs::ProfileTree tree;
+    std::ostringstream folded;
+    if (profile) {
+      // Re-emit collapsed stacks from the document's flattened rows —
+      // lexicographic order, self-weight in integer microseconds, the
+      // same format ProfileTree::write_collapsed produces.
+      std::vector<PathRow> rows = rows_from_profile(*profile);
+      std::sort(rows.begin(), rows.end(),
+                [](const PathRow& a, const PathRow& b) {
+                  return a.path < b.path;
+                });
+      for (const PathRow& r : rows) {
+        const long long weight = std::llround(r.self_us);
+        if (weight <= 0) continue;
+        folded << r.path << " " << weight << "\n";
+      }
+    } else {
+      tree = profile_from_trace(*trace);
+      tree.write_collapsed(folded);
+    }
+    hec::util::AtomicFileWriter out(*opts.flamegraph);
+    out.stream() << folded.str();
+    out.commit();
+    report << "## Flamegraph\n\nWrote collapsed stacks to `"
+           << *opts.flamegraph
+           << "`. Render with:\n\n```\nflamegraph.pl --countname us "
+           << *opts.flamegraph << " > flame.svg\n```\n\n";
+  }
+
+  if (opts.ledger_path) {
+    write_ledger_section(report, ledger::read(*opts.ledger_path),
+                         *opts.ledger_path, opts.last);
+  }
+
+  if (opts.out) {
+    hec::util::AtomicFileWriter out(*opts.out);
+    out.stream() << report.str();
+    out.commit();
+    std::cout << "wrote report to " << *opts.out << "\n";
+  } else {
+    std::cout << report.str();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return 64;
+  } catch (const InputError& e) {
+    std::cerr << "input error: " << e.what() << "\n";
+    return 65;
+  } catch (const hec::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << "\n";
+    return hec::util::kExitIoError;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
