@@ -100,6 +100,8 @@ class MemoizedMultiEvaluator {
   const DeploymentTable& table(std::size_t type) const {
     return tables_[type];
   }
+  /// Number of node types in the space (== models.size()).
+  std::size_t types() const { return tables_.size(); }
 
  private:
   /// Per-type option index (0 = absent, j >= 1 = table entry j-1) for a

@@ -78,6 +78,38 @@ class CompiledOperatingPoint {
 
   const NodeConfig& config() const { return config_; }
 
+  /// The work-independent intermediates behind predict(), exposed
+  /// read-only so batch evaluators (hec/sweep's SoA kernel) can replay
+  /// predict()'s arithmetic lane-parallel across many compiled points.
+  /// Field names mirror the members; values are exactly what predict()
+  /// reads, so a replay in the same operation order is bit-identical.
+  struct Scalars {
+    double n = 1.0;
+    double f_hz = 0.0;
+    double cact = 0.0;
+    double n_cact = 0.0;
+    double inst_per_unit = 0.0;
+    double wpi = 0.0;
+    double spi_core = 0.0;
+    double spi_mem = 0.0;
+    double io_s_per_unit = 0.0;
+    double io_bytes_per_unit = 0.0;
+    double bandwidth_bytes_s = 0.0;
+    double p_act_w = 0.0;
+    double p_stall_w = 0.0;
+    double mem_active_w = 0.0;
+    double io_active_w = 0.0;
+    double idle_w = 0.0;
+    EnergyAccounting accounting = EnergyAccounting::kOverlapAware;
+  };
+  Scalars scalars() const {
+    return {n_,     f_hz_,          cact_,          n_cact_,
+            inst_per_unit_, wpi_,   spi_core_,      spi_mem_,
+            io_s_per_unit_, io_bytes_per_unit_,     bandwidth_bytes_s_,
+            p_act_w_,       p_stall_w_,             mem_active_w_,
+            io_active_w_,   idle_w_,                accounting_};
+  }
+
  private:
   friend class NodeTypeModel;
   CompiledOperatingPoint() = default;

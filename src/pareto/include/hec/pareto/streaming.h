@@ -68,6 +68,34 @@ class ParetoAccumulator {
   /// ascending time. The accumulator is left empty and reusable.
   std::vector<TimeEnergyPoint> take();
 
+  /// Compacts now if at least `pending` buffered points await dominance
+  /// scanning. corner_dominated consults only the compacted frontier, so
+  /// a pruning sweep calls this at block boundaries to keep the bound
+  /// fresh instead of waiting for the compact_limit high-water mark.
+  /// Result-identical by the compaction identity; purely a scheduling
+  /// knob.
+  void refresh(std::size_t pending = 512) {
+    if (buffer_.size() >= pending) compact();
+  }
+
+  /// True when some compacted-frontier point q beats the optimistic
+  /// corner (t_lo, e_lo) outright: q.t_s < t_lo and q.energy_j <= e_lo.
+  /// Every point p with p.t_s >= t_lo and p.energy_j >= e_lo then
+  /// satisfies provably_dominated's condition with margin (its witness w
+  /// at p's position has w.t_s <= q.t_s < p.t_s or sorts before p via
+  /// strictly lower energy, and p.energy_j >= e_lo >= q.energy_j >=
+  /// w.energy_j * (1 - eps)), so an entire block of such points can be
+  /// skipped result-identically without evaluating it. This is the
+  /// dominance test behind hec/sweep's bound-and-prune layer; a false
+  /// return is always safe — the block is merely evaluated normally.
+  bool corner_dominated(double t_lo, double e_lo) const {
+    const auto it = std::lower_bound(
+        frontier_.begin(), frontier_.end(), t_lo,
+        [](const TimeEnergyPoint& q, double t) { return q.t_s < t; });
+    if (it == frontier_.begin()) return false;
+    return (it - 1)->energy_j <= e_lo;
+  }
+
  private:
   /// True when some compacted-frontier point q sorts before p (in
   /// time_energy_less order) with p.energy_j >= q.energy_j * (1 - eps).

@@ -65,6 +65,15 @@ struct ResilienceOptions {
   /// and at every epoch boundary. The shard worker uses it to renew its
   /// progress lease; correctness never depends on it being set.
   std::function<void(std::size_t cursor)> on_progress;
+  /// Already-evaluated points of the space (genuine (t, e, tag) triples —
+  /// e.g. two_type_incumbents, or another worker's merged partial) folded
+  /// into the initial carry frontier so bound-and-prune fires from the
+  /// first chunk. Because the points belong to the space, the completed
+  /// frontier is unchanged; a partial frontier is exactly the frontier of
+  /// the visited prefix ∪ the seed. The seed is fingerprinted into the
+  /// journal signature, so seeded and unseeded runs (or runs with
+  /// different seeds) never resume each other's journals.
+  std::vector<TimeEnergyPoint> seed_frontier;
   /// Called right after every durable journal commit — the interval-gated
   /// mid-sweep commits *and* the final deadline-stop commit. Everything
   /// the hook observes (counters, spans) is therefore at least as fresh

@@ -1,6 +1,7 @@
 #include "hec/resilience/resumable.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,8 @@
 
 #include "hec/obs/obs.h"
 #include "hec/resilience/journal.h"
+#include "hec/sweep/bounds.h"
+#include "hec/sweep/kernel.h"
 #include "hec/sweep/reduction.h"
 #include "hec/util/env.h"
 #include "hec/util/expect.h"
@@ -21,6 +24,51 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Order-sensitive fingerprint of a seed frontier (exact double bits via
+/// %a), folded into the journal signature: runs whose seeds differ in
+/// any point or ordering never resume each other.
+std::string seed_fingerprint(const std::vector<TimeEnergyPoint>& seed) {
+  std::string text;
+  char buf[80];
+  for (const TimeEnergyPoint& p : seed) {
+    std::snprintf(buf, sizeof buf, "%a:%a:%zu;", p.t_s, p.energy_j, p.tag);
+    text += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%zu/%016llx", seed.size(),
+                static_cast<unsigned long long>(fnv1a64(text)));
+  return buf;
+}
+
+/// Evaluated/pruned accounting shared across sweep workers.
+struct PruneCounters {
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> chunks_pruned{0};
+
+  void store_into(SweepStats& stats) const {
+    stats.evaluated = evaluated.load(std::memory_order_relaxed);
+    stats.pruned = pruned.load(std::memory_order_relaxed);
+    stats.blocks_pruned = chunks_pruned.load(std::memory_order_relaxed);
+  }
+};
+
+/// walk_with_bounds plus counter/observability accounting (the resumable
+/// twin of hec/sweep's consume_with_bounds).
+template <typename EvalRange>
+void consume_with_bounds(const BlockBoundTable* bounds, std::size_t first,
+                         std::size_t count, ParetoAccumulator& acc,
+                         PruneCounters& counters, const EvalRange& eval) {
+  const BoundWalkStats walk = walk_with_bounds(bounds, first, count, acc, eval);
+  counters.evaluated.fetch_add(walk.evaluated, std::memory_order_relaxed);
+  counters.pruned.fetch_add(walk.pruned, std::memory_order_relaxed);
+  counters.chunks_pruned.fetch_add(walk.chunks_pruned,
+                                   std::memory_order_relaxed);
+  if (walk.chunks_pruned > 0) {
+    HEC_COUNTER_ADD("sweep.blocks_pruned",
+                    static_cast<double>(walk.chunks_pruned));
+  }
 }
 
 /// Epoch-structured reduction shared by the three resumable twins.
@@ -44,6 +92,9 @@ ResumableSweepResult run_resumable(std::string signature, std::size_t total,
     range = *res.range;
     signature += " shard=" + describe(range);
   }
+  if (!res.seed_frontier.empty()) {
+    signature += " seed=" + seed_fingerprint(res.seed_frontier);
+  }
   const Clock::time_point start = Clock::now();
   ResumableSweepResult result;
   result.configs_total = range.size();
@@ -56,7 +107,10 @@ ResumableSweepResult run_resumable(std::string signature, std::size_t total,
 
   std::size_t cursor = range.first;
   std::uint64_t seq = 0;
-  std::vector<TimeEnergyPoint> carry;
+  // The seed pre-loads the carry on a fresh start; a resumed checkpoint
+  // replaces it wholesale (its frontier already absorbed the seed —
+  // signatures match only between runs with the identical seed).
+  std::vector<TimeEnergyPoint> carry = res.seed_frontier;
   if (journal && res.resume) {
     const JournalLoadResult loaded = journal->load();
     switch (loaded.status) {
@@ -200,16 +254,26 @@ ResumableSweepResult resumable_sweep_frontier(
     const SweepOptions& opts, const ResilienceOptions& resilience) {
   HEC_SPAN("resilience.sweep_frontier");
   const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
-  return run_resumable(
+  // Kernel-backed body: bound-and-prune against the accumulator's own
+  // carry-seeded frontier plus the SoA inner loops. Pruning is a batched
+  // prefilter, so partial frontiers keep the exact visited-prefix
+  // semantics and resumed runs stay bit-identical. (The resumable path
+  // never self-seeds incumbents — that would fold unvisited points into
+  // a partial frontier; callers that want seeding pass
+  // resilience.seed_frontier explicitly, as the shard coordinator does.)
+  const TwoTypeSweepKernel kernel(memo, work_units,
+                                  {opts.prune, opts.simd, opts.prune_chunk});
+  ResumableSweepResult result = run_resumable(
       memo.layout().describe(), memo.size(), opts.block, work_units, opts,
       resilience,
       [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
-        for (std::size_t i = first; i < first + count; ++i) {
-          const ConfigOutcome o = memo.evaluate_at(i, work_units);
-          acc.add({o.t_s, o.energy_j, i});
-        }
-        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+        kernel.consume(first, count, acc);
       });
+  const KernelStats ks = kernel.stats();
+  result.stats.evaluated = ks.evaluated;
+  result.stats.pruned = ks.pruned;
+  result.stats.blocks_pruned = ks.chunks_pruned;
+  return result;
 }
 
 ResumableSweepResult resumable_sweep_robust_frontier(
@@ -227,19 +291,38 @@ ResumableSweepResult resumable_sweep_robust_frontier(
       "robust " + layout.describe() +
       " deadline=" + std::to_string(deadline_s) +
       " max_miss=" + std::to_string(max_miss_prob);
-  return run_resumable(
+  // Nominal lower bounds stay sound only with an inert fault model (see
+  // sweep_robust_frontier); otherwise pruning disables itself.
+  const bool prune =
+      opts.prune && !evaluator.faults().enabled() && work_units > 0.0;
+  std::optional<MemoizedConfigEvaluator> nominal;
+  std::optional<BlockBoundTable> bounds;
+  if (prune) {
+    nominal.emplace(evaluator.arm_model(), evaluator.amd_model(), limits);
+    bounds.emplace(BlockBoundTable::for_two_type(*nominal, work_units,
+                                                 opts.prune_chunk));
+  }
+  PruneCounters counters;
+  ResumableSweepResult result = run_resumable(
       signature, layout.size(), opts.robust_block, work_units, opts,
       resilience,
       [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
-        for (std::size_t i = first; i < first + count; ++i) {
-          const RobustOutcome o =
-              evaluator.evaluate(layout.config(i), work_units, deadline_s,
-                                 /*parallel=*/false);
-          if (o.miss_prob <= max_miss_prob) {
-            acc.add({o.mean_t_s, o.mean_energy_j, i});
-          }
-        }
+        consume_with_bounds(
+            bounds.has_value() ? &*bounds : nullptr, first, count, acc,
+            counters,
+            [&](std::size_t s, std::size_t e, ParetoAccumulator& a) {
+              for (std::size_t i = s; i < e; ++i) {
+                const RobustOutcome o =
+                    evaluator.evaluate(layout.config(i), work_units,
+                                       deadline_s, /*parallel=*/false);
+                if (o.miss_prob <= max_miss_prob) {
+                  a.add({o.mean_t_s, o.mean_energy_j, i});
+                }
+              }
+            });
       });
+  counters.store_into(result.stats);
+  return result;
 }
 
 ResumableSweepResult resumable_sweep_indexed(
@@ -266,15 +349,29 @@ ResumableSweepResult resumable_sweep_multi_frontier(
   }
   const MemoizedMultiEvaluator memo(std::move(models), limits);
   signature += " total=" + std::to_string(memo.size());
-  return run_resumable(
+  std::optional<BlockBoundTable> bounds;
+  if (opts.prune && work_units > 0.0) {
+    bounds.emplace(
+        BlockBoundTable::for_multi(memo, work_units, opts.prune_chunk));
+  }
+  PruneCounters counters;
+  ResumableSweepResult result = run_resumable(
       signature, memo.size(), opts.block, work_units, opts, resilience,
       [&](std::size_t first, std::size_t count, ParetoAccumulator& acc) {
-        for (std::size_t i = first; i < first + count; ++i) {
-          const MultiOutcome o = memo.evaluate_at(i, work_units);
-          acc.add({o.t_s, o.energy_j, i});
-        }
-        HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+        consume_with_bounds(
+            bounds.has_value() ? &*bounds : nullptr, first, count, acc,
+            counters,
+            [&](std::size_t s, std::size_t e, ParetoAccumulator& a) {
+              for (std::size_t i = s; i < e; ++i) {
+                const MultiOutcome o = memo.evaluate_at(i, work_units);
+                a.add({o.t_s, o.energy_j, i});
+              }
+              HEC_COUNTER_ADD("config.evaluations",
+                              static_cast<double>(e - s));
+            });
       });
+  counters.store_into(result.stats);
+  return result;
 }
 
 }  // namespace hec::resilience

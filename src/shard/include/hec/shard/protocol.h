@@ -7,10 +7,22 @@
 // results are idempotent by construction, see result_file.h).
 //
 //   hecshard/v1 messages, one per line:
-//     A <shard> <attempt> <first> <last> <run>  assignment (coordinator → worker)
+//     A <shard> <attempt> <first> <last> <run> [<n> <t:e:tag>...]
+//                                               assignment (coordinator → worker)
 //     R <shard> <attempt> <cursor>              progress report / heartbeat
-//     D <shard> <attempt>                       shard complete, result durable
+//     D <shard> <attempt> [<evaluated> <pruned>]
+//                                               shard complete, result durable
 //     F <shard> <attempt> <detail...>           attempt failed (exception text)
+//
+// The optional A-line tail is the coordinator's seed frontier — `n`
+// already-evaluated (time, energy, tag) points of the global space,
+// rendered as C99 hex floats (%a) so the worker reconstructs the exact
+// double bits. The worker folds them into its slice sweep's initial
+// carry, which is what lets bound-and-prune fire from the very first
+// chunk of every shard. The optional D-line tail reports the attempt's
+// evaluated/pruned split for the coordinator's merged accounting. Both
+// tails are omitted when empty/absent, and parsers accept the v1 short
+// forms — old and new peers interoperate.
 //
 // <attempt> is the coordinator-global spawn ordinal (1-based): it names
 // one worker process, so a late message from a superseded attempt can
@@ -30,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "hec/pareto/frontier.h"
+
 namespace hec::shard {
 
 enum class MessageKind {
@@ -48,6 +62,14 @@ struct Message {
   std::size_t cursor = 0;  ///< kProgress only
   std::string detail;      ///< kFailed only
   std::uint64_t run = 0;   ///< kAssign only: coordinator run id
+  /// kAssign only: seed frontier for the worker's bound-and-prune layer
+  /// (exact double bits survive the wire via %a hex floats).
+  std::vector<TimeEnergyPoint> seed;
+  /// kDone only: the attempt's evaluated/pruned accounting. has_stats
+  /// false encodes/decodes the v1 short form (no tail).
+  bool has_stats = false;
+  std::size_t evaluated = 0;
+  std::size_t pruned = 0;
 
   friend bool operator==(const Message&, const Message&) = default;
 };

@@ -47,6 +47,7 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hec/config/enumerate.h"
@@ -80,6 +81,20 @@ struct ShardedSweepSpec {
   std::function<void(std::size_t first, std::size_t count,
                      ParetoAccumulator& acc)>
       body;
+  /// Already-evaluated points of the global space (genuine (t, e, tag)
+  /// triples — sharded_sweep_frontier uses two_type_incumbents). The
+  /// coordinator carries them on every assignment's A line; workers fold
+  /// them into their slice sweep's initial carry so bound-and-prune
+  /// fires from each shard's first chunk. The merged frontier is
+  /// unchanged (the points belong to the space); the seed is also folded
+  /// into the sweep signature, so journals and result files from
+  /// differently-seeded runs never cross.
+  std::vector<TimeEnergyPoint> seed_frontier;
+  /// Optional: the body's (evaluated, pruned) accounting so far, read in
+  /// the worker process right after its slice completes and reported on
+  /// the D line (sharded_sweep_frontier wires this to the kernel's
+  /// stats). Null reports the v1 short form.
+  std::function<std::pair<std::size_t, std::size_t>()> body_stats;
 };
 
 struct ShardedSweepOptions {
@@ -120,6 +135,15 @@ struct ShardedSweepOptions {
   /// negative disables telemetry shipping entirely. Ignored under
   /// HEC_OBS_DISABLE builds (no sidecars are written).
   double telemetry_interval_s = 0.25;
+  /// Bound-and-prune layer inside the model-backed workers
+  /// (sharded_sweep_frontier); false evaluates everything. Opaque
+  /// run_sharded specs manage pruning inside their own body.
+  bool prune = true;
+  /// SoA/SIMD inner kernel in the model-backed workers; false keeps the
+  /// scalar path. Bit-identical either way.
+  bool simd = true;
+  /// Index granularity of the workers' pruning decisions.
+  std::size_t prune_chunk = 32;
   /// Live status document (hec-sweep-status/v1 JSON), atomically
   /// replaced every status_interval_s and once more at the end. Empty
   /// disables. Derived from protocol state, so it works — coverage, ETA,
@@ -139,6 +163,13 @@ struct ShardedSweepResult {
   std::size_t shards_complete = 0;
   std::size_t configs_total = 0;
   std::size_t configs_visited = 0;  ///< indices covered by merged shards
+  /// Evaluated/pruned split summed from the D-line reports of the
+  /// attempts that completed their shard this run. Best-effort
+  /// accounting: shards recovered from reusable result files (or workers
+  /// speaking the v1 short form) contribute nothing — the frontier and
+  /// configs_visited stay exact regardless.
+  std::size_t configs_evaluated = 0;
+  std::size_t configs_pruned = 0;
   /// Shards whose retry budget ran out (empty unless something is
   /// persistently wrong with the body or the machine).
   std::vector<std::size_t> failed_shards;

@@ -38,6 +38,7 @@
 #include "hec/shard/protocol.h"
 #include "hec/shard/result_file.h"
 #include "hec/shard/telemetry.h"
+#include "hec/sweep/kernel.h"
 #include "hec/util/atomic_file.h"
 #include "hec/util/failpoint.h"
 #include "internal.h"
@@ -247,6 +248,19 @@ void Coordinator::spawn(std::size_t shard) {
   }
   const std::uint64_t attempt = ++spawn_ordinal_;
 
+  // The assignment travels as its encoded protocol record — the A line
+  // carries the slice, run id, and seed frontier the worker will prune
+  // with, so wire format and behavior can never drift apart.
+  Message assign;
+  assign.kind = MessageKind::kAssign;
+  assign.shard = shard;
+  assign.attempt = attempt;
+  assign.first = state.range.first;
+  assign.last = state.range.last;
+  assign.run = run_id_;
+  assign.seed = spec_.seed_frontier;
+  const std::string assignment = encode(assign);
+
   // Every coordinator-side descriptor the child would inherit; it
   // closes them all except its own write end.
   std::vector<int> inherited{fds[0], fds[1]};
@@ -265,8 +279,7 @@ void Coordinator::spawn(std::size_t shard) {
     throw IoError(std::string("fork() failed: ") + std::strerror(errno));
   }
   if (pid == 0) {
-    internal::run_worker_attempt(spec_, opts_, shard, attempt, run_id_,
-                                 state.range, fds[1], inherited);
+    internal::run_worker_attempt(spec_, opts_, assignment, fds[1], inherited);
   }
   ::close(fds[1]);
   ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
@@ -445,6 +458,14 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
         requeue(m.shard, m.attempt, "reporting done without a loadable result",
                 /*backoff=*/true);
       } else {
+        if (m.has_stats) {
+          // Best-effort evaluated/pruned accounting (see shard.h): only
+          // attempts that completed their shard this run contribute.
+          tally_.configs_evaluated += m.evaluated;
+          tally_.configs_pruned += m.pruned;
+          HEC_COUNTER_ADD("shard.configs_pruned",
+                          static_cast<double>(m.pruned));
+        }
         AttemptInfo& info = attempts_[m.attempt];
         info.completed = true;
         if (info.saw_cursor) {
@@ -905,20 +926,29 @@ ShardedSweepResult sharded_sweep_frontier(const NodeTypeModel& arm_model,
                                           double work_units,
                                           const ShardedSweepOptions& opts) {
   HEC_SPAN("shard.sweep_frontier");
-  // Characterize once, fork many: the memo tables are built before any
-  // worker exists and shared copy-on-write with all of them.
+  // Characterize once, fork many: the memo tables, bound table and SoA
+  // batches are all built before any worker exists and shared
+  // copy-on-write with all of them.
   const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
+  TwoTypeSweepKernel::Options kopts;
+  kopts.prune = opts.prune;
+  kopts.simd = opts.simd;
+  kopts.chunk = opts.prune_chunk;
+  const TwoTypeSweepKernel kernel(memo, work_units, kopts);
   ShardedSweepSpec spec;
   spec.signature = memo.layout().describe();
   spec.total = memo.size();
   spec.work_units = work_units;
-  spec.body = [&memo, work_units](std::size_t first, std::size_t count,
-                                  ParetoAccumulator& acc) {
-    for (std::size_t i = first; i < first + count; ++i) {
-      const ConfigOutcome o = memo.evaluate_at(i, work_units);
-      acc.add({o.t_s, o.energy_j, i});
-    }
-    HEC_COUNTER_ADD("config.evaluations", static_cast<double>(count));
+  // Global incumbents ride every A line, so each shard prunes against
+  // the same bound no matter which worker runs it or when.
+  spec.seed_frontier = kernel.incumbents();
+  spec.body = [&kernel](std::size_t first, std::size_t count,
+                        ParetoAccumulator& acc) {
+    kernel.consume(first, count, acc);
+  };
+  spec.body_stats = [&kernel] {
+    const KernelStats s = kernel.stats();
+    return std::pair<std::size_t, std::size_t>(s.evaluated, s.pruned);
   };
   return run_sharded(spec, opts);
 }

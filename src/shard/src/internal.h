@@ -14,20 +14,23 @@ namespace hec::shard::internal {
 
 /// Fingerprint used by per-shard journals and result files: the spec's
 /// space signature plus the parameters the journal header would
-/// otherwise carry separately. One string, compared byte-for-byte.
+/// otherwise carry separately (including a digest of the seed frontier —
+/// artifacts of differently-seeded runs never cross). One string,
+/// compared byte-for-byte.
 std::string sweep_signature(const ShardedSweepSpec& spec);
 
-/// Runs one attempt of `shard_id` over `range` in the current (child)
-/// process: heartbeats on `report_fd`, journaled resumable sweep of the
-/// slice, durable result commit, then a D/F report and _exit. Never
-/// returns. `run` is the coordinator run id from the assignment (it
-/// fingerprints the attempt's telemetry sidecar); `inherited_fds` are
-/// the coordinator-side descriptors the child must close first.
+/// Runs one attempt in the current (child) process. `assignment` is the
+/// encoded hecshard/v1 A line naming the shard, attempt, slice, run id
+/// and seed frontier — the protocol record is the real carrier, so what
+/// a worker prunes with is exactly what went over the wire. Heartbeats
+/// on `report_fd`, journaled resumable sweep of the slice, durable
+/// result commit, then a D/F report and _exit. Never returns;
+/// `inherited_fds` are the coordinator-side descriptors the child must
+/// close first.
 [[noreturn]] void run_worker_attempt(const ShardedSweepSpec& spec,
                                      const ShardedSweepOptions& opts,
-                                     std::size_t shard_id,
-                                     std::uint64_t attempt, std::uint64_t run,
-                                     IndexRange range, int report_fd,
+                                     const std::string& assignment,
+                                     int report_fd,
                                      const std::vector<int>& inherited_fds);
 
 }  // namespace hec::shard::internal

@@ -1,6 +1,9 @@
 #include "hec/shard/protocol.h"
 
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <string_view>
 
 namespace hec::shard {
@@ -24,6 +27,33 @@ bool parse_number(std::string_view token, T& out) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
+/// Parses a %a-rendered double, bit-exact. from_chars would also do, but
+/// strtod's hex-float support is universal; the token must be consumed
+/// in full.
+bool parse_hex_double(std::string_view token, double& out) {
+  const std::string text(token);  // strtod needs NUL termination
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+/// One seed point as a colon-joined t:e:tag token (%a floats).
+std::string encode_seed_point(const TimeEnergyPoint& p) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%a:%a:%zu", p.t_s, p.energy_j, p.tag);
+  return buf;
+}
+
+bool parse_seed_point(std::string_view token, TimeEnergyPoint& p) {
+  const std::size_t c1 = token.find(':');
+  if (c1 == std::string_view::npos) return false;
+  const std::size_t c2 = token.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return false;
+  return parse_hex_double(token.substr(0, c1), p.t_s) &&
+         parse_hex_double(token.substr(c1 + 1, c2 - c1 - 1), p.energy_j) &&
+         parse_number(token.substr(c2 + 1), p.tag);
+}
+
 }  // namespace
 
 std::string encode(const Message& m) {
@@ -33,6 +63,12 @@ std::string encode(const Message& m) {
       line = "A " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
              ' ' + std::to_string(m.first) + ' ' + std::to_string(m.last) +
              ' ' + std::to_string(m.run);
+      if (!m.seed.empty()) {
+        line += ' ' + std::to_string(m.seed.size());
+        for (const TimeEnergyPoint& p : m.seed) {
+          line += ' ' + encode_seed_point(p);
+        }
+      }
       break;
     case MessageKind::kProgress:
       line = "R " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
@@ -40,6 +76,10 @@ std::string encode(const Message& m) {
       break;
     case MessageKind::kDone:
       line = "D " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt);
+      if (m.has_stats) {
+        line += ' ' + std::to_string(m.evaluated) + ' ' +
+                std::to_string(m.pruned);
+      }
       break;
     case MessageKind::kFailed:
       line = "F " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt);
@@ -74,6 +114,21 @@ std::optional<Message> parse(std::string_view line) {
           !parse_number(next_token(rest), m.run)) {
         return std::nullopt;
       }
+      // Optional seed block: <n> then exactly n t:e:tag triples. The v1
+      // short form (no tail) parses as an empty seed.
+      std::string_view lookahead = rest;
+      const std::string_view count_token = next_token(lookahead);
+      if (!count_token.empty()) {
+        std::size_t n = 0;
+        if (!parse_number(count_token, n)) return std::nullopt;
+        rest = lookahead;
+        m.seed.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!parse_seed_point(next_token(rest), m.seed[i])) {
+            return std::nullopt;
+          }
+        }
+      }
       break;
     }
     case 'R': {
@@ -90,6 +145,18 @@ std::optional<Message> parse(std::string_view line) {
       if (!parse_number(next_token(rest), m.shard) ||
           !parse_number(next_token(rest), m.attempt)) {
         return std::nullopt;
+      }
+      // Optional stats tail: <evaluated> <pruned>, both or neither (the
+      // v1 short form).
+      std::string_view lookahead = rest;
+      const std::string_view eval_token = next_token(lookahead);
+      if (!eval_token.empty()) {
+        if (!parse_number(eval_token, m.evaluated) ||
+            !parse_number(next_token(lookahead), m.pruned)) {
+          return std::nullopt;
+        }
+        m.has_stats = true;
+        rest = lookahead;
       }
       break;
     }

@@ -13,14 +13,18 @@
 #include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <exception>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include <unistd.h>
 
 #include "hec/obs/obs.h"
 #include "hec/parallel/periodic.h"
 #include "hec/parallel/thread_pool.h"
+#include "hec/resilience/journal.h"
 #include "hec/resilience/resumable.h"
 #include "hec/shard/protocol.h"
 #include "hec/shard/result_file.h"
@@ -54,15 +58,41 @@ void send_line(int fd, const Message& m) {
 }  // namespace
 
 std::string sweep_signature(const ShardedSweepSpec& spec) {
-  return spec.signature + " total=" + std::to_string(spec.total) +
-         " work_units=" + std::to_string(spec.work_units);
+  std::string sig = spec.signature + " total=" + std::to_string(spec.total) +
+                    " work_units=" + std::to_string(spec.work_units);
+  if (!spec.seed_frontier.empty()) {
+    // Digest with exact double bits (%a): a journal or result file
+    // written under one seed can never validate under another.
+    std::string text;
+    char buf[80];
+    for (const TimeEnergyPoint& p : spec.seed_frontier) {
+      std::snprintf(buf, sizeof buf, "%a:%a:%zu;", p.t_s, p.energy_j, p.tag);
+      text += buf;
+    }
+    std::snprintf(buf, sizeof buf, " seed=%zu/%016llx",
+                  spec.seed_frontier.size(),
+                  static_cast<unsigned long long>(resilience::fnv1a64(text)));
+    sig += buf;
+  }
+  return sig;
 }
 
 void run_worker_attempt(const ShardedSweepSpec& spec,
-                        const ShardedSweepOptions& opts, std::size_t shard_id,
-                        std::uint64_t attempt, std::uint64_t run,
-                        IndexRange range, int report_fd,
+                        const ShardedSweepOptions& opts,
+                        const std::string& assignment, int report_fd,
                         const std::vector<int>& inherited_fds) {
+  // The A line is the authoritative assignment: everything this attempt
+  // knows about its identity and seed comes from the protocol record.
+  const std::optional<Message> assign = parse(assignment);
+  if (!assign || assign->kind != MessageKind::kAssign) {
+    std::fprintf(stderr, "error: worker got a malformed assignment: %s\n",
+                 assignment.c_str());
+    ::_exit(1);
+  }
+  const std::size_t shard_id = assign->shard;
+  const std::uint64_t attempt = assign->attempt;
+  const std::uint64_t run = assign->run;
+  const IndexRange range{assign->first, assign->last};
   for (const int fd : inherited_fds) {
     if (fd != report_fd) ::close(fd);
   }
@@ -110,6 +140,10 @@ void run_worker_attempt(const ShardedSweepSpec& spec,
     res.journal_path = shard_journal_path(opts.state_dir, shard_id);
     res.checkpoint_interval_s = opts.checkpoint_interval_s;
     res.range = range;
+    // The wire-carried seed pre-loads the slice sweep's carry, so the
+    // body's bound-and-prune layer has global incumbents to prune
+    // against from the shard's first chunk.
+    res.seed_frontier = assign->seed;
     res.on_progress = [&](std::size_t at) {
       cursor.store(at);
       HEC_FAILPOINT_HIT(attempt_site.c_str());
@@ -140,7 +174,17 @@ void run_worker_attempt(const ShardedSweepSpec& spec,
     write_shard_result(shard_result_path(opts.state_dir, shard_id),
                        sweep_signature(spec), {range, swept.frontier});
     heartbeat.stop();
-    send_line(report_fd, {MessageKind::kDone, shard_id, attempt, 0, 0, 0, {}});
+    Message done;
+    done.kind = MessageKind::kDone;
+    done.shard = shard_id;
+    done.attempt = attempt;
+    if (spec.body_stats) {
+      const std::pair<std::size_t, std::size_t> stats = spec.body_stats();
+      done.has_stats = true;
+      done.evaluated = stats.first;
+      done.pruned = stats.second;
+    }
+    send_line(report_fd, done);
     ::_exit(0);
   } catch (const std::exception& e) {
     telemetry.final_flush();

@@ -1,0 +1,138 @@
+// Analytic lower bounds for the bound-and-prune sweep layer.
+//
+// Every configuration's (time, energy) is exactly linear-homogeneous in
+// the work amount W: a heterogeneous pair with per-side execution rates
+// r = 1/time_per_unit and busy powers P = energy_per_unit * r satisfies
+//
+//   t = W / (r_arm + r_amd)            (matched split, Eq. 1)
+//   e = t * (P_arm + P_amd)            (Eq. 12)
+//
+// in real arithmetic, and a homogeneous deployment is the single-type
+// special case. Both are exact per configuration: e = W · (ΣP / Σr) is
+// the config's true energy, not an estimate. Over any chunk of
+// consecutive enumeration indices the per-chunk extremes
+// R = max Σ rates and U = min (ΣP / Σr) therefore give the tightest
+// axis-aligned optimistic corner the chunk admits:
+//
+//   t_lo = W / R * (1 - δ)     e_lo = W * U * (1 - δ)
+//
+// — the chunk's true minimum time and true minimum energy (over
+// different configs, in general); δ = 1e-9 absorbs the gap between
+// this real-arithmetic bound and the engine's floating-point replay
+// (relative error ≲ 1e-13). The extremes come from one linear scan of
+// the actual compiled table entries — not from knob monotonicity — so
+// the bounds stay sound for any calibration, including non-monotone
+// SPImem profiles; pathological (non-finite) entries collapse a chunk's
+// corner to -infinity, which can never be dominated, i.e. the chunk is
+// simply evaluated.
+//
+// A chunk whose corner is dominated by the accumulator's own compacted
+// frontier (ParetoAccumulator::corner_dominated) can be skipped without
+// evaluating it: every one of its points would have been rejected by the
+// accumulator's O(log frontier) prefilter anyway, with margin. Pruning
+// is therefore a batched prefilter — result-identical for any worker
+// count, chunk alignment, or resume state, which is why the journaled
+// and sharded sweeps need no extra bookkeeping to stay bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/config/multi_space.h"
+#include "hec/pareto/frontier.h"
+#include "hec/pareto/streaming.h"
+
+namespace hec {
+
+/// Per-chunk optimistic lower bounds on (time, energy) over an index
+/// space, aligned to global index 0. Immutable after construction and
+/// shared read-only across sweep workers.
+class BlockBoundTable {
+ public:
+  /// Bounds for the two-type space (sweep_frontier's layout: hetero
+  /// ARM-major, then ARM-only, then AMD-only).
+  static BlockBoundTable for_two_type(const MemoizedConfigEvaluator& memo,
+                                      double work_units, std::size_t chunk);
+
+  /// Bounds for the N-type space (sweep_multi_frontier's odometer
+  /// layout); an absent type contributes rate 0 and power 0.
+  static BlockBoundTable for_multi(const MemoizedMultiEvaluator& memo,
+                                   double work_units, std::size_t chunk);
+
+  std::size_t chunk_size() const { return chunk_; }
+  std::size_t chunks() const { return t_lo_.size(); }
+
+  /// Optimistic corner of chunk c, valid for every index in
+  /// [c * chunk_size(), (c + 1) * chunk_size()) ∩ [0, total).
+  double t_lo(std::size_t c) const { return t_lo_[c]; }
+  double e_lo(std::size_t c) const { return e_lo_[c]; }
+
+ private:
+  BlockBoundTable(std::size_t chunk, std::vector<double> t_lo,
+                  std::vector<double> e_lo);
+
+  std::size_t chunk_;
+  std::vector<double> t_lo_;  ///< per chunk; -inf disables pruning it
+  std::vector<double> e_lo_;
+};
+
+/// Deterministic incumbent frontier for seeding a sweep: evaluates a
+/// small fixed set of extreme configurations (per side: fastest rate,
+/// lowest busy power, lowest energy-per-unit; crossed pairs plus the
+/// homogeneous extremes — ties resolved to the lowest deployment index)
+/// through the memoized evaluator and returns their Pareto frontier,
+/// tagged with genuine global enumeration indices. Seeding these real,
+/// evaluated points into an accumulator lets bound-and-prune fire from
+/// the very first chunk; because they are points of the space itself,
+/// the final frontier is unchanged (duplicates collapse in the scan).
+std::vector<TimeEnergyPoint> two_type_incumbents(
+    const MemoizedConfigEvaluator& memo, double work_units);
+
+/// What one bounded walk over a claimed block did.
+struct BoundWalkStats {
+  std::size_t evaluated = 0;      ///< indices handed to eval()
+  std::size_t pruned = 0;         ///< indices skipped whole-chunk
+  std::size_t chunks_pruned = 0;  ///< chunks skipped
+};
+
+/// Layer-1 walk shared by every sweep body that is not kernel-backed:
+/// visits [first, first + count) in `bounds` chunks, skips chunks whose
+/// optimistic corner the accumulator's own frontier dominates, and hands
+/// each surviving sub-range to `eval(sub_first, sub_last, acc)`. With
+/// bounds == nullptr everything evaluates (pruning off). Skipping is a
+/// batched form of the accumulator's prefilter, so the resulting
+/// frontier — partial or final — is bit-identical either way.
+template <typename EvalRange>
+BoundWalkStats walk_with_bounds(const BlockBoundTable* bounds,
+                                std::size_t first, std::size_t count,
+                                ParetoAccumulator& acc,
+                                const EvalRange& eval) {
+  BoundWalkStats stats;
+  const std::size_t last = first + count;
+  // Fold buffered survivors into the compacted frontier first: the
+  // corner test only sees compacted points, and a fresher frontier
+  // prunes strictly more (result-identical either way).
+  if (bounds != nullptr) acc.refresh();
+  std::size_t s = first;
+  while (s < last) {
+    std::size_t e = last;
+    if (bounds != nullptr) {
+      const std::size_t c = s / bounds->chunk_size();
+      e = std::min(last, (c + 1) * bounds->chunk_size());
+      if (acc.corner_dominated(bounds->t_lo(c), bounds->e_lo(c))) {
+        stats.pruned += e - s;
+        ++stats.chunks_pruned;
+        s = e;
+        continue;
+      }
+    }
+    eval(s, e, acc);
+    stats.evaluated += e - s;
+    s = e;
+  }
+  return stats;
+}
+
+}  // namespace hec

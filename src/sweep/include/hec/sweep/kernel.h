@@ -1,0 +1,137 @@
+// Bound-and-prune + SoA/SIMD evaluation kernel for the two-type space.
+//
+// The kernel is the consume-block body of the fast sweeps, composing the
+// two layers of the engine's fast path:
+//
+//   Layer 1 — analytic pruning: before evaluating a chunk of indices it
+//   checks the chunk's optimistic (time, energy) corner (BlockBoundTable,
+//   hec/sweep/bounds.h) against the accumulator's compacted frontier
+//   (ParetoAccumulator::corner_dominated). A dominated corner means every
+//   point of the chunk would have been rejected by the accumulator's
+//   prefilter, so the whole chunk is skipped — a batched prefilter,
+//   result-identical by construction.
+//
+//   Layer 2 — SoA/SIMD evaluation: surviving chunks are evaluated from
+//   structure-of-arrays copies of the per-side DeploymentTable scalars,
+//   laid out along the inner (P-state-fastest) enumeration axis. The
+//   inner loop is straight-line arithmetic over contiguous arrays — the
+//   exact operation sequence of CompiledOperatingPoint::predict and the
+//   matched split, in the same order — so plain -O3 autovectorizes it
+//   (no intrinsics, no -ffast-math, no FMA contraction on the baseline
+//   target) and results stay bit-identical to the scalar path.
+//
+// The scalar fallback (simd = false) routes every index through
+// MemoizedConfigEvaluator::evaluate_at, the pre-existing engine path. A
+// table whose "uniform" per-type scalars turn out to vary per entry
+// (impossible with the current model, but checked, not assumed) also
+// falls back automatically.
+//
+// Thread-safety: consume() is const and touches only the caller's
+// accumulator plus relaxed atomic counters, so one kernel instance is
+// shared read-only by all sweep workers — and, via fork, by all shard
+// worker processes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/pareto/streaming.h"
+#include "hec/sweep/bounds.h"
+
+namespace hec {
+
+/// Evaluated / pruned accounting of one kernel's lifetime (summed over
+/// every consume() call in this process).
+struct KernelStats {
+  std::size_t evaluated = 0;      ///< configs the model ran on
+  std::size_t pruned = 0;         ///< configs skipped by bound-and-prune
+  std::size_t chunks_pruned = 0;  ///< chunk ranges skipped whole
+};
+
+class TwoTypeSweepKernel {
+ public:
+  struct Options {
+    bool prune = true;
+    bool simd = true;
+    std::size_t chunk = 32;   ///< pruning granularity (indices per bound)
+  };
+
+  /// `memo` must outlive the kernel. Building precomputes the bound
+  /// table (one linear scan of the space) and the SoA arrays (one pass
+  /// over the A+B table entries).
+  TwoTypeSweepKernel(const MemoizedConfigEvaluator& memo, double work_units,
+                     const Options& opts);
+
+  /// Evaluates indices [first, first + count) into `acc`, pruning
+  /// dominated chunks. Safe to call concurrently with distinct
+  /// accumulators.
+  void consume(std::size_t first, std::size_t count,
+               ParetoAccumulator& acc) const;
+
+  /// Deterministic incumbent frontier of the kernel's space
+  /// (two_type_incumbents); empty when pruning is off.
+  std::vector<TimeEnergyPoint> incumbents() const;
+
+  KernelStats stats() const {
+    return {evaluated_.load(std::memory_order_relaxed),
+            pruned_.load(std::memory_order_relaxed),
+            chunks_pruned_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// Per-side SoA mirror of a DeploymentTable: one contiguous array per
+  /// entry-varying scalar, plus the type-uniform scalars checked at
+  /// build time.
+  struct SideSoA {
+    std::vector<double> k;        ///< time_per_unit
+    std::vector<double> n;        ///< node count
+    std::vector<double> f_hz;
+    std::vector<double> cact;
+    std::vector<double> n_cact;
+    std::vector<double> spi_mem;
+    std::vector<double> p_act;
+    std::vector<double> p_stall;
+    // Uniform across the table (verified; `usable` false otherwise).
+    double inst_per_unit = 0.0;
+    double wpi = 0.0;
+    double spi_core = 0.0;
+    double io_s_per_unit = 0.0;
+    double io_bytes_per_unit = 0.0;
+    double bandwidth_bytes_s = 0.0;
+    double mem_active_w = 0.0;
+    double io_active_w = 0.0;
+    double idle_w = 0.0;
+    bool eq17 = false;
+    bool usable = true;
+  };
+  static SideSoA build_soa(const DeploymentTable& table);
+
+  void evaluate_range(std::size_t first, std::size_t last,
+                      ParetoAccumulator& acc) const;
+  void hetero_run(std::size_t arm_index, std::size_t amd_first,
+                  std::size_t amd_last, std::size_t tag_base,
+                  ParetoAccumulator& acc) const;
+  void homogeneous_run(const SideSoA& side, std::size_t entry_first,
+                       std::size_t entry_last, std::size_t tag_base,
+                       ParetoAccumulator& acc) const;
+
+  const MemoizedConfigEvaluator* memo_;
+  double work_units_;
+  bool prune_;
+  bool simd_;
+  std::optional<BlockBoundTable> bounds_;
+  SideSoA arm_;
+  SideSoA amd_;
+  std::size_t hetero_ = 0;      ///< arm_points * amd_points
+  std::size_t arm_points_ = 0;
+  std::size_t amd_points_ = 0;
+
+  mutable std::atomic<std::size_t> evaluated_{0};
+  mutable std::atomic<std::size_t> pruned_{0};
+  mutable std::atomic<std::size_t> chunks_pruned_{0};
+};
+
+}  // namespace hec

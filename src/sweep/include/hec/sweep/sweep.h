@@ -54,13 +54,27 @@ struct SweepOptions {
   bool parallel = true;
   /// Pool to run on; nullptr uses the library's global_pool().
   ThreadPool* pool = nullptr;
+  /// Analytic bound-and-prune layer (hec/sweep/bounds.h): skips chunks
+  /// of the index space whose optimistic (time, energy) corner is
+  /// already dominated by the worker's partial frontier. The frontier is
+  /// bit-identical either way; false restores evaluate-everything.
+  bool prune = true;
+  /// SoA/SIMD inner kernel (hec/sweep/kernel.h) for the two-type space;
+  /// false keeps the scalar per-index path. Bit-identical either way.
+  bool simd = true;
+  /// Index-space granularity of pruning decisions: one (t_lo, e_lo)
+  /// bound per `prune_chunk` consecutive indices.
+  std::size_t prune_chunk = 32;
 };
 
 /// What a sweep did (for logs and benchmarks; not part of equivalence).
 struct SweepStats {
-  std::size_t configs = 0;  ///< points evaluated
+  std::size_t configs = 0;  ///< points visited (evaluated + pruned)
   std::size_t blocks = 0;   ///< cursor claims issued
   std::size_t workers = 1;  ///< concurrent consumers
+  std::size_t evaluated = 0;      ///< configs the model actually ran on
+  std::size_t pruned = 0;         ///< configs skipped by bound-and-prune
+  std::size_t blocks_pruned = 0;  ///< bound chunks skipped whole
 };
 
 /// A sweep's product: the Pareto frontier, tagged with global

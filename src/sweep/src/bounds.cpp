@@ -1,0 +1,234 @@
+#include "hec/sweep/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hec/obs/obs.h"
+#include "hec/util/expect.h"
+
+namespace hec {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Relative slack between the real-arithmetic bound and the engine's
+/// floating-point replay; the replay's rounding error is ≲ 1e-13, so
+/// 1e-9 leaves orders of magnitude of margin.
+constexpr double kBoundSlack = 1.0 - 1e-9;
+
+/// Linear chunk scan. A matched split equalises per-side times, so a
+/// configuration with combined rate R = Σ 1/k and combined busy power
+/// P = Σ e/k services W units in exactly t = W/R seconds for exactly
+/// e = W·P/R joules (both linear-homogeneous in W). The per-chunk
+/// reductions therefore track max R (→ the chunk's true minimum time)
+/// and min P/R (→ the chunk's true minimum energy): the corner is the
+/// tightest axis-aligned bound the chunk admits, not a loose cross of
+/// one config's power with another's rate.
+struct ChunkScan {
+  ChunkScan(std::size_t total, std::size_t chunk)
+      : chunk_left(chunk),
+        chunk_size(chunk),
+        rate_max((total + chunk - 1) / chunk, -kInf),
+        epu_min((total + chunk - 1) / chunk, kInf) {}
+
+  void feed(double rate, double power) {
+    const double epu = power / rate;  // energy per work unit, this config
+    if (rate > rate_max[cursor]) rate_max[cursor] = rate;
+    if (epu < epu_min[cursor]) epu_min[cursor] = epu;
+    if (--chunk_left == 0) {
+      chunk_left = chunk_size;
+      ++cursor;
+    }
+  }
+
+  std::size_t chunk_left;
+  std::size_t chunk_size;
+  std::size_t cursor = 0;
+  std::vector<double> rate_max;
+  std::vector<double> epu_min;
+};
+
+/// Per-entry execution rate (1/k) and busy power (energy per second at
+/// full tilt, e/k) of one side's deployment table.
+struct SideRates {
+  std::vector<double> rate;
+  std::vector<double> power;
+};
+
+SideRates side_rates(const DeploymentTable& table) {
+  SideRates s;
+  s.rate.resize(table.size());
+  s.power.resize(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const DeploymentEntry& e = table.entry(i);
+    s.rate[i] = 1.0 / e.time_per_unit;
+    s.power[i] = e.op.energy_per_unit() * s.rate[i];
+  }
+  return s;
+}
+
+/// Corner of one chunk: t = W/max R, e = W·min(P/R) in real arithmetic,
+/// both shrunk by the slack. Anything non-finite (degenerate entries,
+/// empty trailing chunk) collapses to -infinity: never dominated, never
+/// pruned.
+std::pair<std::vector<double>, std::vector<double>> finalize(
+    const ChunkScan& scan, double work_units) {
+  std::vector<double> t_lo(scan.rate_max.size());
+  std::vector<double> e_lo(scan.rate_max.size());
+  for (std::size_t c = 0; c < t_lo.size(); ++c) {
+    const double rate = scan.rate_max[c];
+    const double epu = scan.epu_min[c];
+    double t = work_units / rate * kBoundSlack;
+    double e = work_units * epu * kBoundSlack;
+    if (!(rate > 0.0) || !std::isfinite(t) || !std::isfinite(e)) {
+      t = -kInf;
+      e = -kInf;
+    }
+    t_lo[c] = t;
+    e_lo[c] = e;
+  }
+  return {std::move(t_lo), std::move(e_lo)};
+}
+
+}  // namespace
+
+BlockBoundTable::BlockBoundTable(std::size_t chunk, std::vector<double> t_lo,
+                                 std::vector<double> e_lo)
+    : chunk_(chunk), t_lo_(std::move(t_lo)), e_lo_(std::move(e_lo)) {}
+
+BlockBoundTable BlockBoundTable::for_two_type(
+    const MemoizedConfigEvaluator& memo, double work_units,
+    std::size_t chunk) {
+  HEC_EXPECTS(chunk >= 1);
+  HEC_EXPECTS(work_units > 0.0);
+  HEC_SPAN("sweep.bounds_build");
+  const ConfigSpaceLayout& layout = memo.layout();
+  const std::size_t total = layout.size();
+  const SideRates arm = side_rates(memo.arm_table());
+  const SideRates amd = side_rates(memo.amd_table());
+
+  ChunkScan scan(total, chunk);
+  // Hetero region (ARM-major): rates and powers add across the pair.
+  for (std::size_t a = 0; a < arm.rate.size(); ++a) {
+    const double ra = arm.rate[a];
+    const double pa = arm.power[a];
+    for (std::size_t d = 0; d < amd.rate.size(); ++d) {
+      scan.feed(ra + amd.rate[d], pa + amd.power[d]);
+    }
+  }
+  // Homogeneous tails: single-type rates.
+  for (std::size_t a = 0; a < arm.rate.size(); ++a) {
+    scan.feed(arm.rate[a], arm.power[a]);
+  }
+  for (std::size_t d = 0; d < amd.rate.size(); ++d) {
+    scan.feed(amd.rate[d], amd.power[d]);
+  }
+
+  auto [t_lo, e_lo] = finalize(scan, work_units);
+  return BlockBoundTable(chunk, std::move(t_lo), std::move(e_lo));
+}
+
+BlockBoundTable BlockBoundTable::for_multi(const MemoizedMultiEvaluator& memo,
+                                           double work_units,
+                                           std::size_t chunk) {
+  HEC_EXPECTS(chunk >= 1);
+  HEC_EXPECTS(work_units > 0.0);
+  const std::size_t types = memo.types();
+  const std::size_t total = memo.size();
+
+  // Per-type option arrays; option 0 is "absent" (rate 0, power 0).
+  std::vector<std::vector<double>> rate(types), power(types);
+  std::vector<std::size_t> radix(types);
+  for (std::size_t t = 0; t < types; ++t) {
+    const SideRates s = side_rates(memo.table(t));
+    rate[t].assign(1, 0.0);
+    rate[t].insert(rate[t].end(), s.rate.begin(), s.rate.end());
+    power[t].assign(1, 0.0);
+    power[t].insert(power[t].end(), s.power.begin(), s.power.end());
+    radix[t] = rate[t].size();
+  }
+
+  // Odometer walk (type 0 fastest, combo = index + 1: the all-absent
+  // point is skipped), summing fresh each index so no incremental
+  // floating-point drift enters the bound.
+  std::vector<std::size_t> digit(types, 0);
+  {
+    std::size_t combo = 1;
+    for (std::size_t t = 0; t < types; ++t) {
+      digit[t] = combo % radix[t];
+      combo /= radix[t];
+    }
+  }
+  ChunkScan scan(total, chunk);
+  for (std::size_t i = 0;;) {
+    double rsum = 0.0;
+    double psum = 0.0;
+    for (std::size_t t = 0; t < types; ++t) {
+      rsum += rate[t][digit[t]];
+      psum += power[t][digit[t]];
+    }
+    scan.feed(rsum, psum);
+    if (++i == total) break;
+    for (std::size_t pos = 0;; ++pos) {
+      if (++digit[pos] < radix[pos]) break;
+      digit[pos] = 0;
+    }
+  }
+
+  auto [t_lo, e_lo] = finalize(scan, work_units);
+  return BlockBoundTable(chunk, std::move(t_lo), std::move(e_lo));
+}
+
+std::vector<TimeEnergyPoint> two_type_incumbents(
+    const MemoizedConfigEvaluator& memo, double work_units) {
+  const ConfigSpaceLayout& layout = memo.layout();
+  const std::size_t arm_points = layout.arm_points();
+  const std::size_t amd_points = layout.amd_points();
+  const std::size_t hetero = arm_points * amd_points;
+
+  // Per side: fastest (min time-per-unit), lowest busy power, lowest
+  // energy-per-unit. Ties resolve to the lowest deployment index, so
+  // the pick — and therefore the seed — is deterministic.
+  const auto picks = [](const DeploymentTable& table) {
+    std::vector<std::size_t> out;
+    if (table.size() == 0) return out;
+    std::size_t fastest = 0, coolest = 0, cheapest = 0;
+    double best_k = kInf, best_p = kInf, best_epu = kInf;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const DeploymentEntry& e = table.entry(i);
+      const double k = e.time_per_unit;
+      const double epu = e.op.energy_per_unit();
+      const double p = epu / k;
+      if (k < best_k) { best_k = k; fastest = i; }
+      if (p < best_p) { best_p = p; coolest = i; }
+      if (epu < best_epu) { best_epu = epu; cheapest = i; }
+    }
+    out = {fastest, coolest, cheapest};
+    return out;
+  };
+  const std::vector<std::size_t> arm_picks = picks(memo.arm_table());
+  const std::vector<std::size_t> amd_picks = picks(memo.amd_table());
+
+  std::vector<std::size_t> indices;
+  for (const std::size_t a : arm_picks) {
+    for (const std::size_t d : amd_picks) {
+      indices.push_back(a * amd_points + d);
+    }
+  }
+  for (const std::size_t a : arm_picks) indices.push_back(hetero + a);
+  for (const std::size_t d : amd_picks) {
+    indices.push_back(hetero + arm_points + d);
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+
+  std::vector<TimeEnergyPoint> points;
+  points.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    const ConfigOutcome o = memo.evaluate_at(i, work_units);
+    points.push_back({o.t_s, o.energy_j, i});
+  }
+  return pareto_frontier(std::move(points));
+}
+
+}  // namespace hec

@@ -37,6 +37,68 @@ TEST(ShardProtocol, RoundTripsEveryKind) {
   }
 }
 
+TEST(ShardProtocol, AssignSeedFrontierRoundTripsExactDoubleBits) {
+  Message m;
+  m.kind = MessageKind::kAssign;
+  m.shard = 3;
+  m.attempt = 7;
+  m.first = 100;
+  m.last = 200;
+  m.run = 9;
+  // Exact-representation stress: a repeating fraction, a denormal, a
+  // huge magnitude and a negative zero must all survive the wire with
+  // their double bits intact (%a hex floats).
+  m.seed = {{0.1, 12345.6789, 42},
+            {5e-324, 1.7976931348623157e308, 0},
+            {-0.0, 1.0 / 3.0, 1013253}};
+  const std::string line = encode(m);
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+  const std::optional<Message> back = parse(line);
+  ASSERT_TRUE(back.has_value()) << line;
+  EXPECT_EQ(*back, m) << line;
+}
+
+TEST(ShardProtocol, AssignShortFormParsesAsEmptySeed) {
+  // v1 peers never send the seed tail; the long-form parser must accept
+  // their records unchanged.
+  const std::optional<Message> m = parse("A 3 7 100 200 9");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->seed.empty());
+}
+
+TEST(ShardProtocol, DoneStatsTailRoundTrips) {
+  Message m;
+  m.kind = MessageKind::kDone;
+  m.shard = 5;
+  m.attempt = 6;
+  m.has_stats = true;
+  m.evaluated = 51040;
+  m.pruned = 962214;
+  EXPECT_EQ(encode(m), "D 5 6 51040 962214\n");
+  const std::optional<Message> back = parse(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+  // The v1 short form stays the v1 short form.
+  const std::optional<Message> short_form = parse("D 5 6");
+  ASSERT_TRUE(short_form.has_value());
+  EXPECT_FALSE(short_form->has_stats);
+}
+
+TEST(ShardProtocol, RejectsMalformedSeedAndStatsTails) {
+  const char* bad[] = {
+      "A 1 2 3 4 5 2 0x1p+0:0x1p+1:7",  // n=2 but one triple
+      "A 1 2 3 4 5 1 0x1p+0:0x1p+1",    // triple missing its tag
+      "A 1 2 3 4 5 1 nope",             // not a triple at all
+      "A 1 2 3 4 5 x",                  // count is not a number
+      "D 1 2 3",                        // evaluated without pruned
+      "D 1 2 3 4 5",                    // trailing field after stats
+      "D 1 2 x 4",                      // non-numeric evaluated
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse(line).has_value()) << "'" << line << "'";
+  }
+}
+
 TEST(ShardProtocol, ParsesWithOrWithoutTrailingNewline) {
   EXPECT_TRUE(parse("R 1 2 3\n").has_value());
   EXPECT_TRUE(parse("R 1 2 3").has_value());

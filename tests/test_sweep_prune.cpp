@@ -1,0 +1,346 @@
+// Soundness of the bound-and-prune + SoA/SIMD sweep layer: for ANY
+// model calibration — including non-monotone SPImem profiles and
+// randomly perturbed power curves — the pruned/vectorized engines must
+// return the evaluate-everything scalar engine's frontier bit for bit.
+// The bounds are computed from the compiled table entries themselves
+// (hec/sweep/bounds.h), never from knob monotonicity, which is exactly
+// what this suite stresses: 200 random calibrations, every prune/simd
+// combination, the robust and multi-type engines, seeded resumable
+// sweeps, and the degenerate chunk geometries (single block,
+// all-dominated, none-dominated) at the walk level.
+#include "hec/sweep/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "hec/config/evaluate.h"
+#include "hec/config/robust_evaluate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/node_model.h"
+#include "hec/resilience/resumable.h"
+#include "hec/sweep/sweep.h"
+
+namespace hec {
+namespace {
+
+/// A fully synthetic calibration for `spec`: every coefficient drawn at
+/// random, SPImem fits independently sampled per core count (so the
+/// profile is non-monotone in both cores and frequency with high
+/// probability — slopes may be negative). Values stay positive across
+/// the spec's P-state range, but nothing here is monotone, smooth or
+/// physical; the prune layer must not care.
+NodeTypeModel perturbed_model(const NodeSpec& spec, std::mt19937& rng) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const auto uni = [&](double lo, double hi) {
+    return lo + (hi - lo) * u01(rng);
+  };
+
+  WorkloadInputs w;
+  w.inst_per_unit = uni(1e3, 1e6);
+  w.wpi = uni(0.5, 3.0);
+  w.spi_core = uni(0.0, 2.0);
+  for (int c = 0; c < spec.cores; ++c) {
+    LinearFit fit;
+    fit.intercept = uni(1.2, 6.0);
+    // Negative slopes allowed: SPImem decreasing in f. Bounded so the
+    // value stays positive at the spec's top P-state.
+    fit.slope = uni(-0.3, 0.7);
+    fit.r_squared = 1.0;
+    w.spi_mem_by_cores.push_back(fit);
+  }
+  w.ucpu = uni(0.3, 1.0);
+  w.io_bytes_per_unit = uni(0.0, 1e4);
+  w.io_s_per_unit = u01(rng) < 0.3 ? 0.0 : uni(1e-7, 1e-4);
+
+  PowerParams p;
+  p.freqs_ghz = spec.pstates.frequencies_ghz();
+  for (std::size_t i = 0; i < p.freqs_ghz.size(); ++i) {
+    p.core_active_w.push_back(uni(1.0, 12.0));
+    p.core_stall_w.push_back(uni(0.2, 5.0));
+  }
+  p.mem_active_w = uni(0.5, 8.0);
+  p.io_active_w = uni(0.2, 5.0);
+  p.idle_w = uni(2.0, 40.0);
+
+  const EnergyAccounting acct = u01(rng) < 0.5
+                                    ? EnergyAccounting::kPaperEq17
+                                    : EnergyAccounting::kOverlapAware;
+  return NodeTypeModel(spec, std::move(w), std::move(p), acct);
+}
+
+void expect_identical(const SweepResult& got, const SweepResult& want,
+                      const char* label, int seed = -1) {
+  ASSERT_EQ(got.frontier.size(), want.frontier.size())
+      << label << " seed " << seed;
+  for (std::size_t i = 0; i < got.frontier.size(); ++i) {
+    EXPECT_EQ(got.frontier[i], want.frontier[i])
+        << label << " seed " << seed << " frontier point " << i;
+  }
+}
+
+SweepOptions everything() {
+  SweepOptions o;
+  o.prune = false;
+  o.simd = false;
+  return o;
+}
+
+// The core property: 200 random calibrations, random limits and work
+// amounts, pruned+vectorized vs evaluate-everything scalar. Bit
+// identity, and the visited-point accounting must balance.
+TEST(SweepPruneProperty, PerturbedCoefficientsPrunedMatchesUnpruned) {
+  const NodeSpec arm_spec = arm_cortex_a9();
+  const NodeSpec amd_spec = amd_opteron_k10();
+  for (int seed = 0; seed < 200; ++seed) {
+    std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+    const NodeTypeModel arm = perturbed_model(arm_spec, rng);
+    const NodeTypeModel amd = perturbed_model(amd_spec, rng);
+    std::uniform_int_distribution<int> pick_nodes(0, 4);
+    EnumerationLimits limits{pick_nodes(rng), pick_nodes(rng)};
+    if (limits.max_arm_nodes == 0 && limits.max_amd_nodes == 0) {
+      limits.max_arm_nodes = 1;
+    }
+    std::uniform_real_distribution<double> pick_exp(3.5, 7.0);
+    const double work_units = std::pow(10.0, pick_exp(rng));
+
+    const SweepResult fast = sweep_frontier(arm, amd, limits, work_units);
+    const SweepResult plain =
+        sweep_frontier(arm, amd, limits, work_units, everything());
+    expect_identical(fast, plain, "perturbed", seed);
+    EXPECT_EQ(fast.stats.evaluated + fast.stats.pruned, fast.stats.configs)
+        << "seed " << seed;
+    EXPECT_EQ(plain.stats.pruned, 0u) << "seed " << seed;
+  }
+}
+
+// Every prune/simd combination agrees with the naive legacy reference.
+TEST(SweepPruneProperty, AllEngineCombosMatchReferenceBitForBit) {
+  std::mt19937 rng(777);
+  const NodeTypeModel arm = perturbed_model(arm_cortex_a9(), rng);
+  const NodeTypeModel amd = perturbed_model(amd_opteron_k10(), rng);
+  const EnumerationLimits limits{4, 3};
+  const double work_units = 2e6;
+  const SweepResult want =
+      sweep_frontier_reference(arm, amd, limits, work_units);
+  for (const bool prune : {false, true}) {
+    for (const bool simd : {false, true}) {
+      SweepOptions o;
+      o.prune = prune;
+      o.simd = simd;
+      const SweepResult got =
+          sweep_frontier(arm, amd, limits, work_units, o);
+      expect_identical(got, want,
+                       prune ? (simd ? "prune+simd" : "prune+scalar")
+                             : (simd ? "simd" : "scalar"));
+    }
+  }
+}
+
+// Pruning decisions at any chunk granularity are invisible in the
+// result (the chunk size only changes which prefilter batches fire).
+TEST(SweepPruneProperty, ChunkSizingIsInvisible) {
+  std::mt19937 rng(4242);
+  const NodeTypeModel arm = perturbed_model(arm_cortex_a9(), rng);
+  const NodeTypeModel amd = perturbed_model(amd_opteron_k10(), rng);
+  const EnumerationLimits limits{3, 3};
+  const double work_units = 5e5;
+  const SweepResult want =
+      sweep_frontier(arm, amd, limits, work_units, everything());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{32}, std::size_t{4096},
+                                  std::size_t{1u << 20}}) {
+    SweepOptions o;
+    o.prune_chunk = chunk;
+    const SweepResult got = sweep_frontier(arm, amd, limits, work_units, o);
+    expect_identical(got, want, "chunk variant");
+    EXPECT_EQ(got.stats.evaluated + got.stats.pruned, got.stats.configs)
+        << "chunk " << chunk;
+  }
+}
+
+// Inert fault model: the robust engine may prune (the gate allows it)
+// and must stay bit-identical to its reference. Active faults: pruning
+// silently disables (Monte Carlo outcomes are not bounded by the
+// nominal analytics) — the gate, not the caller, is responsible.
+TEST(SweepPruneProperty, RobustSweepPruneGate) {
+  std::mt19937 rng(99);
+  const NodeTypeModel arm = perturbed_model(arm_cortex_a9(), rng);
+  const NodeTypeModel amd = perturbed_model(amd_opteron_k10(), rng);
+  const EnumerationLimits limits{2, 2};
+  const double work_units = 1e5;
+  MonteCarloOptions mc;
+  mc.trials = 4;
+
+  const FaultConfig inert;  // defaults: no crashes, stragglers, caps
+  ASSERT_FALSE(inert.enabled());
+  const RobustConfigEvaluator calm(arm, amd, inert, mc);
+  const SweepResult fast =
+      sweep_robust_frontier(calm, limits, work_units, 1e6, 1.0);
+  const SweepResult naive = sweep_robust_frontier_reference(
+      calm, limits, work_units, 1e6, 1.0);
+  expect_identical(fast, naive, "robust inert");
+
+  FaultConfig active;
+  active.mttf_s = 4000.0;
+  ASSERT_TRUE(active.enabled());
+  const RobustConfigEvaluator faulty(arm, amd, active, mc);
+  const SweepResult guarded =
+      sweep_robust_frontier(faulty, limits, work_units, 1e6, 1.0);
+  EXPECT_EQ(guarded.stats.pruned, 0u)
+      << "active faults must disable pruning";
+  expect_identical(guarded,
+                   sweep_robust_frontier_reference(faulty, limits,
+                                                   work_units, 1e6, 1.0),
+                   "robust active");
+}
+
+// Multi-type odometer space under a perturbed third calibration.
+TEST(SweepPruneProperty, MultiTypePrunedMatchesUnpruned) {
+  std::mt19937 rng(11);
+  const NodeTypeModel arm = perturbed_model(arm_cortex_a9(), rng);
+  const NodeTypeModel amd = perturbed_model(amd_opteron_k10(), rng);
+  const NodeTypeModel third = perturbed_model(arm_cortex_a9(), rng);
+  const std::vector<const NodeTypeModel*> models = {&arm, &amd, &third};
+  const std::vector<int> limits = {2, 1, 2};
+  const double work_units = 3e5;
+  expect_identical(sweep_multi_frontier(models, limits, work_units),
+                   sweep_multi_frontier(models, limits, work_units,
+                                        everything()),
+                   "multi");
+}
+
+// A resumable sweep seeded with incumbents — or even with the complete
+// reference frontier (every seed point is a genuine point of the
+// space) — finishes with the identical frontier; a full-frontier seed
+// makes pruning near-maximal without changing a single output bit.
+TEST(SweepPruneProperty, SeededResumableSweepIsIdentical) {
+  std::mt19937 rng(5150);
+  const NodeTypeModel arm = perturbed_model(arm_cortex_a9(), rng);
+  const NodeTypeModel amd = perturbed_model(amd_opteron_k10(), rng);
+  const EnumerationLimits limits{6, 6};
+  const double work_units = 1e6;
+  const SweepResult want =
+      sweep_frontier(arm, amd, limits, work_units, everything());
+
+  const MemoizedConfigEvaluator memo(arm, amd, limits);
+  resilience::ResilienceOptions incumbent_seeded;
+  incumbent_seeded.seed_frontier = two_type_incumbents(memo, work_units);
+  const resilience::ResumableSweepResult seeded =
+      resilience::resumable_sweep_frontier(arm, amd, limits, work_units, {},
+                                           incumbent_seeded);
+  ASSERT_TRUE(seeded.complete);
+  ASSERT_EQ(seeded.frontier.size(), want.frontier.size());
+  for (std::size_t i = 0; i < want.frontier.size(); ++i) {
+    EXPECT_EQ(seeded.frontier[i], want.frontier[i]) << "incumbent seed " << i;
+  }
+
+  resilience::ResilienceOptions frontier_seeded;
+  frontier_seeded.seed_frontier = want.frontier;
+  const resilience::ResumableSweepResult maximal =
+      resilience::resumable_sweep_frontier(arm, amd, limits, work_units, {},
+                                           frontier_seeded);
+  ASSERT_TRUE(maximal.complete);
+  ASSERT_EQ(maximal.frontier.size(), want.frontier.size());
+  for (std::size_t i = 0; i < want.frontier.size(); ++i) {
+    EXPECT_EQ(maximal.frontier[i], want.frontier[i]) << "frontier seed " << i;
+  }
+  EXPECT_GT(maximal.stats.pruned, 0u)
+      << "a full-frontier seed should prune aggressively";
+  EXPECT_EQ(maximal.stats.evaluated + maximal.stats.pruned,
+            maximal.stats.configs);
+}
+
+// ---- Degenerate chunk geometries, at the walk level ------------------
+
+struct WalkFixture {
+  WalkFixture()
+      : arm([] {
+          std::mt19937 rng(31337);
+          return perturbed_model(arm_cortex_a9(), rng);
+        }()),
+        amd([] {
+          std::mt19937 rng(31338);
+          return perturbed_model(amd_opteron_k10(), rng);
+        }()),
+        memo(arm, amd, EnumerationLimits{1, 1}) {}
+
+  NodeTypeModel arm;
+  NodeTypeModel amd;
+  MemoizedConfigEvaluator memo;
+  const double work_units = 1e5;
+
+  /// Evaluation stub that only counts; the walk's accounting and skip
+  /// decisions are what is under test here.
+  std::size_t calls = 0;
+  std::size_t touched = 0;
+  BoundWalkStats walk(const BlockBoundTable* bounds, ParetoAccumulator& acc) {
+    return walk_with_bounds(
+        bounds, 0, memo.size(), acc,
+        [&](std::size_t s, std::size_t e, ParetoAccumulator&) {
+          ++calls;
+          touched += e - s;
+        });
+  }
+};
+
+TEST(SweepPruneDegenerate, SingleBlockSpace) {
+  WalkFixture f;
+  // Chunk larger than the whole space: exactly one bound chunk.
+  const BlockBoundTable bounds =
+      BlockBoundTable::for_two_type(f.memo, f.work_units, 1u << 20);
+  EXPECT_EQ(bounds.chunks(), 1u);
+  ParetoAccumulator acc;
+  const BoundWalkStats stats = f.walk(&bounds, acc);
+  // Empty frontier dominates nothing: the single chunk evaluates whole.
+  EXPECT_EQ(stats.evaluated, f.memo.size());
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(stats.chunks_pruned, 0u);
+  EXPECT_EQ(f.touched, f.memo.size());
+}
+
+TEST(SweepPruneDegenerate, AllChunksDominated) {
+  WalkFixture f;
+  const BlockBoundTable bounds =
+      BlockBoundTable::for_two_type(f.memo, f.work_units, 1);
+  ParetoAccumulator acc;
+  // A carry point that beats every corner outright: everything prunes,
+  // the evaluation callback never runs.
+  acc.seed({{1e-300, 1e-300, 0}});
+  const BoundWalkStats stats = f.walk(&bounds, acc);
+  EXPECT_EQ(stats.evaluated, 0u);
+  EXPECT_EQ(stats.pruned, f.memo.size());
+  EXPECT_EQ(stats.chunks_pruned, bounds.chunks());
+  EXPECT_EQ(f.calls, 0u);
+}
+
+TEST(SweepPruneDegenerate, NoChunkDominated) {
+  WalkFixture f;
+  const BlockBoundTable bounds =
+      BlockBoundTable::for_two_type(f.memo, f.work_units, 1);
+  ParetoAccumulator acc;
+  // A carry point slower than every corner dominates none of them.
+  acc.seed({{1e300, 1e-300, 0}});
+  const BoundWalkStats stats = f.walk(&bounds, acc);
+  EXPECT_EQ(stats.evaluated, f.memo.size());
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(stats.chunks_pruned, 0u);
+  EXPECT_EQ(f.touched, f.memo.size());
+}
+
+TEST(SweepPruneDegenerate, NullBoundsEvaluateEverythingInOneRange) {
+  WalkFixture f;
+  ParetoAccumulator acc;
+  acc.seed({{1e-300, 1e-300, 0}});  // would prune everything, if consulted
+  const BoundWalkStats stats = f.walk(nullptr, acc);
+  EXPECT_EQ(stats.evaluated, f.memo.size());
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(f.calls, 1u) << "no bounds: one contiguous eval range";
+}
+
+}  // namespace
+}  // namespace hec

@@ -29,6 +29,10 @@
 //              [--max-retries N]      per-shard retry budget
 //              [--profile-out FILE]   hec-profile/v1 span-tree profile
 //                                     (.folded => collapsed flamegraph stacks)
+//              [--sweep-stats]        print the sweep's evaluated/pruned/
+//                                     memo breakdown after the result
+//              [--no-prune]           disable the bound-and-prune layer
+//              [--no-simd]            disable the SoA/SIMD inner kernel
 //              [--ledger FILE]        append a hec-run-ledger/v1 record
 //              [--version]            print version + build provenance
 //              [--build-info]         same, as a JSON document
@@ -137,6 +141,13 @@ void print_usage(std::ostream& out) {
       "                       (counts + total/self wall time per call path);\n"
       "                       a .folded suffix writes collapsed flamegraph\n"
       "                       stacks instead\n"
+      "  --sweep-stats        print the sweep's evaluated/pruned/memo\n"
+      "                       breakdown after the result (exit codes and\n"
+      "                       default output are unchanged)\n"
+      "  --no-prune           disable the analytic bound-and-prune layer\n"
+      "                       (journal/shard sweeps; frontier unchanged)\n"
+      "  --no-simd            disable the SoA/SIMD inner kernel and use the\n"
+      "                       scalar path (bit-identical results)\n"
       "  --ledger FILE        append one hec-run-ledger/v1 record (run id,\n"
       "                       build info, argv, key counters, wall, RSS,\n"
       "                       exit code) to FILE; see hecsim_obsreport\n"
@@ -176,6 +187,9 @@ struct Options {
   std::size_t max_retries = 3;
   std::optional<std::string> profile_out;
   std::optional<std::string> ledger_out;
+  bool sweep_stats = false;
+  bool prune = true;
+  bool simd = true;
 
   /// True when the sweep runs as coordinator + worker processes.
   bool sharded_requested() const { return shards.has_value(); }
@@ -280,6 +294,12 @@ Options parse_args(int argc, char** argv) {
       opts.status_out = next();
     } else if (args[i] == "--profile-out") {
       opts.profile_out = next();
+    } else if (args[i] == "--sweep-stats") {
+      opts.sweep_stats = true;
+    } else if (args[i] == "--no-prune") {
+      opts.prune = false;
+    } else if (args[i] == "--no-simd") {
+      opts.simd = false;
     } else if (args[i] == "--ledger") {
       opts.ledger_out = next();
     } else if (args[i] == "--journal") {
@@ -418,6 +438,7 @@ void declare_metrics() {
         "sim.core_busy_s", "sim.nic_busy_s", "sim.mem_stall_cycles",
         "model.predictions", "model.match_splits", "model.characterizations",
         "cluster.runs", "config.evaluations", "config.mc_trials",
+        "sweep.blocks_pruned",
         "fault.runs", "fault.crashes", "fault.checkpoints", "fault.rematches",
         "fault.wasted_units", "pareto.frontier_calls", "search.evaluations"}) {
     reg.counter(name);
@@ -430,7 +451,8 @@ void declare_metrics() {
   for (const char* name :
        {"shard.spawns", "shard.reassignments", "shard.steals",
         "shard.retries", "shard.heartbeats", "shard.results_reused",
-        "shard.telemetry_ingests", "shard.telemetry_rejected"}) {
+        "shard.telemetry_ingests", "shard.telemetry_rejected",
+        "shard.configs_pruned"}) {
     reg.counter(name);
   }
   reg.gauge("pareto.frontier_size");
@@ -561,6 +583,12 @@ int run(int argc, char** argv) {
   bool partial = false;              // wall deadline stopped the sweep
   bool shards_failed = false;        // a shard exhausted its retry budget
   std::size_t configs_total = 0;     // coverage denominator when partial
+  // Evaluated/pruned split for --sweep-stats and the ledger. Present on
+  // the sweep-engine paths (sharded, resumable); the legacy loop and the
+  // searchers evaluate everything they visit, so pruned stays 0 there.
+  bool have_sweep_split = false;
+  std::size_t sweep_evaluated = 0;
+  std::size_t sweep_pruned = 0;
   // Collected only when a trace/metrics file was requested: the frontier
   // over evaluated points is observability output, not part of the
   // query, and the default run must stay byte-identical.
@@ -594,6 +622,8 @@ int run(int argc, char** argv) {
       sop.max_retries = opts.max_retries;
       sop.deadline_s =
           opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
+      sop.prune = opts.prune;
+      sop.simd = opts.simd;
       if (opts.status_out) sop.status_path = *opts.status_out;
       // A traced/metered run flushes telemetry at every journal commit:
       // deterministic sidecar contents are worth more than the saved
@@ -618,6 +648,9 @@ int run(int argc, char** argv) {
       partial = sweep.deadline_hit;
       shards_failed = !sweep.failed_shards.empty();
       configs_total = sweep.configs_total;
+      have_sweep_split = true;
+      sweep_evaluated = sweep.configs_evaluated;
+      sweep_pruned = sweep.configs_pruned;
       if (g_ledger) {
         char run_id[32];
         std::snprintf(run_id, sizeof(run_id), "%016llx",
@@ -665,12 +698,18 @@ int run(int argc, char** argv) {
       }
       rop.deadline_s =
           opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
+      hec::SweepOptions swop;
+      swop.prune = opts.prune;
+      swop.simd = opts.simd;
       const hec::resilience::ResumableSweepResult sweep =
           hec::resilience::resumable_sweep_frontier(arm_model, amd_model,
-                                                    limits, units, {}, rop);
+                                                    limits, units, swop, rop);
       evaluations = sweep.configs_visited;
       partial = !sweep.complete;
       configs_total = sweep.configs_total;
+      have_sweep_split = true;
+      sweep_evaluated = sweep.stats.evaluated;
+      sweep_pruned = sweep.stats.pruned;
       if (sweep.resumed) {
         std::cout << "(resumed from checkpoint: " << sweep.resume_cursor
                   << " of " << sweep.configs_total
@@ -720,6 +759,12 @@ int run(int argc, char** argv) {
       g_ledger->counters["sweep.configs_total"] =
           static_cast<double>(configs_total);
     }
+    if (have_sweep_split) {
+      g_ledger->counters["sweep.configs_evaluated"] =
+          static_cast<double>(sweep_evaluated);
+      g_ledger->counters["sweep.configs_pruned"] =
+          static_cast<double>(sweep_pruned);
+    }
   }
   if (!evaluated_points.empty()) {
     HEC_SPAN("cli.pareto");
@@ -743,6 +788,31 @@ int run(int argc, char** argv) {
     std::cout << "Sharded sweep: some shards exhausted their retry budget "
                  "(see stderr); covered " << evaluations << " of "
               << configs_total << " configurations.\n";
+  }
+  if (opts.sweep_stats) {
+    // Opt-in diagnostics: strictly additive output, exit codes and the
+    // default byte stream are untouched.
+    const std::size_t visited = sweep_evaluated + sweep_pruned;
+    std::cout << "(sweep stats: ";
+    if (have_sweep_split) {
+      const double frac =
+          visited > 0 ? static_cast<double>(sweep_pruned) /
+                            static_cast<double>(visited) * 100.0
+                      : 0.0;
+      char pct[16];
+      std::snprintf(pct, sizeof pct, "%.1f", frac);
+      const hec::ConfigSpaceLayout layout(arm, amd, limits);
+      std::cout << visited << " visited = " << sweep_evaluated
+                << " evaluated + " << sweep_pruned << " pruned [" << pct
+                << "%]; memo: "
+                << layout.arm_points() + layout.amd_points()
+                << " deployment tables served " << sweep_evaluated
+                << " evaluations";
+    } else {
+      std::cout << evaluations << " evaluated, 0 pruned (method "
+                << opts.method << " evaluates everything it visits)";
+    }
+    std::cout << ")\n";
   }
   if (!best) {
     std::cout << "No configuration of up to " << opts.max_arm << " ARM + "
