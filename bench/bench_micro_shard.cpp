@@ -2,13 +2,18 @@
 //
 // Runs the single-process streaming sweep as the identity reference,
 // then the coordinator/worker sharded sweep at 1 worker and at
-// min(4, cores) workers over the same EP space, and finally a kill
-// drill that SIGKILLs two worker attempts mid-shard via failpoints.
-// Gates: the merged frontier must equal the single-process frontier bit
-// for bit in every run (including under kills, which must also be
-// visible as reassignments), and scaling the workers must actually
-// scale the wall clock.
+// min(4, cores) workers over the same EP space, then the same scaled
+// run again over loopback TCP (workers dialing a listener instead of
+// being forked onto pipes), and finally a kill drill that SIGKILLs two
+// worker attempts mid-shard via failpoints. Gates: the merged frontier
+// must equal the single-process frontier bit for bit in every run
+// (including over sockets and under kills, which must also be visible
+// as reassignments), scaling the workers must actually scale the wall
+// clock, and the socket transport may cost at most 10% over pipes at
+// the same worker count.
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -17,11 +22,15 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "hec/bench/json.h"
 #include "hec/shard/shard.h"
 #include "hec/shard/telemetry.h"
+#include "hec/shard/transport.h"
+#include "hec/shard/worker_loop.h"
+#include "hec/util/env.h"
 #include "hec/util/failpoint.h"
 
 namespace {
@@ -133,6 +142,80 @@ int main() {
   }
   const double rate_spread_x = rate_min > 0.0 ? rate_max / rate_min : 0.0;
 
+  // Two more pipe runs at the same worker count: the transport-overhead
+  // gate below compares best-of-three walls on both transports, so a
+  // single scheduler hiccup on a small box cannot fake (or mask) a
+  // regression in a sub-100ms measurement.
+  double pipe_min_wall_s = scaled_wall_s;
+  for (int rep = 0; rep < 2; ++rep) {
+    reset_state_dir(state_dir);
+    const auto rep_start = std::chrono::steady_clock::now();
+    (void)shard::sharded_sweep_frontier(models.arm, models.amd, limits,
+                                        work_units, opts);
+    pipe_min_wall_s = std::min(pipe_min_wall_s, seconds_since(rep_start));
+  }
+
+  // Loopback-TCP leg at the same worker count: the coordinator listens
+  // on an ephemeral port and the workers dial in from forked children
+  // running run_two_type_worker (exactly what tools/hecsim_worker
+  // does), so this prices frame CRC + poll I/O + the wire-borne result
+  // frontier against the pipe transport over the identical space. The
+  // listener is closed at the end of each run, so every repetition
+  // binds a fresh one and forks a fresh fleet, with fresh worker state
+  // dirs (a reused dir would let result-file reuse skip the compute).
+  double tcp_min_wall_s = 0.0;
+  bool tcp_identical = true;
+  bool tcp_workers_clean = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    shard::Listener listener(util::Endpoint{"127.0.0.1", 0});
+    std::vector<pid_t> tcp_workers;
+    for (std::size_t w = 0; w < scaled_workers; ++w) {
+      const std::string wdir = state_dir + ".tcp_r" + std::to_string(rep) +
+                               "_w" + std::to_string(w);
+      reset_state_dir(wdir);
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        shard::WorkerLoopOptions wop;
+        wop.connect = {"127.0.0.1", listener.port()};
+        wop.state_dir = wdir;
+        try {
+          const shard::WorkerLoopResult r = shard::run_two_type_worker(
+              models.arm, models.amd, limits, work_units, wop);
+          ::_exit(r.served ? 0 : 1);
+        } catch (...) {
+          ::_exit(2);
+        }
+      }
+      tcp_workers.push_back(pid);
+    }
+    // Let the workers finish characterizing their own models, dial and
+    // park in the handshake (the listener's backlog holds them) before
+    // the clock starts. Pipe workers inherit the coordinator's
+    // evaluator by fork, so charging the TCP leg for rebuilding it
+    // would price process startup, not the transport.
+    ::usleep(500000);
+    opts.workers = scaled_workers;
+    opts.listener = &listener;
+    reset_state_dir(state_dir);
+    const auto tcp_start = std::chrono::steady_clock::now();
+    const shard::ShardedSweepResult tcp = shard::sharded_sweep_frontier(
+        models.arm, models.amd, limits, work_units, opts);
+    const double tcp_wall_s = seconds_since(tcp_start);
+    opts.listener = nullptr;
+    for (const pid_t pid : tcp_workers) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      tcp_workers_clean =
+          tcp_workers_clean && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    tcp_identical = tcp_identical && tcp.complete &&
+                    frontiers_identical(tcp.frontier, reference.frontier);
+    tcp_min_wall_s =
+        rep == 0 ? tcp_wall_s : std::min(tcp_min_wall_s, tcp_wall_s);
+  }
+  const double transport_overhead_frac =
+      (tcp_min_wall_s - pipe_min_wall_s) / pipe_min_wall_s;
+
   // Kill drill: SIGKILL the 2nd and 3rd spawned attempts mid-shard (3rd
   // progress boundary = after ~two committed epochs). Always 4 workers
   // so both ordinals exist even on small machines; the replacements
@@ -162,13 +245,18 @@ int main() {
   std::printf("1 worker         %.3f s\n", serial_wall_s);
   std::printf("%zu worker(s)     %.3f s (%.2fx vs 1 worker)\n",
               scaled_workers, scaled_wall_s, speedup);
+  std::printf("loopback TCP     %.3f s best-of-3 (%+.1f%% vs pipe %.3f s, "
+              "workers %s)\n",
+              tcp_min_wall_s, 100.0 * transport_overhead_frac,
+              pipe_min_wall_s, tcp_workers_clean ? "clean" : "UNCLEAN");
   std::printf("kill drill       %.3f s, %zu reassignments, %zu spawns\n",
               kill_wall_s, killed.reassignments, killed.spawns);
   std::printf("status coverage  %.1f%% | worker rate spread %.2fx\n",
               final_coverage_pct, rate_spread_x);
-  std::printf("frontier match   serial=%s scaled=%s killed=%s\n",
+  std::printf("frontier match   serial=%s scaled=%s tcp=%s killed=%s\n",
               serial_identical ? "exact" : "MISMATCH",
               scaled_identical ? "exact" : "MISMATCH",
+              tcp_identical ? "exact" : "MISMATCH",
               kill_identical ? "exact" : "MISMATCH");
 
   namespace tel = hec::bench::telemetry;
@@ -188,6 +276,13 @@ int main() {
                      tel::MetricKind::kPerf, "s");
   tel::report_metric("micro_shard.kill_wall_s", kill_wall_s,
                      tel::MetricKind::kPerf, "s");
+  tel::report_metric("micro_shard.tcp_wall_s", tcp_min_wall_s,
+                     tel::MetricKind::kPerf, "s");
+  tel::report_metric("micro_shard.tcp_identity", tcp_identical ? 1.0 : 0.0,
+                     tel::MetricKind::kAccuracy, "fraction");
+  tel::report_metric("micro_shard.transport_overhead_frac",
+                     transport_overhead_frac, tel::MetricKind::kPerf,
+                     "fraction");
   tel::report_metric("micro_shard.kill_reassignments",
                      static_cast<double>(killed.reassignments),
                      tel::MetricKind::kCount, "reassignments");
@@ -198,8 +293,29 @@ int main() {
   tel::report_metric("micro_shard.worker_rate_spread_x", rate_spread_x,
                      tel::MetricKind::kInfo, "x");
 
-  if (!serial_identical || !scaled_identical || !kill_identical) {
+  if (!serial_identical || !scaled_identical || !tcp_identical ||
+      !kill_identical) {
     std::fprintf(stderr, "FAIL: sharded frontier differs from reference\n");
+    return 1;
+  }
+  if (!tcp_workers_clean) {
+    std::fprintf(stderr, "FAIL: a TCP worker exited unclean\n");
+    return 1;
+  }
+  // The socket transport must stay within 10% of pipes at the same
+  // worker count — a bigger gap means the framing / poll loop /
+  // wire-result path regressed. The gate carries a 20ms absolute arm
+  // (the comparator's max(rel, abs) idiom, hec/bench/compare.h): both
+  // walls are tens of milliseconds on a small box, where one missed
+  // 20ms scheduler tick is >40% relative, so a purely relative gate
+  // would flake on noise. Real transport regressions dwarf the arm —
+  // losing TCP_NODELAY alone costs ~40ms per shard exchange.
+  const double transport_gap_s = tcp_min_wall_s - pipe_min_wall_s;
+  if (transport_gap_s > std::max(0.10 * pipe_min_wall_s, 0.020)) {
+    std::fprintf(stderr,
+                 "FAIL: loopback TCP costs %.1f%% (+%.0f ms) over pipes "
+                 "(gate 10%% with a 20 ms noise floor)\n",
+                 100.0 * transport_overhead_frac, 1e3 * transport_gap_s);
     return 1;
   }
   if (final_coverage_pct != 100.0) {

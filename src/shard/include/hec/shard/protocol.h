@@ -14,6 +14,28 @@
 //                                               shard complete, result durable
 //     F <shard> <attempt> <detail...>           attempt failed (exception text)
 //
+//   socket-transport extensions (hec/shard/transport.h; a pipe peer
+//   never sends or receives these):
+//     H <space_fp> <prev_run>                   worker hello: fingerprint of
+//                                               the space it can sweep, plus
+//                                               the run id of its previous
+//                                               session (0 on first connect —
+//                                               a matching id marks a
+//                                               reconnect)
+//     W <run>                                   coordinator welcome: the
+//                                               handshake succeeded, this is
+//                                               the run id
+//     P <shard> <attempt> <n> <t:e:tag>...      result payload: the slice
+//                                               frontier itself (%a hex
+//                                               floats), sent before D so a
+//                                               coordinator without a shared
+//                                               filesystem can commit the
+//                                               durable result on its side
+//     N                                         ping (coordinator keepalive
+//                                               to an idle worker)
+//     B                                         bye: the run is over, the
+//                                               worker should exit cleanly
+//
 // The optional A-line tail is the coordinator's seed frontier — `n`
 // already-evaluated (time, energy, tag) points of the global space,
 // rendered as C99 hex floats (%a) so the worker reconstructs the exact
@@ -51,7 +73,18 @@ enum class MessageKind {
   kProgress,  ///< R: heartbeat carrying the absolute sweep cursor
   kDone,      ///< D: shard finished; result file committed
   kFailed,    ///< F: attempt hit an exception; detail is the reason
+  kHello,     ///< H: worker dials in (socket transport handshake)
+  kWelcome,   ///< W: coordinator accepts the hello
+  kResult,    ///< P: slice frontier payload (socket transport)
+  kPing,      ///< N: coordinator keepalive to an idle worker
+  kBye,       ///< B: run over; the worker should exit cleanly
 };
+
+/// Largest frontier (seed or result payload) a parser will accept. Far
+/// above any real frontier of the paper's space, far below anything
+/// that would let a malicious peer make the coordinator allocate
+/// unboundedly off one claimed count.
+inline constexpr std::size_t kMaxWireFrontier = 1 << 16;
 
 struct Message {
   MessageKind kind = MessageKind::kProgress;
@@ -61,9 +94,17 @@ struct Message {
   std::size_t last = 0;    ///< kAssign only
   std::size_t cursor = 0;  ///< kProgress only
   std::string detail;      ///< kFailed only
-  std::uint64_t run = 0;   ///< kAssign only: coordinator run id
-  /// kAssign only: seed frontier for the worker's bound-and-prune layer
-  /// (exact double bits survive the wire via %a hex floats).
+  /// kAssign/kWelcome: coordinator run id. kHello: the run id of the
+  /// worker's previous session with this coordinator (0 = first
+  /// connect; matching the live run id marks a reconnect).
+  std::uint64_t run = 0;
+  /// kHello only: fingerprint of the sweep space the worker built
+  /// locally (hec/shard/transport.h, space_fingerprint) — the
+  /// authentication token of the handshake.
+  std::uint64_t space = 0;
+  /// kAssign: seed frontier for the worker's bound-and-prune layer.
+  /// kResult: the finished slice's frontier. Exact double bits survive
+  /// the wire via %a hex floats either way.
   std::vector<TimeEnergyPoint> seed;
   /// kDone only: the attempt's evaluated/pruned accounting. has_stats
   /// false encodes/decodes the v1 short form (no tail).

@@ -4,11 +4,16 @@
 // per-shard Pareto frontiers into a result bit-identical to an
 // uninterrupted single-process sweep.
 //
-// Transport today is fork + pipe on one machine; the protocol
-// (hec/shard/protocol.h) and the durability scheme (per-shard journals
-// + result files under `state_dir`, hec/shard/result_file.h) are
-// transport-agnostic, so a socket coordinator can reuse everything but
-// the spawn call.
+// Two transports (hec/shard/transport.h) plug into one supervision
+// loop: fork + pipe on one machine (the default), or supervised TCP
+// sockets (`listen` below) where standalone workers — tools/
+// hecsim_worker, or anything calling run_worker_loop — dial in,
+// authenticate with the space fingerprint, and serve attempts over
+// CRC-framed protocol lines. The durability scheme (per-shard journals
+// + result files under `state_dir`, hec/shard/result_file.h) is
+// transport-agnostic; over sockets the result frontier additionally
+// rides the wire (P line) so the coordinator commits its own copy
+// without a shared filesystem.
 //
 // Robustness model
 // ----------------
@@ -39,7 +44,9 @@
 // `shard.merge` (coordinator, per merged shard), and the dynamic
 // `shard.attempt.<ordinal>` (worker, each progress boundary of the
 // ordinal-th spawned attempt) — the last is how tests SIGKILL exactly
-// k of n workers mid-shard, deterministically.
+// k of n workers mid-shard, deterministically. The socket transport
+// adds net.{accept,read,write,frame.corrupt,partition}; see
+// hec/shard/transport.h.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +65,8 @@
 #include "hec/sweep/sweep.h"
 
 namespace hec::shard {
+
+class Listener;  // hec/shard/transport.h
 
 /// A deadline-stopped sharded sweep exits with the same code as a
 /// deadline-stopped resumable sweep: partial results, resume finishes.
@@ -98,7 +107,9 @@ struct ShardedSweepSpec {
 };
 
 struct ShardedSweepOptions {
-  /// Concurrent worker processes.
+  /// Concurrent worker processes (fork+pipe transport), or the cap on
+  /// concurrent assignments (socket transport — connections beyond it
+  /// idle until a slot frees).
   std::size_t workers = 2;
   /// Shard count (work units handed to workers). 0 derives 4× workers,
   /// so work stealing and requeues have slack to rebalance.
@@ -144,6 +155,22 @@ struct ShardedSweepOptions {
   bool simd = true;
   /// Index granularity of the workers' pruning decisions.
   std::size_t prune_chunk = 32;
+  /// TCP listen endpoint ("host:port", ":port" or bare "port"; port 0
+  /// binds an ephemeral port). Non-empty switches the transport from
+  /// fork+pipe to supervised sockets: the coordinator spawns nothing —
+  /// workers dial in (tools/hecsim_worker / run_worker_loop) and
+  /// `workers` caps how many serve attempts at once.
+  std::string listen;
+  /// Alternative to `listen` for tests: a pre-bound Listener
+  /// (hec/shard/transport.h) whose real port was read back before
+  /// workers were started. Borrowed for the run, but CLOSED at the end
+  /// of it so dialing workers see ECONNREFUSED and exit.
+  Listener* listener = nullptr;
+  /// Socket transport: per-connection I/O timeout (blocked writes,
+  /// handshake deadline) and the idle keepalive cadence (pings at a
+  /// third of it). Workers use the same budget for their idle-read
+  /// partition escape.
+  double net_timeout_s = 10.0;
   /// Live status document (hec-sweep-status/v1 JSON), atomically
   /// replaced every status_interval_s and once more at the end. Empty
   /// disables. Derived from protocol state, so it works — coverage, ETA,

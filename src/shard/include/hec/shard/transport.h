@@ -1,0 +1,237 @@
+// Transport seam for sharded sweeps: how assignment/report lines reach
+// a worker, abstracted away from the coordinator's supervision logic.
+//
+// Two implementations:
+//
+//  * fork+pipe (make_fork_pipe_transport) — the original single-machine
+//    path. assign() forks a child that runs the attempt and reports on
+//    a pipe; the assignment itself rides the fork (the child is handed
+//    the encoded A line), so send() on a pipe link is a no-op.
+//  * supervised sockets (make_socket_transport) — workers are separate
+//    processes (tools/hecsim_worker, or anything calling
+//    run_worker_loop) that DIAL the coordinator's listener, handshake
+//    (H → W, authenticated by the space fingerprint), and then serve
+//    one attempt at a time per connection. assign() hands the A line to
+//    an idle authenticated connection; a finished link is recycled for
+//    the next assignment.
+//
+// The robustness layer lives here, not in the protocol:
+//
+//  * Every socket line travels inside a length-limited CRC frame
+//    (frame_line / unframe_line): "#<len-hex>:<crc-hex> <payload>\n".
+//    A frame that fails to verify marks the connection corrupt; the
+//    coordinator quarantines it (drops the connection, requeues the
+//    shard) — garbage is never retried on the same connection and
+//    never crashes either endpoint.
+//  * All socket I/O is non-blocking with poll-based readiness,
+//    EINTR/partial-write correct, bounded by a per-connection timeout,
+//    and SIGPIPE-immune (MSG_NOSIGNAL; the coordinator additionally
+//    ignores SIGPIPE for the run).
+//  * Connection death — EOF, a read/write error, a handshake that
+//    never completes — surfaces through the SAME supervision paths as
+//    process death: the lease expires or the drain reports closed, and
+//    the shard is requeued exactly like a SIGKILLed local worker.
+//
+// Deterministic network fault injection (HEC_FAILPOINT, see
+// hec/util/failpoint.h) adds five sites:
+//
+//   net.accept        coordinator, per accepted connection (error mode
+//                     drops the connection at the door)
+//   net.read          per drain() of a socket link (error mode closes
+//                     the connection mid-read)
+//   net.write         per send() on a socket link (error mode closes
+//                     the connection mid-write)
+//   net.frame.corrupt per send() on a socket link (error mode flips a
+//                     byte in the outgoing frame — the peer must
+//                     quarantine, never crash)
+//   net.partition     coordinator, per assignment handed to a socket
+//                     link (error mode blackholes the link: writes
+//                     pretend to succeed, reads discard — neither side
+//                     sees a FIN, exactly like a network partition;
+//                     the lease expiry and the worker's idle timeout
+//                     are what recover it)
+//
+// Obs counters: shard.net.{accepts,disconnects,reconnects,
+// frames_rejected,partitions}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "hec/shard/protocol.h"
+#include "hec/shard/shard.h"
+#include "hec/util/env.h"
+
+namespace hec::shard {
+
+// ---------------------------------------------------------------------------
+// Frame codec (socket transport only; pipe lines travel bare).
+
+/// Upper bound on one frame's payload. Generous enough for an A line
+/// carrying a kMaxWireFrontier-point seed, small enough that a peer
+/// claiming a bogus length cannot make the receiver buffer unboundedly.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 22;
+
+/// FNV-1a over the payload bytes — cheap, endian-free, and plenty to
+/// catch the bit flips and truncations a TCP stream can smuggle past
+/// its own checksum (or a failpoint injects on purpose).
+std::uint32_t frame_crc(std::string_view payload);
+
+/// Wraps one protocol line (trailing newline optional) as a frame:
+/// "#<len-hex>:<crc-hex> <payload>\n".
+std::string frame_line(std::string_view line);
+
+/// Validates and unwraps one frame (newline optional). Returns the
+/// payload line, or nullopt with `why` set — bad marker, unparseable or
+/// oversized length, length/CRC mismatch. Never throws.
+std::optional<std::string> unframe_line(std::string_view frame,
+                                        std::string* why);
+
+/// Fingerprint of the sweep space a peer can serve: the spec's
+/// signature, total and work units (the seed frontier is excluded — it
+/// is per-assignment state carried on the A line). Both handshake
+/// sides compute this locally from their own spec; a worker built for
+/// a different space is rejected at hello time.
+std::uint64_t space_fingerprint(const ShardedSweepSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Links and transports.
+
+/// What one drain() pass produced. `lines` are complete protocol lines
+/// (already unframed on sockets). `closed` means the peer is gone (EOF
+/// or an I/O error); `corrupt` means a frame failed verification — the
+/// caller must quarantine the connection.
+struct DrainResult {
+  std::vector<std::string> lines;
+  bool closed = false;
+  bool corrupt = false;
+  std::string why;
+};
+
+/// One supervised worker attachment: a forked child's report pipe, or
+/// an authenticated socket connection. Owned by the coordinator's
+/// running-worker table (or, client-side, by run_worker_loop).
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  WorkerLink() = default;
+  WorkerLink(const WorkerLink&) = delete;
+  WorkerLink& operator=(const WorkerLink&) = delete;
+
+  virtual const char* kind() const = 0;
+  /// Readable fd to poll, or -1 when the link has nothing pollable.
+  virtual int poll_fd() const = 0;
+  /// Worker process id when the transport owns the process (pipe), -1
+  /// otherwise (a socket peer manages its own lifetime).
+  virtual pid_t pid() const { return -1; }
+  /// Ships one protocol record. Returns false when the link is closed
+  /// (a dying peer mid-write is an ordinary false, never a signal).
+  virtual bool send(const Message& m) = 0;
+  /// Non-blocking read pass: everything available right now.
+  virtual DrainResult drain() = 0;
+  /// Non-blocking death probe; a description once the peer is known
+  /// gone ("signal 9", "connection closed"), nullopt while alive.
+  virtual std::optional<std::string> check_dead() = 0;
+  /// Severs the attachment: SIGKILL + reap for a pipe child, close for
+  /// a socket (the remote worker survives and may reconnect).
+  /// Idempotent.
+  virtual void kill() = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// A bound, listening TCP socket, created before the coordinator runs
+/// so tests can bind 127.0.0.1:0, learn the real port, and start
+/// workers first. The socket transport closes it at the end of the run
+/// (even when borrowed via ShardedSweepOptions::listener) so dialing
+/// workers get ECONNREFUSED instead of a half-open handshake.
+class Listener {
+ public:
+  /// Binds and listens. Empty host binds all interfaces; port 0 binds
+  /// an ephemeral port (read the real one back from port()). Throws
+  /// hec::IoError when the endpoint cannot be bound.
+  explicit Listener(const util::Endpoint& endpoint);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+  std::string describe() const;
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string host_;
+};
+
+/// How assignments find workers. One transport per sharded run; the
+/// coordinator is the only caller (single-threaded — the lease monitor
+/// never touches the transport).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual const char* kind() const = 0;
+  /// Places `assignment` (a kAssign record) on a worker: fork one
+  /// (pipe) or hand it to an idle authenticated connection (socket).
+  /// Returns nullptr when no worker is available right now — the
+  /// caller simply tries again next supervision turn.
+  virtual std::unique_ptr<WorkerLink> assign(const Message& assignment) = 0;
+  /// Per-turn housekeeping: accepts, handshakes, handshake timeouts,
+  /// idle keepalives. Returns true when new assignment capacity
+  /// appeared (a connection was welcomed into the idle pool), so the
+  /// supervision loop can skip its idle sleep and assign immediately.
+  /// No-op for the pipe transport.
+  virtual bool pump(double now_s) {
+    (void)now_s;
+    return false;
+  }
+  /// Returns a link whose attempt concluded (D or F) for reuse. The
+  /// pipe transport reaps the child; the socket transport parks the
+  /// connection in the idle pool.
+  virtual void recycle(std::unique_ptr<WorkerLink> link) { (void)link; }
+  /// End of run: tells idle socket workers to exit (B line), closes
+  /// every connection and the listener.
+  virtual void shutdown() {}
+};
+
+std::unique_ptr<Transport> make_fork_pipe_transport(
+    const ShardedSweepSpec& spec, const ShardedSweepOptions& opts,
+    std::mutex& fork_mutex);
+
+struct SocketTransportConfig {
+  /// Pre-bound listener to use (borrowed — but see Listener: the
+  /// transport still closes it at shutdown). When null, `owned` must
+  /// be set.
+  Listener* listener = nullptr;
+  std::unique_ptr<Listener> owned;
+  std::uint64_t run_id = 0;
+  std::uint64_t space_fp = 0;
+  /// Per-connection I/O budget: blocked-write timeout, handshake
+  /// deadline, and the idle keepalive cadence (pings go out at a third
+  /// of it).
+  double net_timeout_s = 10.0;
+};
+
+std::unique_ptr<Transport> make_socket_transport(SocketTransportConfig config);
+
+/// Client side: dials `endpoint` and returns a connected socket link
+/// (same framing, timeouts and failpoints as the coordinator side), or
+/// nullptr with `why` set. The caller still has to handshake (send
+/// kHello, await kWelcome) before the coordinator will assign to it.
+std::unique_ptr<WorkerLink> connect_link(const util::Endpoint& endpoint,
+                                         double net_timeout_s,
+                                         std::string* why);
+
+}  // namespace hec::shard

@@ -1,0 +1,96 @@
+// Standalone socket worker for sharded sweeps: dials a coordinator's
+// listener (ShardedSweepOptions::listen on the other side), handshakes
+// with the space fingerprint, and serves attempts until the
+// coordinator says bye.
+//
+// Reconnection model: any connection loss — coordinator restart,
+// network blip, injected fault, or an idle link that went silent past
+// the net timeout (the partition escape) — sends the worker back to the
+// dial loop with capped exponential backoff plus jitter. Its per-shard
+// journals live in its own local state_dir, so a re-attached worker
+// that is handed the same shard resumes from its last epoch boundary
+// instead of recomputing; the merged frontier is bit-identical either
+// way. The loop gives up only after max_redials consecutive dial
+// failures (an ended run closes the listener, so orphaned workers
+// drain out instead of spinning forever).
+//
+// tools/hecsim_worker is the CLI wrapper; tests and benches call
+// run_worker_loop / run_two_type_worker directly from forked children.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hec/config/enumerate.h"
+#include "hec/model/node_model.h"
+#include "hec/shard/shard.h"
+#include "hec/util/env.h"
+
+namespace hec::shard {
+
+struct WorkerLoopOptions {
+  /// Coordinator endpoint to dial (host empty = localhost).
+  util::Endpoint connect;
+  /// Directory for this worker's journals, result files and telemetry
+  /// sidecars. Required. Local to the worker machine; when it happens
+  /// to be the coordinator's state_dir (loopback runs), telemetry
+  /// ingest and result reuse work exactly like the fork transport.
+  std::string state_dir;
+  /// I/O timeout: blocked writes, the handshake wait, and the idle-read
+  /// window after which a silent link is presumed partitioned and
+  /// redialed. Keep equal to the coordinator's net_timeout_s.
+  double net_timeout_s = 10.0;
+  /// Heartbeat cadence while running an attempt (R lines).
+  double heartbeat_interval_s = 0.05;
+  /// Same roles as the ShardedSweepOptions fields of the same names.
+  double checkpoint_interval_s = 0.0;
+  double telemetry_interval_s = 0.25;
+  std::size_t threads = 0;
+  bool prune = true;
+  bool simd = true;
+  std::size_t prune_chunk = 32;
+  /// Redial backoff: first delay, doubling per consecutive failure up
+  /// to the cap, with ±25% jitter so a restarted fleet does not dial in
+  /// lockstep.
+  double redial_backoff_s = 0.1;
+  double redial_backoff_max_s = 2.0;
+  /// Consecutive dial/handshake failures before the loop gives up.
+  std::size_t max_redials = 20;
+  /// Jitter seed; 0 derives one from the pid.
+  std::uint64_t jitter_seed = 0;
+};
+
+struct WorkerLoopResult {
+  bool served = false;  ///< handshake succeeded at least once
+  bool bye = false;     ///< coordinator ended the run explicitly (B)
+  std::size_t attempts_run = 0;
+  std::size_t attempts_failed = 0;
+  /// Successful re-handshakes with the same live run after a connection
+  /// loss.
+  std::size_t reconnects = 0;
+  /// Last dial/handshake failure, for diagnostics when served is false.
+  std::string detail;
+};
+
+/// Serves `spec` to the coordinator at opts.connect. The spec must
+/// describe the same space as the coordinator's (space_fingerprint
+/// authenticates that); seed frontiers arrive per-assignment and are
+/// folded in here. Returns when told bye or after max_redials
+/// consecutive failed dials. Throws hec::IoError when state_dir is
+/// unusable and std::invalid_argument on nonsense options.
+WorkerLoopResult run_worker_loop(const ShardedSweepSpec& spec,
+                                 const WorkerLoopOptions& opts);
+
+/// Two-type paper-space twin (the worker side of
+/// sharded_sweep_frontier): characterizes both models into the memoized
+/// evaluator + SoA kernel — deterministically, so a worker built from
+/// the same binary and inputs fingerprints identically to its
+/// coordinator — then serves the space via run_worker_loop.
+WorkerLoopResult run_two_type_worker(const NodeTypeModel& arm_model,
+                                     const NodeTypeModel& amd_model,
+                                     const EnumerationLimits& limits,
+                                     double work_units,
+                                     const WorkerLoopOptions& opts);
+
+}  // namespace hec::shard

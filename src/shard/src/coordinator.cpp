@@ -1,13 +1,15 @@
-// Coordinator half of the sharded sweep: plans shards, spawns worker
-// processes, supervises them through the lease table, and merges the
-// per-shard frontiers. See hec/shard/shard.h for the robustness model.
+// Coordinator half of the sharded sweep: plans shards, places attempts
+// on workers through a Transport (fork+pipe or supervised sockets —
+// hec/shard/transport.h), supervises them through the lease table, and
+// merges the per-shard frontiers. See hec/shard/shard.h for the
+// robustness model.
 //
 // Threading: exactly one extra thread — the monitor (a PeriodicTask)
-// that scans the lease table and queues revocations. All process
-// operations (fork, kill, waitpid, fd reads) happen on the caller's
-// thread. The monitor callback and fork() serialise on one mutex, so a
-// child is never created while the monitor is mid-operation and the
-// child never inherits a locked lock it could trip over.
+// that scans the lease table and queues revocations. All process and
+// socket operations happen on the caller's thread. The monitor
+// callback and fork() serialise on one mutex, so a child is never
+// created while the monitor is mid-operation and the child never
+// inherits a locked lock it could trip over.
 #include "hec/shard/shard.h"
 
 #include <algorithm>
@@ -17,15 +19,14 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
-#include <fcntl.h>
 #include <poll.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "hec/bench/json.h"
@@ -38,6 +39,7 @@
 #include "hec/shard/protocol.h"
 #include "hec/shard/result_file.h"
 #include "hec/shard/telemetry.h"
+#include "hec/shard/transport.h"
 #include "hec/sweep/kernel.h"
 #include "hec/util/atomic_file.h"
 #include "hec/util/failpoint.h"
@@ -59,11 +61,27 @@ struct ShardState {
 };
 
 struct RunningWorker {
-  pid_t pid = -1;
-  int fd = -1;  ///< read end of the worker's report pipe; -1 after EOF
+  std::unique_ptr<WorkerLink> link;
   std::size_t shard = 0;
   std::uint64_t attempt = 0;
-  LineBuffer buffer;
+  /// How the attempt's messages concluded it this turn: recycle the
+  /// link for the next assignment (D delivered a loadable result, or F
+  /// — the connection itself behaved), or quarantine it (garbage or a
+  /// D without a result: the peer is broken, never reuse the link).
+  enum class Concluded { kNo, kRecycle, kQuarantine } concluded =
+      Concluded::kNo;
+};
+
+/// Restores the previous SIGPIPE disposition on scope exit. The
+/// coordinator writes to worker links (socket assignments, pings); a
+/// peer dying mid-write must surface as EPIPE on the write loop, never
+/// as SIGPIPE process death.
+struct SigPipeGuard {
+  void (*previous)(int);
+  SigPipeGuard() { previous = std::signal(SIGPIPE, SIG_IGN); }
+  ~SigPipeGuard() {
+    if (previous != SIG_ERR) std::signal(SIGPIPE, previous);
+  }
 };
 
 void make_state_dir(const std::string& dir) {
@@ -127,17 +145,23 @@ class Coordinator {
   }
 
   void plan_shards();
+  void make_transport();
   bool load_result(std::size_t shard);
   bool try_reuse_result(std::size_t shard);
-  void spawn(std::size_t shard);
+  bool spawn(std::size_t shard);
   void spawn_eligible();
   void drain_revocations();
-  void pump_pipes();
+  void pump_links();
+  /// Drains worker `idx` and fully resolves what came out: messages,
+  /// conclusion (recycle/quarantine), or death. May erase the entry.
+  void service_link(std::size_t idx);
+  /// Drops a connection that sent garbage (corrupt frame or malformed
+  /// record) and requeues its shard. Socket-transport only; the same
+  /// connection is never retried.
+  void quarantine(std::size_t idx, const std::string& why);
   void handle_line(RunningWorker& worker, const Message& m);
-  void reap_exits();
   void requeue(std::size_t shard, std::uint64_t attempt, const char* cause,
                bool backoff);
-  void kill_worker(RunningWorker& worker);
   void kill_all();
   std::optional<std::size_t> find_running(std::size_t shard,
                                           std::uint64_t attempt) const;
@@ -171,6 +195,9 @@ class Coordinator {
   const std::string signature_;
   const std::uint64_t run_id_;
 
+  /// Declared before running_ so links are destroyed before their
+  /// transport (links deregister fds / close sockets through it).
+  std::unique_ptr<Transport> transport_;
   std::vector<ShardState> shards_;
   std::vector<RunningWorker> running_;
   std::uint64_t spawn_ordinal_ = 0;
@@ -239,52 +266,31 @@ bool Coordinator::try_reuse_result(std::size_t shard) {
   return true;
 }
 
-void Coordinator::spawn(std::size_t shard) {
+bool Coordinator::spawn(std::size_t shard) {
   ShardState& state = shards_[shard];
   HEC_FAILPOINT_HIT("shard.assign");
-  int fds[2];
-  if (::pipe(fds) != 0) {
-    throw IoError(std::string("pipe() failed: ") + std::strerror(errno));
-  }
-  const std::uint64_t attempt = ++spawn_ordinal_;
 
   // The assignment travels as its encoded protocol record — the A line
   // carries the slice, run id, and seed frontier the worker will prune
-  // with, so wire format and behavior can never drift apart.
+  // with, so wire format and behavior can never drift apart. The
+  // attempt ordinal is provisional until the transport actually places
+  // it (a socket transport with nobody idle places nothing).
   Message assign;
   assign.kind = MessageKind::kAssign;
   assign.shard = shard;
-  assign.attempt = attempt;
+  assign.attempt = spawn_ordinal_ + 1;
   assign.first = state.range.first;
   assign.last = state.range.last;
   assign.run = run_id_;
   assign.seed = spec_.seed_frontier;
-  const std::string assignment = encode(assign);
 
-  // Every coordinator-side descriptor the child would inherit; it
-  // closes them all except its own write end.
-  std::vector<int> inherited{fds[0], fds[1]};
-  for (const RunningWorker& w : running_) {
-    if (w.fd >= 0) inherited.push_back(w.fd);
-  }
+  std::unique_ptr<WorkerLink> link = transport_->assign(assign);
+  if (!link) return false;
+  const std::uint64_t attempt = ++spawn_ordinal_;
+  const std::string who = link->describe();
+  const pid_t pid = link->pid();
 
-  pid_t pid = -1;
-  {
-    std::lock_guard lock(fork_mutex_);
-    pid = ::fork();
-  }
-  if (pid < 0) {
-    ::close(fds[0]);
-    ::close(fds[1]);
-    throw IoError(std::string("fork() failed: ") + std::strerror(errno));
-  }
-  if (pid == 0) {
-    internal::run_worker_attempt(spec_, opts_, assignment, fds[1], inherited);
-  }
-  ::close(fds[1]);
-  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-
-  running_.push_back({pid, fds[0], shard, attempt});
+  running_.push_back({std::move(link), shard, attempt});
   ++state.attempts;
   lease_.grant(shard, attempt, state.range.first, now_s());
   ++tally_.spawns;
@@ -293,9 +299,9 @@ void Coordinator::spawn(std::size_t shard) {
   info.shard = shard;
   info.pid = pid;
   note("shard.spawn", "shard=" + std::to_string(shard) +
-                          " attempt=" + std::to_string(attempt) +
-                          " pid=" + std::to_string(pid) + " slice=" +
-                          describe(state.range));
+                          " attempt=" + std::to_string(attempt) + " worker=" +
+                          who + " slice=" + describe(state.range));
+  return true;
 }
 
 void Coordinator::spawn_eligible() {
@@ -310,7 +316,7 @@ void Coordinator::spawn_eligible() {
       break;
     }
     if (!pick) return;
-    spawn(*pick);
+    if (!spawn(*pick)) return;  // transport has no capacity right now
   }
 }
 
@@ -365,24 +371,10 @@ void Coordinator::requeue(std::size_t shard, std::uint64_t attempt,
   state.eligible_at_s = now_s() + delay;
 }
 
-void Coordinator::kill_worker(RunningWorker& worker) {
-  if (worker.pid > 0) {
-    ::kill(worker.pid, SIGKILL);
-    int status = 0;
-    while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    worker.pid = -1;
-  }
-  if (worker.fd >= 0) {
-    ::close(worker.fd);
-    worker.fd = -1;
-  }
-}
-
 void Coordinator::kill_all() {
   for (RunningWorker& worker : running_) {
     lease_.release(worker.shard, worker.attempt);
-    kill_worker(worker);
+    worker.link->kill();
   }
   running_.clear();
 }
@@ -403,7 +395,7 @@ void Coordinator::drain_revocations() {
                  steal ? "made no progress" : "sent no heartbeat", rev.idle_s,
                  steal ? "stealing the shard (journal keeps its progress)"
                        : "presuming the worker dead and requeueing");
-    kill_worker(running_[*idx]);
+    running_[*idx].link->kill();
     running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(*idx));
     if (steal) {
       ++tally_.steals;
@@ -441,15 +433,43 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
         info.saw_cursor = true;
         info.first_cursor = m.cursor;
         info.first_seen_s = now;
+        info.last_cursor = m.cursor;
+        info.last_seen_s = now;
+      } else if (m.cursor >= info.last_cursor) {
+        // A reordered or stale heartbeat (pipe scheduling, socket
+        // buffering) can arrive with a cursor behind what we already
+        // recorded; rewinding would corrupt coverage and rate
+        // accounting, so recorded progress is monotone per attempt.
+        // (The lease table applies the same guard independently.)
+        info.last_cursor = m.cursor;
+        info.last_seen_s = now;
       }
-      info.last_cursor = m.cursor;
-      info.last_seen_s = now;
+      break;
+    }
+    case MessageKind::kResult: {
+      // Socket transport's durable-result carrier: the worker committed
+      // this frontier locally, then shipped it so a coordinator without
+      // a shared filesystem can commit its own copy BEFORE the D that
+      // follows — the same durability ordering as the local path. The D
+      // handler then verifies the file like any other.
+      if (shards_[m.shard].complete) break;
+      try {
+        write_shard_result(shard_result_path(opts_.state_dir, m.shard),
+                           signature_, {shards_[m.shard].range, m.seed});
+      } catch (const IoError& e) {
+        std::fprintf(stderr,
+                     "warning: cannot commit shipped result of shard %zu: "
+                     "%s\n",
+                     m.shard, e.what());
+      }
       break;
     }
     case MessageKind::kDone: {
       lease_.release(m.shard, m.attempt);
       if (!load_result(m.shard)) {
-        // D without a loadable result is a broken worker; retry.
+        // D without a loadable result is a broken worker; retry (and
+        // never hand this connection another assignment).
+        worker.concluded = RunningWorker::Concluded::kQuarantine;
         ++tally_.retries;
         HEC_COUNTER_INC("shard.retries");
         note("shard.retry",
@@ -458,6 +478,7 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
         requeue(m.shard, m.attempt, "reporting done without a loadable result",
                 /*backoff=*/true);
       } else {
+        worker.concluded = RunningWorker::Concluded::kRecycle;
         if (m.has_stats) {
           // Best-effort evaluated/pruned accounting (see shard.h): only
           // attempts that completed their shard this run contribute.
@@ -483,6 +504,7 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
     }
     case MessageKind::kFailed: {
       lease_.release(m.shard, m.attempt);
+      worker.concluded = RunningWorker::Concluded::kRecycle;
       std::fprintf(stderr, "warning: shard %zu attempt %llu failed: %s\n",
                    m.shard, static_cast<unsigned long long>(m.attempt),
                    m.detail.c_str());
@@ -494,107 +516,98 @@ void Coordinator::handle_line(RunningWorker& worker, const Message& m) {
       break;
     }
     case MessageKind::kAssign:
-      break;  // coordinator → worker only; ignore on this side
+    case MessageKind::kHello:
+    case MessageKind::kWelcome:
+    case MessageKind::kPing:
+    case MessageKind::kBye:
+      break;  // not worker→coordinator report traffic; ignore
   }
 }
 
-void Coordinator::pump_pipes() {
-  std::vector<pollfd> fds;
-  fds.reserve(running_.size());
-  for (const RunningWorker& worker : running_) {
-    if (worker.fd >= 0) fds.push_back({worker.fd, POLLIN, 0});
+void Coordinator::quarantine(std::size_t idx, const std::string& why) {
+  RunningWorker& worker = running_[idx];
+  std::fprintf(stderr,
+               "warning: shard %zu attempt %llu sent garbage (%s); "
+               "quarantining the connection and requeueing\n",
+               worker.shard, static_cast<unsigned long long>(worker.attempt),
+               why.c_str());
+  HEC_COUNTER_INC("shard.net.frames_rejected");
+  HEC_COUNTER_INC("shard.net.disconnects");
+  worker.link->kill();
+  if (!shards_[worker.shard].complete &&
+      lease_.release(worker.shard, worker.attempt)) {
+    ++tally_.reassignments;
+    HEC_COUNTER_INC("shard.reassignments");
+    note("shard.reassign",
+         "shard=" + std::to_string(worker.shard) + " attempt=" +
+             std::to_string(worker.attempt) + " cause=garbage");
+    requeue(worker.shard, worker.attempt, "sending garbage",
+            /*backoff=*/true);
   }
-  if (fds.empty()) {
-    // Nothing to listen to (all pipes at EOF / backoff wait): sleep one
-    // supervision tick instead of spinning.
-    ::poll(nullptr, 0, 20);
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void Coordinator::service_link(std::size_t idx) {
+  RunningWorker& worker = running_[idx];
+  const DrainResult drained = worker.link->drain();
+  const bool socket = std::strcmp(worker.link->kind(), "socket") == 0;
+  for (const std::string& line : drained.lines) {
+    const std::optional<Message> m = parse(line);
+    if (!m) {
+      if (socket) {
+        // A framed-but-malformed record past the handshake: the peer
+        // is broken or lying. Quarantine — never parse-and-hope on the
+        // same connection.
+        quarantine(idx, "malformed record: " + line);
+        return;
+      }
+      std::fprintf(stderr,
+                   "warning: shard %zu attempt %llu sent a malformed "
+                   "report (%s); treating the worker as failed\n",
+                   worker.shard,
+                   static_cast<unsigned long long>(worker.attempt),
+                   line.c_str());
+      continue;  // its exit (or lease expiry) triggers the requeue
+    }
+    handle_line(worker, *m);
+  }
+  if (drained.corrupt) {
+    quarantine(idx, drained.why);
     return;
   }
-  const int ready = ::poll(fds.data(), fds.size(), 20);
-  if (ready <= 0) return;
-  for (const pollfd& p : fds) {
-    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    const std::optional<std::size_t> idx = [&]() -> std::optional<std::size_t> {
-      for (std::size_t i = 0; i < running_.size(); ++i) {
-        if (running_[i].fd == p.fd) return i;
-      }
-      return std::nullopt;
-    }();
-    if (!idx) continue;
-    RunningWorker& worker = running_[*idx];
-    char chunk[4096];
-    for (;;) {
-      const ssize_t got = ::read(worker.fd, chunk, sizeof(chunk));
-      if (got > 0) {
-        worker.buffer.feed({chunk, static_cast<std::size_t>(got)});
-        continue;
-      }
-      if (got < 0 && errno == EINTR) continue;
-      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      // EOF (or a read error, treated the same): the worker is gone or
-      // going; reap_exits owns the aftermath.
-      ::close(worker.fd);
-      worker.fd = -1;
-      break;
+  if (worker.concluded != RunningWorker::Concluded::kNo) {
+    // The attempt reported D/F: release the link. A broken peer's link
+    // (quarantine) is severed; a healthy one goes back to the transport
+    // (socket: idle pool; pipe: reap the exited child).
+    std::unique_ptr<WorkerLink> link = std::move(worker.link);
+    const bool broken =
+        worker.concluded == RunningWorker::Concluded::kQuarantine;
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (broken) {
+      if (socket) HEC_COUNTER_INC("shard.net.disconnects");
+      link->kill();
+    } else {
+      transport_->recycle(std::move(link));
     }
-    for (const std::string& line : worker.buffer.take()) {
-      const std::optional<Message> m = parse(line);
-      if (!m) {
-        std::fprintf(stderr,
-                     "warning: shard %zu attempt %llu sent a malformed "
-                     "report (%s); treating the worker as failed\n",
-                     worker.shard,
-                     static_cast<unsigned long long>(worker.attempt),
-                     line.c_str());
-        continue;  // its exit (or lease expiry) triggers the requeue
-      }
-      handle_line(worker, *m);
-    }
+    return;
   }
-}
-
-void Coordinator::reap_exits() {
-  for (std::size_t i = 0; i < running_.size();) {
-    RunningWorker& worker = running_[i];
-    int status = 0;
-    const pid_t got = ::waitpid(worker.pid, &status, WNOHANG);
-    if (got == 0) {
-      ++i;
-      continue;
-    }
-    // Exited: drain any report bytes still in the pipe first, so a D
-    // that raced the exit is honoured before we presume death.
-    worker.pid = -1;
-    if (worker.fd >= 0) {
-      char chunk[4096];
-      ssize_t n;
-      while ((n = ::read(worker.fd, chunk, sizeof(chunk))) > 0) {
-        worker.buffer.feed({chunk, static_cast<std::size_t>(n)});
-      }
-      ::close(worker.fd);
-      worker.fd = -1;
-    }
-    for (const std::string& line : worker.buffer.take()) {
-      if (const std::optional<Message> m = parse(line)) {
-        handle_line(worker, *m);
-      }
-    }
+  if (drained.closed) {
+    // Gone without a conclusion: dead-worker path — identical for a
+    // SIGKILLed child and a dropped connection.
+    const std::string how =
+        worker.link->check_dead().value_or(drained.why.empty()
+                                               ? "connection closed"
+                                               : drained.why);
+    worker.link->kill();
     if (!shards_[worker.shard].complete &&
         lease_.release(worker.shard, worker.attempt)) {
-      // Died without a done/failed report: dead-worker path.
       std::fprintf(stderr,
                    "warning: shard %zu attempt %llu exited (%s) without "
                    "reporting; requeueing\n",
                    worker.shard,
                    static_cast<unsigned long long>(worker.attempt),
-                   WIFSIGNALED(status)
-                       ? ("signal " + std::to_string(WTERMSIG(status)))
-                             .c_str()
-                       : ("status " +
-                          std::to_string(WIFEXITED(status)
-                                             ? WEXITSTATUS(status)
-                                             : -1))
-                             .c_str());
+                   how.c_str());
+      if (socket) HEC_COUNTER_INC("shard.net.disconnects");
       ++tally_.reassignments;
       HEC_COUNTER_INC("shard.reassignments");
       note("shard.reassign",
@@ -603,7 +616,43 @@ void Coordinator::reap_exits() {
       requeue(worker.shard, worker.attempt, "dying repeatedly",
               /*backoff=*/true);
     }
-    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+void Coordinator::pump_links() {
+  const bool capacity_appeared = transport_->pump(now_s());
+  if (capacity_appeared) {
+    // A connection was just welcomed into the idle pool: return to the
+    // supervision loop without sleeping so the pending shard is
+    // assigned now, not one tick later.
+    return;
+  }
+  std::vector<pollfd> fds;
+  fds.reserve(running_.size());
+  for (const RunningWorker& worker : running_) {
+    const int fd = worker.link->poll_fd();
+    if (fd >= 0) fds.push_back({fd, POLLIN, 0});
+  }
+  if (fds.empty()) {
+    // Nothing to listen to (no live links / backoff wait): sleep one
+    // supervision tick instead of spinning.
+    ::poll(nullptr, 0, 20);
+    return;
+  }
+  const int ready = ::poll(fds.data(), fds.size(), 20);
+  if (ready <= 0) return;
+  for (const pollfd& p : fds) {
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    // Re-locate by fd each time: servicing may have erased entries.
+    const std::optional<std::size_t> idx = [&]() -> std::optional<std::size_t> {
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].link->poll_fd() == p.fd) return i;
+      }
+      return std::nullopt;
+    }();
+    if (!idx) continue;
+    service_link(*idx);
   }
 }
 
@@ -843,9 +892,33 @@ ShardedSweepResult Coordinator::finish() {
   return std::move(tally_);
 }
 
+void Coordinator::make_transport() {
+  if (!opts_.listen.empty() || opts_.listener != nullptr) {
+    SocketTransportConfig config;
+    config.run_id = run_id_;
+    config.space_fp = space_fingerprint(spec_);
+    config.net_timeout_s = opts_.net_timeout_s;
+    if (opts_.listener != nullptr) {
+      config.listener = opts_.listener;
+    } else {
+      config.owned = std::make_unique<Listener>(util::parse_endpoint(
+          opts_.listen, "listen endpoint", /*allow_port_zero=*/true));
+      std::fprintf(stderr, "sharded sweep: listening on %s (run %llu)\n",
+                   config.owned->describe().c_str(),
+                   static_cast<unsigned long long>(run_id_));
+    }
+    transport_ = make_socket_transport(std::move(config));
+  } else {
+    transport_ = make_fork_pipe_transport(spec_, opts_, fork_mutex_);
+  }
+}
+
 ShardedSweepResult Coordinator::run() {
   HEC_SPAN("shard.coordinator");
+  // See SigPipeGuard: worker links are written to from this process.
+  SigPipeGuard sigpipe_guard;
   make_state_dir(opts_.state_dir);
+  make_transport();
   plan_shards();
   for (std::size_t i = 0; i < shards_.size(); ++i) try_reuse_result(i);
 
@@ -876,18 +949,22 @@ ShardedSweepResult Coordinator::run() {
       }
       drain_revocations();
       spawn_eligible();
-      pump_pipes();
-      reap_exits();
+      pump_links();
       observe(/*final_pass=*/false);
     }
   } catch (...) {
-    // Whatever went wrong, never leak live children or the monitor.
+    // Whatever went wrong, never leak live children, connections or
+    // the monitor.
     monitor.stop();
     kill_all();
+    transport_->shutdown();
     throw;
   }
   monitor.stop();
   kill_all();
+  // Socket transport: tell idle workers the run is over (B line) and
+  // close the listener so redialing workers see ECONNREFUSED.
+  transport_->shutdown();
   return finish();
 }
 

@@ -1,6 +1,7 @@
 #include "hec/shard/protocol.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,12 +30,16 @@ bool parse_number(std::string_view token, T& out) {
 
 /// Parses a %a-rendered double, bit-exact. from_chars would also do, but
 /// strtod's hex-float support is universal; the token must be consumed
-/// in full.
+/// in full. Non-finite values are rejected: no sweep ever produces a
+/// NaN/inf time or energy, so one on the wire is a corrupt or hostile
+/// peer — and a NaN seed point would poison every Pareto dominance
+/// comparison it touches.
 bool parse_hex_double(std::string_view token, double& out) {
   const std::string text(token);  // strtod needs NUL termination
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
-  return end == text.c_str() + text.size() && !text.empty();
+  return end == text.c_str() + text.size() && !text.empty() &&
+         std::isfinite(out);
 }
 
 /// One seed point as a colon-joined t:e:tag token (%a floats).
@@ -52,6 +57,30 @@ bool parse_seed_point(std::string_view token, TimeEnergyPoint& p) {
   return parse_hex_double(token.substr(0, c1), p.t_s) &&
          parse_hex_double(token.substr(c1 + 1, c2 - c1 - 1), p.energy_j) &&
          parse_number(token.substr(c2 + 1), p.tag);
+}
+
+/// Parses "<n> <t:e:tag>×n" from `rest` into `out`. The count is
+/// validated against both kMaxWireFrontier and the bytes actually
+/// present (each point needs at least "x:y:z " — 6 bytes), so a peer
+/// claiming a huge count cannot make us allocate it.
+bool parse_point_list(std::string_view& rest,
+                      std::vector<TimeEnergyPoint>& out) {
+  std::size_t n = 0;
+  if (!parse_number(next_token(rest), n)) return false;
+  if (n > kMaxWireFrontier || n > rest.size() / 2 + 1) return false;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!parse_seed_point(next_token(rest), out[i])) return false;
+  }
+  return true;
+}
+
+std::string encode_point_list(const std::vector<TimeEnergyPoint>& points) {
+  std::string text = std::to_string(points.size());
+  for (const TimeEnergyPoint& p : points) {
+    text += ' ' + encode_seed_point(p);
+  }
+  return text;
 }
 
 }  // namespace
@@ -90,6 +119,22 @@ std::string encode(const Message& m) {
         for (const char c : m.detail) line += c == '\n' ? ' ' : c;
       }
       break;
+    case MessageKind::kHello:
+      line = "H " + std::to_string(m.space) + ' ' + std::to_string(m.run);
+      break;
+    case MessageKind::kWelcome:
+      line = "W " + std::to_string(m.run);
+      break;
+    case MessageKind::kResult:
+      line = "P " + std::to_string(m.shard) + ' ' + std::to_string(m.attempt) +
+             ' ' + encode_point_list(m.seed);
+      break;
+    case MessageKind::kPing:
+      line = "N";
+      break;
+    case MessageKind::kBye:
+      line = "B";
+      break;
   }
   line += '\n';
   return line;
@@ -117,17 +162,8 @@ std::optional<Message> parse(std::string_view line) {
       // Optional seed block: <n> then exactly n t:e:tag triples. The v1
       // short form (no tail) parses as an empty seed.
       std::string_view lookahead = rest;
-      const std::string_view count_token = next_token(lookahead);
-      if (!count_token.empty()) {
-        std::size_t n = 0;
-        if (!parse_number(count_token, n)) return std::nullopt;
-        rest = lookahead;
-        m.seed.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!parse_seed_point(next_token(rest), m.seed[i])) {
-            return std::nullopt;
-          }
-        }
+      if (!next_token(lookahead).empty()) {
+        if (!parse_point_list(rest, m.seed)) return std::nullopt;
       }
       break;
     }
@@ -171,6 +207,37 @@ std::optional<Message> parse(std::string_view line) {
       rest = {};
       break;
     }
+    case 'H': {
+      m.kind = MessageKind::kHello;
+      if (!parse_number(next_token(rest), m.space) ||
+          !parse_number(next_token(rest), m.run)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case 'W': {
+      m.kind = MessageKind::kWelcome;
+      if (!parse_number(next_token(rest), m.run)) return std::nullopt;
+      break;
+    }
+    case 'P': {
+      m.kind = MessageKind::kResult;
+      // The count is mandatory here (unlike the A tail): a result
+      // payload with zero points is "P s a 0", never a short form, so a
+      // truncated line can't silently parse as an empty frontier.
+      if (!parse_number(next_token(rest), m.shard) ||
+          !parse_number(next_token(rest), m.attempt) ||
+          !parse_point_list(rest, m.seed)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case 'N':
+      m.kind = MessageKind::kPing;
+      break;
+    case 'B':
+      m.kind = MessageKind::kBye;
+      break;
     default:
       return std::nullopt;
   }

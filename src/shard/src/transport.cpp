@@ -1,0 +1,758 @@
+// Transport implementations for sharded sweeps: the fork+pipe path
+// extracted from the coordinator, and the supervised-socket path. See
+// hec/shard/transport.h for the contract and the fault-injection sites.
+#include "hec/shard/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "hec/obs/obs.h"
+#include "hec/resilience/journal.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/failpoint.h"
+#include "internal.h"
+
+namespace hec::shard {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// The protocol is small request/response lines (an A answered by Rs
+/// and a D), so Nagle batching buys nothing and its interaction with
+/// delayed ACK costs ~40ms per exchange — dwarfing the sweep itself on
+/// short shards. Disable it on every protocol socket, both ends.
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+int timeout_ms(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double ms = seconds * 1000.0;
+  return ms > 3600.0 * 1000.0 ? 3600 * 1000 : static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+std::uint32_t frame_crc(std::string_view payload) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string frame_line(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  char head[32];
+  std::snprintf(head, sizeof head, "#%zx:%08x ", line.size(),
+                frame_crc(line));
+  std::string frame(head);
+  frame.append(line);
+  frame += '\n';
+  return frame;
+}
+
+std::optional<std::string> unframe_line(std::string_view frame,
+                                        std::string* why) {
+  const auto fail = [&](const char* what) -> std::optional<std::string> {
+    if (why != nullptr) *why = what;
+    return std::nullopt;
+  };
+  while (!frame.empty() && (frame.back() == '\n' || frame.back() == '\r')) {
+    frame.remove_suffix(1);
+  }
+  if (frame.empty()) return fail("empty frame");
+  if (frame.front() != '#') return fail("missing frame marker");
+  frame.remove_prefix(1);
+  const std::size_t colon = frame.find(':');
+  if (colon == std::string_view::npos) return fail("missing length field");
+  std::size_t length = 0;
+  {
+    const char* begin = frame.data();
+    const auto [ptr, ec] = std::from_chars(begin, begin + colon, length, 16);
+    if (ec != std::errc{} || ptr != begin + colon || colon == 0) {
+      return fail("unparseable frame length");
+    }
+  }
+  if (length > kMaxFramePayload) return fail("oversized frame");
+  frame.remove_prefix(colon + 1);
+  const std::size_t space = frame.find(' ');
+  if (space == std::string_view::npos) return fail("missing CRC field");
+  std::uint32_t crc = 0;
+  {
+    const char* begin = frame.data();
+    const auto [ptr, ec] = std::from_chars(begin, begin + space, crc, 16);
+    if (ec != std::errc{} || ptr != begin + space || space == 0) {
+      return fail("unparseable frame CRC");
+    }
+  }
+  frame.remove_prefix(space + 1);
+  if (frame.size() != length) return fail("frame length mismatch");
+  if (frame_crc(frame) != crc) return fail("frame CRC mismatch");
+  return std::string(frame);
+}
+
+std::uint64_t space_fingerprint(const ShardedSweepSpec& spec) {
+  // Deliberately NOT internal::sweep_signature: the seed frontier is
+  // per-assignment state (it rides the A line), so two peers agree on
+  // the space even before either has seen an assignment.
+  return resilience::fnv1a64(spec.signature + " total=" +
+                             std::to_string(spec.total) + " work_units=" +
+                             std::to_string(spec.work_units));
+}
+
+// ---------------------------------------------------------------------------
+// Socket link (both sides of the wire use the same one).
+
+namespace {
+
+class SocketLink final : public WorkerLink {
+ public:
+  SocketLink(int fd, std::string peer, double io_timeout_s)
+      : fd_(fd), peer_(std::move(peer)), io_timeout_s_(io_timeout_s) {
+    set_nonblocking(fd_);
+  }
+  ~SocketLink() override { close_fd(); }
+
+  const char* kind() const override { return "socket"; }
+  int poll_fd() const override { return fd_; }
+
+  bool send(const Message& m) override {
+    if (fd_ < 0) return false;
+    if (blackholed_) return true;  // partitioned: the bytes go nowhere
+    try {
+      HEC_FAILPOINT_HIT("net.write");
+    } catch (const util::InjectedFault&) {
+      close_fd();
+      return false;
+    }
+    std::string frame = frame_line(encode(m));
+    try {
+      HEC_FAILPOINT_HIT("net.frame.corrupt");
+    } catch (const util::InjectedFault&) {
+      // Flip one payload bit. ^1 keeps the byte printable (never a
+      // newline), so the peer sees exactly one intact-but-lying frame.
+      frame[frame.size() / 2] ^= 0x01;
+    }
+    return send_raw(frame);
+  }
+
+  DrainResult drain() override {
+    DrainResult r;
+    if (fd_ < 0) {
+      r.closed = true;
+      r.why = "connection closed";
+      return r;
+    }
+    try {
+      HEC_FAILPOINT_HIT("net.read");
+    } catch (const util::InjectedFault&) {
+      close_fd();
+      r.closed = true;
+      r.why = "injected read fault";
+      return r;
+    }
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (got > 0) {
+        if (!blackholed_) buf_.feed({chunk, static_cast<std::size_t>(got)});
+        // A peer streaming frames faster than we parse them is bounded
+        // by its own send window; still, cap one drain pass.
+        if (buf_.pending() > kMaxFramePayload + 64) {
+          close_fd();
+          r.corrupt = true;
+          r.why = "unterminated oversized frame";
+          return r;
+        }
+        continue;
+      }
+      if (got == 0) {
+        close_fd();
+        r.closed = true;
+        r.why = "connection closed";
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      r.why = std::strerror(errno);
+      close_fd();
+      r.closed = true;
+      break;
+    }
+    for (std::string& line : buf_.take()) {
+      std::string why;
+      std::optional<std::string> payload = unframe_line(line, &why);
+      if (!payload) {
+        // One bad frame poisons the connection; drop everything after
+        // it — the caller quarantines and the shard is requeued.
+        r.corrupt = true;
+        r.why = why;
+        break;
+      }
+      r.lines.push_back(std::move(*payload));
+    }
+    return r;
+  }
+
+  std::optional<std::string> check_dead() override {
+    if (fd_ < 0) return std::string("connection closed");
+    return std::nullopt;
+  }
+
+  void kill() override { close_fd(); }
+
+  std::string describe() const override { return "socket " + peer_; }
+
+  /// Simulated partition: writes pretend to succeed, reads are
+  /// discarded. Neither side sees a FIN — recovery is the lease expiry
+  /// here and the idle-read timeout on the worker side.
+  void blackhole() { blackholed_ = true; }
+
+ private:
+  bool send_raw(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t put = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                                 MSG_NOSIGNAL);
+      if (put > 0) {
+        off += static_cast<std::size_t>(put);
+        continue;
+      }
+      if (put < 0 && errno == EINTR) continue;
+      if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd p{fd_, POLLOUT, 0};
+        if (::poll(&p, 1, timeout_ms(io_timeout_s_)) > 0) continue;
+        // Send buffer full past the budget: the peer is wedged or the
+        // network is gone. Closing keeps the supervision loop moving.
+        close_fd();
+        return false;
+      }
+      close_fd();  // EPIPE/ECONNRESET and friends: peer is gone
+      return false;
+    }
+    return true;
+  }
+
+  void close_fd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd_;
+  std::string peer_;
+  double io_timeout_s_;
+  bool blackholed_ = false;
+  LineBuffer buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Fork+pipe transport (extracted from the original coordinator spawn).
+
+class PipeLink final : public WorkerLink {
+ public:
+  PipeLink(pid_t pid, int fd, std::function<void(int)> forget_fd)
+      : pid_(pid), fd_(fd), forget_fd_(std::move(forget_fd)) {}
+  ~PipeLink() override { kill(); }
+
+  const char* kind() const override { return "pipe"; }
+  int poll_fd() const override { return fd_; }
+  pid_t pid() const override { return pid_; }
+
+  bool send(const Message&) override {
+    // The assignment rode the fork; the pipe is worker→coordinator only.
+    return true;
+  }
+
+  DrainResult drain() override {
+    DrainResult r;
+    if (fd_ < 0) {
+      r.closed = true;
+      return r;
+    }
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+      if (got > 0) {
+        buf_.feed({chunk, static_cast<std::size_t>(got)});
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF (or a read error, treated the same): the child exited — its
+      // only copy of the write end closed with it.
+      close_fd();
+      r.closed = true;
+      break;
+    }
+    r.lines = buf_.take();
+    return r;
+  }
+
+  std::optional<std::string> check_dead() override {
+    if (pid_ < 0) return how_;
+    int status = 0;
+    const pid_t got = ::waitpid(pid_, &status, WNOHANG);
+    if (got == 0) return std::nullopt;
+    pid_ = -1;
+    how_ = WIFSIGNALED(status)
+               ? "signal " + std::to_string(WTERMSIG(status))
+               : "status " + std::to_string(
+                                 WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    return how_;
+  }
+
+  void kill() override {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      pid_ = -1;
+    }
+    close_fd();
+  }
+
+  std::string describe() const override {
+    return "pid " + std::to_string(pid_);
+  }
+
+ private:
+  void close_fd() {
+    if (fd_ >= 0) {
+      if (forget_fd_) forget_fd_(fd_);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  pid_t pid_;
+  int fd_;
+  std::function<void(int)> forget_fd_;
+  std::string how_ = "exited";
+  LineBuffer buf_;
+};
+
+class ForkPipeTransport final : public Transport {
+ public:
+  ForkPipeTransport(const ShardedSweepSpec& spec,
+                    const ShardedSweepOptions& opts, std::mutex& fork_mutex)
+      : spec_(spec), opts_(opts), fork_mutex_(fork_mutex) {}
+
+  const char* kind() const override { return "pipe"; }
+
+  std::unique_ptr<WorkerLink> assign(const Message& assignment) override {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw IoError(std::string("pipe() failed: ") + std::strerror(errno));
+    }
+    // The assignment travels as its encoded protocol record — the A
+    // line carries the slice, run id, and seed frontier the worker will
+    // prune with, so wire format and behavior can never drift apart.
+    const std::string line = encode(assignment);
+
+    // Every coordinator-side descriptor the child would inherit; it
+    // closes them all except its own write end.
+    std::vector<int> inherited{fds[0], fds[1]};
+    inherited.insert(inherited.end(), open_fds_.begin(), open_fds_.end());
+
+    pid_t pid = -1;
+    {
+      std::lock_guard lock(fork_mutex_);
+      pid = ::fork();
+    }
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw IoError(std::string("fork() failed: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      internal::run_worker_attempt(spec_, opts_, line, fds[1], inherited);
+    }
+    ::close(fds[1]);
+    set_nonblocking(fds[0]);
+    open_fds_.push_back(fds[0]);
+    return std::make_unique<PipeLink>(pid, fds[0], [this](int fd) {
+      open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                      open_fds_.end());
+    });
+  }
+
+  void recycle(std::unique_ptr<WorkerLink> link) override {
+    // The child already exited (it _exits right after its D/F report);
+    // kill() reaps it and closes the pipe. Nothing is reused.
+    if (link) link->kill();
+  }
+
+ private:
+  const ShardedSweepSpec& spec_;
+  const ShardedSweepOptions& opts_;
+  std::mutex& fork_mutex_;
+  std::vector<int> open_fds_;  ///< live read ends, for child close lists
+};
+
+// ---------------------------------------------------------------------------
+// Socket transport (coordinator side).
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig config)
+      : owned_(std::move(config.owned)),
+        listener_(config.listener != nullptr ? config.listener
+                                             : owned_.get()),
+        run_id_(config.run_id),
+        space_fp_(config.space_fp),
+        net_timeout_s_(config.net_timeout_s) {
+    set_nonblocking(listener_->fd());
+  }
+  ~SocketTransport() override { shutdown(); }
+
+  const char* kind() const override { return "socket"; }
+
+  std::unique_ptr<WorkerLink> assign(const Message& assignment) override {
+    while (!idle_.empty()) {
+      std::unique_ptr<SocketLink> link = std::move(idle_.front());
+      idle_.pop_front();
+      try {
+        HEC_FAILPOINT_HIT("net.partition");
+      } catch (const util::InjectedFault&) {
+        link->blackhole();
+        HEC_COUNTER_INC("shard.net.partitions");
+      }
+      if (link->send(assignment)) return link;
+      HEC_COUNTER_INC("shard.net.disconnects");
+    }
+    return nullptr;  // nobody idle right now; the caller retries later
+  }
+
+  bool pump(double now_s) override {
+    accept_new(now_s);
+    const bool welcomed = run_handshakes(now_s);
+    tend_idle(now_s);
+    return welcomed;
+  }
+
+  void recycle(std::unique_ptr<WorkerLink> link) override {
+    if (!link) return;
+    if (link->poll_fd() < 0) {
+      HEC_COUNTER_INC("shard.net.disconnects");
+      return;  // died between its report and the recycle
+    }
+    idle_.push_back(
+        std::unique_ptr<SocketLink>(static_cast<SocketLink*>(link.release())));
+  }
+
+  void shutdown() override {
+    Message bye;
+    bye.kind = MessageKind::kBye;
+    for (std::unique_ptr<SocketLink>& link : idle_) {
+      link->send(bye);
+      link->kill();
+    }
+    idle_.clear();
+    for (Pending& p : pending_) p.link->kill();
+    pending_.clear();
+    if (listener_ != nullptr) {
+      listener_->close();
+      listener_ = nullptr;
+    }
+  }
+
+ private:
+  struct Pending {
+    std::unique_ptr<SocketLink> link;
+    double accepted_at_s = 0.0;
+  };
+
+  void accept_new(double now_s) {
+    for (;;) {
+      sockaddr_in addr{};
+      socklen_t len = sizeof addr;
+      const int fd = ::accept(listener_->fd(),
+                              reinterpret_cast<sockaddr*>(&addr), &len);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN, or a transient error: try again next turn
+      }
+      try {
+        HEC_FAILPOINT_HIT("net.accept");
+      } catch (const util::InjectedFault&) {
+        ::close(fd);
+        continue;  // dropped at the door; the worker redials
+      }
+      HEC_COUNTER_INC("shard.net.accepts");
+      set_tcp_nodelay(fd);
+      char host[INET_ADDRSTRLEN] = "?";
+      ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
+      std::string peer =
+          std::string(host) + ':' + std::to_string(ntohs(addr.sin_port));
+      pending_.push_back(
+          {std::make_unique<SocketLink>(fd, std::move(peer), net_timeout_s_),
+           now_s});
+    }
+  }
+
+  /// Returns true when at least one connection was welcomed.
+  bool run_handshakes(double now_s) {
+    bool any_welcomed = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      DrainResult d = it->link->drain();
+      bool welcomed = false;
+      bool drop = false;
+      const char* why = "connection closed";
+      if (d.corrupt) {
+        HEC_COUNTER_INC("shard.net.frames_rejected");
+        drop = true;
+        why = "corrupt frame";
+      } else if (!d.lines.empty()) {
+        const std::optional<Message> m = parse(d.lines.front());
+        if (!m || m->kind != MessageKind::kHello) {
+          HEC_COUNTER_INC("shard.net.frames_rejected");
+          drop = true;
+          why = !m ? "malformed hello" : "protocol violation";
+        } else if (m->space != space_fp_) {
+          // The authentication of the handshake: a worker built for a
+          // different space (or a stray client) is turned away before
+          // it can ever receive an assignment.
+          drop = true;
+          why = "space fingerprint mismatch";
+        } else {
+          Message welcome;
+          welcome.kind = MessageKind::kWelcome;
+          welcome.run = run_id_;
+          if (it->link->send(welcome)) {
+            if (m->run == run_id_) HEC_COUNTER_INC("shard.net.reconnects");
+            welcomed = true;
+          } else {
+            drop = true;
+            why = "welcome write failed";
+          }
+        }
+      } else if (d.closed) {
+        drop = true;
+      } else if (now_s - it->accepted_at_s > net_timeout_s_) {
+        drop = true;
+        why = "handshake timeout";
+      }
+      if (welcomed) {
+        any_welcomed = true;
+        idle_.push_back(std::move(it->link));
+        it = pending_.erase(it);
+      } else if (drop) {
+        std::fprintf(stderr,
+                     "warning: dropping worker connection %s during "
+                     "handshake (%s)\n",
+                     it->link->describe().c_str(), why);
+        HEC_COUNTER_INC("shard.net.disconnects");
+        it->link->kill();
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return any_welcomed;
+  }
+
+  void tend_idle(double now_s) {
+    const bool ping_due = now_s - last_ping_s_ >= net_timeout_s_ / 3.0;
+    if (ping_due) last_ping_s_ = now_s;
+    for (auto it = idle_.begin(); it != idle_.end();) {
+      DrainResult d = (*it)->drain();
+      bool drop = d.closed;
+      if (d.corrupt) {
+        HEC_COUNTER_INC("shard.net.frames_rejected");
+        drop = true;
+      }
+      // d.lines from an idle worker (a straggler R from a superseded
+      // connection) have no live attempt to land on; drop them.
+      if (!drop && ping_due) {
+        Message ping;
+        ping.kind = MessageKind::kPing;
+        if (!(*it)->send(ping)) drop = true;
+      }
+      if (drop) {
+        HEC_COUNTER_INC("shard.net.disconnects");
+        (*it)->kill();
+        it = idle_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::unique_ptr<Listener> owned_;
+  Listener* listener_;
+  const std::uint64_t run_id_;
+  const std::uint64_t space_fp_;
+  const double net_timeout_s_;
+  std::deque<Pending> pending_;
+  std::deque<std::unique_ptr<SocketLink>> idle_;
+  double last_ping_s_ = 0.0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Listener.
+
+Listener::Listener(const util::Endpoint& endpoint) : host_(endpoint.host) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  const std::string port_text = std::to_string(endpoint.port);
+  addrinfo* candidates = nullptr;
+  const int rc = ::getaddrinfo(
+      endpoint.host.empty() ? nullptr : endpoint.host.c_str(),
+      port_text.c_str(), &hints, &candidates);
+  if (rc != 0) {
+    throw IoError("cannot resolve listen endpoint '" + endpoint.host + ':' +
+                  port_text + "': " + ::gai_strerror(rc));
+  }
+  int last_errno = 0;
+  for (const addrinfo* c = candidates; c != nullptr; c = c->ai_next) {
+    const int fd = ::socket(c->ai_family, c->ai_socktype, c->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, c->ai_addr, c->ai_addrlen) == 0 && ::listen(fd, 64) == 0) {
+      fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(candidates);
+  if (fd_ < 0) {
+    throw IoError("cannot listen on '" + endpoint.host + ':' + port_text +
+                  "': " + std::strerror(last_errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = endpoint.port;
+  }
+  set_nonblocking(fd_);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Listener::describe() const {
+  return (host_.empty() ? "0.0.0.0" : host_) + ':' + std::to_string(port_);
+}
+
+// ---------------------------------------------------------------------------
+// Factories and the client-side dial.
+
+std::unique_ptr<Transport> make_fork_pipe_transport(
+    const ShardedSweepSpec& spec, const ShardedSweepOptions& opts,
+    std::mutex& fork_mutex) {
+  return std::make_unique<ForkPipeTransport>(spec, opts, fork_mutex);
+}
+
+std::unique_ptr<Transport> make_socket_transport(
+    SocketTransportConfig config) {
+  return std::make_unique<SocketTransport>(std::move(config));
+}
+
+std::unique_ptr<WorkerLink> connect_link(const util::Endpoint& endpoint,
+                                         double net_timeout_s,
+                                         std::string* why) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  const std::string host = endpoint.host.empty() ? "127.0.0.1" : endpoint.host;
+  const std::string port_text = std::to_string(endpoint.port);
+  addrinfo* candidates = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &candidates);
+  if (rc != 0) {
+    if (why != nullptr) {
+      *why = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    return nullptr;
+  }
+  std::string last_error = "no addresses";
+  for (const addrinfo* c = candidates; c != nullptr; c = c->ai_next) {
+    const int fd = ::socket(c->ai_family, c->ai_socktype, c->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(fd);
+    set_tcp_nodelay(fd);
+    if (::connect(fd, c->ai_addr, c->ai_addrlen) != 0 &&
+        errno != EINPROGRESS) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms(net_timeout_s)) <= 0) {
+      last_error = "connect timeout";
+      ::close(fd);
+      continue;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      last_error = std::strerror(soerr != 0 ? soerr : errno);
+      ::close(fd);
+      continue;
+    }
+    ::freeaddrinfo(candidates);
+    return std::make_unique<SocketLink>(fd, host + ':' + port_text,
+                                        net_timeout_s);
+  }
+  ::freeaddrinfo(candidates);
+  if (why != nullptr) {
+    *why = "cannot connect to " + host + ':' + port_text + ": " + last_error;
+  }
+  return nullptr;
+}
+
+}  // namespace hec::shard

@@ -1,0 +1,363 @@
+// Socket worker loop: dial, handshake, serve attempts, reconnect. See
+// hec/shard/worker_loop.h for the model. The attempt execution mirrors
+// the forked worker (worker.cpp) — same journals, same durability
+// ordering (local result commit BEFORE the P/D reports), same heartbeat
+// and failpoint sites — so every resilience property of the pipe
+// transport holds verbatim over TCP.
+#include "hec/shard/worker_loop.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "hec/config/evaluate.h"
+#include "hec/obs/obs.h"
+#include "hec/parallel/periodic.h"
+#include "hec/parallel/thread_pool.h"
+#include "hec/resilience/journal.h"
+#include "hec/resilience/resumable.h"
+#include "hec/shard/protocol.h"
+#include "hec/shard/result_file.h"
+#include "hec/shard/telemetry.h"
+#include "hec/shard/transport.h"
+#include "hec/sweep/kernel.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/failpoint.h"
+#include "internal.h"
+
+namespace hec::shard {
+
+namespace {
+
+/// Thrown from on_progress when the heartbeat thread saw the link die:
+/// aborts the attempt (the journal keeps its progress) so the loop can
+/// redial instead of sweeping for a coordinator that cannot hear it.
+struct LinkLostError : std::runtime_error {
+  LinkLostError() : std::runtime_error("link lost") {}
+};
+
+int timeout_ms(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double ms = seconds * 1000.0;
+  return ms > 3600.0 * 1000.0 ? 3600 * 1000 : static_cast<int>(ms) + 1;
+}
+
+void make_state_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0775) == 0 || errno == EEXIST) return;
+  throw IoError("cannot create worker state dir '" + dir +
+                "': " + std::strerror(errno));
+}
+
+/// Drains the link into parsed messages with an idle deadline. The
+/// queue survives across calls so a W and an A arriving in one TCP
+/// segment are both delivered.
+class MessagePump {
+ public:
+  explicit MessagePump(WorkerLink& link) : link_(link) {}
+
+  /// Next message, or nullopt when the link died, sent garbage, or
+  /// stayed silent past `idle_timeout_s` — all three mean "this
+  /// connection is over, redial". Pings count as traffic (they reset
+  /// the idle window) but are delivered like any other message.
+  std::optional<Message> next(double idle_timeout_s) {
+    for (;;) {
+      if (!queue_.empty()) {
+        const Message m = queue_.front();
+        queue_.pop_front();
+        return m;
+      }
+      if (dead_ || link_.poll_fd() < 0) return std::nullopt;
+      pollfd p{link_.poll_fd(), POLLIN, 0};
+      const int ready = ::poll(&p, 1, timeout_ms(idle_timeout_s));
+      if (ready <= 0) return std::nullopt;  // silent too long: partition
+      const DrainResult d = link_.drain();
+      for (const std::string& line : d.lines) {
+        if (std::optional<Message> m = parse(line)) {
+          queue_.push_back(std::move(*m));
+        }
+        // A framed-but-malformed line from the coordinator is dropped;
+        // if the whole stream is garbage, `corrupt` ends the session.
+      }
+      if (d.corrupt || d.closed) dead_ = true;
+    }
+  }
+
+ private:
+  WorkerLink& link_;
+  std::deque<Message> queue_;
+  bool dead_ = false;
+};
+
+/// Runs one assignment. Returns false when the link died underneath it
+/// (redial); true when the attempt concluded with a delivered — or at
+/// least attempted — P+D or F report.
+bool run_assignment(const ShardedSweepSpec& spec,
+                    const WorkerLoopOptions& opts, const Message& assign,
+                    WorkerLink& link, WorkerLoopResult& out) {
+  // The spec the attempt actually sweeps carries the wire-delivered
+  // seed, so its journal/result fingerprints match what a coordinator
+  // sharing this state_dir (or a forked worker before us) produced.
+  ShardedSweepSpec local = spec;
+  local.seed_frontier = assign.seed;
+  const std::string signature = internal::sweep_signature(local);
+  const std::size_t shard_id = assign.shard;
+  const std::uint64_t attempt = assign.attempt;
+  const IndexRange range{assign.first, assign.last};
+
+  WorkerTelemetry telemetry(
+      shard_telemetry_path(opts.state_dir, attempt),
+      telemetry_fingerprint(signature, assign.run), shard_id, attempt,
+      opts.telemetry_interval_s);
+  telemetry.begin_attempt();
+
+  std::atomic<std::size_t> cursor{range.first};
+  std::atomic<bool> link_down{false};
+  // During the attempt the heartbeat thread is the link's only user;
+  // the main thread neither reads nor writes it until heartbeat.stop()
+  // has joined.
+  PeriodicTask heartbeat(opts.heartbeat_interval_s, [&] {
+    HEC_FAILPOINT_HIT("shard.heartbeat");
+    Message progress;
+    progress.kind = MessageKind::kProgress;
+    progress.shard = shard_id;
+    progress.attempt = attempt;
+    progress.cursor = cursor.load();
+    if (!link.send(progress)) link_down.store(true);
+  });
+
+  // Same deterministic kill site as the forked worker: tests and CI
+  // target "shard.attempt.<ordinal>" to crash exactly this attempt.
+  const std::string attempt_site = "shard.attempt." + std::to_string(attempt);
+
+  // Kernel stats accumulate across the attempts this process serves;
+  // the D line must report only this attempt's share.
+  const std::pair<std::size_t, std::size_t> stats_base =
+      local.body_stats ? local.body_stats()
+                       : std::pair<std::size_t, std::size_t>{0, 0};
+
+  try {
+    ThreadPool pool(std::max<std::size_t>(1, opts.threads));
+    SweepOptions sweep;
+    sweep.block = local.claim;
+    sweep.parallel = opts.threads > 1;
+    sweep.pool = &pool;
+
+    resilience::ResilienceOptions res;
+    res.journal_path = shard_journal_path(opts.state_dir, shard_id);
+    res.checkpoint_interval_s = opts.checkpoint_interval_s;
+    res.range = range;
+    res.seed_frontier = assign.seed;
+    res.on_progress = [&](std::size_t at) {
+      cursor.store(at);
+      HEC_FAILPOINT_HIT(attempt_site.c_str());
+      if (link_down.load()) throw LinkLostError();
+    };
+    res.on_flush = [&] { telemetry.flush_if_due(); };
+
+    const resilience::ResumableSweepResult swept = [&] {
+      HEC_SPAN("shard.worker_sweep");
+      return resilience::resumable_sweep_indexed(signature, local.total,
+                                                 local.claim,
+                                                 local.work_units, local.body,
+                                                 sweep, res);
+    }();
+
+    // Durability ordering, unchanged from the pipe worker: telemetry
+    // final flush, then the LOCAL result commit, then the reports. The
+    // P line additionally ships the frontier so a coordinator without
+    // this filesystem commits its own copy before it sees the D.
+    telemetry.final_flush();
+    write_shard_result(shard_result_path(opts.state_dir, shard_id),
+                       signature, {range, swept.frontier});
+    heartbeat.stop();
+
+    Message payload;
+    payload.kind = MessageKind::kResult;
+    payload.shard = shard_id;
+    payload.attempt = attempt;
+    payload.seed = swept.frontier;
+    Message done;
+    done.kind = MessageKind::kDone;
+    done.shard = shard_id;
+    done.attempt = attempt;
+    if (local.body_stats) {
+      const std::pair<std::size_t, std::size_t> now = local.body_stats();
+      done.has_stats = true;
+      done.evaluated = now.first - stats_base.first;
+      done.pruned = now.second - stats_base.second;
+    }
+    ++out.attempts_run;
+    // A failed report is not a failed attempt: the local result is
+    // durable, the coordinator's lease machinery requeues, and the
+    // successor (possibly us, re-attached) resumes or reuses it.
+    return link.send(payload) && link.send(done);
+  } catch (const LinkLostError&) {
+    heartbeat.stop();
+    telemetry.final_flush();
+    return false;
+  } catch (const std::exception& e) {
+    heartbeat.stop();
+    telemetry.final_flush();
+    ++out.attempts_failed;
+    Message failed;
+    failed.kind = MessageKind::kFailed;
+    failed.shard = shard_id;
+    failed.attempt = attempt;
+    failed.detail = e.what();
+    return link.send(failed);
+  }
+}
+
+/// One connected session: handshake already done; serve until bye,
+/// silence, or link death. The pump is shared with the handshake so an
+/// assignment that arrived in the same TCP segment as the welcome is
+/// not lost. Returns true when the coordinator said bye.
+bool serve_session(const ShardedSweepSpec& spec,
+                   const WorkerLoopOptions& opts, WorkerLink& link,
+                   MessagePump& pump, WorkerLoopResult& out) {
+  for (;;) {
+    const std::optional<Message> m = pump.next(opts.net_timeout_s);
+    if (!m) return false;  // closed, corrupt, or idle past the timeout
+    switch (m->kind) {
+      case MessageKind::kAssign:
+        if (!run_assignment(spec, opts, *m, link, out)) return false;
+        break;
+      case MessageKind::kBye:
+        return true;
+      case MessageKind::kPing:
+      default:
+        break;  // keepalives and stray records just reset the idle clock
+    }
+  }
+}
+
+}  // namespace
+
+WorkerLoopResult run_worker_loop(const ShardedSweepSpec& spec,
+                                 const WorkerLoopOptions& opts) {
+  if (!spec.body) {
+    throw std::invalid_argument("worker loop needs a sweep body");
+  }
+  if (spec.claim == 0) {
+    throw std::invalid_argument("worker loop claim must be positive");
+  }
+  if (opts.state_dir.empty()) {
+    throw std::invalid_argument(
+        "worker loop needs a state_dir for journals and results");
+  }
+  make_state_dir(opts.state_dir);
+  // A coordinator dying mid-read must surface as EPIPE/false from the
+  // send loop, never SIGPIPE death (satellite of the same guarantee the
+  // forked worker already had).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  WorkerLoopResult out;
+  const std::uint64_t space = space_fingerprint(spec);
+  std::mt19937_64 rng(opts.jitter_seed != 0
+                          ? opts.jitter_seed
+                          : resilience::fnv1a64(
+                                std::to_string(::getpid()) + ":" +
+                                std::to_string(std::chrono::system_clock::now()
+                                                   .time_since_epoch()
+                                                   .count())));
+  std::uniform_real_distribution<double> jitter(0.75, 1.25);
+
+  std::uint64_t prev_run = 0;
+  double backoff = opts.redial_backoff_s;
+  std::size_t failures = 0;
+  while (failures <= opts.max_redials) {
+    std::string why;
+    std::unique_ptr<WorkerLink> link =
+        connect_link(opts.connect, opts.net_timeout_s, &why);
+    bool welcomed = false;
+    if (link) {
+      Message hello;
+      hello.kind = MessageKind::kHello;
+      hello.space = space;
+      hello.run = prev_run;  // 0 first time; the live id marks a reconnect
+      if (link->send(hello)) {
+        MessagePump pump(*link);
+        const std::optional<Message> welcome = pump.next(opts.net_timeout_s);
+        if (welcome && welcome->kind == MessageKind::kWelcome) {
+          welcomed = true;
+          if (out.served && welcome->run == prev_run) ++out.reconnects;
+          prev_run = welcome->run;
+          out.served = true;
+          failures = 0;
+          backoff = opts.redial_backoff_s;
+          if (serve_session(spec, opts, *link, pump, out)) {
+            out.bye = true;
+            return out;
+          }
+          // Session dropped (coordinator gone, partitioned, or killed
+          // our connection): fall through to redial. Dial failures from
+          // here on count toward max_redials — an ended run closes the
+          // listener, which is how orphans drain out.
+        } else {
+          why = welcome ? "handshake protocol violation"
+                        : "no welcome within the net timeout";
+        }
+      } else {
+        why = "hello write failed";
+      }
+    }
+    if (!welcomed) {
+      ++failures;
+      out.detail = why;
+      if (failures > opts.max_redials) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff * jitter(rng)));
+      backoff = std::min(opts.redial_backoff_max_s, backoff * 2.0);
+    }
+  }
+  return out;
+}
+
+WorkerLoopResult run_two_type_worker(const NodeTypeModel& arm_model,
+                                     const NodeTypeModel& amd_model,
+                                     const EnumerationLimits& limits,
+                                     double work_units,
+                                     const WorkerLoopOptions& opts) {
+  HEC_SPAN("shard.remote_worker");
+  // Same construction as sharded_sweep_frontier's coordinator side:
+  // deterministic characterization means this worker's space
+  // fingerprint and sweep signatures match the coordinator's exactly,
+  // provided both were built from the same models and limits.
+  const MemoizedConfigEvaluator memo(arm_model, amd_model, limits);
+  TwoTypeSweepKernel::Options kopts;
+  kopts.prune = opts.prune;
+  kopts.simd = opts.simd;
+  kopts.chunk = opts.prune_chunk;
+  const TwoTypeSweepKernel kernel(memo, work_units, kopts);
+  ShardedSweepSpec spec;
+  spec.signature = memo.layout().describe();
+  spec.total = memo.size();
+  spec.work_units = work_units;
+  // seed_frontier stays empty: the coordinator's A lines carry the seed.
+  spec.body = [&kernel](std::size_t first, std::size_t count,
+                        ParetoAccumulator& acc) {
+    kernel.consume(first, count, acc);
+  };
+  spec.body_stats = [&kernel] {
+    const KernelStats s = kernel.stats();
+    return std::pair<std::size_t, std::size_t>(s.evaluated, s.pruned);
+  };
+  return run_worker_loop(spec, opts);
+}
+
+}  // namespace hec::shard

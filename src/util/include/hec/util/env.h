@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -39,5 +40,30 @@ std::optional<double> env_positive(const char* name);
 /// Like env_number but requires a non-negative integer (a count);
 /// returns it as std::size_t.
 std::optional<std::size_t> env_count(const char* name);
+
+/// A TCP endpoint as the shard transport flags/env understand it.
+/// `host` is a hostname or numeric address; an empty host means "all
+/// interfaces" on the listen side and "localhost" on the connect side.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parses "host:port", ":port" or a bare "port" into an Endpoint.
+/// Throws EnvParseError on an empty string, a missing/zero/overflowing
+/// port, or trailing garbage — `what` names the flag or variable for
+/// the diagnostic. Port 0 is accepted only when `allow_port_zero` (the
+/// listen side binds an ephemeral port with it; dialing port 0 is
+/// always a mistake).
+Endpoint parse_endpoint(const std::string& text, const std::string& what,
+                        bool allow_port_zero = false);
+
+/// Reads `name` as an Endpoint via parse_endpoint. Returns nullopt when
+/// the variable is unset or empty; throws EnvParseError on a malformed
+/// value (tools map it to exit 64, like every other env knob).
+std::optional<Endpoint> env_endpoint(const char* name,
+                                     bool allow_port_zero = false);
 
 }  // namespace hec::util

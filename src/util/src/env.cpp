@@ -61,4 +61,43 @@ std::optional<std::size_t> env_count(const char* name) {
   return static_cast<std::size_t>(value);
 }
 
+Endpoint parse_endpoint(const std::string& text, const std::string& what,
+                        bool allow_port_zero) {
+  if (text.empty()) {
+    throw EnvParseError(what + " must be host:port, :port or port");
+  }
+  Endpoint ep;
+  // The port is everything after the LAST colon, so a future bracketed
+  // IPv6 host with embedded colons still splits at the right place; a
+  // bare "port" has no colon at all.
+  const std::size_t colon = text.rfind(':');
+  std::string_view port_text = text;
+  if (colon != std::string::npos) {
+    ep.host = text.substr(0, colon);
+    port_text = std::string_view(text).substr(colon + 1);
+  }
+  unsigned long port = 0;
+  const char* begin = port_text.data();
+  const char* end = begin + port_text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, port);
+  if (ec != std::errc{} || ptr != end || port_text.empty() || port > 65535) {
+    throw EnvParseError(what + "='" + text +
+                        "' has a malformed port (want host:port with port "
+                        "in [0, 65535])");
+  }
+  if (port == 0 && !allow_port_zero) {
+    throw EnvParseError(what + "='" + text +
+                        "' names port 0 (only a listen endpoint may bind "
+                        "an ephemeral port)");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::optional<Endpoint> env_endpoint(const char* name, bool allow_port_zero) {
+  const char* raw = raw_env(name);
+  if (raw == nullptr) return std::nullopt;
+  return parse_endpoint(raw, name, allow_port_zero);
+}
+
 }  // namespace hec::util

@@ -75,6 +75,46 @@ TEST(LeaseTable, CursorAdvanceResetsTheProgressClock) {
   EXPECT_EQ(table.expired(4.0).size(), 1u);
 }
 
+TEST(LeaseTable, StaleReorderedHeartbeatCannotRewindTheProgressClock) {
+  // TCP (or a slow pipe) can deliver heartbeats out of order relative
+  // to when the worker stamped them. A late-arriving report whose
+  // cursor is BEHIND the recorded progress must still count as
+  // liveness, but must neither rewind the cursor nor reset the
+  // progress clock — otherwise a straggler replaying stale cursors
+  // would dodge the steal forever.
+  LeaseTable table(/*heartbeat_timeout_s=*/10.0, /*progress_timeout_s=*/2.0);
+  table.grant(4, 2, 100, 0.0);
+  EXPECT_TRUE(table.heartbeat(4, 2, 164, 0.5));  // real progress at 0.5
+  // Reordered heartbeats carrying the superseded cursor, and even the
+  // same cursor again, keep arriving. Liveness refreshes...
+  EXPECT_TRUE(table.heartbeat(4, 2, 100, 1.0));
+  EXPECT_TRUE(table.heartbeat(4, 2, 164, 1.8));
+  EXPECT_TRUE(table.heartbeat(4, 2, 128, 2.4));
+  ASSERT_TRUE(table.heartbeat_gap_s(4, 2.4).has_value());
+  EXPECT_DOUBLE_EQ(*table.heartbeat_gap_s(4, 2.4), 0.0);
+  // ...but the progress clock still dates from 0.5: the steal fires at
+  // 2.5, exactly as if the stale replays had never arrived.
+  EXPECT_TRUE(table.expired(2.45).empty());
+  const std::vector<LeaseRevocation> expired = table.expired(2.5);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].action, LeaseAction::kSteal);
+  EXPECT_DOUBLE_EQ(expired[0].idle_s, 2.0);
+}
+
+TEST(LeaseTable, StaleHeartbeatAfterRegrantIsIgnoredEntirely) {
+  // A reconnected worker re-running shard 4 as attempt 3 must not have
+  // its fresh lease touched by the old attempt's delayed reports.
+  LeaseTable table(10.0, 2.0);
+  table.grant(4, 2, 0, 0.0);
+  EXPECT_TRUE(table.heartbeat(4, 2, 500, 0.5));
+  table.grant(4, 3, 0, 1.0);  // requeue after the socket died
+  EXPECT_FALSE(table.heartbeat(4, 2, 900, 1.2)) << "old attempt's ghost";
+  // The new attempt's progress clock starts at its grant, untouched by
+  // the ghost: no steal before 3.0.
+  EXPECT_TRUE(table.expired(2.9).empty());
+  EXPECT_EQ(table.expired(3.0).size(), 1u);
+}
+
 TEST(LeaseTable, DeadWorkerBeatsStragglerWhenBothTimeoutsTrip) {
   // Total silence longer than both timeouts is worker death, not a
   // straggler: the remedy must be reassignment (no journal to protect —

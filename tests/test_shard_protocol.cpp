@@ -6,34 +6,188 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
 #include <string>
 #include <vector>
 
 namespace hec::shard {
 namespace {
 
+// Named builders instead of positional aggregates: the Message struct
+// grew socket-era fields (run, space, result payloads), and these keep
+// every test immune to field order.
+Message assign_msg(std::size_t shard, std::uint64_t attempt,
+                   std::size_t first, std::size_t last, std::uint64_t run) {
+  Message m;
+  m.kind = MessageKind::kAssign;
+  m.shard = shard;
+  m.attempt = attempt;
+  m.first = first;
+  m.last = last;
+  m.run = run;
+  return m;
+}
+
+Message progress_msg(std::size_t shard, std::uint64_t attempt,
+                     std::size_t cursor) {
+  Message m;
+  m.kind = MessageKind::kProgress;
+  m.shard = shard;
+  m.attempt = attempt;
+  m.cursor = cursor;
+  return m;
+}
+
+Message done_msg(std::size_t shard, std::uint64_t attempt) {
+  Message m;
+  m.kind = MessageKind::kDone;
+  m.shard = shard;
+  m.attempt = attempt;
+  return m;
+}
+
+Message failed_msg(std::size_t shard, std::uint64_t attempt,
+                   std::string detail) {
+  Message m;
+  m.kind = MessageKind::kFailed;
+  m.shard = shard;
+  m.attempt = attempt;
+  m.detail = std::move(detail);
+  return m;
+}
+
+Message hello_msg(std::uint64_t space, std::uint64_t prev_run) {
+  Message m;
+  m.kind = MessageKind::kHello;
+  m.space = space;
+  m.run = prev_run;
+  return m;
+}
+
+Message result_msg(std::size_t shard, std::uint64_t attempt,
+                   std::vector<TimeEnergyPoint> frontier) {
+  Message m;
+  m.kind = MessageKind::kResult;
+  m.shard = shard;
+  m.attempt = attempt;
+  m.seed = std::move(frontier);
+  return m;
+}
+
 TEST(ShardProtocol, EncodesEveryKindAsOneTerminatedLine) {
-  EXPECT_EQ(encode({MessageKind::kAssign, 3, 7, 100, 200, 0, {}, 9}),
-            "A 3 7 100 200 9\n");
-  EXPECT_EQ(encode({MessageKind::kProgress, 3, 7, 0, 0, 150, {}}),
-            "R 3 7 150\n");
-  EXPECT_EQ(encode({MessageKind::kDone, 3, 7, 0, 0, 0, {}}), "D 3 7\n");
-  EXPECT_EQ(encode({MessageKind::kFailed, 3, 7, 0, 0, 0, "disk full"}),
-            "F 3 7 disk full\n");
+  EXPECT_EQ(encode(assign_msg(3, 7, 100, 200, 9)), "A 3 7 100 200 9\n");
+  EXPECT_EQ(encode(progress_msg(3, 7, 150)), "R 3 7 150\n");
+  EXPECT_EQ(encode(done_msg(3, 7)), "D 3 7\n");
+  EXPECT_EQ(encode(failed_msg(3, 7, "disk full")), "F 3 7 disk full\n");
 }
 
 TEST(ShardProtocol, RoundTripsEveryKind) {
   const Message messages[] = {
-      {MessageKind::kAssign, 0, 1, 0, 1013254, 0, {}, 0x9e3779b97f4a7c15},
-      {MessageKind::kProgress, 12, 99, 0, 0, 4096, {}},
-      {MessageKind::kDone, 5, 6, 0, 0, 0, {}},
-      {MessageKind::kFailed, 2, 3, 0, 0, 0, "std::bad_alloc"},
-      {MessageKind::kFailed, 2, 3, 0, 0, 0, ""},  // empty detail is legal
+      assign_msg(0, 1, 0, 1013254, 0x9e3779b97f4a7c15),
+      progress_msg(12, 99, 4096),
+      done_msg(5, 6),
+      failed_msg(2, 3, "std::bad_alloc"),
+      failed_msg(2, 3, ""),  // empty detail is legal
   };
   for (const Message& m : messages) {
     const std::optional<Message> back = parse(encode(m));
     ASSERT_TRUE(back.has_value()) << encode(m);
     EXPECT_EQ(*back, m) << encode(m);
+  }
+}
+
+TEST(ShardProtocol, EncodesSocketExtensionKinds) {
+  EXPECT_EQ(encode(hello_msg(123456789, 7)), "H 123456789 7\n");
+  Message welcome;
+  welcome.kind = MessageKind::kWelcome;
+  welcome.run = 42;
+  EXPECT_EQ(encode(welcome), "W 42\n");
+  // The payload count is mandatory even when empty — a truncated P line
+  // must never parse as "no points".
+  EXPECT_EQ(encode(result_msg(3, 9, {})), "P 3 9 0\n");
+  Message ping;
+  ping.kind = MessageKind::kPing;
+  EXPECT_EQ(encode(ping), "N\n");
+  Message bye;
+  bye.kind = MessageKind::kBye;
+  EXPECT_EQ(encode(bye), "B\n");
+}
+
+TEST(ShardProtocol, RoundTripsSocketExtensionKinds) {
+  Message ping;
+  ping.kind = MessageKind::kPing;
+  Message bye;
+  bye.kind = MessageKind::kBye;
+  Message welcome;
+  welcome.kind = MessageKind::kWelcome;
+  welcome.run = 0xffffffffffffffff;
+  const Message messages[] = {
+      hello_msg(0xabad1dea, 0),
+      hello_msg(0xffffffffffffffff, 0x123456789abcdef0),
+      welcome,
+      result_msg(2, 5, {}),
+      // Exact double bits must survive the result payload, like the
+      // A-line seed: denormal, huge, negative zero, repeating fraction.
+      result_msg(7, 11,
+                 {{0.1, 12345.6789, 42},
+                  {5e-324, 1.7976931348623157e308, 0},
+                  {-0.0, 1.0 / 3.0, 1013253}}),
+      ping,
+      bye,
+  };
+  for (const Message& m : messages) {
+    const std::optional<Message> back = parse(encode(m));
+    ASSERT_TRUE(back.has_value()) << encode(m);
+    EXPECT_EQ(*back, m) << encode(m);
+  }
+}
+
+TEST(ShardProtocol, RejectsMalformedSocketExtensionRecords) {
+  const char* bad[] = {
+      "H 1",             // hello wants space fp AND prev run
+      "H 1 2 3",         // trailing field
+      "H x 2",           // non-numeric fingerprint
+      "W",               // welcome wants the run id
+      "W 1 2",           // trailing field
+      "P 1 2",           // result count is mandatory (no short form)
+      "P 1 2 1",         // count promises a point that never comes
+      "P 1 2 0 extra",   // trailing garbage after an empty payload
+      "P 1 2 1 0x1p+0:0x1p+1",  // point missing its tag
+      "N 1",             // ping takes nothing
+      "B now",           // bye takes nothing
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse(line).has_value()) << "'" << line << "'";
+  }
+}
+
+TEST(ShardProtocol, RejectsFrontierCountsBeyondTheWireCapOrTheBytesPresent) {
+  // Above the hard cap: rejected outright.
+  const std::string over_cap =
+      "P 1 2 " + std::to_string(kMaxWireFrontier + 1);
+  EXPECT_FALSE(parse(over_cap).has_value());
+  // Under the cap but wildly beyond the bytes actually present: the
+  // parser must reject from the length alone — a hostile peer cannot
+  // make the coordinator allocate 64Ki points off an 11-byte line.
+  EXPECT_FALSE(parse("P 1 2 60000").has_value());
+  EXPECT_FALSE(
+      parse("A 1 2 3 4 5 " + std::to_string(kMaxWireFrontier)).has_value());
+}
+
+TEST(ShardProtocol, RejectsNonFiniteSeedValues) {
+  // strtod happily reads "nan" and "inf"; the parser must not — no
+  // sweep produces them, and a NaN point would poison every Pareto
+  // dominance comparison downstream of the merge.
+  const char* bad[] = {
+      "A 1 2 3 4 5 1 nan:0x1p+0:7",
+      "A 1 2 3 4 5 1 0x1p+0:inf:7",
+      "P 1 2 1 -inf:0x1p+0:7",
+      "P 1 2 1 0x1p+0:nan(0x5):7",
+      "P 1 2 1 0x1p+1024:0x1p+0:7",  // overflows to inf
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse(line).has_value()) << "'" << line << "'";
   }
 }
 
@@ -116,8 +270,7 @@ TEST(ShardProtocol, FailureDetailKeepsInternalSpaces) {
 
 TEST(ShardProtocol, EncodeFlattensNewlinesInFailureDetail) {
   // A multi-line exception message must not forge extra protocol lines.
-  const std::string line =
-      encode({MessageKind::kFailed, 1, 1, 0, 0, 0, "line one\nline two"});
+  const std::string line = encode(failed_msg(1, 1, "line one\nline two"));
   EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
   const std::optional<Message> back = parse(line);
   ASSERT_TRUE(back.has_value());
@@ -185,6 +338,124 @@ TEST(ShardProtocol, LineBufferFeedsOfOneByteEach) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(parse(lines[0])->kind, MessageKind::kProgress);
   EXPECT_EQ(parse(lines[1])->kind, MessageKind::kDone);
+}
+
+// ---------------------------------------------------------------------
+// Property/fuzz coverage: whatever a hostile or corrupted peer sends,
+// parse() returns a typed nullopt or a message that survives its own
+// re-encode — it never crashes, never over-allocates, never misreads.
+
+/// Every line the corpus mutates: one well-formed encoding per kind,
+/// tails included.
+std::vector<std::string> corpus_lines() {
+  Message welcome;
+  welcome.kind = MessageKind::kWelcome;
+  welcome.run = 7;
+  Message ping;
+  ping.kind = MessageKind::kPing;
+  Message bye;
+  bye.kind = MessageKind::kBye;
+  Message assign_seeded = assign_msg(3, 7, 100, 200, 9);
+  assign_seeded.seed = {{0.1, 2.5, 42}, {5e-324, 1e308, 9}};
+  Message done_stats = done_msg(5, 6);
+  done_stats.has_stats = true;
+  done_stats.evaluated = 51040;
+  done_stats.pruned = 962214;
+  std::vector<std::string> lines;
+  for (const Message& m :
+       {assign_msg(1, 2, 3, 4, 5), assign_seeded, progress_msg(12, 99, 4096),
+        done_msg(5, 6), done_stats, failed_msg(2, 3, "std::bad_alloc"),
+        hello_msg(0xabad1dea, 3), welcome,
+        result_msg(7, 11, {{1.5, 2.5, 3}, {0.25, 8.0, 9}}), ping, bye}) {
+    lines.push_back(encode(m));
+  }
+  return lines;
+}
+
+/// The invariant every surviving parse must satisfy: its re-encode
+/// parses back to the identical message.
+void expect_self_consistent(const std::string& line) {
+  const std::size_t nl = line.find('\n');
+  if (nl != std::string::npos && nl + 1 < line.size()) {
+    // A mutation spliced in an interior newline: the transport's
+    // LineBuffer would split here, so each piece is its own line.
+    expect_self_consistent(line.substr(0, nl));
+    expect_self_consistent(line.substr(nl + 1));
+    return;
+  }
+  const std::optional<Message> m = parse(line);
+  if (!m.has_value()) return;
+  const std::optional<Message> again = parse(encode(*m));
+  ASSERT_TRUE(again.has_value()) << "re-encode unparseable for '" << line
+                                 << "' -> '" << encode(*m) << "'";
+  EXPECT_EQ(*again, *m) << "'" << line << "'";
+}
+
+TEST(ShardProtocol, TruncationAtEveryPrefixNeverCrashes) {
+  for (const std::string& line : corpus_lines()) {
+    for (std::size_t len = 0; len <= line.size(); ++len) {
+      expect_self_consistent(line.substr(0, len));
+    }
+  }
+}
+
+TEST(ShardProtocol, EmbeddedNulsNeverCorruptAParse) {
+  // A NUL spliced into any numeric position must read as malformed,
+  // not as a terminator that hides trailing bytes from validation.
+  for (const std::string& line : corpus_lines()) {
+    for (std::size_t pos = 0; pos < line.size(); ++pos) {
+      std::string bent = line;
+      bent[pos] = '\0';
+      expect_self_consistent(bent);
+    }
+  }
+  std::string sneaky = "R 1 2 3";
+  sneaky += '\0';
+  sneaky += "4";
+  EXPECT_FALSE(parse(sneaky).has_value())
+      << "NUL must not hide trailing garbage";
+}
+
+TEST(ShardProtocol, DeterministicFuzzNeverCrashesTheParser) {
+  // 20k mutated lines from a fixed seed: byte flips, splices of hostile
+  // tokens (huge counts, sign flips, hex floats, NULs), duplications
+  // and shuffles. The parser must stay total and self-consistent.
+  std::mt19937 rng(0x5eed5eed);
+  const std::vector<std::string> corpus = corpus_lines();
+  const std::string hostile[] = {
+      "99999999999999999999", "18446744073709551615", "-1", "+5",
+      "65537",  "0x1p+1024", "nan", "inf", " ", "::", ":", "\t",
+      std::string(1, '\0'), std::string(300, '9'), std::string(300, ' ')};
+  std::uniform_int_distribution<std::size_t> pick_line(0, corpus.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_hostile(
+      0, std::size(hostile) - 1);
+  std::uniform_int_distribution<int> pick_op(0, 3);
+  std::uniform_int_distribution<int> pick_byte(0, 255);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string line = corpus[pick_line(rng)];
+    const int mutations = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < mutations; ++i) {
+      if (line.empty()) break;
+      std::uniform_int_distribution<std::size_t> pick_pos(0,
+                                                          line.size() - 1);
+      const std::size_t pos = pick_pos(rng);
+      switch (pick_op(rng)) {
+        case 0:  // flip a byte
+          line[pos] = static_cast<char>(pick_byte(rng));
+          break;
+        case 1:  // splice in a hostile token
+          line.insert(pos, hostile[pick_hostile(rng)]);
+          break;
+        case 2:  // delete a span
+          line.erase(pos, 1 + rng() % 7);
+          break;
+        case 3:  // duplicate a span
+          line.insert(pos, line.substr(pos, 1 + rng() % 9));
+          break;
+      }
+    }
+    expect_self_consistent(line);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,564 @@
+// Socket transport for sharded sweeps (hec/shard/transport.h +
+// worker_loop.h): the frame codec rejects every corruption it can see,
+// endpoints parse strictly, and a coordinator listening on loopback
+// merges frontiers bit-identical to the single-process sweep — under
+// clean runs, k-of-n worker SIGKILLs, injected write faults forcing
+// reconnects, corrupted frames (quarantine + requeue), a blackholed
+// "partition" healed by lease expiry, garbage clients, and handshake
+// rejection of a worker built for a different space. Faults are
+// deterministic (HEC_FAILPOINT sites armed per forked process), so
+// every path runs without flaky timing.
+#include "hec/shard/transport.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hec/obs/metrics.h"
+#include "hec/pareto/streaming.h"
+#include "hec/shard/result_file.h"
+#include "hec/shard/shard.h"
+#include "hec/shard/telemetry.h"
+#include "hec/shard/worker_loop.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/env.h"
+#include "hec/util/failpoint.h"
+
+namespace hec::shard {
+namespace {
+
+constexpr std::size_t kTotal = 20000;
+
+/// Same synthetic space as test_sharded_sweep.cpp: pure arithmetic, so
+/// the coordinator and every forked worker agree bit for bit.
+void eval_points(std::size_t first, std::size_t count,
+                 ParetoAccumulator& acc) {
+  for (std::size_t i = first; i < first + count; ++i) {
+    const double t = 1.0 + static_cast<double>((i * 7919 + 13) % 613) * 0.01;
+    const double e =
+        1.0 + static_cast<double>((i * 2654435761ULL + 7) % 997) * 0.01;
+    acc.add({t, e, i});
+  }
+}
+
+ShardedSweepSpec synthetic_spec() {
+  ShardedSweepSpec spec;
+  spec.signature = "synthetic-points v1";
+  spec.total = kTotal;
+  spec.claim = 256;
+  spec.body = eval_points;
+  return spec;
+}
+
+std::vector<TimeEnergyPoint> reference_frontier(const IndexRange& range) {
+  ParetoAccumulator acc;
+  eval_points(range.first, range.size(), acc);
+  return acc.take();
+}
+
+std::string fresh_state_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "transport_" + name;
+  for (std::size_t id = 0; id < 64; ++id) {
+    std::remove(shard_result_path(dir, id).c_str());
+    std::remove(shard_journal_path(dir, id).c_str());
+  }
+  for (std::uint64_t a = 1; a <= 64; ++a) {
+    std::remove(shard_telemetry_path(dir, a).c_str());
+  }
+  return dir;
+}
+
+void expect_identical_frontiers(const std::vector<TimeEnergyPoint>& got,
+                                const std::vector<TimeEnergyPoint>& want,
+                                const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " frontier point " << i;
+  }
+}
+
+double net_counter(const char* name) {
+  return obs::registry().counter(name).value();
+}
+
+/// Forks a child that serves `spec` to the loopback coordinator and
+/// exits 0 (served), 1 (never served) or 2 (threw). Failpoints are
+/// armed inside the child AFTER the fork, so each worker process gets
+/// its own fault script while the coordinator process stays clean.
+pid_t fork_worker(const ShardedSweepSpec& spec, std::uint16_t port,
+                  const std::string& state_dir,
+                  std::vector<util::FailpointSpec> faults = {},
+                  double net_timeout_s = 1.0, std::size_t max_redials = 60,
+                  double dial_delay_s = 0.0) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  util::set_failpoints(std::move(faults));
+  if (dial_delay_s > 0.0) {
+    ::usleep(static_cast<unsigned>(dial_delay_s * 1e6));
+  }
+  WorkerLoopOptions wop;
+  wop.connect = {"127.0.0.1", port};
+  wop.state_dir = state_dir;
+  wop.net_timeout_s = net_timeout_s;
+  wop.heartbeat_interval_s = 0.01;
+  wop.redial_backoff_s = 0.02;
+  wop.redial_backoff_max_s = 0.2;
+  wop.max_redials = max_redials;
+  try {
+    const WorkerLoopResult r = run_worker_loop(spec, wop);
+    ::_exit(r.served ? 0 : 1);
+  } catch (...) {
+    ::_exit(2);
+  }
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+}
+
+class ShardTransport : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_failpoints({}); }
+};
+
+// ---------------------------------------------------------------------
+// Frame codec.
+
+TEST_F(ShardTransport, FrameRoundTripsArbitraryLines) {
+  const std::string cases[] = {
+      "", "D 1 2", "A 3 7 100 200 9",
+      "F 1 2 injected fault at 'shard.heartbeat' (hit 2)",
+      std::string(4096, 'x'), "line with  double  spaces"};
+  for (const std::string& line : cases) {
+    const std::string frame = frame_line(line);
+    EXPECT_EQ(frame.back(), '\n');
+    std::string why;
+    const std::optional<std::string> back = unframe_line(frame, &why);
+    ASSERT_TRUE(back.has_value()) << why << " for '" << line << "'";
+    EXPECT_EQ(*back, line);
+    // Newline optional on the way in, like a LineBuffer-split line.
+    EXPECT_EQ(unframe_line(frame.substr(0, frame.size() - 1), &why), line);
+  }
+}
+
+TEST_F(ShardTransport, FrameCatchesEverySingleByteFlip) {
+  const std::string frame = frame_line("D 12 34");
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    for (const int bit : {0x01, 0x10, 0x80}) {
+      std::string bent = frame;
+      bent[i] = static_cast<char>(bent[i] ^ bit);
+      if (bent[i] == '\n') continue;  // would split, not corrupt, the line
+      std::string why;
+      const auto got = unframe_line(bent, &why);
+      // Any surviving parse must at least not silently change payload.
+      if (got.has_value()) {
+        EXPECT_EQ(*got, "D 12 34") << "flip at " << i;
+      } else {
+        EXPECT_FALSE(why.empty()) << "flip at " << i;
+      }
+    }
+  }
+  // A flipped payload byte specifically must never verify.
+  std::string bent = frame;
+  bent[bent.size() - 3] ^= 0x04;
+  std::string why;
+  EXPECT_FALSE(unframe_line(bent, &why).has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+TEST_F(ShardTransport, FrameRejectsStructuralGarbage) {
+  std::string why;
+  const std::string bad[] = {
+      "",                       // empty
+      "D 1 2",                  // bare line, no frame marker
+      "#",                      // marker alone
+      "#zz:00000000 x",         // unparseable length
+      "#5 D 1 2",               // missing crc field
+      "#400001:00000000 x",     // length over kMaxFramePayload
+      "#3:00000000 D 1 2",      // length does not match payload
+      "#7:deadbeef D 1 2",      // wrong crc
+  };
+  for (const std::string& frame : bad) {
+    why.clear();
+    EXPECT_FALSE(unframe_line(frame, &why).has_value()) << frame;
+    EXPECT_FALSE(why.empty()) << frame;
+  }
+}
+
+TEST_F(ShardTransport, FrameLengthIsBoundedByDesign) {
+  // A peer claiming a giant length must be rejected before any caller
+  // tries to buffer that much.
+  char header[64];
+  std::snprintf(header, sizeof(header), "#%zx:%08x x",
+                kMaxFramePayload + 1, frame_crc("x"));
+  std::string why;
+  EXPECT_FALSE(unframe_line(header, &why).has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+// ---------------------------------------------------------------------
+// Space fingerprints (the handshake's authentication token).
+
+TEST_F(ShardTransport, SpaceFingerprintIsStableAndDiscriminating) {
+  const ShardedSweepSpec a = synthetic_spec();
+  ShardedSweepSpec b = synthetic_spec();
+  EXPECT_EQ(space_fingerprint(a), space_fingerprint(b));
+
+  b.signature = "synthetic-points v2";
+  EXPECT_NE(space_fingerprint(a), space_fingerprint(b));
+  b = synthetic_spec();
+  b.total = kTotal + 1;
+  EXPECT_NE(space_fingerprint(a), space_fingerprint(b));
+  b = synthetic_spec();
+  b.work_units = 2.0;
+  EXPECT_NE(space_fingerprint(a), space_fingerprint(b));
+  // The seed frontier is per-assignment state, not part of the space.
+  b = synthetic_spec();
+  b.seed_frontier = {{1.0, 2.0, 3}};
+  EXPECT_EQ(space_fingerprint(a), space_fingerprint(b));
+}
+
+// ---------------------------------------------------------------------
+// Endpoint grammar.
+
+TEST_F(ShardTransport, EndpointParsesHostPortForms) {
+  const util::Endpoint a = util::parse_endpoint("example.org:8080", "test");
+  EXPECT_EQ(a.host, "example.org");
+  EXPECT_EQ(a.port, 8080);
+  const util::Endpoint b = util::parse_endpoint(":39471", "test");
+  EXPECT_TRUE(b.host.empty());
+  EXPECT_EQ(b.port, 39471);
+  const util::Endpoint c = util::parse_endpoint("39471", "test");
+  EXPECT_TRUE(c.host.empty());
+  EXPECT_EQ(c.port, 39471);
+}
+
+TEST_F(ShardTransport, EndpointRejectsMalformedAndEphemeralDials) {
+  for (const char* bad : {"", "host:", "host:port", "host:70000",
+                          "host:-1", "host:80x"}) {
+    EXPECT_THROW(util::parse_endpoint(bad, "test"), util::EnvParseError)
+        << "'" << bad << "'";
+  }
+  // Port 0 only makes sense on the listen side.
+  EXPECT_THROW(util::parse_endpoint("host:0", "test"), util::EnvParseError);
+  EXPECT_EQ(util::parse_endpoint(":0", "test", /*allow_port_zero=*/true).port,
+            0);
+}
+
+// ---------------------------------------------------------------------
+// Listener.
+
+TEST_F(ShardTransport, ListenerBindsEphemeralLoopbackPort) {
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  EXPECT_GE(listener.fd(), 0);
+  EXPECT_GT(listener.port(), 0);
+  // A second listener cannot take the same port while the first holds it
+  // ... but CAN after close().
+  const std::uint16_t port = listener.port();
+  EXPECT_THROW(Listener(util::Endpoint{"127.0.0.1", port}), hec::IoError);
+  listener.close();
+  EXPECT_NO_THROW(Listener(util::Endpoint{"127.0.0.1", port}));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over loopback TCP.
+
+TEST_F(ShardTransport, SocketSweepIsBitIdenticalToReference) {
+  const double accepts_before = net_counter("shard.net.accepts");
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  const std::string wdir = fresh_state_dir("identity_worker");
+  const std::vector<pid_t> workers = {
+      fork_worker(spec, listener.port(), wdir + "_a"),
+      fork_worker(spec, listener.port(), wdir + "_b")};
+
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("identity_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 2.0;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.shards_complete, 4u);
+  EXPECT_EQ(result.configs_visited, kTotal);
+  EXPECT_TRUE(result.failed_shards.empty());
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "socket identity");
+  EXPECT_GE(net_counter("shard.net.accepts"), accepts_before + 2);
+  for (const pid_t pid : workers) {
+    EXPECT_EQ(wait_exit(pid), 0) << "worker should exit clean on bye";
+  }
+}
+
+TEST_F(ShardTransport, KillTwoOfFourSocketWorkersIsBitIdentical) {
+  // Two workers dial in first and SIGKILL themselves at the third
+  // progress boundary of whatever attempt they are handed (every
+  // plausible spawn ordinal's site is armed; only their own fires).
+  // Two clean workers dial in late and absorb the requeued shards. The
+  // socket closing is what reports the death — no lease timeout needed.
+  std::vector<util::FailpointSpec> crash;
+  for (int ordinal = 1; ordinal <= 16; ++ordinal) {
+    crash.push_back({"shard.attempt." + std::to_string(ordinal), 3,
+                     util::FailpointMode::kCrash});
+  }
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  const std::string wdir = fresh_state_dir("kill_worker");
+  const pid_t doomed_a =
+      fork_worker(spec, listener.port(), wdir + "_a", crash);
+  const pid_t doomed_b =
+      fork_worker(spec, listener.port(), wdir + "_b", crash);
+  const pid_t clean_a = fork_worker(spec, listener.port(), wdir + "_c", {},
+                                    1.0, 60, /*dial_delay_s=*/0.25);
+  const pid_t clean_b = fork_worker(spec, listener.port(), wdir + "_d", {},
+                                    1.0, 60, /*dial_delay_s=*/0.25);
+
+  ShardedSweepOptions opts;
+  opts.workers = 4;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("kill_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 2.0;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.reassignments, 2u);
+  EXPECT_TRUE(result.failed_shards.empty());
+  EXPECT_EQ(result.configs_visited, kTotal);
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "kill 2-of-4 over TCP");
+  // SIGKILLed mid-attempt: report the signal, not a clean exit.
+  EXPECT_GT(wait_exit(doomed_a), 128);
+  EXPECT_GT(wait_exit(doomed_b), 128);
+  EXPECT_EQ(wait_exit(clean_a), 0);
+  EXPECT_EQ(wait_exit(clean_b), 0);
+}
+
+TEST_F(ShardTransport, InjectedWriteFaultForcesAReconnect) {
+  // The worker's third send dies (send 1 is the hello, so the fault
+  // lands after the handshake): the link drops mid-run, the worker
+  // redials with the live run id, and the coordinator counts a
+  // reconnect. The merge must not show a trace of it.
+  const double reconnects_before = net_counter("shard.net.reconnects");
+  const double disconnects_before = net_counter("shard.net.disconnects");
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  const pid_t worker = fork_worker(
+      spec, listener.port(), fresh_state_dir("reconnect_worker"),
+      {{"net.write", 3, util::FailpointMode::kError}});
+
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("reconnect_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 2.0;
+  opts.heartbeat_timeout_s = 1.0;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "reconnect");
+  EXPECT_GE(net_counter("shard.net.reconnects"), reconnects_before + 1);
+  EXPECT_GE(net_counter("shard.net.disconnects"), disconnects_before + 1);
+  EXPECT_EQ(wait_exit(worker), 0);
+}
+
+TEST_F(ShardTransport, CorruptFrameIsQuarantinedAndRequeued) {
+  // The worker's third outgoing frame has a byte flipped in flight. The
+  // coordinator must reject the frame, quarantine the connection and
+  // requeue the shard — and the worker, seeing its link die, redials
+  // and finishes the run. Nothing crashes, nothing wedges, the merge is
+  // exact.
+  const double rejected_before = net_counter("shard.net.frames_rejected");
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  const pid_t worker = fork_worker(
+      spec, listener.port(), fresh_state_dir("corrupt_worker"),
+      {{"net.frame.corrupt", 3, util::FailpointMode::kError}});
+
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("corrupt_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 2.0;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.failed_shards.empty());
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "corrupt frame");
+  EXPECT_GE(net_counter("shard.net.frames_rejected"), rejected_before + 1);
+  EXPECT_EQ(wait_exit(worker), 0);
+}
+
+TEST_F(ShardTransport, PartitionHealsThroughLeaseExpiryAndRedial) {
+  // The first assignment is handed to a blackholed link: writes pretend
+  // to succeed, reads discard, neither side sees a FIN — a real
+  // partition. Recovery needs BOTH unilateral clocks: the coordinator's
+  // lease expires (heartbeat silence) and requeues; the worker's idle
+  // read window expires and it redials. The failpoint is armed in the
+  // coordinator process AFTER the workers forked, so only the
+  // coordinator-side site fires.
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  const std::string wdir = fresh_state_dir("partition_worker");
+  // Short redial budgets: a worker caught mid-redial when the run ends
+  // should drain out in tenths of a second, not keep the test waiting.
+  const std::vector<pid_t> workers = {
+      fork_worker(spec, listener.port(), wdir + "_a", {},
+                  /*net_timeout_s=*/0.5, /*max_redials=*/10),
+      fork_worker(spec, listener.port(), wdir + "_b", {},
+                  /*net_timeout_s=*/0.5, /*max_redials=*/10)};
+  const double partitions_before = net_counter("shard.net.partitions");
+  util::set_failpoints({{"net.partition", 1, util::FailpointMode::kError}});
+
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("partition_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 0.5;
+  opts.heartbeat_timeout_s = 0.4;
+  opts.retry_backoff_s = 0.01;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+  util::set_failpoints({});
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_GE(result.reassignments, 1u);
+  EXPECT_TRUE(result.failed_shards.empty());
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "partition");
+  EXPECT_GE(net_counter("shard.net.partitions"), partitions_before + 1);
+  for (const pid_t pid : workers) {
+    EXPECT_EQ(wait_exit(pid), 0);
+  }
+}
+
+TEST_F(ShardTransport, GarbageClientCannotDerailTheRun) {
+  // One peer speaks raw garbage (no frames, no handshake), another
+  // sends a well-framed line that is not a hello. Both must be dropped
+  // at the door while a real worker completes the sweep exactly.
+  const double rejected_before = net_counter("shard.net.frames_rejected");
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const std::uint16_t port = listener.port();
+  const auto fork_garbage = [port](const std::string& bytes) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      (void)!::write(fd, bytes.data(), bytes.size());
+      ::usleep(200000);  // linger so the drop is a decision, not a race
+    }
+    ::close(fd);
+    ::_exit(0);
+  };
+  std::string raw_bytes = "MAIL FROM: mallory\r\n";
+  raw_bytes.push_back('\0');
+  raw_bytes += "\xff\n";
+  const pid_t raw_garbage = fork_garbage(raw_bytes);
+  const pid_t framed_nonsense = fork_garbage(frame_line("Z not a hello"));
+
+  const ShardedSweepSpec spec = synthetic_spec();
+  const pid_t worker =
+      fork_worker(spec, listener.port(), fresh_state_dir("garbage_worker"));
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 2;
+  opts.state_dir = fresh_state_dir("garbage_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 1.0;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "garbage client");
+  EXPECT_GE(net_counter("shard.net.frames_rejected"), rejected_before + 1);
+  EXPECT_EQ(wait_exit(raw_garbage), 0);
+  EXPECT_EQ(wait_exit(framed_nonsense), 0);
+  EXPECT_EQ(wait_exit(worker), 0);
+}
+
+TEST_F(ShardTransport, HandshakeRejectsAWorkerBuiltForAnotherSpace) {
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const ShardedSweepSpec spec = synthetic_spec();
+  ShardedSweepSpec alien = synthetic_spec();
+  alien.signature = "some other sweep entirely";
+  // The alien worker gets a short redial budget so it gives up quickly;
+  // exit 1 = "never served" is the contract under test.
+  const pid_t imposter = fork_worker(
+      alien, listener.port(), fresh_state_dir("alien_worker"), {},
+      /*net_timeout_s=*/0.3, /*max_redials=*/2);
+  const pid_t worker =
+      fork_worker(spec, listener.port(), fresh_state_dir("honest_worker"));
+
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 2;
+  opts.state_dir = fresh_state_dir("alien_coord");
+  opts.listener = &listener;
+  opts.net_timeout_s = 1.0;
+  const ShardedSweepResult result = run_sharded(spec, opts);
+
+  EXPECT_TRUE(result.complete);
+  expect_identical_frontiers(result.frontier, reference_frontier({0, kTotal}),
+                             "alien handshake");
+  EXPECT_EQ(wait_exit(imposter), 1) << "mismatched space must never serve";
+  EXPECT_EQ(wait_exit(worker), 0);
+}
+
+TEST_F(ShardTransport, DeadlineWithNoWorkersReportsAnEmptyPartial) {
+  // Nobody ever dials in: the run must stop at its deadline with a
+  // partial (empty) merge instead of waiting forever on the listener.
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  ShardedSweepOptions opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.state_dir = fresh_state_dir("deadline_coord");
+  opts.listener = &listener;
+  opts.deadline_s = 0.4;
+  const ShardedSweepResult result = run_sharded(synthetic_spec(), opts);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.deadline_hit);
+  EXPECT_EQ(result.configs_visited, 0u);
+  EXPECT_TRUE(result.frontier.empty());
+}
+
+TEST_F(ShardTransport, ListenerIsClosedAtEndOfRunEvenWhenBorrowed) {
+  Listener listener(util::Endpoint{"127.0.0.1", 0});
+  const std::uint16_t port = listener.port();
+  ShardedSweepOptions opts;
+  opts.workers = 1;
+  opts.shards = 1;
+  opts.state_dir = fresh_state_dir("close_coord");
+  opts.listener = &listener;
+  opts.deadline_s = 0.2;
+  (void)run_sharded(synthetic_spec(), opts);
+  // The port must be rebindable: orphaned workers drain out via
+  // ECONNREFUSED instead of handshaking with a dead run.
+  EXPECT_NO_THROW(Listener(util::Endpoint{"127.0.0.1", port}));
+}
+
+}  // namespace
+}  // namespace hec::shard

@@ -137,6 +137,13 @@ void print_usage(std::ostream& out) {
       "                       dead and its shard requeued (default 10)\n"
       "  --max-retries N      attempts per shard beyond the first\n"
       "                       (default 3); an exhausted shard fails the run\n"
+      "  --listen HOST:PORT   accept sharded-sweep workers over TCP instead\n"
+      "                       of forking them (hecsim_worker dials in);\n"
+      "                       ':PORT' binds localhost, port 0 picks an\n"
+      "                       ephemeral port (HEC_SHARD_LISTEN when the\n"
+      "                       flag is absent); requires --shards\n"
+      "  --net-timeout-s S    socket I/O timeout: handshake wait, blocked\n"
+      "                       writes and idle-link ping window (default 10)\n"
       "  --profile-out FILE   hec-profile/v1 aggregated span-tree profile\n"
       "                       (counts + total/self wall time per call path);\n"
       "                       a .folded suffix writes collapsed flamegraph\n"
@@ -185,6 +192,8 @@ struct Options {
   std::optional<std::size_t> shards;
   double shard_timeout_s = 10.0;
   std::size_t max_retries = 3;
+  std::optional<std::string> listen;
+  double net_timeout_s = 10.0;
   std::optional<std::string> profile_out;
   std::optional<std::string> ledger_out;
   bool sweep_stats = false;
@@ -320,6 +329,10 @@ Options parse_args(int argc, char** argv) {
       opts.shards = static_cast<std::size_t>(n);
     } else if (args[i] == "--shard-timeout-s") {
       opts.shard_timeout_s = parse_positive(next(), "--shard-timeout-s");
+    } else if (args[i] == "--listen") {
+      opts.listen = next();
+    } else if (args[i] == "--net-timeout-s") {
+      opts.net_timeout_s = parse_positive(next(), "--net-timeout-s");
     } else if (args[i] == "--max-retries") {
       const double n = parse_number(next(), "--max-retries");
       if (n < 0.0 || n != static_cast<double>(static_cast<std::size_t>(n))) {
@@ -357,6 +370,19 @@ Options parse_args(int argc, char** argv) {
   }
   if (opts.status_out && !opts.sharded_requested()) {
     throw UsageError("--status-out requires --shards");
+  }
+  if (!opts.listen) {
+    if (const char* env = std::getenv("HEC_SHARD_LISTEN");
+        env != nullptr && *env != '\0') {
+      opts.listen = env;
+    }
+  }
+  if (opts.listen) {
+    if (!opts.sharded_requested()) {
+      throw UsageError("--listen requires --shards");
+    }
+    // Fail at the CLI boundary, not mid-run inside the coordinator.
+    hec::util::parse_endpoint(*opts.listen, "--listen", true);
   }
   return opts;
 }
@@ -452,7 +478,9 @@ void declare_metrics() {
        {"shard.spawns", "shard.reassignments", "shard.steals",
         "shard.retries", "shard.heartbeats", "shard.results_reused",
         "shard.telemetry_ingests", "shard.telemetry_rejected",
-        "shard.configs_pruned"}) {
+        "shard.configs_pruned",
+        "shard.net.accepts", "shard.net.disconnects", "shard.net.reconnects",
+        "shard.net.frames_rejected", "shard.net.partitions"}) {
     reg.counter(name);
   }
   reg.gauge("pareto.frontier_size");
@@ -624,6 +652,8 @@ int run(int argc, char** argv) {
           opts.wall_deadline_s.value_or(hec::resilience::deadline_from_env());
       sop.prune = opts.prune;
       sop.simd = opts.simd;
+      if (opts.listen) sop.listen = *opts.listen;
+      sop.net_timeout_s = opts.net_timeout_s;
       if (opts.status_out) sop.status_path = *opts.status_out;
       // A traced/metered run flushes telemetry at every journal commit:
       // deterministic sidecar contents are worth more than the saved

@@ -1,0 +1,321 @@
+// hecsim_worker — standalone socket worker for sharded sweeps.
+//
+//   hecsim_worker <workload> --connect HOST:PORT [options]
+//
+// Dials a hecsim_cli coordinator started with --listen, authenticates
+// with the configuration-space fingerprint, and serves shard attempts
+// until the coordinator says bye. The worker builds the SAME node
+// models and enumeration space as the coordinator (same binary, same
+// workload, same --units/--max-arm/--max-amd), which is what makes the
+// fingerprints match; a worker launched with different limits is
+// rejected at the handshake instead of silently corrupting the merge.
+//
+// Connection loss — coordinator restart, network blip, silence past
+// the net timeout — sends the worker back to the dial loop with capped
+// exponential backoff plus jitter; its local journals let a re-handed
+// shard resume from the last epoch boundary. The worker exits 0 once
+// the run ends (bye, or the listener is gone after it has served), and
+// 1 if it never managed to serve at all.
+//
+//   --connect HOST:PORT  coordinator endpoint (HEC_SHARD_CONNECT when
+//                        the flag is absent); ':PORT' dials localhost
+//   --units N            job size in work units (default: the
+//                        workload's analysis size — must match the
+//                        coordinator)
+//   --max-arm N          low-power pool size (default 10)
+//   --max-amd N          high-performance pool size (default 10)
+//   --arm-inputs FILE    load ARM workload inputs instead of measuring
+//   --amd-inputs FILE    load AMD workload inputs instead of measuring
+//   --state-dir DIR      journal/result/telemetry directory (default: a
+//                        fresh temp dir; pass the coordinator's
+//                        <journal>.shards dir on loopback runs to get
+//                        result reuse across restarts)
+//   --threads N          sweep threads (default: hardware concurrency)
+//   --net-timeout-s S    socket I/O + idle timeout (default 10; keep
+//                        equal to the coordinator's --net-timeout-s)
+//   --max-redials N      consecutive failed dials before giving up
+//                        (default 20)
+//   --no-prune           disable the analytic bound-and-prune layer
+//   --no-simd            disable the SoA/SIMD inner kernel
+//   --log-level N        stderr verbosity: 0 quiet .. 2 debug
+//
+// Environment: HEC_SHARD_CONNECT supplies the endpoint when --connect
+// is absent; HEC_FAILPOINT arms the deterministic failpoint harness
+// (net.read, net.write, net.frame.corrupt, shard.attempt.<n>, ...).
+//
+// Exit codes: 0 run complete (served and told bye, or coordinator
+// gone after serving); 1 never served (dials exhausted); 64 usage
+// error; 65 malformed input file; 74 i/o error.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "hec/config/enumerate.h"
+#include "hec/hw/catalog.h"
+#include "hec/model/characterize.h"
+#include "hec/model/inputs_io.h"
+#include "hec/obs/obs.h"
+#include "hec/shard/worker_loop.h"
+#include "hec/util/atomic_file.h"
+#include "hec/util/env.h"
+#include "hec/util/expect.h"
+#include "hec/util/failpoint.h"
+#include "hec/workloads/workload.h"
+
+namespace {
+
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void print_usage(std::ostream& out) {
+  out <<
+      "usage: hecsim_worker <workload> --connect HOST:PORT [options]\n"
+      "  workloads: EP, memcached, x264, blackscholes, Julius, RSA-2048\n"
+      "  --connect HOST:PORT  coordinator endpoint (HEC_SHARD_CONNECT when\n"
+      "                       absent); ':PORT' dials localhost\n"
+      "  --units N            job size in work units (must match the\n"
+      "                       coordinator; default: analysis size)\n"
+      "  --max-arm N          low-power pool size (default 10)\n"
+      "  --max-amd N          high-performance pool size (default 10)\n"
+      "  --arm-inputs FILE    load ARM workload inputs instead of measuring\n"
+      "  --amd-inputs FILE    load AMD workload inputs instead of measuring\n"
+      "  --state-dir DIR      journal/result/telemetry dir (default: temp)\n"
+      "  --threads N          sweep threads (default: all cores)\n"
+      "  --net-timeout-s S    socket I/O + idle timeout (default 10)\n"
+      "  --max-redials N      failed dials before giving up (default 20)\n"
+      "  --no-prune           disable the bound-and-prune layer\n"
+      "  --no-simd            disable the SoA/SIMD inner kernel\n"
+      "  --log-level N        stderr verbosity: 0 quiet .. 2 debug\n"
+      "flags accept both '--flag value' and '--flag=value'\n"
+      "exit codes: 0 run complete, 1 never served, 64 usage,\n"
+      "            65 bad input file, 74 i/o error\n";
+}
+
+struct Options {
+  std::string workload;
+  std::optional<std::string> connect;
+  std::optional<double> units;
+  int max_arm = 10;
+  int max_amd = 10;
+  std::optional<std::string> arm_inputs;
+  std::optional<std::string> amd_inputs;
+  std::optional<std::string> state_dir;
+  std::size_t threads = 0;
+  double net_timeout_s = 10.0;
+  std::size_t max_redials = 20;
+  bool prune = true;
+  bool simd = true;
+  int log_level = 0;
+};
+
+double parse_number(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw UsageError("bad " + what + ": '" + text + "'");
+  }
+  if (used != text.size()) {
+    throw UsageError("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+double parse_positive(const std::string& text, const std::string& what) {
+  const double value = parse_number(text, what);
+  if (!(value > 0.0)) {
+    throw UsageError(what + " must be positive, got '" + text + "'");
+  }
+  return value;
+}
+
+std::size_t parse_count(const std::string& text, const std::string& what) {
+  const double n = parse_number(text, what);
+  if (n < 0.0 || n != static_cast<double>(static_cast<std::size_t>(n))) {
+    throw UsageError(what + " must be a non-negative integer, got '" + text +
+                     "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+Options parse_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        args.push_back(arg.substr(0, eq));
+        args.push_back(arg.substr(eq + 1));
+        continue;
+      }
+    }
+    args.push_back(std::move(arg));
+  }
+  if (args.empty()) throw UsageError("missing workload");
+  Options opts;
+  opts.workload = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) {
+        throw UsageError("missing value after " + args[i - 1]);
+      }
+      return args[i];
+    };
+    if (args[i] == "--connect") {
+      opts.connect = next();
+    } else if (args[i] == "--units") {
+      opts.units = parse_positive(next(), "--units");
+    } else if (args[i] == "--max-arm") {
+      opts.max_arm = static_cast<int>(parse_number(next(), "--max-arm"));
+    } else if (args[i] == "--max-amd") {
+      opts.max_amd = static_cast<int>(parse_number(next(), "--max-amd"));
+    } else if (args[i] == "--arm-inputs") {
+      opts.arm_inputs = next();
+    } else if (args[i] == "--amd-inputs") {
+      opts.amd_inputs = next();
+    } else if (args[i] == "--state-dir") {
+      opts.state_dir = next();
+    } else if (args[i] == "--threads") {
+      opts.threads = parse_count(next(), "--threads");
+    } else if (args[i] == "--net-timeout-s") {
+      opts.net_timeout_s = parse_positive(next(), "--net-timeout-s");
+    } else if (args[i] == "--max-redials") {
+      opts.max_redials = parse_count(next(), "--max-redials");
+    } else if (args[i] == "--no-prune") {
+      opts.prune = false;
+    } else if (args[i] == "--no-simd") {
+      opts.simd = false;
+    } else if (args[i] == "--log-level") {
+      const double v = parse_number(next(), "--log-level");
+      if (v < 0.0 || v > 2.0 ||
+          v != static_cast<double>(static_cast<int>(v))) {
+        throw UsageError("--log-level must be an integer in [0, 2]");
+      }
+      opts.log_level = static_cast<int>(v);
+    } else {
+      throw UsageError("unknown option: " + args[i]);
+    }
+  }
+  if (!opts.connect) {
+    if (const char* env = std::getenv("HEC_SHARD_CONNECT");
+        env != nullptr && *env != '\0') {
+      opts.connect = env;
+    }
+  }
+  if (!opts.connect) {
+    throw UsageError("--connect (or HEC_SHARD_CONNECT) is required");
+  }
+  return opts;
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
+  const Options opts = parse_args(argc, argv);
+  hec::obs::set_log_level(opts.log_level);
+  const hec::Workload workload = hec::find_workload(opts.workload);
+  const double units = opts.units.value_or(workload.analysis_units);
+
+  const hec::NodeSpec arm = hec::arm_cortex_a9();
+  const hec::NodeSpec amd = hec::amd_opteron_k10();
+  const auto make_model = [&](const hec::NodeSpec& spec,
+                              const std::optional<std::string>& inputs_file) {
+    if (!inputs_file) return build_node_model(spec, workload);
+    return hec::NodeTypeModel(spec, hec::load_workload_inputs(*inputs_file),
+                              characterize_power(spec));
+  };
+  const hec::NodeTypeModel arm_model = make_model(arm, opts.arm_inputs);
+  const hec::NodeTypeModel amd_model = make_model(amd, opts.amd_inputs);
+  const hec::EnumerationLimits limits{opts.max_arm, opts.max_amd};
+
+  hec::shard::WorkerLoopOptions wop;
+  wop.connect =
+      hec::util::parse_endpoint(*opts.connect, "--connect");
+  wop.net_timeout_s = opts.net_timeout_s;
+  wop.max_redials = opts.max_redials;
+  wop.threads = opts.threads;
+  wop.prune = opts.prune;
+  wop.simd = opts.simd;
+  bool temp_state = false;
+  if (opts.state_dir) {
+    wop.state_dir = *opts.state_dir;
+  } else {
+    char tmpl[] = "/tmp/hecsim-worker-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw hec::IoError("cannot create worker state dir");
+    }
+    wop.state_dir = tmpl;
+    temp_state = true;
+  }
+
+  const hec::shard::WorkerLoopResult result =
+      hec::shard::run_two_type_worker(arm_model, amd_model, limits, units,
+                                      wop);
+  std::cerr << "hecsim_worker: " << result.attempts_run << " attempts ("
+            << result.attempts_failed << " failed), " << result.reconnects
+            << " reconnects"
+            << (result.bye ? ", run complete"
+                           : result.served ? ", coordinator gone"
+                                           : ", never served")
+            << "\n";
+  if (!result.served && !result.detail.empty()) {
+    std::cerr << "hecsim_worker: last failure: " << result.detail << "\n";
+  }
+  if (temp_state && result.served) {
+    // Best effort: a temp state dir holds nothing worth resuming once
+    // the run ended (a named --state-dir is the operator's to keep).
+    if (DIR* dir = ::opendir(wop.state_dir.c_str())) {
+      while (const struct dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        std::remove((wop.state_dir + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(wop.state_dir.c_str());
+  }
+  return result.served ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    hec::util::arm_failpoints_from_env();
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return 64;
+  } catch (const hec::util::FailpointParseError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 64;
+  } catch (const hec::util::EnvParseError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 64;
+  } catch (const hec::ParseError& e) {
+    std::cerr << "input error: " << e.what() << "\n";
+    return 65;
+  } catch (const hec::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << "\n";
+    return 74;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
